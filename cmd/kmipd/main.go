@@ -1,0 +1,51 @@
+// Command kmipd runs the key-management server that Lamassu instances
+// fetch their isolation-zone keys from — the stand-in for the KMIP
+// server of the paper's prototype (§3).
+//
+// Usage:
+//
+//	kmipd -listen 127.0.0.1:5696 -zones 1,2,7
+//
+// Zones listed in -zones are provisioned with fresh random keys at
+// startup; clients can also provision zones on demand. All key
+// material lives in memory only: restarting the server generates new
+// keys, so it is a development/experimentation server, not a durable
+// production key store.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"lamassu/internal/kmip"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:5696", "address to listen on (5696 is the IANA KMIP port)")
+	zones := flag.String("zones", "1", "comma-separated isolation zones to provision at startup")
+	flag.Parse()
+
+	srv := kmip.NewServer()
+	for _, z := range strings.Split(*zones, ",") {
+		z = strings.TrimSpace(z)
+		if z == "" {
+			continue
+		}
+		n, err := strconv.ParseUint(z, 10, 32)
+		if err != nil {
+			log.Fatalf("kmipd: bad zone %q: %v", z, err)
+		}
+		if _, err := srv.CreateZone(kmip.Zone(n)); err != nil {
+			log.Fatalf("kmipd: provisioning zone %d: %v", n, err)
+		}
+		fmt.Printf("kmipd: provisioned isolation zone %d\n", n)
+	}
+
+	fmt.Printf("kmipd: listening on %s\n", *listen)
+	if err := srv.ListenAndServe(*listen, nil); err != nil {
+		log.Fatalf("kmipd: %v", err)
+	}
+}

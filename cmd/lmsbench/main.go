@@ -1,0 +1,111 @@
+// Command lmsbench regenerates the tables and figures of the paper's
+// evaluation (§4). Each experiment prints a text table in the shape of
+// the corresponding figure; EXPERIMENTS.md records a reference run
+// against the paper's numbers.
+//
+// Usage:
+//
+//	lmsbench -exp all                # every experiment, default sizes
+//	lmsbench -exp fig7 -mb 256       # Figure 7 at the paper's file size
+//	lmsbench -exp table1 -scale 16   # Table 1 with images scaled 1/16
+//
+// Experiments: fig6, table1, fig7, fig8, fig9, fig10, fig11, all.
+//
+// Sizes default to a scaled-down configuration that finishes in about
+// a minute; all shapes are size-independent (see DESIGN.md §3).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lamassu/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: fig6|table1|fig7|fig8|fig9|fig10|fig11|unaligned|all")
+	mb := flag.Int64("mb", 32, "workload file size in MiB (paper: 4096 for fig6/fig11, 256 for fig7-fig10)")
+	scale := flag.Int64("scale", 16, "Table 1 VM image size divisor (1 = paper sizes)")
+	flag.Parse()
+
+	fileBytes := *mb << 20
+	run := func(name string, f func() (string, error)) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		out, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lmsbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+
+	run("fig6", func() (string, error) {
+		rows, err := experiments.Fig6(fileBytes, nil)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatFig6(rows), nil
+	})
+	run("table1", func() (string, error) {
+		rows, err := experiments.Table1(*scale)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatTable1(rows), nil
+	})
+	run("fig7", func() (string, error) {
+		tab, err := experiments.Fig7(fileBytes)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatThroughput(tab), nil
+	})
+	run("fig8", func() (string, error) {
+		tab, err := experiments.Fig8(fileBytes)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatThroughput(tab), nil
+	})
+	run("fig9", func() (string, error) {
+		rows, err := experiments.Fig9(fileBytes)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatFig9(rows), nil
+	})
+	run("fig10", func() (string, error) {
+		rows, err := experiments.Fig10(fileBytes, nil)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatFig10(rows), nil
+	})
+	run("fig11", func() (string, error) {
+		rows, err := experiments.Fig11(fileBytes, nil)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatFig11(rows), nil
+	})
+	run("unaligned", func() (string, error) {
+		rows, err := experiments.UnalignedEncFS(fileBytes)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatUnaligned(rows), nil
+	})
+
+	if *exp != "all" && !validExp(*exp) {
+		fmt.Fprintf(os.Stderr, "lmsbench: unknown experiment %q (want fig6|table1|fig7|fig8|fig9|fig10|fig11|all)\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func validExp(e string) bool {
+	return strings.Contains("fig6 table1 fig7 fig8 fig9 fig10 fig11 unaligned all", e) && e != ""
+}

@@ -1,0 +1,105 @@
+// Crash-recovery: a walkthrough of the multiphase commit protocol
+// (paper §2.4). The program writes a file, then "pulls the plug"
+// exactly between commit phase 1 (metadata with the midupdate flag
+// and staged old keys) and phase 2 (the data block itself), and shows
+// that:
+//
+//  1. reads transparently fall back to the transient (old) keys, so
+//     no committed data is ever unreadable;
+//
+//  2. fsck reports the interrupted segment;
+//
+//  3. recovery repairs it using the convergent hash check to decide,
+//     per block, whether the old or the new key owns the on-disk
+//     contents (§2.5);
+//
+//  4. after recovery the audit is clean and the data intact.
+//
+//     go run ./examples/crash-recovery
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"lamassu"
+	"lamassu/internal/backend"
+	"lamassu/internal/core"
+	"lamassu/internal/faultfs"
+	"lamassu/internal/vfs"
+)
+
+func main() {
+	// Wire the fault injector between Lamassu and the real store.
+	mem := backend.NewMemStore()
+	flaky := faultfs.New(mem)
+
+	keys, err := lamassu.GenerateKeys()
+	if err != nil {
+		log.Fatal(err)
+	}
+	lfs, err := core.New(flaky, core.Config{Inner: keys.Inner, Outer: keys.Outer})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A 20-block file of 'A's.
+	original := bytes.Repeat([]byte{'A'}, 20*4096)
+	if err := vfs.WriteAll(lfs, "ledger.dat", original); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote ledger.dat:", len(original), "bytes")
+
+	// Pull the plug after exactly ONE more backend write. The next
+	// commit writes (1) metadata with midupdate set, then (2) the data
+	// block, then (3) metadata with the flag cleared — so the crash
+	// lands between phases 1 and 2.
+	flaky.Arm(faultfs.ModeCrashAfter, 1, 0)
+	f, err := lfs.OpenRW("ledger.dat")
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, _ = f.WriteAt(bytes.Repeat([]byte{'B'}, 4096), 0)
+	if err := f.Sync(); err != nil {
+		fmt.Println("power lost mid-commit:", err)
+	}
+	_ = f.Close()
+	flaky.Disarm() // "reboot"
+
+	// 1. Reads still work: the transient key in the metadata block
+	//    decrypts the old data.
+	got, err := vfs.ReadAll(lfs, "ledger.dat")
+	if err != nil {
+		log.Fatal("post-crash read failed: ", err)
+	}
+	if !bytes.Equal(got, original) {
+		log.Fatal("post-crash read returned wrong data")
+	}
+	fmt.Println("post-crash read: intact (transient-key fallback)")
+
+	// 2. The damage is visible to fsck.
+	rep, err := lfs.Check("ledger.dat")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fsck: %d segment(s) midupdate, clean=%v\n", rep.MidUpdate, rep.Clean())
+
+	// 3. Recover.
+	st, err := lfs.Recover("ledger.dat")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovery: %d segment(s) scanned, %d repaired\n", st.Segments, st.Repaired)
+
+	// 4. Clean audit, intact data.
+	rep, err = lfs.Check("ledger.dat")
+	if err != nil {
+		log.Fatal(err)
+	}
+	got, err = vfs.ReadAll(lfs, "ledger.dat")
+	if err != nil || !bytes.Equal(got, original) {
+		log.Fatal("post-recovery verification failed")
+	}
+	fmt.Printf("post-recovery fsck clean=%v; data verified (%d bytes)\n", rep.Clean(), len(got))
+}

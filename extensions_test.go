@@ -1,0 +1,279 @@
+package lamassu
+
+// Tests for the public API of the three extensions the paper
+// discusses but leaves to future work — filename encryption (§2.1),
+// the whole-file integrity layer (§2.5), and server-aided key
+// generation (§1) — as exposed through Options and the wrapper types.
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+
+	"lamassu/internal/dedupe"
+	"lamassu/internal/dupless"
+)
+
+func TestEncryptNamesOption(t *testing.T) {
+	store := NewMemStorage()
+	keys := mustKeys(t)
+	m, err := NewMount(store, keys, &Options{EncryptNames: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteFile("finance/q3/forecast.xlsx", []byte("numbers")); err != nil {
+		t.Fatal(err)
+	}
+	// The plaintext path never appears on the backing store.
+	raw, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 1 {
+		t.Fatalf("backing entries: %v", raw)
+	}
+	for _, leak := range []string{"finance", "q3", "forecast", "xlsx"} {
+		if strings.Contains(raw[0], leak) {
+			t.Errorf("backing name %q leaks %q", raw[0], leak)
+		}
+	}
+	// Round trip and listing still work through the mount.
+	got, err := m.ReadFile("finance/q3/forecast.xlsx")
+	if err != nil || string(got) != "numbers" {
+		t.Fatalf("round trip: %q, %v", got, err)
+	}
+	names, err := m.List()
+	if err != nil || len(names) != 1 || names[0] != "finance/q3/forecast.xlsx" {
+		t.Fatalf("List = %v, %v", names, err)
+	}
+
+	// A second mount with the same keys resolves the same names.
+	m2, err := NewMount(store, keys, &Options{EncryptNames: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.ReadFile("finance/q3/forecast.xlsx"); err != nil {
+		t.Fatalf("second mount lookup: %v", err)
+	}
+	// A mount with a different outer key cannot even list the volume.
+	other := mustKeys(t)
+	m3, err := NewMount(store, KeyPair{Inner: keys.Inner, Outer: other.Outer}, &Options{EncryptNames: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m3.List(); err == nil {
+		t.Fatalf("foreign key listed encrypted names")
+	}
+}
+
+func TestEncryptNamesPreservesDedup(t *testing.T) {
+	// Name encryption must not disturb the data path: two mounts in
+	// one zone still converge.
+	store := NewMemStorage()
+	keys := mustKeys(t)
+	m1, _ := NewMount(store, keys, &Options{EncryptNames: true})
+	m2, _ := NewMount(store, keys, &Options{EncryptNames: true})
+	payload := bytes.Repeat([]byte{0x5E}, 32*4096)
+	if err := m1.WriteFile("a", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.WriteFile("b", payload); err != nil {
+		t.Fatal(err)
+	}
+	eng, _ := dedupe.NewEngine(4096)
+	rep, err := eng.Scan(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.UniqueBlocks != 3 { // 1 converged data block + 2 metadata
+		t.Fatalf("UniqueBlocks = %d, want 3", rep.UniqueBlocks)
+	}
+}
+
+func TestRollbackProtection(t *testing.T) {
+	store := NewMemStorage()
+	keys := mustKeys(t)
+	m, err := NewMount(store, keys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guard, err := WithRollbackProtection(m, keys, NewMemTrustStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v1 := bytes.Repeat([]byte{1}, 50000)
+	if err := guard.WriteFile("ledger", v1); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot the valid v1 state as the malicious store would.
+	snapshot, err := m.ReadFile("ledger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := bytes.Repeat([]byte{2}, 50000)
+	if err := guard.WriteFile("ledger", v2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := guard.ReadFile("ledger")
+	if err != nil || !bytes.Equal(got, v2) {
+		t.Fatalf("verified read: %v", err)
+	}
+
+	// Roll back below the guard.
+	if err := m.WriteFile("ledger", snapshot); err != nil {
+		t.Fatal(err)
+	}
+	// The base mount is fooled (self-consistent old state)...
+	if got, err := m.ReadFile("ledger"); err != nil || !bytes.Equal(got, v1) {
+		t.Fatalf("rollback staging failed: %v", err)
+	}
+	// ...the guard is not.
+	if _, err := guard.ReadFile("ledger"); !errors.Is(err, ErrRollback) {
+		t.Fatalf("rollback undetected: %v", err)
+	}
+	bad, err := guard.VerifyAll()
+	if err != nil || len(bad) != 1 {
+		t.Fatalf("VerifyAll = %v, %v", bad, err)
+	}
+	// Remove clears the record.
+	if err := guard.Remove("ledger"); err != nil {
+		t.Fatal(err)
+	}
+	bad, err = guard.VerifyAll()
+	if err != nil || len(bad) != 0 {
+		t.Fatalf("VerifyAll after remove = %v, %v", bad, err)
+	}
+}
+
+func TestReplicateVolume(t *testing.T) {
+	// The §1 portability claim: an encrypted volume replicated by a
+	// key-less byte copier is fully usable at the destination.
+	src := NewMemStorage()
+	keys := mustKeys(t)
+	m, err := NewMount(src, keys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := map[string][]byte{
+		"a":     bytes.Repeat([]byte{1}, 300000),
+		"b":     bytes.Repeat([]byte{2}, 50),
+		"dir/c": bytes.Repeat([]byte{3}, 4096),
+		"empty": {},
+	}
+	for name, data := range payloads {
+		if err := m.WriteFile(name, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Replication needs no keys — it's a dumb byte copy.
+	dst := NewMemStorage()
+	n, err := Replicate(dst, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(payloads) {
+		t.Fatalf("replicated %d files, want %d", n, len(payloads))
+	}
+
+	// A mount at the destination reads everything, integrity intact.
+	m2, err := NewMount(dst, keys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range payloads {
+		got, err := m2.ReadFile(name)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("%s after replication: %v", name, err)
+		}
+		rep, err := m2.Check(name)
+		if err != nil || !rep.Clean() {
+			t.Fatalf("%s audit after replication: %+v, %v", name, rep, err)
+		}
+	}
+	// And the replica deduplicates against the original on a shared
+	// downstream store (byte-identical ciphertext).
+	rawA, _ := src.Open("a", 0)
+	rawB, _ := dst.Open("a", 0)
+	bufA := make([]byte, 4096)
+	bufB := make([]byte, 4096)
+	if err := readFull(rawA, bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := readFull(rawB, bufB); err != nil {
+		t.Fatal(err)
+	}
+	rawA.Close()
+	rawB.Close()
+	if !bytes.Equal(bufA, bufB) {
+		t.Fatalf("replica ciphertext differs from original")
+	}
+}
+
+func readFull(f File, p []byte) error {
+	n, err := f.ReadAt(p, 0)
+	if n == len(p) {
+		return nil
+	}
+	return err
+}
+
+func TestDupLESSKeySourceOption(t *testing.T) {
+	srv, err := dupless.NewServer(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go srv.Serve(ln) //nolint:errcheck
+
+	deriver, closeFn, err := NewDupLESSKeySource(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFn() //nolint:errcheck
+
+	store := NewMemStorage()
+	keys := mustKeys(t)
+	m, err := NewMount(store, keys, &Options{KeyDeriver: deriver})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0x6D}, 8*4096)
+	if err := m.WriteFile("f", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadFile("f")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("server-aided round trip: %v", err)
+	}
+
+	// Another mount with DIFFERENT inner/outer... the dedup domain is
+	// now the RSA server, so only the outer key must match to read.
+	deriver2, closeFn2, err := NewDupLESSKeySource(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFn2() //nolint:errcheck
+	m2, err := NewMount(store, keys, &Options{KeyDeriver: deriver2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.WriteFile("g", data); err != nil {
+		t.Fatal(err)
+	}
+	eng, _ := dedupe.NewEngine(4096)
+	rep, err := eng.Scan(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.UniqueBlocks != 3 { // converged data + 2 metadata
+		t.Fatalf("UniqueBlocks = %d, want 3", rep.UniqueBlocks)
+	}
+}

@@ -1,0 +1,133 @@
+// Package backend defines the storage interface that every file
+// system in this repository (LamassuFS, PlainFS, EncFS) writes
+// through, together with two concrete implementations:
+//
+//   - memfs.go: an in-memory backend standing in for the paper's local
+//     RAM disk (Linux tmpfs) used in Figures 8–10.
+//   - osfs.go: a backend over real operating-system files, used by the
+//     cmd/lamassu CLI.
+//
+// Further backends wrap these: internal/nfssim adds the NFS-over-GbE
+// latency model used for Figure 7, and internal/faultfs injects
+// crashes and torn writes for the §2.4 consistency experiments.
+//
+// The interface is deliberately small — positional reads and writes on
+// named flat files — because that is all the shim layer needs from its
+// backing store, and it keeps every simulated storage behaviour (block
+// dedup, latency, crash injection) composable.
+package backend
+
+import (
+	"errors"
+	"io"
+)
+
+// Common backend errors.
+var (
+	// ErrNotExist is returned when opening a file that does not exist
+	// without the create flag, or removing a missing file.
+	ErrNotExist = errors.New("backend: file does not exist")
+	// ErrClosed is returned for operations on a closed file or store.
+	ErrClosed = errors.New("backend: use of closed file")
+	// ErrReadOnly is returned by write operations on read-only opens.
+	ErrReadOnly = errors.New("backend: file opened read-only")
+)
+
+// File is a positional-I/O handle to one backing object.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	// Truncate resizes the file to size bytes, zero-filling on grow.
+	Truncate(size int64) error
+	// Size returns the current length in bytes.
+	Size() (int64, error)
+	// Sync flushes buffered state to stable storage. For simulated
+	// backends this is where write barriers are accounted.
+	Sync() error
+	// Close releases the handle. Closing twice returns ErrClosed.
+	Close() error
+}
+
+// OpenFlag controls Open behaviour.
+type OpenFlag int
+
+const (
+	// OpenRead opens an existing file read-only.
+	OpenRead OpenFlag = iota
+	// OpenWrite opens an existing file read-write.
+	OpenWrite
+	// OpenCreate opens read-write, creating the file if absent.
+	OpenCreate
+)
+
+// Store is a flat namespace of Files. Implementations must be safe for
+// concurrent use by multiple goroutines; individual Files must support
+// concurrent ReadAt and serialize writes internally.
+type Store interface {
+	// Open opens the named file according to flag.
+	Open(name string, flag OpenFlag) (File, error)
+	// Remove deletes the named file.
+	Remove(name string) error
+	// Rename atomically renames a file, replacing any existing target.
+	Rename(oldName, newName string) error
+	// List returns the names of all files in the store, sorted.
+	List() ([]string, error)
+	// Stat returns the size of the named file.
+	Stat(name string) (int64, error)
+}
+
+// errEOF is io.EOF under a local name so implementations read clearly.
+var errEOF = io.EOF
+
+// ReadFull reads exactly len(p) bytes at off, treating io.EOF inside
+// the requested range as an error. It tolerates short reads from
+// ReaderAt implementations.
+func ReadFull(f io.ReaderAt, p []byte, off int64) error {
+	n, err := f.ReadAt(p, off)
+	if n == len(p) {
+		return nil
+	}
+	if err == nil {
+		err = io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// WriteFile creates (or truncates) name in s and writes data to it.
+func WriteFile(s Store, name string, data []byte) error {
+	f, err := s.Open(name, OpenCreate)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Truncate(0); err != nil {
+		return err
+	}
+	if len(data) > 0 {
+		if _, err := f.WriteAt(data, 0); err != nil {
+			return err
+		}
+	}
+	return f.Sync()
+}
+
+// ReadFile reads the entire content of name from s.
+func ReadFile(s Store, name string) ([]byte, error) {
+	f, err := s.Open(name, OpenRead)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sz, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, sz)
+	if sz == 0 {
+		return buf, nil
+	}
+	if err := ReadFull(f, buf, 0); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

@@ -1,0 +1,242 @@
+package backend
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// OSStore is a Store over a directory of real operating-system files.
+// It is what the cmd/lamassu CLI uses as its backing store, playing
+// the role of the paper's NFS mount point on the host: the encrypted
+// backing files it holds can be copied, replicated or migrated with
+// ordinary tools, which is exactly the deployment property Lamassu's
+// embedded metadata buys.
+//
+// File names may contain '/' separators; they are mapped to
+// subdirectories beneath the root. Escaping the root (via "..", an
+// absolute path, or an empty element) is rejected.
+type OSStore struct {
+	root string
+
+	// mu serializes namespace operations (create/remove/rename); data
+	// I/O goes straight to the OS.
+	mu sync.Mutex
+}
+
+// NewOSStore creates (if needed) and opens a directory-backed store.
+func NewOSStore(root string) (*OSStore, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("osfs: creating root: %w", err)
+	}
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, fmt.Errorf("osfs: resolving root: %w", err)
+	}
+	return &OSStore{root: abs}, nil
+}
+
+// Root returns the absolute backing directory.
+func (s *OSStore) Root() string { return s.root }
+
+func (s *OSStore) path(name string) (string, error) {
+	if name == "" {
+		return "", fmt.Errorf("osfs: empty file name")
+	}
+	clean := filepath.Clean(filepath.FromSlash(name))
+	if filepath.IsAbs(clean) || clean == ".." || strings.HasPrefix(clean, ".."+string(filepath.Separator)) {
+		return "", fmt.Errorf("osfs: name %q escapes store root", name)
+	}
+	return filepath.Join(s.root, clean), nil
+}
+
+// Open implements Store.
+func (s *OSStore) Open(name string, flag OpenFlag) (File, error) {
+	p, err := s.path(name)
+	if err != nil {
+		return nil, err
+	}
+	var osFlag int
+	switch flag {
+	case OpenRead:
+		osFlag = os.O_RDONLY
+	case OpenWrite:
+		osFlag = os.O_RDWR
+	case OpenCreate:
+		osFlag = os.O_RDWR | os.O_CREATE
+	default:
+		return nil, fmt.Errorf("osfs: bad open flag %d", flag)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if flag == OpenCreate {
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			return nil, fmt.Errorf("osfs: creating parent: %w", err)
+		}
+	}
+	f, err := os.OpenFile(p, osFlag, 0o644)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("open %q: %w", name, ErrNotExist)
+		}
+		return nil, fmt.Errorf("osfs: open %q: %w", name, err)
+	}
+	return &osFile{f: f, readOnly: flag == OpenRead}, nil
+}
+
+// Remove implements Store.
+func (s *OSStore) Remove(name string) error {
+	p, err := s.path(name)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.Remove(p); err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("remove %q: %w", name, ErrNotExist)
+		}
+		return fmt.Errorf("osfs: remove %q: %w", name, err)
+	}
+	return nil
+}
+
+// Rename implements Store.
+func (s *OSStore) Rename(oldName, newName string) error {
+	po, err := s.path(oldName)
+	if err != nil {
+		return err
+	}
+	pn, err := s.path(newName)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.MkdirAll(filepath.Dir(pn), 0o755); err != nil {
+		return fmt.Errorf("osfs: creating parent: %w", err)
+	}
+	if err := os.Rename(po, pn); err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("rename %q: %w", oldName, ErrNotExist)
+		}
+		return fmt.Errorf("osfs: rename: %w", err)
+	}
+	return nil
+}
+
+// List implements Store.
+func (s *OSStore) List() ([]string, error) {
+	var names []string
+	err := filepath.Walk(s.root, func(p string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(s.root, p)
+		if err != nil {
+			return err
+		}
+		names = append(names, filepath.ToSlash(rel))
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("osfs: list: %w", err)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Stat implements Store.
+func (s *OSStore) Stat(name string) (int64, error) {
+	p, err := s.path(name)
+	if err != nil {
+		return 0, err
+	}
+	info, err := os.Stat(p)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, fmt.Errorf("stat %q: %w", name, ErrNotExist)
+		}
+		return 0, fmt.Errorf("osfs: stat %q: %w", name, err)
+	}
+	return info.Size(), nil
+}
+
+type osFile struct {
+	f        *os.File
+	readOnly bool
+
+	mu     sync.Mutex
+	closed bool
+}
+
+func (f *osFile) checkOpen() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+func (f *osFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := f.checkOpen(); err != nil {
+		return 0, err
+	}
+	return f.f.ReadAt(p, off)
+}
+
+func (f *osFile) WriteAt(p []byte, off int64) (int, error) {
+	if err := f.checkOpen(); err != nil {
+		return 0, err
+	}
+	if f.readOnly {
+		return 0, ErrReadOnly
+	}
+	return f.f.WriteAt(p, off)
+}
+
+func (f *osFile) Truncate(size int64) error {
+	if err := f.checkOpen(); err != nil {
+		return err
+	}
+	if f.readOnly {
+		return ErrReadOnly
+	}
+	return f.f.Truncate(size)
+}
+
+func (f *osFile) Size() (int64, error) {
+	if err := f.checkOpen(); err != nil {
+		return 0, err
+	}
+	info, err := f.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+func (f *osFile) Sync() error {
+	if err := f.checkOpen(); err != nil {
+		return err
+	}
+	return f.f.Sync()
+}
+
+func (f *osFile) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	f.closed = true
+	return f.f.Close()
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"lamassu/internal/backend"
+	"lamassu/internal/vfs"
+)
+
+// An FS instance is shared by many goroutines, each working on its
+// own file — the multi-client shape of the paper's deployment (many
+// applications over one mount). Handles are per-file, so the only
+// shared state is the FS config and the backing store.
+func TestConcurrentFilesOneFS(t *testing.T) {
+	store := backend.NewMemStore()
+	lfs := newFS(t, store, testConfig())
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("file-%d", w)
+			rng := rand.New(rand.NewSource(int64(w)))
+			data := make([]byte, 150*4096+w*17)
+			rng.Read(data)
+			if err := vfs.WriteAll(lfs, name, data); err != nil {
+				errs <- fmt.Errorf("%s write: %w", name, err)
+				return
+			}
+			got, err := vfs.ReadAll(lfs, name)
+			if err != nil {
+				errs <- fmt.Errorf("%s read: %w", name, err)
+				return
+			}
+			if !bytes.Equal(got, data) {
+				errs <- fmt.Errorf("%s: content diverged", name)
+				return
+			}
+			rep, err := lfs.Check(name)
+			if err != nil || !rep.Clean() {
+				errs <- fmt.Errorf("%s audit: %+v %v", name, rep, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	names, err := lfs.List()
+	if err != nil || len(names) != workers {
+		t.Fatalf("List = %v, %v", names, err)
+	}
+}
+
+// Concurrent readers of one file through independent read-only
+// handles.
+func TestConcurrentReaders(t *testing.T) {
+	store := backend.NewMemStore()
+	lfs := newFS(t, store, testConfig())
+	data := make([]byte, 130*4096)
+	rand.New(rand.NewSource(9)).Read(data)
+	if err := vfs.WriteAll(lfs, "shared", data); err != nil {
+		t.Fatal(err)
+	}
+
+	const readers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			f, err := lfs.Open("shared")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer f.Close()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			buf := make([]byte, 4096)
+			for i := 0; i < 200; i++ {
+				off := rng.Int63n(int64(len(data) - 4096))
+				if _, err := f.ReadAt(buf, off); err != nil {
+					errs <- fmt.Errorf("reader %d: %w", r, err)
+					return
+				}
+				if !bytes.Equal(buf, data[off:off+4096]) {
+					errs <- fmt.Errorf("reader %d: bad data at %d", r, off)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,442 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"lamassu/internal/backend"
+	"lamassu/internal/faultfs"
+	"lamassu/internal/layout"
+	"lamassu/internal/vfs"
+)
+
+// writeWorkload applies a deterministic overwrite workload to a file
+// that already contains oldData, returning the intended new content.
+// It drives the multiphase commit across several segments.
+func writeWorkload(f vfs.File, oldData []byte, seed int64) ([]byte, error) {
+	want := append([]byte(nil), oldData...)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 30; i++ {
+		off := rng.Intn(len(want) - 4096)
+		n := rng.Intn(3*4096) + 100
+		if off+n > len(want) {
+			n = len(want) - off
+		}
+		chunk := make([]byte, n)
+		rng.Read(chunk)
+		if _, err := f.WriteAt(chunk, int64(off)); err != nil {
+			return want, err
+		}
+		copy(want[off:off+n], chunk)
+	}
+	if err := f.Sync(); err != nil {
+		return want, err
+	}
+	return want, nil
+}
+
+// blockHistories replays the workload against a shadow buffer and
+// records, per block, every value the block ever legitimately held
+// (the initial content plus the state after each application write).
+// Because writes are buffered and batched, a crash may surface any of
+// these intermediate states — but never anything else.
+func blockHistories(oldData []byte, seed int64, blockSize int) []map[string]bool {
+	nBlocks := (len(oldData) + blockSize - 1) / blockSize
+	hist := make([]map[string]bool, nBlocks)
+	shadow := append([]byte(nil), oldData...)
+	snap := func(b int) {
+		lo, hi := b*blockSize, (b+1)*blockSize
+		if hi > len(shadow) {
+			hi = len(shadow)
+		}
+		if hist[b] == nil {
+			hist[b] = make(map[string]bool)
+		}
+		hist[b][string(shadow[lo:hi])] = true
+	}
+	for b := 0; b < nBlocks; b++ {
+		snap(b)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 30; i++ {
+		off := rng.Intn(len(shadow) - 4096)
+		n := rng.Intn(3*4096) + 100
+		if off+n > len(shadow) {
+			n = len(shadow) - off
+		}
+		chunk := make([]byte, n)
+		rng.Read(chunk)
+		copy(shadow[off:off+n], chunk)
+		for b := off / blockSize; b <= (off+n-1)/blockSize; b++ {
+			snap(b)
+		}
+	}
+	return hist
+}
+
+// TestCrashSweepEveryWritePoint is the central §2.4 validation: run
+// the same workload repeatedly, crashing the store after the 1st, 2nd,
+// 3rd, ... backend write; after each crash, run recovery and verify
+// that every block of the file decrypts and hash-verifies, and that
+// each block holds one of the states the write sequence legitimately
+// produced (per-block atomicity — the guarantee the multiphase commit
+// provides).
+func TestCrashSweepEveryWritePoint(t *testing.T) {
+	geo, err := layout.NewGeometry(512, 4) // small blocks: many I/Os, fast
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Inner: testKey(1), Outer: testKey(2), Geometry: geo}
+
+	// First, a dry run to count the total number of backend writes.
+	oldData := make([]byte, 40*1024)
+	rand.New(rand.NewSource(99)).Read(oldData)
+
+	countStore := faultfs.New(backend.NewMemStore())
+	fsCount, err := New(countStore, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteAll(fsCount, "f", oldData); err != nil {
+		t.Fatal(err)
+	}
+	countStore.ResetWriteCount()
+	f, err := fsCount.OpenRW("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writeWorkload(f, oldData, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	totalWrites := countStore.WriteCount()
+	if totalWrites < 20 {
+		t.Fatalf("workload issued only %d writes; widen it", totalWrites)
+	}
+	hist := blockHistories(oldData, 7, geo.BlockSize)
+
+	for _, mode := range []faultfs.Mode{faultfs.ModeCrashAfter, faultfs.ModeCrashBefore} {
+		for crashAt := int64(1); crashAt <= totalWrites; crashAt++ {
+			mem := backend.NewMemStore()
+			fstore := faultfs.New(mem)
+			lfs, err := New(fstore, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := vfs.WriteAll(lfs, "f", oldData); err != nil {
+				t.Fatal(err)
+			}
+
+			fstore.Arm(mode, crashAt, 0)
+			fw, err := lfs.OpenRW("f")
+			if err != nil {
+				t.Fatalf("crashAt=%d: open: %v", crashAt, err)
+			}
+			_, werr := writeWorkload(fw, oldData, 7)
+			_ = fw.Close() // post-crash close errors are expected
+			if werr == nil && fstore.Crashed() {
+				t.Fatalf("crashAt=%d: workload succeeded despite crash", crashAt)
+			}
+			fstore.Disarm()
+
+			// "Reboot": recover, then audit.
+			if _, err := lfs.Recover("f"); err != nil {
+				t.Fatalf("mode=%v crashAt=%d: recovery failed: %v", mode, crashAt, err)
+			}
+			rep, err := lfs.Check("f")
+			if err != nil {
+				t.Fatalf("mode=%v crashAt=%d: check: %v", mode, crashAt, err)
+			}
+			if !rep.Clean() {
+				t.Fatalf("mode=%v crashAt=%d: post-recovery audit dirty: %+v", mode, crashAt, rep)
+			}
+
+			// Every block must hold one of its legitimate states.
+			got, err := vfs.ReadAll(lfs, "f")
+			if err != nil {
+				t.Fatalf("mode=%v crashAt=%d: read after recovery: %v", mode, crashAt, err)
+			}
+			if len(got) != len(oldData) {
+				t.Fatalf("mode=%v crashAt=%d: size changed: %d", mode, crashAt, len(got))
+			}
+			bs := geo.BlockSize
+			for b := 0; b*bs < len(got); b++ {
+				lo, hi := b*bs, (b+1)*bs
+				if hi > len(got) {
+					hi = len(got)
+				}
+				if !hist[b][string(got[lo:hi])] {
+					t.Fatalf("mode=%v crashAt=%d: block %d holds a state the workload never produced",
+						mode, crashAt, b)
+				}
+			}
+		}
+	}
+}
+
+// A crash exactly between phase 1 and phase 2 leaves the old data on
+// disk with the new key staged; the transient key must still decrypt
+// it transparently on the read path, before any recovery runs.
+func TestReadThroughMidUpdateSegment(t *testing.T) {
+	geo := layout.Default()
+	cfg := Config{Inner: testKey(1), Outer: testKey(2), Geometry: geo}
+	mem := backend.NewMemStore()
+	fstore := faultfs.New(mem)
+	lfs, err := New(fstore, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldData := bytes.Repeat([]byte{0x11}, 16*4096)
+	if err := vfs.WriteAll(lfs, "f", oldData); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash after exactly one write: commit phase 1 (the metadata
+	// write) lands, the data write does not.
+	fstore.Arm(faultfs.ModeCrashAfter, 1, 0)
+	f, err := lfs.OpenRW("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	patch := bytes.Repeat([]byte{0x22}, 4096)
+	_, _ = f.WriteAt(patch, 0)
+	_ = f.Sync() // triggers the commit; phase 2 write fails
+	_ = f.Close()
+	fstore.Disarm()
+
+	// Without recovery, reads must fall back to the transient key.
+	got, err := vfs.ReadAll(lfs, "f")
+	if err != nil {
+		t.Fatalf("read through midupdate segment: %v", err)
+	}
+	if !bytes.Equal(got, oldData) {
+		t.Fatalf("midupdate fallback returned wrong data")
+	}
+
+	// The segment is flagged; Check must report it.
+	rep, err := lfs.Check("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MidUpdate != 1 {
+		t.Fatalf("MidUpdate = %d, want 1", rep.MidUpdate)
+	}
+
+	// Recovery repairs it and the flag clears.
+	st, err := lfs.Recover("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Repaired != 1 {
+		t.Fatalf("Repaired = %d, want 1", st.Repaired)
+	}
+	rep, err = lfs.Check("f")
+	if err != nil || !rep.Clean() {
+		t.Fatalf("post-recovery: %+v, %v", rep, err)
+	}
+	got, err = vfs.ReadAll(lfs, "f")
+	if err != nil || !bytes.Equal(got, oldData) {
+		t.Fatalf("post-recovery content wrong: %v", err)
+	}
+}
+
+// Writing to a segment that is still midupdate from a previous crash
+// first recovers it, so the transient slots are never clobbered while
+// they still carry recovery state.
+func TestWriteToMidUpdateSegmentRecoversFirst(t *testing.T) {
+	geo := layout.Default()
+	cfg := Config{Inner: testKey(1), Outer: testKey(2), Geometry: geo}
+	mem := backend.NewMemStore()
+	fstore := faultfs.New(mem)
+	lfs, err := New(fstore, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldData := bytes.Repeat([]byte{0x33}, 20*4096)
+	if err := vfs.WriteAll(lfs, "f", oldData); err != nil {
+		t.Fatal(err)
+	}
+	fstore.Arm(faultfs.ModeCrashAfter, 1, 0)
+	f, _ := lfs.OpenRW("f")
+	_, _ = f.WriteAt(bytes.Repeat([]byte{0x44}, 4096), 0)
+	_ = f.Sync()
+	_ = f.Close()
+	fstore.Disarm()
+
+	// No explicit recovery: just write again through a fresh handle.
+	f2, err := lfs.OpenRW("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	patch := bytes.Repeat([]byte{0x55}, 4096)
+	if _, err := f2.WriteAt(patch, 8192); err != nil {
+		t.Fatalf("write to crashed segment: %v", err)
+	}
+	if err := f2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := append([]byte(nil), oldData...)
+	copy(want[8192:], patch)
+	got, err := vfs.ReadAll(lfs, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("content after implicit recovery wrong")
+	}
+	rep, err := lfs.Check("f")
+	if err != nil || !rep.Clean() {
+		t.Fatalf("audit after implicit recovery: %+v, %v", rep, err)
+	}
+}
+
+// A torn (sub-block) data write is outside the consistency guarantee
+// (§2.4: "our method does not provide any mechanism for handling a
+// partial-block write failure") — but it must be *detected*, not
+// silently returned.
+func TestTornDataWriteDetectedNotRepaired(t *testing.T) {
+	geo := layout.Default()
+	cfg := Config{Inner: testKey(1), Outer: testKey(2), Geometry: geo}
+	mem := backend.NewMemStore()
+	fstore := faultfs.New(mem)
+	lfs, err := New(fstore, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldData := bytes.Repeat([]byte{0x66}, 8*4096)
+	if err := vfs.WriteAll(lfs, "f", oldData); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the 2nd write of the commit (the data block): phase 1 meta
+	// lands, the data block is half old, half new.
+	fstore.Arm(faultfs.ModeTorn, 2, 0.5)
+	f, _ := lfs.OpenRW("f")
+	_, _ = f.WriteAt(bytes.Repeat([]byte{0x77}, 4096), 0)
+	_ = f.Sync()
+	_ = f.Close()
+	fstore.Disarm()
+
+	// Reads of the torn block fail the integrity check.
+	fr, err := lfs.Open("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	if _, err := fr.ReadAt(buf, 0); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("torn block read: %v, want ErrIntegrity", err)
+	}
+	// Other blocks remain readable.
+	if _, err := fr.ReadAt(buf, 4096); err != nil && !errors.Is(err, io.EOF) {
+		t.Fatalf("adjacent block unreadable: %v", err)
+	}
+	fr.Close()
+
+	// Recovery reports the segment as unrecoverable.
+	if _, err := lfs.Recover("f"); !errors.Is(err, ErrUnrecoverable) {
+		t.Fatalf("recovery of torn write: %v, want ErrUnrecoverable", err)
+	}
+	if !IsUnrecoverable(ErrUnrecoverable) {
+		t.Fatalf("IsUnrecoverable helper broken")
+	}
+}
+
+// Crash while appending brand-new blocks (old key = hole): recovery
+// restores the hole so the file reads consistently at its old size.
+func TestCrashDuringAppend(t *testing.T) {
+	geo := layout.Default()
+	cfg := Config{Inner: testKey(1), Outer: testKey(2), Geometry: geo}
+	for crashAt := int64(1); crashAt <= 3; crashAt++ {
+		mem := backend.NewMemStore()
+		fstore := faultfs.New(mem)
+		lfs, err := New(fstore, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oldData := bytes.Repeat([]byte{0x88}, 4*4096)
+		if err := vfs.WriteAll(lfs, "f", oldData); err != nil {
+			t.Fatal(err)
+		}
+
+		fstore.Arm(faultfs.ModeCrashAfter, crashAt, 0)
+		f, _ := lfs.OpenRW("f")
+		_, _ = f.WriteAt(bytes.Repeat([]byte{0x99}, 2*4096), int64(len(oldData)))
+		_ = f.Sync()
+		_ = f.Close()
+		fstore.Disarm()
+
+		if _, err := lfs.Recover("f"); err != nil {
+			t.Fatalf("crashAt=%d: recover: %v", crashAt, err)
+		}
+		rep, err := lfs.Check("f")
+		if err != nil || !rep.Clean() {
+			t.Fatalf("crashAt=%d: audit: %+v, %v", crashAt, rep, err)
+		}
+		got, err := vfs.ReadAll(lfs, "f")
+		if err != nil {
+			t.Fatalf("crashAt=%d: read: %v", crashAt, err)
+		}
+		// The old prefix must be intact; the size is either old or
+		// new depending on whether the final meta write landed.
+		if !bytes.Equal(got[:len(oldData)], oldData) {
+			t.Fatalf("crashAt=%d: old data damaged", crashAt)
+		}
+		if len(got) != len(oldData) && len(got) != len(oldData)+2*4096 {
+			t.Fatalf("crashAt=%d: unexpected size %d", crashAt, len(got))
+		}
+		// Any appended region reads as either the new data or zeros.
+		for i := len(oldData); i < len(got); i++ {
+			if got[i] != 0x99 && got[i] != 0 {
+				t.Fatalf("crashAt=%d: appended byte %d = %#x", crashAt, i, got[i])
+			}
+		}
+	}
+}
+
+// Recovery is idempotent: running it on a clean file changes nothing.
+func TestRecoverCleanFileIsNoOp(t *testing.T) {
+	store := backend.NewMemStore()
+	lfs, err := New(store, Config{Inner: testKey(1), Outer: testKey(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0xAB}, 130*4096)
+	if err := vfs.WriteAll(lfs, "f", data); err != nil {
+		t.Fatal(err)
+	}
+	before, err := backend.ReadFile(store, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := lfs.Recover("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Repaired != 0 || st.Segments != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	after, err := backend.ReadFile(store, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatalf("recovery of clean file modified it")
+	}
+	// Recovering an empty file is fine too.
+	if err := vfs.WriteAll(lfs, "empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lfs.Recover("empty"); err != nil {
+		t.Fatal(err)
+	}
+	// Recovering a missing file reports ErrNotExist.
+	if _, err := lfs.Recover("missing"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("Recover(missing) = %v", err)
+	}
+}

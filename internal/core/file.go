@@ -1,0 +1,404 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"lamassu/internal/backend"
+	"lamassu/internal/cryptoutil"
+	"lamassu/internal/layout"
+	"lamassu/internal/metrics"
+	"lamassu/internal/vfs"
+)
+
+// file is an open Lamassu file handle. All operations are serialized
+// by mu; the handle assumes it is the only concurrent writer of the
+// underlying object (single-mount semantics, as in the FUSE
+// prototype).
+type file struct {
+	fs       *FS
+	bf       backend.File
+	readOnly bool
+
+	mu sync.Mutex
+	// size is the logical file size including pending (uncommitted)
+	// writes.
+	size int64
+	// sizeDirty records that size has changed since the last time the
+	// final metadata block was written.
+	sizeDirty bool
+	// metas caches decoded metadata blocks by segment index.
+	metas map[int64]*layout.MetaBlock
+	// pending buffers plaintext block writes per segment:
+	// segment -> stable slot -> full plaintext block.
+	pending map[int64]map[int][]byte
+	closed  bool
+}
+
+// newFile opens a handle and loads the authoritative size.
+func (fs *FS) newFile(bf backend.File, readOnly bool) (*file, error) {
+	size, err := fs.logicalSize(bf)
+	if err != nil {
+		return nil, err
+	}
+	return &file{
+		fs:       fs,
+		bf:       bf,
+		readOnly: readOnly,
+		size:     size,
+		metas:    make(map[int64]*layout.MetaBlock),
+		pending:  make(map[int64]map[int][]byte),
+	}, nil
+}
+
+// Size implements vfs.File.
+func (f *file) Size() (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, backend.ErrClosed
+	}
+	return f.size, nil
+}
+
+// ReadAt implements vfs.File.
+func (f *file) ReadAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, backend.ErrClosed
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("lamassu: negative offset %d", off)
+	}
+	f.fs.cfg.Recorder.CountOp()
+	if off >= f.size {
+		return 0, io.EOF
+	}
+	n := len(p)
+	var atEOF bool
+	if off+int64(n) > f.size {
+		n = int(f.size - off)
+		atEOF = true
+	}
+	bs := f.fs.geo.BlockSize
+	block := make([]byte, bs)
+	for _, sp := range vfs.Spans(off, n, bs) {
+		if err := f.readBlock(sp.Index, block); err != nil {
+			return sp.BufOff, err
+		}
+		copy(p[sp.BufOff:sp.BufOff+sp.Len], block[sp.Start:sp.Start+sp.Len])
+	}
+	if atEOF {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// readBlock places the full plaintext of logical data block dbi into
+// dst (len == BlockSize). Pending writes are visible; unwritten
+// (hole) blocks read as zeros.
+func (f *file) readBlock(dbi int64, dst []byte) error {
+	geo := f.fs.geo
+	seg := geo.SegmentOfBlock(dbi)
+	slot := geo.SlotOfBlock(dbi)
+
+	if segPending, ok := f.pending[seg]; ok {
+		if plain, ok := segPending[slot]; ok {
+			copy(dst, plain)
+			return nil
+		}
+	}
+
+	meta, err := f.meta(seg)
+	if err != nil {
+		return err
+	}
+	key := meta.StableKey(slot)
+	if key.IsZero() {
+		zero(dst)
+		return nil
+	}
+
+	ct := make([]byte, geo.BlockSize)
+	t := f.fs.cfg.Recorder.Start()
+	err = backend.ReadFull(f.bf, ct, geo.DataBlockOffset(dbi))
+	f.fs.cfg.Recorder.Stop(metrics.IO, t)
+	if err != nil {
+		return fmt.Errorf("lamassu: reading data block %d: %w", dbi, err)
+	}
+	if err := f.fs.decryptBlock(dst, ct, key); err != nil {
+		return err
+	}
+
+	// Integrity checking (§2.5). Under IntegrityFull every block is
+	// verified; under meta-only we still verify when the segment is
+	// mid-update (a crashed commit), because the stored stable key may
+	// legitimately not match and the transient keys must be tried.
+	needVerify := f.fs.cfg.Integrity == IntegrityFull || meta.MidUpdate()
+	if !needVerify {
+		return nil
+	}
+	if f.fs.verifyBlock(dst, key) {
+		return nil
+	}
+	if meta.MidUpdate() {
+		// Interrupted commit: the old key for this block is among the
+		// transient slots (§2.4). Identify it by the hash check.
+		for r := 0; r < int(meta.NTransient); r++ {
+			old := meta.TransientKey(r)
+			if old.IsZero() {
+				// Block was a hole before the interrupted update.
+				continue
+			}
+			if err := f.fs.decryptBlock(dst, ct, old); err != nil {
+				return err
+			}
+			if f.fs.verifyBlock(dst, old) {
+				return nil
+			}
+		}
+		// A pre-update hole whose new data write never landed reads
+		// back as the zero block under hole semantics.
+		if allZero(ct) {
+			zero(dst)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: block %d", ErrIntegrity, dbi)
+}
+
+// WriteAt implements vfs.File.
+func (f *file) WriteAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, backend.ErrClosed
+	}
+	if f.readOnly {
+		return 0, ErrReadOnly
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("lamassu: negative offset %d", off)
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	f.fs.cfg.Recorder.CountOp()
+
+	geo := f.fs.geo
+	bs := geo.BlockSize
+	for _, sp := range vfs.Spans(off, len(p), bs) {
+		seg := geo.SegmentOfBlock(sp.Index)
+		slot := geo.SlotOfBlock(sp.Index)
+		buf, err := f.pendingBlock(seg, slot, sp.Index, sp.Full(bs))
+		if err != nil {
+			return sp.BufOff, err
+		}
+		copy(buf[sp.Start:sp.Start+sp.Len], p[sp.BufOff:sp.BufOff+sp.Len])
+		if end := off + int64(sp.BufOff+sp.Len); end > f.size {
+			f.size = end
+			f.sizeDirty = true
+		}
+		if err := f.maybeCommit(seg); err != nil {
+			return sp.BufOff, err
+		}
+	}
+	return len(p), nil
+}
+
+// pendingBlock returns the mutable plaintext buffer for (seg, slot),
+// creating it from the current on-disk contents when needed. When the
+// caller will overwrite the entire block (full == true) the old
+// contents need not be read — this is what keeps full-block writes
+// one-pass, as in the paper's prototype.
+func (f *file) pendingBlock(seg int64, slot int, dbi int64, full bool) ([]byte, error) {
+	segPending := f.pending[seg]
+	if segPending == nil {
+		segPending = make(map[int][]byte)
+		f.pending[seg] = segPending
+	}
+	if buf, ok := segPending[slot]; ok {
+		return buf, nil
+	}
+	buf := make([]byte, f.fs.geo.BlockSize)
+	if !full && f.blockMayExist(dbi) {
+		if err := f.readBlock(dbi, buf); err != nil {
+			return nil, err
+		}
+	}
+	segPending[slot] = buf
+	return buf, nil
+}
+
+// blockMayExist reports whether logical data block dbi lies within the
+// current logical size (and therefore may hold data that a partial
+// write must preserve).
+func (f *file) blockMayExist(dbi int64) bool {
+	return dbi < f.fs.geo.NumDataBlocks(f.size)
+}
+
+// maybeCommit flushes a segment once its pending count reaches R, the
+// paper's batching policy: a commit occurs once for every R block
+// writes (§2.4).
+func (f *file) maybeCommit(seg int64) error {
+	if len(f.pending[seg]) >= f.fs.geo.Reserved {
+		return f.commitSegment(seg)
+	}
+	return nil
+}
+
+// Truncate implements vfs.File.
+func (f *file) Truncate(newSize int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return backend.ErrClosed
+	}
+	if f.readOnly {
+		return ErrReadOnly
+	}
+	if newSize < 0 {
+		return fmt.Errorf("lamassu: negative size %d", newSize)
+	}
+	if newSize == f.size {
+		return nil
+	}
+	if newSize < f.size {
+		return f.shrink(newSize)
+	}
+	return f.grow(newSize)
+}
+
+// shrink truncates the file to newSize < size.
+func (f *file) shrink(newSize int64) error {
+	geo := f.fs.geo
+	bs := int64(geo.BlockSize)
+	newNDB := geo.NumDataBlocks(newSize)
+
+	// Drop pending blocks at or beyond the new end.
+	for seg, segPending := range f.pending {
+		for slot := range segPending {
+			dbi := seg*int64(geo.KeysPerSegment()) + int64(slot)
+			if dbi >= newNDB {
+				delete(segPending, slot)
+			}
+		}
+		if len(segPending) == 0 {
+			delete(f.pending, seg)
+		}
+	}
+
+	// Zero the dropped tail of a now-partial final block so a later
+	// grow reads zeros there (pad-with-zeros semantics, §2.3).
+	if tail := newSize % bs; tail != 0 {
+		dbi := newNDB - 1
+		seg := geo.SegmentOfBlock(dbi)
+		slot := geo.SlotOfBlock(dbi)
+		buf, err := f.pendingBlock(seg, slot, dbi, false)
+		if err != nil {
+			return err
+		}
+		zero(buf[tail:])
+	}
+
+	f.size = newSize
+	f.sizeDirty = true
+
+	// Flush pending state, then cut metadata beyond the new end.
+	if err := f.commitAll(); err != nil {
+		return err
+	}
+	if newSize == 0 {
+		f.metas = make(map[int64]*layout.MetaBlock)
+		t := f.fs.cfg.Recorder.Start()
+		err := f.bf.Truncate(0)
+		f.fs.cfg.Recorder.Stop(metrics.IO, t)
+		return err
+	}
+
+	// Clear stable keys past the new final block in the final
+	// segment, then drop whole segments beyond it.
+	lastSeg := geo.SegmentOfBlock(newNDB - 1)
+	meta, err := f.meta(lastSeg)
+	if err != nil {
+		return err
+	}
+	lastSlot := geo.SlotOfBlock(newNDB - 1)
+	for s := lastSlot + 1; s < geo.KeysPerSegment(); s++ {
+		if !meta.StableKey(s).IsZero() {
+			meta.SetStableKey(s, cryptoutil.Key{})
+		}
+	}
+	meta.LogicalSize = uint64(newSize)
+	if err := f.fs.writeMeta(f.bf, meta); err != nil {
+		return err
+	}
+	f.sizeDirty = false
+	for seg := range f.metas {
+		if seg > lastSeg {
+			delete(f.metas, seg)
+		}
+	}
+	t := f.fs.cfg.Recorder.Start()
+	err = f.bf.Truncate(geo.PhysicalSize(newSize))
+	f.fs.cfg.Recorder.Stop(metrics.IO, t)
+	return err
+}
+
+// grow extends the file to newSize > size. The extended range is a
+// hole (zero-key slots); only the final metadata block is written so
+// the authoritative size is durable.
+func (f *file) grow(newSize int64) error {
+	f.size = newSize
+	f.sizeDirty = true
+	// commitAll persists the final metadata block with the new size
+	// and extends the backing file to the new physical size; the
+	// extended range is a hole of zero-key slots.
+	return f.commitAll()
+}
+
+// Sync implements vfs.File: commits all pending segments, persists the
+// authoritative size, and syncs the backing store.
+func (f *file) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return backend.ErrClosed
+	}
+	if f.readOnly {
+		return nil
+	}
+	if err := f.commitAll(); err != nil {
+		return err
+	}
+	t := f.fs.cfg.Recorder.Start()
+	err := f.bf.Sync()
+	f.fs.cfg.Recorder.Stop(metrics.IO, t)
+	return err
+}
+
+// Close implements vfs.File.
+func (f *file) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return backend.ErrClosed
+	}
+	var err error
+	if !f.readOnly {
+		err = f.commitAll()
+	}
+	f.closed = true
+	if cerr := f.bf.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func zero(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lamassu/internal/backend"
+	"lamassu/internal/layout"
+	"lamassu/internal/vfs"
+)
+
+// Property: the ciphertext data block for a given plaintext block is a
+// pure function of (plaintext, inner key) — independent of the file it
+// lives in, its offset, when it was written, or the outer key. This is
+// THE property deduplication rests on.
+func TestQuickCiphertextIsPureFunctionOfContent(t *testing.T) {
+	geo := layout.Default()
+	f := func(content []byte, blockA, blockB uint8, outerSel bool) bool {
+		block := make([]byte, 4096)
+		copy(block, content)
+
+		// File 1: block at position blockA (within segment 0).
+		storeA := backend.NewMemStore()
+		outerA := testKey(2)
+		if outerSel {
+			outerA = testKey(4)
+		}
+		fsA, err := New(storeA, Config{Inner: testKey(1), Outer: outerA, Geometry: geo})
+		if err != nil {
+			return false
+		}
+		posA := int64(blockA%118) * 4096
+		fa, err := fsA.Create("a")
+		if err != nil {
+			return false
+		}
+		if _, err := fa.WriteAt(block, posA); err != nil {
+			return false
+		}
+		if err := fa.Close(); err != nil {
+			return false
+		}
+
+		// File 2: same block at a different position in another store
+		// under a different outer key.
+		storeB := backend.NewMemStore()
+		fsB, err := New(storeB, Config{Inner: testKey(1), Outer: testKey(3), Geometry: geo})
+		if err != nil {
+			return false
+		}
+		posB := int64(blockB%118) * 4096
+		fb, err := fsB.Create("b")
+		if err != nil {
+			return false
+		}
+		if _, err := fb.WriteAt(block, posB); err != nil {
+			return false
+		}
+		if err := fb.Close(); err != nil {
+			return false
+		}
+
+		rawA, err := backend.ReadFile(storeA, "a")
+		if err != nil {
+			return false
+		}
+		rawB, err := backend.ReadFile(storeB, "b")
+		if err != nil {
+			return false
+		}
+		offA := geo.DataBlockOffset(int64(blockA % 118))
+		offB := geo.DataBlockOffset(int64(blockB % 118))
+		return bytes.Equal(rawA[offA:offA+4096], rawB[offB:offB+4096])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a random sequence of writes and truncates through the
+// engine always matches a plain in-memory shadow, at every geometry.
+func TestQuickRandomOpsMatchShadow(t *testing.T) {
+	geos := []layout.Geometry{
+		{BlockSize: 512, Reserved: 1},
+		{BlockSize: 512, Reserved: 7},
+		{BlockSize: 4096, Reserved: 8},
+	}
+	for _, geo := range geos {
+		geo := geo
+		f := func(seed int64) bool {
+			cfg := testConfig()
+			cfg.Geometry = geo
+			fs, err := New(backend.NewMemStore(), cfg)
+			if err != nil {
+				return false
+			}
+			fh, err := fs.Create("q")
+			if err != nil {
+				return false
+			}
+			defer fh.Close()
+			rng := rand.New(rand.NewSource(seed))
+			const maxSize = 1 << 16
+			shadow := []byte{}
+			for op := 0; op < 40; op++ {
+				if rng.Intn(5) == 0 {
+					n := rng.Intn(maxSize)
+					if err := fh.Truncate(int64(n)); err != nil {
+						return false
+					}
+					if n <= len(shadow) {
+						shadow = shadow[:n]
+					} else {
+						shadow = append(shadow, make([]byte, n-len(shadow))...)
+					}
+				} else {
+					off := rng.Intn(maxSize / 2)
+					n := rng.Intn(2*geo.BlockSize) + 1
+					chunk := make([]byte, n)
+					rng.Read(chunk)
+					if _, err := fh.WriteAt(chunk, int64(off)); err != nil {
+						return false
+					}
+					if off+n > len(shadow) {
+						shadow = append(shadow, make([]byte, off+n-len(shadow))...)
+					}
+					copy(shadow[off:off+n], chunk)
+				}
+			}
+			if err := fh.Sync(); err != nil {
+				return false
+			}
+			sz, err := fh.Size()
+			if err != nil || sz != int64(len(shadow)) {
+				return false
+			}
+			if sz == 0 {
+				return true
+			}
+			got := make([]byte, sz)
+			if _, err := fh.ReadAt(got, 0); err != nil && !errors.Is(err, io.EOF) {
+				return false
+			}
+			return bytes.Equal(got, shadow)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+			t.Fatalf("geometry %+v: %v", geo, err)
+		}
+	}
+}
+
+// Property: the physical size of any file equals Equation (6) exactly
+// after sync, for arbitrary logical sizes.
+func TestQuickPhysicalSizeEquation(t *testing.T) {
+	store := backend.NewMemStore()
+	cfg := testConfig()
+	cfg.Geometry, _ = layout.NewGeometry(512, 3)
+	fs, err := New(store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(sz uint32) bool {
+		n := int64(sz % (1 << 18))
+		if err := vfs.WriteAll(fs, "f", make([]byte, n)); err != nil {
+			return false
+		}
+		phys, err := store.Stat("f")
+		if err != nil {
+			return false
+		}
+		return phys == cfg.Geometry.PhysicalSize(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Check() is clean after any random workload + sync, and
+// the audit's block count matches Equation (4).
+func TestQuickAuditAlwaysCleanAfterSync(t *testing.T) {
+	f := func(seed int64, szSel uint16) bool {
+		cfg := testConfig()
+		cfg.Geometry = layout.Default()
+		fs, err := New(backend.NewMemStore(), cfg)
+		if err != nil {
+			return false
+		}
+		n := int64(szSel)%(1<<18) + 1
+		data := make([]byte, n)
+		rand.New(rand.NewSource(seed)).Read(data)
+		if err := vfs.WriteAll(fs, "f", data); err != nil {
+			return false
+		}
+		rep, err := fs.Check("f")
+		if err != nil || !rep.Clean() {
+			return false
+		}
+		return rep.DataBlocks == cfg.Geometry.NumDataBlocks(n) && rep.LogicalSize == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,286 @@
+// Package cryptoutil implements the cryptographic primitives Lamassu
+// is built from (paper §2.2):
+//
+//   - SHA-256 block hashing (H).
+//   - The convergent key-derivation function
+//     CEKey = E_AES256(Kin, H(Block)) — the 32-byte hash is enciphered
+//     with AES-256-ECB under the secret inner key. This is a
+//     deterministic KDF: equal plaintext blocks under the same inner
+//     key always derive the same convergent key, and without Kin an
+//     attacker cannot derive keys even from guessed plaintext
+//     (the paper's defence against the chosen-plaintext attack).
+//   - Convergent data-block encryption: AES-256-CBC with a fixed
+//     (all-zero) initialization vector, so equal plaintext yields
+//     equal ciphertext (the deduplication property).
+//   - Metadata sealing: AES-256-GCM under the outer key with a random
+//     nonce, providing both confidentiality and the per-metadata-block
+//     message authentication tag from Figure 3.
+//
+// All primitives come from the Go standard library; on amd64/arm64 the
+// runtime uses AES-NI and SHA extensions when available, mirroring the
+// paper's use of Intel AES-NI and AVX SHA-256.
+package cryptoutil
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// KeySize is the size in bytes of every key in the system: the inner
+// key, the outer key, and each derived convergent key (AES-256).
+const KeySize = 32
+
+// HashSize is the size of the per-block convergent hash (SHA-256).
+const HashSize = sha256.Size
+
+// GCMNonceSize is the nonce length used for metadata sealing.
+const GCMNonceSize = 12
+
+// GCMTagSize is the AES-GCM authentication tag length.
+const GCMTagSize = 16
+
+// Key is a 256-bit symmetric key.
+type Key [KeySize]byte
+
+// Hash is a SHA-256 digest of a data block.
+type Hash [HashSize]byte
+
+// ErrAuth is returned when AES-GCM authentication of a metadata block
+// fails, indicating corruption or tampering.
+var ErrAuth = errors.New("cryptoutil: metadata authentication failed")
+
+// ErrBadLength reports an input whose length is not compatible with
+// the requested operation (for example a CBC payload that is not a
+// multiple of the AES block size).
+var ErrBadLength = errors.New("cryptoutil: bad input length")
+
+// NewRandomKey generates a fresh random key using crypto/rand.
+func NewRandomKey() (Key, error) {
+	var k Key
+	if _, err := rand.Read(k[:]); err != nil {
+		return Key{}, fmt.Errorf("cryptoutil: generating key: %w", err)
+	}
+	return k, nil
+}
+
+// KeyFromBytes copies a 32-byte slice into a Key.
+func KeyFromBytes(b []byte) (Key, error) {
+	var k Key
+	if len(b) != KeySize {
+		return k, fmt.Errorf("%w: key must be %d bytes, got %d", ErrBadLength, KeySize, len(b))
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+// Equal reports whether two keys are identical, in constant time.
+func (k Key) Equal(other Key) bool { return hmac.Equal(k[:], other[:]) }
+
+// IsZero reports whether the key is all zero bytes. The all-zero key is
+// used as the "empty slot" sentinel in metadata key tables; SHA-256 of
+// any block is never all zeroes in practice, and the KDF output being
+// all zero has probability 2^-256.
+func (k Key) IsZero() bool {
+	var zero Key
+	return k == zero
+}
+
+// Zero wipes the key material in place.
+func (k *Key) Zero() {
+	for i := range k {
+		k[i] = 0
+	}
+}
+
+// BlockHash computes H(block): the SHA-256 digest of a plaintext data
+// block.
+func BlockHash(block []byte) Hash { return sha256.Sum256(block) }
+
+// Hasher incrementally hashes data; used by the workload verifiers.
+func Hasher() interface {
+	Write(p []byte) (int, error)
+	Sum(b []byte) []byte
+} {
+	return sha256.New()
+}
+
+// DeriveCEKey implements the paper's Equation (1):
+//
+//	CEKey_i = F(H(Block_i), Kin)
+//
+// where F enciphers the 32-byte hash with AES-256 under the inner key.
+// The two 16-byte halves of the hash are enciphered independently
+// (ECB over exactly two blocks). ECB is safe here because the "message"
+// is a fixed-length, high-entropy digest and the construction is used
+// strictly as a PRF-style KDF, never for bulk confidentiality.
+func DeriveCEKey(h Hash, inner Key) Key {
+	c, err := aes.NewCipher(inner[:])
+	if err != nil {
+		// Key length is fixed at compile time; NewCipher cannot fail.
+		panic("cryptoutil: aes.NewCipher: " + err.Error())
+	}
+	var out Key
+	c.Encrypt(out[0:16], h[0:16])
+	c.Encrypt(out[16:32], h[16:32])
+	return out
+}
+
+// CEKeyForBlock hashes the plaintext block and derives its convergent
+// key in one call.
+func CEKeyForBlock(block []byte, inner Key) Key {
+	return DeriveCEKey(BlockHash(block), inner)
+}
+
+// fixedIV is the invariant initialization vector used for convergent
+// data-block encryption (paper footnote 2: convergent encryption uses
+// an invariant IV to preserve data equality in the ciphertext).
+var fixedIV [aes.BlockSize]byte
+
+// EncryptBlockCBC implements the paper's Equation (2):
+//
+//	CipherBlock_i = E_AES(Block_i, CEKey_i, IV_fixed)
+//
+// AES-256-CBC with the fixed IV. dst and src must be the same length,
+// a positive multiple of 16 bytes; dst and src may alias.
+func EncryptBlockCBC(dst, src []byte, key Key) error {
+	if len(src) == 0 || len(src)%aes.BlockSize != 0 {
+		return fmt.Errorf("%w: CBC payload %d bytes", ErrBadLength, len(src))
+	}
+	if len(dst) != len(src) {
+		return fmt.Errorf("%w: dst %d bytes, src %d bytes", ErrBadLength, len(dst), len(src))
+	}
+	c, err := aes.NewCipher(key[:])
+	if err != nil {
+		panic("cryptoutil: aes.NewCipher: " + err.Error())
+	}
+	cipher.NewCBCEncrypter(c, fixedIV[:]).CryptBlocks(dst, src)
+	return nil
+}
+
+// DecryptBlockCBC inverts EncryptBlockCBC.
+func DecryptBlockCBC(dst, src []byte, key Key) error {
+	if len(src) == 0 || len(src)%aes.BlockSize != 0 {
+		return fmt.Errorf("%w: CBC payload %d bytes", ErrBadLength, len(src))
+	}
+	if len(dst) != len(src) {
+		return fmt.Errorf("%w: dst %d bytes, src %d bytes", ErrBadLength, len(dst), len(src))
+	}
+	c, err := aes.NewCipher(key[:])
+	if err != nil {
+		panic("cryptoutil: aes.NewCipher: " + err.Error())
+	}
+	cipher.NewCBCDecrypter(c, fixedIV[:]).CryptBlocks(dst, src)
+	return nil
+}
+
+// EncryptBlockCBCIV is EncryptBlockCBC with a caller-supplied IV. It is
+// used by the conventional-encryption baseline (internal/encfs), which
+// derives a distinct IV per block so that equal plaintext does NOT
+// yield equal ciphertext.
+func EncryptBlockCBCIV(dst, src []byte, key Key, iv [aes.BlockSize]byte) error {
+	if len(src) == 0 || len(src)%aes.BlockSize != 0 {
+		return fmt.Errorf("%w: CBC payload %d bytes", ErrBadLength, len(src))
+	}
+	if len(dst) != len(src) {
+		return fmt.Errorf("%w: dst %d bytes, src %d bytes", ErrBadLength, len(dst), len(src))
+	}
+	c, err := aes.NewCipher(key[:])
+	if err != nil {
+		panic("cryptoutil: aes.NewCipher: " + err.Error())
+	}
+	cipher.NewCBCEncrypter(c, iv[:]).CryptBlocks(dst, src)
+	return nil
+}
+
+// DecryptBlockCBCIV inverts EncryptBlockCBCIV.
+func DecryptBlockCBCIV(dst, src []byte, key Key, iv [aes.BlockSize]byte) error {
+	if len(src) == 0 || len(src)%aes.BlockSize != 0 {
+		return fmt.Errorf("%w: CBC payload %d bytes", ErrBadLength, len(src))
+	}
+	if len(dst) != len(src) {
+		return fmt.Errorf("%w: dst %d bytes, src %d bytes", ErrBadLength, len(dst), len(src))
+	}
+	c, err := aes.NewCipher(key[:])
+	if err != nil {
+		panic("cryptoutil: aes.NewCipher: " + err.Error())
+	}
+	cipher.NewCBCDecrypter(c, iv[:]).CryptBlocks(dst, src)
+	return nil
+}
+
+// NewNonce returns a fresh random GCM nonce (IV_rand in Equation 3).
+func NewNonce() ([GCMNonceSize]byte, error) {
+	var n [GCMNonceSize]byte
+	if _, err := rand.Read(n[:]); err != nil {
+		return n, fmt.Errorf("cryptoutil: generating nonce: %w", err)
+	}
+	return n, nil
+}
+
+// SealMeta implements the paper's Equation (3):
+//
+//	CipherMeta_i = E_AES(Meta_i, Kout, IV_rand)
+//
+// using AES-256-GCM. The returned ciphertext has the same length as
+// the plaintext; the 16-byte authentication tag is returned separately
+// so the caller can place nonce, tag and ciphertext at the exact
+// on-disk offsets of Figure 3. aad binds additional context (unused by
+// the current layout, which seals the segment index inside the
+// payload instead; kept for forward compatibility).
+func SealMeta(plaintext []byte, outer Key, nonce [GCMNonceSize]byte, aad []byte) (ciphertext []byte, tag [GCMTagSize]byte, err error) {
+	g, err := newGCM(outer)
+	if err != nil {
+		return nil, tag, err
+	}
+	sealed := g.Seal(nil, nonce[:], plaintext, aad)
+	if len(sealed) != len(plaintext)+GCMTagSize {
+		return nil, tag, fmt.Errorf("cryptoutil: unexpected sealed length %d", len(sealed))
+	}
+	copy(tag[:], sealed[len(plaintext):])
+	return sealed[:len(plaintext)], tag, nil
+}
+
+// OpenMeta authenticates and decrypts a metadata payload sealed by
+// SealMeta. It returns ErrAuth if the tag does not verify.
+func OpenMeta(ciphertext []byte, outer Key, nonce [GCMNonceSize]byte, tag [GCMTagSize]byte, aad []byte) ([]byte, error) {
+	g, err := newGCM(outer)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, len(ciphertext)+GCMTagSize)
+	buf = append(buf, ciphertext...)
+	buf = append(buf, tag[:]...)
+	plain, err := g.Open(nil, nonce[:], buf, aad)
+	if err != nil {
+		return nil, ErrAuth
+	}
+	return plain, nil
+}
+
+func newGCM(key Key) (cipher.AEAD, error) {
+	c, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: aes.NewCipher: %w", err)
+	}
+	g, err := cipher.NewGCM(c)
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: cipher.NewGCM: %w", err)
+	}
+	return g, nil
+}
+
+// DeriveSubKey deterministically derives a labelled sub-key from a
+// parent key using HMAC-SHA-256. It is used by the baseline EncFS
+// implementation (per-file keys from the volume key) and by tests.
+func DeriveSubKey(parent Key, label string) Key {
+	m := hmac.New(sha256.New, parent[:])
+	m.Write([]byte(label))
+	var out Key
+	copy(out[:], m.Sum(nil))
+	return out
+}

@@ -1,0 +1,178 @@
+// Package datagen generates the evaluation datasets of the paper's
+// §4.1:
+//
+//   - Synthetic files with a controlled redundancy profile α — "4GB
+//     synthetic data files with various redundancy profiles (as the
+//     percentage of redundant 4KB blocks in a file) ranging from 10%
+//     to 50%" — used for Figure 6 and Figure 11.
+//
+//   - Synthetic stand-ins for the Table 1 virtual-machine images. The
+//     real images (FreeDOS, FreeBSD, xubuntu, Fedora, OpenSolaris)
+//     are not redistributable test fixtures; what Table 1 measures is
+//     each image's size and intrinsic block-level redundancy, so the
+//     generator reproduces exactly those two properties per image
+//     (sizes are scaled down by a configurable factor to keep test
+//     runtimes sane; ratios are preserved).
+//
+// All output is deterministic in the seed.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lamassu/internal/vfs"
+)
+
+// Synthetic describes a synthetic redundancy-profile file.
+type Synthetic struct {
+	// Blocks is the total number of blocks in the file.
+	Blocks int
+	// BlockSize is the block granularity (4096 in the paper).
+	BlockSize int
+	// Alpha is the fraction of blocks that are redundant (duplicates
+	// of earlier blocks), the paper's α.
+	Alpha float64
+	// Seed selects the pseudo-random content.
+	Seed int64
+}
+
+// Validate checks the parameters.
+func (s Synthetic) Validate() error {
+	if s.Blocks <= 0 {
+		return fmt.Errorf("datagen: Blocks must be positive")
+	}
+	if s.BlockSize <= 0 {
+		return fmt.Errorf("datagen: BlockSize must be positive")
+	}
+	if s.Alpha < 0 || s.Alpha >= 1 {
+		return fmt.Errorf("datagen: Alpha %v outside [0,1)", s.Alpha)
+	}
+	return nil
+}
+
+// Size returns the file size in bytes.
+func (s Synthetic) Size() int64 { return int64(s.Blocks) * int64(s.BlockSize) }
+
+// UniqueBlocks returns the number of distinct block contents the file
+// will contain: redundant blocks all duplicate blocks drawn from the
+// unique pool.
+func (s Synthetic) UniqueBlocks() int {
+	dup := int(s.Alpha * float64(s.Blocks))
+	return s.Blocks - dup
+}
+
+// Generate writes the synthetic file to fs under name. The layout
+// interleaves duplicate blocks uniformly through the file (duplicates
+// reference uniformly random earlier unique blocks), so fixed-block
+// deduplication reclaims exactly Alpha of the blocks.
+func (s Synthetic) Generate(fs vfs.FS, name string) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	f, err := fs.Create(name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Truncate(0); err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(s.Seed))
+	dup := int(s.Alpha * float64(s.Blocks))
+	unique := s.Blocks - dup
+
+	// Decide which positions hold duplicates: a uniformly random
+	// subset of size dup, excluding position 0 (a duplicate needs an
+	// earlier block to copy).
+	isDup := make([]bool, s.Blocks)
+	chosen := 0
+	for _, p := range rng.Perm(s.Blocks - 1) {
+		if chosen == dup {
+			break
+		}
+		isDup[p+1] = true
+		chosen++
+	}
+
+	// uniqueBlocks keeps each unique block's content in memory so
+	// duplicates can be emitted without re-reading (and, through an
+	// encrypted FS, re-decrypting) earlier file regions.
+	uniqueBlocks := make([][]byte, 0, unique)
+	var emitted int64
+	for b := 0; b < s.Blocks; b++ {
+		var block []byte
+		if isDup[b] && len(uniqueBlocks) > 0 {
+			block = uniqueBlocks[rng.Intn(len(uniqueBlocks))]
+		} else {
+			block = make([]byte, s.BlockSize)
+			rng.Read(block)
+			// Stamp uniqueness defensively: two random 4 KiB blocks
+			// colliding is impossible in practice, but the stamp makes
+			// the generator's unique-count exact by construction.
+			block[0] = byte(len(uniqueBlocks))
+			block[1] = byte(len(uniqueBlocks) >> 8)
+			block[2] = byte(len(uniqueBlocks) >> 16)
+			block[3] = 0x5D
+			uniqueBlocks = append(uniqueBlocks, block)
+		}
+		if _, err := f.WriteAt(block, emitted*int64(s.BlockSize)); err != nil {
+			return err
+		}
+		emitted++
+	}
+	return f.Sync()
+}
+
+// VMImage describes one Table 1 virtual-machine image: its name, its
+// (possibly scaled) size, and the fraction of its blocks that
+// deduplicate on plaintext — the PlainFS column of Table 1, used as
+// the image's ground-truth redundancy.
+type VMImage struct {
+	Name string
+	// Bytes is the image size.
+	Bytes int64
+	// DedupFraction is the measured plaintext dedup ratio (Table 1's
+	// "% Deduplicated / PlainFS" column).
+	DedupFraction float64
+}
+
+// Table1Images returns the paper's five images with their published
+// sizes and PlainFS dedup ratios, scaled by 1/scale (scale >= 1).
+// With scale == 1 the sizes match the paper (379 MiB – 3.5 GiB).
+func Table1Images(scale int64) []VMImage {
+	if scale < 1 {
+		scale = 1
+	}
+	imgs := []VMImage{
+		{Name: "FreeDOS.vdi", Bytes: 379 << 20, DedupFraction: 0.0935},
+		{Name: "FreeBSD-7.1-i386.vdi", Bytes: 18 << 26, DedupFraction: 0.1540}, // 1.8 GiB
+		{Name: "xubuntu_1204.vdi", Bytes: 23 << 26, DedupFraction: 0.2207},     // 2.3 GiB
+		{Name: "Fedora-17-x86.vdi", Bytes: 26 << 26, DedupFraction: 0.3673},    // 2.6 GiB
+		{Name: "opensolaris-x86.vdi", Bytes: 35 << 26, DedupFraction: 0.0808},  // 3.5 GiB
+	}
+	for i := range imgs {
+		imgs[i].Bytes /= scale
+		if imgs[i].Bytes < 1<<20 {
+			imgs[i].Bytes = 1 << 20
+		}
+	}
+	return imgs
+}
+
+// Generate writes a synthetic stand-in for the image: a file of the
+// right size whose fixed-block dedup ratio matches DedupFraction.
+func (v VMImage) Generate(fs vfs.FS, name string, blockSize int, seed int64) error {
+	blocks := int(v.Bytes / int64(blockSize))
+	if blocks < 2 {
+		return fmt.Errorf("datagen: image %q too small", v.Name)
+	}
+	s := Synthetic{
+		Blocks:    blocks,
+		BlockSize: blockSize,
+		Alpha:     v.DedupFraction,
+		Seed:      seed,
+	}
+	return s.Generate(fs, name)
+}

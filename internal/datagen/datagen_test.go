@@ -1,0 +1,144 @@
+package datagen
+
+import (
+	"testing"
+
+	"lamassu/internal/backend"
+	"lamassu/internal/dedupe"
+	"lamassu/internal/plainfs"
+	"lamassu/internal/vfs"
+)
+
+func TestSyntheticValidate(t *testing.T) {
+	good := Synthetic{Blocks: 10, BlockSize: 4096, Alpha: 0.3, Seed: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	for _, bad := range []Synthetic{
+		{Blocks: 0, BlockSize: 4096, Alpha: 0.3},
+		{Blocks: 10, BlockSize: 0, Alpha: 0.3},
+		{Blocks: 10, BlockSize: 4096, Alpha: -0.1},
+		{Blocks: 10, BlockSize: 4096, Alpha: 1.0},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("bad config %+v accepted", bad)
+		}
+	}
+	if got := good.Size(); got != 10*4096 {
+		t.Errorf("Size = %d", got)
+	}
+}
+
+// The central generator property: the dedup engine measures exactly
+// the configured redundancy on the generated file.
+func TestSyntheticRedundancyExact(t *testing.T) {
+	for _, alpha := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5} {
+		store := backend.NewMemStore()
+		fs := plainfs.New(store)
+		s := Synthetic{Blocks: 500, BlockSize: 4096, Alpha: alpha, Seed: 42}
+		if err := s.Generate(fs, "f"); err != nil {
+			t.Fatalf("alpha=%v: %v", alpha, err)
+		}
+		e, _ := dedupe.NewEngine(4096)
+		rep, err := e.Scan(store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.TotalBlocks != 500 {
+			t.Fatalf("alpha=%v: TotalBlocks = %d", alpha, rep.TotalBlocks)
+		}
+		wantUnique := int64(s.UniqueBlocks())
+		if rep.UniqueBlocks != wantUnique {
+			t.Fatalf("alpha=%v: UniqueBlocks = %d, want %d", alpha, rep.UniqueBlocks, wantUnique)
+		}
+		// Relative usage after dedup = 1 - alpha (Figure 6's PlainFS
+		// line).
+		want := 1 - alpha
+		if got := rep.RelativeUsage(); got < want-0.003 || got > want+0.003 {
+			t.Fatalf("alpha=%v: RelativeUsage = %v, want %v", alpha, got, want)
+		}
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	s := Synthetic{Blocks: 64, BlockSize: 512, Alpha: 0.25, Seed: 7}
+	storeA := backend.NewMemStore()
+	storeB := backend.NewMemStore()
+	if err := s.Generate(plainfs.New(storeA), "f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Generate(plainfs.New(storeB), "f"); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := backend.ReadFile(storeA, "f")
+	b, _ := backend.ReadFile(storeB, "f")
+	if string(a) != string(b) {
+		t.Fatalf("same seed produced different files")
+	}
+
+	s2 := s
+	s2.Seed = 8
+	storeC := backend.NewMemStore()
+	if err := s2.Generate(plainfs.New(storeC), "f"); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := backend.ReadFile(storeC, "f")
+	if string(a) == string(c) {
+		t.Fatalf("different seeds produced identical files")
+	}
+}
+
+func TestTable1Images(t *testing.T) {
+	imgs := Table1Images(1)
+	if len(imgs) != 5 {
+		t.Fatalf("images = %d", len(imgs))
+	}
+	if imgs[0].Name != "FreeDOS.vdi" || imgs[0].Bytes != 379<<20 {
+		t.Fatalf("FreeDOS: %+v", imgs[0])
+	}
+	// Paper ratios preserved.
+	if imgs[3].DedupFraction != 0.3673 {
+		t.Fatalf("Fedora dedup fraction: %+v", imgs[3])
+	}
+	// Scaling divides sizes, keeps ratios, floors at 1 MiB.
+	scaled := Table1Images(64)
+	for i := range scaled {
+		if scaled[i].DedupFraction != imgs[i].DedupFraction {
+			t.Errorf("scale changed ratio for %s", scaled[i].Name)
+		}
+		if scaled[i].Bytes != imgs[i].Bytes/64 && scaled[i].Bytes != 1<<20 {
+			t.Errorf("scale wrong for %s: %d", scaled[i].Name, scaled[i].Bytes)
+		}
+	}
+	if got := Table1Images(0); got[0].Bytes != imgs[0].Bytes {
+		t.Errorf("scale<1 not clamped")
+	}
+}
+
+func TestVMImageGenerateMatchesRatio(t *testing.T) {
+	img := VMImage{Name: "test.vdi", Bytes: 8 << 20, DedupFraction: 0.22}
+	store := backend.NewMemStore()
+	if err := img.Generate(plainfs.New(store), "img", 4096, 3); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := dedupe.NewEngine(4096)
+	rep, err := e.Scan(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.SavedFraction(); got < 0.21 || got > 0.23 {
+		t.Fatalf("SavedFraction = %v, want ~0.22", got)
+	}
+	// Too-small images are rejected.
+	tiny := VMImage{Name: "tiny", Bytes: 4096, DedupFraction: 0.1}
+	if err := tiny.Generate(plainfs.New(store), "t", 4096, 1); err == nil {
+		t.Fatalf("tiny image accepted")
+	}
+}
+
+func TestGenerateThroughVFSInterface(t *testing.T) {
+	// The generator only relies on vfs.FS, so it can write directly
+	// through any of the three file systems (how the Figure 6
+	// experiment copies data onto each volume).
+	var _ vfs.FS = plainfs.New(backend.NewMemStore())
+}

@@ -1,0 +1,230 @@
+// Package dedupe simulates the storage controller's post-process,
+// fixed-block deduplication — the role played in the paper by a NetApp
+// FAS3250 running clustered Data ONTAP 8 (§3–4).
+//
+// The paper's experiments interact with the filer in exactly two ways:
+//
+//  1. copy files onto a volume;
+//  2. trigger deduplication and compare `df` before/after.
+//
+// Engine reproduces that contract. A Volume is a set of backing files
+// (any backend.Store); Scan chops every file into fixed-size aligned
+// blocks (4 KiB by default, like ONTAP), hashes each block's content
+// and maintains a reference-counted content-addressed index. Usage
+// before dedup counts every allocated block; usage after dedup counts
+// each distinct block once — precisely what df reports around a
+// post-process dedup run.
+//
+// As on the real filer, the engine cannot read ciphertext: it sees
+// whatever bytes the host wrote. Convergent ciphertext therefore
+// dedupes; conventional ciphertext does not; Lamassu metadata blocks
+// (GCM under random nonces) never dedupe — the behaviour Figures 6
+// and 11 and Table 1 measure.
+package dedupe
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"lamassu/internal/backend"
+)
+
+// DefaultBlockSize is the filer's dedup granularity (ONTAP uses 4 KiB
+// WAFL blocks).
+const DefaultBlockSize = 4096
+
+// fingerprint identifies a block's content. SHA-256 collisions are
+// treated as impossible, as the filer does.
+type fingerprint [sha256.Size]byte
+
+// Report is the result of deduplicating a volume: the `df` numbers.
+type Report struct {
+	// Files is the number of files scanned.
+	Files int
+	// TotalBlocks is the number of allocated blocks before
+	// deduplication (including the zero-padded tail of each file).
+	TotalBlocks int64
+	// UniqueBlocks is the number of distinct block contents — the
+	// blocks that remain allocated after deduplication.
+	UniqueBlocks int64
+	// DuplicateBlocks = TotalBlocks − UniqueBlocks, the space
+	// reclaimed.
+	DuplicateBlocks int64
+	// BytesBefore and BytesAfter are the corresponding byte figures.
+	BytesBefore int64
+	BytesAfter  int64
+}
+
+// RelativeUsage returns BytesAfter/BytesBefore — the "relative disk
+// usage after deduplication" plotted in Figure 6 (1.0 = no savings).
+func (r Report) RelativeUsage() float64 {
+	if r.BytesBefore == 0 {
+		return 1
+	}
+	return float64(r.BytesAfter) / float64(r.BytesBefore)
+}
+
+// SavedFraction returns the fraction of space reclaimed by
+// deduplication — the "% deduplicated" column of Table 1.
+func (r Report) SavedFraction() float64 {
+	if r.BytesBefore == 0 {
+		return 0
+	}
+	return float64(r.DuplicateBlocks) / float64(r.TotalBlocks)
+}
+
+// Engine deduplicates the contents of a backing store at fixed block
+// granularity.
+type Engine struct {
+	blockSize int
+}
+
+// NewEngine returns an engine with the given dedup block size
+// (DefaultBlockSize if 0).
+func NewEngine(blockSize int) (*Engine, error) {
+	if blockSize == 0 {
+		blockSize = DefaultBlockSize
+	}
+	if blockSize < 512 || blockSize%512 != 0 {
+		return nil, fmt.Errorf("dedupe: block size %d must be a positive multiple of 512", blockSize)
+	}
+	return &Engine{blockSize: blockSize}, nil
+}
+
+// BlockSize returns the engine's dedup granularity.
+func (e *Engine) BlockSize() int { return e.blockSize }
+
+// Scan runs post-process deduplication accounting over every file in
+// the store and reports the before/after usage.
+func (e *Engine) Scan(s backend.Store) (Report, error) {
+	names, err := s.List()
+	if err != nil {
+		return Report{}, fmt.Errorf("dedupe: listing volume: %w", err)
+	}
+	seen := make(map[fingerprint]struct{})
+	var rep Report
+	buf := make([]byte, e.blockSize)
+	for _, name := range names {
+		if err := e.scanFile(s, name, seen, &rep, buf); err != nil {
+			return Report{}, err
+		}
+		rep.Files++
+	}
+	rep.DuplicateBlocks = rep.TotalBlocks - rep.UniqueBlocks
+	rep.BytesBefore = rep.TotalBlocks * int64(e.blockSize)
+	rep.BytesAfter = rep.UniqueBlocks * int64(e.blockSize)
+	return rep, nil
+}
+
+func (e *Engine) scanFile(s backend.Store, name string, seen map[fingerprint]struct{}, rep *Report, buf []byte) error {
+	f, err := s.Open(name, backend.OpenRead)
+	if err != nil {
+		return fmt.Errorf("dedupe: open %q: %w", name, err)
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return fmt.Errorf("dedupe: size %q: %w", name, err)
+	}
+	bs := int64(e.blockSize)
+	nBlocks := (size + bs - 1) / bs
+	for i := int64(0); i < nBlocks; i++ {
+		n := bs
+		if (i+1)*bs > size {
+			n = size - i*bs
+		}
+		for j := n; j < bs; j++ {
+			buf[j] = 0 // zero-pad the tail block, as the filer stores it
+		}
+		if err := backend.ReadFull(f, buf[:n], i*bs); err != nil {
+			return fmt.Errorf("dedupe: read %q block %d: %w", name, i, err)
+		}
+		fp := fingerprint(sha256.Sum256(buf))
+		rep.TotalBlocks++
+		if _, dup := seen[fp]; !dup {
+			seen[fp] = struct{}{}
+			rep.UniqueBlocks++
+		}
+	}
+	return nil
+}
+
+// Index is an incremental content-addressed block index with reference
+// counts. It models the filer's fingerprint database and supports the
+// property tests' invariant checks (refcounts never negative, unique
+// count equals live fingerprints).
+type Index struct {
+	blockSize int
+	refs      map[fingerprint]int64
+	total     int64
+}
+
+// NewIndex returns an empty index at the given granularity.
+func NewIndex(blockSize int) (*Index, error) {
+	if blockSize == 0 {
+		blockSize = DefaultBlockSize
+	}
+	if blockSize < 512 || blockSize%512 != 0 {
+		return nil, fmt.Errorf("dedupe: block size %d must be a positive multiple of 512", blockSize)
+	}
+	return &Index{blockSize: blockSize, refs: make(map[fingerprint]int64)}, nil
+}
+
+// Add registers one block's content, padding short blocks with zeros.
+// It reports whether the block was a duplicate of an existing one.
+func (ix *Index) Add(block []byte) (duplicate bool, err error) {
+	fp, err := ix.fp(block)
+	if err != nil {
+		return false, err
+	}
+	ix.total++
+	ix.refs[fp]++
+	return ix.refs[fp] > 1, nil
+}
+
+// Remove unregisters one block's content. Removing a block that was
+// never added is an error.
+func (ix *Index) Remove(block []byte) error {
+	fp, err := ix.fp(block)
+	if err != nil {
+		return err
+	}
+	c, ok := ix.refs[fp]
+	if !ok || c <= 0 {
+		return fmt.Errorf("dedupe: removing block that is not in the index")
+	}
+	if c == 1 {
+		delete(ix.refs, fp)
+	} else {
+		ix.refs[fp] = c - 1
+	}
+	ix.total--
+	return nil
+}
+
+func (ix *Index) fp(block []byte) (fingerprint, error) {
+	if len(block) > ix.blockSize {
+		return fingerprint{}, fmt.Errorf("dedupe: block of %d bytes exceeds granularity %d", len(block), ix.blockSize)
+	}
+	if len(block) == ix.blockSize {
+		return fingerprint(sha256.Sum256(block)), nil
+	}
+	padded := make([]byte, ix.blockSize)
+	copy(padded, block)
+	return fingerprint(sha256.Sum256(padded)), nil
+}
+
+// TotalBlocks returns the number of live (added, not removed) blocks.
+func (ix *Index) TotalBlocks() int64 { return ix.total }
+
+// UniqueBlocks returns the number of distinct live block contents.
+func (ix *Index) UniqueBlocks() int64 { return int64(len(ix.refs)) }
+
+// Refcount returns the current reference count of a block's content.
+func (ix *Index) Refcount(block []byte) int64 {
+	fp, err := ix.fp(block)
+	if err != nil {
+		return 0
+	}
+	return ix.refs[fp]
+}

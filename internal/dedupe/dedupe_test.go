@@ -1,0 +1,294 @@
+package dedupe
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lamassu/internal/backend"
+)
+
+func block(fill byte, n int) []byte { return bytes.Repeat([]byte{fill}, n) }
+
+func TestEngineValidation(t *testing.T) {
+	if _, err := NewEngine(0); err != nil {
+		t.Fatalf("default block size rejected: %v", err)
+	}
+	for _, bad := range []int{100, -512, 511} {
+		if _, err := NewEngine(bad); err == nil {
+			t.Errorf("NewEngine(%d) accepted", bad)
+		}
+	}
+	e, _ := NewEngine(8192)
+	if e.BlockSize() != 8192 {
+		t.Errorf("BlockSize = %d", e.BlockSize())
+	}
+}
+
+func TestScanEmptyVolume(t *testing.T) {
+	e, _ := NewEngine(4096)
+	rep, err := e.Scan(backend.NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Files != 0 || rep.TotalBlocks != 0 || rep.RelativeUsage() != 1 {
+		t.Fatalf("empty scan: %+v", rep)
+	}
+}
+
+func TestScanCountsDuplicates(t *testing.T) {
+	s := backend.NewMemStore()
+	// file1: blocks A B A ; file2: blocks B C
+	f1 := append(append(block('A', 4096), block('B', 4096)...), block('A', 4096)...)
+	f2 := append(block('B', 4096), block('C', 4096)...)
+	if err := backend.WriteFile(s, "f1", f1); err != nil {
+		t.Fatal(err)
+	}
+	if err := backend.WriteFile(s, "f2", f2); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := NewEngine(4096)
+	rep, err := e.Scan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Files != 2 {
+		t.Errorf("Files = %d", rep.Files)
+	}
+	if rep.TotalBlocks != 5 || rep.UniqueBlocks != 3 || rep.DuplicateBlocks != 2 {
+		t.Fatalf("blocks: %+v", rep)
+	}
+	if got := rep.RelativeUsage(); got != 3.0/5.0 {
+		t.Errorf("RelativeUsage = %v", got)
+	}
+	if got := rep.SavedFraction(); got != 2.0/5.0 {
+		t.Errorf("SavedFraction = %v", got)
+	}
+	if rep.BytesBefore != 5*4096 || rep.BytesAfter != 3*4096 {
+		t.Errorf("bytes: %+v", rep)
+	}
+}
+
+func TestScanTailPadding(t *testing.T) {
+	// A 6000-byte file occupies 2 blocks; the tail block is zero-
+	// padded, so two files with identical 6000-byte content dedupe
+	// completely.
+	s := backend.NewMemStore()
+	content := block('X', 6000)
+	if err := backend.WriteFile(s, "a", content); err != nil {
+		t.Fatal(err)
+	}
+	if err := backend.WriteFile(s, "b", content); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := NewEngine(4096)
+	rep, err := e.Scan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalBlocks != 4 || rep.UniqueBlocks != 2 {
+		t.Fatalf("tail padding: %+v", rep)
+	}
+
+	// But a 6000-byte file whose tail bytes differ from a padded
+	// 4096+1904-zeros layout must NOT dedupe with the wrong thing: a
+	// file of the first 4096 bytes only shares exactly one block.
+	s2 := backend.NewMemStore()
+	if err := backend.WriteFile(s2, "long", content); err != nil {
+		t.Fatal(err)
+	}
+	if err := backend.WriteFile(s2, "short", content[:4096]); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := e.Scan(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.TotalBlocks != 3 || rep2.UniqueBlocks != 2 {
+		t.Fatalf("partial overlap: %+v", rep2)
+	}
+}
+
+func TestScanOffsetSensitivity(t *testing.T) {
+	// Fixed-block dedup is alignment-sensitive: the same content
+	// shifted by half a block shares nothing. This is why Lamassu
+	// segregates metadata into aligned reserved blocks (§2.3).
+	s := backend.NewMemStore()
+	payload := make([]byte, 8192)
+	rng := rand.New(rand.NewSource(7))
+	rng.Read(payload)
+	if err := backend.WriteFile(s, "aligned", payload); err != nil {
+		t.Fatal(err)
+	}
+	shifted := append(make([]byte, 2048), payload...)
+	if err := backend.WriteFile(s, "shifted", shifted); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := NewEngine(4096)
+	rep, err := e.Scan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// aligned: 2 blocks; shifted: 3 blocks; no sharing.
+	if rep.TotalBlocks != 5 || rep.UniqueBlocks != 5 {
+		t.Fatalf("alignment: %+v", rep)
+	}
+}
+
+func TestIndexAddRemove(t *testing.T) {
+	ix, err := NewIndex(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := block('A', 4096)
+	b := block('B', 4096)
+
+	dup, err := ix.Add(a)
+	if err != nil || dup {
+		t.Fatalf("first add: dup=%v err=%v", dup, err)
+	}
+	dup, err = ix.Add(a)
+	if err != nil || !dup {
+		t.Fatalf("second add: dup=%v err=%v", dup, err)
+	}
+	if _, err := ix.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	if ix.TotalBlocks() != 3 || ix.UniqueBlocks() != 2 {
+		t.Fatalf("counts: total=%d unique=%d", ix.TotalBlocks(), ix.UniqueBlocks())
+	}
+	if ix.Refcount(a) != 2 || ix.Refcount(b) != 1 {
+		t.Fatalf("refcounts: a=%d b=%d", ix.Refcount(a), ix.Refcount(b))
+	}
+	if err := ix.Remove(a); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Refcount(a) != 1 {
+		t.Fatalf("refcount after remove = %d", ix.Refcount(a))
+	}
+	if err := ix.Remove(a); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Refcount(a) != 0 || ix.UniqueBlocks() != 1 {
+		t.Fatalf("final refcount=%d unique=%d", ix.Refcount(a), ix.UniqueBlocks())
+	}
+	if err := ix.Remove(a); err == nil {
+		t.Fatalf("removing absent block succeeded")
+	}
+}
+
+func TestIndexShortBlockPadding(t *testing.T) {
+	ix, _ := NewIndex(4096)
+	short := block('Z', 100)
+	padded := make([]byte, 4096)
+	copy(padded, short)
+	if _, err := ix.Add(short); err != nil {
+		t.Fatal(err)
+	}
+	dup, err := ix.Add(padded)
+	if err != nil || !dup {
+		t.Fatalf("padded equivalence: dup=%v err=%v", dup, err)
+	}
+	if _, err := ix.Add(block('Z', 5000)); err == nil {
+		t.Fatalf("oversized block accepted")
+	}
+}
+
+// Property: after any sequence of adds/removes, TotalBlocks equals the
+// number of live adds and UniqueBlocks equals the number of distinct
+// live contents.
+func TestQuickIndexInvariants(t *testing.T) {
+	f := func(ops []byte) bool {
+		ix, _ := NewIndex(512)
+		live := map[byte]int{}
+		var total int
+		for _, op := range ops {
+			fill := op % 8
+			b := block(fill, 512)
+			if op&0x80 != 0 && live[fill] > 0 {
+				if err := ix.Remove(b); err != nil {
+					return false
+				}
+				live[fill]--
+				total--
+			} else {
+				if _, err := ix.Add(b); err != nil {
+					return false
+				}
+				live[fill]++
+				total++
+			}
+		}
+		unique := 0
+		for fill, c := range live {
+			if c > 0 {
+				unique++
+				if ix.Refcount(block(fill, 512)) != int64(c) {
+					return false
+				}
+			}
+		}
+		return ix.TotalBlocks() == int64(total) && ix.UniqueBlocks() == int64(unique)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Scan's relative usage for a synthetic file with α
+// duplicate blocks is exactly 1−α+1/n rounding effects — i.e. unique
+// fraction — matching the Figure 6 PlainFS line.
+func TestQuickScanMatchesRedundancy(t *testing.T) {
+	f := func(seed int64, dupPct uint8) bool {
+		alpha := float64(dupPct%51) / 100 // 0..0.5
+		const blocks = 200
+		rng := rand.New(rand.NewSource(seed))
+		dup := int(alpha * blocks)
+		data := make([]byte, 0, blocks*4096)
+		base := make([]byte, 4096)
+		rng.Read(base)
+		for i := 0; i < dup; i++ {
+			data = append(data, base...) // duplicates of one block
+		}
+		uniq := make([]byte, 4096)
+		for i := dup; i < blocks; i++ {
+			rng.Read(uniq)
+			data = append(data, uniq...)
+		}
+		s := backend.NewMemStore()
+		if err := backend.WriteFile(s, "f", data); err != nil {
+			return false
+		}
+		e, _ := NewEngine(4096)
+		rep, err := e.Scan(s)
+		if err != nil {
+			return false
+		}
+		wantUnique := int64(blocks - dup)
+		if dup > 0 {
+			wantUnique++ // the duplicated block itself counts once
+		}
+		return rep.TotalBlocks == blocks && rep.UniqueBlocks == wantUnique
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScan64MiB(b *testing.B) {
+	s := backend.NewMemStore()
+	data := make([]byte, 64<<20)
+	rand.New(rand.NewSource(1)).Read(data)
+	if err := backend.WriteFile(s, "f", data); err != nil {
+		b.Fatal(err)
+	}
+	e, _ := NewEngine(4096)
+	b.SetBytes(64 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Scan(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

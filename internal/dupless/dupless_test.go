@@ -1,0 +1,274 @@
+package dupless
+
+import (
+	"bytes"
+	"crypto/rsa"
+	"math/big"
+	"net"
+	"testing"
+	"time"
+
+	"lamassu/internal/backend"
+	"lamassu/internal/core"
+	"lamassu/internal/cryptoutil"
+	"lamassu/internal/dedupe"
+	"lamassu/internal/vfs"
+)
+
+// testServer caches one RSA keypair across tests (2048-bit keygen is
+// slow enough to matter).
+var testSrv = func() *Server {
+	s, err := NewServer(1024) // smaller modulus: fine for tests
+	if err != nil {
+		panic(err)
+	}
+	return s
+}()
+
+func TestDeriveKeyDeterministic(t *testing.T) {
+	c := NewLocalClient(testSrv)
+	h := cryptoutil.BlockHash([]byte("some block"))
+	k1, err := c.DeriveKey(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := c.DeriveKey(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k1.Equal(k2) {
+		t.Fatalf("same hash derived different keys (blinding leaked into output)")
+	}
+	h2 := cryptoutil.BlockHash([]byte("other block"))
+	k3, err := c.DeriveKey(h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1.Equal(k3) {
+		t.Fatalf("different hashes derived the same key")
+	}
+}
+
+func TestTwoClientsConverge(t *testing.T) {
+	// The DupLESS property: independent clients of one key server
+	// derive identical convergent keys — the dedup domain is the
+	// server's RSA key.
+	c1 := NewLocalClient(testSrv)
+	c2 := NewLocalClient(testSrv)
+	h := cryptoutil.BlockHash([]byte("shared plaintext"))
+	k1, err := c1.DeriveKey(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := c2.DeriveKey(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k1.Equal(k2) {
+		t.Fatalf("clients of the same server diverged")
+	}
+
+	// A different server (different d) defines a different zone.
+	other, err := NewServer(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k3, err := NewLocalClient(other).DeriveKey(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1.Equal(k3) {
+		t.Fatalf("different servers derived the same key")
+	}
+}
+
+func TestBlindSignRejectsOutOfRange(t *testing.T) {
+	if _, err := testSrv.BlindSign(nil); err == nil {
+		t.Errorf("nil accepted")
+	}
+	if _, err := testSrv.BlindSign(big.NewInt(0)); err == nil {
+		t.Errorf("zero accepted")
+	}
+	if _, err := testSrv.BlindSign(new(big.Int).Set(testSrv.PublicKey().N)); err == nil {
+		t.Errorf("N accepted")
+	}
+}
+
+func TestMisbehavingServerDetected(t *testing.T) {
+	// A server returning garbage fails the client's s^e == m check.
+	evil := newClient(testSrv.PublicKey(), func(b *big.Int) (*big.Int, error) {
+		return new(big.Int).Add(b, big.NewInt(1)), nil
+	})
+	h := cryptoutil.BlockHash([]byte("x"))
+	if _, err := evil.DeriveKey(h); err == nil {
+		t.Fatalf("invalid signature accepted")
+	}
+}
+
+func TestBlindingHidesHash(t *testing.T) {
+	// The value reaching the server must differ across runs for the
+	// SAME hash (it is randomized by r), and must not equal the raw
+	// hash-integer.
+	var seen []*big.Int
+	spy := newClient(testSrv.PublicKey(), func(b *big.Int) (*big.Int, error) {
+		seen = append(seen, new(big.Int).Set(b))
+		return testSrv.BlindSign(b)
+	})
+	h := cryptoutil.BlockHash([]byte("sensitive"))
+	m := hashToInt(h, testSrv.PublicKey().N)
+	for i := 0; i < 3; i++ {
+		if _, err := spy.DeriveKey(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if seen[0].Cmp(seen[1]) == 0 || seen[1].Cmp(seen[2]) == 0 {
+		t.Fatalf("blinded queries repeat across runs — blinding broken")
+	}
+	for _, b := range seen {
+		if b.Cmp(m) == 0 {
+			t.Fatalf("raw hash reached the server")
+		}
+	}
+}
+
+func TestNetClientOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go testSrv.Serve(ln) //nolint:errcheck
+
+	nc, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	h := cryptoutil.BlockHash([]byte("over tcp"))
+	remote, err := nc.DeriveKey(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := NewLocalClient(testSrv).DeriveKey(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !remote.Equal(local) {
+		t.Fatalf("TCP transport changed the derived key")
+	}
+}
+
+// End-to-end: Lamassu mounted with a DupLESS key deriver still
+// deduplicates across clients of the same key server.
+func TestLamassuWithDupLESSDeriver(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go testSrv.Serve(ln) //nolint:errcheck
+
+	store := backend.NewMemStore()
+	var outer cryptoutil.Key
+	for i := range outer {
+		outer[i] = byte(i + 1)
+	}
+	var unusedInner cryptoutil.Key
+	unusedInner[0] = 0xFF // still required non-zero by core validation
+
+	mount := func() (vfs.FS, *NetClient) {
+		nc, err := Dial(ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, err := core.New(store, core.Config{
+			Inner:      unusedInner,
+			Outer:      outer,
+			KeyDeriver: nc.DeriveKey,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs, nc
+	}
+
+	fs1, nc1 := mount()
+	defer nc1.Close()
+	fs2, nc2 := mount()
+	defer nc2.Close()
+
+	data := bytes.Repeat([]byte{0xAB}, 16*4096)
+	if err := vfs.WriteAll(fs1, "a", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteAll(fs2, "b", data); err != nil {
+		t.Fatal(err)
+	}
+	// Cross-client read (full integrity check runs the OPRF per
+	// block on the read path too).
+	got, err := vfs.ReadAll(fs2, "a")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("cross-client read: %v", err)
+	}
+	eng, _ := dedupe.NewEngine(4096)
+	rep, err := eng.Scan(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 identical blocks per file converge to 1 + 2 metadata blocks.
+	if rep.UniqueBlocks != 3 {
+		t.Fatalf("UniqueBlocks = %d, want 3", rep.UniqueBlocks)
+	}
+}
+
+// The paper's stated reason for rejecting DupLESS at block level: the
+// per-key cost is dominated by the round trip and the RSA math, orders
+// of magnitude above the local KDF.
+func TestServerAidedKeyCostDominates(t *testing.T) {
+	var inner cryptoutil.Key
+	inner[0] = 1
+	h := cryptoutil.BlockHash(bytes.Repeat([]byte{7}, 4096))
+
+	start := time.Now()
+	const localIters = 2000
+	for i := 0; i < localIters; i++ {
+		_ = cryptoutil.DeriveCEKey(h, inner)
+	}
+	localPer := time.Since(start) / localIters
+
+	c := NewLocalClient(testSrv)
+	start = time.Now()
+	const oprfIters = 20
+	for i := 0; i < oprfIters; i++ {
+		if _, err := c.DeriveKey(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oprfPer := time.Since(start) / oprfIters
+
+	if oprfPer < 10*localPer {
+		t.Fatalf("expected server-aided derivation to be >=10x costlier: local %v vs oprf %v",
+			localPer, oprfPer)
+	}
+	t.Logf("local KDF %v/key, server-aided OPRF %v/key (%.0fx)",
+		localPer, oprfPer, float64(oprfPer)/float64(localPer))
+}
+
+func TestNewServerFromKey(t *testing.T) {
+	s := NewServerFromKey(testSrvKey())
+	h := cryptoutil.BlockHash([]byte("k"))
+	k1, err := NewLocalClient(s).DeriveKey(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := NewLocalClient(testSrv).DeriveKey(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k1.Equal(k2) {
+		t.Fatalf("wrapped key server diverged")
+	}
+}
+
+func testSrvKey() *rsa.PrivateKey { return testSrv.key }

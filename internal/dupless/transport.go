@@ -1,0 +1,175 @@
+package dupless
+
+import (
+	"bufio"
+	"crypto/rsa"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"net"
+	"sync"
+)
+
+// Wire protocol: length-prefixed big-endian integers.
+//
+//	request:  op u8 ‖ n u16 ‖ payload[n]
+//	response: op|0x80 ‖ n u16 ‖ payload[n]
+//
+// ops: 0x01 getpub -> payload N ‖ u32 e (N length-prefixed inside),
+//
+//	0x02 sign   -> payload = blinded; response payload = signed.
+const (
+	opGetPub   uint8 = 0x01
+	opSign     uint8 = 0x02
+	opErr      uint8 = 0x7F
+	opRespFlag uint8 = 0x80
+)
+
+const maxFrame = 4096
+
+// ErrProtocol reports a malformed frame.
+var ErrProtocol = errors.New("dupless: protocol error")
+
+func writeFrame(w io.Writer, op uint8, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("%w: frame of %d bytes", ErrProtocol, len(payload))
+	}
+	hdr := []byte{op, byte(len(payload) >> 8), byte(len(payload))}
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) (uint8, []byte, error) {
+	hdr := make([]byte, 3)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, nil, err
+	}
+	n := int(hdr[1])<<8 | int(hdr[2])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("%w: oversized frame %d", ErrProtocol, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// Serve answers blind-signature requests on ln until it is closed.
+func (s *Server) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return nil // listener closed
+		}
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	rd := bufio.NewReader(conn)
+	wr := bufio.NewWriter(conn)
+	for {
+		op, payload, err := readFrame(rd)
+		if err != nil {
+			return
+		}
+		switch op {
+		case opGetPub:
+			N := s.key.N.Bytes()
+			out := make([]byte, 2+len(N)+4)
+			binary.BigEndian.PutUint16(out[0:2], uint16(len(N)))
+			copy(out[2:], N)
+			binary.BigEndian.PutUint32(out[2+len(N):], uint32(s.key.E))
+			if err := writeFrame(wr, opGetPub|opRespFlag, out); err != nil {
+				return
+			}
+		case opSign:
+			signed, err := s.BlindSign(new(big.Int).SetBytes(payload))
+			if err != nil {
+				if werr := writeFrame(wr, opErr|opRespFlag, []byte(err.Error())); werr != nil {
+					return
+				}
+				break
+			}
+			if err := writeFrame(wr, opSign|opRespFlag, signed.Bytes()); err != nil {
+				return
+			}
+		default:
+			if err := writeFrame(wr, opErr|opRespFlag, []byte("unknown op")); err != nil {
+				return
+			}
+		}
+		if err := wr.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// NetClient is a Client whose signing round trips go over a network
+// connection — the configuration whose per-block latency the paper
+// judged impractical.
+type NetClient struct {
+	*Client
+	mu   sync.Mutex
+	conn net.Conn
+	rd   *bufio.Reader
+}
+
+// Dial connects to a serving key server and fetches its public key.
+func Dial(addr string) (*NetClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dupless: dial %s: %w", addr, err)
+	}
+	nc := &NetClient{conn: conn, rd: bufio.NewReader(conn)}
+
+	if err := writeFrame(conn, opGetPub, nil); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	op, payload, err := readFrame(nc.rd)
+	if err != nil || op != opGetPub|opRespFlag || len(payload) < 7 {
+		conn.Close()
+		return nil, fmt.Errorf("%w: bad getpub response", ErrProtocol)
+	}
+	nLen := int(binary.BigEndian.Uint16(payload[0:2]))
+	if len(payload) != 2+nLen+4 {
+		conn.Close()
+		return nil, fmt.Errorf("%w: bad getpub payload", ErrProtocol)
+	}
+	pub := &rsa.PublicKey{
+		N: new(big.Int).SetBytes(payload[2 : 2+nLen]),
+		E: int(binary.BigEndian.Uint32(payload[2+nLen:])),
+	}
+	nc.Client = newClient(pub, nc.signRemote)
+	return nc, nil
+}
+
+// Close closes the connection.
+func (nc *NetClient) Close() error { return nc.conn.Close() }
+
+func (nc *NetClient) signRemote(blinded *big.Int) (*big.Int, error) {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	if err := writeFrame(nc.conn, opSign, blinded.Bytes()); err != nil {
+		return nil, fmt.Errorf("dupless: send: %w", err)
+	}
+	op, payload, err := readFrame(nc.rd)
+	if err != nil {
+		return nil, fmt.Errorf("dupless: recv: %w", err)
+	}
+	if op == opErr|opRespFlag {
+		return nil, fmt.Errorf("dupless: server: %s", payload)
+	}
+	if op != opSign|opRespFlag {
+		return nil, fmt.Errorf("%w: response op %#x", ErrProtocol, op)
+	}
+	return new(big.Int).SetBytes(payload), nil
+}

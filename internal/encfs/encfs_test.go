@@ -1,0 +1,275 @@
+package encfs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"lamassu/internal/backend"
+	"lamassu/internal/cryptoutil"
+	"lamassu/internal/dedupe"
+	"lamassu/internal/fstest"
+	"lamassu/internal/vfs"
+)
+
+func volKey(b byte) cryptoutil.Key {
+	var k cryptoutil.Key
+	for i := range k {
+		k[i] = b ^ byte(i*3)
+	}
+	return k
+}
+
+func newAligned(t *testing.T) *FS {
+	t.Helper()
+	fs, err := New(backend.NewMemStore(), Config{VolumeKey: volKey(1), BlockSize: 4096, Aligned: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestConformanceAligned(t *testing.T) {
+	fstest.Conformance(t, func(t *testing.T) vfs.FS { return newAligned(t) })
+}
+
+func TestConformanceUnaligned(t *testing.T) {
+	fstest.Conformance(t, func(t *testing.T) vfs.FS {
+		fs, err := New(backend.NewMemStore(), Config{VolumeKey: volKey(2), BlockSize: 4096, Aligned: false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	})
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(backend.NewMemStore(), Config{VolumeKey: volKey(1), BlockSize: 100}); err == nil {
+		t.Fatalf("bad block size accepted")
+	}
+	fs, err := New(backend.NewMemStore(), Config{VolumeKey: volKey(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.cfg.BlockSize != 4096 {
+		t.Fatalf("default block size = %d", fs.cfg.BlockSize)
+	}
+}
+
+func TestCiphertextIsNotPlaintext(t *testing.T) {
+	store := backend.NewMemStore()
+	fs, _ := New(store, Config{VolumeKey: volKey(3), BlockSize: 4096, Aligned: true})
+	data := bytes.Repeat([]byte{0x77}, 8192)
+	if err := vfs.WriteAll(fs, "f", data); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := backend.ReadFile(store, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, data[:4096]) {
+		t.Fatalf("plaintext visible in backing store")
+	}
+	// Aligned mode: one header block + two data blocks.
+	if len(raw) != 3*4096 {
+		t.Fatalf("backing size %d, want %d", len(raw), 3*4096)
+	}
+}
+
+func TestNoDeduplicationAcrossFiles(t *testing.T) {
+	// The paper's Figure 6: EncFS yields 100% relative disk usage —
+	// identical plaintext in different files encrypts differently.
+	store := backend.NewMemStore()
+	fs, _ := New(store, Config{VolumeKey: volKey(4), BlockSize: 4096, Aligned: true})
+	data := bytes.Repeat([]byte{0x42}, 16*4096)
+	if err := vfs.WriteAll(fs, "a", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteAll(fs, "b", data); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := dedupe.NewEngine(4096)
+	rep, err := e.Scan(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DuplicateBlocks != 0 {
+		t.Fatalf("EncFS ciphertext deduplicated: %+v", rep)
+	}
+}
+
+func TestNoDeduplicationWithinFile(t *testing.T) {
+	// Per-block IVs: identical plaintext blocks at different offsets
+	// of one file also produce distinct ciphertext.
+	store := backend.NewMemStore()
+	fs, _ := New(store, Config{VolumeKey: volKey(5), BlockSize: 4096, Aligned: true})
+	data := bytes.Repeat(bytes.Repeat([]byte{0x99}, 4096), 8)
+	if err := vfs.WriteAll(fs, "f", data); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := dedupe.NewEngine(4096)
+	rep, err := e.Scan(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DuplicateBlocks != 0 {
+		t.Fatalf("within-file dedup of EncFS ciphertext: %+v", rep)
+	}
+}
+
+func TestRewriteSameContentStable(t *testing.T) {
+	// Rewriting the same plaintext block in place yields the same
+	// ciphertext (per-block IV is positional) — like the real EncFS
+	// in its default deterministic-IV configuration.
+	store := backend.NewMemStore()
+	fs, _ := New(store, Config{VolumeKey: volKey(6), BlockSize: 4096, Aligned: true})
+	data := bytes.Repeat([]byte{5}, 4096)
+	if err := vfs.WriteAll(fs, "f", data); err != nil {
+		t.Fatal(err)
+	}
+	raw1, _ := backend.ReadFile(store, "f")
+	f, err := fs.OpenRW("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	raw2, _ := backend.ReadFile(store, "f")
+	if !bytes.Equal(raw1, raw2) {
+		t.Fatalf("in-place rewrite of identical plaintext changed ciphertext")
+	}
+}
+
+func TestWrongVolumeKeyRejected(t *testing.T) {
+	store := backend.NewMemStore()
+	fs1, _ := New(store, Config{VolumeKey: volKey(7), BlockSize: 4096, Aligned: true})
+	if err := vfs.WriteAll(fs1, "f", []byte("secret")); err != nil {
+		t.Fatal(err)
+	}
+	fs2, _ := New(store, Config{VolumeKey: volKey(8), BlockSize: 4096, Aligned: true})
+	if _, err := fs2.Open("f"); err == nil {
+		t.Fatalf("wrong volume key opened file")
+	}
+}
+
+func TestAlignmentModeMismatchRejected(t *testing.T) {
+	store := backend.NewMemStore()
+	fsA, _ := New(store, Config{VolumeKey: volKey(9), BlockSize: 4096, Aligned: true})
+	if err := vfs.WriteAll(fsA, "f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	fsU, _ := New(store, Config{VolumeKey: volKey(9), BlockSize: 4096, Aligned: false})
+	if _, err := fsU.Open("f"); err == nil {
+		t.Fatalf("alignment mismatch not detected")
+	}
+}
+
+func TestUnalignedModeShiftsBlocks(t *testing.T) {
+	store := backend.NewMemStore()
+	fs, _ := New(store, Config{VolumeKey: volKey(10), BlockSize: 4096, Aligned: false})
+	data := make([]byte, 4096)
+	if err := vfs.WriteAll(fs, "f", data); err != nil {
+		t.Fatal(err)
+	}
+	phys, _ := store.Stat("f")
+	if phys != 60+4096 {
+		t.Fatalf("unaligned backing size %d, want %d", phys, 60+4096)
+	}
+}
+
+func TestAlignedOverheadIsOneBlock(t *testing.T) {
+	store := backend.NewMemStore()
+	fs, _ := New(store, Config{VolumeKey: volKey(11), BlockSize: 4096, Aligned: true})
+	data := make([]byte, 100*4096)
+	if err := vfs.WriteAll(fs, "f", data); err != nil {
+		t.Fatal(err)
+	}
+	phys, _ := store.Stat("f")
+	if phys != 101*4096 {
+		t.Fatalf("aligned backing size %d, want %d", phys, 101*4096)
+	}
+	logical, err := fs.Stat("f")
+	if err != nil || logical != 100*4096 {
+		t.Fatalf("Stat = %d, %v", logical, err)
+	}
+}
+
+func TestPartialTailByteGranularity(t *testing.T) {
+	store := backend.NewMemStore()
+	fs, _ := New(store, Config{VolumeKey: volKey(12), BlockSize: 4096, Aligned: true})
+	data := make([]byte, 4096+777)
+	rand.New(rand.NewSource(1)).Read(data)
+	if err := vfs.WriteAll(fs, "f", data); err != nil {
+		t.Fatal(err)
+	}
+	// Backing = header + 4096 + exactly 777 tail bytes.
+	phys, _ := store.Stat("f")
+	if phys != 4096+4096+777 {
+		t.Fatalf("backing size %d", phys)
+	}
+	got, err := vfs.ReadAll(fs, "f")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("tail round trip failed: %v", err)
+	}
+	// Growing the tail into a full block re-encrypts correctly.
+	f, err := fs.OpenRW("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := make([]byte, 4096-777+100)
+	rand.New(rand.NewSource(2)).Read(extra)
+	if _, err := f.WriteAt(extra, 4096+777); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	want := append(append([]byte(nil), data...), extra...)
+	got, err = vfs.ReadAll(fs, "f")
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("tail growth round trip failed: %v", err)
+	}
+}
+
+func BenchmarkEncFSWrite4K(b *testing.B) {
+	fs, _ := New(backend.NewMemStore(), Config{VolumeKey: volKey(1), BlockSize: 4096, Aligned: true})
+	f, err := fs.Create("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Truncate(64 << 20); err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	rand.New(rand.NewSource(1)).Read(buf)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.WriteAt(buf, int64(i%16384)*4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncFSRead4K(b *testing.B) {
+	fs, _ := New(backend.NewMemStore(), Config{VolumeKey: volKey(1), BlockSize: 4096, Aligned: true})
+	f, err := fs.Create("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	data := make([]byte, 16<<20)
+	rand.New(rand.NewSource(1)).Read(data)
+	if _, err := f.WriteAt(data, 0); err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.ReadAt(buf, int64(i%4096)*4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

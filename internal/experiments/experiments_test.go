@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The tests here assert the paper's qualitative results (shapes), not
+// absolute numbers: who wins, in which direction curves move, and the
+// published analytic quantities (overheads, dedup percentages) that
+// are hardware-independent.
+
+const smallFile = 8 << 20 // 8 MiB keeps the full suite fast
+
+func TestFig6Shapes(t *testing.T) {
+	rows, err := Fig6(smallFile, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// EncFS never dedups: exactly 100%.
+		if r.EncFS != 100 {
+			t.Errorf("α=%.0f%%: EncFS = %.2f%%, want 100%%", r.Alpha*100, r.EncFS)
+		}
+		// PlainFS dedups to exactly (1-α) (±rounding on block counts).
+		want := 100 * (1 - r.Alpha)
+		if r.PlainFS < want-0.5 || r.PlainFS > want+0.5 {
+			t.Errorf("α=%.0f%%: PlainFS = %.2f%%, want %.1f%%", r.Alpha*100, r.PlainFS, want)
+		}
+		// Lamassu lands within ~2.5% above PlainFS (embedded metadata),
+		// never below.
+		if r.LamassuFS < r.PlainFS {
+			t.Errorf("α=%.0f%%: Lamassu %.2f%% below PlainFS %.2f%%", r.Alpha*100, r.LamassuFS, r.PlainFS)
+		}
+		if r.LamassuFS > r.PlainFS+2.5 {
+			t.Errorf("α=%.0f%%: Lamassu overhead too large: %.2f%% vs %.2f%%", r.Alpha*100, r.LamassuFS, r.PlainFS)
+		}
+	}
+	// The paper: Lamassu's relative overhead grows with α (inversely
+	// proportional to 1-α).
+	first := rows[0].LamassuFS - rows[0].PlainFS
+	last := rows[len(rows)-1].LamassuFS - rows[len(rows)-1].PlainFS
+	if last <= first {
+		t.Errorf("relative overhead did not grow with α: %.3f vs %.3f", first, last)
+	}
+	out := FormatFig6(rows)
+	if !strings.Contains(out, "Figure 6") || !strings.Contains(out, "LamassuFS") {
+		t.Errorf("FormatFig6 output malformed:\n%s", out)
+	}
+}
+
+func TestTable1Shapes(t *testing.T) {
+	rows, err := Table1(256) // heavily scaled for test speed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	paperPlain := []float64{9.35, 15.40, 22.07, 36.73, 8.08}
+	for i, r := range rows {
+		// Plain dedup tracks the published column (the generator is
+		// calibrated to it).
+		if diff := r.PlainDedupPct - paperPlain[i]; diff < -1 || diff > 1 {
+			t.Errorf("%s: plain dedup %.2f%%, paper %.2f%%", r.Image, r.PlainDedupPct, paperPlain[i])
+		}
+		// Lamassu dedups almost as much: within 1.5 points below.
+		if r.LamassuDedupPct > r.PlainDedupPct {
+			t.Errorf("%s: Lamassu dedup exceeds plain", r.Image)
+		}
+		if r.PlainDedupPct-r.LamassuDedupPct > 1.5 {
+			t.Errorf("%s: Lamassu dedup %.2f%% too far below plain %.2f%%", r.Image, r.LamassuDedupPct, r.PlainDedupPct)
+		}
+		// Space overhead ~1–2% (paper: 1.01%–1.83%).
+		if r.OverheadPct < 0.5 || r.OverheadPct > 2.5 {
+			t.Errorf("%s: overhead %.2f%% outside the paper's range", r.Image, r.OverheadPct)
+		}
+	}
+	out := FormatTable1(rows)
+	if !strings.Contains(out, "FreeDOS.vdi") {
+		t.Errorf("FormatTable1 missing image names:\n%s", out)
+	}
+}
+
+func TestFig7NFSShapes(t *testing.T) {
+	tab, err := Fig7(smallFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Cells) != 20 {
+		t.Fatalf("cells = %d", len(tab.Cells))
+	}
+	// Writes: PlainFS beats both encrypted systems; EncFS beats
+	// full Lamassu (per-block hashing + metadata I/O).
+	for _, w := range []string{"seq-write", "rand-write"} {
+		plain := tab.Get("PlainFS", w)
+		enc := tab.Get("EncFS", w)
+		lms := tab.Get("LamassuFS", w)
+		if !(plain > enc && enc > lms) {
+			t.Errorf("%s: ordering plain=%.1f encfs=%.1f lamassu=%.1f, want plain > encfs > lamassu",
+				w, plain, enc, lms)
+		}
+	}
+	// Reads over NFS: all systems within a modest band (NFS I/O
+	// dominates, paper §4.2).
+	for _, w := range []string{"seq-read", "rand-read"} {
+		plain := tab.Get("PlainFS", w)
+		lms := tab.Get("LamassuFS", w)
+		if lms < plain/2 {
+			t.Errorf("%s: Lamassu %.1f MB/s below half of PlainFS %.1f — NFS should dominate reads",
+				w, lms, plain)
+		}
+	}
+	// All bandwidths must be NFS-plausible.
+	for _, c := range tab.Cells {
+		if c.MBps <= 0 || c.MBps > 200 {
+			t.Errorf("%s/%s: %.1f MB/s not in NFS regime", c.System, c.Workload, c.MBps)
+		}
+	}
+	out := FormatThroughput(tab)
+	if !strings.Contains(out, "remote filer") {
+		t.Errorf("FormatThroughput malformed:\n%s", out)
+	}
+}
+
+func TestFig8RAMShapes(t *testing.T) {
+	tab, err := Fig8(smallFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On a RAM disk CPU dominates: PlainFS beats every encrypted
+	// system on every workload.
+	for _, w := range []string{"seq-write", "seq-read", "rand-write", "rand-read", "rand-rw"} {
+		plain := tab.Get("PlainFS", w)
+		for _, s := range []string{"EncFS", "LamassuFS", "LamassuFS(meta-only)"} {
+			if tab.Get(s, w) >= plain {
+				t.Errorf("%s: %s (%.1f) not below PlainFS (%.1f)", w, s, tab.Get(s, w), plain)
+			}
+		}
+	}
+	// The meta-only read path must beat the full-integrity read path
+	// (the paper's 83.2% vs 22.8% below EncFS).
+	if full, meta := tab.Get("LamassuFS", "seq-read"), tab.Get("LamassuFS(meta-only)", "seq-read"); meta <= full {
+		t.Errorf("seq-read: meta-only (%.1f) not faster than full integrity (%.1f)", meta, full)
+	}
+	// Writes: EncFS beats Lamassu (extra SHA-256 per block).
+	if enc, lms := tab.Get("EncFS", "seq-write"), tab.Get("LamassuFS", "seq-write"); lms >= enc {
+		t.Errorf("seq-write: Lamassu (%.1f) not below EncFS (%.1f)", lms, enc)
+	}
+}
+
+func TestFig9Shapes(t *testing.T) {
+	rows, err := Fig9(smallFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	get := func(mode, wl string) Fig9Row {
+		for _, r := range rows {
+			if r.Mode == mode && r.Workload == wl {
+				return r
+			}
+		}
+		t.Fatalf("row %s/%s missing", mode, wl)
+		return Fig9Row{}
+	}
+	fullRead := get("full", "seq-read")
+	metaRead := get("meta-only", "seq-read")
+	// GetCEKey is a major component of the full-integrity read path
+	// and (near) absent from the meta-only read path — the paper's
+	// 81% read-latency reduction.
+	if fullRead.PerOp["GetCEKey"] == 0 {
+		t.Errorf("full read GetCEKey = 0")
+	}
+	if metaRead.PerOp["GetCEKey"] >= fullRead.PerOp["GetCEKey"]/2 {
+		t.Errorf("meta-only GetCEKey %v not well below full %v",
+			metaRead.PerOp["GetCEKey"], fullRead.PerOp["GetCEKey"])
+	}
+	if metaRead.TotalOp >= fullRead.TotalOp {
+		t.Errorf("meta-only read latency %v not below full %v", metaRead.TotalOp, fullRead.TotalOp)
+	}
+	// Writes hash every block in both modes.
+	fullWrite := get("full", "seq-write")
+	if fullWrite.PerOp["GetCEKey"] == 0 || fullWrite.PerOp["Encrypt"] == 0 {
+		t.Errorf("write path categories missing: %+v", fullWrite.PerOp)
+	}
+	out := FormatFig9(rows)
+	if !strings.Contains(out, "GetCEKey") {
+		t.Errorf("FormatFig9 malformed:\n%s", out)
+	}
+}
+
+func TestFig10Shapes(t *testing.T) {
+	rows, err := Fig10(smallFile, []int{1, 8, 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Write throughput improves substantially from R=1 to R=48
+	// (paper: 1.6x at the peak).
+	if rows[2].SeqWrite <= rows[0].SeqWrite {
+		t.Errorf("seq-write did not improve with R: R=1 %.1f, R=48 %.1f",
+			rows[0].SeqWrite, rows[2].SeqWrite)
+	}
+	if rows[2].RandWrite <= rows[0].RandWrite {
+		t.Errorf("rand-write did not improve with R: R=1 %.1f, R=48 %.1f",
+			rows[0].RandWrite, rows[2].RandWrite)
+	}
+	out := FormatFig10(rows)
+	if !strings.Contains(out, "seq-write") {
+		t.Errorf("FormatFig10 malformed:\n%s", out)
+	}
+}
+
+func TestFig11Shapes(t *testing.T) {
+	rows, err := Fig11(smallFile, []int{1, 8, 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Data-block percentage decreases with R at fixed α, and
+	// decreases with α at fixed R; all values live in the figure's
+	// 96–99.5% band.
+	for _, r := range rows {
+		prev := 101.0
+		for _, a := range Fig11Alphas {
+			pct := r.PctByAlpha[a]
+			if pct < 95 || pct > 99.5 {
+				t.Errorf("R=%d α=%.0f%%: %.2f%% outside the figure band", r.R, a*100, pct)
+			}
+			if pct > prev+0.01 {
+				t.Errorf("R=%d: %%data increased with α (%.2f after %.2f)", r.R, pct, prev)
+			}
+			prev = pct
+		}
+	}
+	for _, a := range Fig11Alphas {
+		if rows[2].PctByAlpha[a] >= rows[0].PctByAlpha[a] {
+			t.Errorf("α=%.0f%%: %%data did not fall from R=1 (%.2f) to R=60 (%.2f)",
+				a*100, rows[0].PctByAlpha[a], rows[2].PctByAlpha[a])
+		}
+	}
+	out := FormatFig11(rows)
+	if !strings.Contains(out, "Figure 11") {
+		t.Errorf("FormatFig11 malformed:\n%s", out)
+	}
+}

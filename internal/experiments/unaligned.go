@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"lamassu/internal/backend"
+	"lamassu/internal/encfs"
+	"lamassu/internal/fio"
+	"lamassu/internal/nfssim"
+	"lamassu/internal/simclock"
+)
+
+// UnalignedRow compares block-aligned and block-unaligned EncFS over
+// the simulated NFS filer — the observation that motivated the
+// paper's insistence on block-aligned metadata placement (§4.2):
+// "block-unaligned EncFS is at least 10x slower than block-aligned
+// one when used over NFS: 7MB/s versus 85MB/s throughput in the case
+// of seq-write."
+type UnalignedRow struct {
+	Workload      string
+	AlignedMBps   float64
+	UnalignedMBps float64
+}
+
+// Slowdown returns aligned/unaligned.
+func (r UnalignedRow) Slowdown() float64 {
+	if r.UnalignedMBps == 0 {
+		return 0
+	}
+	return r.AlignedMBps / r.UnalignedMBps
+}
+
+// UnalignedEncFS measures seq-write and seq-read for the two EncFS
+// placements over the NFS model.
+func UnalignedEncFS(fileBytes int64) ([]UnalignedRow, error) {
+	_, _, volume := testKeys()
+	run := func(aligned bool) (map[fio.Workload]fio.Result, error) {
+		clk := simclock.NewVirtual()
+		store := nfssim.New(backend.NewMemStore(), nfssim.GigabitNFS(), clk)
+		fs, err := encfs.New(store, encfs.Config{VolumeKey: volume, BlockSize: 4096, Aligned: aligned})
+		if err != nil {
+			return nil, err
+		}
+		cfg := fio.DefaultConfig(fileBytes)
+		cfg.Clock = clk
+		cfg.SyncEvery = 0
+		name, err := fio.Prepare(fs, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[fio.Workload]fio.Result, 2)
+		for _, w := range []fio.Workload{fio.SeqWrite, fio.SeqRead} {
+			res, err := fio.Run(fs, name, w, cfg)
+			if err != nil {
+				return nil, err
+			}
+			out[w] = res
+		}
+		return out, nil
+	}
+	alignedRes, err := run(true)
+	if err != nil {
+		return nil, fmt.Errorf("aligned encfs: %w", err)
+	}
+	unalignedRes, err := run(false)
+	if err != nil {
+		return nil, fmt.Errorf("unaligned encfs: %w", err)
+	}
+	rows := make([]UnalignedRow, 0, 2)
+	for _, w := range []fio.Workload{fio.SeqWrite, fio.SeqRead} {
+		rows = append(rows, UnalignedRow{
+			Workload:      w.String(),
+			AlignedMBps:   alignedRes[w].MBps(),
+			UnalignedMBps: unalignedRes[w].MBps(),
+		})
+	}
+	return rows, nil
+}
+
+// FormatUnaligned renders the comparison.
+func FormatUnaligned(rows []UnalignedRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation (§4.2): block-aligned vs unaligned EncFS over NFS (MB/s)\n")
+	fmt.Fprintf(&b, "%-12s %10s %12s %10s\n", "workload", "aligned", "unaligned", "slowdown")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %10.1f %12.1f %9.1fx\n", r.Workload, r.AlignedMBps, r.UnalignedMBps, r.Slowdown())
+	}
+	return b.String()
+}

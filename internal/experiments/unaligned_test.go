@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUnalignedEncFSCollapse(t *testing.T) {
+	rows, err := UnalignedEncFS(4 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.AlignedMBps <= r.UnalignedMBps {
+			t.Errorf("%s: unaligned (%.1f) not slower than aligned (%.1f)",
+				r.Workload, r.UnalignedMBps, r.AlignedMBps)
+		}
+	}
+	// The paper's headline: seq-write collapses >=10x (7 vs 85 MB/s).
+	var seqWrite UnalignedRow
+	for _, r := range rows {
+		if r.Workload == "seq-write" {
+			seqWrite = r
+		}
+	}
+	if seqWrite.Slowdown() < 5 {
+		t.Errorf("seq-write slowdown %.1fx, paper reports >=10x; model should give >=5x",
+			seqWrite.Slowdown())
+	}
+	out := FormatUnaligned(rows)
+	if !strings.Contains(out, "slowdown") {
+		t.Errorf("FormatUnaligned malformed:\n%s", out)
+	}
+}

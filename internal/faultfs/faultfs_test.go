@@ -1,0 +1,181 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"lamassu/internal/backend"
+)
+
+func TestPassThroughWhenDisarmed(t *testing.T) {
+	s := New(backend.NewMemStore())
+	if err := backend.WriteFile(s, "a", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := backend.ReadFile(s, "a")
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("round trip: %q %v", got, err)
+	}
+	if s.Crashed() {
+		t.Fatalf("crashed without being armed")
+	}
+}
+
+func TestCrashAfterWrites(t *testing.T) {
+	inner := backend.NewMemStore()
+	s := New(inner)
+	f, err := s.Open("f", backend.OpenCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s.Arm(ModeCrashAfter, 2, 0)
+	// Write 1 succeeds.
+	if _, err := f.WriteAt([]byte("aaaa"), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Write 2 succeeds (trigger: applied, then crash).
+	if _, err := f.WriteAt([]byte("bbbb"), 4); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Crashed() {
+		t.Fatalf("not crashed after trigger")
+	}
+	// Write 3 is lost.
+	if _, err := f.WriteAt([]byte("cccc"), 8); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync: %v", err)
+	}
+	if err := f.Truncate(0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash truncate: %v", err)
+	}
+
+	// "Reboot": reads still see the first two writes only.
+	got, err := backend.ReadFile(inner, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("aaaabbbb")) {
+		t.Fatalf("surviving content %q", got)
+	}
+}
+
+func TestCrashBeforeWrites(t *testing.T) {
+	inner := backend.NewMemStore()
+	s := New(inner)
+	f, _ := s.Open("f", backend.OpenCreate)
+	s.Arm(ModeCrashBefore, 2, 0)
+	if _, err := f.WriteAt([]byte("aaaa"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("bbbb"), 4); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("trigger write should fail: %v", err)
+	}
+	got, err := backend.ReadFile(inner, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("aaaa")) {
+		t.Fatalf("dropped write leaked: %q", got)
+	}
+}
+
+func TestTornWrite(t *testing.T) {
+	inner := backend.NewMemStore()
+	s := New(inner)
+	f, _ := s.Open("f", backend.OpenCreate)
+	if _, err := f.WriteAt(bytes.Repeat([]byte{0xAA}, 8), 0); err != nil {
+		t.Fatal(err)
+	}
+	s.Arm(ModeTorn, 1, 0.5)
+	if _, err := f.WriteAt(bytes.Repeat([]byte{0xBB}, 8), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("torn write should report crash: %v", err)
+	}
+	got, _ := backend.ReadFile(inner, "f")
+	want := append(bytes.Repeat([]byte{0xBB}, 4), bytes.Repeat([]byte{0xAA}, 4)...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("torn content %x, want %x", got, want)
+	}
+}
+
+func TestTornWriteNeverFullyApplies(t *testing.T) {
+	inner := backend.NewMemStore()
+	s := New(inner)
+	f, _ := s.Open("f", backend.OpenCreate)
+	s.Arm(ModeTorn, 1, 1.5) // fraction > 1 clamps to n-1 bytes
+	if _, err := f.WriteAt(bytes.Repeat([]byte{0xCC}, 4), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("expected crash")
+	}
+	got, _ := backend.ReadFile(inner, "f")
+	if len(got) != 3 {
+		t.Fatalf("torn write applied %d bytes, want 3", len(got))
+	}
+}
+
+func TestDisarmClearsCrash(t *testing.T) {
+	s := New(backend.NewMemStore())
+	f, _ := s.Open("f", backend.OpenCreate)
+	s.Arm(ModeCrashBefore, 1, 0)
+	if _, err := f.WriteAt([]byte("x"), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatal("expected crash")
+	}
+	s.Disarm()
+	if _, err := f.WriteAt([]byte("x"), 0); err != nil {
+		t.Fatalf("write after disarm: %v", err)
+	}
+}
+
+func TestWriteCountEnumeration(t *testing.T) {
+	s := New(backend.NewMemStore())
+	f, _ := s.Open("f", backend.OpenCreate)
+	for i := 0; i < 5; i++ {
+		if _, err := f.WriteAt([]byte{1}, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.WriteCount(); got != 5 {
+		t.Fatalf("WriteCount = %d, want 5", got)
+	}
+	s.ResetWriteCount()
+	if got := s.WriteCount(); got != 0 {
+		t.Fatalf("after reset WriteCount = %d", got)
+	}
+}
+
+func TestPostCrashMutationBlocked(t *testing.T) {
+	inner := backend.NewMemStore()
+	if err := backend.WriteFile(inner, "keep", []byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	s := New(inner)
+	f, _ := s.Open("f", backend.OpenCreate)
+	s.Arm(ModeCrashBefore, 1, 0)
+	_, _ = f.WriteAt([]byte("x"), 0)
+
+	if err := s.Remove("keep"); !errors.Is(err, ErrCrashed) {
+		t.Errorf("Remove after crash: %v", err)
+	}
+	if err := s.Rename("keep", "gone"); !errors.Is(err, ErrCrashed) {
+		t.Errorf("Rename after crash: %v", err)
+	}
+	// Reads and listing still work — the "rebooted" recovery path
+	// needs them.
+	if _, err := backend.ReadFile(s, "keep"); err != nil {
+		t.Errorf("read after crash: %v", err)
+	}
+	if _, err := s.List(); err != nil {
+		t.Errorf("List after crash: %v", err)
+	}
+	if _, err := s.Stat("keep"); err != nil {
+		t.Errorf("Stat after crash: %v", err)
+	}
+	// Reopening an existing file read-write works (recovery).
+	g, err := s.Open("keep", backend.OpenWrite)
+	if err != nil {
+		t.Fatalf("reopen for recovery: %v", err)
+	}
+	g.Close()
+}

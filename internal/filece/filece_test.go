@@ -1,0 +1,176 @@
+package filece
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"lamassu/internal/backend"
+	"lamassu/internal/core"
+	"lamassu/internal/cryptoutil"
+	"lamassu/internal/dedupe"
+	"lamassu/internal/fstest"
+	"lamassu/internal/vfs"
+)
+
+func key(b byte) cryptoutil.Key {
+	var k cryptoutil.Key
+	for i := range k {
+		k[i] = b + byte(i*5)
+	}
+	return k
+}
+
+func newFS(t *testing.T, store backend.Store) *FS {
+	t.Helper()
+	fs, err := New(store, Config{Inner: key(1), Outer: key(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestConformance(t *testing.T) {
+	fstest.Conformance(t, func(t *testing.T) vfs.FS {
+		return newFS(t, backend.NewMemStore())
+	})
+}
+
+func TestConfigValidation(t *testing.T) {
+	store := backend.NewMemStore()
+	if _, err := New(store, Config{Outer: key(2)}); err == nil {
+		t.Errorf("zero inner accepted")
+	}
+	if _, err := New(store, Config{Inner: key(1)}); err == nil {
+		t.Errorf("zero outer accepted")
+	}
+	if _, err := New(store, Config{Inner: key(1), Outer: key(1)}); err == nil {
+		t.Errorf("identical keys accepted")
+	}
+}
+
+// Identical whole files converge: full deduplication across files.
+func TestIdenticalFilesFullyDedup(t *testing.T) {
+	store := backend.NewMemStore()
+	fs := newFS(t, store)
+	data := make([]byte, 64*4096)
+	rand.New(rand.NewSource(1)).Read(data)
+	if err := vfs.WriteAll(fs, "a", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteAll(fs, "b", data); err != nil {
+		t.Fatal(err)
+	}
+	rawA, _ := backend.ReadFile(store, "a")
+	rawB, _ := backend.ReadFile(store, "b")
+	// Everything but the 80-byte randomized header is identical.
+	if !bytes.Equal(rawA[80:], rawB[80:]) {
+		t.Fatalf("identical files produced different ciphertext")
+	}
+	if bytes.Equal(rawA[:80], rawB[:80]) {
+		t.Fatalf("headers should be independently sealed (random nonces)")
+	}
+}
+
+// The paper's §5.2 point: a one-byte difference destroys ALL per-file
+// CE dedup, while Lamassu's per-block approach keeps everything but
+// the touched block.
+func TestPerFileVsPerBlockDedup(t *testing.T) {
+	const blocks = 118 // one full Lamassu segment
+	base := make([]byte, blocks*4096)
+	rand.New(rand.NewSource(2)).Read(base)
+	edited := append([]byte(nil), base...)
+	edited[13*4096+100] ^= 0xFF // single-byte edit in block 13
+
+	// Per-file CE volume.
+	fileStore := backend.NewMemStore()
+	ffs := newFS(t, fileStore)
+	if err := vfs.WriteAll(ffs, "v1", base); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteAll(ffs, "v2", edited); err != nil {
+		t.Fatal(err)
+	}
+
+	// Lamassu volume.
+	lmsStore := backend.NewMemStore()
+	lfs, err := core.New(lmsStore, core.Config{Inner: key(1), Outer: key(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteAll(lfs, "v1", base); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteAll(lfs, "v2", edited); err != nil {
+		t.Fatal(err)
+	}
+
+	eng, _ := dedupe.NewEngine(4096)
+	fileRep, err := eng.Scan(fileStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmsRep, err := eng.Scan(lmsStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Per-file CE: the two versions share nothing (headers shift the
+	// stream by 80 bytes AND the key differs — every block distinct).
+	if fileRep.DuplicateBlocks != 0 {
+		t.Fatalf("per-file CE deduplicated %d blocks across edited versions", fileRep.DuplicateBlocks)
+	}
+	// Lamassu: all but the edited block dedup (117 of 118).
+	if lmsRep.DuplicateBlocks != blocks-1 {
+		t.Fatalf("Lamassu deduplicated %d blocks, want %d", lmsRep.DuplicateBlocks, blocks-1)
+	}
+}
+
+func TestWrongKeysRejected(t *testing.T) {
+	store := backend.NewMemStore()
+	fs := newFS(t, store)
+	if err := vfs.WriteAll(fs, "f", []byte("secret")); err != nil {
+		t.Fatal(err)
+	}
+	wrongOuter, _ := New(store, Config{Inner: key(1), Outer: key(9)})
+	if _, err := wrongOuter.Open("f"); err == nil {
+		t.Fatalf("wrong outer key opened file")
+	}
+	// Wrong inner: header opens (outer correct) but the whole-file
+	// integrity check fails.
+	wrongInner, _ := New(store, Config{Inner: key(8), Outer: key(2)})
+	if _, err := wrongInner.Open("f"); err == nil {
+		t.Fatalf("wrong inner key passed integrity check")
+	}
+}
+
+func TestCorruptionDetectedOnOpen(t *testing.T) {
+	store := backend.NewMemStore()
+	fs := newFS(t, store)
+	data := make([]byte, 100000)
+	rand.New(rand.NewSource(3)).Read(data)
+	if err := vfs.WriteAll(fs, "f", data); err != nil {
+		t.Fatal(err)
+	}
+	bf, _ := store.Open("f", backend.OpenWrite)
+	if _, err := bf.WriteAt([]byte{0xFF}, 50000); err != nil {
+		t.Fatal(err)
+	}
+	bf.Close()
+	if _, err := fs.Open("f"); err == nil {
+		t.Fatalf("corrupted file opened cleanly")
+	}
+}
+
+func TestPlaintextNotOnDisk(t *testing.T) {
+	store := backend.NewMemStore()
+	fs := newFS(t, store)
+	secret := bytes.Repeat([]byte("FILECE-SECRET"), 1000)
+	if err := vfs.WriteAll(fs, "f", secret); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := backend.ReadFile(store, "f")
+	if bytes.Contains(raw, []byte("FILECE-SECRET")) {
+		t.Fatalf("plaintext leaked to backing store")
+	}
+}

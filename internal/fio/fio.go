@@ -1,0 +1,278 @@
+// Package fio reimplements the slice of FIO-tester behaviour the
+// paper's performance evaluation uses (§4.2): synchronous 4 KiB I/O
+// against a single preallocated file, in five access patterns —
+// sequential read, sequential write, random read, random write, and
+// mixed random read/write at a 7:3 ratio — reporting throughput in
+// bytes per second.
+//
+// Time is measured on a pluggable simclock.Clock, so the same runner
+// produces real wall-clock numbers on a RAM-disk backend (Figure 8)
+// and simulated-time numbers over the NFS latency model (Figure 7)
+// without actually sleeping.
+package fio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"lamassu/internal/simclock"
+	"lamassu/internal/vfs"
+)
+
+// Workload identifies one of the paper's five FIO patterns.
+type Workload int
+
+const (
+	// SeqWrite writes the file sequentially, block by block.
+	SeqWrite Workload = iota
+	// SeqRead reads the file sequentially.
+	SeqRead
+	// RandWrite writes blocks at uniformly random aligned offsets.
+	RandWrite
+	// RandRead reads blocks at uniformly random aligned offsets.
+	RandRead
+	// RandRW mixes random reads and writes at the paper's 7:3 ratio.
+	RandRW
+)
+
+// Workloads lists all patterns in the paper's presentation order
+// (Figure 7's x-axis).
+func Workloads() []Workload {
+	return []Workload{SeqWrite, SeqRead, RandWrite, RandRead, RandRW}
+}
+
+// String returns the paper's label for the workload.
+func (w Workload) String() string {
+	switch w {
+	case SeqWrite:
+		return "seq-write"
+	case SeqRead:
+		return "seq-read"
+	case RandWrite:
+		return "rand-write"
+	case RandRead:
+		return "rand-read"
+	case RandRW:
+		return "rand-rw"
+	default:
+		return fmt.Sprintf("Workload(%d)", int(w))
+	}
+}
+
+// IsWrite reports whether the workload performs any writes.
+func (w Workload) IsWrite() bool { return w == SeqWrite || w == RandWrite || w == RandRW }
+
+// readRatio returns the fraction of operations that are reads.
+func (w Workload) readRatio() float64 {
+	switch w {
+	case SeqRead, RandRead:
+		return 1
+	case RandRW:
+		return 0.7 // the paper's 7:3 read/write mix
+	default:
+		return 0
+	}
+}
+
+// Config parameterizes a run.
+type Config struct {
+	// FileSize is the size of the single test file (the paper uses
+	// 256 MiB).
+	FileSize int64
+	// BlockSize is the I/O unit (the paper uses 4 KiB).
+	BlockSize int
+	// Ops is the number of I/O operations to issue. Zero means one
+	// pass over the file (FileSize/BlockSize operations).
+	Ops int
+	// Seed makes runs reproducible.
+	Seed int64
+	// Clock supplies time; nil means the real clock.
+	Clock simclock.Clock
+	// SyncEvery issues an fsync after every N writes; 1 reproduces
+	// the paper's synchronous I/O. 0 disables periodic sync (a final
+	// Sync is always issued for write workloads).
+	SyncEvery int
+}
+
+// DefaultConfig returns the paper's FIO parameters scaled by size.
+func DefaultConfig(fileSize int64) Config {
+	return Config{FileSize: fileSize, BlockSize: 4096, Seed: 1, SyncEvery: 1}
+}
+
+// Result summarizes one workload run.
+type Result struct {
+	Workload  Workload
+	Ops       int
+	Bytes     int64
+	Elapsed   time.Duration
+	ReadOps   int
+	WriteOps  int
+	BytesRead int64
+	BytesWrit int64
+}
+
+// Bandwidth returns the throughput in bytes per second.
+func (r Result) Bandwidth() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / r.Elapsed.Seconds()
+}
+
+// MBps returns the throughput in megabytes (1e6 bytes) per second,
+// the unit of Figures 7, 8 and 10.
+func (r Result) MBps() float64 { return r.Bandwidth() / 1e6 }
+
+// Prepare creates (or replaces) the test file on fs with FileSize
+// bytes of incompressible, non-duplicate content, mirroring the
+// paper's setup step. It returns the file name used.
+func Prepare(fs vfs.FS, cfg Config) (string, error) {
+	if err := validate(cfg); err != nil {
+		return "", err
+	}
+	const name = "fio-testfile"
+	f, err := fs.Create(name)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	if err := f.Truncate(0); err != nil {
+		return "", err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5EED))
+	buf := make([]byte, 1<<20)
+	var off int64
+	for off < cfg.FileSize {
+		n := int64(len(buf))
+		if off+n > cfg.FileSize {
+			n = cfg.FileSize - off
+		}
+		rng.Read(buf[:n])
+		if _, err := f.WriteAt(buf[:n], off); err != nil {
+			return "", err
+		}
+		off += n
+	}
+	if err := f.Sync(); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+func validate(cfg Config) error {
+	if cfg.FileSize <= 0 {
+		return errors.New("fio: FileSize must be positive")
+	}
+	if cfg.BlockSize <= 0 {
+		return errors.New("fio: BlockSize must be positive")
+	}
+	if cfg.FileSize < int64(cfg.BlockSize) {
+		return errors.New("fio: FileSize smaller than BlockSize")
+	}
+	return nil
+}
+
+// Run executes one workload against the prepared file and reports the
+// measured throughput.
+func Run(fs vfs.FS, name string, w Workload, cfg Config) (Result, error) {
+	if err := validate(cfg); err != nil {
+		return Result{}, err
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	nBlocks := cfg.FileSize / int64(cfg.BlockSize)
+	ops := cfg.Ops
+	if ops == 0 {
+		ops = int(nBlocks)
+	}
+	f, err := fs.OpenRW(name)
+	if err != nil {
+		return Result{}, err
+	}
+	defer f.Close()
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	buf := make([]byte, cfg.BlockSize)
+	rng.Read(buf)
+
+	res := Result{Workload: w, Ops: ops}
+	readRatio := w.readRatio()
+	// On a virtual clock (the NFS simulation) the clock advances only
+	// by simulated I/O waits; the real CPU time spent hashing and
+	// encrypting must be added on top, because a synchronous I/O path
+	// serializes compute with network waits. On a real clock the
+	// stopwatch already covers both.
+	_, virtualTime := clock.(*simclock.Virtual)
+	realStart := time.Now()
+	sw := simclock.NewStopwatch(clock)
+	for i := 0; i < ops; i++ {
+		var blockIdx int64
+		switch w {
+		case SeqWrite, SeqRead:
+			blockIdx = int64(i) % nBlocks
+		default:
+			blockIdx = rng.Int63n(nBlocks)
+		}
+		off := blockIdx * int64(cfg.BlockSize)
+		isRead := readRatio == 1 || (readRatio > 0 && rng.Float64() < readRatio)
+		if isRead {
+			if _, err := f.ReadAt(buf, off); err != nil && !errors.Is(err, io.EOF) {
+				return res, fmt.Errorf("fio: %s read at %d: %w", w, off, err)
+			}
+			res.ReadOps++
+			res.BytesRead += int64(cfg.BlockSize)
+		} else {
+			// Vary content so convergent encryption cannot shortcut
+			// to a single repeated ciphertext block.
+			buf[0] = byte(i)
+			buf[1] = byte(i >> 8)
+			buf[2] = byte(i >> 16)
+			if _, err := f.WriteAt(buf, off); err != nil {
+				return res, fmt.Errorf("fio: %s write at %d: %w", w, off, err)
+			}
+			res.WriteOps++
+			res.BytesWrit += int64(cfg.BlockSize)
+			if cfg.SyncEvery > 0 && res.WriteOps%cfg.SyncEvery == 0 {
+				if err := f.Sync(); err != nil {
+					return res, fmt.Errorf("fio: sync: %w", err)
+				}
+			}
+		}
+	}
+	if w.IsWrite() {
+		if err := f.Sync(); err != nil {
+			return res, fmt.Errorf("fio: final sync: %w", err)
+		}
+	}
+	res.Elapsed = sw.Elapsed()
+	if virtualTime {
+		res.Elapsed += time.Since(realStart)
+	}
+	res.Bytes = res.BytesRead + res.BytesWrit
+	return res, nil
+}
+
+// RunAll executes every workload in order, re-preparing the file
+// before each write workload so runs are independent, and flushing
+// nothing in between (reads hit the backing store; the paper flushed
+// the page cache between runs — our backends have no host cache).
+func RunAll(fs vfs.FS, cfg Config) (map[Workload]Result, error) {
+	name, err := Prepare(fs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[Workload]Result, 5)
+	for _, w := range Workloads() {
+		r, err := Run(fs, name, w, cfg)
+		if err != nil {
+			return out, err
+		}
+		out[w] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,194 @@
+package fio
+
+import (
+	"testing"
+	"time"
+
+	"lamassu/internal/backend"
+	"lamassu/internal/nfssim"
+	"lamassu/internal/plainfs"
+	"lamassu/internal/simclock"
+)
+
+func TestWorkloadStrings(t *testing.T) {
+	want := map[Workload]string{
+		SeqWrite:  "seq-write",
+		SeqRead:   "seq-read",
+		RandWrite: "rand-write",
+		RandRead:  "rand-read",
+		RandRW:    "rand-rw",
+	}
+	for w, s := range want {
+		if w.String() != s {
+			t.Errorf("%d.String() = %q", w, w.String())
+		}
+	}
+	if len(Workloads()) != 5 {
+		t.Errorf("Workloads() = %v", Workloads())
+	}
+	if Workload(99).String() == "" {
+		t.Errorf("unknown workload string empty")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	fs := plainfs.New(backend.NewMemStore())
+	if _, err := Prepare(fs, Config{FileSize: 0, BlockSize: 4096}); err == nil {
+		t.Errorf("zero FileSize accepted")
+	}
+	if _, err := Prepare(fs, Config{FileSize: 4096, BlockSize: 0}); err == nil {
+		t.Errorf("zero BlockSize accepted")
+	}
+	if _, err := Prepare(fs, Config{FileSize: 100, BlockSize: 4096}); err == nil {
+		t.Errorf("FileSize < BlockSize accepted")
+	}
+}
+
+func TestPrepareCreatesFile(t *testing.T) {
+	fs := plainfs.New(backend.NewMemStore())
+	cfg := DefaultConfig(1 << 20)
+	name, err := Prepare(fs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sz, err := fs.Stat(name)
+	if err != nil || sz != 1<<20 {
+		t.Fatalf("prepared file: %d, %v", sz, err)
+	}
+}
+
+func TestRunCountsOps(t *testing.T) {
+	fs := plainfs.New(backend.NewMemStore())
+	cfg := DefaultConfig(1 << 20) // 256 blocks
+	cfg.Clock = simclock.NewVirtual()
+	name, err := Prepare(fs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, w := range Workloads() {
+		r, err := Run(fs, name, w, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", w, err)
+		}
+		if r.Ops != 256 || r.ReadOps+r.WriteOps != 256 {
+			t.Fatalf("%s: ops=%d read=%d write=%d", w, r.Ops, r.ReadOps, r.WriteOps)
+		}
+		if r.Bytes != 256*4096 {
+			t.Fatalf("%s: bytes=%d", w, r.Bytes)
+		}
+		switch w {
+		case SeqRead, RandRead:
+			if r.WriteOps != 0 {
+				t.Fatalf("%s issued writes", w)
+			}
+		case SeqWrite, RandWrite:
+			if r.ReadOps != 0 {
+				t.Fatalf("%s issued reads", w)
+			}
+		case RandRW:
+			ratio := float64(r.ReadOps) / float64(r.Ops)
+			if ratio < 0.6 || ratio > 0.8 {
+				t.Fatalf("rand-rw read ratio %v, want ~0.7", ratio)
+			}
+		}
+	}
+}
+
+func TestRunDeterministicOffsets(t *testing.T) {
+	// Same seed => identical op mix.
+	fs := plainfs.New(backend.NewMemStore())
+	cfg := DefaultConfig(1 << 20)
+	cfg.Clock = simclock.NewVirtual()
+	name, _ := Prepare(fs, cfg)
+	a, err := Run(fs, name, RandRW, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(fs, name, RandRW, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ReadOps != b.ReadOps || a.WriteOps != b.WriteOps {
+		t.Fatalf("same seed, different mixes: %+v vs %+v", a, b)
+	}
+}
+
+func TestBandwidthMath(t *testing.T) {
+	r := Result{Bytes: 100e6, Elapsed: 2 * time.Second}
+	if got := r.Bandwidth(); got != 50e6 {
+		t.Fatalf("Bandwidth = %v", got)
+	}
+	if got := r.MBps(); got != 50 {
+		t.Fatalf("MBps = %v", got)
+	}
+	if (Result{}).Bandwidth() != 0 {
+		t.Fatalf("zero elapsed not handled")
+	}
+}
+
+// Over the simulated NFS link, measured time comes from the virtual
+// clock: bandwidths land in the NFS regime and reads are cheaper than
+// sync writes (as in Figure 7).
+func TestVirtualClockNFSRegime(t *testing.T) {
+	clk := simclock.NewVirtual()
+	store := nfssim.New(backend.NewMemStore(), nfssim.GigabitNFS(), clk)
+	fs := plainfs.New(store)
+	cfg := DefaultConfig(1 << 20)
+	cfg.Clock = clk
+	name, err := Prepare(fs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Run(fs, name, SeqWrite, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(fs, name, SeqRead, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Elapsed <= 0 || r.Elapsed <= 0 {
+		t.Fatalf("virtual elapsed not recorded: %v %v", w.Elapsed, r.Elapsed)
+	}
+	if !(r.MBps() > w.MBps()) {
+		t.Fatalf("NFS reads (%.1f MB/s) should beat sync writes (%.1f MB/s)", r.MBps(), w.MBps())
+	}
+	if r.MBps() > 200 {
+		t.Fatalf("NFS read bandwidth %.1f MB/s above wire speed", r.MBps())
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	fs := plainfs.New(backend.NewMemStore())
+	cfg := DefaultConfig(512 << 10)
+	cfg.Clock = simclock.NewVirtual()
+	res, err := RunAll(fs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 {
+		t.Fatalf("results = %d", len(res))
+	}
+	for w, r := range res {
+		if r.Workload != w {
+			t.Fatalf("mislabelled result: %v vs %v", r.Workload, w)
+		}
+	}
+}
+
+func TestSyncEveryZeroSkipsPeriodicSync(t *testing.T) {
+	mem := backend.NewMemStore()
+	fs := plainfs.New(mem)
+	cfg := DefaultConfig(256 << 10)
+	cfg.Clock = simclock.NewVirtual()
+	cfg.SyncEvery = 0
+	name, _ := Prepare(fs, cfg)
+	mem.ResetStats()
+	if _, err := Run(fs, name, SeqWrite, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := mem.Stats().Syncs; got != 1 { // only the final sync
+		t.Fatalf("syncs = %d, want 1", got)
+	}
+}

@@ -1,0 +1,460 @@
+// Package fstest provides a behavioural conformance suite that every
+// vfs.FS implementation in this repository (PlainFS, EncFS,
+// LamassuFS) must pass. Running the identical suite against all three
+// systems is what guarantees the paper's performance and storage
+// comparisons are comparing equivalent file semantics.
+package fstest
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"lamassu/internal/vfs"
+)
+
+// Maker constructs a fresh, empty file system for one subtest.
+type Maker func(t *testing.T) vfs.FS
+
+// Conformance runs the full behavioural suite.
+func Conformance(t *testing.T, mk Maker) {
+	t.Run("OpenMissing", func(t *testing.T) {
+		fs := mk(t)
+		if _, err := fs.Open("missing"); !errors.Is(err, vfs.ErrNotExist) {
+			t.Fatalf("Open(missing) = %v, want ErrNotExist", err)
+		}
+		if _, err := fs.OpenRW("missing"); !errors.Is(err, vfs.ErrNotExist) {
+			t.Fatalf("OpenRW(missing) = %v, want ErrNotExist", err)
+		}
+		if _, err := fs.Stat("missing"); !errors.Is(err, vfs.ErrNotExist) {
+			t.Fatalf("Stat(missing) = %v, want ErrNotExist", err)
+		}
+		if err := fs.Remove("missing"); !errors.Is(err, vfs.ErrNotExist) {
+			t.Fatalf("Remove(missing) = %v, want ErrNotExist", err)
+		}
+	})
+
+	t.Run("EmptyFile", func(t *testing.T) {
+		fs := mk(t)
+		f, err := fs.Create("empty")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sz, err := f.Size(); err != nil || sz != 0 {
+			t.Fatalf("new file Size = %d, %v", sz, err)
+		}
+		if _, err := f.ReadAt(make([]byte, 1), 0); !errors.Is(err, io.EOF) {
+			t.Fatalf("read empty file: %v", err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if sz, err := fs.Stat("empty"); err != nil || sz != 0 {
+			t.Fatalf("Stat(empty) = %d, %v", sz, err)
+		}
+	})
+
+	t.Run("SmallRoundTrip", func(t *testing.T) {
+		fs := mk(t)
+		data := []byte("the quick brown fox jumps over the lazy dog")
+		if err := vfs.WriteAll(fs, "small", data); err != nil {
+			t.Fatal(err)
+		}
+		got, err := vfs.ReadAll(fs, "small")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("round trip: %q", got)
+		}
+		if sz, _ := fs.Stat("small"); sz != int64(len(data)) {
+			t.Fatalf("Stat = %d, want %d", sz, len(data))
+		}
+	})
+
+	t.Run("ExactBlockSizes", func(t *testing.T) {
+		fs := mk(t)
+		rng := rand.New(rand.NewSource(1))
+		for _, n := range []int{1, 15, 16, 4095, 4096, 4097, 8192, 12288, 100000} {
+			data := make([]byte, n)
+			rng.Read(data)
+			name := "f" + string(rune('a'+n%26))
+			if err := vfs.WriteAll(fs, name, data); err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			got, err := vfs.ReadAll(fs, name)
+			if err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("n=%d: round trip mismatch", n)
+			}
+		}
+	})
+
+	t.Run("LargeMultiSegment", func(t *testing.T) {
+		fs := mk(t)
+		// Larger than one Lamassu segment (118 blocks * 4 KiB = 472
+		// KiB) so segment-boundary logic is exercised.
+		data := make([]byte, 600*4096+123)
+		rand.New(rand.NewSource(2)).Read(data)
+		if err := vfs.WriteAll(fs, "big", data); err != nil {
+			t.Fatal(err)
+		}
+		got, err := vfs.ReadAll(fs, "big")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("large round trip mismatch")
+		}
+	})
+
+	t.Run("OverwriteMiddle", func(t *testing.T) {
+		fs := mk(t)
+		data := bytes.Repeat([]byte{0xAA}, 5*4096)
+		if err := vfs.WriteAll(fs, "f", data); err != nil {
+			t.Fatal(err)
+		}
+		f, err := fs.OpenRW("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		patch := bytes.Repeat([]byte{0xBB}, 1000)
+		if _, err := f.WriteAt(patch, 6000); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		want := append([]byte(nil), data...)
+		copy(want[6000:], patch)
+		got, err := vfs.ReadAll(fs, "f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("overwrite mismatch")
+		}
+	})
+
+	t.Run("UnalignedWrites", func(t *testing.T) {
+		fs := mk(t)
+		f, err := fs.Create("u")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		shadow := make([]byte, 20000)
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 50; i++ {
+			off := rng.Intn(19000)
+			n := rng.Intn(999) + 1
+			chunk := make([]byte, n)
+			rng.Read(chunk)
+			if _, err := f.WriteAt(chunk, int64(off)); err != nil {
+				t.Fatalf("write %d: %v", i, err)
+			}
+			copy(shadow[off:off+n], chunk)
+		}
+		// The file grew to the high-water mark of the writes.
+		size, err := f.Size()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, size)
+		if _, err := f.ReadAt(got, 0); err != nil && !errors.Is(err, io.EOF) {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, shadow[:size]) {
+			t.Fatalf("random write pattern mismatch")
+		}
+	})
+
+	t.Run("SparseGapZeroFilled", func(t *testing.T) {
+		fs := mk(t)
+		f, err := fs.Create("sparse")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if _, err := f.WriteAt([]byte{0xEE}, 10000); err != nil {
+			t.Fatal(err)
+		}
+		if sz, _ := f.Size(); sz != 10001 {
+			t.Fatalf("size = %d, want 10001", sz)
+		}
+		got := make([]byte, 10001)
+		if _, err := f.ReadAt(got, 0); err != nil && !errors.Is(err, io.EOF) {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10000; i++ {
+			if got[i] != 0 {
+				t.Fatalf("gap byte %d = %#x", i, got[i])
+			}
+		}
+		if got[10000] != 0xEE {
+			t.Fatalf("tail byte = %#x", got[10000])
+		}
+	})
+
+	t.Run("ReadPastEOF", func(t *testing.T) {
+		fs := mk(t)
+		if err := vfs.WriteAll(fs, "f", []byte("abc")); err != nil {
+			t.Fatal(err)
+		}
+		f, err := fs.Open("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		buf := make([]byte, 10)
+		n, err := f.ReadAt(buf, 0)
+		if n != 3 || !errors.Is(err, io.EOF) {
+			t.Fatalf("short read: n=%d err=%v", n, err)
+		}
+		if !bytes.Equal(buf[:3], []byte("abc")) {
+			t.Fatalf("short read content %q", buf[:3])
+		}
+		if _, err := f.ReadAt(buf, 50); !errors.Is(err, io.EOF) {
+			t.Fatalf("read past EOF: %v", err)
+		}
+	})
+
+	t.Run("TruncateShrinkGrow", func(t *testing.T) {
+		fs := mk(t)
+		data := make([]byte, 3*4096+100)
+		rand.New(rand.NewSource(4)).Read(data)
+		if err := vfs.WriteAll(fs, "t", data); err != nil {
+			t.Fatal(err)
+		}
+		f, err := fs.OpenRW("t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+
+		// Shrink to a mid-block boundary.
+		if err := f.Truncate(5000); err != nil {
+			t.Fatal(err)
+		}
+		if sz, _ := f.Size(); sz != 5000 {
+			t.Fatalf("after shrink size = %d", sz)
+		}
+		got := make([]byte, 5000)
+		if _, err := f.ReadAt(got, 0); err != nil && !errors.Is(err, io.EOF) {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data[:5000]) {
+			t.Fatalf("shrink lost data")
+		}
+
+		// Grow back; the re-extended range must be zero.
+		if err := f.Truncate(9000); err != nil {
+			t.Fatal(err)
+		}
+		if sz, _ := f.Size(); sz != 9000 {
+			t.Fatalf("after grow size = %d", sz)
+		}
+		got = make([]byte, 9000)
+		if _, err := f.ReadAt(got, 0); err != nil && !errors.Is(err, io.EOF) {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got[:5000], data[:5000]) {
+			t.Fatalf("grow corrupted prefix")
+		}
+		for i := 5000; i < 9000; i++ {
+			if got[i] != 0 {
+				t.Fatalf("grown byte %d = %#x, want 0", i, got[i])
+			}
+		}
+
+		// Truncate to zero.
+		if err := f.Truncate(0); err != nil {
+			t.Fatal(err)
+		}
+		if sz, _ := f.Size(); sz != 0 {
+			t.Fatalf("after truncate(0) size = %d", sz)
+		}
+		if err := f.Truncate(-1); err == nil {
+			t.Fatalf("negative truncate accepted")
+		}
+	})
+
+	t.Run("TruncateExactBlock", func(t *testing.T) {
+		fs := mk(t)
+		data := make([]byte, 2*4096)
+		rand.New(rand.NewSource(5)).Read(data)
+		if err := vfs.WriteAll(fs, "tb", data); err != nil {
+			t.Fatal(err)
+		}
+		f, err := fs.OpenRW("tb")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := f.Truncate(4096); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 4096)
+		if _, err := f.ReadAt(got, 0); err != nil && !errors.Is(err, io.EOF) {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data[:4096]) {
+			t.Fatalf("exact-block truncate mismatch")
+		}
+	})
+
+	t.Run("PersistenceAcrossReopen", func(t *testing.T) {
+		fs := mk(t)
+		data := make([]byte, 150000)
+		rand.New(rand.NewSource(6)).Read(data)
+		if err := vfs.WriteAll(fs, "p", data); err != nil {
+			t.Fatal(err)
+		}
+		// Reopen read-only and verify.
+		got, err := vfs.ReadAll(fs, "p")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("reopen mismatch")
+		}
+		// Append through a second handle.
+		f, err := fs.OpenRW("p")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt([]byte("tail"), int64(len(data))); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, err = vfs.ReadAll(fs, "p")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(data)+4 || !bytes.Equal(got[len(data):], []byte("tail")) {
+			t.Fatalf("append after reopen failed")
+		}
+	})
+
+	t.Run("RemoveAndList", func(t *testing.T) {
+		fs := mk(t)
+		for _, n := range []string{"a", "b", "c"} {
+			if err := vfs.WriteAll(fs, n, []byte(n)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := fs.Remove("b"); err != nil {
+			t.Fatal(err)
+		}
+		names, err := fs.List()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(names) != 2 || names[0] != "a" || names[1] != "c" {
+			t.Fatalf("List = %v", names)
+		}
+	})
+
+	t.Run("CopyBetweenFS", func(t *testing.T) {
+		src := mk(t)
+		dst := mk(t)
+		data := make([]byte, 37*4096+41)
+		rand.New(rand.NewSource(7)).Read(data)
+		if err := vfs.WriteAll(src, "s", data); err != nil {
+			t.Fatal(err)
+		}
+		n, err := vfs.Copy(dst, "d", src, "s", 64*1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int64(len(data)) {
+			t.Fatalf("copied %d bytes, want %d", n, len(data))
+		}
+		got, err := vfs.ReadAll(dst, "d")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("copy mismatch")
+		}
+	})
+
+	t.Run("QuickRandomOps", func(t *testing.T) {
+		fs := mk(t)
+		f, err := fs.Create("q")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		const maxSize = 1 << 18
+		shadow := make([]byte, 0, maxSize)
+		rng := rand.New(rand.NewSource(8))
+		for i := 0; i < 120; i++ {
+			switch rng.Intn(10) {
+			case 0, 1: // truncate
+				n := rng.Intn(maxSize)
+				if err := f.Truncate(int64(n)); err != nil {
+					t.Fatalf("op %d truncate: %v", i, err)
+				}
+				if n <= len(shadow) {
+					shadow = shadow[:n]
+				} else {
+					shadow = append(shadow, make([]byte, n-len(shadow))...)
+				}
+			default: // write
+				off := rng.Intn(maxSize / 2)
+				n := rng.Intn(3*4096) + 1
+				chunk := make([]byte, n)
+				rng.Read(chunk)
+				if _, err := f.WriteAt(chunk, int64(off)); err != nil {
+					t.Fatalf("op %d write: %v", i, err)
+				}
+				if off+n > len(shadow) {
+					shadow = append(shadow, make([]byte, off+n-len(shadow))...)
+				}
+				copy(shadow[off:off+n], chunk)
+			}
+			// Every few ops, verify a random window.
+			if i%7 == 0 && len(shadow) > 0 {
+				o := rng.Intn(len(shadow))
+				l := rng.Intn(len(shadow)-o) + 1
+				got := make([]byte, l)
+				if _, err := f.ReadAt(got, int64(o)); err != nil && !errors.Is(err, io.EOF) {
+					t.Fatalf("op %d read: %v", i, err)
+				}
+				if !bytes.Equal(got, shadow[o:o+l]) {
+					t.Fatalf("op %d: window [%d,%d) diverged from shadow", i, o, o+l)
+				}
+			}
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		// Final full verification, including size.
+		sz, err := f.Size()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sz != int64(len(shadow)) {
+			t.Fatalf("final size %d, shadow %d", sz, len(shadow))
+		}
+		if sz > 0 {
+			got := make([]byte, sz)
+			if _, err := f.ReadAt(got, 0); err != nil && !errors.Is(err, io.EOF) {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, shadow) {
+				t.Fatalf("final content diverged from shadow")
+			}
+		}
+	})
+}

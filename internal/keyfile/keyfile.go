@@ -1,0 +1,116 @@
+// Package keyfile reads and writes the on-disk key-pair format used
+// by the cmd/lamassu CLI: a small text file holding the isolation
+// zone's two 256-bit secrets, hex encoded:
+//
+//	inner: 6631a0...  (64 hex digits — Kin, the dedup-domain secret)
+//	outer: 9ab2ff...  (64 hex digits — Kout, the trust-domain secret)
+//
+// Lines starting with '#' and blank lines are ignored, so deployments
+// can annotate the file. Key files must be guarded like any secret
+// (Write creates them mode 0600): anyone holding the outer key can
+// read the data; anyone holding the inner key can mount the
+// chosen-plaintext attack within the zone.
+package keyfile
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+
+	"lamassu/internal/cryptoutil"
+)
+
+// Pair is the zone's key material as stored in a key file.
+type Pair struct {
+	Inner cryptoutil.Key
+	Outer cryptoutil.Key
+}
+
+// ErrMalformed reports a key file that cannot be parsed.
+var ErrMalformed = errors.New("keyfile: malformed key file")
+
+// Parse decodes the key-file format from raw bytes.
+func Parse(raw []byte) (Pair, error) {
+	var p Pair
+	var haveInner, haveOuter bool
+	for lineNo, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		field, value, ok := strings.Cut(line, ":")
+		if !ok {
+			return Pair{}, fmt.Errorf("%w: line %d has no field separator", ErrMalformed, lineNo+1)
+		}
+		decoded, err := hex.DecodeString(strings.TrimSpace(value))
+		if err != nil {
+			return Pair{}, fmt.Errorf("%w: line %d: %v", ErrMalformed, lineNo+1, err)
+		}
+		key, err := cryptoutil.KeyFromBytes(decoded)
+		if err != nil {
+			return Pair{}, fmt.Errorf("%w: line %d: %v", ErrMalformed, lineNo+1, err)
+		}
+		switch strings.TrimSpace(field) {
+		case "inner":
+			if haveInner {
+				return Pair{}, fmt.Errorf("%w: duplicate inner key", ErrMalformed)
+			}
+			p.Inner, haveInner = key, true
+		case "outer":
+			if haveOuter {
+				return Pair{}, fmt.Errorf("%w: duplicate outer key", ErrMalformed)
+			}
+			p.Outer, haveOuter = key, true
+		default:
+			return Pair{}, fmt.Errorf("%w: line %d: unknown field %q", ErrMalformed, lineNo+1, field)
+		}
+	}
+	if !haveInner || !haveOuter {
+		return Pair{}, fmt.Errorf("%w: need both inner and outer keys", ErrMalformed)
+	}
+	if p.Inner.Equal(p.Outer) {
+		return Pair{}, fmt.Errorf("%w: inner and outer keys must differ", ErrMalformed)
+	}
+	return p, nil
+}
+
+// Format renders the pair in the key-file format.
+func Format(p Pair) []byte {
+	return []byte(fmt.Sprintf(
+		"# lamassu isolation-zone key pair — keep secret\ninner: %s\nouter: %s\n",
+		hex.EncodeToString(p.Inner[:]), hex.EncodeToString(p.Outer[:])))
+}
+
+// Load reads and parses a key file from disk.
+func Load(path string) (Pair, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Pair{}, fmt.Errorf("keyfile: %w", err)
+	}
+	return Parse(raw)
+}
+
+// Write stores the pair at path with owner-only permissions. It
+// refuses to overwrite an existing file (clobbering a key file strands
+// the data encrypted under it).
+func Write(path string, p Pair) error {
+	if _, err := os.Stat(path); err == nil {
+		return fmt.Errorf("keyfile: %s already exists; refusing to overwrite key material", path)
+	}
+	return os.WriteFile(path, Format(p), 0o600)
+}
+
+// Generate creates a fresh random pair.
+func Generate() (Pair, error) {
+	inner, err := cryptoutil.NewRandomKey()
+	if err != nil {
+		return Pair{}, err
+	}
+	outer, err := cryptoutil.NewRandomKey()
+	if err != nil {
+		return Pair{}, err
+	}
+	return Pair{Inner: inner, Outer: outer}, nil
+}

@@ -1,0 +1,135 @@
+package kmip
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+
+	"lamassu/internal/cryptoutil"
+)
+
+// Client talks to a Server over a single connection. It is safe for
+// concurrent use; requests are serialized on the connection, matching
+// the simple one-request/one-response framing.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to a key server at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("kmip: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (tests use net.Pipe).
+func NewClient(conn net.Conn) *Client { return &Client{conn: conn} }
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+func (c *Client) roundTrip(req frame) (frame, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.conn, req); err != nil {
+		return frame{}, fmt.Errorf("kmip: send: %w", err)
+	}
+	resp, err := readFrame(c.conn)
+	if err != nil {
+		return frame{}, fmt.Errorf("kmip: recv: %w", err)
+	}
+	if resp.op == opError|opRespFlag {
+		return frame{}, fmt.Errorf("%w: %s", ErrServer, resp.payload)
+	}
+	if resp.op != req.op|opRespFlag {
+		return frame{}, fmt.Errorf("%w: response op %#x for request %#x", ErrProtocol, resp.op, req.op)
+	}
+	if resp.zone != req.zone {
+		return frame{}, fmt.Errorf("%w: response zone %d for request zone %d", ErrProtocol, resp.zone, req.zone)
+	}
+	return resp, nil
+}
+
+// CreateZone asks the server to provision zone z (idempotent) and
+// returns the zone's key generation.
+func (c *Client) CreateZone(z Zone) (uint64, error) {
+	resp, err := c.roundTrip(frame{op: opCreate, zone: z})
+	if err != nil {
+		return 0, err
+	}
+	if len(resp.payload) != 8 {
+		return 0, fmt.Errorf("%w: create payload %d bytes", ErrProtocol, len(resp.payload))
+	}
+	return binary.BigEndian.Uint64(resp.payload), nil
+}
+
+// GetKey retrieves one of a zone's keys.
+func (c *Client) GetKey(z Zone, role Role) (cryptoutil.Key, uint64, error) {
+	resp, err := c.roundTrip(frame{op: opGet, zone: z, payload: []byte{byte(role)}})
+	if err != nil {
+		return cryptoutil.Key{}, 0, err
+	}
+	if len(resp.payload) != cryptoutil.KeySize+8 {
+		return cryptoutil.Key{}, 0, fmt.Errorf("%w: get payload %d bytes", ErrProtocol, len(resp.payload))
+	}
+	key, err := cryptoutil.KeyFromBytes(resp.payload[:cryptoutil.KeySize])
+	if err != nil {
+		return cryptoutil.Key{}, 0, err
+	}
+	gen := binary.BigEndian.Uint64(resp.payload[cryptoutil.KeySize:])
+	return key, gen, nil
+}
+
+// GetPair retrieves both of a zone's keys — what a Lamassu instance
+// does at mount time (paper §3: "Two 256-bit AES encryption keys are
+// retrieved at start time from a KMIP server").
+func (c *Client) GetPair(z Zone) (KeyPair, error) {
+	resp, err := c.roundTrip(frame{op: opGetPair, zone: z})
+	if err != nil {
+		return KeyPair{}, err
+	}
+	if len(resp.payload) != 2*cryptoutil.KeySize+8 {
+		return KeyPair{}, fmt.Errorf("%w: pair payload %d bytes", ErrProtocol, len(resp.payload))
+	}
+	inner, err := cryptoutil.KeyFromBytes(resp.payload[0:32])
+	if err != nil {
+		return KeyPair{}, err
+	}
+	outer, err := cryptoutil.KeyFromBytes(resp.payload[32:64])
+	if err != nil {
+		return KeyPair{}, err
+	}
+	return KeyPair{
+		Inner:      inner,
+		Outer:      outer,
+		Generation: binary.BigEndian.Uint64(resp.payload[64:]),
+	}, nil
+}
+
+// Rotate rotates the selected keys of zone z and returns the new
+// generation.
+func (c *Client) Rotate(z Zone, inner, outer bool) (uint64, error) {
+	var mask uint8
+	if inner {
+		mask |= rotateInner
+	}
+	if outer {
+		mask |= rotateOuter
+	}
+	resp, err := c.roundTrip(frame{op: opRotate, zone: z, payload: []byte{mask}})
+	if err != nil {
+		return 0, err
+	}
+	if len(resp.payload) != 8 {
+		return 0, fmt.Errorf("%w: rotate payload %d bytes", ErrProtocol, len(resp.payload))
+	}
+	return binary.BigEndian.Uint64(resp.payload), nil
+}

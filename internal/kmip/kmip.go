@@ -1,0 +1,44 @@
+// Package kmip implements a minimal key-management service standing in
+// for the Cryptsoft KMIP SDK + key server used by the paper's
+// prototype (§3).
+//
+// The paper's use of KMIP is narrow: at start time each Lamassu
+// instance retrieves two 256-bit AES keys — the inner key Kin and the
+// outer key Kout — selected by an integer attribute called the
+// isolation zone. Clients in one isolation zone obtain the same key
+// pair, so the zone simultaneously defines the deduplication domain
+// (via Kin) and the trust domain (via Kout).
+//
+// The wire protocol is a deliberately small length-prefixed binary
+// exchange over TCP (or any net.Conn), defined in protocol.go. It is
+// not the real KMIP TTLV encoding; it reproduces the contract the
+// paper depends on: named zones, server-side key generation and
+// storage, retrieval by zone, and zone re-keying (for the §2.2 key
+// rotation discussion).
+package kmip
+
+import "lamassu/internal/cryptoutil"
+
+// Role selects which of a zone's two keys is requested.
+type Role uint8
+
+const (
+	// RoleInner is Kin, the convergent-KDF secret defining the
+	// deduplication domain.
+	RoleInner Role = 1
+	// RoleOuter is Kout, the metadata key defining the trust domain.
+	RoleOuter Role = 2
+)
+
+// KeyPair bundles a zone's two secrets.
+type KeyPair struct {
+	Inner cryptoutil.Key
+	Outer cryptoutil.Key
+	// Generation increments on every rotation of either key.
+	Generation uint64
+}
+
+// Zone is the integer isolation-zone attribute attached to keys at the
+// server (paper §3: "Every key created at the KMIP server contains an
+// associated integer attribute called an isolation zone").
+type Zone uint32

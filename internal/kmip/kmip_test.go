@@ -1,0 +1,317 @@
+package kmip
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+
+	"lamassu/internal/cryptoutil"
+)
+
+// startServer launches a server on an ephemeral localhost port and
+// returns its address plus a cleanup func.
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	srv := NewServer()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck
+	t.Cleanup(func() { srv.Close() })
+	return srv, ln.Addr().String()
+}
+
+func TestServerZoneLifecycle(t *testing.T) {
+	srv := NewServer()
+	kp1, err := srv.CreateZone(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kp1.Inner.IsZero() || kp1.Outer.IsZero() {
+		t.Fatalf("created zone has zero keys")
+	}
+	if kp1.Inner.Equal(kp1.Outer) {
+		t.Fatalf("inner and outer keys identical")
+	}
+	// Idempotent create.
+	kp2, err := srv.CreateZone(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kp1.Inner.Equal(kp2.Inner) || !kp1.Outer.Equal(kp2.Outer) {
+		t.Fatalf("re-create changed zone keys")
+	}
+	if srv.Zones() != 1 {
+		t.Fatalf("Zones = %d", srv.Zones())
+	}
+	if _, err := srv.Pair(99); !errors.Is(err, ErrNoZone) {
+		t.Fatalf("Pair(missing) = %v", err)
+	}
+}
+
+func TestServerRotate(t *testing.T) {
+	srv := NewServer()
+	orig, _ := srv.CreateZone(1)
+
+	// Partial re-key: outer only (the paper's fast path).
+	kp, err := srv.Rotate(1, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kp.Inner.Equal(orig.Inner) {
+		t.Errorf("outer-only rotation changed inner key")
+	}
+	if kp.Outer.Equal(orig.Outer) {
+		t.Errorf("outer key not rotated")
+	}
+	if kp.Generation != 2 {
+		t.Errorf("generation = %d, want 2", kp.Generation)
+	}
+
+	// Full rotation.
+	kp2, err := srv.Rotate(1, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kp2.Inner.Equal(kp.Inner) || kp2.Outer.Equal(kp.Outer) {
+		t.Errorf("full rotation left a key unchanged")
+	}
+	if kp2.Generation != 3 {
+		t.Errorf("generation = %d, want 3", kp2.Generation)
+	}
+
+	// No-op rotation does not bump generation.
+	kp3, err := srv.Rotate(1, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kp3.Generation != 3 {
+		t.Errorf("no-op rotation bumped generation to %d", kp3.Generation)
+	}
+
+	if _, err := srv.Rotate(42, true, true); !errors.Is(err, ErrNoZone) {
+		t.Errorf("rotate missing zone: %v", err)
+	}
+}
+
+func TestClientServerOverTCP(t *testing.T) {
+	srv, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	gen, err := c.CreateZone(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 1 {
+		t.Fatalf("generation = %d", gen)
+	}
+
+	pair, err := c.GetPair(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := srv.Pair(5)
+	if !pair.Inner.Equal(want.Inner) || !pair.Outer.Equal(want.Outer) {
+		t.Fatalf("GetPair returned wrong keys")
+	}
+
+	inner, gen, err := c.GetKey(5, RoleInner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inner.Equal(want.Inner) || gen != 1 {
+		t.Fatalf("GetKey inner mismatch")
+	}
+	outer, _, err := c.GetKey(5, RoleOuter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outer.Equal(want.Outer) {
+		t.Fatalf("GetKey outer mismatch")
+	}
+
+	// Rotation through the client.
+	gen, err = c.Rotate(5, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 2 {
+		t.Fatalf("post-rotate generation = %d", gen)
+	}
+	newPair, err := c.GetPair(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !newPair.Inner.Equal(want.Inner) {
+		t.Errorf("inner changed by outer-only rotate")
+	}
+	if newPair.Outer.Equal(want.Outer) {
+		t.Errorf("outer unchanged by rotate")
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.GetPair(404); !errors.Is(err, ErrServer) {
+		t.Errorf("GetPair(missing zone) = %v, want ErrServer", err)
+	}
+	if _, _, err := c.GetKey(404, RoleInner); !errors.Is(err, ErrServer) {
+		t.Errorf("GetKey(missing zone) = %v, want ErrServer", err)
+	}
+	if _, err := c.Rotate(404, true, true); !errors.Is(err, ErrServer) {
+		t.Errorf("Rotate(missing zone) = %v, want ErrServer", err)
+	}
+}
+
+func TestZonesAreIsolated(t *testing.T) {
+	// Different isolation zones receive different keys — the
+	// deduplication-domain property.
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.CreateZone(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateZone(2); err != nil {
+		t.Fatal(err)
+	}
+	p1, err := c.GetPair(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c.GetPair(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Inner.Equal(p2.Inner) || p1.Outer.Equal(p2.Outer) {
+		t.Fatalf("zones share key material")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	// Many clients in one zone must all observe the same pair (the
+	// shared-secret contract that makes an isolation zone both a
+	// security zone and a dedup group).
+	srv, addr := startServer(t)
+	if _, err := srv.CreateZone(9); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := srv.Pair(9)
+
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 10; j++ {
+				p, err := c.GetPair(9)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !p.Inner.Equal(want.Inner) || !p.Outer.Equal(want.Outer) {
+					errs <- errors.New("pair mismatch")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestSetZone(t *testing.T) {
+	srv := NewServer()
+	var in, out cryptoutil.Key
+	in[0], out[0] = 1, 2
+	srv.SetZone(3, KeyPair{Inner: in, Outer: out})
+	kp, err := srv.Pair(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kp.Inner.Equal(in) || !kp.Outer.Equal(out) {
+		t.Fatalf("SetZone keys not stored")
+	}
+	if kp.Generation != 1 {
+		t.Fatalf("generation defaulted to %d, want 1", kp.Generation)
+	}
+}
+
+func TestProtocolFrameRoundTrip(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	go func() {
+		f, err := readFrame(server)
+		if err != nil {
+			return
+		}
+		_ = writeFrame(server, frame{op: f.op | opRespFlag, zone: f.zone, payload: f.payload})
+	}()
+
+	want := frame{op: opGet, zone: 77, payload: []byte{1, 2, 3}}
+	if err := writeFrame(client, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFrame(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.op != want.op|opRespFlag || got.zone != want.zone || string(got.payload) != string(want.payload) {
+		t.Fatalf("frame round trip: %+v", got)
+	}
+}
+
+func TestProtocolRejectsGarbage(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	go func() {
+		_, _ = client.Write([]byte("this is not a kmip frame......"))
+	}()
+	if _, err := readFrame(server); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("garbage accepted: %v", err)
+	}
+}
+
+func TestBadRolePayload(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.CreateZone(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.GetKey(1, Role(99)); !errors.Is(err, ErrServer) {
+		t.Fatalf("bad role accepted: %v", err)
+	}
+}

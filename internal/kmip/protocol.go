@@ -1,0 +1,101 @@
+package kmip
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Wire protocol: every message is
+//
+//	magic  u32  ("KMP1")
+//	op     u8
+//	zone   u32
+//	n      u16  payload length
+//	payload [n]byte
+//
+// Requests and responses share the frame. Response op is the request
+// op with the high bit set; an error response carries opError and a
+// UTF-8 message payload.
+
+const protoMagic uint32 = 0x4B4D5031 // "KMP1"
+
+const (
+	opGet      uint8 = 0x01 // payload: role u8 -> response payload: key[32] ‖ generation u64
+	opGetPair  uint8 = 0x02 // -> response payload: inner[32] ‖ outer[32] ‖ generation u64
+	opRotate   uint8 = 0x03 // payload: role mask u8 -> response payload: generation u64
+	opCreate   uint8 = 0x04 // create zone if absent -> response payload: generation u64
+	opError    uint8 = 0x7F
+	opRespFlag uint8 = 0x80
+)
+
+// Rotate masks for opRotate.
+const (
+	rotateInner uint8 = 1 << 0
+	rotateOuter uint8 = 1 << 1
+)
+
+// maxPayload bounds a frame payload; keys and error strings are tiny.
+const maxPayload = 1024
+
+// ErrProtocol reports a malformed frame.
+var ErrProtocol = errors.New("kmip: protocol error")
+
+// ErrServer wraps an error message returned by the server.
+var ErrServer = errors.New("kmip: server error")
+
+type frame struct {
+	op      uint8
+	zone    Zone
+	payload []byte
+}
+
+func writeFrame(w io.Writer, f frame) error {
+	if len(f.payload) > maxPayload {
+		return fmt.Errorf("%w: payload %d bytes", ErrProtocol, len(f.payload))
+	}
+	hdr := make([]byte, 11)
+	binary.BigEndian.PutUint32(hdr[0:4], protoMagic)
+	hdr[4] = f.op
+	binary.BigEndian.PutUint32(hdr[5:9], uint32(f.zone))
+	binary.BigEndian.PutUint16(hdr[9:11], uint16(len(f.payload)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if len(f.payload) > 0 {
+		if _, err := w.Write(f.payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readFrame(r io.Reader) (frame, error) {
+	hdr := make([]byte, 11)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return frame{}, err
+	}
+	if binary.BigEndian.Uint32(hdr[0:4]) != protoMagic {
+		return frame{}, fmt.Errorf("%w: bad magic", ErrProtocol)
+	}
+	n := binary.BigEndian.Uint16(hdr[9:11])
+	if int(n) > maxPayload {
+		return frame{}, fmt.Errorf("%w: oversized payload %d", ErrProtocol, n)
+	}
+	f := frame{
+		op:   hdr[4],
+		zone: Zone(binary.BigEndian.Uint32(hdr[5:9])),
+	}
+	if n > 0 {
+		f.payload = make([]byte, n)
+		if _, err := io.ReadFull(r, f.payload); err != nil {
+			return frame{}, err
+		}
+	}
+	return f, nil
+}
+
+func errorFrame(zone Zone, err error) frame {
+	return frame{op: opError | opRespFlag, zone: zone, payload: []byte(err.Error())}
+}

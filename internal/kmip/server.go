@@ -1,0 +1,249 @@
+package kmip
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"lamassu/internal/cryptoutil"
+)
+
+// ErrNoZone is returned when a zone has not been created at the
+// server.
+var ErrNoZone = errors.New("kmip: isolation zone not provisioned")
+
+// Server is the in-memory key-management server. Keys never leave the
+// server except through authenticated-channel retrieval by clients;
+// in the paper's threat model the key server is trusted and the
+// channel between clients and server is assumed secure (§2.1).
+type Server struct {
+	mu    sync.Mutex
+	zones map[Zone]*KeyPair
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewServer returns a server with no zones provisioned.
+func NewServer() *Server {
+	return &Server{zones: make(map[Zone]*KeyPair)}
+}
+
+// CreateZone provisions a zone with fresh random keys if it does not
+// already exist, returning the (possibly pre-existing) pair.
+func (s *Server) CreateZone(z Zone) (KeyPair, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if kp, ok := s.zones[z]; ok {
+		return *kp, nil
+	}
+	inner, err := cryptoutil.NewRandomKey()
+	if err != nil {
+		return KeyPair{}, err
+	}
+	outer, err := cryptoutil.NewRandomKey()
+	if err != nil {
+		return KeyPair{}, err
+	}
+	kp := &KeyPair{Inner: inner, Outer: outer, Generation: 1}
+	s.zones[z] = kp
+	return *kp, nil
+}
+
+// SetZone provisions a zone with caller-supplied keys (used by tests
+// and by deployments importing existing secrets).
+func (s *Server) SetZone(z Zone, kp KeyPair) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := kp
+	if cp.Generation == 0 {
+		cp.Generation = 1
+	}
+	s.zones[z] = &cp
+}
+
+// Pair returns a zone's current keys.
+func (s *Server) Pair(z Zone) (KeyPair, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kp, ok := s.zones[z]
+	if !ok {
+		return KeyPair{}, fmt.Errorf("%w: zone %d", ErrNoZone, z)
+	}
+	return *kp, nil
+}
+
+// Rotate replaces the selected keys of a zone with fresh random keys
+// and bumps the generation. Rotating only the outer key is the paper's
+// fast partial re-key (§2.2); rotating the inner key changes the
+// deduplication domain and requires re-encrypting file data.
+func (s *Server) Rotate(z Zone, inner, outer bool) (KeyPair, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kp, ok := s.zones[z]
+	if !ok {
+		return KeyPair{}, fmt.Errorf("%w: zone %d", ErrNoZone, z)
+	}
+	if inner {
+		k, err := cryptoutil.NewRandomKey()
+		if err != nil {
+			return KeyPair{}, err
+		}
+		kp.Inner = k
+	}
+	if outer {
+		k, err := cryptoutil.NewRandomKey()
+		if err != nil {
+			return KeyPair{}, err
+		}
+		kp.Outer = k
+	}
+	if inner || outer {
+		kp.Generation++
+	}
+	return *kp, nil
+}
+
+// Zones returns the number of provisioned zones.
+func (s *Server) Zones() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.zones)
+}
+
+// Serve accepts connections on ln until Close. It is typically run in
+// its own goroutine:
+//
+//	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+//	go srv.Serve(ln)
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("kmip: accept: %w", err)
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// ListenAndServe listens on addr ("127.0.0.1:0" for an ephemeral port)
+// and serves until Close. It returns the bound address on a channel so
+// callers can learn ephemeral ports.
+func (s *Server) ListenAndServe(addr string, bound chan<- string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("kmip: listen %s: %w", addr, err)
+	}
+	if bound != nil {
+		bound <- ln.Addr().String()
+	}
+	return s.Serve(ln)
+}
+
+// Close stops the listener and waits for in-flight connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// handleConn serves one client connection: a sequence of request
+// frames, each answered by one response frame.
+func (s *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		req, err := readFrame(conn)
+		if err != nil {
+			return // EOF or broken peer; nothing to answer
+		}
+		resp := s.dispatch(req)
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req frame) frame {
+	switch req.op {
+	case opGet:
+		if len(req.payload) != 1 {
+			return errorFrame(req.zone, fmt.Errorf("get: want 1-byte role"))
+		}
+		kp, err := s.Pair(req.zone)
+		if err != nil {
+			return errorFrame(req.zone, err)
+		}
+		var key cryptoutil.Key
+		switch Role(req.payload[0]) {
+		case RoleInner:
+			key = kp.Inner
+		case RoleOuter:
+			key = kp.Outer
+		default:
+			return errorFrame(req.zone, fmt.Errorf("get: unknown role %d", req.payload[0]))
+		}
+		payload := make([]byte, cryptoutil.KeySize+8)
+		copy(payload, key[:])
+		binary.BigEndian.PutUint64(payload[cryptoutil.KeySize:], kp.Generation)
+		return frame{op: opGet | opRespFlag, zone: req.zone, payload: payload}
+
+	case opGetPair:
+		kp, err := s.Pair(req.zone)
+		if err != nil {
+			return errorFrame(req.zone, err)
+		}
+		payload := make([]byte, 2*cryptoutil.KeySize+8)
+		copy(payload[0:32], kp.Inner[:])
+		copy(payload[32:64], kp.Outer[:])
+		binary.BigEndian.PutUint64(payload[64:], kp.Generation)
+		return frame{op: opGetPair | opRespFlag, zone: req.zone, payload: payload}
+
+	case opCreate:
+		kp, err := s.CreateZone(req.zone)
+		if err != nil {
+			return errorFrame(req.zone, err)
+		}
+		payload := make([]byte, 8)
+		binary.BigEndian.PutUint64(payload, kp.Generation)
+		return frame{op: opCreate | opRespFlag, zone: req.zone, payload: payload}
+
+	case opRotate:
+		if len(req.payload) != 1 {
+			return errorFrame(req.zone, fmt.Errorf("rotate: want 1-byte mask"))
+		}
+		mask := req.payload[0]
+		kp, err := s.Rotate(req.zone, mask&rotateInner != 0, mask&rotateOuter != 0)
+		if err != nil {
+			return errorFrame(req.zone, err)
+		}
+		payload := make([]byte, 8)
+		binary.BigEndian.PutUint64(payload, kp.Generation)
+		return frame{op: opRotate | opRespFlag, zone: req.zone, payload: payload}
+
+	default:
+		return errorFrame(req.zone, fmt.Errorf("unknown op %#x", req.op))
+	}
+}

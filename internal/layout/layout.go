@@ -1,0 +1,429 @@
+// Package layout implements the on-disk geometry of a Lamassu file
+// (paper §2.3, Figures 2 and 3) and the metadata-block codec.
+//
+// A Lamassu file is a sequence of fixed-size segments. Each segment
+// starts with one metadata block followed by K data blocks, where K is
+// the number of stable key slots per metadata block. All blocks are
+// BlockSize bytes and are aligned to BlockSize within the backing
+// file, so the encrypted data blocks keep the block alignment the
+// downstream fixed-block deduplication engine relies on.
+//
+// The slot table holds TotalSlots = BlockSize/32 − 2 key slots (126
+// for the default 4096-byte block, matching the paper). R of those are
+// reserved as transient slots used by the multiphase commit to hold
+// the previous keys of in-flight blocks (paper §2.4), leaving
+// K = TotalSlots − R stable slots — exactly the paper's arithmetic
+// (R=1 → 125 keys per segment, minimum overhead 0.8 %; R=8 → 118,
+// 0.85 %).
+package layout
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"lamassu/internal/cryptoutil"
+)
+
+// Magic identifies a Lamassu metadata block after decryption.
+const Magic uint32 = 0x4C4D5355 // "LMSU"
+
+// Version is the current on-disk format version.
+const Version uint16 = 1
+
+// DefaultBlockSize is the block size used throughout the paper's
+// evaluation.
+const DefaultBlockSize = 4096
+
+// DefaultReservedSlots is the paper's default R (fixed to 8 for most
+// experiments).
+const DefaultReservedSlots = 8
+
+// SlotSize is the size of one key slot (a 32-byte convergent key).
+const SlotSize = cryptoutil.KeySize
+
+// sealedHeaderSize is the fixed portion of the GCM-sealed payload that
+// precedes the slot table.
+const sealedHeaderSize = 32
+
+// clearHeaderSize is the unencrypted prefix of a metadata block:
+// 16 bytes of nonce space plus the 16-byte GCM tag.
+const clearHeaderSize = 32
+
+// Flag bits stored in the metadata header.
+const (
+	// FlagMidUpdate marks a segment whose multiphase commit was begun
+	// but not yet completed (paper §2.4).
+	FlagMidUpdate uint32 = 1 << 0
+)
+
+// Errors returned by the codec.
+var (
+	ErrBadGeometry = errors.New("layout: invalid geometry parameters")
+	ErrBadMagic    = errors.New("layout: bad magic (not a Lamassu metadata block)")
+	ErrBadVersion  = errors.New("layout: unsupported metadata version")
+	ErrBadBlock    = errors.New("layout: malformed metadata block")
+	ErrWrongSeg    = errors.New("layout: metadata block belongs to a different segment")
+)
+
+// Geometry captures the static layout parameters of a Lamassu file.
+type Geometry struct {
+	// BlockSize is the size in bytes of every block (data and
+	// metadata). It must be a multiple of 64 and at least 128 so the
+	// slot table is non-empty.
+	BlockSize int
+	// Reserved is R, the number of transient key slots per metadata
+	// block (paper §2.4). 1 ≤ Reserved ≤ TotalSlots−1.
+	Reserved int
+}
+
+// NewGeometry validates and returns a Geometry.
+func NewGeometry(blockSize, reserved int) (Geometry, error) {
+	g := Geometry{BlockSize: blockSize, Reserved: reserved}
+	if err := g.Validate(); err != nil {
+		return Geometry{}, err
+	}
+	return g, nil
+}
+
+// Default returns the paper's standard geometry: 4096-byte blocks,
+// R = 8.
+func Default() Geometry {
+	return Geometry{BlockSize: DefaultBlockSize, Reserved: DefaultReservedSlots}
+}
+
+// Validate checks the geometry invariants.
+func (g Geometry) Validate() error {
+	if g.BlockSize < 128 || g.BlockSize%64 != 0 {
+		return fmt.Errorf("%w: block size %d must be a multiple of 64 and >= 128", ErrBadGeometry, g.BlockSize)
+	}
+	total := g.TotalSlots()
+	if g.Reserved < 1 || g.Reserved >= total {
+		return fmt.Errorf("%w: reserved slots %d must be in [1,%d]", ErrBadGeometry, g.Reserved, total-1)
+	}
+	return nil
+}
+
+// TotalSlots returns the total number of 32-byte key slots in a
+// metadata block: (BlockSize − clear header − sealed header)/32 =
+// BlockSize/32 − 2.
+func (g Geometry) TotalSlots() int {
+	return (g.BlockSize - clearHeaderSize - sealedHeaderSize) / SlotSize
+}
+
+// KeysPerSegment returns K, the number of data blocks governed by one
+// metadata block (the paper's NumKeysMB).
+func (g Geometry) KeysPerSegment() int { return g.TotalSlots() - g.Reserved }
+
+// SegmentBlocks returns the total number of blocks in a full segment,
+// including the metadata block.
+func (g Geometry) SegmentBlocks() int { return g.KeysPerSegment() + 1 }
+
+// SegmentDataBytes returns the logical payload capacity of one
+// segment.
+func (g Geometry) SegmentDataBytes() int64 {
+	return int64(g.KeysPerSegment()) * int64(g.BlockSize)
+}
+
+// SegmentPhysBytes returns the on-disk size of one full segment.
+func (g Geometry) SegmentPhysBytes() int64 {
+	return int64(g.SegmentBlocks()) * int64(g.BlockSize)
+}
+
+// NumDataBlocks implements the paper's Equation (4):
+// NDB = ceil(n / BlockSize) for a logical size of n bytes.
+func (g Geometry) NumDataBlocks(logicalSize int64) int64 {
+	if logicalSize <= 0 {
+		return 0
+	}
+	bs := int64(g.BlockSize)
+	return (logicalSize + bs - 1) / bs
+}
+
+// NumMetaBlocks implements the paper's Equation (5):
+// NMB = ceil(NDB / NumKeysMB). A zero-length file still carries one
+// metadata block once created, but for the paper's size formulas an
+// empty file has no blocks.
+func (g Geometry) NumMetaBlocks(logicalSize int64) int64 {
+	ndb := g.NumDataBlocks(logicalSize)
+	if ndb == 0 {
+		return 0
+	}
+	k := int64(g.KeysPerSegment())
+	return (ndb + k - 1) / k
+}
+
+// PhysicalSize implements the paper's Equation (6):
+// n' = (NDB + NMB) · BlockSize.
+func (g Geometry) PhysicalSize(logicalSize int64) int64 {
+	return (g.NumDataBlocks(logicalSize) + g.NumMetaBlocks(logicalSize)) * int64(g.BlockSize)
+}
+
+// Overhead implements the paper's Equation (7): n' − n.
+func (g Geometry) Overhead(logicalSize int64) int64 {
+	return g.PhysicalSize(logicalSize) - logicalSize
+}
+
+// MinOverheadRatio implements the paper's Equation (8): the space
+// overhead ratio when the file exactly fills its segments,
+// 1/NumKeysMB.
+func (g Geometry) MinOverheadRatio() float64 {
+	return 1.0 / float64(g.KeysPerSegment())
+}
+
+// DataBlockFraction returns the fraction of blocks in an encrypted
+// file that hold data (rather than metadata) for a file of the given
+// logical size. This is the quantity plotted in Figure 11.
+func (g Geometry) DataBlockFraction(logicalSize int64) float64 {
+	ndb := g.NumDataBlocks(logicalSize)
+	nmb := g.NumMetaBlocks(logicalSize)
+	if ndb+nmb == 0 {
+		return 1
+	}
+	return float64(ndb) / float64(ndb+nmb)
+}
+
+// SegmentOfBlock returns the segment index that contains logical data
+// block dbi.
+func (g Geometry) SegmentOfBlock(dbi int64) int64 {
+	return dbi / int64(g.KeysPerSegment())
+}
+
+// SlotOfBlock returns the stable slot index (within the segment's
+// metadata block) that stores the key for logical data block dbi.
+func (g Geometry) SlotOfBlock(dbi int64) int {
+	return int(dbi % int64(g.KeysPerSegment()))
+}
+
+// MetaBlockOffset returns the byte offset within the backing file of
+// the metadata block for segment seg.
+func (g Geometry) MetaBlockOffset(seg int64) int64 {
+	return seg * g.SegmentPhysBytes()
+}
+
+// DataBlockOffset returns the byte offset within the backing file of
+// logical data block dbi.
+func (g Geometry) DataBlockOffset(dbi int64) int64 {
+	seg := g.SegmentOfBlock(dbi)
+	slot := int64(g.SlotOfBlock(dbi))
+	return g.MetaBlockOffset(seg) + int64(g.BlockSize)*(1+slot)
+}
+
+// LogicalToPhysical maps a logical byte offset to its physical byte
+// offset in the backing file.
+func (g Geometry) LogicalToPhysical(off int64) int64 {
+	bs := int64(g.BlockSize)
+	dbi := off / bs
+	return g.DataBlockOffset(dbi) + off%bs
+}
+
+// PhysicalToLogical inverts LogicalToPhysical. It returns the logical
+// offset and true for data bytes, or (segment index, false) when the
+// physical offset falls inside a metadata block.
+func (g Geometry) PhysicalToLogical(phys int64) (int64, bool) {
+	bs := int64(g.BlockSize)
+	segBytes := g.SegmentPhysBytes()
+	seg := phys / segBytes
+	in := phys % segBytes
+	if in < bs {
+		return seg, false // inside the metadata block
+	}
+	blockInSeg := in/bs - 1
+	dbi := seg*int64(g.KeysPerSegment()) + blockInSeg
+	return dbi*bs + in%bs, true
+}
+
+// MetaBlock is the decoded (plaintext) form of one metadata block
+// (Figure 3). Slots[0:K] are the stable per-data-block convergent
+// keys; Slots[K:TotalSlots] are the transient slots holding previous
+// keys during a multiphase commit.
+type MetaBlock struct {
+	// SegIndex is the segment this block describes; it is sealed into
+	// the payload so a misdirected or swapped metadata block is
+	// detected on read.
+	SegIndex uint64
+	// LogicalSize is the file's logical size in bytes. Only the final
+	// segment's value is authoritative (paper §2.3); earlier segments
+	// may hold stale sizes.
+	LogicalSize uint64
+	// Flags holds FlagMidUpdate and future bits.
+	Flags uint32
+	// NTransient is the number of valid transient (old) keys currently
+	// stored in the reserved slots.
+	NTransient uint32
+	// Slots is the full key table, length TotalSlots.
+	Slots []cryptoutil.Key
+
+	geo Geometry
+}
+
+// NewMetaBlock returns an empty metadata block for segment seg under
+// geometry g.
+func NewMetaBlock(g Geometry, seg uint64) *MetaBlock {
+	return &MetaBlock{
+		SegIndex: seg,
+		Slots:    make([]cryptoutil.Key, g.TotalSlots()),
+		geo:      g,
+	}
+}
+
+// Geometry returns the geometry the block was created or decoded with.
+func (m *MetaBlock) Geometry() Geometry { return m.geo }
+
+// StableKey returns the stable key in slot i (0 ≤ i < K).
+func (m *MetaBlock) StableKey(i int) cryptoutil.Key { return m.Slots[i] }
+
+// SetStableKey stores key into stable slot i.
+func (m *MetaBlock) SetStableKey(i int, k cryptoutil.Key) {
+	if i < 0 || i >= m.geo.KeysPerSegment() {
+		panic(fmt.Sprintf("layout: stable slot %d out of range [0,%d)", i, m.geo.KeysPerSegment()))
+	}
+	m.Slots[i] = k
+}
+
+// TransientKey returns the transient (old) key in reserved slot r
+// (0 ≤ r < Reserved).
+func (m *MetaBlock) TransientKey(r int) cryptoutil.Key {
+	return m.Slots[m.geo.KeysPerSegment()+r]
+}
+
+// SetTransientKey stores an old key into reserved slot r.
+func (m *MetaBlock) SetTransientKey(r int, k cryptoutil.Key) {
+	if r < 0 || r >= m.geo.Reserved {
+		panic(fmt.Sprintf("layout: transient slot %d out of range [0,%d)", r, m.geo.Reserved))
+	}
+	m.Slots[m.geo.KeysPerSegment()+r] = k
+}
+
+// ClearTransient zeroes all transient slots and the count.
+func (m *MetaBlock) ClearTransient() {
+	k := m.geo.KeysPerSegment()
+	for i := k; i < len(m.Slots); i++ {
+		m.Slots[i].Zero()
+	}
+	m.NTransient = 0
+}
+
+// MidUpdate reports whether the segment is marked as being inside a
+// multiphase commit.
+func (m *MetaBlock) MidUpdate() bool { return m.Flags&FlagMidUpdate != 0 }
+
+// SetMidUpdate sets or clears the midupdate flag.
+func (m *MetaBlock) SetMidUpdate(on bool) {
+	if on {
+		m.Flags |= FlagMidUpdate
+	} else {
+		m.Flags &^= FlagMidUpdate
+	}
+}
+
+// Clone returns a deep copy of the metadata block.
+func (m *MetaBlock) Clone() *MetaBlock {
+	c := *m
+	c.Slots = append([]cryptoutil.Key(nil), m.Slots...)
+	return &c
+}
+
+// blockSizeLog2 returns log2(BlockSize) for the sealed header; block
+// sizes are required to be powers-of-two multiples of 64 in practice,
+// but we store the exact size instead when it is not a power of two.
+func blockSizeLog2(bs int) (uint8, bool) {
+	for i := uint8(7); i < 32; i++ {
+		if 1<<i == bs {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Encode seals the metadata block under the outer key and writes the
+// full on-disk block (nonce ‖ tag ‖ ciphertext) into dst, which must
+// be exactly BlockSize bytes.
+func (m *MetaBlock) Encode(dst []byte, outer cryptoutil.Key) error {
+	g := m.geo
+	if len(dst) != g.BlockSize {
+		return fmt.Errorf("%w: dst is %d bytes, want %d", ErrBadBlock, len(dst), g.BlockSize)
+	}
+	if len(m.Slots) != g.TotalSlots() {
+		return fmt.Errorf("%w: slot table has %d entries, want %d", ErrBadBlock, len(m.Slots), g.TotalSlots())
+	}
+	payload := make([]byte, g.BlockSize-clearHeaderSize)
+	binary.LittleEndian.PutUint32(payload[0:4], Magic)
+	binary.LittleEndian.PutUint16(payload[4:6], Version)
+	if l2, ok := blockSizeLog2(g.BlockSize); ok {
+		payload[6] = l2
+	}
+	payload[7] = uint8(g.Reserved) // fits: Reserved < TotalSlots <= 255 for bs <= 8192
+	if g.Reserved > 255 {
+		return fmt.Errorf("%w: reserved slots %d exceed encodable range", ErrBadGeometry, g.Reserved)
+	}
+	binary.LittleEndian.PutUint64(payload[8:16], m.SegIndex)
+	binary.LittleEndian.PutUint64(payload[16:24], m.LogicalSize)
+	binary.LittleEndian.PutUint32(payload[24:28], m.Flags)
+	binary.LittleEndian.PutUint32(payload[28:32], m.NTransient)
+	off := sealedHeaderSize
+	for i := range m.Slots {
+		copy(payload[off:off+SlotSize], m.Slots[i][:])
+		off += SlotSize
+	}
+
+	nonce, err := cryptoutil.NewNonce()
+	if err != nil {
+		return err
+	}
+	ct, tag, err := cryptoutil.SealMeta(payload, outer, nonce, nil)
+	if err != nil {
+		return err
+	}
+	for i := range dst[:clearHeaderSize] {
+		dst[i] = 0
+	}
+	copy(dst[0:cryptoutil.GCMNonceSize], nonce[:])
+	copy(dst[16:16+cryptoutil.GCMTagSize], tag[:])
+	copy(dst[clearHeaderSize:], ct)
+	return nil
+}
+
+// DecodeMetaBlock authenticates and decodes an on-disk metadata block.
+// wantSeg is the segment index the caller expects; a sealed block that
+// authenticates but carries a different segment index yields
+// ErrWrongSeg (a misplaced block, e.g. a storage-layer swap).
+func DecodeMetaBlock(g Geometry, src []byte, outer cryptoutil.Key, wantSeg uint64) (*MetaBlock, error) {
+	if len(src) != g.BlockSize {
+		return nil, fmt.Errorf("%w: block is %d bytes, want %d", ErrBadBlock, len(src), g.BlockSize)
+	}
+	var nonce [cryptoutil.GCMNonceSize]byte
+	copy(nonce[:], src[0:cryptoutil.GCMNonceSize])
+	var tag [cryptoutil.GCMTagSize]byte
+	copy(tag[:], src[16:16+cryptoutil.GCMTagSize])
+	payload, err := cryptoutil.OpenMeta(src[clearHeaderSize:], outer, nonce, tag, nil)
+	if err != nil {
+		return nil, err
+	}
+	if got := binary.LittleEndian.Uint32(payload[0:4]); got != Magic {
+		return nil, fmt.Errorf("%w: magic %#x", ErrBadMagic, got)
+	}
+	if v := binary.LittleEndian.Uint16(payload[4:6]); v != Version {
+		return nil, fmt.Errorf("%w: version %d", ErrBadVersion, v)
+	}
+	if r := int(payload[7]); r != g.Reserved {
+		return nil, fmt.Errorf("%w: block written with R=%d, geometry has R=%d", ErrBadBlock, r, g.Reserved)
+	}
+	m := NewMetaBlock(g, 0)
+	m.SegIndex = binary.LittleEndian.Uint64(payload[8:16])
+	m.LogicalSize = binary.LittleEndian.Uint64(payload[16:24])
+	m.Flags = binary.LittleEndian.Uint32(payload[24:28])
+	m.NTransient = binary.LittleEndian.Uint32(payload[28:32])
+	if m.NTransient > uint32(g.Reserved) {
+		return nil, fmt.Errorf("%w: nTransient %d exceeds R=%d", ErrBadBlock, m.NTransient, g.Reserved)
+	}
+	off := sealedHeaderSize
+	for i := range m.Slots {
+		copy(m.Slots[i][:], payload[off:off+SlotSize])
+		off += SlotSize
+	}
+	if m.SegIndex != wantSeg {
+		return m, fmt.Errorf("%w: sealed segment %d, expected %d", ErrWrongSeg, m.SegIndex, wantSeg)
+	}
+	return m, nil
+}

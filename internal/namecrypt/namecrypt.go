@@ -1,0 +1,204 @@
+// Package namecrypt adds file- and directory-name encryption, the
+// improvement the paper explicitly defers: "It should be possible to
+// improve on this limitation by adding encryption for file and
+// directory names in a future revision" (§2.1).
+//
+// It is implemented as a stackable backend.Store wrapper, so it
+// composes under any of the file systems in this repository (it sits
+// between the shim and the backing store, exactly where Lamassu's own
+// transformation sits). Each '/'-separated path segment is encrypted
+// independently, preserving the directory hierarchy on the backing
+// store while hiding every component name — the same structure
+// gocryptfs and eCryptfs use.
+//
+// The scheme is deterministic SIV-style encryption, which is required
+// for lookups (opening "a/b" must always address the same backing
+// object) and mirrors the determinism of the data-path convergent
+// encryption:
+//
+//	siv = HMAC-SHA256(K_mac, segment)[:16]
+//	ct  = AES-256-CTR(K_enc, iv=siv, segment)
+//	backing segment = base32hex(siv ‖ ct)     (unpadded, lowercase)
+//
+// Decryption recomputes the HMAC over the recovered plaintext and
+// compares it with the transmitted SIV, authenticating the name.
+// Determinism leaks name equality (the same name encrypts alike under
+// one key) — the name-layer analogue of the block-equality leak the
+// paper accepts for data.
+package namecrypt
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/base32"
+	"errors"
+	"fmt"
+	"strings"
+
+	"lamassu/internal/backend"
+	"lamassu/internal/cryptoutil"
+)
+
+// ErrBadName reports a backing name that does not decrypt under the
+// current key (corruption, tampering, or a foreign file).
+var ErrBadName = errors.New("namecrypt: undecryptable name")
+
+// sivLen is the truncated HMAC used as both authenticator and IV.
+const sivLen = 16
+
+// encoding is unpadded base32hex in lowercase: filesystem-safe,
+// case-stable, and ordering-preserving on the encrypted bytes.
+var encoding = base32.HexEncoding.WithPadding(base32.NoPadding)
+
+// Store wraps an inner backend.Store, encrypting every path segment.
+type Store struct {
+	inner backend.Store
+	mac   []byte // HMAC key
+	enc   cryptoutil.Key
+}
+
+// New derives independent MAC and encryption subkeys from nameKey and
+// returns the wrapping store.
+func New(inner backend.Store, nameKey cryptoutil.Key) *Store {
+	macKey := cryptoutil.DeriveSubKey(nameKey, "namecrypt-mac")
+	encKey := cryptoutil.DeriveSubKey(nameKey, "namecrypt-enc")
+	return &Store{inner: inner, mac: macKey[:], enc: encKey}
+}
+
+// EncryptSegment encrypts one path segment deterministically.
+func (s *Store) EncryptSegment(segment string) (string, error) {
+	if segment == "" {
+		return "", fmt.Errorf("namecrypt: empty path segment")
+	}
+	m := hmac.New(sha256.New, s.mac)
+	m.Write([]byte(segment))
+	siv := m.Sum(nil)[:sivLen]
+
+	block, err := aes.NewCipher(s.enc[:])
+	if err != nil {
+		return "", err
+	}
+	ct := make([]byte, len(segment))
+	cipher.NewCTR(block, siv).XORKeyStream(ct, []byte(segment))
+
+	out := make([]byte, 0, sivLen+len(ct))
+	out = append(out, siv...)
+	out = append(out, ct...)
+	return strings.ToLower(encoding.EncodeToString(out)), nil
+}
+
+// DecryptSegment inverts EncryptSegment, authenticating the result.
+func (s *Store) DecryptSegment(enc string) (string, error) {
+	raw, err := encoding.DecodeString(strings.ToUpper(enc))
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", ErrBadName, err)
+	}
+	if len(raw) < sivLen+1 {
+		return "", fmt.Errorf("%w: too short", ErrBadName)
+	}
+	siv, ct := raw[:sivLen], raw[sivLen:]
+	block, err := aes.NewCipher(s.enc[:])
+	if err != nil {
+		return "", err
+	}
+	plain := make([]byte, len(ct))
+	cipher.NewCTR(block, siv).XORKeyStream(plain, ct)
+
+	m := hmac.New(sha256.New, s.mac)
+	m.Write(plain)
+	if !hmac.Equal(m.Sum(nil)[:sivLen], siv) {
+		return "", fmt.Errorf("%w: authentication failed", ErrBadName)
+	}
+	return string(plain), nil
+}
+
+// encryptPath encrypts each '/'-separated segment.
+func (s *Store) encryptPath(name string) (string, error) {
+	if name == "" {
+		return "", fmt.Errorf("namecrypt: empty name")
+	}
+	parts := strings.Split(name, "/")
+	for i, p := range parts {
+		enc, err := s.EncryptSegment(p)
+		if err != nil {
+			return "", err
+		}
+		parts[i] = enc
+	}
+	return strings.Join(parts, "/"), nil
+}
+
+// decryptPath inverts encryptPath.
+func (s *Store) decryptPath(name string) (string, error) {
+	parts := strings.Split(name, "/")
+	for i, p := range parts {
+		plain, err := s.DecryptSegment(p)
+		if err != nil {
+			return "", err
+		}
+		parts[i] = plain
+	}
+	return strings.Join(parts, "/"), nil
+}
+
+// Open implements backend.Store.
+func (s *Store) Open(name string, flag backend.OpenFlag) (backend.File, error) {
+	enc, err := s.encryptPath(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.inner.Open(enc, flag)
+}
+
+// Remove implements backend.Store.
+func (s *Store) Remove(name string) error {
+	enc, err := s.encryptPath(name)
+	if err != nil {
+		return err
+	}
+	return s.inner.Remove(enc)
+}
+
+// Rename implements backend.Store.
+func (s *Store) Rename(oldName, newName string) error {
+	encOld, err := s.encryptPath(oldName)
+	if err != nil {
+		return err
+	}
+	encNew, err := s.encryptPath(newName)
+	if err != nil {
+		return err
+	}
+	return s.inner.Rename(encOld, encNew)
+}
+
+// List implements backend.Store, returning decrypted names. Backing
+// entries that do not decrypt under this key are reported via
+// ErrBadName (a mixed or tampered volume should not be silently
+// truncated).
+func (s *Store) List() ([]string, error) {
+	encNames, err := s.inner.List()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(encNames))
+	for _, enc := range encNames {
+		plain, err := s.decryptPath(enc)
+		if err != nil {
+			return nil, fmt.Errorf("entry %q: %w", enc, err)
+		}
+		out = append(out, plain)
+	}
+	return out, nil
+}
+
+// Stat implements backend.Store.
+func (s *Store) Stat(name string) (int64, error) {
+	enc, err := s.encryptPath(name)
+	if err != nil {
+		return 0, err
+	}
+	return s.inner.Stat(enc)
+}

@@ -1,0 +1,192 @@
+package namecrypt
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lamassu/internal/backend"
+	"lamassu/internal/core"
+	"lamassu/internal/cryptoutil"
+	"lamassu/internal/fstest"
+	"lamassu/internal/vfs"
+)
+
+func key(b byte) cryptoutil.Key {
+	var k cryptoutil.Key
+	for i := range k {
+		k[i] = b ^ byte(i*3+1)
+	}
+	return k
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	s := New(backend.NewMemStore(), key(1))
+	for _, name := range []string{"a", "hello.txt", "ALL-CAPS", "unicode-ключ-鍵", strings.Repeat("x", 200)} {
+		enc, err := s.EncryptSegment(name)
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		if enc == name {
+			t.Errorf("%q: not encrypted", name)
+		}
+		if strings.ContainsAny(enc, "/\\ ") {
+			t.Errorf("%q: encrypted form %q not filesystem-safe", name, enc)
+		}
+		got, err := s.DecryptSegment(enc)
+		if err != nil {
+			t.Fatalf("%q: decrypt: %v", name, err)
+		}
+		if got != name {
+			t.Errorf("round trip %q -> %q", name, got)
+		}
+	}
+	if _, err := s.EncryptSegment(""); err == nil {
+		t.Errorf("empty segment accepted")
+	}
+}
+
+func TestDeterministicPerKey(t *testing.T) {
+	store := backend.NewMemStore()
+	s1 := New(store, key(1))
+	s2 := New(store, key(1))
+	s3 := New(store, key(2))
+	a1, _ := s1.EncryptSegment("report.pdf")
+	a2, _ := s2.EncryptSegment("report.pdf")
+	a3, _ := s3.EncryptSegment("report.pdf")
+	if a1 != a2 {
+		t.Errorf("same key produced different encrypted names")
+	}
+	if a1 == a3 {
+		t.Errorf("different keys produced the same encrypted name")
+	}
+}
+
+func TestDecryptRejectsTampering(t *testing.T) {
+	s := New(backend.NewMemStore(), key(1))
+	enc, _ := s.EncryptSegment("secret-plans.doc")
+	// Flip one character of the encoding.
+	bad := []byte(enc)
+	if bad[0] == 'a' {
+		bad[0] = 'b'
+	} else {
+		bad[0] = 'a'
+	}
+	if _, err := s.DecryptSegment(string(bad)); !errors.Is(err, ErrBadName) {
+		t.Errorf("tampered name decrypted: %v", err)
+	}
+	if _, err := s.DecryptSegment("tooshort"); !errors.Is(err, ErrBadName) {
+		t.Errorf("short name accepted: %v", err)
+	}
+	if _, err := s.DecryptSegment("!!!not-base32!!!"); !errors.Is(err, ErrBadName) {
+		t.Errorf("bad encoding accepted: %v", err)
+	}
+	// Wrong key.
+	s2 := New(backend.NewMemStore(), key(9))
+	if _, err := s2.DecryptSegment(enc); !errors.Is(err, ErrBadName) {
+		t.Errorf("foreign key decrypted name: %v", err)
+	}
+}
+
+func TestQuickSegmentRoundTrip(t *testing.T) {
+	s := New(backend.NewMemStore(), key(7))
+	f := func(name string) bool {
+		if name == "" || strings.Contains(name, "/") {
+			return true
+		}
+		enc, err := s.EncryptSegment(name)
+		if err != nil {
+			return false
+		}
+		got, err := s.DecryptSegment(enc)
+		return err == nil && got == name
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreConformanceViaLamassu(t *testing.T) {
+	// The full Lamassu conformance suite over a name-encrypted store:
+	// everything must behave identically with encrypted names
+	// underneath.
+	fstest.Conformance(t, func(t *testing.T) vfs.FS {
+		nc := New(backend.NewMemStore(), key(3))
+		lfs, err := core.New(nc, core.Config{Inner: key(1), Outer: key(2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lfs
+	})
+}
+
+func TestBackingNamesAreOpaque(t *testing.T) {
+	inner := backend.NewMemStore()
+	nc := New(inner, key(3))
+	if err := backend.WriteFile(nc, "payroll/2026/salaries.xlsx", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := inner.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 1 {
+		t.Fatalf("backing entries: %v", raw)
+	}
+	for _, leak := range []string{"payroll", "2026", "salaries", "xlsx"} {
+		if strings.Contains(raw[0], leak) {
+			t.Errorf("backing name %q leaks %q", raw[0], leak)
+		}
+	}
+	// Hierarchy preserved: still three segments.
+	if got := strings.Count(raw[0], "/"); got != 2 {
+		t.Errorf("backing name %q has %d separators, want 2", raw[0], got)
+	}
+	// List through the wrapper decrypts.
+	names, err := nc.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "payroll/2026/salaries.xlsx" {
+		t.Errorf("List = %v", names)
+	}
+}
+
+func TestStoreOperations(t *testing.T) {
+	nc := New(backend.NewMemStore(), key(4))
+	if err := backend.WriteFile(nc, "a.txt", []byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if sz, err := nc.Stat("a.txt"); err != nil || sz != 5 {
+		t.Fatalf("Stat = %d, %v", sz, err)
+	}
+	if err := nc.Rename("a.txt", "b.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nc.Stat("a.txt"); !errors.Is(err, backend.ErrNotExist) {
+		t.Fatalf("old name: %v", err)
+	}
+	got, err := backend.ReadFile(nc, "b.txt")
+	if err != nil || string(got) != "alpha" {
+		t.Fatalf("after rename: %q, %v", got, err)
+	}
+	if err := nc.Remove("b.txt"); err != nil {
+		t.Fatal(err)
+	}
+	names, err := nc.List()
+	if err != nil || len(names) != 0 {
+		t.Fatalf("after remove: %v, %v", names, err)
+	}
+}
+
+func TestListRejectsForeignEntries(t *testing.T) {
+	inner := backend.NewMemStore()
+	if err := backend.WriteFile(inner, "plaintext-intruder.txt", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	nc := New(inner, key(5))
+	if _, err := nc.List(); !errors.Is(err, ErrBadName) {
+		t.Fatalf("foreign entry silently accepted: %v", err)
+	}
+}

@@ -1,0 +1,88 @@
+// Package plainfs implements PlainFS, the unencrypted pass-through
+// baseline from the paper's evaluation (§4): "a simple pass-through
+// front end for the relevant Linux system calls associated with FUSE
+// operations". It exists so that performance comparisons against
+// LamassuFS and EncFS include the same VFS-shim overhead on all
+// sides, isolating the cost of encryption itself.
+//
+// Data is stored verbatim, so the downstream deduplication engine sees
+// the application's plaintext blocks and achieves the full (1−α)
+// reduction of Figure 6.
+package plainfs
+
+import (
+	"errors"
+	"fmt"
+
+	"lamassu/internal/backend"
+	"lamassu/internal/vfs"
+)
+
+// FS is the pass-through file system.
+type FS struct {
+	store backend.Store
+}
+
+// New returns a PlainFS over the given backing store.
+func New(store backend.Store) *FS { return &FS{store: store} }
+
+// Create implements vfs.FS.
+func (p *FS) Create(name string) (vfs.File, error) {
+	f, err := p.store.Open(name, backend.OpenCreate)
+	if err != nil {
+		return nil, fmt.Errorf("plainfs: %w", err)
+	}
+	return &file{f}, nil
+}
+
+// Open implements vfs.FS.
+func (p *FS) Open(name string) (vfs.File, error) {
+	f, err := p.store.Open(name, backend.OpenRead)
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	return &file{f}, nil
+}
+
+// OpenRW implements vfs.FS.
+func (p *FS) OpenRW(name string) (vfs.File, error) {
+	f, err := p.store.Open(name, backend.OpenWrite)
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	return &file{f}, nil
+}
+
+// Remove implements vfs.FS.
+func (p *FS) Remove(name string) error { return mapErr(p.store.Remove(name)) }
+
+// Stat implements vfs.FS.
+func (p *FS) Stat(name string) (int64, error) {
+	sz, err := p.store.Stat(name)
+	return sz, mapErr(err)
+}
+
+// List implements vfs.FS.
+func (p *FS) List() ([]string, error) { return p.store.List() }
+
+func mapErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, backend.ErrNotExist) {
+		return fmt.Errorf("plainfs: %w", vfs.ErrNotExist)
+	}
+	return fmt.Errorf("plainfs: %w", err)
+}
+
+// file adapts backend.File to vfs.File one-to-one.
+type file struct {
+	inner backend.File
+}
+
+func (f *file) ReadAt(p []byte, off int64) (int, error)  { return f.inner.ReadAt(p, off) }
+func (f *file) WriteAt(p []byte, off int64) (int, error) { return f.inner.WriteAt(p, off) }
+func (f *file) Truncate(size int64) error                { return f.inner.Truncate(size) }
+func (f *file) Size() (int64, error)                     { return f.inner.Size() }
+func (f *file) Sync() error                              { return f.inner.Sync() }
+func (f *file) Close() error                             { return f.inner.Close() }

@@ -1,0 +1,62 @@
+package plainfs
+
+import (
+	"bytes"
+	"testing"
+
+	"lamassu/internal/backend"
+	"lamassu/internal/dedupe"
+	"lamassu/internal/fstest"
+	"lamassu/internal/vfs"
+)
+
+func TestConformance(t *testing.T) {
+	fstest.Conformance(t, func(t *testing.T) vfs.FS {
+		return New(backend.NewMemStore())
+	})
+}
+
+func TestPlaintextVisibleToDedup(t *testing.T) {
+	// PlainFS stores application bytes verbatim, so the dedup engine
+	// reclaims exactly the duplicated blocks (Figure 6's 1−α line).
+	store := backend.NewMemStore()
+	fs := New(store)
+	blockA := bytes.Repeat([]byte{1}, 4096)
+	blockB := bytes.Repeat([]byte{2}, 4096)
+	data := append(append(append([]byte(nil), blockA...), blockA...), blockB...)
+	if err := vfs.WriteAll(fs, "f", data); err != nil {
+		t.Fatal(err)
+	}
+	// Stored bytes equal logical bytes.
+	raw, err := backend.ReadFile(store, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, data) {
+		t.Fatalf("PlainFS transformed data")
+	}
+	e, _ := dedupe.NewEngine(4096)
+	rep, err := e.Scan(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalBlocks != 3 || rep.UniqueBlocks != 2 {
+		t.Fatalf("dedup report %+v", rep)
+	}
+}
+
+func TestNoSpaceOverhead(t *testing.T) {
+	store := backend.NewMemStore()
+	fs := New(store)
+	data := make([]byte, 123456)
+	if err := vfs.WriteAll(fs, "f", data); err != nil {
+		t.Fatal(err)
+	}
+	phys, err := store.Stat("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phys != 123456 {
+		t.Fatalf("physical size %d, want 123456 (no overhead)", phys)
+	}
+}

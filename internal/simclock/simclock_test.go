@@ -1,0 +1,65 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestVirtualAdvance(t *testing.T) {
+	v := NewVirtual()
+	start := v.Now()
+	v.Sleep(3 * time.Second)
+	if got := v.Now().Sub(start); got != 3*time.Second {
+		t.Fatalf("elapsed = %v, want 3s", got)
+	}
+	v.Advance(-time.Second) // ignored
+	v.Sleep(0)              // ignored
+	if got := v.Now().Sub(start); got != 3*time.Second {
+		t.Fatalf("negative/zero advance changed clock: %v", got)
+	}
+}
+
+func TestVirtualConcurrent(t *testing.T) {
+	v := NewVirtual()
+	start := v.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v.Sleep(time.Millisecond)
+		}()
+	}
+	wg.Wait()
+	if got := v.Now().Sub(start); got != 50*time.Millisecond {
+		t.Fatalf("concurrent advances lost: %v", got)
+	}
+}
+
+func TestRealClockMonotone(t *testing.T) {
+	var c Real
+	a := c.Now()
+	c.Sleep(time.Millisecond)
+	b := c.Now()
+	if !b.After(a) {
+		t.Fatalf("real clock did not advance")
+	}
+	c.Sleep(-time.Second) // must not block or panic
+}
+
+func TestStopwatch(t *testing.T) {
+	v := NewVirtual()
+	sw := NewStopwatch(v)
+	v.Advance(2 * time.Second)
+	if got := sw.Elapsed(); got != 2*time.Second {
+		t.Fatalf("Elapsed = %v", got)
+	}
+	sw.Reset()
+	if got := sw.Elapsed(); got != 0 {
+		t.Fatalf("after Reset, Elapsed = %v", got)
+	}
+	if got := Since(v, v.Now().Add(-time.Minute)); got != time.Minute {
+		t.Fatalf("Since = %v", got)
+	}
+}

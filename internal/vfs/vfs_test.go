@@ -1,0 +1,97 @@
+package vfs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSpansSingleBlock(t *testing.T) {
+	s := Spans(0, 4096, 4096)
+	if len(s) != 1 {
+		t.Fatalf("spans = %v", s)
+	}
+	if s[0] != (Span{Index: 0, Start: 0, Len: 4096, BufOff: 0}) {
+		t.Fatalf("span = %+v", s[0])
+	}
+	if !s[0].Full(4096) {
+		t.Fatalf("full block not Full")
+	}
+}
+
+func TestSpansPartial(t *testing.T) {
+	// 100 bytes starting mid-block 0.
+	s := Spans(1000, 100, 4096)
+	if len(s) != 1 || s[0].Start != 1000 || s[0].Len != 100 {
+		t.Fatalf("spans = %+v", s)
+	}
+	if s[0].Full(4096) {
+		t.Fatalf("partial span reported Full")
+	}
+}
+
+func TestSpansStraddle(t *testing.T) {
+	// From byte 4000 for 5000 bytes: tail of block 0, all of block 1,
+	// head of block 2.
+	s := Spans(4000, 5000, 4096)
+	if len(s) != 3 {
+		t.Fatalf("spans = %+v", s)
+	}
+	if s[0] != (Span{Index: 0, Start: 4000, Len: 96, BufOff: 0}) {
+		t.Fatalf("span0 = %+v", s[0])
+	}
+	if s[1] != (Span{Index: 1, Start: 0, Len: 4096, BufOff: 96}) {
+		t.Fatalf("span1 = %+v", s[1])
+	}
+	if s[2] != (Span{Index: 2, Start: 0, Len: 808, BufOff: 4192}) {
+		t.Fatalf("span2 = %+v", s[2])
+	}
+}
+
+func TestSpansEmpty(t *testing.T) {
+	if s := Spans(100, 0, 4096); s != nil {
+		t.Fatalf("zero length spans = %v", s)
+	}
+	if s := Spans(100, -5, 4096); s != nil {
+		t.Fatalf("negative length spans = %v", s)
+	}
+}
+
+// Property: spans tile the request exactly — contiguous, in order,
+// covering n bytes, each within its block.
+func TestQuickSpansTile(t *testing.T) {
+	f := func(off int64, n uint16, bsSel uint8) bool {
+		if off < 0 {
+			off = -off
+		}
+		off %= 1 << 30
+		blockSize := []int{512, 1024, 4096}[int(bsSel)%3]
+		length := int(n)%20000 + 1
+		spans := Spans(off, length, blockSize)
+		covered := 0
+		for i, s := range spans {
+			if s.BufOff != covered {
+				return false
+			}
+			if s.Len <= 0 || s.Start < 0 || s.Start+s.Len > blockSize {
+				return false
+			}
+			// Absolute position continuity.
+			abs := s.Index*int64(blockSize) + int64(s.Start)
+			if abs != off+int64(covered) {
+				return false
+			}
+			// Only first span may have Start>0; only last may be short.
+			if i > 0 && s.Start != 0 {
+				return false
+			}
+			if i < len(spans)-1 && s.Start+s.Len != blockSize {
+				return false
+			}
+			covered += s.Len
+		}
+		return covered == length
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

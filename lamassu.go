@@ -1,0 +1,525 @@
+// Package lamassu is the public API of this repository's
+// reproduction of
+//
+//	Lamassu: Storage-Efficient Host-Side Encryption
+//	Peter Shah and Won So (NetApp), USENIX ATC 2015.
+//
+// Lamassu is a transparent, host-side ("data-source") encryption shim
+// that preserves block-level deduplication on the downstream storage
+// system. It encrypts each 4 KiB data block with a convergent key
+// derived from the block's own content and a shared secret inner key,
+// so identical plaintext blocks written anywhere in the same isolation
+// zone become identical ciphertext blocks — which an untrusted,
+// deduplicating store can reclaim without being able to read them.
+// All cryptographic metadata (the per-block keys) is embedded in
+// reserved, block-aligned sections of each file's own data stream,
+// sealed with AES-256-GCM under a second outer key, so no side-car
+// key database is needed and ordinary file tools can copy, replicate
+// or migrate encrypted files intact.
+//
+// # Quick start
+//
+//	keys, _ := lamassu.GenerateKeys()
+//	m, _ := lamassu.Mount(lamassu.NewMemStorage(), keys, nil)
+//	f, _ := m.Create("hello.txt")
+//	f.WriteAt([]byte("hello, deduplicating world"), 0)
+//	f.Close()
+//
+// See the examples/ directory for complete programs: a quickstart, a
+// multi-tenant isolation-zone demo over a shared deduplicating store,
+// a crash-recovery walkthrough, and a Table-1-style VM-image backup
+// scenario.
+package lamassu
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"lamassu/internal/backend"
+	"lamassu/internal/core"
+	"lamassu/internal/cryptoutil"
+	"lamassu/internal/dupless"
+	"lamassu/internal/integrity"
+	"lamassu/internal/kmip"
+	"lamassu/internal/layout"
+	"lamassu/internal/metrics"
+	"lamassu/internal/namecrypt"
+	"lamassu/internal/nfssim"
+	"lamassu/internal/simclock"
+	"lamassu/internal/vfs"
+)
+
+// Key is a 256-bit secret key.
+type Key = cryptoutil.Key
+
+// KeyPair bundles an isolation zone's two secrets: the inner key Kin
+// (defining the deduplication domain) and the outer key Kout (defining
+// the trust domain).
+type KeyPair struct {
+	Inner Key
+	Outer Key
+}
+
+// GenerateKeys returns a fresh random key pair from crypto/rand.
+func GenerateKeys() (KeyPair, error) {
+	inner, err := cryptoutil.NewRandomKey()
+	if err != nil {
+		return KeyPair{}, err
+	}
+	outer, err := cryptoutil.NewRandomKey()
+	if err != nil {
+		return KeyPair{}, err
+	}
+	return KeyPair{Inner: inner, Outer: outer}, nil
+}
+
+// KeysFromBytes builds a pair from raw 32-byte secrets.
+func KeysFromBytes(inner, outer []byte) (KeyPair, error) {
+	in, err := cryptoutil.KeyFromBytes(inner)
+	if err != nil {
+		return KeyPair{}, err
+	}
+	out, err := cryptoutil.KeyFromBytes(outer)
+	if err != nil {
+		return KeyPair{}, err
+	}
+	return KeyPair{Inner: in, Outer: out}, nil
+}
+
+// FetchKeys retrieves a zone's key pair from a running key-management
+// server (cmd/kmipd), the deployment model of the paper's §3: clients
+// of one isolation zone share both keys.
+func FetchKeys(serverAddr string, zone uint32) (KeyPair, error) {
+	c, err := kmip.Dial(serverAddr)
+	if err != nil {
+		return KeyPair{}, err
+	}
+	defer c.Close()
+	if _, err := c.CreateZone(kmip.Zone(zone)); err != nil {
+		return KeyPair{}, err
+	}
+	p, err := c.GetPair(kmip.Zone(zone))
+	if err != nil {
+		return KeyPair{}, err
+	}
+	return KeyPair{Inner: p.Inner, Outer: p.Outer}, nil
+}
+
+// Storage is the backing-store interface a Mount writes through; the
+// encrypted backing files it holds are ordinary flat files.
+type Storage = backend.Store
+
+// File is an open handle with synchronous positional I/O. Sizes and
+// offsets are logical (plaintext) positions; the embedded metadata is
+// invisible through this interface.
+type File = vfs.File
+
+// Integrity selects the read-path integrity level (paper §4.2).
+type Integrity int
+
+const (
+	// IntegrityFull verifies every data block against its convergent
+	// key on read (the default).
+	IntegrityFull Integrity = iota
+	// IntegrityMetaOnly verifies only metadata blocks (AES-GCM),
+	// trading the per-block hash check for read throughput.
+	IntegrityMetaOnly
+)
+
+// Options tunes a Mount. The zero value (or nil) selects the paper's
+// defaults: 4096-byte blocks, R = 8 reserved slots, full integrity.
+type Options struct {
+	// BlockSize is the cipher/layout block size in bytes.
+	BlockSize int
+	// ReservedSlots is R, the number of transient key slots per
+	// metadata block; it bounds write batching and sets the space
+	// overhead (see Figures 10 and 11).
+	ReservedSlots int
+	// Integrity selects the read-path verification level.
+	Integrity Integrity
+	// CollectLatency enables the Figure 9 latency-breakdown
+	// instrumentation, retrievable via Mount.Latency.
+	CollectLatency bool
+	// EncryptNames additionally encrypts file and directory names on
+	// the backing store (deterministic SIV-style, per path segment) —
+	// the extension the paper defers to future work in §2.1. The name
+	// key is derived from the zone's outer key, so clients of one
+	// trust domain resolve names identically.
+	EncryptNames bool
+	// KeyDeriver, when non-nil, replaces the local convergent KDF
+	// with an external derivation such as the DupLESS server-aided
+	// OPRF (internal/dupless, surfaced via NewDupLESSKeySource). It
+	// must be deterministic in the block hash. Expect a severe
+	// performance cost per block (the paper's §1 objection).
+	KeyDeriver func(hash [32]byte) (Key, error)
+}
+
+// Errors surfaced by the public API.
+var (
+	// ErrNotExist reports an operation on a missing file.
+	ErrNotExist = vfs.ErrNotExist
+	// ErrIntegrity reports a data block failing its integrity check.
+	ErrIntegrity = core.ErrIntegrity
+	// ErrUnrecoverable reports crash damage recovery cannot repair.
+	ErrUnrecoverable = core.ErrUnrecoverable
+)
+
+// Mount is a Lamassu instance over one backing store — the moral
+// equivalent of the paper's FUSE mount point.
+type Mount struct {
+	fs  *core.FS
+	rec *metrics.Recorder
+}
+
+// NewMount opens a Lamassu file system over store with the given zone
+// keys.
+func NewMount(store Storage, keys KeyPair, opts *Options) (*Mount, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	if o.BlockSize == 0 {
+		o.BlockSize = layout.DefaultBlockSize
+	}
+	if o.ReservedSlots == 0 {
+		o.ReservedSlots = layout.DefaultReservedSlots
+	}
+	geo, err := layout.NewGeometry(o.BlockSize, o.ReservedSlots)
+	if err != nil {
+		return nil, err
+	}
+	var rec *metrics.Recorder
+	if o.CollectLatency {
+		rec = metrics.New()
+	}
+	mode := core.IntegrityFull
+	if o.Integrity == IntegrityMetaOnly {
+		mode = core.IntegrityMetaOnly
+	}
+	if o.EncryptNames {
+		nameKey := cryptoutil.DeriveSubKey(keys.Outer, "lamassu-name-encryption")
+		store = namecrypt.New(store, nameKey)
+	}
+	var deriver func(cryptoutil.Hash) (cryptoutil.Key, error)
+	if o.KeyDeriver != nil {
+		kd := o.KeyDeriver
+		deriver = func(h cryptoutil.Hash) (cryptoutil.Key, error) { return kd(h) }
+	}
+	fs, err := core.New(store, core.Config{
+		Geometry:   geo,
+		Inner:      keys.Inner,
+		Outer:      keys.Outer,
+		Integrity:  mode,
+		Recorder:   rec,
+		KeyDeriver: deriver,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Mount{fs: fs, rec: rec}, nil
+}
+
+// Mount is shorthand for NewMount.
+func MountFS(store Storage, keys KeyPair, opts *Options) (*Mount, error) {
+	return NewMount(store, keys, opts)
+}
+
+// Create opens name read-write, creating it if absent.
+func (m *Mount) Create(name string) (File, error) { return m.fs.Create(name) }
+
+// Open opens an existing file read-only.
+func (m *Mount) Open(name string) (File, error) { return m.fs.Open(name) }
+
+// OpenRW opens an existing file read-write.
+func (m *Mount) OpenRW(name string) (File, error) { return m.fs.OpenRW(name) }
+
+// Remove deletes a file.
+func (m *Mount) Remove(name string) error { return m.fs.Remove(name) }
+
+// Stat returns a file's logical size.
+func (m *Mount) Stat(name string) (int64, error) { return m.fs.Stat(name) }
+
+// List returns all file names, sorted.
+func (m *Mount) List() ([]string, error) { return m.fs.List() }
+
+// WriteFile writes data as the complete content of name.
+func (m *Mount) WriteFile(name string, data []byte) error {
+	return vfs.WriteAll(m.fs, name, data)
+}
+
+// ReadFile reads the complete logical content of name.
+func (m *Mount) ReadFile(name string) ([]byte, error) {
+	return vfs.ReadAll(m.fs, name)
+}
+
+// VFS exposes the mount as the repository's internal vfs.FS, for code
+// (benchmark harness, generators) written against that seam.
+func (m *Mount) VFS() vfs.FS { return m.fs }
+
+// CheckReport summarizes an integrity audit (see Check).
+type CheckReport = core.CheckReport
+
+// Check audits a file without modifying it: every metadata block's
+// authentication tag and every data block's convergent hash are
+// verified (paper §2.5).
+func (m *Mount) Check(name string) (CheckReport, error) { return m.fs.Check(name) }
+
+// RecoverStats summarizes a crash-recovery pass (see Recover).
+type RecoverStats = core.RecoverStats
+
+// Recover scans a file for segments left mid-update by a crash and
+// repairs them using the multiphase-commit recovery protocol (paper
+// §2.4). The file must be idle.
+func (m *Mount) Recover(name string) (RecoverStats, error) { return m.fs.Recover(name) }
+
+// RekeyStats summarizes a key-rotation pass.
+type RekeyStats = core.RekeyStats
+
+// RekeyOuter re-seals a file's metadata blocks under a new outer key —
+// the paper's fast partial re-key (§2.2). Data blocks and the
+// deduplication domain are untouched. Subsequent opens must use a
+// Mount configured with the new outer key.
+func (m *Mount) RekeyOuter(name string, newOuter Key) (RekeyStats, error) {
+	return m.fs.RekeyOuter(name, newOuter)
+}
+
+// RekeyFull re-encrypts a file under a new key pair, moving it to a
+// new deduplication isolation zone. The file must be idle.
+func (m *Mount) RekeyFull(name string, newKeys KeyPair) (RekeyStats, error) {
+	return m.fs.RekeyFull(name, newKeys.Inner, newKeys.Outer)
+}
+
+// SpaceOverhead returns the metadata overhead in bytes that Lamassu
+// adds to a file of the given logical size (Equations 4–7).
+func (m *Mount) SpaceOverhead(logicalSize int64) int64 {
+	return m.fs.Geometry().Overhead(logicalSize)
+}
+
+// MinOverheadRatio returns the asymptotic space overhead ratio,
+// 1/KeysPerSegment (Equation 8) — 0.85 % at the default R = 8.
+func (m *Mount) MinOverheadRatio() float64 {
+	return m.fs.Geometry().MinOverheadRatio()
+}
+
+// LatencySlice is one category of the Figure 9 latency breakdown.
+type LatencySlice struct {
+	Category string
+	Total    time.Duration
+	Fraction float64
+}
+
+// Latency returns the accumulated latency breakdown (Encrypt, Decrypt,
+// GetCEKey, I/O, Misc). It returns nil unless the mount was created
+// with Options.CollectLatency.
+func (m *Mount) Latency() []LatencySlice {
+	if m.rec == nil {
+		return nil
+	}
+	b := m.rec.Snapshot()
+	out := make([]LatencySlice, 0, 5)
+	for _, c := range metrics.Categories() {
+		out = append(out, LatencySlice{
+			Category: c.String(),
+			Total:    b.Total[c],
+			Fraction: b.Fraction(c),
+		})
+	}
+	return out
+}
+
+// ResetLatency zeroes the latency accumulators.
+func (m *Mount) ResetLatency() {
+	if m.rec != nil {
+		m.rec.Reset()
+	}
+}
+
+// NewMemStorage returns an in-memory backing store (the RAM-disk
+// configuration of the paper's Figures 8–10).
+func NewMemStorage() Storage { return backend.NewMemStore() }
+
+// NewDirStorage returns a backing store over a directory of real
+// files; the encrypted backing files in it can be copied, replicated
+// or migrated with ordinary tools.
+func NewDirStorage(dir string) (Storage, error) { return backend.NewOSStore(dir) }
+
+// NFSParams tunes the simulated NFS link of WithSimulatedNFS.
+type NFSParams struct {
+	// RTT is the per-operation round trip; WriteRTT (if nonzero)
+	// overrides it for writes.
+	RTT, WriteRTT time.Duration
+	// BandwidthBytesPerSec is the wire bandwidth.
+	BandwidthBytesPerSec float64
+}
+
+// WithSimulatedNFS wraps a backing store with the latency and
+// bandwidth model of a synchronous NFSv3 mount over Gigabit Ethernet
+// (the remote-filer configuration of the paper's Figure 7). Passing a
+// zero NFSParams selects the calibrated GbE defaults. Waits are real
+// (wall-clock); the benchmark harness uses the internal virtual-clock
+// variant instead.
+func WithSimulatedNFS(store Storage, p NFSParams) Storage {
+	params := nfssim.GigabitNFS()
+	if p.RTT != 0 {
+		params.RTT = p.RTT
+	}
+	if p.WriteRTT != 0 {
+		params.WriteRTT = p.WriteRTT
+	}
+	if p.BandwidthBytesPerSec != 0 {
+		params.Bandwidth = p.BandwidthBytesPerSec
+	}
+	return nfssim.New(store, params, simclock.Real{})
+}
+
+// Copy streams a file between two mounts (or any two vfs.FS views),
+// e.g. from a plaintext staging area into a Lamassu mount.
+func Copy(dst *Mount, dstName string, src *Mount, srcName string) (int64, error) {
+	return vfs.Copy(dst.fs, dstName, src.fs, srcName, 1<<20)
+}
+
+// NewDupLESSKeySource starts talking to a DupLESS-style key server
+// (see internal/dupless and the server-aided-keys example) and returns
+// a KeyDeriver for Options plus a close function. Each derived key
+// costs one blind-signature round trip — the configuration the paper
+// discusses and rejects for block-level use (§1); it is provided for
+// the ablation that quantifies that choice.
+func NewDupLESSKeySource(serverAddr string) (func(hash [32]byte) (Key, error), func() error, error) {
+	nc, err := dupless.Dial(serverAddr)
+	if err != nil {
+		return nil, nil, err
+	}
+	deriver := func(h [32]byte) (Key, error) { return nc.DeriveKey(cryptoutil.Hash(h)) }
+	return deriver, nc.Close, nil
+}
+
+// TrustStore records whole-file MACs outside the untrusted storage
+// for rollback detection (paper §2.5's proposed integrity layer).
+type TrustStore = integrity.TrustStore
+
+// NewMemTrustStore returns an in-memory TrustStore.
+func NewMemTrustStore() TrustStore { return integrity.NewMemTrustStore() }
+
+// RollbackGuard is the stackable whole-file integrity layer over a
+// Mount: opening a file verifies its complete content against the
+// trust store, so even a rollback to an older self-consistent state
+// is detected — the attack the base system cannot see (§2.5).
+type RollbackGuard struct {
+	fs *integrity.FS
+}
+
+// WithRollbackProtection layers rollback detection over a mount. The
+// MAC key is derived from the zone's outer key; trust must live
+// somewhere the storage system cannot write (memory, a local file, or
+// the key server).
+func WithRollbackProtection(m *Mount, keys KeyPair, trust TrustStore) (*RollbackGuard, error) {
+	macKey := cryptoutil.DeriveSubKey(keys.Outer, "lamassu-rollback-mac")
+	fs, err := integrity.New(m.fs, trust, macKey)
+	if err != nil {
+		return nil, err
+	}
+	return &RollbackGuard{fs: fs}, nil
+}
+
+// Create opens name read-write, creating it if absent.
+func (g *RollbackGuard) Create(name string) (File, error) { return g.fs.Create(name) }
+
+// Open opens read-only, verifying the whole file against the trust
+// store first.
+func (g *RollbackGuard) Open(name string) (File, error) { return g.fs.Open(name) }
+
+// OpenRW opens read-write, verifying first.
+func (g *RollbackGuard) OpenRW(name string) (File, error) { return g.fs.OpenRW(name) }
+
+// Remove deletes the file and its trust record.
+func (g *RollbackGuard) Remove(name string) error { return g.fs.Remove(name) }
+
+// WriteFile writes data as the complete content of name.
+func (g *RollbackGuard) WriteFile(name string, data []byte) error {
+	return vfs.WriteAll(g.fs, name, data)
+}
+
+// ReadFile reads and verifies the complete content of name.
+func (g *RollbackGuard) ReadFile(name string) ([]byte, error) {
+	return vfs.ReadAll(g.fs, name)
+}
+
+// VerifyAll audits every tracked file, returning the names that fail.
+func (g *RollbackGuard) VerifyAll() ([]string, error) { return g.fs.VerifyAll() }
+
+// ErrRollback reports a file that no longer matches its trusted
+// state.
+var ErrRollback = integrity.ErrRollback
+
+// Replicate copies every backing file from src to dst byte-for-byte.
+// This is the portability property the paper's embedded-metadata
+// design buys (§1): because the cryptographic metadata travels inside
+// each file's data stream, an encrypted volume can be replicated,
+// migrated or backed up by ANY tool that copies files — no key
+// database to move in parallel, no storage-controller support needed.
+// The function itself needs no keys; it never decrypts anything. It
+// returns the number of files copied.
+func Replicate(dst, src Storage) (int, error) {
+	names, err := src.List()
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]byte, 1<<20)
+	for i, name := range names {
+		if err := replicateFile(dst, src, name, buf); err != nil {
+			return i, fmt.Errorf("lamassu: replicating %q: %w", name, err)
+		}
+	}
+	return len(names), nil
+}
+
+func replicateFile(dst, src Storage, name string, buf []byte) error {
+	in, err := src.Open(name, backend.OpenRead)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := dst.Open(name, backend.OpenCreate)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	size, err := in.Size()
+	if err != nil {
+		return err
+	}
+	if err := out.Truncate(size); err != nil {
+		return err
+	}
+	var off int64
+	for off < size {
+		n := int64(len(buf))
+		if off+n > size {
+			n = size - off
+		}
+		if err := backend.ReadFull(in, buf[:n], off); err != nil {
+			return err
+		}
+		if _, err := out.WriteAt(buf[:n], off); err != nil {
+			return err
+		}
+		off += n
+	}
+	return out.Sync()
+}
+
+// IsNotExist reports whether err indicates a missing file.
+func IsNotExist(err error) bool { return errors.Is(err, vfs.ErrNotExist) }
+
+// IsIntegrityError reports whether err indicates failed integrity
+// verification.
+func IsIntegrityError(err error) bool { return errors.Is(err, core.ErrIntegrity) }
+
+// Validate returns a human-readable summary of the mount's geometry,
+// useful for logs.
+func (m *Mount) String() string {
+	g := m.fs.Geometry()
+	return fmt.Sprintf("lamassu(block=%dB, R=%d, keys/segment=%d, min-overhead=%.2f%%, integrity=%s)",
+		g.BlockSize, g.Reserved, g.KeysPerSegment(), 100*g.MinOverheadRatio(), m.fs.Integrity())
+}

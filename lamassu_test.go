@@ -1,0 +1,386 @@
+package lamassu
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+
+	"lamassu/internal/dedupe"
+	"lamassu/internal/kmip"
+)
+
+func mustKeys(t *testing.T) KeyPair {
+	t.Helper()
+	keys, err := GenerateKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return keys
+}
+
+func TestPublicQuickstart(t *testing.T) {
+	keys := mustKeys(t)
+	m, err := NewMount(NewMemStorage(), keys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("hello, deduplicating world")
+	if err := m.WriteFile("hello.txt", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadFile("hello.txt")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("round trip: %q, %v", got, err)
+	}
+	if sz, err := m.Stat("hello.txt"); err != nil || sz != int64(len(data)) {
+		t.Fatalf("Stat = %d, %v", sz, err)
+	}
+	names, err := m.List()
+	if err != nil || len(names) != 1 || names[0] != "hello.txt" {
+		t.Fatalf("List = %v, %v", names, err)
+	}
+	if err := m.Remove("hello.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Open("hello.txt"); !IsNotExist(err) {
+		t.Fatalf("after remove: %v", err)
+	}
+}
+
+func TestKeysFromBytes(t *testing.T) {
+	in := bytes.Repeat([]byte{1}, 32)
+	out := bytes.Repeat([]byte{2}, 32)
+	kp, err := KeysFromBytes(in, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kp.Inner.IsZero() || kp.Outer.IsZero() {
+		t.Fatal("keys zero")
+	}
+	if _, err := KeysFromBytes(in[:31], out); err == nil {
+		t.Fatal("short inner accepted")
+	}
+	if _, err := KeysFromBytes(in, out[:31]); err == nil {
+		t.Fatal("short outer accepted")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	keys := mustKeys(t)
+	m, err := NewMount(NewMemStorage(), keys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.String()
+	for _, want := range []string{"block=4096B", "R=8", "keys/segment=118", "integrity=full"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	ratio := m.MinOverheadRatio()
+	if ratio < 0.0084 || ratio > 0.0086 {
+		t.Errorf("MinOverheadRatio = %v", ratio)
+	}
+	// Overhead for one full segment: exactly one metadata block.
+	if got := m.SpaceOverhead(118 * 4096); got != 4096 {
+		t.Errorf("SpaceOverhead = %d", got)
+	}
+	// Bad options are rejected.
+	if _, err := NewMount(NewMemStorage(), keys, &Options{BlockSize: 100}); err == nil {
+		t.Errorf("bad block size accepted")
+	}
+	if _, err := NewMount(NewMemStorage(), keys, &Options{ReservedSlots: 999}); err == nil {
+		t.Errorf("bad reserved slots accepted")
+	}
+	// MountFS alias works.
+	if _, err := MountFS(NewMemStorage(), keys, nil); err != nil {
+		t.Errorf("MountFS: %v", err)
+	}
+}
+
+func TestDedupAcrossMountsSharedZone(t *testing.T) {
+	store := NewMemStorage()
+	keys := mustKeys(t)
+	m1, err := NewMount(store, keys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewMount(store, keys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xEF}, 64*4096)
+	if err := m1.WriteFile("a", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.WriteFile("b", payload); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := dedupe.NewEngine(4096)
+	rep, err := e.Scan(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64 identical plaintext blocks per file converge to 1 ciphertext
+	// block shared across mounts; 2 metadata blocks remain unique.
+	if rep.UniqueBlocks != 3 {
+		t.Fatalf("UniqueBlocks = %d, want 3", rep.UniqueBlocks)
+	}
+}
+
+func TestLatencyCollection(t *testing.T) {
+	keys := mustKeys(t)
+	m, err := NewMount(NewMemStorage(), keys, &Options{CollectLatency: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteFile("f", bytes.Repeat([]byte{1}, 64*4096)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReadFile("f"); err != nil {
+		t.Fatal(err)
+	}
+	slices := m.Latency()
+	if len(slices) != 5 {
+		t.Fatalf("latency slices = %d", len(slices))
+	}
+	var total float64
+	seen := map[string]bool{}
+	for _, s := range slices {
+		total += s.Fraction
+		seen[s.Category] = true
+	}
+	for _, c := range []string{"Encrypt", "Decrypt", "GetCEKey", "I/O", "Misc."} {
+		if !seen[c] {
+			t.Errorf("category %q missing", c)
+		}
+	}
+	if total < 0.99 || total > 1.01 {
+		t.Errorf("fractions sum to %v", total)
+	}
+	m.ResetLatency()
+	for _, s := range m.Latency() {
+		if s.Total != 0 {
+			t.Errorf("reset left %v in %s", s.Total, s.Category)
+		}
+	}
+
+	// Without CollectLatency, Latency is nil and Reset is a no-op.
+	m2, _ := NewMount(NewMemStorage(), keys, nil)
+	if m2.Latency() != nil {
+		t.Errorf("latency collected without opt-in")
+	}
+	m2.ResetLatency()
+}
+
+func TestCheckRecoverRekeyThroughPublicAPI(t *testing.T) {
+	store := NewMemStorage()
+	keys := mustKeys(t)
+	m, err := NewMount(store, keys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{7}, 200*4096)
+	if err := m.WriteFile("f", data); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Check("f")
+	if err != nil || !rep.Clean() {
+		t.Fatalf("Check: %+v, %v", rep, err)
+	}
+	st, err := m.Recover("f")
+	if err != nil || st.Repaired != 0 {
+		t.Fatalf("Recover: %+v, %v", st, err)
+	}
+
+	// Partial rekey.
+	newKeys := mustKeys(t)
+	if _, err := m.RekeyOuter("f", newKeys.Outer); err != nil {
+		t.Fatal(err)
+	}
+	rotated, err := NewMount(store, KeyPair{Inner: keys.Inner, Outer: newKeys.Outer}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rotated.ReadFile("f")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read after outer rekey: %v", err)
+	}
+
+	// Full rekey.
+	if _, err := rotated.RekeyFull("f", newKeys); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewMount(store, newKeys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = fresh.ReadFile("f")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read after full rekey: %v", err)
+	}
+}
+
+func TestIntegrityErrorSurfaced(t *testing.T) {
+	store := NewMemStorage()
+	keys := mustKeys(t)
+	m, err := NewMount(store, keys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteFile("f", bytes.Repeat([]byte{9}, 8192)); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a data-block byte directly on the backing store.
+	bf, err := store.Open("f", 1 /* backend.OpenWrite */)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bf.WriteAt([]byte{0xFF}, 5000); err != nil {
+		t.Fatal(err)
+	}
+	bf.Close()
+	_, err = m.ReadFile("f")
+	if !IsIntegrityError(err) {
+		t.Fatalf("corrupted read: %v", err)
+	}
+	if !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("error identity lost: %v", err)
+	}
+}
+
+func TestDirStorage(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewDirStorage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := mustKeys(t)
+	m, err := NewMount(store, keys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0x31}, 130*4096+17)
+	if err := m.WriteFile("f", data); err != nil {
+		t.Fatal(err)
+	}
+	// A second mount over the same directory reads it back.
+	store2, err := NewDirStorage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewMount(store2, keys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m2.ReadFile("f")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("cross-process read: %v", err)
+	}
+}
+
+func TestCopyBetweenMounts(t *testing.T) {
+	keys := mustKeys(t)
+	src, _ := NewMount(NewMemStorage(), keys, nil)
+	dst, _ := NewMount(NewMemStorage(), keys, nil)
+	data := bytes.Repeat([]byte{0x77}, 300000)
+	if err := src.WriteFile("s", data); err != nil {
+		t.Fatal(err)
+	}
+	n, err := Copy(dst, "d", src, "s")
+	if err != nil || n != int64(len(data)) {
+		t.Fatalf("Copy = %d, %v", n, err)
+	}
+	got, err := dst.ReadFile("d")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("copied content: %v", err)
+	}
+}
+
+func TestFetchKeysFromServer(t *testing.T) {
+	srv := kmip.NewServer()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck
+	defer srv.Close()
+
+	k1, err := FetchKeys(ln.Addr().String(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := FetchKeys(ln.Addr().String(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k1.Inner.Equal(k2.Inner) || !k1.Outer.Equal(k2.Outer) {
+		t.Fatalf("same zone returned different keys")
+	}
+	other, err := FetchKeys(ln.Addr().String(), 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Inner.Equal(k1.Inner) {
+		t.Fatalf("different zones share inner key")
+	}
+	// The fetched keys actually work.
+	m, err := NewMount(NewMemStorage(), k1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteFile("f", []byte("via kmip")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulatedNFSStorage(t *testing.T) {
+	store := WithSimulatedNFS(NewMemStorage(), NFSParams{})
+	keys := mustKeys(t)
+	m, err := NewMount(store, keys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteFile("f", []byte("over simulated nfs")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadFile("f")
+	if err != nil || string(got) != "over simulated nfs" {
+		t.Fatalf("NFS round trip: %q, %v", got, err)
+	}
+	// Custom params are honored (no crash; semantics identical).
+	store2 := WithSimulatedNFS(NewMemStorage(), NFSParams{RTT: 1, WriteRTT: 1, BandwidthBytesPerSec: 1e9})
+	m2, _ := NewMount(store2, keys, nil)
+	if err := m2.WriteFile("g", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilePositionalIO(t *testing.T) {
+	keys := mustKeys(t)
+	m, _ := NewMount(NewMemStorage(), keys, nil)
+	f, err := m.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteAt([]byte("abcdef"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(3); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3)
+	if _, err := f.ReadAt(buf, 0); err != nil && !errors.Is(err, io.EOF) {
+		t.Fatal(err)
+	}
+	if string(buf) != "abc" {
+		t.Fatalf("buf = %q", buf)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
