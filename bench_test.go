@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sync/atomic"
 	"testing"
 
 	"lamassu/internal/backend"
@@ -166,27 +167,74 @@ func BenchmarkFig11SpaceVsR(b *testing.B) {
 // --- Micro-benchmarks on the public API -------------------------
 
 func BenchmarkWrite4KThroughMount(b *testing.B) {
-	m, err := NewMount(NewMemStorage(), benchKeys(b), nil)
-	if err != nil {
-		b.Fatal(err)
-	}
-	f, err := m.Create("bench")
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer f.Close()
-	if err := f.Truncate(64 << 20); err != nil {
-		b.Fatal(err)
-	}
-	buf := make([]byte, 4096)
-	rand.New(rand.NewSource(1)).Read(buf)
-	b.SetBytes(4096)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		buf[0] = byte(i)
-		if _, err := f.WriteAt(buf, int64(i%16384)*4096); err != nil {
+	bench := func(b *testing.B, opts *Options) {
+		m, err := NewMount(NewMemStorage(), benchKeys(b), opts)
+		if err != nil {
 			b.Fatal(err)
 		}
+		f, err := m.Create("bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer f.Close()
+		if err := f.Truncate(64 << 20); err != nil {
+			b.Fatal(err)
+		}
+		buf := make([]byte, 4096)
+		rand.New(rand.NewSource(1)).Read(buf)
+		b.SetBytes(4096)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf[0] = byte(i)
+			if _, err := f.WriteAt(buf, int64(i%16384)*4096); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	// serial is the paper's single-threaded engine; parallel fans the
+	// per-block commit work across GOMAXPROCS workers.
+	b.Run("serial", func(b *testing.B) { bench(b, &Options{Parallelism: 1}) })
+	b.Run("parallel", func(b *testing.B) { bench(b, nil) })
+}
+
+// Parallel application threads over one mount: every goroutine writes
+// its own file, the shape of the paper's multi-client deployment.
+func BenchmarkWrite4KConcurrentFiles(b *testing.B) {
+	for _, par := range []int{1, 0} {
+		name := "serial"
+		if par == 0 {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			m, err := NewMount(NewMemStorage(), benchKeys(b), &Options{Parallelism: par})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var id int64
+			b.SetBytes(4096)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				n := atomic.AddInt64(&id, 1)
+				f, err := m.Create(fmt.Sprintf("bench-%d", n))
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer f.Close()
+				if err := f.Truncate(16 << 20); err != nil {
+					b.Fatal(err)
+				}
+				buf := make([]byte, 4096)
+				rand.New(rand.NewSource(n)).Read(buf)
+				i := 0
+				for pb.Next() {
+					buf[0] = byte(i)
+					if _, err := f.WriteAt(buf, int64(i%4096)*4096); err != nil {
+						b.Fatal(err)
+					}
+					i++
+				}
+			})
+		})
 	}
 }
 
@@ -217,6 +265,43 @@ func BenchmarkRead4KThroughMount(b *testing.B) {
 	}
 	b.Run("full-integrity", func(b *testing.B) { bench(b, IntegrityFull) })
 	b.Run("meta-only", func(b *testing.B) { bench(b, IntegrityMetaOnly) })
+}
+
+// The block cache against the uncached read path: hits skip backend
+// I/O, AES-CBC and the SHA-256 integrity re-hash entirely.
+func BenchmarkRead4KCached(b *testing.B) {
+	bench := func(b *testing.B, cacheBlocks int) {
+		m, err := NewMount(NewMemStorage(), benchKeys(b), &Options{CacheBlocks: cacheBlocks})
+		if err != nil {
+			b.Fatal(err)
+		}
+		data := make([]byte, 8<<20) // 2048 blocks: fits the enabled cache
+		rand.New(rand.NewSource(3)).Read(data)
+		if err := m.WriteFile("bench", data); err != nil {
+			b.Fatal(err)
+		}
+		f, err := m.Open("bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer f.Close()
+		buf := make([]byte, 4096)
+		if _, err := f.ReadAt(buf, 0); err != nil { // open-time warmup
+			b.Fatal(err)
+		}
+		b.SetBytes(4096)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := f.ReadAt(buf, int64(i%2048)*4096); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if cacheBlocks > 0 {
+			b.ReportMetric(100*m.CacheStats().HitRate(), "cache-hit-%")
+		}
+	}
+	b.Run("uncached", func(b *testing.B) { bench(b, 0) })
+	b.Run("cached-4096", func(b *testing.B) { bench(b, 4096) })
 }
 
 // --- Ablations ---------------------------------------------------
@@ -501,29 +586,35 @@ func BenchmarkDedupScan(b *testing.B) {
 // Sanity guard used by the benchmarks' assumptions: one segment is
 // 119 blocks at the default geometry.
 func BenchmarkSegmentCommit(b *testing.B) {
-	keys := benchKeys(b)
-	store := backend.NewMemStore()
-	rec := metrics.New()
-	lfs, err := core.New(store, core.Config{Inner: keys.Inner, Outer: keys.Outer, Recorder: rec})
-	if err != nil {
-		b.Fatal(err)
-	}
-	f, err := lfs.Create("bench")
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer f.Close()
-	seg := make([]byte, 8*4096) // exactly one full batch at R=8
-	rand.New(rand.NewSource(6)).Read(seg)
-	if err := f.Truncate(118 * 4096); err != nil {
-		b.Fatal(err)
-	}
-	b.SetBytes(int64(len(seg)))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		seg[0] = byte(i)
-		if _, err := f.WriteAt(seg, int64(i%14)*int64(len(seg))); err != nil {
+	bench := func(b *testing.B, parallelism int) {
+		keys := benchKeys(b)
+		store := backend.NewMemStore()
+		rec := metrics.New()
+		lfs, err := core.New(store, core.Config{
+			Inner: keys.Inner, Outer: keys.Outer, Recorder: rec, Parallelism: parallelism,
+		})
+		if err != nil {
 			b.Fatal(err)
 		}
+		f, err := lfs.Create("bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer f.Close()
+		seg := make([]byte, 8*4096) // exactly one full batch at R=8
+		rand.New(rand.NewSource(6)).Read(seg)
+		if err := f.Truncate(118 * 4096); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(seg)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			seg[0] = byte(i)
+			if _, err := f.WriteAt(seg, int64(i%14)*int64(len(seg))); err != nil {
+				b.Fatal(err)
+			}
+		}
 	}
+	b.Run("serial", func(b *testing.B) { bench(b, 1) })
+	b.Run("parallel", func(b *testing.B) { bench(b, 0) })
 }

@@ -18,7 +18,14 @@ import (
 
 func TestEncryptNamesOption(t *testing.T) {
 	store := NewMemStorage()
-	keys := mustKeys(t)
+	// Deterministic keys: the encrypted backing names are derived from
+	// the outer key, and the leak check below greps them for short
+	// substrings like "q3" — with random keys the base32 encoding
+	// coincidentally contains such a bigram in roughly one run in ten.
+	keys, err := KeysFromBytes(bytes.Repeat([]byte{0x17}, 32), bytes.Repeat([]byte{0x2a}, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
 	m, err := NewMount(store, keys, &Options{EncryptNames: true})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,3 @@
+module lamassu
+
+go 1.24

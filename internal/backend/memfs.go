@@ -36,6 +36,30 @@ type memData struct {
 	data []byte
 }
 
+// grow extends d.data to size bytes with amortized-doubling capacity
+// growth, so a file written by many small extending writes costs O(n)
+// total copying instead of O(n²). Bytes re-exposed from a previous
+// truncation are zeroed, preserving the contract that extended ranges
+// read as zeros. The caller must hold d.mu exclusively.
+func (d *memData) grow(size int64) {
+	cur := int64(len(d.data))
+	if size <= cur {
+		return
+	}
+	if size <= int64(cap(d.data)) {
+		d.data = d.data[:size]
+		clear(d.data[cur:])
+		return
+	}
+	newCap := 2 * int64(cap(d.data))
+	if newCap < size {
+		newCap = size
+	}
+	grown := make([]byte, size, newCap)
+	copy(grown, d.data)
+	d.data = grown
+}
+
 // NewMemStore returns an empty in-memory store.
 func NewMemStore() *MemStore {
 	return &MemStore{files: make(map[string]*memData)}
@@ -205,11 +229,7 @@ func (f *memFile) WriteAt(p []byte, off int64) (int, error) {
 	f.data.mu.Lock()
 	defer f.data.mu.Unlock()
 	end := off + int64(len(p))
-	if end > int64(len(f.data.data)) {
-		grown := make([]byte, end)
-		copy(grown, f.data.data)
-		f.data.data = grown
-	}
+	f.data.grow(end)
 	copy(f.data.data[off:end], p)
 	f.store.countWrite(len(p))
 	return len(p), nil
@@ -231,11 +251,11 @@ func (f *memFile) Truncate(size int64) error {
 	cur := int64(len(f.data.data))
 	switch {
 	case size < cur:
-		f.data.data = f.data.data[:size:size]
+		// Keep the capacity: grow zeroes re-exposed bytes, and shrink
+		// followed by regrowth is the write paths' common pattern.
+		f.data.data = f.data.data[:size]
 	case size > cur:
-		grown := make([]byte, size)
-		copy(grown, f.data.data)
-		f.data.data = grown
+		f.data.grow(size)
 	}
 	return nil
 }

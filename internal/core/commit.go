@@ -5,33 +5,8 @@ import (
 	"sort"
 
 	"lamassu/internal/cryptoutil"
-	"lamassu/internal/layout"
 	"lamassu/internal/metrics"
 )
-
-// meta returns the decoded metadata block for segment seg, loading it
-// through the cache. Segments beyond the backing file decode as empty
-// metadata (all zero-key slots).
-func (f *file) meta(seg int64) (*layout.MetaBlock, error) {
-	if m, ok := f.metas[seg]; ok {
-		return m, nil
-	}
-	phys, err := f.bf.Size()
-	if err != nil {
-		return nil, err
-	}
-	var m *layout.MetaBlock
-	if f.fs.geo.MetaBlockOffset(seg)+int64(f.fs.geo.BlockSize) > phys {
-		m = layout.NewMetaBlock(f.fs.geo, uint64(seg))
-	} else {
-		m, err = f.fs.readMeta(f.bf, seg)
-		if err != nil {
-			return nil, err
-		}
-	}
-	f.metas[seg] = m
-	return m, nil
-}
 
 // commitSegment runs the multiphase commit protocol (§2.4) for one
 // segment's pending blocks:
@@ -45,20 +20,30 @@ func (f *file) meta(seg int64) (*layout.MetaBlock, error) {
 //
 // A batch of m blocks therefore costs m+2 backing I/Os; with R=1 that
 // is the paper's three I/Os per block write.
-func (f *file) commitSegment(seg int64) error {
-	segPending := f.pending[seg]
-	if len(segPending) == 0 {
+//
+// The CPU-bound per-block work fans out across the FS worker pool:
+// phase 1's convergent key derivations run in parallel before the
+// phase-1 metadata barrier, and phase 2's encrypt+write pairs run in
+// parallel between the two metadata barriers. The barriers themselves
+// — and therefore the §2.4 crash-consistency guarantees — are exactly
+// the serial protocol's: no data block is written before the phase-1
+// metadata write completes, and the phase-3 write begins only after
+// every data block write has returned.
+//
+// The caller must hold seg.mu exclusively.
+func (f *file) commitSegment(seg *segment, si int64) error {
+	if len(seg.pending) == 0 {
 		return nil
 	}
-	if len(segPending) > f.fs.geo.Reserved {
+	if len(seg.pending) > f.fs.geo.Reserved {
 		// The batching policy commits at R, so this is a bug guard.
 		return fmt.Errorf("lamassu: internal error: %d pending blocks exceed R=%d in segment %d",
-			len(segPending), f.fs.geo.Reserved, seg)
+			len(seg.pending), f.fs.geo.Reserved, si)
 	}
-	meta, err := f.meta(seg)
-	if err != nil {
+	if err := f.ensureMeta(seg, si); err != nil {
 		return err
 	}
+	meta := seg.meta
 	// A segment still marked midupdate carries recovery state from an
 	// interrupted commit; repair it before reusing the transient slots.
 	if meta.MidUpdate() {
@@ -67,82 +52,143 @@ func (f *file) commitSegment(seg int64) error {
 		}
 	}
 
-	slots := make([]int, 0, len(segPending))
-	for s := range segPending {
+	slots := make([]int, 0, len(seg.pending))
+	for s := range seg.pending {
 		slots = append(slots, s)
 	}
 	sort.Ints(slots)
 
-	// Phase 1: stage old keys into the transient slots, install the
-	// new convergent keys, mark midupdate, persist.
+	// Phase 1: derive the new convergent keys (fanned out — the SHA-256
+	// block hashes dominate the write path, Figure 9), then stage the
+	// old keys into the transient slots, install the new keys, mark
+	// midupdate, persist.
 	keysPerSeg := int64(f.fs.geo.KeysPerSegment())
 	newKeys := make([]cryptoutil.Key, len(slots))
-	for i, s := range slots {
-		meta.SetTransientKey(i, meta.StableKey(s))
-		k, err := f.fs.deriveKey(segPending[s])
+	err := f.fs.pool.run(len(slots), func(i int) error {
+		k, err := f.fs.deriveKey(seg.pending[slots[i]])
 		if err != nil {
-			return fmt.Errorf("lamassu: deriving key for segment %d slot %d: %w", seg, s, err)
+			return fmt.Errorf("lamassu: deriving key for segment %d slot %d: %w", si, slots[i], err)
 		}
 		newKeys[i] = k
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, s := range slots {
+		meta.SetTransientKey(i, meta.StableKey(s))
 		meta.SetStableKey(s, newKeys[i])
 	}
 	meta.NTransient = uint32(len(slots))
 	meta.SetMidUpdate(true)
-	meta.LogicalSize = uint64(f.size)
-	if err := f.fs.writeMeta(f.bf, meta); err != nil {
-		return fmt.Errorf("lamassu: commit phase 1 (segment %d): %w", seg, err)
+	sizeAtCommit := f.sizeNow()
+	meta.LogicalSize = uint64(sizeAtCommit)
+	if err := f.fs.writeMeta(f.bf, f.name, meta); err != nil {
+		return fmt.Errorf("lamassu: commit phase 1 (segment %d): %w", si, err)
 	}
 
-	// Phase 2: encrypt and write the data blocks.
-	ct := make([]byte, f.fs.geo.BlockSize)
-	for i, s := range slots {
-		if err := f.fs.encryptBlock(ct, segPending[s], newKeys[i]); err != nil {
+	// The data writes below replace the committed blocks' on-disk
+	// ciphertext; drop their cached plaintext BEFORE phase 2 starts
+	// and again right after the batch returns — even on error, when
+	// some writes landed and some did not — so a read that
+	// re-populated from pre-phase-2 disk state while the batch was in
+	// flight cannot outlive it.
+	var dbis []int64
+	if f.fs.cache != nil {
+		dbis = make([]int64, len(slots))
+		for i, s := range slots {
+			dbis[i] = si*keysPerSeg + int64(s)
+		}
+		f.fs.cache.invalidateDataBlocks(f.name, dbis)
+	}
+
+	// Phase 2: encrypt and write the data blocks, fanned out. Each
+	// task owns a disjoint slice of one ciphertext slab; with a serial
+	// pool the tasks run back to back, so a single block of scratch is
+	// reused instead (the backend is required to support concurrent
+	// WriteAt — os files and the memory store do).
+	bs := f.fs.geo.BlockSize
+	ctSlab := bs
+	if f.fs.pool.Width() > 1 {
+		ctSlab = len(slots) * bs
+	}
+	cts := make([]byte, ctSlab)
+	err = f.fs.pool.run(len(slots), func(i int) error {
+		s := slots[i]
+		ct := cts[:bs]
+		if ctSlab > bs {
+			ct = cts[i*bs : (i+1)*bs]
+		}
+		if err := f.fs.encryptBlock(ct, seg.pending[s], newKeys[i]); err != nil {
 			return err
 		}
-		dbi := seg*keysPerSeg + int64(s)
+		dbi := si*keysPerSeg + int64(s)
 		t := f.fs.cfg.Recorder.Start()
-		_, err := f.bf.WriteAt(ct, f.fs.geo.DataBlockOffset(dbi))
+		_, werr := f.bf.WriteAt(ct, f.fs.geo.DataBlockOffset(dbi))
 		f.fs.cfg.Recorder.Stop(metrics.IO, t)
-		if err != nil {
-			return fmt.Errorf("lamassu: commit phase 2 (block %d): %w", dbi, err)
+		if werr != nil {
+			return fmt.Errorf("lamassu: commit phase 2 (block %d): %w", dbi, werr)
 		}
+		return nil
+	})
+	// Second half of the invalidation bracket around phase 2, on the
+	// success and error paths alike.
+	f.fs.cache.invalidateDataBlocks(f.name, dbis)
+	if err != nil {
+		return err
 	}
 
 	// Phase 3: clear the update marker.
 	meta.SetMidUpdate(false)
 	meta.ClearTransient()
-	if err := f.fs.writeMeta(f.bf, meta); err != nil {
-		return fmt.Errorf("lamassu: commit phase 3 (segment %d): %w", seg, err)
+	if err := f.fs.writeMeta(f.bf, f.name, meta); err != nil {
+		return fmt.Errorf("lamassu: commit phase 3 (segment %d): %w", si, err)
 	}
 
-	delete(f.pending, seg)
-	if f.isFinalSegment(seg) {
+	clear(seg.pending)
+
+	// The final metadata block now carries the size this commit
+	// observed; only mark the size clean if it has not moved since
+	// (a concurrent writer may have extended the file while our
+	// barriers were in flight).
+	f.stateMu.Lock()
+	if f.size == sizeAtCommit && f.isFinalSegmentLocked(si) {
 		f.sizeDirty = false
 	}
+	f.stateMu.Unlock()
 	return nil
 }
 
-// isFinalSegment reports whether seg is the file's final segment at
-// the current logical size (whose metadata carries the authoritative
-// size, §2.3).
-func (f *file) isFinalSegment(seg int64) bool {
+// isFinalSegmentLocked reports whether si is the file's final segment
+// at the current logical size (whose metadata carries the
+// authoritative size, §2.3). The caller must hold stateMu.
+func (f *file) isFinalSegmentLocked(si int64) bool {
 	ndb := f.fs.geo.NumDataBlocks(f.size)
 	if ndb == 0 {
-		return seg == 0
+		return si == 0
 	}
-	return seg == f.fs.geo.SegmentOfBlock(ndb-1)
+	return si == f.fs.geo.SegmentOfBlock(ndb-1)
 }
 
 // commitAll flushes every pending segment and persists the
-// authoritative logical size in the final metadata block.
+// authoritative logical size in the final metadata block. The caller
+// must hold opMu exclusively.
 func (f *file) commitAll() error {
-	segs := make([]int64, 0, len(f.pending))
-	for seg := range f.pending {
-		segs = append(segs, seg)
+	f.stateMu.Lock()
+	segs := make([]int64, 0, len(f.segs))
+	for si, seg := range f.segs {
+		if len(seg.pending) > 0 {
+			segs = append(segs, si)
+		}
 	}
+	f.stateMu.Unlock()
 	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
-	for _, seg := range segs {
-		if err := f.commitSegment(seg); err != nil {
+	for _, si := range segs {
+		seg := f.segment(si)
+		seg.mu.Lock()
+		err := f.commitSegment(seg, si)
+		seg.mu.Unlock()
+		if err != nil {
 			return err
 		}
 	}
@@ -152,7 +198,8 @@ func (f *file) commitAll() error {
 // persistSize writes the current logical size into the final metadata
 // block and extends the backing file to the matching physical size.
 // Stale sizes in earlier metadata blocks are intentionally left in
-// place; readers only trust the final block (§2.3).
+// place; readers only trust the final block (§2.3). The caller must
+// hold opMu exclusively.
 func (f *file) persistSize() error {
 	if !f.sizeDirty {
 		return nil
@@ -166,18 +213,19 @@ func (f *file) persistSize() error {
 		if err != nil {
 			return err
 		}
-		f.metas = make(map[int64]*layout.MetaBlock)
+		f.segs = make(map[int64]*segment)
+		f.fs.cache.invalidateFile(f.name)
 		f.sizeDirty = false
 		return nil
 	}
 	ndb := f.fs.geo.NumDataBlocks(f.size)
 	lastSeg := f.fs.geo.SegmentOfBlock(ndb - 1)
-	meta, err := f.meta(lastSeg)
+	meta, err := f.metaFor(lastSeg)
 	if err != nil {
 		return err
 	}
 	meta.LogicalSize = uint64(f.size)
-	if err := f.fs.writeMeta(f.bf, meta); err != nil {
+	if err := f.fs.writeMeta(f.bf, f.name, meta); err != nil {
 		return err
 	}
 	phys, err := f.bf.Size()

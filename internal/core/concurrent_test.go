@@ -8,6 +8,8 @@ import (
 	"testing"
 
 	"lamassu/internal/backend"
+	"lamassu/internal/faultfs"
+	"lamassu/internal/layout"
 	"lamassu/internal/vfs"
 )
 
@@ -103,5 +105,376 @@ func TestConcurrentReaders(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Fatal(err)
+	}
+}
+
+// N goroutines hammer disjoint block regions of ONE shared handle with
+// random sub-block writes and interleaved reads; the final content
+// must match an in-memory model byte for byte. This exercises the
+// per-segment locking: regions span many segments, so commits from
+// different workers overlap in time.
+func TestConcurrentDisjointRegionsSharedHandle(t *testing.T) {
+	cfg := testConfig()
+	cfg.Parallelism = 4
+	cfg.CacheBlocks = 128
+	lfs := newFS(t, backend.NewMemStore(), cfg)
+
+	const (
+		workers     = 8
+		blocksEach  = 40
+		opsPer      = 60
+		bs          = 4096
+		regionBytes = blocksEach * bs
+	)
+	total := workers * regionBytes
+	model := make([]byte, total) // worker w owns [w*regionBytes, (w+1)*regionBytes)
+
+	f, err := lfs.Create("shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(int64(total)); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			base := w * regionBytes
+			buf := make([]byte, bs)
+			for i := 0; i < opsPer; i++ {
+				off := rng.Intn(regionBytes - 3*bs)
+				n := rng.Intn(2*bs) + 17
+				chunk := make([]byte, n)
+				rng.Read(chunk)
+				if _, err := f.WriteAt(chunk, int64(base+off)); err != nil {
+					errs <- fmt.Errorf("worker %d write: %w", w, err)
+					return
+				}
+				copy(model[base+off:base+off+n], chunk) // disjoint: no lock needed
+				// Read back a block from our own region; it must match
+				// the model exactly (no other writer touches it).
+				rb := rng.Intn(blocksEach)
+				if _, err := f.ReadAt(buf, int64(base+rb*bs)); err != nil {
+					errs <- fmt.Errorf("worker %d read: %w", w, err)
+					return
+				}
+				if !bytes.Equal(buf, model[base+rb*bs:base+(rb+1)*bs]) {
+					errs <- fmt.Errorf("worker %d: block %d diverged mid-run", w, rb)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := vfs.ReadAll(lfs, "shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, model) {
+		t.Fatal("final content diverged from in-memory model")
+	}
+	rep, err := lfs.Check("shared")
+	if err != nil || !rep.Clean() {
+		t.Fatalf("audit: %+v, %v", rep, err)
+	}
+}
+
+// N goroutines write whole blocks into one OVERLAPPING region of a
+// shared handle while readers sweep it. Per-block atomicity is the
+// invariant: every block observed — during the run and at the end —
+// must be byte-identical to some value a writer actually wrote there
+// (or the initial zeros). Run under -race this is also the data-race
+// proof for the finer-grained locking.
+func TestConcurrentOverlappingWritersSharedHandle(t *testing.T) {
+	cfg := testConfig()
+	cfg.Parallelism = 4
+	lfs := newFS(t, backend.NewMemStore(), cfg)
+
+	const (
+		writers = 6
+		readers = 3
+		blocks  = 24 // small region: heavy overlap across writers
+		opsPer  = 50
+		bs      = 4096
+	)
+	f, err := lfs.Create("contended")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(blocks * bs); err != nil {
+		t.Fatal(err)
+	}
+
+	// legit[b] holds every value block b has legitimately been given.
+	// A value is registered BEFORE its WriteAt is issued, so anything a
+	// reader can observe is already in the set.
+	var histMu sync.Mutex
+	legit := make([]map[string]bool, blocks)
+	zeroBlock := string(make([]byte, bs))
+	for b := range legit {
+		legit[b] = map[string]bool{zeroBlock: true}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(2000 + w)))
+			for i := 0; i < opsPer; i++ {
+				b := rng.Intn(blocks)
+				block := make([]byte, bs)
+				rng.Read(block)
+				histMu.Lock()
+				legit[b][string(block)] = true
+				histMu.Unlock()
+				if _, err := f.WriteAt(block, int64(b*bs)); err != nil {
+					errs <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(3000 + r)))
+			buf := make([]byte, bs)
+			for i := 0; i < opsPer*2; i++ {
+				b := rng.Intn(blocks)
+				if _, err := f.ReadAt(buf, int64(b*bs)); err != nil {
+					errs <- fmt.Errorf("reader %d: %w", r, err)
+					return
+				}
+				histMu.Lock()
+				ok := legit[b][string(buf)]
+				histMu.Unlock()
+				if !ok {
+					errs <- fmt.Errorf("reader %d: block %d holds a value no writer produced (torn block)", r, b)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Final audit through an independent read-only handle.
+	g, err := lfs.Open("contended")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	buf := make([]byte, bs)
+	for b := 0; b < blocks; b++ {
+		if _, err := g.ReadAt(buf, int64(b*bs)); err != nil {
+			t.Fatal(err)
+		}
+		if !legit[b][string(buf)] {
+			t.Fatalf("final block %d holds a value no writer produced", b)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := lfs.Check("contended")
+	if err != nil || !rep.Clean() {
+		t.Fatalf("audit: %+v, %v", rep, err)
+	}
+}
+
+// Distinct handles: one writer handle streams new segments while
+// reader handles opened beforehand sweep the already-committed prefix,
+// which the single-writer model does guarantee stable. Exercises the
+// FS-level cache shared by all handles of the file.
+func TestConcurrentDistinctHandlesOneFile(t *testing.T) {
+	cfg := testConfig()
+	cfg.Parallelism = 2
+	cfg.CacheBlocks = 256
+	lfs := newFS(t, backend.NewMemStore(), cfg)
+
+	const bs = 4096
+	prefix := make([]byte, 150*bs)
+	rand.New(rand.NewSource(42)).Read(prefix)
+	if err := vfs.WriteAll(lfs, "f", prefix); err != nil {
+		t.Fatal(err)
+	}
+
+	w, err := lfs.OpenRW("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 5)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(43))
+		chunk := make([]byte, 3*bs)
+		for i := 0; i < 40; i++ {
+			rng.Read(chunk)
+			off := int64(len(prefix) + i*len(chunk))
+			if _, err := w.WriteAt(chunk, off); err != nil {
+				errs <- fmt.Errorf("appender: %w", err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			h, err := lfs.Open("f")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer h.Close()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			buf := make([]byte, bs)
+			for i := 0; i < 150; i++ {
+				b := rng.Intn(len(prefix) / bs)
+				if _, err := h.ReadAt(buf, int64(b*bs)); err != nil {
+					errs <- fmt.Errorf("reader %d: %w", r, err)
+					return
+				}
+				if !bytes.Equal(buf, prefix[b*bs:(b+1)*bs]) {
+					errs <- fmt.Errorf("reader %d: committed block %d changed under a reader", r, b)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := lfs.Check("f")
+	if err != nil || !rep.Clean() {
+		t.Fatalf("audit: %+v, %v", rep, err)
+	}
+}
+
+// Crash in the middle of a PARALLEL commit: with Parallelism > 1 the
+// phase-2 data writes race each other to the store, so a crash at a
+// fixed write count kills an arbitrary subset of them — a strictly
+// nastier schedule than the serial sweep in crash_test.go. Recovery
+// must still restore the §2.4 invariants: after Recover, the audit is
+// clean and every block holds a state the workload legitimately
+// produced.
+func TestCrashMidParallelCommit(t *testing.T) {
+	geo, err := layout.NewGeometry(512, 4) // small blocks: many I/Os per commit
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Inner: testKey(1), Outer: testKey(2), Geometry: geo, Parallelism: 4}
+
+	oldData := make([]byte, 40*1024)
+	rand.New(rand.NewSource(99)).Read(oldData)
+
+	// Dry run to count backend writes.
+	countStore := faultfs.New(backend.NewMemStore())
+	fsCount, err := New(countStore, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteAll(fsCount, "f", oldData); err != nil {
+		t.Fatal(err)
+	}
+	countStore.ResetWriteCount()
+	fdry, err := fsCount.OpenRW("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writeWorkload(fdry, oldData, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := fdry.Close(); err != nil {
+		t.Fatal(err)
+	}
+	totalWrites := countStore.WriteCount()
+	hist := blockHistories(oldData, 7, geo.BlockSize)
+
+	stride := int64(1)
+	if testing.Short() {
+		stride = 7
+	}
+	for crashAt := int64(1); crashAt <= totalWrites; crashAt += stride {
+		fstore := faultfs.New(backend.NewMemStore())
+		lfs, err := New(fstore, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := vfs.WriteAll(lfs, "f", oldData); err != nil {
+			t.Fatal(err)
+		}
+
+		fstore.Arm(faultfs.ModeCrashAfter, crashAt, 0)
+		fw, err := lfs.OpenRW("f")
+		if err != nil {
+			t.Fatalf("crashAt=%d: open: %v", crashAt, err)
+		}
+		_, werr := writeWorkload(fw, oldData, 7)
+		_ = fw.Close() // post-crash close errors are expected
+		if werr == nil && fstore.Crashed() {
+			t.Fatalf("crashAt=%d: workload succeeded despite crash", crashAt)
+		}
+		fstore.Disarm()
+
+		if _, err := lfs.Recover("f"); err != nil {
+			t.Fatalf("crashAt=%d: recovery failed: %v", crashAt, err)
+		}
+		rep, err := lfs.Check("f")
+		if err != nil {
+			t.Fatalf("crashAt=%d: check: %v", crashAt, err)
+		}
+		if !rep.Clean() {
+			t.Fatalf("crashAt=%d: post-recovery audit dirty: %+v", crashAt, rep)
+		}
+		got, err := vfs.ReadAll(lfs, "f")
+		if err != nil {
+			t.Fatalf("crashAt=%d: read after recovery: %v", crashAt, err)
+		}
+		if len(got) != len(oldData) {
+			t.Fatalf("crashAt=%d: size changed: %d", crashAt, len(got))
+		}
+		bs := geo.BlockSize
+		for b := 0; b*bs < len(got); b++ {
+			lo, hi := b*bs, (b+1)*bs
+			if hi > len(got) {
+				hi = len(got)
+			}
+			if !hist[b][string(got[lo:hi])] {
+				t.Fatalf("crashAt=%d: block %d holds a state the workload never produced", crashAt, b)
+			}
+		}
 	}
 }

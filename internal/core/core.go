@@ -20,9 +20,20 @@
 //   - Key rotation (§2.2) — both full re-keying and the fast partial
 //     outer-key-only re-key — in rekey.go.
 //
-// Concurrency: an FS may be shared; each open file handle serializes
-// its own operations and assumes it is the only writer of that file
-// (the same single-mount assumption the FUSE prototype makes).
+// Concurrency: an FS and its handles may be shared freely. Positional
+// reads and writes on one handle run concurrently; per-segment locks
+// serialize writes into — and the multiphase commit of — each
+// individual segment, so readers never observe a half-committed
+// segment and commits of distinct segments overlap. Commit's per-block
+// work (key derivation, encryption, data writes) fans out across a
+// bounded worker pool (Config.Parallelism) without altering the §2.4
+// metadata barriers, and an optional per-FS LRU cache
+// (Config.CacheBlocks) serves verified plaintext and decoded metadata
+// to repeated reads. Lock order inside a handle is
+// opMu → segment.mu → stateMu, with the cache's internal mutex and
+// the pool semaphore as leaves. Each file still assumes a single
+// writing handle at a time (the FUSE prototype's single-mount
+// assumption); see the file struct in file.go for the details.
 package core
 
 import (
@@ -100,6 +111,18 @@ type Config struct {
 	// §1 warning: a networked deriver costs a round trip per block on
 	// both the write path and the full-integrity read path.
 	KeyDeriver func(cryptoutil.Hash) (cryptoutil.Key, error)
+	// Parallelism bounds the worker goroutines the FS uses for
+	// per-block commit work — convergent key derivation, block
+	// encryption and the data-block backend writes. 0 selects
+	// GOMAXPROCS; 1 forces the fully serial engine of the paper's
+	// prototype. The multiphase metadata barriers (§2.4) are unchanged
+	// at any setting.
+	Parallelism int
+	// CacheBlocks is the capacity, in blocks, of the per-FS LRU cache
+	// of verified plaintext data blocks and decoded metadata blocks.
+	// 0 disables the cache — the paper's configuration, in which every
+	// read pays backend I/O plus decryption.
+	CacheBlocks int
 }
 
 // FS is a Lamassu file system over a backing store.
@@ -107,6 +130,8 @@ type FS struct {
 	store backend.Store
 	geo   layout.Geometry
 	cfg   Config
+	pool  *pool
+	cache *blockCache
 }
 
 // New validates cfg and returns a Lamassu FS over store.
@@ -123,7 +148,19 @@ func New(store backend.Store, cfg Config) (*FS, error) {
 	if cfg.Inner.Equal(cfg.Outer) {
 		return nil, errors.New("lamassu: inner and outer keys must differ")
 	}
-	return &FS{store: store, geo: cfg.Geometry, cfg: cfg}, nil
+	if cfg.Parallelism < 0 {
+		return nil, errors.New("lamassu: parallelism must be >= 0")
+	}
+	if cfg.CacheBlocks < 0 {
+		return nil, errors.New("lamassu: cache capacity must be >= 0")
+	}
+	return &FS{
+		store: store,
+		geo:   cfg.Geometry,
+		cfg:   cfg,
+		pool:  newPool(cfg.Parallelism, cfg.Recorder),
+		cache: newBlockCache(cfg.CacheBlocks, cfg.Recorder),
+	}, nil
 }
 
 // Geometry returns the instance's layout parameters.
@@ -135,13 +172,23 @@ func (fs *FS) Store() backend.Store { return fs.store }
 // Integrity returns the configured integrity mode.
 func (fs *FS) Integrity() IntegrityMode { return fs.cfg.Integrity }
 
+// CacheStats returns a snapshot of the block cache's counters (all
+// zero when the cache is disabled).
+func (fs *FS) CacheStats() CacheStats { return fs.cache.stats() }
+
+// PoolStats returns a snapshot of the commit worker pool's counters.
+func (fs *FS) PoolStats() PoolStats { return fs.pool.stats() }
+
 // Create implements vfs.FS.
 func (fs *FS) Create(name string) (vfs.File, error) {
 	bf, err := fs.store.Open(name, backend.OpenCreate)
 	if err != nil {
 		return nil, fmt.Errorf("lamassu: %w", err)
 	}
-	f, err := fs.newFile(bf, false)
+	// The name may be a fresh incarnation of a removed file; cached
+	// state from the old incarnation must not leak into the new one.
+	fs.cache.invalidateFile(name)
+	f, err := fs.newFile(bf, name, false)
 	if err != nil {
 		bf.Close()
 		return nil, err
@@ -155,7 +202,7 @@ func (fs *FS) Open(name string) (vfs.File, error) {
 	if err != nil {
 		return nil, mapErr(err)
 	}
-	f, err := fs.newFile(bf, true)
+	f, err := fs.newFile(bf, name, true)
 	if err != nil {
 		bf.Close()
 		return nil, err
@@ -169,7 +216,7 @@ func (fs *FS) OpenRW(name string) (vfs.File, error) {
 	if err != nil {
 		return nil, mapErr(err)
 	}
-	f, err := fs.newFile(bf, false)
+	f, err := fs.newFile(bf, name, false)
 	if err != nil {
 		bf.Close()
 		return nil, err
@@ -178,7 +225,10 @@ func (fs *FS) OpenRW(name string) (vfs.File, error) {
 }
 
 // Remove implements vfs.FS.
-func (fs *FS) Remove(name string) error { return mapErr(fs.store.Remove(name)) }
+func (fs *FS) Remove(name string) error {
+	fs.cache.invalidateFile(name)
+	return mapErr(fs.store.Remove(name))
+}
 
 // List implements vfs.FS.
 func (fs *FS) List() ([]string, error) { return fs.store.List() }
@@ -191,11 +241,12 @@ func (fs *FS) Stat(name string) (int64, error) {
 		return 0, mapErr(err)
 	}
 	defer bf.Close()
-	return fs.logicalSize(bf)
+	return fs.logicalSize(bf, name)
 }
 
-// logicalSize reads the authoritative size from a backing handle.
-func (fs *FS) logicalSize(bf backend.File) (int64, error) {
+// logicalSize reads the authoritative size from a backing handle,
+// consulting the decoded-meta cache.
+func (fs *FS) logicalSize(bf backend.File, name string) (int64, error) {
 	phys, err := bf.Size()
 	if err != nil {
 		return 0, err
@@ -204,11 +255,28 @@ func (fs *FS) logicalSize(bf backend.File) (int64, error) {
 		return 0, nil
 	}
 	lastSeg := fs.lastSegment(phys)
-	meta, err := fs.readMeta(bf, lastSeg)
+	meta, err := fs.cachedMeta(bf, name, lastSeg)
 	if err != nil {
 		return 0, fmt.Errorf("lamassu: reading final metadata block: %w", err)
 	}
 	return int64(meta.LogicalSize), nil
+}
+
+// cachedMeta reads and decodes the metadata block of segment seg
+// through the per-FS decoded-meta cache. Audit paths (Check, Recover,
+// re-keying) bypass this and call readMeta directly so they always see
+// the backing store.
+func (fs *FS) cachedMeta(bf backend.File, name string, seg int64) (*layout.MetaBlock, error) {
+	if m := fs.cache.getMeta(name, seg); m != nil {
+		return m, nil
+	}
+	gen := fs.cache.snapshot()
+	m, err := fs.readMeta(bf, seg)
+	if err != nil {
+		return nil, err
+	}
+	fs.cache.putMeta(name, seg, m, gen)
+	return m, nil
 }
 
 // lastSegment computes the index of the final segment present in a
@@ -244,8 +312,15 @@ func (fs *FS) readMeta(bf backend.File, seg int64) (*layout.MetaBlock, error) {
 	return m, err
 }
 
-// writeMeta encodes and writes a metadata block.
-func (fs *FS) writeMeta(bf backend.File, m *layout.MetaBlock) error {
+// writeMeta encodes and writes a metadata block, dropping any cached
+// decode of it around the write. The invalidation runs on BOTH sides
+// of the WriteAt: the first drop covers readers that populated before
+// the write began, and the second — bumping the generation again —
+// covers a reader that missed, re-read the OLD on-disk bytes while
+// the write was in flight, and would otherwise re-install them under
+// a post-first-bump generation snapshot. The second drop runs even on
+// error, when the on-disk state is unknown.
+func (fs *FS) writeMeta(bf backend.File, name string, m *layout.MetaBlock) error {
 	buf := make([]byte, fs.geo.BlockSize)
 	t := fs.cfg.Recorder.Start()
 	err := m.Encode(buf, fs.cfg.Outer)
@@ -253,9 +328,11 @@ func (fs *FS) writeMeta(bf backend.File, m *layout.MetaBlock) error {
 	if err != nil {
 		return err
 	}
+	fs.cache.invalidateMeta(name, int64(m.SegIndex))
 	t = fs.cfg.Recorder.Start()
 	_, err = bf.WriteAt(buf, fs.geo.MetaBlockOffset(int64(m.SegIndex)))
 	fs.cfg.Recorder.Stop(metrics.IO, t)
+	fs.cache.invalidateMeta(name, int64(m.SegIndex))
 	return err
 }
 

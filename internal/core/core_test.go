@@ -49,6 +49,13 @@ func TestConformanceMetaOnly(t *testing.T) {
 }
 
 func TestConformanceSmallBlocksR1(t *testing.T) {
+	if testing.Short() {
+		// ~20s race-instrumented: the R=1 geometry commits on every
+		// block write. The boundary logic it covers still runs in the
+		// short suite via the other conformance geometries; the full
+		// `go test` keeps this one.
+		t.Skip("R=1 conformance sweep skipped in -short mode")
+	}
 	// Exercise segment-boundary logic hard: tiny blocks, R=1 (commit
 	// per block write) means many segments and constant committing.
 	geo, err := layout.NewGeometry(512, 1)

@@ -12,74 +12,134 @@ import (
 	"lamassu/internal/vfs"
 )
 
-// file is an open Lamassu file handle. All operations are serialized
-// by mu; the handle assumes it is the only concurrent writer of the
-// underlying object (single-mount semantics, as in the FUSE
-// prototype).
+// file is an open Lamassu file handle.
+//
+// Concurrency model (see also the package comment): a handle may be
+// used by many goroutines at once. Positional I/O (ReadAt, WriteAt,
+// Size) holds opMu shared so requests run concurrently; whole-file
+// operations (Truncate, Sync, Close) hold it exclusively and therefore
+// drain all in-flight I/O first. Within positional I/O, each segment
+// carries its own RWMutex: block reads of a segment hold it shared,
+// while writes into the segment's pending state — and the segment's
+// multiphase commit — hold it exclusively. A reader therefore never
+// observes a half-committed segment, commits of different segments
+// proceed in parallel, and readers are only ever delayed by a commit
+// of the very segment they are reading.
+//
+// Lock order: opMu → segment.mu → stateMu. stateMu is a leaf: no other
+// lock is acquired while holding it. The handle still assumes it is
+// the only writer of the underlying object (single-mount semantics, as
+// in the FUSE prototype); concurrent writers must share one handle.
 type file struct {
 	fs       *FS
 	bf       backend.File
+	name     string
 	readOnly bool
 
-	mu sync.Mutex
+	// opMu is the outer operation gate described above.
+	opMu sync.RWMutex
+
+	// stateMu guards the fields below.
+	stateMu sync.Mutex
 	// size is the logical file size including pending (uncommitted)
 	// writes.
 	size int64
 	// sizeDirty records that size has changed since the last time the
 	// final metadata block was written.
 	sizeDirty bool
-	// metas caches decoded metadata blocks by segment index.
-	metas map[int64]*layout.MetaBlock
-	// pending buffers plaintext block writes per segment:
-	// segment -> stable slot -> full plaintext block.
-	pending map[int64]map[int][]byte
-	closed  bool
+	closed    bool
+	// segs holds the per-segment concurrency state, created lazily.
+	segs map[int64]*segment
+}
+
+// segment is the per-segment concurrency unit of a handle.
+type segment struct {
+	// mu is held shared by block reads of this segment and exclusively
+	// by writes into pending state and by the segment's commit.
+	mu sync.RWMutex
+	// meta is the handle's decoded metadata block (nil until loaded).
+	// It is loaded and mutated only under mu held exclusively and read
+	// under either mode.
+	meta *layout.MetaBlock
+	// pending buffers plaintext block writes by stable slot.
+	pending map[int][]byte
 }
 
 // newFile opens a handle and loads the authoritative size.
-func (fs *FS) newFile(bf backend.File, readOnly bool) (*file, error) {
-	size, err := fs.logicalSize(bf)
+func (fs *FS) newFile(bf backend.File, name string, readOnly bool) (*file, error) {
+	size, err := fs.logicalSize(bf, name)
 	if err != nil {
 		return nil, err
 	}
 	return &file{
 		fs:       fs,
 		bf:       bf,
+		name:     name,
 		readOnly: readOnly,
 		size:     size,
-		metas:    make(map[int64]*layout.MetaBlock),
-		pending:  make(map[int64]map[int][]byte),
+		segs:     make(map[int64]*segment),
 	}, nil
+}
+
+// segment returns the concurrency state for segment si, creating it on
+// first use.
+func (f *file) segment(si int64) *segment {
+	f.stateMu.Lock()
+	defer f.stateMu.Unlock()
+	s := f.segs[si]
+	if s == nil {
+		s = &segment{pending: make(map[int][]byte)}
+		f.segs[si] = s
+	}
+	return s
+}
+
+// sizeNow returns the current logical size.
+func (f *file) sizeNow() int64 {
+	f.stateMu.Lock()
+	defer f.stateMu.Unlock()
+	return f.size
+}
+
+// checkOpen reports ErrClosed after Close.
+func (f *file) checkOpen() error {
+	f.stateMu.Lock()
+	defer f.stateMu.Unlock()
+	if f.closed {
+		return backend.ErrClosed
+	}
+	return nil
 }
 
 // Size implements vfs.File.
 func (f *file) Size() (int64, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.closed {
-		return 0, backend.ErrClosed
+	f.opMu.RLock()
+	defer f.opMu.RUnlock()
+	if err := f.checkOpen(); err != nil {
+		return 0, err
 	}
-	return f.size, nil
+	return f.sizeNow(), nil
 }
 
-// ReadAt implements vfs.File.
+// ReadAt implements vfs.File. Concurrent calls proceed in parallel.
 func (f *file) ReadAt(p []byte, off int64) (int, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.closed {
-		return 0, backend.ErrClosed
+	f.opMu.RLock()
+	defer f.opMu.RUnlock()
+	if err := f.checkOpen(); err != nil {
+		return 0, err
 	}
 	if off < 0 {
 		return 0, fmt.Errorf("lamassu: negative offset %d", off)
 	}
 	f.fs.cfg.Recorder.CountOp()
-	if off >= f.size {
+	size := f.sizeNow()
+	if off >= size {
 		return 0, io.EOF
 	}
 	n := len(p)
 	var atEOF bool
-	if off+int64(n) > f.size {
-		n = int(f.size - off)
+	if off+int64(n) > size {
+		n = int(size - off)
 		atEOF = true
 	}
 	bs := f.fs.geo.BlockSize
@@ -101,29 +161,91 @@ func (f *file) ReadAt(p []byte, off int64) (int, error) {
 // (hole) blocks read as zeros.
 func (f *file) readBlock(dbi int64, dst []byte) error {
 	geo := f.fs.geo
-	seg := geo.SegmentOfBlock(dbi)
+	si := geo.SegmentOfBlock(dbi)
 	slot := geo.SlotOfBlock(dbi)
-
-	if segPending, ok := f.pending[seg]; ok {
-		if plain, ok := segPending[slot]; ok {
+	seg := f.segment(si)
+	cacheProbed := false
+	for {
+		seg.mu.RLock()
+		if plain, ok := seg.pending[slot]; ok {
 			copy(dst, plain)
+			seg.mu.RUnlock()
 			return nil
 		}
+		// Probe the cache once per read; the meta-load retry below must
+		// not count a second miss for the same logical lookup.
+		if !cacheProbed {
+			cacheProbed = true
+			if f.fs.cache.getData(f.name, dbi, dst) {
+				seg.mu.RUnlock()
+				return nil
+			}
+		}
+		if seg.meta != nil {
+			err := f.readBlockMeta(seg, dbi, slot, dst)
+			seg.mu.RUnlock()
+			return err
+		}
+		seg.mu.RUnlock()
+		// The segment's metadata is not loaded yet; load it under the
+		// exclusive lock, then retry (pending state or the cache may
+		// have changed while the lock was released).
+		seg.mu.Lock()
+		err := f.ensureMeta(seg, si)
+		seg.mu.Unlock()
+		if err != nil {
+			return err
+		}
 	}
+}
 
-	meta, err := f.meta(seg)
+// ensureMeta loads the segment's metadata block if it is not resident.
+// The caller must hold seg.mu exclusively. Segments beyond the backing
+// file decode as empty metadata (all zero-key slots).
+func (f *file) ensureMeta(seg *segment, si int64) error {
+	if seg.meta != nil {
+		return nil
+	}
+	if m := f.fs.cache.getMeta(f.name, si); m != nil {
+		seg.meta = m
+		return nil
+	}
+	gen := f.fs.cache.snapshot()
+	phys, err := f.bf.Size()
 	if err != nil {
 		return err
 	}
+	var m *layout.MetaBlock
+	if f.fs.geo.MetaBlockOffset(si)+int64(f.fs.geo.BlockSize) > phys {
+		m = layout.NewMetaBlock(f.fs.geo, uint64(si))
+	} else {
+		m, err = f.fs.readMeta(f.bf, si)
+		if err != nil {
+			return err
+		}
+		f.fs.cache.putMeta(f.name, si, m, gen)
+	}
+	seg.meta = m
+	return nil
+}
+
+// readBlockMeta reads data block dbi through the segment's loaded
+// metadata: decrypt, verify, fall back to transient keys for segments
+// caught mid-update by a crash. The caller must hold seg.mu (either
+// mode) with seg.meta loaded, and must have checked pending state.
+func (f *file) readBlockMeta(seg *segment, dbi int64, slot int, dst []byte) error {
+	geo := f.fs.geo
+	meta := seg.meta
 	key := meta.StableKey(slot)
 	if key.IsZero() {
 		zero(dst)
 		return nil
 	}
 
+	gen := f.fs.cache.snapshot()
 	ct := make([]byte, geo.BlockSize)
 	t := f.fs.cfg.Recorder.Start()
-	err = backend.ReadFull(f.bf, ct, geo.DataBlockOffset(dbi))
+	err := backend.ReadFull(f.bf, ct, geo.DataBlockOffset(dbi))
 	f.fs.cfg.Recorder.Stop(metrics.IO, t)
 	if err != nil {
 		return fmt.Errorf("lamassu: reading data block %d: %w", dbi, err)
@@ -138,9 +260,11 @@ func (f *file) readBlock(dbi int64, dst []byte) error {
 	// legitimately not match and the transient keys must be tried.
 	needVerify := f.fs.cfg.Integrity == IntegrityFull || meta.MidUpdate()
 	if !needVerify {
+		f.fs.cache.putData(f.name, dbi, dst, gen)
 		return nil
 	}
 	if f.fs.verifyBlock(dst, key) {
+		f.fs.cache.putData(f.name, dbi, dst, gen)
 		return nil
 	}
 	if meta.MidUpdate() {
@@ -169,12 +293,13 @@ func (f *file) readBlock(dbi int64, dst []byte) error {
 	return fmt.Errorf("%w: block %d", ErrIntegrity, dbi)
 }
 
-// WriteAt implements vfs.File.
+// WriteAt implements vfs.File. Concurrent calls proceed in parallel;
+// writes into the same segment serialize on that segment's lock.
 func (f *file) WriteAt(p []byte, off int64) (int, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.closed {
-		return 0, backend.ErrClosed
+	f.opMu.RLock()
+	defer f.opMu.RUnlock()
+	if err := f.checkOpen(); err != nil {
+		return 0, err
 	}
 	if f.readOnly {
 		return 0, ErrReadOnly
@@ -190,45 +315,64 @@ func (f *file) WriteAt(p []byte, off int64) (int, error) {
 	geo := f.fs.geo
 	bs := geo.BlockSize
 	for _, sp := range vfs.Spans(off, len(p), bs) {
-		seg := geo.SegmentOfBlock(sp.Index)
+		si := geo.SegmentOfBlock(sp.Index)
 		slot := geo.SlotOfBlock(sp.Index)
-		buf, err := f.pendingBlock(seg, slot, sp.Index, sp.Full(bs))
+		seg := f.segment(si)
+		seg.mu.Lock()
+		err := f.writeSpan(seg, si, slot, sp, p, off)
+		seg.mu.Unlock()
 		if err != nil {
-			return sp.BufOff, err
-		}
-		copy(buf[sp.Start:sp.Start+sp.Len], p[sp.BufOff:sp.BufOff+sp.Len])
-		if end := off + int64(sp.BufOff+sp.Len); end > f.size {
-			f.size = end
-			f.sizeDirty = true
-		}
-		if err := f.maybeCommit(seg); err != nil {
 			return sp.BufOff, err
 		}
 	}
 	return len(p), nil
 }
 
+// writeSpan applies one block-intersecting span of a write under the
+// segment's exclusive lock, extending the logical size and committing
+// the segment when its pending count reaches R — the paper's batching
+// policy: a commit occurs once for every R block writes (§2.4).
+func (f *file) writeSpan(seg *segment, si int64, slot int, sp vfs.Span, p []byte, off int64) error {
+	buf, err := f.pendingBlock(seg, si, slot, sp.Index, sp.Full(f.fs.geo.BlockSize))
+	if err != nil {
+		return err
+	}
+	copy(buf[sp.Start:sp.Start+sp.Len], p[sp.BufOff:sp.BufOff+sp.Len])
+	end := off + int64(sp.BufOff+sp.Len)
+	f.stateMu.Lock()
+	if end > f.size {
+		f.size = end
+		f.sizeDirty = true
+	}
+	f.stateMu.Unlock()
+	if len(seg.pending) >= f.fs.geo.Reserved {
+		return f.commitSegment(seg, si)
+	}
+	return nil
+}
+
 // pendingBlock returns the mutable plaintext buffer for (seg, slot),
 // creating it from the current on-disk contents when needed. When the
 // caller will overwrite the entire block (full == true) the old
 // contents need not be read — this is what keeps full-block writes
-// one-pass, as in the paper's prototype.
-func (f *file) pendingBlock(seg int64, slot int, dbi int64, full bool) ([]byte, error) {
-	segPending := f.pending[seg]
-	if segPending == nil {
-		segPending = make(map[int][]byte)
-		f.pending[seg] = segPending
-	}
-	if buf, ok := segPending[slot]; ok {
+// one-pass, as in the paper's prototype. The caller must hold seg.mu
+// exclusively.
+func (f *file) pendingBlock(seg *segment, si int64, slot int, dbi int64, full bool) ([]byte, error) {
+	if buf, ok := seg.pending[slot]; ok {
 		return buf, nil
 	}
 	buf := make([]byte, f.fs.geo.BlockSize)
 	if !full && f.blockMayExist(dbi) {
-		if err := f.readBlock(dbi, buf); err != nil {
-			return nil, err
+		if !f.fs.cache.getData(f.name, dbi, buf) {
+			if err := f.ensureMeta(seg, si); err != nil {
+				return nil, err
+			}
+			if err := f.readBlockMeta(seg, dbi, slot, buf); err != nil {
+				return nil, err
+			}
 		}
 	}
-	segPending[slot] = buf
+	seg.pending[slot] = buf
 	return buf, nil
 }
 
@@ -236,25 +380,15 @@ func (f *file) pendingBlock(seg int64, slot int, dbi int64, full bool) ([]byte, 
 // current logical size (and therefore may hold data that a partial
 // write must preserve).
 func (f *file) blockMayExist(dbi int64) bool {
-	return dbi < f.fs.geo.NumDataBlocks(f.size)
-}
-
-// maybeCommit flushes a segment once its pending count reaches R, the
-// paper's batching policy: a commit occurs once for every R block
-// writes (§2.4).
-func (f *file) maybeCommit(seg int64) error {
-	if len(f.pending[seg]) >= f.fs.geo.Reserved {
-		return f.commitSegment(seg)
-	}
-	return nil
+	return dbi < f.fs.geo.NumDataBlocks(f.sizeNow())
 }
 
 // Truncate implements vfs.File.
 func (f *file) Truncate(newSize int64) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.closed {
-		return backend.ErrClosed
+	f.opMu.Lock()
+	defer f.opMu.Unlock()
+	if err := f.checkOpen(); err != nil {
+		return err
 	}
 	if f.readOnly {
 		return ErrReadOnly
@@ -272,21 +406,24 @@ func (f *file) Truncate(newSize int64) error {
 }
 
 // shrink truncates the file to newSize < size.
+//
+// Locking exemption (also grow, persistSize, commitAll): these run
+// only with opMu held exclusively, which drains all positional I/O,
+// so they read and write the stateMu-guarded fields and per-segment
+// state directly without taking the inner locks. Do not call them
+// from a path holding opMu shared.
 func (f *file) shrink(newSize int64) error {
 	geo := f.fs.geo
 	bs := int64(geo.BlockSize)
 	newNDB := geo.NumDataBlocks(newSize)
 
 	// Drop pending blocks at or beyond the new end.
-	for seg, segPending := range f.pending {
-		for slot := range segPending {
-			dbi := seg*int64(geo.KeysPerSegment()) + int64(slot)
+	for si, seg := range f.segs {
+		for slot := range seg.pending {
+			dbi := si*int64(geo.KeysPerSegment()) + int64(slot)
 			if dbi >= newNDB {
-				delete(segPending, slot)
+				delete(seg.pending, slot)
 			}
-		}
-		if len(segPending) == 0 {
-			delete(f.pending, seg)
 		}
 	}
 
@@ -294,9 +431,10 @@ func (f *file) shrink(newSize int64) error {
 	// grow reads zeros there (pad-with-zeros semantics, §2.3).
 	if tail := newSize % bs; tail != 0 {
 		dbi := newNDB - 1
-		seg := geo.SegmentOfBlock(dbi)
+		si := geo.SegmentOfBlock(dbi)
 		slot := geo.SlotOfBlock(dbi)
-		buf, err := f.pendingBlock(seg, slot, dbi, false)
+		seg := f.segment(si)
+		buf, err := f.pendingBlock(seg, si, slot, dbi, false)
 		if err != nil {
 			return err
 		}
@@ -306,22 +444,31 @@ func (f *file) shrink(newSize int64) error {
 	f.size = newSize
 	f.sizeDirty = true
 
+	// The cut invalidates any cached blocks beyond the new end (and
+	// the zeroed tail); drop the whole file for simplicity — truncation
+	// is rare and re-population is one read away.
+	f.fs.cache.invalidateFile(f.name)
+
 	// Flush pending state, then cut metadata beyond the new end.
 	if err := f.commitAll(); err != nil {
 		return err
 	}
 	if newSize == 0 {
-		f.metas = make(map[int64]*layout.MetaBlock)
+		f.segs = make(map[int64]*segment)
 		t := f.fs.cfg.Recorder.Start()
 		err := f.bf.Truncate(0)
 		f.fs.cfg.Recorder.Stop(metrics.IO, t)
+		// Post-truncate drop: a read that re-populated from the
+		// pre-truncate store while the cut was in flight must not
+		// survive it.
+		f.fs.cache.invalidateFile(f.name)
 		return err
 	}
 
 	// Clear stable keys past the new final block in the final
 	// segment, then drop whole segments beyond it.
 	lastSeg := geo.SegmentOfBlock(newNDB - 1)
-	meta, err := f.meta(lastSeg)
+	meta, err := f.metaFor(lastSeg)
 	if err != nil {
 		return err
 	}
@@ -332,18 +479,20 @@ func (f *file) shrink(newSize int64) error {
 		}
 	}
 	meta.LogicalSize = uint64(newSize)
-	if err := f.fs.writeMeta(f.bf, meta); err != nil {
+	if err := f.fs.writeMeta(f.bf, f.name, meta); err != nil {
 		return err
 	}
 	f.sizeDirty = false
-	for seg := range f.metas {
-		if seg > lastSeg {
-			delete(f.metas, seg)
+	for si := range f.segs {
+		if si > lastSeg {
+			delete(f.segs, si)
 		}
 	}
 	t := f.fs.cfg.Recorder.Start()
 	err = f.bf.Truncate(geo.PhysicalSize(newSize))
 	f.fs.cfg.Recorder.Stop(metrics.IO, t)
+	// Post-truncate drop, as in the newSize == 0 branch above.
+	f.fs.cache.invalidateFile(f.name)
 	return err
 }
 
@@ -359,13 +508,26 @@ func (f *file) grow(newSize int64) error {
 	return f.commitAll()
 }
 
+// metaFor returns the handle's decoded metadata block for segment si,
+// loading it if needed. The caller must hold opMu exclusively (no
+// concurrent positional I/O).
+func (f *file) metaFor(si int64) (*layout.MetaBlock, error) {
+	seg := f.segment(si)
+	seg.mu.Lock()
+	defer seg.mu.Unlock()
+	if err := f.ensureMeta(seg, si); err != nil {
+		return nil, err
+	}
+	return seg.meta, nil
+}
+
 // Sync implements vfs.File: commits all pending segments, persists the
 // authoritative size, and syncs the backing store.
 func (f *file) Sync() error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.closed {
-		return backend.ErrClosed
+	f.opMu.Lock()
+	defer f.opMu.Unlock()
+	if err := f.checkOpen(); err != nil {
+		return err
 	}
 	if f.readOnly {
 		return nil
@@ -381,16 +543,18 @@ func (f *file) Sync() error {
 
 // Close implements vfs.File.
 func (f *file) Close() error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.closed {
-		return backend.ErrClosed
+	f.opMu.Lock()
+	defer f.opMu.Unlock()
+	if err := f.checkOpen(); err != nil {
+		return err
 	}
 	var err error
 	if !f.readOnly {
 		err = f.commitAll()
 	}
+	f.stateMu.Lock()
 	f.closed = true
+	f.stateMu.Unlock()
 	if cerr := f.bf.Close(); err == nil {
 		err = cerr
 	}

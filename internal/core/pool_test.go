@@ -1,0 +1,104 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsEveryTask(t *testing.T) {
+	for _, width := range []int{1, 2, 8} {
+		p := newPool(width, nil)
+		var hit [100]atomic.Int32
+		if err := p.run(len(hit), func(i int) error {
+			hit[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		for i := range hit {
+			if got := hit[i].Load(); got != 1 {
+				t.Fatalf("width %d: task %d ran %d times", width, i, got)
+			}
+		}
+		st := p.stats()
+		if st.Batches != 1 || st.Tasks != int64(len(hit)) {
+			t.Fatalf("width %d: stats %+v", width, st)
+		}
+	}
+}
+
+func TestPoolReportsLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for _, width := range []int{1, 4} {
+		p := newPool(width, nil)
+		err := p.run(10, func(i int) error {
+			switch i {
+			case 3:
+				return errA
+			case 7:
+				return errB
+			}
+			return nil
+		})
+		if !errors.Is(err, errA) {
+			t.Fatalf("width %d: got %v, want lowest-index error %v", width, err, errA)
+		}
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const width = 3
+	p := newPool(width, nil)
+	var cur, max atomic.Int32
+	var mu sync.Mutex
+	err := p.run(50, func(int) error {
+		n := cur.Add(1)
+		mu.Lock()
+		if n > max.Load() {
+			max.Store(n)
+		}
+		mu.Unlock()
+		defer cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := max.Load(); got > width {
+		t.Fatalf("observed %d concurrent tasks, bound is %d", got, width)
+	}
+}
+
+func TestPoolDefaultsToGOMAXPROCS(t *testing.T) {
+	if w := newPool(0, nil).Width(); w < 1 {
+		t.Fatalf("width %d", w)
+	}
+	if w := newPool(-3, nil).Width(); w < 1 {
+		t.Fatalf("width %d", w)
+	}
+}
+
+// Concurrent run calls share one budget and must all complete (no
+// deadlock when callers outnumber the pool width).
+func TestPoolConcurrentCallers(t *testing.T) {
+	p := newPool(2, nil)
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = p.run(20, func(int) error {
+				total.Add(1)
+				return nil
+			})
+		}()
+	}
+	wg.Wait()
+	if got := total.Load(); got != 8*20 {
+		t.Fatalf("ran %d tasks, want %d", got, 8*20)
+	}
+}

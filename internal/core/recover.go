@@ -103,7 +103,7 @@ func (f *file) recoverSegment(meta *layout.MetaBlock) error {
 
 	meta.SetMidUpdate(false)
 	meta.ClearTransient()
-	return f.fs.writeMeta(f.bf, meta)
+	return f.fs.writeMeta(f.bf, f.name, meta)
 }
 
 // RecoverStats summarizes a recovery pass over one file.
@@ -124,7 +124,11 @@ func (fs *FS) Recover(name string) (RecoverStats, error) {
 		return RecoverStats{}, mapErr(err)
 	}
 	defer bf.Close()
-	f, err := fs.newFileForRecovery(bf)
+	// A recovery pass reads raw on-disk state and may rewrite metadata
+	// blocks; start from a cold cache for this file and leave nothing
+	// stale behind.
+	fs.cache.invalidateFile(name)
+	f, err := fs.newFileForRecovery(bf, name)
 	if err != nil {
 		return RecoverStats{}, err
 	}
@@ -139,7 +143,7 @@ func (fs *FS) Recover(name string) (RecoverStats, error) {
 	}
 	lastSeg := fs.lastSegment(phys)
 	for seg := int64(0); seg <= lastSeg; seg++ {
-		meta, err := f.meta(seg)
+		meta, err := f.metaFor(seg)
 		if err != nil {
 			return stats, fmt.Errorf("lamassu: recover segment %d: %w", seg, err)
 		}
@@ -159,8 +163,8 @@ func (fs *FS) Recover(name string) (RecoverStats, error) {
 // authoritative size may itself live in a midupdate final segment, so
 // size loading must not fail recovery; it is only used for block-range
 // bounds, for which the physical size suffices.
-func (fs *FS) newFileForRecovery(bf backend.File) (*file, error) {
-	size, err := fs.logicalSize(bf)
+func (fs *FS) newFileForRecovery(bf backend.File, name string) (*file, error) {
+	size, err := fs.logicalSize(bf, name)
 	if err != nil {
 		// Fall back to the physical extent; recovery touches only
 		// blocks that exist on the backing store anyway.
@@ -171,11 +175,11 @@ func (fs *FS) newFileForRecovery(bf backend.File) (*file, error) {
 		size = phys
 	}
 	return &file{
-		fs:      fs,
-		bf:      bf,
-		size:    size,
-		metas:   make(map[int64]*layout.MetaBlock),
-		pending: make(map[int64]map[int][]byte),
+		fs:   fs,
+		bf:   bf,
+		name: name,
+		size: size,
+		segs: make(map[int64]*segment),
 	}, nil
 }
 
@@ -225,7 +229,7 @@ func (fs *FS) Check(name string) (CheckReport, error) {
 	lastSeg := fs.lastSegment(phys)
 
 	// The final metadata block carries the size; tolerate its absence.
-	if size, err := fs.logicalSize(bf); err == nil {
+	if size, err := fs.logicalSize(bf, name); err == nil {
 		rep.LogicalSize = size
 	}
 

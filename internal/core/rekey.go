@@ -48,6 +48,11 @@ func (fs *FS) RekeyOuter(name string, newOuter cryptoutil.Key) (RekeyStats, erro
 		return RekeyStats{}, mapErr(err)
 	}
 	defer bf.Close()
+	// Re-sealing rewrites every metadata block; cached decodes of them
+	// must not survive (dropped again on return so nothing re-cached
+	// mid-pass lingers either).
+	fs.cache.invalidateFile(name)
+	defer fs.cache.invalidateFile(name)
 
 	var stats RekeyStats
 	phys, err := bf.Size()
@@ -98,6 +103,10 @@ func (fs *FS) RekeyFull(name string, newInner, newOuter cryptoutil.Key) (RekeySt
 		return RekeyStats{}, mapErr(err)
 	}
 	defer bf.Close()
+	// Full rotation rewrites every block of the file; drop all cached
+	// state for it on entry and again on return.
+	fs.cache.invalidateFile(name)
+	defer fs.cache.invalidateFile(name)
 
 	var stats RekeyStats
 	phys, err := bf.Size()

@@ -12,7 +12,19 @@ import (
 
 const smallFile = 8 << 20 // 8 MiB keeps the full suite fast
 
+// skipInShort guards the experiment-regeneration suites: each run
+// rebuilds a full figure or table (~3-30s of encryption work), which
+// would blow the -short/-race CI budget. The full suite still runs
+// them via plain `go test ./...`.
+func skipInShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("experiment regeneration skipped in -short mode")
+	}
+}
+
 func TestFig6Shapes(t *testing.T) {
+	skipInShort(t)
 	rows, err := Fig6(smallFile, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -53,6 +65,7 @@ func TestFig6Shapes(t *testing.T) {
 }
 
 func TestTable1Shapes(t *testing.T) {
+	skipInShort(t)
 	rows, err := Table1(256) // heavily scaled for test speed
 	if err != nil {
 		t.Fatal(err)
@@ -86,6 +99,7 @@ func TestTable1Shapes(t *testing.T) {
 }
 
 func TestFig7NFSShapes(t *testing.T) {
+	skipInShort(t)
 	tab, err := Fig7(smallFile)
 	if err != nil {
 		t.Fatal(err)
@@ -127,6 +141,7 @@ func TestFig7NFSShapes(t *testing.T) {
 }
 
 func TestFig8RAMShapes(t *testing.T) {
+	skipInShort(t)
 	tab, err := Fig8(smallFile)
 	if err != nil {
 		t.Fatal(err)
@@ -153,6 +168,7 @@ func TestFig8RAMShapes(t *testing.T) {
 }
 
 func TestFig9Shapes(t *testing.T) {
+	skipInShort(t)
 	rows, err := Fig9(smallFile)
 	if err != nil {
 		t.Fatal(err)
@@ -196,6 +212,7 @@ func TestFig9Shapes(t *testing.T) {
 }
 
 func TestFig10Shapes(t *testing.T) {
+	skipInShort(t)
 	rows, err := Fig10(smallFile, []int{1, 8, 48})
 	if err != nil {
 		t.Fatal(err)
@@ -220,6 +237,7 @@ func TestFig10Shapes(t *testing.T) {
 }
 
 func TestFig11Shapes(t *testing.T) {
+	skipInShort(t)
 	rows, err := Fig11(smallFile, []int{1, 8, 60})
 	if err != nil {
 		t.Fatal(err)

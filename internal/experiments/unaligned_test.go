@@ -6,6 +6,7 @@ import (
 )
 
 func TestUnalignedEncFSCollapse(t *testing.T) {
+	skipInShort(t)
 	rows, err := UnalignedEncFS(4 << 20)
 	if err != nil {
 		t.Fatal(err)

@@ -54,13 +54,53 @@ func Categories() []Category {
 	return []Category{Encrypt, Decrypt, GetCEKey, IO, Misc}
 }
 
+// Event labels a counted engine event. Unlike the latency categories,
+// events are pure counters: they track the concurrent engine's cache
+// effectiveness and worker-pool fan-out rather than wall time.
+type Event int
+
+// Events counted by the engine.
+const (
+	// CacheHit / CacheMiss count block-cache lookups (plaintext data
+	// blocks and decoded metadata blocks alike).
+	CacheHit Event = iota
+	CacheMiss
+	// PoolBatch counts fan-out invocations of the commit worker pool;
+	// PoolTask counts the individual per-block tasks it executed.
+	PoolBatch
+	PoolTask
+	numEvents
+)
+
+// String returns the event's label.
+func (e Event) String() string {
+	switch e {
+	case CacheHit:
+		return "CacheHit"
+	case CacheMiss:
+		return "CacheMiss"
+	case PoolBatch:
+		return "PoolBatch"
+	case PoolTask:
+		return "PoolTask"
+	default:
+		return fmt.Sprintf("Event(%d)", int(e))
+	}
+}
+
+// AllEvents lists all events in display order.
+func AllEvents() []Event {
+	return []Event{CacheHit, CacheMiss, PoolBatch, PoolTask}
+}
+
 // Recorder accumulates time per category. All methods are safe for
 // concurrent use and are no-ops on a nil receiver.
 type Recorder struct {
-	mu    sync.Mutex
-	total [numCategories]time.Duration
-	count [numCategories]int64
-	ops   int64
+	mu     sync.Mutex
+	total  [numCategories]time.Duration
+	count  [numCategories]int64
+	events [numEvents]int64
+	ops    int64
 }
 
 // New returns an empty Recorder.
@@ -120,11 +160,22 @@ func (r *Recorder) CountOp() {
 	r.mu.Unlock()
 }
 
+// CountEvent adds n occurrences of event e.
+func (r *Recorder) CountEvent(e Event, n int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.events[e] += n
+	r.mu.Unlock()
+}
+
 // Breakdown is an immutable snapshot of a Recorder.
 type Breakdown struct {
-	Total [numCategories]time.Duration
-	Count [numCategories]int64
-	Ops   int64
+	Total  [numCategories]time.Duration
+	Count  [numCategories]int64
+	Events [numEvents]int64
+	Ops    int64
 }
 
 // Snapshot returns the current totals.
@@ -134,7 +185,7 @@ func (r *Recorder) Snapshot() Breakdown {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return Breakdown{Total: r.total, Count: r.count, Ops: r.ops}
+	return Breakdown{Total: r.total, Count: r.count, Events: r.events, Ops: r.ops}
 }
 
 // Reset zeroes the recorder.
@@ -145,9 +196,13 @@ func (r *Recorder) Reset() {
 	r.mu.Lock()
 	r.total = [numCategories]time.Duration{}
 	r.count = [numCategories]int64{}
+	r.events = [numEvents]int64{}
 	r.ops = 0
 	r.mu.Unlock()
 }
+
+// Event returns the count of event e.
+func (b Breakdown) Event(e Event) int64 { return b.Events[e] }
 
 // Sum returns the total time across all categories.
 func (b Breakdown) Sum() time.Duration {

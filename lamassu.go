@@ -29,6 +29,41 @@
 // multi-tenant isolation-zone demo over a shared deduplicating store,
 // a crash-recovery walkthrough, and a Table-1-style VM-image backup
 // scenario.
+//
+// # Concurrency
+//
+// A Mount is safe for concurrent use by any number of goroutines, and
+// so is every File it returns. The engine behind a handle is
+// parallel: positional reads and writes run concurrently, a segment's
+// multiphase commit fans its per-block key derivation, encryption and
+// backend writes across a bounded worker pool (Options.Parallelism),
+// and commits of different segments proceed independently. What is
+// serialized, and why:
+//
+//   - Writes that land in the same segment — and a read of a segment
+//     with a commit of that same segment — take turns on a per-segment
+//     lock, so a reader never observes a half-committed segment.
+//   - Truncate, Sync and Close drain all in-flight I/O on that handle
+//     first.
+//   - The §2.4 metadata barriers are preserved at any parallelism: no
+//     data block is written before the phase-1 metadata write
+//     completes, and phase 3 begins only after every data write has
+//     returned, so crash recovery is unchanged.
+//
+// One rule carries over from the paper's FUSE prototype: each file has
+// a single writing handle at a time (goroutines sharing that one
+// handle are fine). Opening two write handles to the same name, or
+// writing a store behind an active Mount's back (e.g. Replicate into
+// it), is outside the model — reads through other handles and mounts
+// may then return stale data, particularly with the block cache
+// enabled.
+//
+// The optional per-mount cache (Options.CacheBlocks) holds verified
+// plaintext data blocks and decoded metadata blocks; hits skip backend
+// I/O, AES and the integrity re-hash. Every mutating path — commit,
+// truncate, re-key, recovery, remove — invalidates the affected
+// entries before the backing store changes, so under the single-writer
+// rule a hit always equals a fresh verified read.
 package lamassu
 
 import (
@@ -153,6 +188,16 @@ type Options struct {
 	// must be deterministic in the block hash. Expect a severe
 	// performance cost per block (the paper's §1 objection).
 	KeyDeriver func(hash [32]byte) (Key, error)
+	// Parallelism bounds the worker goroutines used for per-block
+	// commit work (key derivation, encryption, data-block writes).
+	// 0 selects GOMAXPROCS; 1 forces the paper's fully serial engine.
+	Parallelism int
+	// CacheBlocks sizes the per-mount LRU cache of verified plaintext
+	// data blocks and decoded metadata blocks, in blocks (data and
+	// metadata entries each count as one). 0 disables caching — the
+	// paper's configuration. See the package comment for the cache's
+	// coherence rules.
+	CacheBlocks int
 }
 
 // Errors surfaced by the public API.
@@ -207,12 +252,14 @@ func NewMount(store Storage, keys KeyPair, opts *Options) (*Mount, error) {
 		deriver = func(h cryptoutil.Hash) (cryptoutil.Key, error) { return kd(h) }
 	}
 	fs, err := core.New(store, core.Config{
-		Geometry:   geo,
-		Inner:      keys.Inner,
-		Outer:      keys.Outer,
-		Integrity:  mode,
-		Recorder:   rec,
-		KeyDeriver: deriver,
+		Geometry:    geo,
+		Inner:       keys.Inner,
+		Outer:       keys.Outer,
+		Integrity:   mode,
+		Recorder:    rec,
+		KeyDeriver:  deriver,
+		Parallelism: o.Parallelism,
+		CacheBlocks: o.CacheBlocks,
 	})
 	if err != nil {
 		return nil, err
@@ -272,6 +319,21 @@ type RecoverStats = core.RecoverStats
 // repairs them using the multiphase-commit recovery protocol (paper
 // §2.4). The file must be idle.
 func (m *Mount) Recover(name string) (RecoverStats, error) { return m.fs.Recover(name) }
+
+// CacheStats is a snapshot of the block cache's counters (see
+// Mount.CacheStats).
+type CacheStats = core.CacheStats
+
+// CacheStats reports the mount's block-cache effectiveness; all zero
+// unless the mount was created with Options.CacheBlocks > 0.
+func (m *Mount) CacheStats() CacheStats { return m.fs.CacheStats() }
+
+// PoolStats is a snapshot of the commit worker pool's counters (see
+// Mount.PoolStats).
+type PoolStats = core.PoolStats
+
+// PoolStats reports the mount's commit fan-out activity.
+func (m *Mount) PoolStats() PoolStats { return m.fs.PoolStats() }
 
 // RekeyStats summarizes a key-rotation pass.
 type RekeyStats = core.RekeyStats
