@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"lamassu"
 	"lamassu/internal/dedupe"
@@ -40,6 +41,9 @@ func main() {
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	store := fs.String("store", "", "backing directory holding encrypted files")
+	shards := fs.String("shards", "", "comma-separated backing directories to stripe across (alternative to -store)")
+	vnodes := fs.Int("vnodes", 0, "virtual nodes per shard on the placement ring (0 = default 64; must match across runs)")
+	stripeKB := fs.Int64("stripe", 0, "shard stripe unit in KiB (0 = whole-file placement; must match across runs)")
 	keyfile := fs.String("keyfile", "", "file with hex inner+outer keys (see keygen)")
 	kmipAddr := fs.String("kmip", "", "key server address (alternative to -keyfile)")
 	zone := fs.Uint("zone", 1, "isolation zone when using -kmip")
@@ -64,14 +68,20 @@ func main() {
 		return
 	}
 
-	if *store == "" {
-		die(fmt.Errorf("-store is required"))
+	if *store == "" && *shards == "" {
+		die(fmt.Errorf("-store or -shards is required"))
+	}
+	if *store != "" && *shards != "" {
+		die(fmt.Errorf("use -store or -shards, not both"))
+	}
+	if *shards == "" && (*vnodes != 0 || *stripeKB != 0) {
+		die(fmt.Errorf("-vnodes and -stripe apply only with -shards"))
 	}
 	keys, err := loadKeys(*keyfile, *kmipAddr, uint32(*zone))
 	if err != nil {
 		die(err)
 	}
-	storage, err := lamassu.NewDirStorage(*store)
+	storage, err := openStorage(*store, *shards, *vnodes, *stripeKB<<10)
 	if err != nil {
 		die(err)
 	}
@@ -210,6 +220,38 @@ func main() {
 	}
 }
 
+// openStorage opens either a single backing directory or a sharded
+// store striped across several of them. The directory order, vnode
+// count and stripe unit are part of the placement, so the same
+// -shards/-vnodes/-stripe values must be used on every invocation
+// against one deployment.
+func openStorage(store, shards string, vnodes int, stripeBytes int64) (lamassu.Storage, error) {
+	if shards == "" {
+		return lamassu.NewDirStorage(store)
+	}
+	var dirs []string
+	for _, d := range strings.Split(shards, ",") {
+		if d = strings.TrimSpace(d); d != "" {
+			dirs = append(dirs, d)
+		}
+	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("-shards lists no directories")
+	}
+	stores := make([]lamassu.Storage, len(dirs))
+	for i, d := range dirs {
+		s, err := lamassu.NewDirStorage(d)
+		if err != nil {
+			return nil, err
+		}
+		stores[i] = s
+	}
+	return lamassu.NewShardedStorage(stores, &lamassu.ShardOptions{
+		Vnodes:      vnodes,
+		StripeBytes: stripeBytes,
+	})
+}
+
 // forEach applies f to the named files, or to every file when none
 // are named.
 func forEach(m *lamassu.Mount, args []string, f func(string) error) {
@@ -289,8 +331,13 @@ subcommands:
   df                                         dedup savings a filer would reclaim
   rekey   -newkeyfile F [-full] [name...]    rotate outer key (or both with -full)
 
-common flags: -store DIR, and -keyfile F or -kmip ADDR -zone N
+common flags: -store DIR (or -shards DIR1,DIR2,... [-vnodes N] [-stripe KIB]),
+              and -keyfile F or -kmip ADDR -zone N
 layout flags: -block 4096, -r 8, -meta-only
+
+-shards stripes the encrypted backing files across several directories
+behind a consistent-hash placement map; pass the SAME directory list,
+-vnodes and -stripe on every run against one deployment.
 `
 
 func usage() {

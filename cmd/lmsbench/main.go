@@ -10,9 +10,12 @@
 //	lmsbench -exp table1 -scale 16   # Table 1 with images scaled 1/16
 //
 // Experiments: fig6, table1, fig7, fig8, fig9, fig10, fig11,
-// unaligned, scaling, all. The scaling experiment is this
-// repository's extension beyond the paper: it sweeps the concurrent
-// engine's commit parallelism and block cache.
+// unaligned, scaling, shardscale, all. The scaling and shardscale
+// experiments are this repository's extensions beyond the paper:
+// scaling sweeps the concurrent engine's commit parallelism and block
+// cache; shardscale sweeps the consistent-hash storage sharding from
+// 1 to 8 backends and reports the per-shard throughput and
+// queue-depth numbers from Mount.ShardStats.
 //
 // Sizes default to a scaled-down configuration that finishes in about
 // a minute; all shapes are size-independent (see DESIGN.md §3).
@@ -32,7 +35,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig6|table1|fig7|fig8|fig9|fig10|fig11|unaligned|scaling|all")
+	exp := flag.String("exp", "all", "experiment to run: fig6|table1|fig7|fig8|fig9|fig10|fig11|unaligned|scaling|shardscale|all")
 	mb := flag.Int64("mb", 32, "workload file size in MiB (paper: 4096 for fig6/fig11, 256 for fig7-fig10)")
 	scale := flag.Int64("scale", 16, "Table 1 VM image size divisor (1 = paper sizes)")
 	flag.Parse()
@@ -107,20 +110,115 @@ func main() {
 		return experiments.FormatUnaligned(rows), nil
 	})
 	run("scaling", func() (string, error) { return scalingTable(fileBytes) })
+	run("shardscale", func() (string, error) { return shardScaleTable(fileBytes) })
 
 	if *exp != "all" && !validExp(*exp) {
-		fmt.Fprintf(os.Stderr, "lmsbench: unknown experiment %q (want fig6|table1|fig7|fig8|fig9|fig10|fig11|unaligned|scaling|all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "lmsbench: unknown experiment %q (want fig6|table1|fig7|fig8|fig9|fig10|fig11|unaligned|scaling|shardscale|all)\n", *exp)
 		os.Exit(2)
 	}
 }
 
 func validExp(e string) bool {
-	for _, v := range strings.Fields("fig6 table1 fig7 fig8 fig9 fig10 fig11 unaligned scaling all") {
+	for _, v := range strings.Fields("fig6 table1 fig7 fig8 fig9 fig10 fig11 unaligned scaling shardscale all") {
 		if e == v {
 			return true
 		}
 	}
 	return false
+}
+
+// shardScaleTable measures the storage sharding layer: concurrent
+// whole-file writes through one mount as the number of backing stores
+// grows 1 -> 8, with the per-shard breakdown (bytes routed, commit
+// tasks, worker budget, peak queue depth) from Mount.ShardStats. Each
+// shard is an independent RAM store, so the distribution of bytes
+// shows the consistent-hash striping at work; on a multi-core host
+// the fan-out across per-shard budgets is what lifts MB/s.
+func shardScaleTable(fileBytes int64) (string, error) {
+	keys, err := lamassu.GenerateKeys()
+	if err != nil {
+		return "", err
+	}
+	const writers = 4
+	perFile := fileBytes / writers
+	data := make([]byte, perFile)
+	rand.New(rand.NewSource(2)).Read(data)
+	stripe, err := lamassu.SegmentStripeBytes(nil, 1<<20)
+	if err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Shard scaling (consistent-hash striping, %d x %d MiB files, stripe %d KiB, RAM stores, GOMAXPROCS=%d)\n",
+		writers, perFile>>20, stripe>>10, runtime.GOMAXPROCS(0))
+	for _, shards := range []int{1, 2, 4, 8} {
+		stores := make([]lamassu.Storage, shards)
+		for i := range stores {
+			stores[i] = lamassu.NewMemStorage()
+		}
+		storage, err := lamassu.NewShardedStorage(stores, &lamassu.ShardOptions{StripeBytes: stripe})
+		if err != nil {
+			return "", err
+		}
+		// Floor the pool at 4 workers so the per-shard budgets engage
+		// even on a single-core host (there the fan-out costs a little
+		// throughput but keeps the budget columns meaningful).
+		par := runtime.GOMAXPROCS(0)
+		if par < 4 {
+			par = 4
+		}
+		m, err := lamassu.NewMount(storage, keys, &lamassu.Options{Parallelism: par})
+		if err != nil {
+			return "", err
+		}
+
+		// Sample the per-shard queue depth while the writers run.
+		peak := make([]int64, shards)
+		stop := make(chan struct{})
+		sampled := make(chan struct{})
+		go func() {
+			defer close(sampled)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, s := range m.ShardStats() {
+					if s.QueueDepth > peak[s.Shard] {
+						peak[s.Shard] = s.QueueDepth
+					}
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+		}()
+
+		start := time.Now()
+		errc := make(chan error, writers)
+		for w := 0; w < writers; w++ {
+			go func(w int) {
+				errc <- m.WriteFile(fmt.Sprintf("f%d", w), data)
+			}(w)
+		}
+		for w := 0; w < writers; w++ {
+			if err := <-errc; err != nil {
+				close(stop)
+				return "", err
+			}
+		}
+		elapsed := time.Since(start).Seconds()
+		close(stop)
+		<-sampled
+
+		mbs := float64(writers) * float64(perFile) / (1 << 20) / elapsed
+		fmt.Fprintf(&b, "shards=%d %38.1f MB/s\n", shards, mbs)
+		fmt.Fprintf(&b, "  %5s %7s %9s %9s %9s %7s\n", "shard", "budget", "writes", "MiB-out", "tasks", "peakQ")
+		for _, s := range m.ShardStats() {
+			fmt.Fprintf(&b, "  %5d %7d %9d %9.1f %9d %7d\n",
+				s.Shard, s.Budget, s.Writes, float64(s.BytesWritten)/(1<<20), s.Tasks, peak[s.Shard])
+		}
+	}
+	return b.String(), nil
 }
 
 // scalingTable measures the concurrent engine beyond the paper's

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"testing"
+
+	"lamassu/internal/backend"
+)
+
+// storeMaker builds a fresh, empty backing store for one (sub)test.
+// Each call returns an independent store — the crash sweeps call it
+// once per crash point.
+type storeMaker = func(t *testing.T) backend.Store
+
+// forEachBackend table-drives a suite over the backing stores the
+// engine ships on: the in-memory store (the paper's RAM-disk regime,
+// Figures 8–10) and the OS-file store over a temp directory (the
+// cmd/lamassu deployment). The concurrent and crash suites run over
+// both so a semantics gap between the backends — sparse-file
+// zero-fill, concurrent WriteAt, short reads at EOF — cannot hide
+// behind the memory store.
+func forEachBackend(t *testing.T, f func(t *testing.T, mk storeMaker)) {
+	t.Run("mem", func(t *testing.T) {
+		f(t, func(t *testing.T) backend.Store { return backend.NewMemStore() })
+	})
+	t.Run("osfs", func(t *testing.T) {
+		f(t, func(t *testing.T) backend.Store {
+			s, err := backend.NewOSStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		})
+	})
+}

@@ -106,14 +106,17 @@ func (f *file) commitSegment(seg *segment, si int64) error {
 	// task owns a disjoint slice of one ciphertext slab; with a serial
 	// pool the tasks run back to back, so a single block of scratch is
 	// reused instead (the backend is required to support concurrent
-	// WriteAt — os files and the memory store do).
+	// WriteAt — os files and the memory store do). Over a sharded
+	// store each task is charged to the budget of the shard that owns
+	// its block, so commits into one hot shard queue on that shard's
+	// slice of the pool instead of starving the others.
 	bs := f.fs.geo.BlockSize
 	ctSlab := bs
 	if f.fs.pool.Width() > 1 {
 		ctSlab = len(slots) * bs
 	}
 	cts := make([]byte, ctSlab)
-	err = f.fs.pool.run(len(slots), func(i int) error {
+	writeBlock := func(i int) error {
 		s := slots[i]
 		ct := cts[:bs]
 		if ctSlab > bs {
@@ -130,7 +133,14 @@ func (f *file) commitSegment(seg *segment, si int64) error {
 			return fmt.Errorf("lamassu: commit phase 2 (block %d): %w", dbi, werr)
 		}
 		return nil
-	})
+	}
+	if f.fs.sharded != nil {
+		err = f.fs.pool.runSharded(len(slots), func(i int) int {
+			return f.fs.shardOfBlock(f.name, si*keysPerSeg+int64(slots[i]))
+		}, writeBlock)
+	} else {
+		err = f.fs.pool.run(len(slots), writeBlock)
+	}
 	// Second half of the invalidation bracket around phase 2, on the
 	// success and error paths alike.
 	f.fs.cache.invalidateDataBlocks(f.name, dbis)

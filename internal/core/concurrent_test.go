@@ -7,7 +7,6 @@ import (
 	"sync"
 	"testing"
 
-	"lamassu/internal/backend"
 	"lamassu/internal/faultfs"
 	"lamassu/internal/layout"
 	"lamassu/internal/vfs"
@@ -17,9 +16,10 @@ import (
 // own file — the multi-client shape of the paper's deployment (many
 // applications over one mount). Handles are per-file, so the only
 // shared state is the FS config and the backing store.
-func TestConcurrentFilesOneFS(t *testing.T) {
-	store := backend.NewMemStore()
-	lfs := newFS(t, store, testConfig())
+func TestConcurrentFilesOneFS(t *testing.T) { forEachBackend(t, testConcurrentFilesOneFS) }
+
+func testConcurrentFilesOneFS(t *testing.T, mk storeMaker) {
+	lfs := newFS(t, mk(t), testConfig())
 
 	const workers = 8
 	var wg sync.WaitGroup
@@ -64,9 +64,10 @@ func TestConcurrentFilesOneFS(t *testing.T) {
 
 // Concurrent readers of one file through independent read-only
 // handles.
-func TestConcurrentReaders(t *testing.T) {
-	store := backend.NewMemStore()
-	lfs := newFS(t, store, testConfig())
+func TestConcurrentReaders(t *testing.T) { forEachBackend(t, testConcurrentReaders) }
+
+func testConcurrentReaders(t *testing.T, mk storeMaker) {
+	lfs := newFS(t, mk(t), testConfig())
 	data := make([]byte, 130*4096)
 	rand.New(rand.NewSource(9)).Read(data)
 	if err := vfs.WriteAll(lfs, "shared", data); err != nil {
@@ -114,10 +115,14 @@ func TestConcurrentReaders(t *testing.T) {
 // per-segment locking: regions span many segments, so commits from
 // different workers overlap in time.
 func TestConcurrentDisjointRegionsSharedHandle(t *testing.T) {
+	forEachBackend(t, testConcurrentDisjointRegionsSharedHandle)
+}
+
+func testConcurrentDisjointRegionsSharedHandle(t *testing.T, mk storeMaker) {
 	cfg := testConfig()
 	cfg.Parallelism = 4
 	cfg.CacheBlocks = 128
-	lfs := newFS(t, backend.NewMemStore(), cfg)
+	lfs := newFS(t, mk(t), cfg)
 
 	const (
 		workers     = 8
@@ -202,9 +207,13 @@ func TestConcurrentDisjointRegionsSharedHandle(t *testing.T) {
 // (or the initial zeros). Run under -race this is also the data-race
 // proof for the finer-grained locking.
 func TestConcurrentOverlappingWritersSharedHandle(t *testing.T) {
+	forEachBackend(t, testConcurrentOverlappingWritersSharedHandle)
+}
+
+func testConcurrentOverlappingWritersSharedHandle(t *testing.T, mk storeMaker) {
 	cfg := testConfig()
 	cfg.Parallelism = 4
-	lfs := newFS(t, backend.NewMemStore(), cfg)
+	lfs := newFS(t, mk(t), cfg)
 
 	const (
 		writers = 6
@@ -312,10 +321,14 @@ func TestConcurrentOverlappingWritersSharedHandle(t *testing.T) {
 // which the single-writer model does guarantee stable. Exercises the
 // FS-level cache shared by all handles of the file.
 func TestConcurrentDistinctHandlesOneFile(t *testing.T) {
+	forEachBackend(t, testConcurrentDistinctHandlesOneFile)
+}
+
+func testConcurrentDistinctHandlesOneFile(t *testing.T, mk storeMaker) {
 	cfg := testConfig()
 	cfg.Parallelism = 2
 	cfg.CacheBlocks = 256
-	lfs := newFS(t, backend.NewMemStore(), cfg)
+	lfs := newFS(t, mk(t), cfg)
 
 	const bs = 4096
 	prefix := make([]byte, 150*bs)
@@ -390,7 +403,9 @@ func TestConcurrentDistinctHandlesOneFile(t *testing.T) {
 // must still restore the §2.4 invariants: after Recover, the audit is
 // clean and every block holds a state the workload legitimately
 // produced.
-func TestCrashMidParallelCommit(t *testing.T) {
+func TestCrashMidParallelCommit(t *testing.T) { forEachBackend(t, testCrashMidParallelCommit) }
+
+func testCrashMidParallelCommit(t *testing.T, mk storeMaker) {
 	geo, err := layout.NewGeometry(512, 4) // small blocks: many I/Os per commit
 	if err != nil {
 		t.Fatal(err)
@@ -401,7 +416,7 @@ func TestCrashMidParallelCommit(t *testing.T) {
 	rand.New(rand.NewSource(99)).Read(oldData)
 
 	// Dry run to count backend writes.
-	countStore := faultfs.New(backend.NewMemStore())
+	countStore := faultfs.New(mk(t))
 	fsCount, err := New(countStore, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -428,7 +443,7 @@ func TestCrashMidParallelCommit(t *testing.T) {
 		stride = 7
 	}
 	for crashAt := int64(1); crashAt <= totalWrites; crashAt += stride {
-		fstore := faultfs.New(backend.NewMemStore())
+		fstore := faultfs.New(mk(t))
 		lfs, err := New(fstore, cfg)
 		if err != nil {
 			t.Fatal(err)

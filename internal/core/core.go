@@ -125,6 +125,25 @@ type Config struct {
 	CacheBlocks int
 }
 
+// shardedStore is the optional interface of a backing store that
+// stripes data across several independent shards (internal/shard's
+// Store). The FS only consumes it — declaring the seam here keeps
+// core free of a dependency on the shard package — and uses it to
+// route per-block commit work onto the owning shard's slice of the
+// worker pool and to fan multi-block reads out across shards.
+type shardedStore interface {
+	// NumShards returns the number of shards.
+	NumShards() int
+	// ShardOf returns the shard owning byte off of the named backing
+	// file; it must be cheap and placement-pure (no I/O).
+	ShardOf(name string, off int64) int
+	// StripeBytes returns the placement granularity: offsets within
+	// one stripe share a shard, and <= 0 means the whole file shares
+	// one. The read path uses it to look placement up once per stripe
+	// instead of once per block.
+	StripeBytes() int64
+}
+
 // FS is a Lamassu file system over a backing store.
 type FS struct {
 	store backend.Store
@@ -132,6 +151,9 @@ type FS struct {
 	cfg   Config
 	pool  *pool
 	cache *blockCache
+	// sharded is non-nil when store stripes across >1 shard; the pool
+	// is then carved into per-shard budgets.
+	sharded shardedStore
 }
 
 // New validates cfg and returns a Lamassu FS over store.
@@ -154,13 +176,23 @@ func New(store backend.Store, cfg Config) (*FS, error) {
 	if cfg.CacheBlocks < 0 {
 		return nil, errors.New("lamassu: cache capacity must be >= 0")
 	}
-	return &FS{
+	fs := &FS{
 		store: store,
 		geo:   cfg.Geometry,
 		cfg:   cfg,
 		pool:  newPool(cfg.Parallelism, cfg.Recorder),
 		cache: newBlockCache(cfg.CacheBlocks, cfg.Recorder),
-	}, nil
+	}
+	// A store that stripes across shards gets per-shard worker budgets
+	// so one hot shard cannot monopolize the commit fan-out. A 1-shard
+	// store routes trivially, but still takes the sharded paths so its
+	// ShardStats read consistently with multi-shard mounts (one budget
+	// spanning the whole pool).
+	if ss, ok := store.(shardedStore); ok && ss.NumShards() >= 1 {
+		fs.sharded = ss
+		fs.pool.carveBudgets(ss.NumShards())
+	}
+	return fs, nil
 }
 
 // Geometry returns the instance's layout parameters.
@@ -178,6 +210,19 @@ func (fs *FS) CacheStats() CacheStats { return fs.cache.stats() }
 
 // PoolStats returns a snapshot of the commit worker pool's counters.
 func (fs *FS) PoolStats() PoolStats { return fs.pool.stats() }
+
+// ShardStats returns per-shard worker-budget counters, one entry per
+// shard of a sharded backing store; nil for single-store mounts.
+func (fs *FS) ShardStats() []ShardStats { return fs.pool.shardStats() }
+
+// shardOfBlock returns the shard owning logical data block dbi of the
+// named backing file, or 0 when the store is not sharded.
+func (fs *FS) shardOfBlock(name string, dbi int64) int {
+	if fs.sharded == nil {
+		return 0
+	}
+	return fs.sharded.ShardOf(name, fs.geo.DataBlockOffset(dbi))
+}
 
 // Create implements vfs.FS.
 func (fs *FS) Create(name string) (vfs.File, error) {

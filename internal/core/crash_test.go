@@ -84,7 +84,9 @@ func blockHistories(oldData []byte, seed int64, blockSize int) []map[string]bool
 // each block holds one of the states the write sequence legitimately
 // produced (per-block atomicity — the guarantee the multiphase commit
 // provides).
-func TestCrashSweepEveryWritePoint(t *testing.T) {
+func TestCrashSweepEveryWritePoint(t *testing.T) { forEachBackend(t, testCrashSweepEveryWritePoint) }
+
+func testCrashSweepEveryWritePoint(t *testing.T, mk storeMaker) {
 	geo, err := layout.NewGeometry(512, 4) // small blocks: many I/Os, fast
 	if err != nil {
 		t.Fatal(err)
@@ -95,7 +97,7 @@ func TestCrashSweepEveryWritePoint(t *testing.T) {
 	oldData := make([]byte, 40*1024)
 	rand.New(rand.NewSource(99)).Read(oldData)
 
-	countStore := faultfs.New(backend.NewMemStore())
+	countStore := faultfs.New(mk(t))
 	fsCount, err := New(countStore, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -128,8 +130,7 @@ func TestCrashSweepEveryWritePoint(t *testing.T) {
 	}
 	for _, mode := range []faultfs.Mode{faultfs.ModeCrashAfter, faultfs.ModeCrashBefore} {
 		for crashAt := int64(1); crashAt <= totalWrites; crashAt += stride {
-			mem := backend.NewMemStore()
-			fstore := faultfs.New(mem)
+			fstore := faultfs.New(mk(t))
 			lfs, err := New(fstore, cfg)
 			if err != nil {
 				t.Fatal(err)
@@ -189,10 +190,13 @@ func TestCrashSweepEveryWritePoint(t *testing.T) {
 // disk with the new key staged; the transient key must still decrypt
 // it transparently on the read path, before any recovery runs.
 func TestReadThroughMidUpdateSegment(t *testing.T) {
+	forEachBackend(t, testReadThroughMidUpdateSegment)
+}
+
+func testReadThroughMidUpdateSegment(t *testing.T, mk storeMaker) {
 	geo := layout.Default()
 	cfg := Config{Inner: testKey(1), Outer: testKey(2), Geometry: geo}
-	mem := backend.NewMemStore()
-	fstore := faultfs.New(mem)
+	fstore := faultfs.New(mk(t))
 	lfs, err := New(fstore, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -255,10 +259,13 @@ func TestReadThroughMidUpdateSegment(t *testing.T) {
 // first recovers it, so the transient slots are never clobbered while
 // they still carry recovery state.
 func TestWriteToMidUpdateSegmentRecoversFirst(t *testing.T) {
+	forEachBackend(t, testWriteToMidUpdateSegmentRecoversFirst)
+}
+
+func testWriteToMidUpdateSegmentRecoversFirst(t *testing.T, mk storeMaker) {
 	geo := layout.Default()
 	cfg := Config{Inner: testKey(1), Outer: testKey(2), Geometry: geo}
-	mem := backend.NewMemStore()
-	fstore := faultfs.New(mem)
+	fstore := faultfs.New(mk(t))
 	lfs, err := New(fstore, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -307,10 +314,13 @@ func TestWriteToMidUpdateSegmentRecoversFirst(t *testing.T) {
 // partial-block write failure") — but it must be *detected*, not
 // silently returned.
 func TestTornDataWriteDetectedNotRepaired(t *testing.T) {
+	forEachBackend(t, testTornDataWriteDetectedNotRepaired)
+}
+
+func testTornDataWriteDetectedNotRepaired(t *testing.T, mk storeMaker) {
 	geo := layout.Default()
 	cfg := Config{Inner: testKey(1), Outer: testKey(2), Geometry: geo}
-	mem := backend.NewMemStore()
-	fstore := faultfs.New(mem)
+	fstore := faultfs.New(mk(t))
 	lfs, err := New(fstore, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -355,12 +365,13 @@ func TestTornDataWriteDetectedNotRepaired(t *testing.T) {
 
 // Crash while appending brand-new blocks (old key = hole): recovery
 // restores the hole so the file reads consistently at its old size.
-func TestCrashDuringAppend(t *testing.T) {
+func TestCrashDuringAppend(t *testing.T) { forEachBackend(t, testCrashDuringAppend) }
+
+func testCrashDuringAppend(t *testing.T, mk storeMaker) {
 	geo := layout.Default()
 	cfg := Config{Inner: testKey(1), Outer: testKey(2), Geometry: geo}
 	for crashAt := int64(1); crashAt <= 3; crashAt++ {
-		mem := backend.NewMemStore()
-		fstore := faultfs.New(mem)
+		fstore := faultfs.New(mk(t))
 		lfs, err := New(fstore, cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -406,8 +417,10 @@ func TestCrashDuringAppend(t *testing.T) {
 }
 
 // Recovery is idempotent: running it on a clean file changes nothing.
-func TestRecoverCleanFileIsNoOp(t *testing.T) {
-	store := backend.NewMemStore()
+func TestRecoverCleanFileIsNoOp(t *testing.T) { forEachBackend(t, testRecoverCleanFileIsNoOp) }
+
+func testRecoverCleanFileIsNoOp(t *testing.T, mk storeMaker) {
+	store := mk(t)
 	lfs, err := New(store, Config{Inner: testKey(1), Outer: testKey(2)})
 	if err != nil {
 		t.Fatal(err)

@@ -143,12 +143,19 @@ func (f *file) ReadAt(p []byte, off int64) (int, error) {
 		atEOF = true
 	}
 	bs := f.fs.geo.BlockSize
-	block := make([]byte, bs)
-	for _, sp := range vfs.Spans(off, n, bs) {
-		if err := f.readBlock(sp.Index, block); err != nil {
-			return sp.BufOff, err
+	spans := vfs.Spans(off, n, bs)
+	if f.fs.sharded != nil && len(spans) > 1 {
+		if bad, err := f.readSpansSharded(p, spans); err != nil {
+			return bad, err
 		}
-		copy(p[sp.BufOff:sp.BufOff+sp.Len], block[sp.Start:sp.Start+sp.Len])
+	} else {
+		block := make([]byte, bs)
+		for _, sp := range spans {
+			if _, err := f.readBlock(sp.Index, block); err != nil {
+				return sp.BufOff, err
+			}
+			copy(p[sp.BufOff:sp.BufOff+sp.Len], block[sp.Start:sp.Start+sp.Len])
+		}
 	}
 	if atEOF {
 		return n, io.EOF
@@ -156,10 +163,88 @@ func (f *file) ReadAt(p []byte, off int64) (int, error) {
 	return n, nil
 }
 
+// readSpansSharded fills a multi-block read over a sharded store,
+// fetching each shard's spans on its own goroutine so the decrypt and
+// backend I/O of independent shards overlap. It deliberately takes no
+// worker-pool slot: a reader can block on a segment lock held by that
+// segment's commit, and the commit needs pool slots to finish — a
+// reader holding one while it waits would deadlock the pool. The
+// per-shard gauges still record the fan-out.
+//
+// On failure it returns the number of leading bytes of p that are
+// valid (every span of every shard completes or fails in BufOff
+// order) and the failing error.
+func (f *file) readSpansSharded(p []byte, spans []vfs.Span) (int, error) {
+	// Group spans by owning shard with one ring lookup per STRIPE:
+	// offsets within a stripe share a shard, and a whole-file-placed
+	// store (stripe <= 0) needs a single lookup for all spans.
+	groups := make(map[int][]vfs.Span)
+	stripe := f.fs.sharded.StripeBytes()
+	shard := 0
+	curStripe := int64(-1)
+	for i, sp := range spans {
+		off := f.fs.geo.DataBlockOffset(sp.Index)
+		switch {
+		case stripe <= 0:
+			if i == 0 {
+				shard = f.fs.sharded.ShardOf(f.name, off)
+			}
+		default:
+			if si := off / stripe; si != curStripe {
+				shard = f.fs.sharded.ShardOf(f.name, off)
+				curStripe = si
+			}
+		}
+		groups[shard] = append(groups[shard], sp)
+	}
+	bs := f.fs.geo.BlockSize
+	readGroup := func(s int, group []vfs.Span) (int, error) {
+		block := make([]byte, bs)
+		for _, sp := range group {
+			done := f.fs.pool.noteShardRead(s)
+			cached, err := f.readBlock(sp.Index, block)
+			done(cached)
+			if err != nil {
+				return sp.BufOff, err
+			}
+			copy(p[sp.BufOff:sp.BufOff+sp.Len], block[sp.Start:sp.Start+sp.Len])
+		}
+		return 0, nil
+	}
+	if len(groups) == 1 {
+		for s, group := range groups {
+			return readGroup(s, group)
+		}
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		firstBad int
+	)
+	for s, group := range groups {
+		wg.Add(1)
+		go func(s int, group []vfs.Span) {
+			defer wg.Done()
+			if bad, err := readGroup(s, group); err != nil {
+				mu.Lock()
+				if firstErr == nil || bad < firstBad {
+					firstErr, firstBad = err, bad
+				}
+				mu.Unlock()
+			}
+		}(s, group)
+	}
+	wg.Wait()
+	return firstBad, firstErr
+}
+
 // readBlock places the full plaintext of logical data block dbi into
 // dst (len == BlockSize). Pending writes are visible; unwritten
-// (hole) blocks read as zeros.
-func (f *file) readBlock(dbi int64, dst []byte) error {
+// (hole) blocks read as zeros. The returned bool reports whether the
+// block was served without backend I/O (pending state or the cache) —
+// the sharded read path keeps such hits out of its fan-out counters.
+func (f *file) readBlock(dbi int64, dst []byte) (bool, error) {
 	geo := f.fs.geo
 	si := geo.SegmentOfBlock(dbi)
 	slot := geo.SlotOfBlock(dbi)
@@ -170,7 +255,7 @@ func (f *file) readBlock(dbi int64, dst []byte) error {
 		if plain, ok := seg.pending[slot]; ok {
 			copy(dst, plain)
 			seg.mu.RUnlock()
-			return nil
+			return true, nil
 		}
 		// Probe the cache once per read; the meta-load retry below must
 		// not count a second miss for the same logical lookup.
@@ -178,13 +263,13 @@ func (f *file) readBlock(dbi int64, dst []byte) error {
 			cacheProbed = true
 			if f.fs.cache.getData(f.name, dbi, dst) {
 				seg.mu.RUnlock()
-				return nil
+				return true, nil
 			}
 		}
 		if seg.meta != nil {
 			err := f.readBlockMeta(seg, dbi, slot, dst)
 			seg.mu.RUnlock()
-			return err
+			return false, err
 		}
 		seg.mu.RUnlock()
 		// The segment's metadata is not loaded yet; load it under the
@@ -194,7 +279,7 @@ func (f *file) readBlock(dbi int64, dst []byte) error {
 		err := f.ensureMeta(seg, si)
 		seg.mu.Unlock()
 		if err != nil {
-			return err
+			return false, err
 		}
 	}
 }

@@ -26,10 +26,29 @@ type pool struct {
 	// bookkeeping systems cannot drift.
 	rec *metrics.Recorder
 
+	// budgets, when non-nil, carves width into per-shard slices for
+	// runSharded: a task for shard s must hold both budgets[s].sem and
+	// the global sem, so one hot shard can saturate at most its slice
+	// of the pool while the global bound still caps mixed loads. Set
+	// once at FS construction (carveBudgets), read-only afterwards.
+	budgets []*budget
+
 	// batches counts run invocations; tasks counts the individual
 	// closures executed (both served inline and in workers).
 	batches atomic.Int64
 	tasks   atomic.Int64
+}
+
+// budget is one shard's slice of the pool, plus its activity gauges.
+// The gauges also count the read fan-out, which deliberately does NOT
+// take the semaphores: a reader blocked on a segment lock must never
+// hold a slot a commit needs to release that lock (see file.go's
+// readSpansSharded).
+type budget struct {
+	width  int
+	sem    chan struct{}
+	queued atomic.Int64 // tasks submitted and not yet finished
+	tasks  atomic.Int64 // tasks finished
 }
 
 // newPool returns a pool of the given width; width < 1 selects
@@ -47,6 +66,126 @@ func newPool(width int, rec *metrics.Recorder) *pool {
 
 // Width returns the pool's concurrency bound.
 func (p *pool) Width() int { return p.width }
+
+// carveBudgets splits the pool into n per-shard budgets of
+// floor(width/n) workers each (the remainder spread over the first
+// shards, every shard getting at least one). Called once, before the
+// pool is shared.
+func (p *pool) carveBudgets(n int) {
+	if n < 1 {
+		return
+	}
+	p.budgets = make([]*budget, n)
+	base, extra := p.width/n, p.width%n
+	for i := range p.budgets {
+		w := base
+		if i < extra {
+			w++
+		}
+		if w < 1 {
+			w = 1
+		}
+		p.budgets[i] = &budget{width: w, sem: make(chan struct{}, w)}
+	}
+}
+
+// runSharded is run with placement: task i is charged to shard
+// shardOf(i)'s budget, so commits against one hot shard queue on that
+// shard's slice of the pool instead of starving every other shard's
+// encrypt+write fan-out. Error semantics match run (lowest task index
+// wins). Falls back to the serial inline path at width 1.
+//
+// Unlike run, every task gets its own goroutine upfront: acquiring a
+// shard slot on the caller's goroutine would head-of-line-block tasks
+// bound for other shards behind one hot shard. The spawn is bounded
+// all the same — callers are commit phases, whose batches hold at
+// most R (Geometry.Reserved) tasks — so a parked goroutine per queued
+// task stays within R per in-flight commit.
+func (p *pool) runSharded(n int, shardOf func(int) int, fn func(int) error) error {
+	if p.budgets == nil {
+		return p.run(n, fn)
+	}
+	if n <= 0 {
+		return nil
+	}
+	p.batches.Add(1)
+	p.tasks.Add(int64(n))
+	p.rec.CountEvent(metrics.PoolBatch, 1)
+	p.rec.CountEvent(metrics.PoolTask, int64(n))
+	p.rec.CountEvent(metrics.ShardTask, int64(n))
+	if p.width <= 1 {
+		// Serial engine: run inline like run(), but still charge each
+		// task to its owning shard's gauges so ShardStats reflects the
+		// routing even when nothing executes concurrently.
+		var firstErr error
+		for i := 0; i < n; i++ {
+			b := p.budgets[shardOf(i)]
+			b.queued.Add(1)
+			err := fn(i)
+			b.tasks.Add(1)
+			b.queued.Add(-1)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		firstIdx int
+	)
+	for i := 0; i < n; i++ {
+		b := p.budgets[shardOf(i)]
+		b.queued.Add(1)
+		wg.Add(1)
+		go func(i int, b *budget) {
+			defer wg.Done()
+			// Shard slot first, then the global slot. Always in this
+			// order, and tasks acquire nothing further, so the two-level
+			// wait cannot cycle; when the budgets sum to the width the
+			// global sem only gates against non-sharded batches.
+			b.sem <- struct{}{}
+			p.sem <- struct{}{}
+			err := fn(i)
+			<-p.sem
+			<-b.sem
+			b.tasks.Add(1)
+			b.queued.Add(-1)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil || i < firstIdx {
+					firstErr, firstIdx = err, i
+				}
+				mu.Unlock()
+			}
+		}(i, b)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// noteShardRead brackets one read-path block fetch routed to shard s
+// in that shard's gauges (no semaphore — see budget). The returned
+// func must be called when the fetch completes, with cached=true when
+// the block was served from pending state or the cache: those cost no
+// backend I/O and are kept out of the task and ShardRead counters so
+// the per-shard numbers measure real fan-out, not cache hits.
+func (p *pool) noteShardRead(s int) func(cached bool) {
+	if p.budgets == nil || s < 0 || s >= len(p.budgets) {
+		return func(bool) {}
+	}
+	b := p.budgets[s]
+	b.queued.Add(1)
+	return func(cached bool) {
+		if !cached {
+			b.tasks.Add(1)
+			p.rec.CountEvent(metrics.ShardRead, 1)
+		}
+		b.queued.Add(-1)
+	}
+}
 
 // run executes fn(0) … fn(n-1), at most width at a time, and waits for
 // all of them. Every task runs even if an earlier one fails (matching
@@ -113,4 +252,36 @@ type PoolStats struct {
 // stats returns the current counters.
 func (p *pool) stats() PoolStats {
 	return PoolStats{Width: p.width, Batches: p.batches.Load(), Tasks: p.tasks.Load()}
+}
+
+// ShardStats is a snapshot of one shard's worker-budget counters.
+type ShardStats struct {
+	// Shard is the shard index.
+	Shard int
+	// Budget is the shard's worker-budget width (its slice of the
+	// pool).
+	Budget int
+	// Tasks is the number of per-block tasks (commit fan-out and read
+	// fetches) completed for this shard.
+	Tasks int64
+	// QueueDepth is the number of tasks currently queued or running
+	// against this shard — the live back-pressure signal.
+	QueueDepth int64
+}
+
+// shardStats snapshots every budget; nil when the pool is not carved.
+func (p *pool) shardStats() []ShardStats {
+	if p.budgets == nil {
+		return nil
+	}
+	out := make([]ShardStats, len(p.budgets))
+	for i, b := range p.budgets {
+		out[i] = ShardStats{
+			Shard:      i,
+			Budget:     b.width,
+			Tasks:      b.tasks.Load(),
+			QueueDepth: b.queued.Load(),
+		}
+	}
+	return out
 }

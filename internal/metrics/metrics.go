@@ -69,6 +69,11 @@ const (
 	// PoolTask counts the individual per-block tasks it executed.
 	PoolBatch
 	PoolTask
+	// ShardTask counts commit tasks routed through a per-shard worker
+	// budget; ShardRead counts read-path block fetches fanned out
+	// across shards. Both zero on unsharded mounts.
+	ShardTask
+	ShardRead
 	numEvents
 )
 
@@ -83,6 +88,10 @@ func (e Event) String() string {
 		return "PoolBatch"
 	case PoolTask:
 		return "PoolTask"
+	case ShardTask:
+		return "ShardTask"
+	case ShardRead:
+		return "ShardRead"
 	default:
 		return fmt.Sprintf("Event(%d)", int(e))
 	}
@@ -90,7 +99,7 @@ func (e Event) String() string {
 
 // AllEvents lists all events in display order.
 func AllEvents() []Event {
-	return []Event{CacheHit, CacheMiss, PoolBatch, PoolTask}
+	return []Event{CacheHit, CacheMiss, PoolBatch, PoolTask, ShardTask, ShardRead}
 }
 
 // Recorder accumulates time per category. All methods are safe for

@@ -1,0 +1,252 @@
+package shard_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"lamassu/internal/backend"
+	"lamassu/internal/core"
+	"lamassu/internal/faultfs"
+	"lamassu/internal/layout"
+	"lamassu/internal/shard"
+	"lamassu/internal/vfs"
+)
+
+// crashHarness is a sharded store with every shard wrapped in its own
+// fault injector: a crash takes down ONE shard while the others keep
+// accepting writes — the partial-failure schedule a single-store
+// deployment can never produce.
+type crashHarness struct {
+	store  *shard.Store
+	faults []*faultfs.Store
+}
+
+func newCrashHarness(t *testing.T, shards int, stripe int64) *crashHarness {
+	t.Helper()
+	stores := make([]backend.Store, shards)
+	faults := make([]*faultfs.Store, shards)
+	for i := range stores {
+		faults[i] = faultfs.New(backend.NewMemStore())
+		stores[i] = faults[i]
+	}
+	s, err := shard.New(stores, shard.Config{StripeBytes: stripe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &crashHarness{store: s, faults: faults}
+}
+
+func (h *crashHarness) disarmAll() {
+	for _, f := range h.faults {
+		f.Disarm()
+	}
+}
+
+// crashWorkload overwrites whole blocks at seeded offsets; per-block
+// atomicity means each block may legitimately hold only its initial
+// value or one of the values written to it.
+func crashWorkload(f vfs.File, nBlocks, blockSize int, seed int64) ([]map[string]bool, error) {
+	legit := make([]map[string]bool, nBlocks)
+	zero := string(make([]byte, blockSize))
+	for i := range legit {
+		legit[i] = map[string]bool{zero: true}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var firstErr error
+	for i := 0; i < 40 && firstErr == nil; i++ {
+		b := rng.Intn(nBlocks)
+		block := make([]byte, blockSize)
+		rng.Read(block)
+		legit[b][string(block)] = true
+		if _, err := f.WriteAt(block, int64(b*blockSize)); err != nil {
+			firstErr = err
+		}
+	}
+	if firstErr == nil {
+		firstErr = f.Sync()
+	}
+	return legit, firstErr
+}
+
+// TestCrashOneShardMidParallelCommit sweeps a crash of each individual
+// shard across every write point of a parallel commit workload over a
+// striped file. After the "reboot" (injector disarmed), recovery must
+// leave every shard consistent: the audit is clean, the global size is
+// intact, and every block holds a value the workload legitimately
+// produced — even though the surviving shards kept absorbing phase-2
+// writes after the victim shard died.
+func TestCrashOneShardMidParallelCommit(t *testing.T) {
+	geo, err := layout.NewGeometry(512, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		shards  = 3
+		nBlocks = 60
+		bs      = 512
+	)
+	stripe := int64(2 * bs) // 2 blocks per stripe: heavy cross-shard traffic
+	cfg := core.Config{Inner: testKey(1), Outer: testKey(2), Geometry: geo, Parallelism: 4}
+
+	// Dry run to count each shard's writes.
+	dry := newCrashHarness(t, shards, stripe)
+	dfs, err := core.New(dry.store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := make([]byte, nBlocks*bs)
+	if err := vfs.WriteAll(dfs, "f", initial); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range dry.faults {
+		f.ResetWriteCount()
+	}
+	fw, err := dfs.OpenRW("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := crashWorkload(fw, nBlocks, bs, 31); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	writesPerShard := make([]int64, shards)
+	for i, f := range dry.faults {
+		writesPerShard[i] = f.WriteCount()
+		if writesPerShard[i] == 0 {
+			t.Fatalf("dry run routed no writes to shard %d; widen the workload", i)
+		}
+	}
+
+	stride := int64(3)
+	if testing.Short() {
+		stride = 11
+	}
+	for victim := 0; victim < shards; victim++ {
+		for crashAt := int64(1); crashAt <= writesPerShard[victim]; crashAt += stride {
+			h := newCrashHarness(t, shards, stripe)
+			lfs, err := core.New(h.store, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := vfs.WriteAll(lfs, "f", initial); err != nil {
+				t.Fatal(err)
+			}
+
+			h.faults[victim].Arm(faultfs.ModeCrashAfter, crashAt, 0)
+			fw, err := lfs.OpenRW("f")
+			if err != nil {
+				t.Fatalf("victim=%d crashAt=%d: open: %v", victim, crashAt, err)
+			}
+			legit, werr := crashWorkload(fw, nBlocks, bs, 31)
+			_ = fw.Close() // post-crash close errors are expected
+			if werr == nil && h.faults[victim].Crashed() {
+				t.Fatalf("victim=%d crashAt=%d: workload succeeded despite crash", victim, crashAt)
+			}
+			h.disarmAll()
+
+			// Reboot: recover, audit, and check per-block atomicity.
+			if _, err := lfs.Recover("f"); err != nil {
+				t.Fatalf("victim=%d crashAt=%d: recovery failed: %v", victim, crashAt, err)
+			}
+			rep, err := lfs.Check("f")
+			if err != nil {
+				t.Fatalf("victim=%d crashAt=%d: check: %v", victim, crashAt, err)
+			}
+			if !rep.Clean() {
+				t.Fatalf("victim=%d crashAt=%d: post-recovery audit dirty: %+v", victim, crashAt, rep)
+			}
+			got, err := vfs.ReadAll(lfs, "f")
+			if err != nil {
+				t.Fatalf("victim=%d crashAt=%d: read after recovery: %v", victim, crashAt, err)
+			}
+			if len(got) != len(initial) {
+				t.Fatalf("victim=%d crashAt=%d: size changed: %d", victim, crashAt, len(got))
+			}
+			for b := 0; b < nBlocks; b++ {
+				if !legit[b][string(got[b*bs:(b+1)*bs])] {
+					t.Fatalf("victim=%d crashAt=%d: block %d holds a value the workload never produced",
+						victim, crashAt, b)
+				}
+			}
+
+			// Every shard individually is consistent with the global
+			// view: no shard's stripe file outgrew the physical size.
+			phys, err := h.store.Stat("f")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, bst := range h.store.Shards() {
+				local, err := bst.Stat("f")
+				if err != nil {
+					continue // shard holds no stripe of f
+				}
+				if local > phys {
+					t.Fatalf("victim=%d crashAt=%d: shard %d local size %d exceeds physical size %d",
+						victim, crashAt, i, local, phys)
+				}
+			}
+		}
+	}
+}
+
+// A crash of EVERY shard at once (power loss of the whole fabric) at
+// an arbitrary point of a parallel commit must also recover — the
+// sharded analogue of the single-store sweep in internal/core.
+func TestCrashAllShardsMidParallelCommit(t *testing.T) {
+	geo, err := layout.NewGeometry(512, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		shards  = 3
+		nBlocks = 40
+		bs      = 512
+	)
+	stripe := int64(2 * bs)
+	cfg := core.Config{Inner: testKey(1), Outer: testKey(2), Geometry: geo, Parallelism: 4}
+	initial := make([]byte, nBlocks*bs)
+
+	stride := int64(2)
+	if testing.Short() {
+		stride = 7
+	}
+	for crashAt := int64(1); crashAt <= 30; crashAt += stride {
+		h := newCrashHarness(t, shards, stripe)
+		lfs, err := core.New(h.store, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := vfs.WriteAll(lfs, "f", initial); err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range h.faults {
+			f.Arm(faultfs.ModeCrashAfter, crashAt, 0)
+		}
+		fw, err := lfs.OpenRW("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		legit, _ := crashWorkload(fw, nBlocks, bs, 33)
+		_ = fw.Close()
+		h.disarmAll()
+
+		if _, err := lfs.Recover("f"); err != nil {
+			t.Fatalf("crashAt=%d: recovery failed: %v", crashAt, err)
+		}
+		rep, err := lfs.Check("f")
+		if err != nil || !rep.Clean() {
+			t.Fatalf("crashAt=%d: audit: %+v, %v", crashAt, rep, err)
+		}
+		got, err := vfs.ReadAll(lfs, "f")
+		if err != nil || len(got) != len(initial) {
+			t.Fatalf("crashAt=%d: read: %d bytes, %v", crashAt, len(got), err)
+		}
+		for b := 0; b < nBlocks; b++ {
+			if !legit[b][string(got[b*bs:(b+1)*bs])] {
+				t.Fatalf("crashAt=%d: block %d holds a value the workload never produced", crashAt, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,404 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"lamassu/internal/backend"
+)
+
+// file is an open handle to one (possibly striped) backing file. The
+// home shard's handle is opened eagerly by Store.Open; handles to the
+// shards holding other stripes open lazily on first touch.
+//
+// Concurrency matches the backend.File contract the engine relies on:
+// concurrent ReadAt and concurrent WriteAt are safe (the handle map
+// has its own mutex; the per-shard files do their own serialization),
+// so commit fan-out may write several stripes of one file at once.
+type file struct {
+	store   *Store
+	name    string
+	flag    backend.OpenFlag
+	homeIdx int
+
+	mu     sync.Mutex
+	closed bool
+	files  map[int]backend.File
+	// missing marks shards a read probed and found without a stripe
+	// file; their ranges read as zeros (hole semantics) without
+	// re-probing. A write through THIS handle clears the mark when it
+	// creates the stripe; another handle creating it is outside the
+	// single-writer model, as with every other stale-read case.
+	missing map[int]bool
+}
+
+// handle returns the backend.File for one shard, opening it on first
+// use. Only writes (forWrite) may create a missing stripe file; a
+// read that finds none gets (nil, nil) and treats the range as a hole
+// — a pure read workload must never materialize empty stripe files on
+// shards that hold no data.
+func (f *file) handle(shard int, forWrite bool) (backend.File, error) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil, backend.ErrClosed
+	}
+	if h, ok := f.files[shard]; ok {
+		f.mu.Unlock()
+		return h, nil
+	}
+	if !forWrite && f.missing[shard] {
+		f.mu.Unlock()
+		return nil, nil
+	}
+	flag := backend.OpenWrite
+	switch {
+	case f.flag == backend.OpenRead:
+		flag = backend.OpenRead
+	case forWrite:
+		flag = backend.OpenCreate
+	}
+	// Open outside the lock: a slow first-touch open (network
+	// backend) must not stall I/O to shards that are already open.
+	// Concurrent openers race; the loser closes its handle.
+	f.mu.Unlock()
+	h, err := f.store.stores[shard].Open(f.name, flag)
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err != nil {
+		if flag != backend.OpenCreate && errors.Is(err, backend.ErrNotExist) {
+			if f.missing == nil {
+				f.missing = make(map[int]bool)
+			}
+			f.missing[shard] = true
+			return nil, nil
+		}
+		return nil, err
+	}
+	if f.closed {
+		h.Close()
+		return nil, backend.ErrClosed
+	}
+	if existing, ok := f.files[shard]; ok {
+		h.Close()
+		return existing, nil
+	}
+	delete(f.missing, shard)
+	f.files[shard] = h
+	return h, nil
+}
+
+// openHandles snapshots the currently open per-shard handles.
+func (f *file) openHandles() (map[int]backend.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, backend.ErrClosed
+	}
+	out := make(map[int]backend.File, len(f.files))
+	for s, h := range f.files {
+		out[s] = h
+	}
+	return out, nil
+}
+
+// home returns the eagerly opened home-shard handle.
+func (f *file) home() (backend.File, error) {
+	return f.handle(f.homeIdx, f.flag != backend.OpenRead)
+}
+
+// striped reports whether ranges of this file can live on different
+// shards.
+func (f *file) striped() bool { return f.store.stripe > 0 }
+
+// Size implements backend.File: the maximum local size across shards
+// (see Store.Stat for why the maximum is exact).
+func (f *file) Size() (int64, error) {
+	h, err := f.home()
+	if err != nil {
+		return 0, err
+	}
+	size, err := h.Size()
+	if err != nil {
+		return 0, err
+	}
+	if !f.striped() {
+		return size, nil
+	}
+	homeStore := f.store.stores[f.homeIdx]
+	open, err := f.openHandles()
+	if err != nil {
+		return 0, err
+	}
+	for _, u := range f.store.uniq {
+		if u.store == homeStore {
+			continue
+		}
+		var sz int64
+		if oh, ok := open[u.shard]; ok {
+			sz, err = oh.Size()
+		} else {
+			sz, err = u.store.Stat(f.name)
+			if errors.Is(err, backend.ErrNotExist) {
+				continue
+			}
+		}
+		if err != nil {
+			return 0, err
+		}
+		if sz > size {
+			size = sz
+		}
+	}
+	return size, nil
+}
+
+// stripeRange describes the part of a request hitting one stripe.
+type stripeRange struct {
+	shard int
+	off   int64 // global offset (stripes keep global offsets)
+	bufLo int
+	bufHi int
+}
+
+// splitStripes cuts the request [off, off+n) at stripe boundaries and
+// resolves each piece's owning shard.
+func (f *file) splitStripes(off int64, n int) []stripeRange {
+	stripe := f.store.stripe
+	out := make([]stripeRange, 0, int(int64(n)/stripe)+2)
+	pos := off
+	end := off + int64(n)
+	for pos < end {
+		next := (pos/stripe + 1) * stripe
+		if next > end {
+			next = end
+		}
+		out = append(out, stripeRange{
+			shard: f.store.ShardOf(f.name, pos),
+			off:   pos,
+			bufLo: int(pos - off),
+			bufHi: int(next - off),
+		})
+		pos = next
+	}
+	return out
+}
+
+// ReadAt implements io.ReaderAt. Ranges on shards whose stripe file is
+// shorter than the file's global size (sparse stripes) read as zeros,
+// preserving the hole semantics of an unsharded backing file.
+func (f *file) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("shard: negative offset %d", off)
+	}
+	if !f.striped() {
+		h, err := f.home()
+		if err != nil {
+			return 0, err
+		}
+		n, err := h.ReadAt(p, off)
+		f.store.countRead(f.homeIdx, n)
+		return n, err
+	}
+	if err := f.checkOpen(); err != nil {
+		return 0, err
+	}
+	// Optimistic path: read each stripe range and resolve the global
+	// size ONLY when a range comes back short — locally a short read
+	// cannot distinguish a hole inside the file from true EOF, but a
+	// fully satisfied request needs neither, which keeps the common
+	// case (reading materialized blocks) free of the per-shard Stat
+	// round that computing the size costs.
+	size := int64(-1)
+	resolve := func() (int64, error) {
+		if size < 0 {
+			s, err := f.Size()
+			if err != nil {
+				return 0, err
+			}
+			size = s
+		}
+		return size, nil
+	}
+	for _, r := range f.splitStripes(off, len(p)) {
+		h, err := f.handle(r.shard, false)
+		if err != nil {
+			return r.bufLo, err
+		}
+		chunk := p[r.bufLo:r.bufHi]
+		m := 0
+		if h != nil {
+			var rerr error
+			m, rerr = h.ReadAt(chunk, r.off)
+			f.store.countRead(r.shard, m)
+			if rerr != nil && !errors.Is(rerr, io.EOF) {
+				return r.bufLo + m, rerr
+			}
+		}
+		if m == len(chunk) {
+			continue
+		}
+		// Short (or missing) stripe: hole up to the global size, EOF
+		// beyond it.
+		sz, err := resolve()
+		if err != nil {
+			return r.bufLo + m, err
+		}
+		valid := sz - r.off
+		if valid < int64(m) {
+			// The size was resolved by an earlier range and a racing
+			// append has moved EOF since; the local read itself proves
+			// bytes exist through r.off+m.
+			valid = int64(m)
+		}
+		if valid <= 0 {
+			// Everything before this range was fully read (so the file
+			// ends exactly at r.off), or the request starts at or past
+			// EOF.
+			return r.bufLo, io.EOF
+		}
+		if valid < int64(len(chunk)) {
+			clear(chunk[m:valid])
+			return r.bufLo + int(valid), io.EOF
+		}
+		clear(chunk[m:])
+	}
+	return len(p), nil
+}
+
+// WriteAt implements io.WriterAt, routing each stripe of the payload
+// to its owning shard (stripe files are created on first write).
+func (f *file) WriteAt(p []byte, off int64) (int, error) {
+	if f.flag == backend.OpenRead {
+		return 0, backend.ErrReadOnly
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("shard: negative offset %d", off)
+	}
+	if len(p) == 0 {
+		if err := f.checkOpen(); err != nil {
+			return 0, err
+		}
+		return 0, nil
+	}
+	if !f.striped() {
+		h, err := f.home()
+		if err != nil {
+			return 0, err
+		}
+		n, err := h.WriteAt(p, off)
+		f.store.countWrite(f.homeIdx, n)
+		return n, err
+	}
+	for _, r := range f.splitStripes(off, len(p)) {
+		h, err := f.handle(r.shard, true)
+		if err != nil {
+			return r.bufLo, err
+		}
+		m, err := h.WriteAt(p[r.bufLo:r.bufHi], r.off)
+		f.store.countWrite(r.shard, m)
+		if err != nil {
+			return r.bufLo + m, err
+		}
+	}
+	return len(p), nil
+}
+
+// Truncate implements backend.File. Every shard's stripe file is
+// capped at size, and the shard owning the final byte is extended (or
+// pinned) to exactly size so the global maximum equals size.
+func (f *file) Truncate(size int64) error {
+	if f.flag == backend.OpenRead {
+		return backend.ErrReadOnly
+	}
+	if size < 0 {
+		return fmt.Errorf("shard: negative size %d", size)
+	}
+	if !f.striped() {
+		h, err := f.home()
+		if err != nil {
+			return err
+		}
+		return h.Truncate(size)
+	}
+	// Cap every store holding more than size. Stores never probed are
+	// checked by name so stripes written by an earlier handle are cut
+	// too.
+	for _, u := range f.store.uniq {
+		local, err := u.store.Stat(f.name)
+		if errors.Is(err, backend.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if local <= size {
+			continue
+		}
+		h, err := f.handle(u.shard, true)
+		if err != nil {
+			return err
+		}
+		if err := h.Truncate(size); err != nil {
+			return err
+		}
+	}
+	if size == 0 {
+		return nil
+	}
+	// Anchor the global size on the owner of the final byte.
+	owner := f.store.ShardOf(f.name, size-1)
+	h, err := f.handle(owner, true)
+	if err != nil {
+		return err
+	}
+	return h.Truncate(size)
+}
+
+// Sync implements backend.File: every shard handle this file touched
+// is flushed.
+func (f *file) Sync() error {
+	open, err := f.openHandles()
+	if err != nil {
+		return err
+	}
+	for s, h := range open {
+		if err := h.Sync(); err != nil {
+			return err
+		}
+		f.store.countSync(s)
+	}
+	return nil
+}
+
+func (f *file) checkOpen() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return backend.ErrClosed
+	}
+	return nil
+}
+
+// Close implements backend.File.
+func (f *file) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return backend.ErrClosed
+	}
+	f.closed = true
+	files := f.files
+	f.files = nil
+	f.mu.Unlock()
+	var firstErr error
+	for _, h := range files {
+		if err := h.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

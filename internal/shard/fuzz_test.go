@@ -1,0 +1,87 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzRingConsistency drives the placement map through arbitrary ring
+// shapes and asserts the properties the sharding layer is built on:
+//
+//  1. Determinism: the same (shards, vnodes) always yields the same
+//     placement for every key.
+//  2. Growth locality: adding a shard moves keys only ONTO the new
+//     shard — never between two surviving shards.
+//  3. Shrink locality: removing the last shard moves only the keys
+//     that lived on it.
+//  4. The consistent-hashing bound: with enough virtual nodes the
+//     number of keys a single ring change moves stays within a small
+//     factor of the fair share K/N.
+func FuzzRingConsistency(f *testing.F) {
+	f.Add(uint8(3), uint8(64), uint16(512), int64(1))
+	f.Add(uint8(1), uint8(1), uint16(64), int64(7))
+	f.Add(uint8(8), uint8(16), uint16(1024), int64(42))
+	f.Add(uint8(12), uint8(128), uint16(2048), int64(-9))
+	f.Fuzz(func(t *testing.T, nShards, nVnodes uint8, nKeys uint16, seed int64) {
+		shards := int(nShards%12) + 1
+		vnodes := int(nVnodes%128) + 1
+		keys := int(nKeys%2048) + 64
+
+		ring, err := NewRing(shards, vnodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := NewRing(shards, vnodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grown, err := NewRing(shards+1, vnodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		perShard := make([]int, shards+1)
+		movedUp := 0
+		for i := 0; i < keys; i++ {
+			k := fmt.Sprintf("key-%d-%d", seed, i)
+			own := ring.Lookup(k)
+			if own < 0 || own >= shards {
+				t.Fatalf("Lookup(%q) = %d out of range [0,%d)", k, own, shards)
+			}
+			if o2 := again.Lookup(k); o2 != own {
+				t.Fatalf("determinism violated: %q -> %d then %d", k, own, o2)
+			}
+			perShard[own]++
+
+			g := grown.Lookup(k)
+			if g != own {
+				movedUp++
+				if g != shards {
+					t.Fatalf("growth moved %q between surviving shards: %d -> %d (new shard is %d)",
+						k, own, g, shards)
+				}
+			}
+		}
+
+		// Shrink locality, seen from the grown ring's perspective:
+		// removing shard `shards` must give back exactly the original
+		// placement, so the only keys that move are the new shard's.
+		for i := 0; i < keys; i++ {
+			k := fmt.Sprintf("key-%d-%d", seed, i)
+			if grown.Lookup(k) != shards && grown.Lookup(k) != ring.Lookup(k) {
+				t.Fatalf("shrink would move %q between surviving shards", k)
+			}
+		}
+
+		// Quantitative bound, only where the law of large numbers has
+		// a chance: enough vnodes to smooth the ring and enough keys
+		// to sample it.
+		if vnodes >= 16 && keys >= 512 {
+			fair := keys / (shards + 1)
+			if movedUp > fair*3 {
+				t.Fatalf("ring change moved %d of %d keys; consistent-hashing bound is ~%d (3x allowed)",
+					movedUp, keys, fair)
+			}
+		}
+	})
+}

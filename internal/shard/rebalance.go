@@ -1,0 +1,354 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"lamassu/internal/backend"
+)
+
+// RebalanceStats summarizes an offline Rebalance pass.
+type RebalanceStats struct {
+	// Files is the number of files examined.
+	Files int
+	// MovedFiles counts files that had at least one byte migrated.
+	MovedFiles int
+	// MovedStripes counts stripe (or whole-file) moves performed.
+	MovedStripes int64
+	// MovedBytes totals the payload bytes copied between stores.
+	MovedBytes int64
+	// RemovedCopies counts stale per-shard file copies deleted.
+	RemovedCopies int
+}
+
+// Rebalance migrates a sharded deployment from one placement to
+// another — the offline step behind adding or removing shards. Both
+// views must be over the same stripe unit; the underlying stores may
+// overlap arbitrarily (adding a shard passes the old stores plus one).
+//
+// Consistent hashing keeps the work proportional to the placement
+// delta: only keys whose owning store actually changed are touched —
+// growing N stores to N+1 moves about 1/(N+1) of the keys, all of
+// them onto the new store. Identical rings move nothing.
+//
+// Rebalance is OFFLINE: no Mount or handle may be using either view
+// while it runs. It is idempotent — rerunning after a crash midway
+// completes the migration (a stripe already copied is simply copied
+// again; removals only happen after the copy landed).
+func Rebalance(from, to *Store) (RebalanceStats, error) {
+	var st RebalanceStats
+	if from.stripe != to.stripe {
+		return st, fmt.Errorf("shard: rebalance stripe mismatch: %d vs %d", from.stripe, to.stripe)
+	}
+	// Iterate the union of every store's raw namespace, not the
+	// home-filtered List: a rerun after a crash mid-pass must still
+	// reach files whose old-home copy was already moved, and stale
+	// copies stranded on non-owner stores must still be reaped.
+	seen := make(map[string]bool)
+	var names []string
+	for _, s := range uniqueStores(from.stores, to.stores) {
+		ns, err := s.List()
+		if err != nil {
+			return st, err
+		}
+		for _, n := range ns {
+			if !seen[n] {
+				seen[n] = true
+				names = append(names, n)
+			}
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := rebalanceFile(from, to, name, &st); err != nil {
+			return st, fmt.Errorf("shard: rebalancing %q: %w", name, err)
+		}
+	}
+	return st, nil
+}
+
+func rebalanceFile(from, to *Store, name string, st *RebalanceStats) error {
+	st.Files++
+	all := uniqueStores(from.stores, to.stores)
+
+	// Existence and physical size are judged across BOTH views: after
+	// an interrupted pass, the file's home copy may already sit on the
+	// new home only, and its tail may live only on the new anchor
+	// store — one the old view cannot see. Judging from the old view
+	// alone would under-size the file and reap its tail as garbage.
+	fromHome, err := storeHas(from.stores[from.homeShard(name)], name)
+	if err != nil {
+		return err
+	}
+	toHome, err := storeHas(to.stores[to.homeShard(name)], name)
+	if err != nil {
+		return err
+	}
+	if !fromHome && !toHome {
+		// Unreachable under either view: stale copies from an older
+		// placement epoch. Reap them.
+		for _, s := range all {
+			switch rerr := s.Remove(name); {
+			case rerr == nil:
+				st.RemovedCopies++
+			case errors.Is(rerr, backend.ErrNotExist):
+			default:
+				return rerr
+			}
+		}
+		return nil
+	}
+	var phys int64
+	for _, s := range all {
+		sz, err := s.Stat(name)
+		if errors.Is(err, backend.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if sz > phys {
+			phys = sz
+		}
+	}
+
+	// The new home shard defines existence under the new placement;
+	// create its copy first (OpenCreate does not truncate, so data the
+	// home store already holds survives).
+	if err := ensureExists(to.stores[to.homeShard(name)], name); err != nil {
+		return err
+	}
+
+	moved := false
+	owners := map[backend.Store]bool{to.stores[to.homeShard(name)]: true}
+	if to.stripe <= 0 {
+		// Whole-file placement: one key per file.
+		src := from.stores[from.homeShard(name)]
+		dst := to.stores[to.homeShard(name)]
+		if _, serr := src.Stat(name); errors.Is(serr, backend.ErrNotExist) {
+			// Already moved by an interrupted earlier pass.
+			src = dst
+		}
+		if src != dst {
+			n, err := copyNamed(src, name, dst, name)
+			if err != nil {
+				return err
+			}
+			st.MovedStripes++
+			st.MovedBytes += n
+			moved = true
+		}
+	} else {
+		nStripes := (phys + to.stripe - 1) / to.stripe
+		for s := int64(0); s < nStripes; s++ {
+			lo := s * to.stripe
+			hi := lo + to.stripe
+			if hi > phys {
+				hi = phys
+			}
+			src := from.stores[from.ring.Lookup(stripeKey(name, s))]
+			dst := to.stores[to.ring.Lookup(stripeKey(name, s))]
+			owners[dst] = true
+			if src == dst {
+				continue
+			}
+			n, err := copyRange(src, dst, name, lo, hi)
+			if err != nil {
+				return err
+			}
+			st.MovedStripes++
+			st.MovedBytes += n
+			moved = true
+		}
+		// Anchor the global size: the store owning the final byte under
+		// the new placement must reach exactly phys, even when the final
+		// stripe is a hole with no bytes to copy.
+		if phys > 0 {
+			anchor := to.stores[to.ShardOf(name, phys-1)]
+			if err := extendTo(anchor, name, phys); err != nil {
+				return err
+			}
+		}
+	}
+	if moved {
+		st.MovedFiles++
+	}
+
+	// Drop copies on stores that own nothing under the new placement.
+	for _, s := range uniqueStores(from.stores, to.stores) {
+		if owners[s] {
+			continue
+		}
+		err := s.Remove(name)
+		switch {
+		case err == nil:
+			st.RemovedCopies++
+		case errors.Is(err, backend.ErrNotExist):
+		default:
+			return err
+		}
+	}
+	return nil
+}
+
+// copyRange copies name's bytes [lo, hi) from src to dst at the same
+// offsets, wiping the destination range first so stale bytes from an
+// earlier placement epoch cannot shine through where the source file
+// is shorter than the range (a hole).
+//
+// A source store without the file at all is left alone ENTIRELY — no
+// wipe: that state means either the stripe was never written (then
+// nonzero stale bytes on dst are impossible, because writing the
+// stripe would have materialized the source copy) or an interrupted
+// earlier pass already moved the data to dst and removed the source
+// copy, in which case wiping would destroy the only copy. Returns the
+// number of payload bytes copied.
+func copyRange(src, dst backend.Store, name string, lo, hi int64) (int64, error) {
+	in, err := src.Open(name, backend.OpenRead)
+	if errors.Is(err, backend.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer in.Close()
+
+	out, err := dst.Open(name, backend.OpenCreate)
+	if err != nil {
+		return 0, err
+	}
+	defer out.Close()
+
+	// Wipe [lo, min(hi, dstSize)) so holes stay holes.
+	dstSize, err := out.Size()
+	if err != nil {
+		return 0, err
+	}
+	if wipeHi := min(hi, dstSize); wipeHi > lo {
+		zeros := make([]byte, wipeHi-lo)
+		if _, err := out.WriteAt(zeros, lo); err != nil {
+			return 0, err
+		}
+	}
+	srcSize, err := in.Size()
+	if err != nil {
+		return 0, err
+	}
+	end := min(hi, srcSize)
+	if end <= lo {
+		return 0, nil
+	}
+	buf := make([]byte, end-lo)
+	if err := backend.ReadFull(in, buf, lo); err != nil {
+		return 0, err
+	}
+	if _, err := out.WriteAt(buf, lo); err != nil {
+		return 0, err
+	}
+	if err := out.Sync(); err != nil {
+		return 0, err
+	}
+	return int64(len(buf)), nil
+}
+
+// copyNamed replaces dst's dstName with src's srcName, streaming in
+// bounded chunks so multi-gigabyte backing files never load into
+// memory whole. Truncating the destination to the source size first
+// discards any stale longer content.
+func copyNamed(src backend.Store, srcName string, dst backend.Store, dstName string) (int64, error) {
+	in, err := src.Open(srcName, backend.OpenRead)
+	if err != nil {
+		return 0, err
+	}
+	defer in.Close()
+	size, err := in.Size()
+	if err != nil {
+		return 0, err
+	}
+	out, err := dst.Open(dstName, backend.OpenCreate)
+	if err != nil {
+		return 0, err
+	}
+	defer out.Close()
+	if err := out.Truncate(size); err != nil {
+		return 0, err
+	}
+	buf := make([]byte, 1<<20)
+	var off int64
+	for off < size {
+		n := int64(len(buf))
+		if off+n > size {
+			n = size - off
+		}
+		if err := backend.ReadFull(in, buf[:n], off); err != nil {
+			return off, err
+		}
+		if _, err := out.WriteAt(buf[:n], off); err != nil {
+			return off, err
+		}
+		off += n
+	}
+	return size, out.Sync()
+}
+
+// storeHas reports whether s holds a copy of name.
+func storeHas(s backend.Store, name string) (bool, error) {
+	if _, err := s.Stat(name); err != nil {
+		if errors.Is(err, backend.ErrNotExist) {
+			return false, nil
+		}
+		return false, err
+	}
+	return true, nil
+}
+
+// ensureExists creates name on s if absent, without touching content.
+func ensureExists(s backend.Store, name string) error {
+	if _, err := s.Stat(name); err == nil {
+		return nil
+	} else if !errors.Is(err, backend.ErrNotExist) {
+		return err
+	}
+	f, err := s.Open(name, backend.OpenCreate)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// extendTo grows name on s to at least size bytes (zero-filled).
+func extendTo(s backend.Store, name string, size int64) error {
+	f, err := s.Open(name, backend.OpenCreate)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cur, err := f.Size()
+	if err != nil {
+		return err
+	}
+	if cur >= size {
+		return nil
+	}
+	return f.Truncate(size)
+}
+
+// uniqueStores returns the distinct stores across both views.
+func uniqueStores(a, b []backend.Store) []backend.Store {
+	seen := make(map[backend.Store]bool)
+	var out []backend.Store
+	for _, s := range a {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	for _, s := range b {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

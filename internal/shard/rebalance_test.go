@@ -1,0 +1,217 @@
+package shard_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"lamassu/internal/backend"
+	"lamassu/internal/core"
+	"lamassu/internal/shard"
+	"lamassu/internal/vfs"
+)
+
+// populate writes a mix of whole-file and striped files through a
+// LamassuFS over the sharded store and returns the plaintext contents.
+func populate(t *testing.T, s *shard.Store, seed int64) map[string][]byte {
+	t.Helper()
+	fs, err := core.New(s, core.Config{Inner: testKey(1), Outer: testKey(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	contents := map[string][]byte{}
+	for i := 0; i < 12; i++ {
+		name := fmt.Sprintf("file-%02d", i)
+		// Sizes straddle the stripe unit so some files stay whole and
+		// some spread across shards; one file is empty.
+		size := i * 2500
+		data := make([]byte, size)
+		rng.Read(data)
+		if err := vfs.WriteAll(fs, name, data); err != nil {
+			t.Fatal(err)
+		}
+		contents[name] = data
+	}
+	return contents
+}
+
+// verify opens a LamassuFS over the sharded store and checks that
+// every file decrypts, hash-verifies and matches its content.
+func verify(t *testing.T, s *shard.Store, contents map[string][]byte) {
+	t.Helper()
+	fs, err := core.New(s, core.Config{Inner: testKey(1), Outer: testKey(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := fs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != len(contents) {
+		t.Fatalf("List = %d files, want %d (%v)", len(names), len(contents), names)
+	}
+	for name, want := range contents {
+		got, err := vfs.ReadAll(fs, name)
+		if err != nil {
+			t.Fatalf("%s: read after rebalance: %v", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: content diverged after rebalance", name)
+		}
+		rep, err := fs.Check(name)
+		if err != nil || !rep.Clean() {
+			t.Fatalf("%s: audit after rebalance: %+v, %v", name, rep, err)
+		}
+	}
+}
+
+func TestRebalanceGrow(t *testing.T) {
+	for _, stripe := range []int64{0, 4096} {
+		t.Run(fmt.Sprintf("stripe=%d", stripe), func(t *testing.T) {
+			stores, _ := memStores(3)
+			old, err := shard.New(stores, shard.Config{StripeBytes: stripe})
+			if err != nil {
+				t.Fatal(err)
+			}
+			contents := populate(t, old, 21)
+
+			// Count placement keys before migrating, for the
+			// proportionality bound below.
+			var totalKeys int64
+			names, err := old.List()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, n := range names {
+				if stripe == 0 {
+					totalKeys++
+					continue
+				}
+				phys, err := old.Stat(n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				totalKeys += (phys + stripe - 1) / stripe
+			}
+
+			grownStores := append(append([]backend.Store(nil), stores...), backend.NewMemStore())
+			grown, err := shard.New(grownStores, shard.Config{StripeBytes: stripe})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := shard.Rebalance(old, grown)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Files != len(contents) {
+				t.Fatalf("examined %d files, want %d", st.Files, len(contents))
+			}
+			if st.MovedFiles == 0 {
+				t.Fatal("growth moved nothing; new shard would stay empty")
+			}
+			// Consistent hashing: most data must NOT move. With 3 -> 4
+			// shards the fair share is 1/4 of the placement keys
+			// (files, or stripes of striped files); allow 2x.
+			if st.MovedStripes > totalKeys/2 {
+				t.Fatalf("moved %d of %d placement keys; growth should move ~1/4",
+					st.MovedStripes, totalKeys)
+			}
+			verify(t, grown, contents)
+		})
+	}
+}
+
+func TestRebalanceShrink(t *testing.T) {
+	stores, _ := memStores(4)
+	old, err := shard.New(stores, shard.Config{StripeBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	contents := populate(t, old, 22)
+
+	shrunk, err := shard.New(stores[:3], shard.Config{StripeBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shard.Rebalance(old, shrunk); err != nil {
+		t.Fatal(err)
+	}
+	verify(t, shrunk, contents)
+	// The removed shard must hold nothing afterwards.
+	leftover, err := stores[3].List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leftover) != 0 {
+		t.Fatalf("removed shard still holds %v", leftover)
+	}
+}
+
+// Identical placements migrate nothing — the "only keys whose
+// placement changed" contract.
+func TestRebalanceIdenticalIsNoOp(t *testing.T) {
+	stores, _ := memStores(3)
+	old, err := shard.New(stores, shard.Config{StripeBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	contents := populate(t, old, 23)
+	same, err := shard.New(stores, shard.Config{StripeBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := shard.Rebalance(old, same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MovedStripes != 0 || st.MovedBytes != 0 || st.RemovedCopies != 0 {
+		t.Fatalf("identical rings migrated data: %+v", st)
+	}
+	verify(t, same, contents)
+}
+
+func TestRebalanceStripeMismatch(t *testing.T) {
+	a, _ := newShardStore(t, 2, 1024)
+	b, _ := newShardStore(t, 2, 2048)
+	if _, err := shard.Rebalance(a, b); err == nil {
+		t.Fatal("rebalance across stripe units succeeded")
+	}
+}
+
+// Rebalance is resumable: interrupting it midway (here: stopping a
+// copy by rerunning from the half-migrated state) and running it again
+// converges to the same verified layout.
+func TestRebalanceRerunConverges(t *testing.T) {
+	stores, _ := memStores(2)
+	old, err := shard.New(stores, shard.Config{StripeBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	contents := populate(t, old, 24)
+	grownStores := append(append([]backend.Store(nil), stores...), backend.NewMemStore())
+	grown, err := shard.New(grownStores, shard.Config{StripeBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shard.Rebalance(old, grown); err != nil {
+		t.Fatal(err)
+	}
+	// Resuming the SAME migration — the crash-recovery story — must
+	// not disturb the moved data: source copies that pass 1 already
+	// removed must not be mistaken for holes and wipe the moved bytes.
+	if _, err := shard.Rebalance(old, grown); err != nil {
+		t.Fatal(err)
+	}
+	verify(t, grown, contents)
+	// And a pass over the settled state moves nothing at all.
+	st3, err := shard.Rebalance(grown, grown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.MovedStripes != 0 {
+		t.Fatalf("settled pass moved %d stripes", st3.MovedStripes)
+	}
+	verify(t, grown, contents)
+}

@@ -1,0 +1,136 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Placement is part of the on-disk format of a sharded deployment: a
+// ring built from the same (shards, vnodes) must place every key
+// identically in every process, forever. The golden values pin the
+// hash construction — if this test fails, the change breaks every
+// existing sharded deployment and needs a Rebalance story, not a
+// golden update.
+func TestRingGoldenPlacement(t *testing.T) {
+	r, err := NewRing(5, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := map[string]int{
+		"a":                        1,
+		"alpha":                    2,
+		"file-001":                 3,
+		"file-002":                 3,
+		"vm/disk0.img":             1,
+		"some/deep/path/block.dat": 2,
+		"zeta":                     4,
+		"f\x001":                   0, // stripe keys (name NUL index)
+		"f\x0042":                  2,
+	}
+	for k, want := range golden {
+		if got := r.Lookup(k); got != want {
+			t.Errorf("Lookup(%q) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+// Two rings with the same parameters agree on every key (the in-
+// process half of determinism; the golden test covers cross-process).
+func TestRingDeterminism(t *testing.T) {
+	a, err := NewRing(7, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(7, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4096; i++ {
+		k := fmt.Sprintf("object-%d", i)
+		if a.Lookup(k) != b.Lookup(k) {
+			t.Fatalf("rings with identical parameters disagree on %q", k)
+		}
+	}
+}
+
+// At the default vnode count the load imbalance across shards stays
+// within a factor of ~2 of fair share (measured ±25%; the factor-2
+// bound leaves headroom for key-set variation).
+func TestRingDistribution(t *testing.T) {
+	for _, shards := range []int{2, 4, 8} {
+		r, err := NewRing(shards, 0) // 0 selects DefaultVnodes
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Vnodes() != DefaultVnodes {
+			t.Fatalf("Vnodes = %d, want default %d", r.Vnodes(), DefaultVnodes)
+		}
+		const keys = 10000
+		counts := make([]int, shards)
+		for i := 0; i < keys; i++ {
+			counts[r.Lookup(fmt.Sprintf("key-%d", i))]++
+		}
+		fair := keys / shards
+		for s, c := range counts {
+			if c < fair/2 || c > fair*2 {
+				t.Errorf("shards=%d: shard %d holds %d keys (fair %d); distribution too skewed: %v",
+					shards, s, c, fair, counts)
+			}
+		}
+	}
+}
+
+// The consistent-hashing contract: growing N shards to N+1 moves keys
+// only onto the new shard, and only about 1/(N+1) of them.
+func TestRingGrowthMovesOnlyToNewShard(t *testing.T) {
+	const keys = 8192
+	for n := 1; n <= 8; n++ {
+		old, err := NewRing(n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grown, err := NewRing(n+1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for i := 0; i < keys; i++ {
+			k := fmt.Sprintf("key-%d", i)
+			o, g := old.Lookup(k), grown.Lookup(k)
+			if o != g {
+				moved++
+				if g != n {
+					t.Fatalf("n=%d: key %q moved %d -> %d, not to the new shard %d", n, k, o, g, n)
+				}
+			}
+		}
+		fair := keys / (n + 1)
+		if moved > fair*5/2 {
+			t.Errorf("n=%d: %d keys moved, more than 2.5x the fair share %d", n, moved, fair)
+		}
+		if moved == 0 {
+			t.Errorf("n=%d: no keys moved to the new shard at all", n)
+		}
+	}
+}
+
+func TestRingSingleShard(t *testing.T) {
+	r, err := NewRing(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"", "a", "anything at all"} {
+		if r.Lookup(k) != 0 {
+			t.Fatalf("single-shard ring sent %q to shard %d", k, r.Lookup(k))
+		}
+	}
+}
+
+func TestRingErrors(t *testing.T) {
+	if _, err := NewRing(0, 8); err == nil {
+		t.Fatal("NewRing(0, 8) succeeded")
+	}
+	if _, err := NewRing(-1, 8); err == nil {
+		t.Fatal("NewRing(-1, 8) succeeded")
+	}
+}

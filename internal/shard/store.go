@@ -1,0 +1,299 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync/atomic"
+
+	"lamassu/internal/backend"
+)
+
+// Config tunes a sharded Store.
+type Config struct {
+	// Vnodes is the virtual-node count per shard on the placement
+	// ring. 0 selects DefaultVnodes. Changing it changes placement, so
+	// it must match between the process that wrote a store and every
+	// process that opens it (see Rebalance to migrate).
+	Vnodes int
+	// StripeBytes, when > 0, additionally stripes each backing file:
+	// its bytes [s·StripeBytes, (s+1)·StripeBytes) live on the shard
+	// owning the derived key "name\x00s". 0 places every file whole on
+	// the shard owning its name. Stripe boundaries should align with
+	// the layout's segment size so one multiphase commit lands on one
+	// shard.
+	StripeBytes int64
+}
+
+// IOStats is a snapshot of one shard's I/O counters.
+type IOStats struct {
+	// Shard is the shard index in the stores slice.
+	Shard int
+	// Reads / Writes / Syncs count backend calls routed to the shard.
+	Reads, Writes, Syncs int64
+	// BytesRead / BytesWritten total the payloads moved.
+	BytesRead, BytesWritten int64
+}
+
+// shardCounters is the mutable form of IOStats.
+type shardCounters struct {
+	reads, writes, syncs    atomic.Int64
+	bytesRead, bytesWritten atomic.Int64
+}
+
+// Store stripes a flat file namespace across several backend.Store
+// instances via a consistent-hash Ring. It implements backend.Store;
+// see the package comment for placement semantics.
+//
+// The same underlying store may appear in several slots: internal/core
+// and the public Options use that to carve N *logical* shards (routing
+// plus per-shard worker budgets) out of one physical store, which is
+// byte-for-byte identical to the unsharded layout because every stripe
+// keeps its global offset and file name.
+type Store struct {
+	stores []backend.Store
+	ring   *Ring
+	stripe int64
+	stats  []shardCounters
+	// uniq lists the distinct underlying stores (first-occurrence
+	// order) with a representative slot index each. Namespace
+	// operations iterate it instead of stores, so carving N logical
+	// shards out of one physical store costs one backend call, not N.
+	uniq []uniqueStore
+}
+
+// uniqueStore pairs a distinct underlying store with the lowest slot
+// index it backs.
+type uniqueStore struct {
+	store backend.Store
+	shard int
+}
+
+// New returns a sharded Store over the given backends. The order of
+// stores is part of the placement contract: reopening a sharded
+// deployment with the stores permuted scatters every lookup.
+func New(stores []backend.Store, cfg Config) (*Store, error) {
+	if len(stores) == 0 {
+		return nil, errors.New("shard: at least one backend store is required")
+	}
+	for i, s := range stores {
+		if s == nil {
+			return nil, fmt.Errorf("shard: store %d is nil", i)
+		}
+	}
+	if cfg.StripeBytes < 0 {
+		return nil, errors.New("shard: stripe size must be >= 0")
+	}
+	ring, err := NewRing(len(stores), cfg.Vnodes)
+	if err != nil {
+		return nil, err
+	}
+	var uniq []uniqueStore
+	seen := make(map[backend.Store]bool, len(stores))
+	for i, st := range stores {
+		if !seen[st] {
+			seen[st] = true
+			uniq = append(uniq, uniqueStore{store: st, shard: i})
+		}
+	}
+	return &Store{
+		stores: append([]backend.Store(nil), stores...),
+		ring:   ring,
+		stripe: cfg.StripeBytes,
+		stats:  make([]shardCounters, len(stores)),
+		uniq:   uniq,
+	}, nil
+}
+
+// NumShards returns the number of shards. Together with ShardOf it is
+// the seam internal/core uses to carve per-shard worker budgets.
+func (s *Store) NumShards() int { return len(s.stores) }
+
+// Ring returns the placement map.
+func (s *Store) Ring() *Ring { return s.ring }
+
+// StripeBytes returns the stripe unit (0 = whole-file placement).
+func (s *Store) StripeBytes() int64 { return s.stripe }
+
+// Shards returns the underlying backend stores, in placement order.
+func (s *Store) Shards() []backend.Store {
+	return append([]backend.Store(nil), s.stores...)
+}
+
+// ShardOf returns the shard owning byte off of the named file. It is
+// pure ring arithmetic — no I/O, O(log vnodes) — so callers may use it
+// on their hot paths to route work before touching data.
+func (s *Store) ShardOf(name string, off int64) int {
+	if s.stripe <= 0 {
+		return s.ring.Lookup(name)
+	}
+	return s.ring.Lookup(stripeKey(name, off/s.stripe))
+}
+
+// homeShard returns the shard that defines a file's existence: the
+// owner of its first byte (equivalently, of stripe 0).
+func (s *Store) homeShard(name string) int { return s.ShardOf(name, 0) }
+
+// stripeKey derives the placement key of stripe idx of name. The NUL
+// separator cannot occur in OS file names, so derived keys never
+// collide with whole-file keys of other files.
+func stripeKey(name string, idx int64) string {
+	return name + "\x00" + strconv.FormatInt(idx, 10)
+}
+
+// Stats returns a snapshot of every shard's I/O counters.
+func (s *Store) Stats() []IOStats {
+	out := make([]IOStats, len(s.stats))
+	for i := range s.stats {
+		c := &s.stats[i]
+		out[i] = IOStats{
+			Shard:        i,
+			Reads:        c.reads.Load(),
+			Writes:       c.writes.Load(),
+			Syncs:        c.syncs.Load(),
+			BytesRead:    c.bytesRead.Load(),
+			BytesWritten: c.bytesWritten.Load(),
+		}
+	}
+	return out
+}
+
+// Open implements backend.Store. Existence is decided by the home
+// shard; stripe files on other shards are created lazily by writes.
+func (s *Store) Open(name string, flag backend.OpenFlag) (backend.File, error) {
+	home := s.homeShard(name)
+	hf, err := s.stores[home].Open(name, flag)
+	if err != nil {
+		return nil, err
+	}
+	f := &file{
+		store:   s,
+		name:    name,
+		flag:    flag,
+		homeIdx: home,
+		files:   make(map[int]backend.File, 1),
+	}
+	f.files[home] = hf
+	return f, nil
+}
+
+// Remove implements backend.Store: the file is removed from every
+// shard holding a stripe of it. The home shard decides existence.
+func (s *Store) Remove(name string) error {
+	homeStore := s.stores[s.homeShard(name)]
+	if err := homeStore.Remove(name); err != nil {
+		return err
+	}
+	for _, u := range s.uniq {
+		if u.store == homeStore {
+			continue
+		}
+		if err := u.store.Remove(name); err != nil && !errors.Is(err, backend.ErrNotExist) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rename implements backend.Store. Renaming changes every placement
+// key, so in general the data must move; when the whole file stays on
+// one shard the rename is delegated (and stays atomic), otherwise the
+// content is copied to its new placement and the old name removed —
+// NOT atomic across shards, which callers of a sharded store must
+// tolerate (none of the engine's consistency paths rename).
+func (s *Store) Rename(oldName, newName string) error {
+	oldHome := s.homeShard(oldName)
+	newHome := s.homeShard(newName)
+	if s.stripe <= 0 && s.stores[oldHome] == s.stores[newHome] {
+		if err := s.stores[oldHome].Rename(oldName, newName); err != nil {
+			return err
+		}
+		// The name may still linger on other shards (e.g. after a ring
+		// change); drop stale copies so List stays clean.
+		for _, u := range s.uniq {
+			if u.store == s.stores[oldHome] {
+				continue
+			}
+			_ = u.store.Remove(oldName)
+		}
+		return nil
+	}
+	if _, err := copyNamed(s, oldName, s, newName); err != nil {
+		if errors.Is(err, backend.ErrNotExist) {
+			return fmt.Errorf("rename %q: %w", oldName, backend.ErrNotExist)
+		}
+		return err
+	}
+	return s.Remove(oldName)
+}
+
+// List implements backend.Store: the union of the shards' namespaces,
+// filtered to names whose home shard holds them (a stripe file whose
+// home copy is gone is garbage, not a file).
+func (s *Store) List() ([]string, error) {
+	seen := make(map[string]bool)
+	perStore := make(map[backend.Store]map[string]bool, len(s.uniq))
+	for _, u := range s.uniq {
+		names, err := u.store.List()
+		if err != nil {
+			return nil, err
+		}
+		set := make(map[string]bool, len(names))
+		for _, n := range names {
+			set[n] = true
+			seen[n] = true
+		}
+		perStore[u.store] = set
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		if perStore[s.stores[s.homeShard(n)]][n] {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Stat implements backend.Store. A striped file's physical size is
+// the maximum across shards: every write extends the shard owning the
+// written range, so the shard owning the final stripe always reaches
+// the true size.
+func (s *Store) Stat(name string) (int64, error) {
+	homeStore := s.stores[s.homeShard(name)]
+	size, err := homeStore.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	for _, u := range s.uniq {
+		if u.store == homeStore {
+			continue
+		}
+		sz, err := u.store.Stat(name)
+		if err != nil {
+			if errors.Is(err, backend.ErrNotExist) {
+				continue
+			}
+			return 0, err
+		}
+		if sz > size {
+			size = sz
+		}
+	}
+	return size, nil
+}
+
+func (s *Store) countRead(shard, n int) {
+	c := &s.stats[shard]
+	c.reads.Add(1)
+	c.bytesRead.Add(int64(n))
+}
+
+func (s *Store) countWrite(shard, n int) {
+	c := &s.stats[shard]
+	c.writes.Add(1)
+	c.bytesWritten.Add(int64(n))
+}
+
+func (s *Store) countSync(shard int) { s.stats[shard].syncs.Add(1) }

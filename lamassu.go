@@ -81,6 +81,7 @@ import (
 	"lamassu/internal/metrics"
 	"lamassu/internal/namecrypt"
 	"lamassu/internal/nfssim"
+	"lamassu/internal/shard"
 	"lamassu/internal/simclock"
 	"lamassu/internal/vfs"
 )
@@ -198,6 +199,22 @@ type Options struct {
 	// paper's configuration. See the package comment for the cache's
 	// coherence rules.
 	CacheBlocks int
+	// Shards, when >= 1, carves the provided store into that many
+	// logical shards behind a consistent-hash placement map: backing
+	// files (and, via segment-aligned striping, ranges of large files)
+	// are routed to shards, and the commit worker pool is split into
+	// per-shard budgets so one hot shard cannot monopolize the
+	// encrypt+write fan-out. Because every logical shard is the same
+	// physical store, the backing bytes are identical to the unsharded
+	// layout at ANY shard count — Shards: 1 is the plain engine plus
+	// the routing layer. For sharding across genuinely separate
+	// backends, build the store with NewShardedStorage instead and
+	// leave Shards zero.
+	Shards int
+	// ShardVnodes is the virtual-node count per shard on the placement
+	// ring (0 selects the default, 64). It must be the same every time
+	// a sharded store is mounted; see RebalanceShards to migrate.
+	ShardVnodes int
 }
 
 // Errors surfaced by the public API.
@@ -244,7 +261,43 @@ func NewMount(store Storage, keys KeyPair, opts *Options) (*Mount, error) {
 	}
 	if o.EncryptNames {
 		nameKey := cryptoutil.DeriveSubKey(keys.Outer, "lamassu-name-encryption")
-		store = namecrypt.New(store, nameKey)
+		if ss, ok := store.(*shard.Store); ok {
+			views, err := wrapShardNames(nameKey, ss)
+			if err != nil {
+				return nil, err
+			}
+			store = views[0]
+		} else {
+			store = namecrypt.New(store, nameKey)
+		}
+	}
+	if o.Shards < 0 {
+		return nil, errors.New("lamassu: Shards must be >= 0")
+	}
+	if o.Shards >= 1 {
+		if _, ok := store.(*shard.Store); ok {
+			return nil, errors.New("lamassu: store is already sharded; use Options.Shards only with a plain store")
+		}
+		stores := make([]backend.Store, o.Shards)
+		for i := range stores {
+			stores[i] = store
+		}
+		sharded, err := shard.New(stores, shard.Config{
+			Vnodes:      o.ShardVnodes,
+			StripeBytes: segmentAlignedStripe(geo, defaultStripeTarget),
+		})
+		if err != nil {
+			return nil, err
+		}
+		store = sharded
+	}
+	// The crash-consistency model (§2.4) assumes whole-block write
+	// atomicity, which striping preserves only when no block straddles
+	// two shards.
+	if ss, ok := store.(*shard.Store); ok {
+		if sb := ss.StripeBytes(); sb > 0 && sb%int64(geo.BlockSize) != 0 {
+			return nil, fmt.Errorf("lamassu: shard stripe %d is not a multiple of the block size %d", sb, geo.BlockSize)
+		}
 	}
 	var deriver func(cryptoutil.Hash) (cryptoutil.Key, error)
 	if o.KeyDeriver != nil {
@@ -400,6 +453,206 @@ func (m *Mount) ResetLatency() {
 // NewMemStorage returns an in-memory backing store (the RAM-disk
 // configuration of the paper's Figures 8–10).
 func NewMemStorage() Storage { return backend.NewMemStore() }
+
+// ShardOptions tunes NewShardedStorage.
+type ShardOptions struct {
+	// Vnodes is the virtual-node count per shard on the placement
+	// ring; 0 selects the default (64). Placement depends on it, so it
+	// must match every time the same deployment is opened.
+	Vnodes int
+	// StripeBytes, when > 0, stripes ranges of large backing files
+	// across shards; 0 places each file whole on one shard. It must be
+	// a multiple of the mount's block size so a block write can never
+	// straddle two shards (whole-block write atomicity, §2.4); a
+	// multiple of the segment physical size additionally keeps each
+	// segment's metadata and data together. StripeBytes is part of the
+	// placement, so it too must be stable across opens.
+	StripeBytes int64
+}
+
+// NewShardedStorage stripes a backing namespace across several
+// independent stores — the multi-backend deployment where each shard
+// is its own directory, disk or filer. Placement is a consistent-hash
+// ring (deterministic across processes; see internal/shard), and a
+// Mount over the result carves its commit worker pool into per-shard
+// budgets automatically. The store order is part of the placement
+// contract. Use RebalanceShards to add or remove shards offline.
+func NewShardedStorage(stores []Storage, opts *ShardOptions) (Storage, error) {
+	var o ShardOptions
+	if opts != nil {
+		o = *opts
+	}
+	bs := make([]backend.Store, len(stores))
+	copy(bs, stores)
+	return shard.New(bs, shard.Config{Vnodes: o.Vnodes, StripeBytes: o.StripeBytes})
+}
+
+// SegmentStripeBytes returns a stripe size for ShardOptions that is a
+// whole number of segments for the geometry opts implies and is at
+// least target bytes (target <= 0 selects ~4 MiB). Segment-aligned
+// stripes keep every multiphase commit on a single shard.
+func SegmentStripeBytes(opts *Options, target int64) (int64, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	if o.BlockSize == 0 {
+		o.BlockSize = layout.DefaultBlockSize
+	}
+	if o.ReservedSlots == 0 {
+		o.ReservedSlots = layout.DefaultReservedSlots
+	}
+	geo, err := layout.NewGeometry(o.BlockSize, o.ReservedSlots)
+	if err != nil {
+		return 0, err
+	}
+	if target <= 0 {
+		target = defaultStripeTarget
+	}
+	return segmentAlignedStripe(geo, target), nil
+}
+
+// defaultStripeTarget is the approximate stripe size used when no
+// explicit target is given: large enough that small files stay whole
+// on one shard, small enough that a multi-gigabyte file spreads its
+// commit load across every shard.
+const defaultStripeTarget = 4 << 20
+
+// segmentAlignedStripe rounds target up to a whole number of segments
+// of an already-validated geometry.
+func segmentAlignedStripe(geo layout.Geometry, target int64) int64 {
+	seg := geo.SegmentPhysBytes()
+	n := (target + seg - 1) / seg
+	if n < 1 {
+		n = 1
+	}
+	return n * seg
+}
+
+// ShardStat is one shard's slice of a sharded mount's activity: the
+// I/O the placement routed to it and the worker-budget pressure it is
+// under. Together the entries show whether load is spreading (bytes
+// and ops roughly even) and where the bottleneck sits (queue depth
+// pinned at one shard = hot spot; even queues at full budgets = the
+// pool is the ceiling).
+type ShardStat struct {
+	// Shard is the shard index, in store order.
+	Shard int
+	// Reads / Writes / Syncs count backend calls routed to the shard;
+	// BytesRead / BytesWritten total the payloads.
+	Reads, Writes, Syncs    int64
+	BytesRead, BytesWritten int64
+	// Budget is the shard's worker budget (its slice of
+	// Options.Parallelism), at least 1 per shard. At Parallelism 1
+	// the budgets are reported but execution is fully serial; an
+	// unsharded mount reports no ShardStats at all.
+	Budget int
+	// Tasks counts commit fan-out tasks and read fetches executed for
+	// this shard; QueueDepth is how many are queued or running now.
+	Tasks, QueueDepth int64
+}
+
+// ShardStats reports per-shard activity for a mount over a sharded
+// store (Options.Shards or NewShardedStorage); nil otherwise.
+func (m *Mount) ShardStats() []ShardStat {
+	ss, ok := m.fs.Store().(*shard.Store)
+	if !ok {
+		return nil
+	}
+	io := ss.Stats()
+	out := make([]ShardStat, len(io))
+	for i, s := range io {
+		out[i] = ShardStat{
+			Shard:        s.Shard,
+			Reads:        s.Reads,
+			Writes:       s.Writes,
+			Syncs:        s.Syncs,
+			BytesRead:    s.BytesRead,
+			BytesWritten: s.BytesWritten,
+		}
+	}
+	for _, b := range m.fs.ShardStats() {
+		if b.Shard < len(out) {
+			out[b.Shard].Budget = b.Budget
+			out[b.Shard].Tasks = b.Tasks
+			out[b.Shard].QueueDepth = b.QueueDepth
+		}
+	}
+	return out
+}
+
+// ShardRebalanceStats summarizes a RebalanceShards pass.
+type ShardRebalanceStats = shard.RebalanceStats
+
+// RebalanceShards migrates files between two sharded-storage views of
+// the same deployment — the offline step behind adding or removing
+// shards. Both arguments must come from NewShardedStorage (typically
+// sharing the surviving underlying stores); consistent hashing keeps
+// the copying proportional to the placement change, about K/N of the
+// keys when one of N shards is added or removed. No Mount may be
+// using either view while it runs.
+//
+// A deployment written with Options.EncryptNames places files by
+// their PLAINTEXT names while storing them under encrypted ones, so
+// its zone keys MUST be passed here — rebalancing such a store
+// without them computes placement from the encrypted names and
+// strands files. Plain deployments pass no keys.
+func RebalanceShards(from, to Storage, encryptNamesKeys ...KeyPair) (ShardRebalanceStats, error) {
+	fs, ok := from.(*shard.Store)
+	if !ok {
+		return ShardRebalanceStats{}, errors.New("lamassu: RebalanceShards: from is not a sharded storage")
+	}
+	ts, ok := to.(*shard.Store)
+	if !ok {
+		return ShardRebalanceStats{}, errors.New("lamassu: RebalanceShards: to is not a sharded storage")
+	}
+	switch len(encryptNamesKeys) {
+	case 0:
+	case 1:
+		nameKey := cryptoutil.DeriveSubKey(encryptNamesKeys[0].Outer, "lamassu-name-encryption")
+		views, err := wrapShardNames(nameKey, fs, ts)
+		if err != nil {
+			return ShardRebalanceStats{}, err
+		}
+		fs, ts = views[0], views[1]
+	default:
+		return ShardRebalanceStats{}, errors.New("lamassu: RebalanceShards: at most one key pair")
+	}
+	return shard.Rebalance(fs, ts)
+}
+
+// wrapShardNames rebuilds sharded views with name encryption pushed
+// inside each shard — the layout NewMount uses for EncryptNames, so
+// the sharding seam stays outermost (budgets, read fan-out,
+// ShardStats) while backing file names are encrypted. Slots and views
+// sharing one physical store share ONE wrapper: the shard layer's
+// no-move and stale-copy decisions compare stores by identity, and
+// distinct wrappers around the same store would make Rebalance treat
+// an owner as removable.
+func wrapShardNames(nameKey Key, views ...*shard.Store) ([]*shard.Store, error) {
+	wrapped := make(map[backend.Store]backend.Store)
+	out := make([]*shard.Store, len(views))
+	for vi, ss := range views {
+		stores := ss.Shards()
+		for i, st := range stores {
+			w, ok := wrapped[st]
+			if !ok {
+				w = namecrypt.New(st, nameKey)
+				wrapped[st] = w
+			}
+			stores[i] = w
+		}
+		ns, err := shard.New(stores, shard.Config{
+			Vnodes:      ss.Ring().Vnodes(),
+			StripeBytes: ss.StripeBytes(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		out[vi] = ns
+	}
+	return out, nil
+}
 
 // NewDirStorage returns a backing store over a directory of real
 // files; the encrypted backing files in it can be copied, replicated
