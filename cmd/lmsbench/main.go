@@ -10,18 +10,28 @@
 //	lmsbench -exp table1 -scale 16   # Table 1 with images scaled 1/16
 //
 // Experiments: fig6, table1, fig7, fig8, fig9, fig10, fig11,
-// unaligned, scaling, shardscale, all. The scaling and shardscale
-// experiments are this repository's extensions beyond the paper:
-// scaling sweeps the concurrent engine's commit parallelism and block
-// cache; shardscale sweeps the consistent-hash storage sharding from
-// 1 to 8 backends and reports the per-shard throughput and
-// queue-depth numbers from Mount.ShardStats.
+// unaligned, scaling, shardscale, coalesce, all. The scaling,
+// shardscale and coalesce experiments are this repository's extensions
+// beyond the paper: scaling sweeps the concurrent engine's commit
+// parallelism and block cache; shardscale sweeps the consistent-hash
+// storage sharding from 1 to 8 backends and reports the per-shard
+// throughput and queue-depth numbers from Mount.ShardStats; coalesce
+// A/Bs the I/O coalescing layer against the paper's per-block engine
+// and FAILS (exit 1) if coalescing does not strictly reduce the
+// backend I/O count on the sequential workload — CI runs it as a
+// regression gate.
+//
+// With -json PATH, the extension experiments additionally emit their
+// rows as machine-readable JSON (experiment, configuration, MB/s,
+// backend I/O count from the metrics.IO counter, bytes per I/O and
+// allocs per block op), the feed for the BENCH_*.json perf trajectory.
 //
 // Sizes default to a scaled-down configuration that finishes in about
 // a minute; all shapes are size-independent (see DESIGN.md §3).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -34,10 +44,24 @@ import (
 	"lamassu/internal/experiments"
 )
 
+// benchResult is one machine-readable measurement row for -json.
+type benchResult struct {
+	Experiment  string  `json:"experiment"`
+	Config      string  `json:"config"`
+	MBps        float64 `json:"mbps,omitempty"`
+	BackendIOs  int64   `json:"backend_ios,omitempty"`
+	BytesPerIO  float64 `json:"bytes_per_io,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// results accumulates rows from the extension experiments for -json.
+var results []benchResult
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig6|table1|fig7|fig8|fig9|fig10|fig11|unaligned|scaling|shardscale|all")
+	exp := flag.String("exp", "all", "experiment to run: fig6|table1|fig7|fig8|fig9|fig10|fig11|unaligned|scaling|shardscale|coalesce|all")
 	mb := flag.Int64("mb", 32, "workload file size in MiB (paper: 4096 for fig6/fig11, 256 for fig7-fig10)")
 	scale := flag.Int64("scale", 16, "Table 1 VM image size divisor (1 = paper sizes)")
+	jsonPath := flag.String("json", "", "write machine-readable results (JSON) to PATH")
 	flag.Parse()
 
 	fileBytes := *mb << 20
@@ -111,20 +135,150 @@ func main() {
 	})
 	run("scaling", func() (string, error) { return scalingTable(fileBytes) })
 	run("shardscale", func() (string, error) { return shardScaleTable(fileBytes) })
+	run("coalesce", func() (string, error) { return coalesceTable(fileBytes) })
 
 	if *exp != "all" && !validExp(*exp) {
-		fmt.Fprintf(os.Stderr, "lmsbench: unknown experiment %q (want fig6|table1|fig7|fig8|fig9|fig10|fig11|unaligned|scaling|shardscale|all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "lmsbench: unknown experiment %q (want fig6|table1|fig7|fig8|fig9|fig10|fig11|unaligned|scaling|shardscale|coalesce|all)\n", *exp)
 		os.Exit(2)
+	}
+
+	if *jsonPath != "" {
+		doc := struct {
+			Generated string        `json:"generated"`
+			FileMiB   int64         `json:"file_mib"`
+			Results   []benchResult `json:"results"`
+		}{time.Now().UTC().Format(time.RFC3339), *mb, results}
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lmsbench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
 	}
 }
 
 func validExp(e string) bool {
-	for _, v := range strings.Fields("fig6 table1 fig7 fig8 fig9 fig10 fig11 unaligned scaling shardscale all") {
+	for _, v := range strings.Fields("fig6 table1 fig7 fig8 fig9 fig10 fig11 unaligned scaling shardscale coalesce all") {
 		if e == v {
 			return true
 		}
 	}
 	return false
+}
+
+// coalesceTable A/Bs the I/O coalescing layer against the paper's
+// per-block engine on sequential whole-file write and read of the same
+// data, reporting throughput, the backend I/O count (the metrics.IO
+// counter), mean payload per backend call and heap allocations per
+// 4 KiB block. The backend I/O counts are deterministic, so the
+// comparison doubles as a regression gate: an error is returned — and
+// lmsbench exits non-zero — if the coalesced engine does not strictly
+// reduce the I/O count on BOTH directions of the sequential workload.
+func coalesceTable(fileBytes int64) (string, error) {
+	keys, err := lamassu.GenerateKeys()
+	if err != nil {
+		return "", err
+	}
+	data := make([]byte, fileBytes)
+	rand.New(rand.NewSource(3)).Read(data)
+	blocks := float64(fileBytes / 4096)
+
+	type row struct {
+		config      string
+		mbps        float64
+		ios         int64
+		bytesPerIO  float64
+		allocsPerOp float64
+	}
+	var rows []row
+	measure := func(config string, f func() error, stats func() lamassu.EngineStats) error {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		if err := f(); err != nil {
+			return err
+		}
+		elapsed := time.Since(start).Seconds()
+		runtime.ReadMemStats(&after)
+		st := stats()
+		r := row{
+			config:      config,
+			mbps:        float64(fileBytes) / (1 << 20) / elapsed,
+			ios:         st.BackendIOs,
+			bytesPerIO:  st.BytesPerIO,
+			allocsPerOp: float64(after.Mallocs-before.Mallocs) / blocks,
+		}
+		rows = append(rows, r)
+		results = append(results, benchResult{
+			Experiment:  "coalesce",
+			Config:      config,
+			MBps:        r.mbps,
+			BackendIOs:  r.ios,
+			BytesPerIO:  r.bytesPerIO,
+			AllocsPerOp: r.allocsPerOp,
+		})
+		return nil
+	}
+
+	for _, disable := range []bool{false, true} {
+		label := "coalesced"
+		if disable {
+			label = "per-block"
+		}
+		store := lamassu.NewMemStorage()
+		mw, err := lamassu.NewMount(store, keys, &lamassu.Options{
+			CollectLatency: true, DisableCoalescing: disable,
+		})
+		if err != nil {
+			return "", err
+		}
+		if err := measure("seq-write/"+label, func() error {
+			return mw.WriteFile("f", data)
+		}, mw.EngineStats); err != nil {
+			return "", err
+		}
+		mr, err := lamassu.NewMount(store, keys, &lamassu.Options{
+			CollectLatency: true, DisableCoalescing: disable,
+		})
+		if err != nil {
+			return "", err
+		}
+		if err := measure("seq-read/"+label, func() error {
+			got, err := mr.ReadFile("f")
+			if err != nil {
+				return err
+			}
+			if len(got) != len(data) {
+				return fmt.Errorf("read %d bytes, want %d", len(got), len(data))
+			}
+			return nil
+		}, mr.EngineStats); err != nil {
+			return "", err
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "I/O coalescing A/B (sequential %d MiB, RAM store, GOMAXPROCS=%d)\n",
+		fileBytes>>20, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(&b, "%-22s %10s %12s %12s %12s\n", "configuration", "MB/s", "backend-I/Os", "bytes/I-O", "allocs/blk")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %10.1f %12d %12.0f %12.1f\n", r.config, r.mbps, r.ios, r.bytesPerIO, r.allocsPerOp)
+	}
+
+	// Regression gate: rows are [coalesced-write, coalesced-read,
+	// per-block-write, per-block-read].
+	if rows[0].ios >= rows[2].ios {
+		return b.String(), fmt.Errorf("coalesced seq-write backend I/Os (%d) not strictly below per-block (%d)",
+			rows[0].ios, rows[2].ios)
+	}
+	if rows[1].ios >= rows[3].ios {
+		return b.String(), fmt.Errorf("coalesced seq-read backend I/Os (%d) not strictly below per-block (%d)",
+			rows[1].ios, rows[3].ios)
+	}
+	return b.String(), nil
 }
 
 // shardScaleTable measures the storage sharding layer: concurrent
@@ -211,6 +365,11 @@ func shardScaleTable(fileBytes int64) (string, error) {
 		<-sampled
 
 		mbs := float64(writers) * float64(perFile) / (1 << 20) / elapsed
+		results = append(results, benchResult{
+			Experiment: "shardscale",
+			Config:     fmt.Sprintf("shards=%d", shards),
+			MBps:       mbs,
+		})
 		fmt.Fprintf(&b, "shards=%d %38.1f MB/s\n", shards, mbs)
 		fmt.Fprintf(&b, "  %5s %7s %9s %9s %9s %7s\n", "shard", "budget", "writes", "MiB-out", "tasks", "peakQ")
 		for _, s := range m.ShardStats() {
@@ -263,7 +422,9 @@ func scalingTable(fileBytes int64) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		fmt.Fprintf(&b, "%-28s %12.1f\n", fmt.Sprintf("seq-write parallelism=%d", par), mbs)
+		label := fmt.Sprintf("seq-write parallelism=%d", par)
+		results = append(results, benchResult{Experiment: "scaling", Config: label, MBps: mbs})
+		fmt.Fprintf(&b, "%-28s %12.1f\n", label, mbs)
 	}
 
 	readOnce := func(cacheBlocks int) (float64, error) {
@@ -301,6 +462,7 @@ func scalingTable(fileBytes int64) (string, error) {
 		if cb > 0 {
 			label = fmt.Sprintf("seq-read cache=%dblk", cb)
 		}
+		results = append(results, benchResult{Experiment: "scaling", Config: label, MBps: mbs})
 		fmt.Fprintf(&b, "%-28s %12.1f\n", label, mbs)
 	}
 	return b.String(), nil

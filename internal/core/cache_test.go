@@ -333,6 +333,10 @@ func TestCacheStatsMatchRecorderEvents(t *testing.T) {
 func TestWriteMetaBracketsInvalidation(t *testing.T) {
 	cfg := testConfig()
 	cfg.CacheBlocks = 32
+	// Pin the paper's R-pending batching so the 8-block write below is
+	// exactly one commit (under coalescing, 7 of the 8 blocks are
+	// fresh and would batch further).
+	cfg.DisableCoalescing = true
 	lfs := newFS(t, backend.NewMemStore(), cfg)
 	if err := vfs.WriteAll(lfs, "f", make([]byte, 4096)); err != nil {
 		t.Fatal(err)

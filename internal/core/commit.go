@@ -18,12 +18,28 @@ import (
 //  3. Write the metadata block again with the flag cleared and the
 //     transient slots zeroed.
 //
-// A batch of m blocks therefore costs m+2 backing I/Os; with R=1 that
-// is the paper's three I/Os per block write.
+// A batch of m blocks costs m+2 backing I/Os in the paper's per-block
+// engine. With coalescing enabled (the default), adjacent pending
+// slots — which are contiguous on disk within a segment — are merged
+// into runs, each run encrypted into one slab and issued as a single
+// WriteAt, so the batch costs runs+2 backing I/Os instead. Runs split
+// at shard stripe boundaries so each WriteAt lands on exactly one
+// shard and is charged to that shard's slice of the worker pool.
+//
+// The transient slots only need to preserve the previous keys of
+// blocks that were live before the commit; a block that was a hole (a
+// zero-key slot) has no previous key, and both the read path and
+// crash recovery already treat "keyed block whose data never landed"
+// as that hole. Batching is therefore bounded by R *overwritten live
+// blocks*, not R pending blocks: a purely sequential append buffers a
+// whole segment and commits it with one run — 3 backing I/Os for 118
+// blocks — while overwrites of live data still commit every R writes
+// exactly as the paper prescribes. The per-block engine
+// (Config.DisableCoalescing) keeps the original R-pending policy.
 //
 // The CPU-bound per-block work fans out across the FS worker pool:
 // phase 1's convergent key derivations run in parallel before the
-// phase-1 metadata barrier, and phase 2's encrypt+write pairs run in
+// phase-1 metadata barrier, and phase 2's encrypt+write tasks run in
 // parallel between the two metadata barriers. The barriers themselves
 // — and therefore the §2.4 crash-consistency guarantees — are exactly
 // the serial protocol's: no data block is written before the phase-1
@@ -33,10 +49,15 @@ import (
 // The caller must hold seg.mu exclusively.
 func (f *file) commitSegment(seg *segment, si int64) error {
 	if len(seg.pending) == 0 {
+		// Nothing buffered (e.g. a truncate dropped the pending set);
+		// clear the batching counter so its staleness cannot trigger
+		// premature one-block commits later.
+		seg.liveOverwrites = 0
 		return nil
 	}
-	if len(seg.pending) > f.fs.geo.Reserved {
-		// The batching policy commits at R, so this is a bug guard.
+	if f.fs.cfg.DisableCoalescing && len(seg.pending) > f.fs.geo.Reserved {
+		// The per-block batching policy commits at R, so this is a bug
+		// guard.
 		return fmt.Errorf("lamassu: internal error: %d pending blocks exceed R=%d in segment %d",
 			len(seg.pending), f.fs.geo.Reserved, si)
 	}
@@ -60,8 +81,11 @@ func (f *file) commitSegment(seg *segment, si int64) error {
 
 	// Phase 1: derive the new convergent keys (fanned out — the SHA-256
 	// block hashes dominate the write path, Figure 9), then stage the
-	// old keys into the transient slots, install the new keys, mark
-	// midupdate, persist.
+	// old keys of live blocks into the transient slots, install the new
+	// keys, mark midupdate, persist. Hole slots stage nothing: recovery
+	// and the mid-update read path identify old contents by the hash
+	// check, and a keyed block whose data never landed reads back as
+	// the hole it was.
 	keysPerSeg := int64(f.fs.geo.KeysPerSegment())
 	newKeys := make([]cryptoutil.Key, len(slots))
 	err := f.fs.pool.run(len(slots), func(i int) error {
@@ -75,11 +99,63 @@ func (f *file) commitSegment(seg *segment, si int64) error {
 	if err != nil {
 		return err
 	}
+
+	// A pending block whose stable key already equals its derived key
+	// is already durable: convergent keys are one-to-one with content,
+	// so the on-disk ciphertext IS this plaintext. Dropping such
+	// blocks makes a commit retry after a partially-landed batch
+	// converge — recovery promotes the landed blocks to live under
+	// exactly these keys, and re-staging them would both waste I/O and
+	// overflow the R transient slots (they were fresh when the
+	// batching trigger counted them). Identical same-content
+	// overwrites get the same free pass. (Coalesced engine only: the
+	// per-block engine keeps the paper's exact I/O accounting.)
+	if !f.fs.cfg.DisableCoalescing {
+		kept := 0
+		for i, s := range slots {
+			if meta.StableKey(s).Equal(newKeys[i]) {
+				continue
+			}
+			slots[kept], newKeys[kept] = s, newKeys[i]
+			kept++
+		}
+		slots, newKeys = slots[:kept], newKeys[:kept]
+		if kept == 0 {
+			// Everything was already on disk; nothing to commit. The
+			// logical size, if dirty, is persistSize's job.
+			for _, buf := range seg.pending {
+				f.fs.slabs.put(buf)
+			}
+			clear(seg.pending)
+			seg.liveOverwrites = 0
+			return nil
+		}
+	}
+
+	// The overwrite-bounded batching policy must leave enough transient
+	// slots for every live block this commit replaces; a violation is a
+	// bug in the trigger accounting, caught here before any state
+	// changes.
+	overwrites := 0
+	for _, s := range slots {
+		if !meta.StableKey(s).IsZero() {
+			overwrites++
+		}
+	}
+	if overwrites > f.fs.geo.Reserved {
+		return fmt.Errorf("lamassu: internal error: %d live blocks overwritten exceed R=%d in segment %d",
+			overwrites, f.fs.geo.Reserved, si)
+	}
+
+	ti := 0
 	for i, s := range slots {
-		meta.SetTransientKey(i, meta.StableKey(s))
+		if old := meta.StableKey(s); !old.IsZero() {
+			meta.SetTransientKey(ti, old)
+			ti++
+		}
 		meta.SetStableKey(s, newKeys[i])
 	}
-	meta.NTransient = uint32(len(slots))
+	meta.NTransient = uint32(ti)
 	meta.SetMidUpdate(true)
 	sizeAtCommit := f.sizeNow()
 	meta.LogicalSize = uint64(sizeAtCommit)
@@ -92,7 +168,9 @@ func (f *file) commitSegment(seg *segment, si int64) error {
 	// and again right after the batch returns — even on error, when
 	// some writes landed and some did not — so a read that
 	// re-populated from pre-phase-2 disk state while the batch was in
-	// flight cannot outlive it.
+	// flight cannot outlive it. The guard is explicit: the cache
+	// methods tolerate a nil receiver, but this path must not depend on
+	// that incidental contract.
 	var dbis []int64
 	if f.fs.cache != nil {
 		dbis = make([]int64, len(slots))
@@ -102,20 +180,67 @@ func (f *file) commitSegment(seg *segment, si int64) error {
 		f.fs.cache.invalidateDataBlocks(f.name, dbis)
 	}
 
-	// Phase 2: encrypt and write the data blocks, fanned out. Each
-	// task owns a disjoint slice of one ciphertext slab; with a serial
-	// pool the tasks run back to back, so a single block of scratch is
-	// reused instead (the backend is required to support concurrent
-	// WriteAt — os files and the memory store do). Over a sharded
-	// store each task is charged to the budget of the shard that owns
-	// its block, so commits into one hot shard queue on that shard's
-	// slice of the pool instead of starving the others.
+	// Phase 2: encrypt and write the data blocks between the two
+	// metadata barriers.
+	if f.fs.cfg.DisableCoalescing {
+		err = f.commitBlocks(seg, si, slots, newKeys)
+	} else {
+		err = f.commitCoalesced(seg, si, slots, newKeys)
+	}
+	// Second half of the invalidation bracket around phase 2, on the
+	// success and error paths alike.
+	if f.fs.cache != nil {
+		f.fs.cache.invalidateDataBlocks(f.name, dbis)
+	}
+	if err != nil {
+		return err
+	}
+
+	// Phase 3: clear the update marker.
+	meta.SetMidUpdate(false)
+	meta.ClearTransient()
+	if err := f.fs.writeMeta(f.bf, f.name, meta); err != nil {
+		return fmt.Errorf("lamassu: commit phase 3 (segment %d): %w", si, err)
+	}
+
+	// The pending buffers came from the slab pool (pendingBlock);
+	// recycle them now that their ciphertext is durable.
+	for _, buf := range seg.pending {
+		f.fs.slabs.put(buf)
+	}
+	clear(seg.pending)
+	seg.liveOverwrites = 0
+
+	// The final metadata block now carries the size this commit
+	// observed; only mark the size clean if it has not moved since
+	// (a concurrent writer may have extended the file while our
+	// barriers were in flight).
+	f.stateMu.Lock()
+	if f.size == sizeAtCommit && f.isFinalSegmentLocked(si) {
+		f.sizeDirty = false
+	}
+	f.stateMu.Unlock()
+	return nil
+}
+
+// commitBlocks is the paper's per-block phase 2: each pending block is
+// encrypted and written with its own backend WriteAt, fanned out
+// across the pool. Each task owns a disjoint slice of one ciphertext
+// slab; with a serial pool the tasks run back to back, so a single
+// block of scratch is reused instead (the backend is required to
+// support concurrent WriteAt — os files and the memory store do).
+// Over a sharded store each task is charged to the budget of the
+// shard that owns its block, so commits into one hot shard queue on
+// that shard's slice of the pool instead of starving the others.
+func (f *file) commitBlocks(seg *segment, si int64, slots []int, newKeys []cryptoutil.Key) error {
+	keysPerSeg := int64(f.fs.geo.KeysPerSegment())
 	bs := f.fs.geo.BlockSize
 	ctSlab := bs
 	if f.fs.pool.Width() > 1 {
 		ctSlab = len(slots) * bs
 	}
-	cts := make([]byte, ctSlab)
+	cts := f.fs.slabs.get(ctSlab)
+	defer f.fs.slabs.put(cts)
 	writeBlock := func(i int) error {
 		s := slots[i]
 		ct := cts[:bs]
@@ -129,44 +254,111 @@ func (f *file) commitSegment(seg *segment, si int64) error {
 		t := f.fs.cfg.Recorder.Start()
 		_, werr := f.bf.WriteAt(ct, f.fs.geo.DataBlockOffset(dbi))
 		f.fs.cfg.Recorder.Stop(metrics.IO, t)
+		f.fs.cfg.Recorder.CountIOBytes(int64(bs))
 		if werr != nil {
 			return fmt.Errorf("lamassu: commit phase 2 (block %d): %w", dbi, werr)
 		}
 		return nil
 	}
 	if f.fs.sharded != nil {
-		err = f.fs.pool.runSharded(len(slots), func(i int) int {
+		return f.fs.pool.runSharded(len(slots), func(i int) int {
 			return f.fs.shardOfBlock(f.name, si*keysPerSeg+int64(slots[i]))
 		}, writeBlock)
-	} else {
-		err = f.fs.pool.run(len(slots), writeBlock)
 	}
-	// Second half of the invalidation bracket around phase 2, on the
-	// success and error paths alike.
-	f.fs.cache.invalidateDataBlocks(f.name, dbis)
+	return f.fs.pool.run(len(slots), writeBlock)
+}
+
+// ioRun is one coalesced backend I/O: the half-open index range
+// [lo, hi) into the caller's sorted slot (or span) list whose blocks
+// are contiguous on disk, and the backing offset of the first block.
+type ioRun struct {
+	lo, hi int
+	off    int64
+}
+
+// mergeRuns merges items 0..n-1 into disk-contiguous runs: item i
+// extends the current run when adjacent(i) reports it is the block
+// immediately after item i-1 on disk AND no stripe boundary falls
+// between the two (stripe <= 0 disables the stripe rule; stripes are
+// block-aligned, so contiguous blocks can only change shards at a
+// stripe edge). off(i) is item i's backing offset. The commit and
+// read paths share this so their split semantics cannot diverge.
+func mergeRuns(n int, blockSize, stripe int64, off func(int) int64, adjacent func(int) bool) []ioRun {
+	runs := make([]ioRun, 0, 4)
+	for i := 0; i < n; i++ {
+		o := off(i)
+		if i > 0 && adjacent(i) && (stripe <= 0 || (o-blockSize)/stripe == o/stripe) {
+			runs[len(runs)-1].hi = i + 1
+			continue
+		}
+		runs = append(runs, ioRun{lo: i, hi: i + 1, off: o})
+	}
+	return runs
+}
+
+// stripeBytes returns the sharded store's stripe unit, or 0 when the
+// store is unsharded (no stripe rule).
+func (f *file) stripeBytes() int64 {
+	if f.fs.sharded != nil {
+		return f.fs.sharded.StripeBytes()
+	}
+	return 0
+}
+
+// commitRuns merges the sorted pending slots into disk-contiguous
+// runs: within a segment, consecutive slots are consecutive blocks on
+// disk, and runs split at shard stripe boundaries so the single
+// WriteAt each becomes lands on exactly one shard.
+func (f *file) commitRuns(si int64, slots []int) []ioRun {
+	geo := f.fs.geo
+	keysPerSeg := int64(geo.KeysPerSegment())
+	return mergeRuns(len(slots), int64(geo.BlockSize), f.stripeBytes(),
+		func(i int) int64 { return geo.DataBlockOffset(si*keysPerSeg + int64(slots[i])) },
+		func(i int) bool { return slots[i] == slots[i-1]+1 })
+}
+
+// commitCoalesced is the coalescing phase 2: pending blocks are
+// encrypted into one slab with the per-block work fanned across the
+// pool (phase 2a — a full-segment run must not serialize ~half a
+// megabyte of AES on one goroutine), then merged into disk-contiguous
+// runs, each written with a single backend WriteAt (phase 2b). The
+// write fan-out unit is the run; over a sharded store each run is
+// charged to the budget of the one shard it lands on. Error semantics
+// match the per-block engine: the failure of the lowest index wins,
+// deterministically.
+func (f *file) commitCoalesced(seg *segment, si int64, slots []int, newKeys []cryptoutil.Key) error {
+	keysPerSeg := int64(f.fs.geo.KeysPerSegment())
+	bs := f.fs.geo.BlockSize
+	runs := f.commitRuns(si, slots)
+	cts := f.fs.slabs.get(len(slots) * bs)
+	defer f.fs.slabs.put(cts)
+	err := f.fs.pool.run(len(slots), func(i int) error {
+		return f.fs.encryptBlock(cts[i*bs:(i+1)*bs], seg.pending[slots[i]], newKeys[i])
+	})
 	if err != nil {
 		return err
 	}
-
-	// Phase 3: clear the update marker.
-	meta.SetMidUpdate(false)
-	meta.ClearTransient()
-	if err := f.fs.writeMeta(f.bf, f.name, meta); err != nil {
-		return fmt.Errorf("lamassu: commit phase 3 (segment %d): %w", si, err)
+	writeRun := func(r int) error {
+		run := runs[r]
+		payload := cts[run.lo*bs : run.hi*bs]
+		t := f.fs.cfg.Recorder.Start()
+		_, werr := f.bf.WriteAt(payload, run.off)
+		f.fs.cfg.Recorder.Stop(metrics.IO, t)
+		f.fs.cfg.Recorder.CountIOBytes(int64(len(payload)))
+		f.fs.cfg.Recorder.CountEvent(metrics.WriteRun, 1)
+		if werr != nil {
+			dbi := si*keysPerSeg + int64(slots[run.lo])
+			return fmt.Errorf("lamassu: commit phase 2 (run of %d blocks at block %d): %w",
+				run.hi-run.lo, dbi, werr)
+		}
+		return nil
 	}
-
-	clear(seg.pending)
-
-	// The final metadata block now carries the size this commit
-	// observed; only mark the size clean if it has not moved since
-	// (a concurrent writer may have extended the file while our
-	// barriers were in flight).
-	f.stateMu.Lock()
-	if f.size == sizeAtCommit && f.isFinalSegmentLocked(si) {
-		f.sizeDirty = false
+	if f.fs.sharded != nil {
+		return f.fs.pool.runSharded(len(runs), func(r int) int {
+			return f.fs.sharded.ShardOf(f.name, runs[r].off)
+		}, writeRun)
 	}
-	f.stateMu.Unlock()
-	return nil
+	return f.fs.pool.run(len(runs), writeRun)
 }
 
 // isFinalSegmentLocked reports whether si is the file's final segment
@@ -224,7 +416,10 @@ func (f *file) persistSize() error {
 			return err
 		}
 		f.segs = make(map[int64]*segment)
-		f.fs.cache.invalidateFile(f.name)
+		// Explicit nil guard, as in commitSegment's bracket.
+		if f.fs.cache != nil {
+			f.fs.cache.invalidateFile(f.name)
+		}
 		f.sizeDirty = false
 		return nil
 	}

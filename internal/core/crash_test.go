@@ -86,12 +86,21 @@ func blockHistories(oldData []byte, seed int64, blockSize int) []map[string]bool
 // provides).
 func TestCrashSweepEveryWritePoint(t *testing.T) { forEachBackend(t, testCrashSweepEveryWritePoint) }
 
+// The sweep runs over BOTH engines: the coalesced default (fewer,
+// larger backend writes — every crash point lands before, between or
+// after whole runs) and the paper's per-block engine.
 func testCrashSweepEveryWritePoint(t *testing.T, mk storeMaker) {
+	t.Run("coalesced", func(t *testing.T) { crashSweepEveryWritePoint(t, mk, false) })
+	t.Run("per-block", func(t *testing.T) { crashSweepEveryWritePoint(t, mk, true) })
+}
+
+func crashSweepEveryWritePoint(t *testing.T, mk storeMaker, disableCoalescing bool) {
 	geo, err := layout.NewGeometry(512, 4) // small blocks: many I/Os, fast
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := Config{Inner: testKey(1), Outer: testKey(2), Geometry: geo}
+	cfg := Config{Inner: testKey(1), Outer: testKey(2), Geometry: geo,
+		DisableCoalescing: disableCoalescing}
 
 	// First, a dry run to count the total number of backend writes.
 	oldData := make([]byte, 40*1024)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"lamassu/internal/backend"
 	"lamassu/internal/cryptoutil"
@@ -39,6 +40,19 @@ type file struct {
 	// opMu is the outer operation gate described above.
 	opMu sync.RWMutex
 
+	// seqEnd is the byte offset one past the last completed ReadAt —
+	// the sequential-read detector's state. A read starting exactly
+	// where the previous one ended is a forward scan and arms the
+	// asynchronous readahead; prefetchBusy bounds the prefetcher to
+	// one in-flight window per handle, and raNext is the watermark
+	// (first block not yet prefetched) so a scan does not re-issue
+	// windows it already fetched. All three are heuristic state:
+	// races only cost a skipped or duplicated window, never
+	// correctness.
+	seqEnd       atomic.Int64
+	prefetchBusy atomic.Bool
+	raNext       atomic.Int64
+
 	// stateMu guards the fields below.
 	stateMu sync.Mutex
 	// size is the logical file size including pending (uncommitted)
@@ -61,8 +75,16 @@ type segment struct {
 	// It is loaded and mutated only under mu held exclusively and read
 	// under either mode.
 	meta *layout.MetaBlock
-	// pending buffers plaintext block writes by stable slot.
+	// pending buffers plaintext block writes by stable slot. The
+	// buffers come from the FS slab pool and return to it when the
+	// segment commits.
 	pending map[int][]byte
+	// liveOverwrites counts the pending slots that may replace a live
+	// (non-hole) on-disk block and therefore claim a transient key
+	// slot at commit. It is a conservative upper bound — maintained in
+	// pendingBlock, reset by the commit — and drives the
+	// overwrite-bounded batching policy (see commitSegment).
+	liveOverwrites int
 }
 
 // newFile opens a handle and loads the authoritative size.
@@ -122,6 +144,11 @@ func (f *file) Size() (int64, error) {
 }
 
 // ReadAt implements vfs.File. Concurrent calls proceed in parallel.
+//
+// A request covering one block takes an allocation-free fast path (a
+// cache or pending hit completes with no heap traffic at all). A
+// multi-block request is merged into runs of disk-adjacent blocks,
+// each fetched with a single backend read; see readSpansCoalesced.
 func (f *file) ReadAt(p []byte, off int64) (int, error) {
 	f.opMu.RLock()
 	defer f.opMu.RUnlock()
@@ -136,6 +163,9 @@ func (f *file) ReadAt(p []byte, off int64) (int, error) {
 	if off >= size {
 		return 0, io.EOF
 	}
+	if len(p) == 0 {
+		return 0, nil
+	}
 	n := len(p)
 	var atEOF bool
 	if off+int64(n) > size {
@@ -143,33 +173,71 @@ func (f *file) ReadAt(p []byte, off int64) (int, error) {
 		atEOF = true
 	}
 	bs := f.fs.geo.BlockSize
-	spans := vfs.Spans(off, n, bs)
-	if f.fs.sharded != nil && len(spans) > 1 {
-		if bad, err := f.readSpansSharded(p, spans); err != nil {
-			return bad, err
+	if bo := int(off % int64(bs)); bo+n <= bs {
+		// Single-block fast path: no span slice, and a full-block
+		// request decrypts (or cache-copies) straight into p.
+		dbi := off / int64(bs)
+		if bo == 0 && n == bs {
+			if _, err := f.readBlock(dbi, p[:bs]); err != nil {
+				return 0, err
+			}
+		} else {
+			scratch := f.fs.slabs.get(bs)
+			_, err := f.readBlock(dbi, scratch)
+			if err == nil {
+				copy(p[:n], scratch[bo:bo+n])
+			}
+			f.fs.slabs.put(scratch)
+			if err != nil {
+				return 0, err
+			}
 		}
 	} else {
-		block := make([]byte, bs)
-		for _, sp := range spans {
-			if _, err := f.readBlock(sp.Index, block); err != nil {
-				return sp.BufOff, err
-			}
-			copy(p[sp.BufOff:sp.BufOff+sp.Len], block[sp.Start:sp.Start+sp.Len])
+		spans := vfs.Spans(off, n, bs)
+		var bad int
+		var err error
+		switch {
+		case !f.fs.cfg.DisableCoalescing:
+			bad, err = f.readSpansCoalesced(p, spans)
+		case f.fs.sharded != nil && len(spans) > 1:
+			bad, err = f.readSpansSharded(p, spans)
+		default:
+			bad, err = f.readSpansBlocks(p, spans)
+		}
+		if err != nil {
+			return bad, err
 		}
 	}
+	f.noteSequential(off, int64(n), size)
 	if atEOF {
 		return n, io.EOF
 	}
 	return n, nil
 }
 
-// readSpansSharded fills a multi-block read over a sharded store,
-// fetching each shard's spans on its own goroutine so the decrypt and
-// backend I/O of independent shards overlap. It deliberately takes no
-// worker-pool slot: a reader can block on a segment lock held by that
-// segment's commit, and the commit needs pool slots to finish — a
-// reader holding one while it waits would deadlock the pool. The
-// per-shard gauges still record the fan-out.
+// readSpansBlocks is the per-block multi-span read: one readBlock per
+// span through a single pooled scratch block. On failure it returns
+// the number of leading bytes of p that are valid.
+func (f *file) readSpansBlocks(p []byte, spans []vfs.Span) (int, error) {
+	block := f.fs.slabs.get(f.fs.geo.BlockSize)
+	defer f.fs.slabs.put(block)
+	for _, sp := range spans {
+		if _, err := f.readBlock(sp.Index, block); err != nil {
+			return sp.BufOff, err
+		}
+		copy(p[sp.BufOff:sp.BufOff+sp.Len], block[sp.Start:sp.Start+sp.Len])
+	}
+	return 0, nil
+}
+
+// readSpansSharded fills a multi-block read over a sharded store with
+// coalescing disabled, fetching each shard's spans on its own
+// goroutine so the decrypt and backend I/O of independent shards
+// overlap. It deliberately takes no worker-pool slot: a reader can
+// block on a segment lock held by that segment's commit, and the
+// commit needs pool slots to finish — a reader holding one while it
+// waits would deadlock the pool. The per-shard gauges still record the
+// fan-out.
 //
 // On failure it returns the number of leading bytes of p that are
 // valid (every span of every shard completes or fails in BufOff
@@ -199,7 +267,8 @@ func (f *file) readSpansSharded(p []byte, spans []vfs.Span) (int, error) {
 	}
 	bs := f.fs.geo.BlockSize
 	readGroup := func(s int, group []vfs.Span) (int, error) {
-		block := make([]byte, bs)
+		block := f.fs.slabs.get(bs)
+		defer f.fs.slabs.put(block)
 		for _, sp := range group {
 			done := f.fs.pool.noteShardRead(s)
 			cached, err := f.readBlock(sp.Index, block)
@@ -211,9 +280,17 @@ func (f *file) readSpansSharded(p []byte, spans []vfs.Span) (int, error) {
 		}
 		return 0, nil
 	}
+	return shardFanOut(groups, readGroup)
+}
+
+// shardFanOut runs fn for every shard's group, each on its own
+// goroutine (a single group runs inline), and on failure returns the
+// error with the lowest buffer position — the "leading bytes of p are
+// valid" contract of the multi-shard read paths.
+func shardFanOut[G any](groups map[int]G, fn func(s int, g G) (int, error)) (int, error) {
 	if len(groups) == 1 {
-		for s, group := range groups {
-			return readGroup(s, group)
+		for s, g := range groups {
+			return fn(s, g)
 		}
 	}
 	var (
@@ -222,21 +299,287 @@ func (f *file) readSpansSharded(p []byte, spans []vfs.Span) (int, error) {
 		firstErr error
 		firstBad int
 	)
-	for s, group := range groups {
+	for s, g := range groups {
 		wg.Add(1)
-		go func(s int, group []vfs.Span) {
+		go func(s int, g G) {
 			defer wg.Done()
-			if bad, err := readGroup(s, group); err != nil {
+			if bad, err := fn(s, g); err != nil {
 				mu.Lock()
 				if firstErr == nil || bad < firstBad {
 					firstErr, firstBad = err, bad
 				}
 				mu.Unlock()
 			}
-		}(s, group)
+		}(s, g)
 	}
 	wg.Wait()
 	return firstBad, firstErr
+}
+
+// readSpansCoalesced fills a multi-block read by merging the spans
+// into runs of disk-adjacent blocks — split at segment boundaries
+// (the metadata block between two segments breaks disk adjacency) and
+// at shard stripe boundaries (so each backend read lands on exactly
+// one shard). Each run costs at most one backend read; within a run,
+// pending and cached blocks are served from memory and hole slots
+// read as zeros without touching the backend at all. Over a sharded
+// store the runs of different shards are fetched on their own
+// goroutines, with the same no-pool-slot rule as readSpansSharded.
+//
+// On failure it returns the number of leading valid bytes of p, as
+// readSpansSharded does.
+func (f *file) readSpansCoalesced(p []byte, spans []vfs.Span) (int, error) {
+	geo := f.fs.geo
+	runs := mergeRuns(len(spans), int64(geo.BlockSize), f.stripeBytes(),
+		func(i int) int64 { return geo.DataBlockOffset(spans[i].Index) },
+		func(i int) bool {
+			return spans[i].Index == spans[i-1].Index+1 &&
+				geo.SegmentOfBlock(spans[i].Index) == geo.SegmentOfBlock(spans[i-1].Index)
+		})
+	if f.fs.sharded == nil {
+		for _, r := range runs {
+			if bad, err := f.readRun(p, spans[r.lo:r.hi], -1); err != nil {
+				return bad, err
+			}
+		}
+		return 0, nil
+	}
+	groups := make(map[int][]ioRun)
+	for _, r := range runs {
+		s := f.fs.sharded.ShardOf(f.name, r.off)
+		groups[s] = append(groups[s], r)
+	}
+	return shardFanOut(groups, func(s int, g []ioRun) (int, error) {
+		for _, r := range g {
+			if bad, err := f.readRun(p, spans[r.lo:r.hi], s); err != nil {
+				return bad, err
+			}
+		}
+		return 0, nil
+	})
+}
+
+// spanError carries the buffer position of a failed span through the
+// worker pool, whose lowest-task-index error semantics then yield the
+// lowest failing position deterministically.
+type spanError struct {
+	bufOff int
+	err    error
+}
+
+func (e *spanError) Error() string { return e.err.Error() }
+func (e *spanError) Unwrap() error { return e.err }
+
+// readRun serves one run of disk-adjacent spans within a single
+// segment (and, when sharded, a single stripe owned by shard s; pass
+// s < 0 when unsharded). Pending, cached and hole blocks are filled
+// from memory; the remaining blocks are fetched in contiguous
+// sub-runs, one backend read each, with the per-block decrypt and
+// integrity verification fanned out across the worker pool.
+func (f *file) readRun(p []byte, spans []vfs.Span, shard int) (int, error) {
+	geo := f.fs.geo
+	bs := geo.BlockSize
+	si := geo.SegmentOfBlock(spans[0].Index)
+	seg := f.segment(si)
+	for {
+		seg.mu.RLock()
+		if seg.meta != nil {
+			break
+		}
+		seg.mu.RUnlock()
+		seg.mu.Lock()
+		err := f.ensureMeta(seg, si)
+		seg.mu.Unlock()
+		if err != nil {
+			return spans[0].BufOff, err
+		}
+	}
+	meta := seg.meta
+	if meta.MidUpdate() {
+		// Crash-recovery state: the per-block path knows how to try
+		// the transient keys; coalescing a mid-update segment is not
+		// worth the duplicated logic.
+		seg.mu.RUnlock()
+		return f.readSpansBlocks(p, spans)
+	}
+	defer seg.mu.RUnlock()
+
+	var scratch []byte // lazily pooled block for partial-span copies
+	defer func() {
+		if scratch != nil {
+			f.fs.slabs.put(scratch)
+		}
+	}()
+	fetchFrom := -1
+	for i := 0; i <= len(spans); i++ {
+		served := true
+		if i < len(spans) {
+			sp := spans[i]
+			slot := geo.SlotOfBlock(sp.Index)
+			if plain, ok := seg.pending[slot]; ok {
+				copy(p[sp.BufOff:sp.BufOff+sp.Len], plain[sp.Start:sp.Start+sp.Len])
+			} else if meta.StableKey(slot).IsZero() {
+				zero(p[sp.BufOff : sp.BufOff+sp.Len])
+			} else if sp.Full(bs) && f.fs.cache.getData(f.name, sp.Index, p[sp.BufOff:sp.BufOff+bs]) {
+				// served straight into p
+			} else if !sp.Full(bs) {
+				if scratch == nil {
+					scratch = f.fs.slabs.get(bs)
+				}
+				if f.fs.cache.getData(f.name, sp.Index, scratch) {
+					copy(p[sp.BufOff:sp.BufOff+sp.Len], scratch[sp.Start:sp.Start+sp.Len])
+				} else {
+					served = false
+				}
+			} else {
+				served = false
+			}
+		}
+		if served {
+			if fetchFrom >= 0 {
+				if bad, err := f.fetchRun(p, spans[fetchFrom:i], meta, shard); err != nil {
+					return bad, err
+				}
+				fetchFrom = -1
+			}
+		} else if fetchFrom < 0 {
+			fetchFrom = i
+		}
+	}
+	return 0, nil
+}
+
+// fetchRun reads one contiguous sub-run of uncached, live blocks with
+// a single backend read and fans the per-block AES-CBC decrypt and
+// §2.5 hash verification across the worker pool. Full-block spans
+// decrypt straight into the caller's buffer; partial spans decrypt
+// into pooled scratch and copy out. Verified plaintext enters the
+// block cache under the usual generation guard.
+func (f *file) fetchRun(p []byte, spans []vfs.Span, meta *layout.MetaBlock, shard int) (int, error) {
+	geo := f.fs.geo
+	bs := geo.BlockSize
+	n := len(spans)
+	slab := f.fs.slabs.get(n * bs)
+	defer f.fs.slabs.put(slab)
+	gen := f.fs.cache.snapshot()
+
+	done := f.fs.pool.noteShardRead(shard)
+	t := f.fs.cfg.Recorder.Start()
+	err := backend.ReadFull(f.bf, slab, geo.DataBlockOffset(spans[0].Index))
+	f.fs.cfg.Recorder.Stop(metrics.IO, t)
+	f.fs.cfg.Recorder.CountIOBytes(int64(len(slab)))
+	f.fs.cfg.Recorder.CountEvent(metrics.ReadRun, 1)
+	done(false)
+	if err != nil {
+		return spans[0].BufOff, fmt.Errorf("lamassu: reading run of %d blocks at block %d: %w",
+			n, spans[0].Index, err)
+	}
+
+	decode := func(i int) error {
+		sp := spans[i]
+		ct := slab[i*bs : (i+1)*bs]
+		key := meta.StableKey(geo.SlotOfBlock(sp.Index))
+		dst := p[sp.BufOff : sp.BufOff+sp.Len]
+		var scratch []byte
+		if !sp.Full(bs) {
+			scratch = f.fs.slabs.get(bs)
+			defer f.fs.slabs.put(scratch)
+			dst = scratch
+		}
+		if err := f.fs.decryptBlock(dst, ct, key); err != nil {
+			return &spanError{sp.BufOff, err}
+		}
+		if f.fs.cfg.Integrity == IntegrityFull && !f.fs.verifyBlock(dst, key) {
+			return &spanError{sp.BufOff, fmt.Errorf("%w: block %d", ErrIntegrity, sp.Index)}
+		}
+		f.fs.cache.putData(f.name, sp.Index, dst, gen)
+		if scratch != nil {
+			copy(p[sp.BufOff:sp.BufOff+sp.Len], scratch[sp.Start:sp.Start+sp.Len])
+		}
+		return nil
+	}
+	if n > 1 && f.fs.pool.Width() > 1 {
+		err = f.fs.pool.run(n, decode)
+	} else {
+		for i := 0; i < n && err == nil; i++ {
+			err = decode(i)
+		}
+	}
+	if err != nil {
+		if se, ok := err.(*spanError); ok {
+			return se.bufOff, se.err
+		}
+		return spans[0].BufOff, err
+	}
+	return 0, nil
+}
+
+// noteSequential advances the sequential-read detector after a
+// successful ReadAt of [off, off+n) and, on a detected forward scan,
+// arms one asynchronous readahead of the next Config.Readahead blocks
+// into the block cache.
+func (f *file) noteSequential(off, n, size int64) {
+	ra := f.fs.cfg.Readahead
+	if ra <= 0 || f.fs.cache == nil || f.fs.cfg.DisableCoalescing {
+		return
+	}
+	end := off + n
+	if f.seqEnd.Swap(end) != off || end >= size {
+		return
+	}
+	bs := int64(f.fs.geo.BlockSize)
+	nextB := (end + bs - 1) / bs // first whole block at or after end
+	// The watermark keeps the prefetcher between one and ~three
+	// windows ahead of the reader: behind the reader it restarts at
+	// the reader's position, within reach it continues from where it
+	// left off, comfortably ahead it does nothing, and far beyond
+	// reach (stale state from a scan elsewhere in the file) it
+	// restarts.
+	start := nextB
+	switch w := f.raNext.Load(); {
+	case w <= nextB:
+		// fresh scan, or the prefetcher fell behind
+	case w < nextB+2*int64(ra):
+		start = w // chase the watermark
+	case w <= nextB+3*int64(ra):
+		return // comfortably ahead; let the reader catch up
+	}
+	maxB := f.fs.geo.NumDataBlocks(size)
+	if start >= maxB {
+		return
+	}
+	cnt := int64(ra)
+	if start+cnt > maxB {
+		cnt = maxB - start
+	}
+	if !f.prefetchBusy.CompareAndSwap(false, true) {
+		return
+	}
+	f.raNext.Store(start + cnt)
+	go f.prefetch(start, int(cnt))
+}
+
+// prefetch reads blocks [db, db+n) through the coalesced run reader,
+// populating the block cache as a side effect. It is best-effort:
+// errors are dropped (the foreground read that eventually arrives
+// re-reads and re-verifies), and the handle's operation gate is held
+// shared so Truncate/Close cannot run concurrently.
+func (f *file) prefetch(db int64, n int) {
+	defer f.prefetchBusy.Store(false)
+	f.opMu.RLock()
+	defer f.opMu.RUnlock()
+	if f.checkOpen() != nil {
+		return
+	}
+	bs := f.fs.geo.BlockSize
+	buf := f.fs.slabs.get(n * bs)
+	defer f.fs.slabs.put(buf)
+	spans := make([]vfs.Span, n)
+	for i := range spans {
+		spans[i] = vfs.Span{Index: db + int64(i), Start: 0, Len: bs, BufOff: i * bs}
+	}
+	f.fs.cfg.Recorder.CountEvent(metrics.Prefetch, 1)
+	_, _ = f.readSpansCoalesced(buf, spans)
 }
 
 // readBlock places the full plaintext of logical data block dbi into
@@ -328,10 +671,12 @@ func (f *file) readBlockMeta(seg *segment, dbi int64, slot int, dst []byte) erro
 	}
 
 	gen := f.fs.cache.snapshot()
-	ct := make([]byte, geo.BlockSize)
+	ct := f.fs.slabs.get(geo.BlockSize)
+	defer f.fs.slabs.put(ct)
 	t := f.fs.cfg.Recorder.Start()
 	err := backend.ReadFull(f.bf, ct, geo.DataBlockOffset(dbi))
 	f.fs.cfg.Recorder.Stop(metrics.IO, t)
+	f.fs.cfg.Recorder.CountIOBytes(int64(len(ct)))
 	if err != nil {
 		return fmt.Errorf("lamassu: reading data block %d: %w", dbi, err)
 	}
@@ -379,7 +724,9 @@ func (f *file) readBlockMeta(seg *segment, dbi int64, slot int, dst []byte) erro
 }
 
 // WriteAt implements vfs.File. Concurrent calls proceed in parallel;
-// writes into the same segment serialize on that segment's lock.
+// writes into the same segment serialize on that segment's lock. A
+// request within one block takes an allocation-free fast path when its
+// block is already pending.
 func (f *file) WriteAt(p []byte, off int64) (int, error) {
 	f.opMu.RLock()
 	defer f.opMu.RUnlock()
@@ -399,6 +746,21 @@ func (f *file) WriteAt(p []byte, off int64) (int, error) {
 
 	geo := f.fs.geo
 	bs := geo.BlockSize
+	if bo := int(off % int64(bs)); bo+len(p) <= bs {
+		// Single-block fast path: no span slice.
+		dbi := off / int64(bs)
+		sp := vfs.Span{Index: dbi, Start: bo, Len: len(p), BufOff: 0}
+		si := geo.SegmentOfBlock(dbi)
+		slot := geo.SlotOfBlock(dbi)
+		seg := f.segment(si)
+		seg.mu.Lock()
+		err := f.writeSpan(seg, si, slot, sp, p, off)
+		seg.mu.Unlock()
+		if err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	}
 	for _, sp := range vfs.Spans(off, len(p), bs) {
 		si := geo.SegmentOfBlock(sp.Index)
 		slot := geo.SlotOfBlock(sp.Index)
@@ -415,8 +777,13 @@ func (f *file) WriteAt(p []byte, off int64) (int, error) {
 
 // writeSpan applies one block-intersecting span of a write under the
 // segment's exclusive lock, extending the logical size and committing
-// the segment when its pending count reaches R — the paper's batching
-// policy: a commit occurs once for every R block writes (§2.4).
+// the segment when the batching policy fires. The paper's policy — a
+// commit once every R block writes (§2.4) — governs the per-block
+// engine and, under coalescing, writes that replace live blocks (which
+// claim the R transient slots). Pending blocks that were holes claim
+// no transient slot, so fresh data batches until the segment is full:
+// a sequential append commits a whole segment at once, which the
+// coalescing layer then writes as a single run.
 func (f *file) writeSpan(seg *segment, si int64, slot int, sp vfs.Span, p []byte, off int64) error {
 	buf, err := f.pendingBlock(seg, si, slot, sp.Index, sp.Full(f.fs.geo.BlockSize))
 	if err != nil {
@@ -430,7 +797,13 @@ func (f *file) writeSpan(seg *segment, si int64, slot int, sp vfs.Span, p []byte
 		f.sizeDirty = true
 	}
 	f.stateMu.Unlock()
-	if len(seg.pending) >= f.fs.geo.Reserved {
+	if f.fs.cfg.DisableCoalescing {
+		if len(seg.pending) >= f.fs.geo.Reserved {
+			return f.commitSegment(seg, si)
+		}
+		return nil
+	}
+	if seg.liveOverwrites >= f.fs.geo.Reserved || len(seg.pending) >= f.fs.geo.KeysPerSegment() {
 		return f.commitSegment(seg, si)
 	}
 	return nil
@@ -440,22 +813,46 @@ func (f *file) writeSpan(seg *segment, si int64, slot int, sp vfs.Span, p []byte
 // creating it from the current on-disk contents when needed. When the
 // caller will overwrite the entire block (full == true) the old
 // contents need not be read — this is what keeps full-block writes
-// one-pass, as in the paper's prototype. The caller must hold seg.mu
-// exclusively.
+// one-pass, as in the paper's prototype. The buffer comes from the
+// slab pool (commit returns it there), so its initial contents are
+// undefined: every path below either fills it completely or zeroes
+// it. The caller must hold seg.mu exclusively.
 func (f *file) pendingBlock(seg *segment, si int64, slot int, dbi int64, full bool) ([]byte, error) {
 	if buf, ok := seg.pending[slot]; ok {
 		return buf, nil
 	}
-	buf := make([]byte, f.fs.geo.BlockSize)
-	if !full && f.blockMayExist(dbi) {
+	// Count the blocks that may replace live data — they claim the R
+	// transient slots at commit and bound the coalescing batch. With
+	// the metadata resident the check is exact; before that, any block
+	// inside the logical size is conservatively assumed live.
+	live := false
+	if seg.meta != nil {
+		live = !seg.meta.StableKey(slot).IsZero()
+	} else {
+		live = f.blockMayExist(dbi)
+	}
+	buf := f.fs.slabs.get(f.fs.geo.BlockSize)
+	switch {
+	case full:
+		// Every byte is about to be overwritten.
+	case f.blockMayExist(dbi):
 		if !f.fs.cache.getData(f.name, dbi, buf) {
 			if err := f.ensureMeta(seg, si); err != nil {
+				f.fs.slabs.put(buf)
 				return nil, err
 			}
 			if err := f.readBlockMeta(seg, dbi, slot, buf); err != nil {
+				f.fs.slabs.put(buf)
 				return nil, err
 			}
 		}
+	default:
+		// Fresh partial block: the bytes around the written span must
+		// read as zeros.
+		zero(buf)
+	}
+	if live {
+		seg.liveOverwrites++
 	}
 	seg.pending[slot] = buf
 	return buf, nil
@@ -502,13 +899,21 @@ func (f *file) shrink(newSize int64) error {
 	bs := int64(geo.BlockSize)
 	newNDB := geo.NumDataBlocks(newSize)
 
-	// Drop pending blocks at or beyond the new end.
+	// Drop pending blocks at or beyond the new end. The batching
+	// counter is rebuilt as a conservative bound (every surviving
+	// pending block may be a live overwrite) — leaving the dropped
+	// blocks' contribution in place would trigger premature commits
+	// later.
 	for si, seg := range f.segs {
-		for slot := range seg.pending {
+		for slot, buf := range seg.pending {
 			dbi := si*int64(geo.KeysPerSegment()) + int64(slot)
 			if dbi >= newNDB {
 				delete(seg.pending, slot)
+				f.fs.slabs.put(buf)
 			}
+		}
+		if seg.liveOverwrites > len(seg.pending) {
+			seg.liveOverwrites = len(seg.pending)
 		}
 	}
 

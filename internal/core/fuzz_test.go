@@ -8,6 +8,7 @@ import (
 
 	"lamassu/internal/backend"
 	"lamassu/internal/plainfs"
+	"lamassu/internal/shard"
 	"lamassu/internal/vfs"
 )
 
@@ -37,17 +38,48 @@ func FuzzReadWriteTruncate(f *testing.F) {
 		if len(ops) > 512 {
 			ops = ops[:512] // bound op count, not coverage
 		}
-		for _, cacheBlocks := range []int{0, 8} {
+		// Engine variants: the coalesced default (cache off and on),
+		// the paper's per-block engine, and coalescing with the
+		// sequential-read prefetcher armed — all four must agree with
+		// the plain reference and with each other.
+		variants := []struct {
+			name string
+			mut  func(*Config)
+		}{
+			{"cache-off", func(c *Config) {}},
+			{"cache-on", func(c *Config) { c.CacheBlocks = 8 }},
+			{"per-block", func(c *Config) { c.DisableCoalescing = true; c.CacheBlocks = 8 }},
+			{"readahead", func(c *Config) { c.CacheBlocks = 16; c.Readahead = 4 }},
+		}
+		for _, v := range variants {
 			cfg := testConfig()
 			cfg.Parallelism = 2
-			cfg.CacheBlocks = cacheBlocks
+			v.mut(&cfg)
 			lfs, err := New(backend.NewMemStore(), cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
 			pfs := plainfs.New(backend.NewMemStore())
-			runFuzzOps(t, ops, lfs, pfs, cacheBlocks)
+			runFuzzOps(t, ops, lfs, pfs, cfg.CacheBlocks)
 		}
+		// Striped-shard variant: 2-block stripes force coalesced runs
+		// to split at stripe boundaries constantly; the result must
+		// still match the plain reference byte for byte.
+		stores := make([]backend.Store, 3)
+		for i := range stores {
+			stores[i] = backend.NewMemStore()
+		}
+		ss, err := shard.New(stores, shard.Config{StripeBytes: 2 * 4096})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := testConfig()
+		cfg.Parallelism = 2
+		lfs, err := New(ss, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runFuzzOps(t, ops, lfs, plainfs.New(backend.NewMemStore()), 0)
 	})
 }
 

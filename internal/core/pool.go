@@ -99,8 +99,9 @@ func (p *pool) carveBudgets(n int) {
 // shard slot on the caller's goroutine would head-of-line-block tasks
 // bound for other shards behind one hot shard. The spawn is bounded
 // all the same — callers are commit phases, whose batches hold at
-// most R (Geometry.Reserved) tasks — so a parked goroutine per queued
-// task stays within R per in-flight commit.
+// most one segment's worth of tasks (per-block writes bounded by R,
+// coalesced run writes by the runs of one segment) — so the parked
+// goroutines per in-flight commit stay within one segment's K.
 func (p *pool) runSharded(n int, shardOf func(int) int, fn func(int) error) error {
 	if p.budgets == nil {
 		return p.run(n, fn)
@@ -166,12 +167,14 @@ func (p *pool) runSharded(n int, shardOf func(int) int, fn func(int) error) erro
 	return firstErr
 }
 
-// noteShardRead brackets one read-path block fetch routed to shard s
-// in that shard's gauges (no semaphore — see budget). The returned
-// func must be called when the fetch completes, with cached=true when
-// the block was served from pending state or the cache: those cost no
-// backend I/O and are kept out of the task and ShardRead counters so
-// the per-shard numbers measure real fan-out, not cache hits.
+// noteShardRead brackets one read-path backend fetch routed to shard
+// s in that shard's gauges (no semaphore — see budget). A fetch is a
+// single block on the per-block path or a whole coalesced run. The
+// returned func must be called when the fetch completes, with
+// cached=true when it was served from pending state or the cache:
+// those cost no backend I/O and are kept out of the task and
+// ShardRead counters so the per-shard numbers measure real fan-out,
+// not cache hits.
 func (p *pool) noteShardRead(s int) func(cached bool) {
 	if p.budgets == nil || s < 0 || s >= len(p.budgets) {
 		return func(bool) {}

@@ -66,6 +66,7 @@ func (f *file) recoverSegment(meta *layout.MetaBlock) error {
 		t := f.fs.cfg.Recorder.Start()
 		err := backend.ReadFull(f.bf, ct, off)
 		f.fs.cfg.Recorder.Stop(metrics.IO, t)
+		f.fs.cfg.Recorder.CountIOBytes(int64(len(ct)))
 		if err != nil {
 			return fmt.Errorf("lamassu: recovery read of block %d: %w", dbi, err)
 		}

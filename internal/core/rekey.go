@@ -124,7 +124,10 @@ func (fs *FS) RekeyFull(name string, newInner, newOuter cryptoutil.Key) (RekeySt
 		Outer:     newOuter,
 		Integrity: fs.cfg.Integrity,
 		Recorder:  fs.cfg.Recorder,
-	}}
+	},
+		ced:   cryptoutil.NewCEKeyDeriver(newInner),
+		slabs: fs.slabs,
+	}
 
 	ct := make([]byte, geo.BlockSize)
 	plain := make([]byte, geo.BlockSize)

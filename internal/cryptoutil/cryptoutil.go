@@ -136,6 +136,39 @@ func CEKeyForBlock(block []byte, inner Key) Key {
 	return DeriveCEKey(BlockHash(block), inner)
 }
 
+// CEKeyDeriver is a convergent KDF with the inner-key AES schedule
+// expanded once. The inner key never changes over the life of an FS,
+// so deriving through a CEKeyDeriver avoids the per-block aes.NewCipher
+// allocation and key expansion that DeriveCEKey pays on every call —
+// on the commit and full-integrity read hot loops that is one
+// allocation per block. Safe for concurrent use (cipher.Block
+// encryption is stateless).
+type CEKeyDeriver struct {
+	c cipher.Block
+}
+
+// NewCEKeyDeriver expands the inner key's AES schedule for reuse.
+func NewCEKeyDeriver(inner Key) *CEKeyDeriver {
+	c, err := aes.NewCipher(inner[:])
+	if err != nil {
+		panic("cryptoutil: aes.NewCipher: " + err.Error())
+	}
+	return &CEKeyDeriver{c: c}
+}
+
+// Derive returns CEKey = E_AES(Kin, h), identically to DeriveCEKey.
+func (d *CEKeyDeriver) Derive(h Hash) Key {
+	var out Key
+	d.c.Encrypt(out[0:16], h[0:16])
+	d.c.Encrypt(out[16:32], h[16:32])
+	return out
+}
+
+// DeriveForBlock hashes the block and derives its convergent key.
+func (d *CEKeyDeriver) DeriveForBlock(block []byte) Key {
+	return d.Derive(BlockHash(block))
+}
+
 // fixedIV is the invariant initialization vector used for convergent
 // data-block encryption (paper footnote 2: convergent encryption uses
 // an invariant IV to preserve data equality in the ciphertext).

@@ -70,10 +70,24 @@ const (
 	PoolBatch
 	PoolTask
 	// ShardTask counts commit tasks routed through a per-shard worker
-	// budget; ShardRead counts read-path block fetches fanned out
-	// across shards. Both zero on unsharded mounts.
+	// budget; ShardRead counts read-path backend fetches (blocks or
+	// coalesced runs) fanned out across shards. Both zero on unsharded
+	// mounts.
 	ShardTask
 	ShardRead
+	// WriteRun / ReadRun count coalesced backend I/Os: one WriteRun per
+	// run of adjacent data blocks written by a commit with a single
+	// WriteAt, one ReadRun per run of adjacent ciphertext blocks
+	// fetched by a multi-block read with a single backend read.
+	WriteRun
+	ReadRun
+	// Prefetch counts asynchronous readahead fetches issued by the
+	// sequential-read detector.
+	Prefetch
+	// SlabHit / SlabMiss count slab-allocator requests served from the
+	// pool versus falling through to a fresh allocation.
+	SlabHit
+	SlabMiss
 	numEvents
 )
 
@@ -92,6 +106,16 @@ func (e Event) String() string {
 		return "ShardTask"
 	case ShardRead:
 		return "ShardRead"
+	case WriteRun:
+		return "WriteRun"
+	case ReadRun:
+		return "ReadRun"
+	case Prefetch:
+		return "Prefetch"
+	case SlabHit:
+		return "SlabHit"
+	case SlabMiss:
+		return "SlabMiss"
 	default:
 		return fmt.Sprintf("Event(%d)", int(e))
 	}
@@ -99,17 +123,19 @@ func (e Event) String() string {
 
 // AllEvents lists all events in display order.
 func AllEvents() []Event {
-	return []Event{CacheHit, CacheMiss, PoolBatch, PoolTask, ShardTask, ShardRead}
+	return []Event{CacheHit, CacheMiss, PoolBatch, PoolTask, ShardTask, ShardRead,
+		WriteRun, ReadRun, Prefetch, SlabHit, SlabMiss}
 }
 
 // Recorder accumulates time per category. All methods are safe for
 // concurrent use and are no-ops on a nil receiver.
 type Recorder struct {
-	mu     sync.Mutex
-	total  [numCategories]time.Duration
-	count  [numCategories]int64
-	events [numEvents]int64
-	ops    int64
+	mu      sync.Mutex
+	total   [numCategories]time.Duration
+	count   [numCategories]int64
+	events  [numEvents]int64
+	ops     int64
+	ioBytes int64
 }
 
 // New returns an empty Recorder.
@@ -169,6 +195,18 @@ func (r *Recorder) CountOp() {
 	r.mu.Unlock()
 }
 
+// CountIOBytes adds n bytes to the backend-payload total. Together
+// with the I/O category's operation count it yields the mean bytes
+// moved per backend call — the coalescing layer's headline metric.
+func (r *Recorder) CountIOBytes(n int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ioBytes += n
+	r.mu.Unlock()
+}
+
 // CountEvent adds n occurrences of event e.
 func (r *Recorder) CountEvent(e Event, n int64) {
 	if r == nil {
@@ -185,6 +223,8 @@ type Breakdown struct {
 	Count  [numCategories]int64
 	Events [numEvents]int64
 	Ops    int64
+	// IOBytes is the total backend payload moved (reads + writes).
+	IOBytes int64
 }
 
 // Snapshot returns the current totals.
@@ -194,7 +234,7 @@ func (r *Recorder) Snapshot() Breakdown {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return Breakdown{Total: r.total, Count: r.count, Events: r.events, Ops: r.ops}
+	return Breakdown{Total: r.total, Count: r.count, Events: r.events, Ops: r.ops, IOBytes: r.ioBytes}
 }
 
 // Reset zeroes the recorder.
@@ -207,11 +247,25 @@ func (r *Recorder) Reset() {
 	r.count = [numCategories]int64{}
 	r.events = [numEvents]int64{}
 	r.ops = 0
+	r.ioBytes = 0
 	r.mu.Unlock()
 }
 
 // Event returns the count of event e.
 func (b Breakdown) Event(e Event) int64 { return b.Events[e] }
+
+// IOs returns the number of backend I/O calls recorded (the I/O
+// category's operation count).
+func (b Breakdown) IOs() int64 { return b.Count[IO] }
+
+// BytesPerIO returns the mean payload per backend call, or 0 before
+// any I/O.
+func (b Breakdown) BytesPerIO() float64 {
+	if n := b.Count[IO]; n > 0 {
+		return float64(b.IOBytes) / float64(n)
+	}
+	return 0
+}
 
 // Sum returns the total time across all categories.
 func (b Breakdown) Sum() time.Duration {
