@@ -1,0 +1,55 @@
+package lamassu
+
+// TestAPIGolden pins the exported API surface (api/lamassu.api): any
+// change to an exported name, signature, struct field or interface
+// method fails this test until the golden file is regenerated —
+// making API breaks an explicit, reviewable diff instead of a silent
+// side effect. Regenerate with:
+//
+//	go run ./internal/tools/apigen/main -dir . > api/lamassu.api
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"lamassu/internal/tools/apigen"
+)
+
+func TestAPIGolden(t *testing.T) {
+	got, err := apigen.Generate(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes, err := os.ReadFile("api/lamassu.api")
+	if err != nil {
+		t.Fatalf("missing golden API snapshot: %v", err)
+	}
+	want := string(wantBytes)
+	if got == want {
+		return
+	}
+	gotLines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	wantLines := strings.Split(strings.TrimRight(want, "\n"), "\n")
+	gotSet := make(map[string]bool, len(gotLines))
+	for _, l := range gotLines {
+		gotSet[l] = true
+	}
+	wantSet := make(map[string]bool, len(wantLines))
+	for _, l := range wantLines {
+		wantSet[l] = true
+	}
+	for _, l := range wantLines {
+		if !gotSet[l] {
+			t.Errorf("API removed or changed: %s", l)
+		}
+	}
+	for _, l := range gotLines {
+		if !wantSet[l] {
+			t.Errorf("API added (regenerate api/lamassu.api): %s", l)
+		}
+	}
+	if !t.Failed() {
+		t.Error("API snapshot differs (ordering); regenerate api/lamassu.api")
+	}
+}

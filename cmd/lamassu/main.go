@@ -23,10 +23,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"lamassu"
 	"lamassu/internal/dedupe"
@@ -94,6 +97,12 @@ func main() {
 		die(err)
 	}
 
+	// Ctrl-C cancels the context threaded through every long-running
+	// operation below; a canceled put/rekey leaves the file in a
+	// crash-equivalent, recoverable state (run `fsck` / `recover`).
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	switch cmd {
 	case "put":
 		need(args, 2, "put <local-file> <name>")
@@ -101,7 +110,7 @@ func main() {
 		if err != nil {
 			die(err)
 		}
-		if err := m.WriteFile(args[1], data); err != nil {
+		if err := m.WriteFileCtx(ctx, args[1], data); err != nil {
 			die(err)
 		}
 		fmt.Printf("stored %s as %q (%d bytes, +%d bytes metadata)\n",
@@ -109,7 +118,7 @@ func main() {
 
 	case "get":
 		need(args, 2, "get <name> <local-file>")
-		data, err := m.ReadFile(args[0])
+		data, err := m.ReadFileCtx(ctx, args[0])
 		if err != nil {
 			die(err)
 		}
@@ -149,7 +158,7 @@ func main() {
 
 	case "fsck":
 		forEach(m, args, func(name string) error {
-			rep, err := m.Check(name)
+			rep, err := m.CheckCtx(ctx, name)
 			if err != nil {
 				return err
 			}
@@ -164,7 +173,7 @@ func main() {
 
 	case "recover":
 		forEach(m, args, func(name string) error {
-			st, err := m.Recover(name)
+			st, err := m.RecoverCtx(ctx, name)
 			if err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
@@ -198,7 +207,7 @@ func main() {
 		}
 		forEach(m, args, func(name string) error {
 			if *full {
-				st, err := m.RekeyFull(name, newKeys)
+				st, err := m.RekeyFullCtx(ctx, name, newKeys)
 				if err != nil {
 					return fmt.Errorf("%s: %w", name, err)
 				}
@@ -206,7 +215,7 @@ func main() {
 					name, st.MetaBlocks, st.DataBlocks)
 				return nil
 			}
-			st, err := m.RekeyOuter(name, newKeys.Outer)
+			st, err := m.RekeyOuterCtx(ctx, name, newKeys.Outer)
 			if err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

@@ -31,13 +31,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"lamassu"
@@ -65,13 +68,49 @@ func main() {
 	flag.Parse()
 
 	fileBytes := *mb << 20
+
+	// SIGINT/SIGTERM cancel a context that the extension experiments
+	// thread through the mount API (WriteFileCtx/ReadFileCtx): an
+	// interrupted experiment aborts between blocks/commit phases,
+	// remaining experiments are skipped, and the -json rows measured so
+	// far are still flushed before exiting with the conventional 130.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	flush := func() {
+		if *jsonPath == "" {
+			return
+		}
+		doc := struct {
+			Generated string        `json:"generated"`
+			FileMiB   int64         `json:"file_mib"`
+			Results   []benchResult `json:"results"`
+		}{time.Now().UTC().Format(time.RFC3339), *mb, results}
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lmsbench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+	}
+
 	run := func(name string, f func() (string, error)) {
 		if *exp != "all" && *exp != name {
 			return
 		}
+		if ctx.Err() != nil {
+			return // interrupted: skip the remaining experiments
+		}
 		out, err := f()
 		if err != nil {
+			if lamassu.IsCanceled(err) || ctx.Err() != nil {
+				fmt.Fprintf(os.Stderr, "lmsbench: %s: interrupted\n", name)
+				return
+			}
 			fmt.Fprintf(os.Stderr, "lmsbench: %s: %v\n", name, err)
+			flush()
 			os.Exit(1)
 		}
 		fmt.Println(out)
@@ -133,29 +172,19 @@ func main() {
 		}
 		return experiments.FormatUnaligned(rows), nil
 	})
-	run("scaling", func() (string, error) { return scalingTable(fileBytes) })
-	run("shardscale", func() (string, error) { return shardScaleTable(fileBytes) })
-	run("coalesce", func() (string, error) { return coalesceTable(fileBytes) })
+	run("scaling", func() (string, error) { return scalingTable(ctx, fileBytes) })
+	run("shardscale", func() (string, error) { return shardScaleTable(ctx, fileBytes) })
+	run("coalesce", func() (string, error) { return coalesceTable(ctx, fileBytes) })
 
 	if *exp != "all" && !validExp(*exp) {
 		fmt.Fprintf(os.Stderr, "lmsbench: unknown experiment %q (want fig6|table1|fig7|fig8|fig9|fig10|fig11|unaligned|scaling|shardscale|coalesce|all)\n", *exp)
 		os.Exit(2)
 	}
 
-	if *jsonPath != "" {
-		doc := struct {
-			Generated string        `json:"generated"`
-			FileMiB   int64         `json:"file_mib"`
-			Results   []benchResult `json:"results"`
-		}{time.Now().UTC().Format(time.RFC3339), *mb, results}
-		buf, err := json.MarshalIndent(doc, "", "  ")
-		if err == nil {
-			err = os.WriteFile(*jsonPath, append(buf, '\n'), 0o644)
-		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "lmsbench: writing %s: %v\n", *jsonPath, err)
-			os.Exit(1)
-		}
+	flush()
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "lmsbench: interrupted; partial results flushed")
+		os.Exit(130)
 	}
 }
 
@@ -176,7 +205,7 @@ func validExp(e string) bool {
 // comparison doubles as a regression gate: an error is returned — and
 // lmsbench exits non-zero — if the coalesced engine does not strictly
 // reduce the I/O count on BOTH directions of the sequential workload.
-func coalesceTable(fileBytes int64) (string, error) {
+func coalesceTable(ctx context.Context, fileBytes int64) (string, error) {
 	keys, err := lamassu.GenerateKeys()
 	if err != nil {
 		return "", err
@@ -236,7 +265,7 @@ func coalesceTable(fileBytes int64) (string, error) {
 			return "", err
 		}
 		if err := measure("seq-write/"+label, func() error {
-			return mw.WriteFile("f", data)
+			return mw.WriteFileCtx(ctx, "f", data)
 		}, mw.EngineStats); err != nil {
 			return "", err
 		}
@@ -247,7 +276,7 @@ func coalesceTable(fileBytes int64) (string, error) {
 			return "", err
 		}
 		if err := measure("seq-read/"+label, func() error {
-			got, err := mr.ReadFile("f")
+			got, err := mr.ReadFileCtx(ctx, "f")
 			if err != nil {
 				return err
 			}
@@ -288,7 +317,7 @@ func coalesceTable(fileBytes int64) (string, error) {
 // shard is an independent RAM store, so the distribution of bytes
 // shows the consistent-hash striping at work; on a multi-core host
 // the fan-out across per-shard budgets is what lifts MB/s.
-func shardScaleTable(fileBytes int64) (string, error) {
+func shardScaleTable(ctx context.Context, fileBytes int64) (string, error) {
 	keys, err := lamassu.GenerateKeys()
 	if err != nil {
 		return "", err
@@ -351,7 +380,7 @@ func shardScaleTable(fileBytes int64) (string, error) {
 		errc := make(chan error, writers)
 		for w := 0; w < writers; w++ {
 			go func(w int) {
-				errc <- m.WriteFile(fmt.Sprintf("f%d", w), data)
+				errc <- m.WriteFileCtx(ctx, fmt.Sprintf("f%d", w), data)
 			}(w)
 		}
 		for w := 0; w < writers; w++ {
@@ -386,7 +415,7 @@ func shardScaleTable(fileBytes int64) (string, error) {
 // throughput with the block cache off and on. All runs use the
 // RAM-backed store, the regime of Figures 8-10, so the CPU-bound
 // crypto dominates and the fan-out is visible.
-func scalingTable(fileBytes int64) (string, error) {
+func scalingTable(ctx context.Context, fileBytes int64) (string, error) {
 	keys, err := lamassu.GenerateKeys()
 	if err != nil {
 		return "", err
@@ -405,7 +434,7 @@ func scalingTable(fileBytes int64) (string, error) {
 			return 0, err
 		}
 		start := time.Now()
-		if err := m.WriteFile("f", data); err != nil {
+		if err := m.WriteFileCtx(ctx, "f", data); err != nil {
 			return 0, err
 		}
 		return float64(fileBytes) / (1 << 20) / time.Since(start).Seconds(), nil
@@ -432,16 +461,16 @@ func scalingTable(fileBytes int64) (string, error) {
 		if err != nil {
 			return 0, err
 		}
-		if err := m.WriteFile("f", data); err != nil {
+		if err := m.WriteFileCtx(ctx, "f", data); err != nil {
 			return 0, err
 		}
-		if _, err := m.ReadFile("f"); err != nil { // warm the cache
+		if _, err := m.ReadFileCtx(ctx, "f"); err != nil { // warm the cache
 			return 0, err
 		}
 		start := time.Now()
 		const sweeps = 4
 		for i := 0; i < sweeps; i++ {
-			if _, err := m.ReadFile("f"); err != nil {
+			if _, err := m.ReadFileCtx(ctx, "f"); err != nil {
 				return 0, err
 			}
 		}

@@ -1,0 +1,71 @@
+package lamassu
+
+import (
+	"context"
+	"errors"
+
+	"lamassu/internal/backend"
+	"lamassu/internal/core"
+	"lamassu/internal/vfs"
+)
+
+// API v2 unifies the errors of every layer behind typed sentinels and
+// one structured error type, all errors.Is/As-clean:
+//
+//   - ErrNotExist, ErrIntegrity, ErrUnrecoverable: as before.
+//   - ErrClosed: any operation on a closed File or Mount.
+//   - ErrCanceled: any operation abandoned because its context was
+//     canceled or its deadline expired; such errors also wrap the
+//     context's own error, so errors.Is(err, context.Canceled) or
+//     errors.Is(err, context.DeadlineExceeded) reports which.
+//   - *PathError: every Mount operation that takes a file name wraps
+//     its failures in a PathError carrying the operation and the name,
+//     mirroring io/fs.PathError.
+var (
+	// ErrClosed reports an operation on a closed File or Mount.
+	ErrClosed = vfs.ErrClosed
+	// ErrCanceled reports an operation abandoned on context
+	// cancellation. It wraps context.Canceled semantics: a mid-commit
+	// cancellation returns an error satisfying both
+	// errors.Is(err, ErrCanceled) and errors.Is(err, context.Canceled),
+	// and leaves the file recoverable (see the package comment's
+	// cancellation section).
+	ErrCanceled = core.ErrCanceled
+)
+
+// PathError records an error from a Mount operation together with the
+// operation name and the file it was applied to, like io/fs.PathError.
+type PathError struct {
+	// Op is the failing operation ("create", "open", "remove", ...).
+	Op string
+	// Path is the file name the operation was applied to.
+	Path string
+	// Err is the underlying error.
+	Err error
+}
+
+// Error implements error.
+func (e *PathError) Error() string { return e.Op + " " + e.Path + ": " + e.Err.Error() }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *PathError) Unwrap() error { return e.Err }
+
+// pathErr wraps a non-nil err in a *PathError.
+func pathErr(op, path string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &PathError{Op: op, Path: path, Err: err}
+}
+
+// IsCanceled reports whether err indicates an operation abandoned on
+// context cancellation or deadline expiry.
+func IsCanceled(err error) bool { return err != nil && errors.Is(err, ErrCanceled) }
+
+// IsClosed reports whether err indicates use of a closed File or
+// Mount.
+func IsClosed(err error) bool { return err != nil && errors.Is(err, ErrClosed) }
+
+// canceled normalizes a context check into the public error shape: it
+// returns nil for a nil or live ctx.
+func canceled(ctx context.Context) error { return backend.CtxErr(ctx) }

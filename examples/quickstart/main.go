@@ -36,7 +36,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	m, err := lamassu.NewMount(storage, keys, nil)
+	m, err := lamassu.New(storage, keys)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@ package lamassu
 import (
 	"bytes"
 	"errors"
+	"io"
 	"net"
 	"strings"
 	"testing"
@@ -220,7 +221,7 @@ func TestReplicateVolume(t *testing.T) {
 	}
 }
 
-func readFull(f File, p []byte) error {
+func readFull(f io.ReaderAt, p []byte) error {
 	n, err := f.ReadAt(p, 0)
 	if n == len(p) {
 		return nil

@@ -1,0 +1,306 @@
+package lamassu
+
+// Mount.FS — a read-only io/fs.FS view of a mount, for std-lib
+// interop: fs.WalkDir, fs.ReadFile, fs.Glob, http.FS, template
+// loading, and anything else written against the standard file-system
+// interfaces. The view passes testing/fstest.TestFS.
+//
+// A Mount's namespace is flat, but stored names may contain '/'; the
+// view synthesizes the implied directory tree, so "a/b.txt" appears as
+// file "b.txt" inside directory "a". Stored names that are not valid
+// io/fs paths (absolute, ".."-containing, empty segments) are omitted
+// from directory listings and unreachable through Open, as is a file
+// whose name is also a directory prefix of another stored name (io/fs
+// cannot express "a" and "a/b" at once; the directory wins) — store
+// such files under clean, non-colliding relative names if they need
+// to be visible here.
+//
+// The view is live (each operation re-reads the mount) and read-only;
+// writes still go through the Mount/File API.
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"path"
+	"sort"
+	"strings"
+	"time"
+)
+
+// FS returns a read-only io/fs.FS view of the mount. Operations on it
+// honor the mount's Close state and report failures as *fs.PathError
+// (the io/fs convention), with the underlying lamassu errors wrapped
+// inside.
+func (m *Mount) FS() fs.FS { return &fsView{m: m} }
+
+type fsView struct {
+	m *Mount
+}
+
+var (
+	_ fs.FS         = (*fsView)(nil)
+	_ fs.ReadDirFS  = (*fsView)(nil)
+	_ fs.StatFS     = (*fsView)(nil)
+	_ fs.ReadFileFS = (*fsView)(nil)
+)
+
+// names returns the mount's stored names that are representable in an
+// io/fs tree: valid io/fs paths that are not ALSO a directory prefix
+// of another stored name. The flat store legally holds both "a" and
+// "a/b", but io/fs cannot express a name that is a file and a
+// directory at once — the directory wins and the shadowed file is
+// omitted from the view (it stays reachable through the Mount API).
+func (v *fsView) names() ([]string, error) {
+	all, err := v.m.List()
+	if err != nil {
+		return nil, err
+	}
+	valid := all[:0]
+	for _, n := range all {
+		if fs.ValidPath(n) && n != "." {
+			valid = append(valid, n)
+		}
+	}
+	dirs := make(map[string]bool)
+	for _, n := range valid {
+		for {
+			i := strings.LastIndexByte(n, '/')
+			if i < 0 {
+				break
+			}
+			n = n[:i]
+			dirs[n] = true
+		}
+	}
+	out := valid[:0]
+	for _, n := range valid {
+		if !dirs[n] {
+			out = append(out, n)
+		}
+	}
+	return out, nil
+}
+
+// lookup classifies name within the current namespace snapshot.
+func (v *fsView) lookup(name string) (isFile, isDir bool, err error) {
+	if name == "." {
+		return false, true, nil
+	}
+	names, err := v.names()
+	if err != nil {
+		return false, false, err
+	}
+	prefix := name + "/"
+	for _, n := range names {
+		if n == name {
+			isFile = true
+		} else if strings.HasPrefix(n, prefix) {
+			isDir = true
+		}
+	}
+	return isFile, isDir, nil
+}
+
+// Open implements fs.FS.
+func (v *fsView) Open(name string) (fs.File, error) {
+	if !fs.ValidPath(name) {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrInvalid}
+	}
+	isFile, isDir, err := v.lookup(name)
+	if err != nil {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: err}
+	}
+	switch {
+	case isFile:
+		f, err := v.m.Open(name)
+		if err != nil {
+			return nil, &fs.PathError{Op: "open", Path: name, Err: err}
+		}
+		size, err := f.Size()
+		if err != nil {
+			f.Close()
+			return nil, &fs.PathError{Op: "open", Path: name, Err: err}
+		}
+		return &fsFile{f: f, info: fileInfo{name: path.Base(name), size: size}}, nil
+	case isDir:
+		entries, err := v.ReadDir(name)
+		if err != nil {
+			return nil, err
+		}
+		return &fsDir{name: path.Base(name), entries: entries}, nil
+	default:
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	}
+}
+
+// ReadDir implements fs.ReadDirFS.
+func (v *fsView) ReadDir(name string) ([]fs.DirEntry, error) {
+	if !fs.ValidPath(name) {
+		return nil, &fs.PathError{Op: "readdir", Path: name, Err: fs.ErrInvalid}
+	}
+	names, err := v.names()
+	if err != nil {
+		return nil, &fs.PathError{Op: "readdir", Path: name, Err: err}
+	}
+	prefix := ""
+	if name != "." {
+		prefix = name + "/"
+	}
+	files := make(map[string]bool)
+	dirs := make(map[string]bool)
+	exists := name == "."
+	for _, n := range names {
+		if n == name {
+			return nil, &fs.PathError{Op: "readdir", Path: name, Err: errors.New("not a directory")}
+		}
+		if !strings.HasPrefix(n, prefix) {
+			continue
+		}
+		exists = true
+		rest := n[len(prefix):]
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			dirs[rest[:i]] = true
+		} else {
+			files[rest] = true
+		}
+	}
+	if !exists {
+		return nil, &fs.PathError{Op: "readdir", Path: name, Err: fs.ErrNotExist}
+	}
+	out := make([]fs.DirEntry, 0, len(files)+len(dirs))
+	for d := range dirs {
+		out = append(out, dirEntry{info: fileInfo{name: d, dir: true}})
+	}
+	for f := range files {
+		full := prefix + f
+		size, err := v.m.Stat(full)
+		if err != nil {
+			return nil, &fs.PathError{Op: "readdir", Path: full, Err: err}
+		}
+		out = append(out, dirEntry{info: fileInfo{name: f, size: size}})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out, nil
+}
+
+// Stat implements fs.StatFS.
+func (v *fsView) Stat(name string) (fs.FileInfo, error) {
+	if !fs.ValidPath(name) {
+		return nil, &fs.PathError{Op: "stat", Path: name, Err: fs.ErrInvalid}
+	}
+	isFile, isDir, err := v.lookup(name)
+	if err != nil {
+		return nil, &fs.PathError{Op: "stat", Path: name, Err: err}
+	}
+	switch {
+	case isFile:
+		size, err := v.m.Stat(name)
+		if err != nil {
+			return nil, &fs.PathError{Op: "stat", Path: name, Err: err}
+		}
+		return fileInfo{name: path.Base(name), size: size}, nil
+	case isDir:
+		return fileInfo{name: path.Base(name), dir: true}, nil
+	default:
+		return nil, &fs.PathError{Op: "stat", Path: name, Err: fs.ErrNotExist}
+	}
+}
+
+// ReadFile implements fs.ReadFileFS.
+func (v *fsView) ReadFile(name string) ([]byte, error) {
+	if !fs.ValidPath(name) {
+		return nil, &fs.PathError{Op: "readfile", Path: name, Err: fs.ErrInvalid}
+	}
+	isFile, isDir, err := v.lookup(name)
+	if err != nil {
+		return nil, &fs.PathError{Op: "readfile", Path: name, Err: err}
+	}
+	if !isFile {
+		e := fs.ErrNotExist
+		if isDir {
+			e = errors.New("is a directory")
+		}
+		return nil, &fs.PathError{Op: "readfile", Path: name, Err: e}
+	}
+	data, err := v.m.ReadFile(name)
+	if err != nil {
+		return nil, &fs.PathError{Op: "readfile", Path: name, Err: err}
+	}
+	return data, nil
+}
+
+// fsFile adapts a read-only lamassu File to fs.File (plus io.ReaderAt
+// and io.Seeker, which the underlying handle provides natively).
+type fsFile struct {
+	f    File
+	info fileInfo
+}
+
+func (f *fsFile) Stat() (fs.FileInfo, error)                { return f.info, nil }
+func (f *fsFile) Read(p []byte) (int, error)                { return f.f.Read(p) }
+func (f *fsFile) ReadAt(p []byte, off int64) (int, error)   { return f.f.ReadAt(p, off) }
+func (f *fsFile) Seek(off int64, whence int) (int64, error) { return f.f.Seek(off, whence) }
+func (f *fsFile) Close() error                              { return f.f.Close() }
+
+// fsDir is a synthesized directory handle supporting paged ReadDir.
+type fsDir struct {
+	name    string
+	entries []fs.DirEntry
+	pos     int
+}
+
+func (d *fsDir) Stat() (fs.FileInfo, error) { return fileInfo{name: d.name, dir: true}, nil }
+func (d *fsDir) Read([]byte) (int, error) {
+	return 0, &fs.PathError{Op: "read", Path: d.name, Err: errors.New("is a directory")}
+}
+func (d *fsDir) Close() error { return nil }
+
+// ReadDir implements fs.ReadDirFile with the standard paging contract:
+// n <= 0 returns everything remaining (possibly empty, no error);
+// n > 0 returns at most n entries, with io.EOF at the end.
+func (d *fsDir) ReadDir(n int) ([]fs.DirEntry, error) {
+	rest := d.entries[d.pos:]
+	if n <= 0 {
+		d.pos = len(d.entries)
+		return append([]fs.DirEntry(nil), rest...), nil
+	}
+	if len(rest) == 0 {
+		return nil, io.EOF
+	}
+	if n > len(rest) {
+		n = len(rest)
+	}
+	d.pos += n
+	return append([]fs.DirEntry(nil), rest[:n]...), nil
+}
+
+// fileInfo is the fs.FileInfo of a viewed file or synthesized
+// directory. Mounts store no timestamps, so ModTime is the zero time.
+type fileInfo struct {
+	name string
+	size int64
+	dir  bool
+}
+
+func (i fileInfo) Name() string { return i.name }
+func (i fileInfo) Size() int64  { return i.size }
+func (i fileInfo) Mode() fs.FileMode {
+	if i.dir {
+		return fs.ModeDir | 0o555
+	}
+	return 0o444
+}
+func (i fileInfo) ModTime() time.Time { return time.Time{} }
+func (i fileInfo) IsDir() bool        { return i.dir }
+func (i fileInfo) Sys() any           { return nil }
+
+// dirEntry adapts fileInfo to fs.DirEntry.
+type dirEntry struct {
+	info fileInfo
+}
+
+func (e dirEntry) Name() string               { return e.info.name }
+func (e dirEntry) IsDir() bool                { return e.info.dir }
+func (e dirEntry) Type() fs.FileMode          { return e.info.Mode().Type() }
+func (e dirEntry) Info() (fs.FileInfo, error) { return e.info, nil }

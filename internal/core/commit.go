@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"lamassu/internal/backend"
 	"lamassu/internal/cryptoutil"
 	"lamassu/internal/metrics"
 )
@@ -46,8 +48,20 @@ import (
 // metadata write completes, and the phase-3 write begins only after
 // every data block write has returned.
 //
+// Cancellation (API v2): ctx is observed before every backend write —
+// between the phase barriers and between the individual block/run
+// writes of phase 2 — never inside one. A cancellation point is
+// therefore exactly a crash point of the existing sweeps: phase 1
+// canceled leaves the old committed state intact, phase 2 canceled
+// leaves the segment midupdate with a recoverable mix of old and new
+// blocks, and phase 3 canceled leaves a fully-written segment whose
+// marker the next recovery clears. The pending buffers stay staged, so
+// retrying the commit with a live context converges (the midupdate
+// repair at the top of this function plus the already-durable drop
+// below re-commit only what never landed).
+//
 // The caller must hold seg.mu exclusively.
-func (f *file) commitSegment(seg *segment, si int64) error {
+func (f *file) commitSegment(ctx context.Context, seg *segment, si int64) error {
 	if len(seg.pending) == 0 {
 		// Nothing buffered (e.g. a truncate dropped the pending set);
 		// clear the batching counter so its staleness cannot trigger
@@ -61,14 +75,20 @@ func (f *file) commitSegment(seg *segment, si int64) error {
 		return fmt.Errorf("lamassu: internal error: %d pending blocks exceed R=%d in segment %d",
 			len(seg.pending), f.fs.geo.Reserved, si)
 	}
-	if err := f.ensureMeta(seg, si); err != nil {
+	if err := f.ensureMeta(ctx, seg, si); err != nil {
+		return err
+	}
+	// Refuse to start mutating the in-memory metadata under an
+	// already-dead context; after this point cancellation is observed
+	// at backend-write boundaries only.
+	if err := backend.CtxErr(ctx); err != nil {
 		return err
 	}
 	meta := seg.meta
 	// A segment still marked midupdate carries recovery state from an
 	// interrupted commit; repair it before reusing the transient slots.
 	if meta.MidUpdate() {
-		if err := f.recoverSegment(meta); err != nil {
+		if err := f.recoverSegment(ctx, meta); err != nil {
 			return err
 		}
 	}
@@ -88,7 +108,7 @@ func (f *file) commitSegment(seg *segment, si int64) error {
 	// the hole it was.
 	keysPerSeg := int64(f.fs.geo.KeysPerSegment())
 	newKeys := make([]cryptoutil.Key, len(slots))
-	err := f.fs.pool.run(len(slots), func(i int) error {
+	err := f.fs.pool.run(ctx, len(slots), func(i int) error {
 		k, err := f.fs.deriveKey(seg.pending[slots[i]])
 		if err != nil {
 			return fmt.Errorf("lamassu: deriving key for segment %d slot %d: %w", si, slots[i], err)
@@ -159,7 +179,7 @@ func (f *file) commitSegment(seg *segment, si int64) error {
 	meta.SetMidUpdate(true)
 	sizeAtCommit := f.sizeNow()
 	meta.LogicalSize = uint64(sizeAtCommit)
-	if err := f.fs.writeMeta(f.bf, f.name, meta); err != nil {
+	if err := f.fs.writeMeta(ctx, f.bf, f.name, meta); err != nil {
 		return fmt.Errorf("lamassu: commit phase 1 (segment %d): %w", si, err)
 	}
 
@@ -183,9 +203,9 @@ func (f *file) commitSegment(seg *segment, si int64) error {
 	// Phase 2: encrypt and write the data blocks between the two
 	// metadata barriers.
 	if f.fs.cfg.DisableCoalescing {
-		err = f.commitBlocks(seg, si, slots, newKeys)
+		err = f.commitBlocks(ctx, seg, si, slots, newKeys)
 	} else {
-		err = f.commitCoalesced(seg, si, slots, newKeys)
+		err = f.commitCoalesced(ctx, seg, si, slots, newKeys)
 	}
 	// Second half of the invalidation bracket around phase 2, on the
 	// success and error paths alike.
@@ -199,7 +219,11 @@ func (f *file) commitSegment(seg *segment, si int64) error {
 	// Phase 3: clear the update marker.
 	meta.SetMidUpdate(false)
 	meta.ClearTransient()
-	if err := f.fs.writeMeta(f.bf, f.name, meta); err != nil {
+	if err := f.fs.writeMeta(ctx, f.bf, f.name, meta); err != nil {
+		// The phase-3 write never landed: the on-disk segment is still
+		// marked midupdate, so the in-memory view must agree or a
+		// commit retry would skip the repair pass.
+		meta.SetMidUpdate(true)
 		return fmt.Errorf("lamassu: commit phase 3 (segment %d): %w", si, err)
 	}
 
@@ -232,7 +256,7 @@ func (f *file) commitSegment(seg *segment, si int64) error {
 // Over a sharded store each task is charged to the budget of the
 // shard that owns its block, so commits into one hot shard queue on
 // that shard's slice of the pool instead of starving the others.
-func (f *file) commitBlocks(seg *segment, si int64, slots []int, newKeys []cryptoutil.Key) error {
+func (f *file) commitBlocks(ctx context.Context, seg *segment, si int64, slots []int, newKeys []cryptoutil.Key) error {
 	keysPerSeg := int64(f.fs.geo.KeysPerSegment())
 	bs := f.fs.geo.BlockSize
 	ctSlab := bs
@@ -252,7 +276,7 @@ func (f *file) commitBlocks(seg *segment, si int64, slots []int, newKeys []crypt
 		}
 		dbi := si*keysPerSeg + int64(s)
 		t := f.fs.cfg.Recorder.Start()
-		_, werr := f.bf.WriteAt(ct, f.fs.geo.DataBlockOffset(dbi))
+		_, werr := backend.WriteAtCtx(ctx, f.bf, ct, f.fs.geo.DataBlockOffset(dbi))
 		f.fs.cfg.Recorder.Stop(metrics.IO, t)
 		f.fs.cfg.Recorder.CountIOBytes(int64(bs))
 		if werr != nil {
@@ -261,11 +285,11 @@ func (f *file) commitBlocks(seg *segment, si int64, slots []int, newKeys []crypt
 		return nil
 	}
 	if f.fs.sharded != nil {
-		return f.fs.pool.runSharded(len(slots), func(i int) int {
+		return f.fs.pool.runSharded(ctx, len(slots), func(i int) int {
 			return f.fs.shardOfBlock(f.name, si*keysPerSeg+int64(slots[i]))
 		}, writeBlock)
 	}
-	return f.fs.pool.run(len(slots), writeBlock)
+	return f.fs.pool.run(ctx, len(slots), writeBlock)
 }
 
 // ioRun is one coalesced backend I/O: the half-open index range
@@ -326,13 +350,13 @@ func (f *file) commitRuns(si int64, slots []int) []ioRun {
 // charged to the budget of the one shard it lands on. Error semantics
 // match the per-block engine: the failure of the lowest index wins,
 // deterministically.
-func (f *file) commitCoalesced(seg *segment, si int64, slots []int, newKeys []cryptoutil.Key) error {
+func (f *file) commitCoalesced(ctx context.Context, seg *segment, si int64, slots []int, newKeys []cryptoutil.Key) error {
 	keysPerSeg := int64(f.fs.geo.KeysPerSegment())
 	bs := f.fs.geo.BlockSize
 	runs := f.commitRuns(si, slots)
 	cts := f.fs.slabs.get(len(slots) * bs)
 	defer f.fs.slabs.put(cts)
-	err := f.fs.pool.run(len(slots), func(i int) error {
+	err := f.fs.pool.run(ctx, len(slots), func(i int) error {
 		return f.fs.encryptBlock(cts[i*bs:(i+1)*bs], seg.pending[slots[i]], newKeys[i])
 	})
 	if err != nil {
@@ -342,7 +366,7 @@ func (f *file) commitCoalesced(seg *segment, si int64, slots []int, newKeys []cr
 		run := runs[r]
 		payload := cts[run.lo*bs : run.hi*bs]
 		t := f.fs.cfg.Recorder.Start()
-		_, werr := f.bf.WriteAt(payload, run.off)
+		_, werr := backend.WriteAtCtx(ctx, f.bf, payload, run.off)
 		f.fs.cfg.Recorder.Stop(metrics.IO, t)
 		f.fs.cfg.Recorder.CountIOBytes(int64(len(payload)))
 		f.fs.cfg.Recorder.CountEvent(metrics.WriteRun, 1)
@@ -354,11 +378,11 @@ func (f *file) commitCoalesced(seg *segment, si int64, slots []int, newKeys []cr
 		return nil
 	}
 	if f.fs.sharded != nil {
-		return f.fs.pool.runSharded(len(runs), func(r int) int {
+		return f.fs.pool.runSharded(ctx, len(runs), func(r int) int {
 			return f.fs.sharded.ShardOf(f.name, runs[r].off)
 		}, writeRun)
 	}
-	return f.fs.pool.run(len(runs), writeRun)
+	return f.fs.pool.run(ctx, len(runs), writeRun)
 }
 
 // isFinalSegmentLocked reports whether si is the file's final segment
@@ -375,7 +399,7 @@ func (f *file) isFinalSegmentLocked(si int64) bool {
 // commitAll flushes every pending segment and persists the
 // authoritative logical size in the final metadata block. The caller
 // must hold opMu exclusively.
-func (f *file) commitAll() error {
+func (f *file) commitAll(ctx context.Context) error {
 	f.stateMu.Lock()
 	segs := make([]int64, 0, len(f.segs))
 	for si, seg := range f.segs {
@@ -386,15 +410,18 @@ func (f *file) commitAll() error {
 	f.stateMu.Unlock()
 	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
 	for _, si := range segs {
+		if err := backend.CtxErr(ctx); err != nil {
+			return err
+		}
 		seg := f.segment(si)
 		seg.mu.Lock()
-		err := f.commitSegment(seg, si)
+		err := f.commitSegment(ctx, seg, si)
 		seg.mu.Unlock()
 		if err != nil {
 			return err
 		}
 	}
-	return f.persistSize()
+	return f.persistSize(ctx)
 }
 
 // persistSize writes the current logical size into the final metadata
@@ -402,7 +429,7 @@ func (f *file) commitAll() error {
 // Stale sizes in earlier metadata blocks are intentionally left in
 // place; readers only trust the final block (§2.3). The caller must
 // hold opMu exclusively.
-func (f *file) persistSize() error {
+func (f *file) persistSize(ctx context.Context) error {
 	if !f.sizeDirty {
 		return nil
 	}
@@ -425,12 +452,12 @@ func (f *file) persistSize() error {
 	}
 	ndb := f.fs.geo.NumDataBlocks(f.size)
 	lastSeg := f.fs.geo.SegmentOfBlock(ndb - 1)
-	meta, err := f.metaFor(lastSeg)
+	meta, err := f.metaFor(ctx, lastSeg)
 	if err != nil {
 		return err
 	}
 	meta.LogicalSize = uint64(f.size)
-	if err := f.fs.writeMeta(f.bf, f.name, meta); err != nil {
+	if err := f.fs.writeMeta(ctx, f.bf, f.name, meta); err != nil {
 		return err
 	}
 	phys, err := f.bf.Size()
@@ -439,7 +466,7 @@ func (f *file) persistSize() error {
 	}
 	if want := f.fs.geo.PhysicalSize(f.size); phys < want {
 		t := f.fs.cfg.Recorder.Start()
-		err := f.bf.Truncate(want)
+		err := backend.TruncateCtx(ctx, f.bf, want)
 		f.fs.cfg.Recorder.Stop(metrics.IO, t)
 		if err != nil {
 			return err

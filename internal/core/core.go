@@ -43,6 +43,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -91,6 +92,13 @@ var (
 	ErrUnrecoverable = errors.New("lamassu: segment is unrecoverable")
 	// ErrReadOnly is returned by mutations on read-only handles.
 	ErrReadOnly = errors.New("lamassu: file opened read-only")
+	// ErrCanceled reports an operation abandoned because its context
+	// was canceled or its deadline expired (wrapping the context's own
+	// error). It is the backend sentinel, re-exported so every layer
+	// returns one value.
+	ErrCanceled = backend.ErrCanceled
+	// ErrClosed reports an operation on a closed handle.
+	ErrClosed = backend.ErrClosed
 )
 
 // Config configures a Lamassu file system instance.
@@ -264,15 +272,19 @@ func (fs *FS) shardOfBlock(name string, dbi int64) int {
 }
 
 // Create implements vfs.FS.
-func (fs *FS) Create(name string) (vfs.File, error) {
-	bf, err := fs.store.Open(name, backend.OpenCreate)
+func (fs *FS) Create(name string) (vfs.File, error) { return fs.CreateCtx(nil, name) }
+
+// CreateCtx implements vfs.FS, threading ctx to the backing open and
+// the size load.
+func (fs *FS) CreateCtx(ctx context.Context, name string) (vfs.File, error) {
+	bf, err := backend.OpenCtx(ctx, fs.store, name, backend.OpenCreate)
 	if err != nil {
 		return nil, fmt.Errorf("lamassu: %w", err)
 	}
 	// The name may be a fresh incarnation of a removed file; cached
 	// state from the old incarnation must not leak into the new one.
 	fs.cache.invalidateFile(name)
-	f, err := fs.newFile(bf, name, false)
+	f, err := fs.newFile(ctx, bf, name, false)
 	if err != nil {
 		bf.Close()
 		return nil, err
@@ -281,12 +293,15 @@ func (fs *FS) Create(name string) (vfs.File, error) {
 }
 
 // Open implements vfs.FS.
-func (fs *FS) Open(name string) (vfs.File, error) {
-	bf, err := fs.store.Open(name, backend.OpenRead)
+func (fs *FS) Open(name string) (vfs.File, error) { return fs.OpenCtx(nil, name) }
+
+// OpenCtx implements vfs.FS.
+func (fs *FS) OpenCtx(ctx context.Context, name string) (vfs.File, error) {
+	bf, err := backend.OpenCtx(ctx, fs.store, name, backend.OpenRead)
 	if err != nil {
 		return nil, mapErr(err)
 	}
-	f, err := fs.newFile(bf, name, true)
+	f, err := fs.newFile(ctx, bf, name, true)
 	if err != nil {
 		bf.Close()
 		return nil, err
@@ -295,12 +310,15 @@ func (fs *FS) Open(name string) (vfs.File, error) {
 }
 
 // OpenRW implements vfs.FS.
-func (fs *FS) OpenRW(name string) (vfs.File, error) {
-	bf, err := fs.store.Open(name, backend.OpenWrite)
+func (fs *FS) OpenRW(name string) (vfs.File, error) { return fs.OpenRWCtx(nil, name) }
+
+// OpenRWCtx implements vfs.FS.
+func (fs *FS) OpenRWCtx(ctx context.Context, name string) (vfs.File, error) {
+	bf, err := backend.OpenCtx(ctx, fs.store, name, backend.OpenWrite)
 	if err != nil {
 		return nil, mapErr(err)
 	}
-	f, err := fs.newFile(bf, name, false)
+	f, err := fs.newFile(ctx, bf, name, false)
 	if err != nil {
 		bf.Close()
 		return nil, err
@@ -309,28 +327,39 @@ func (fs *FS) OpenRW(name string) (vfs.File, error) {
 }
 
 // Remove implements vfs.FS.
-func (fs *FS) Remove(name string) error {
+func (fs *FS) Remove(name string) error { return fs.RemoveCtx(nil, name) }
+
+// RemoveCtx implements vfs.FS.
+func (fs *FS) RemoveCtx(ctx context.Context, name string) error {
 	fs.cache.invalidateFile(name)
-	return mapErr(fs.store.Remove(name))
+	return mapErr(backend.RemoveCtx(ctx, fs.store, name))
 }
 
 // List implements vfs.FS.
 func (fs *FS) List() ([]string, error) { return fs.store.List() }
 
+// ListCtx implements vfs.FS.
+func (fs *FS) ListCtx(ctx context.Context) ([]string, error) {
+	return backend.ListCtx(ctx, fs.store)
+}
+
 // Stat implements vfs.FS: it returns the file's logical size, read
 // from the authoritative final metadata block (§2.3).
-func (fs *FS) Stat(name string) (int64, error) {
-	bf, err := fs.store.Open(name, backend.OpenRead)
+func (fs *FS) Stat(name string) (int64, error) { return fs.StatCtx(nil, name) }
+
+// StatCtx implements vfs.FS.
+func (fs *FS) StatCtx(ctx context.Context, name string) (int64, error) {
+	bf, err := backend.OpenCtx(ctx, fs.store, name, backend.OpenRead)
 	if err != nil {
 		return 0, mapErr(err)
 	}
 	defer bf.Close()
-	return fs.logicalSize(bf, name)
+	return fs.logicalSize(ctx, bf, name)
 }
 
 // logicalSize reads the authoritative size from a backing handle,
 // consulting the decoded-meta cache.
-func (fs *FS) logicalSize(bf backend.File, name string) (int64, error) {
+func (fs *FS) logicalSize(ctx context.Context, bf backend.File, name string) (int64, error) {
 	phys, err := bf.Size()
 	if err != nil {
 		return 0, err
@@ -339,7 +368,7 @@ func (fs *FS) logicalSize(bf backend.File, name string) (int64, error) {
 		return 0, nil
 	}
 	lastSeg := fs.lastSegment(phys)
-	meta, err := fs.cachedMeta(bf, name, lastSeg)
+	meta, err := fs.cachedMeta(ctx, bf, name, lastSeg)
 	if err != nil {
 		return 0, fmt.Errorf("lamassu: reading final metadata block: %w", err)
 	}
@@ -350,12 +379,12 @@ func (fs *FS) logicalSize(bf backend.File, name string) (int64, error) {
 // through the per-FS decoded-meta cache. Audit paths (Check, Recover,
 // re-keying) bypass this and call readMeta directly so they always see
 // the backing store.
-func (fs *FS) cachedMeta(bf backend.File, name string, seg int64) (*layout.MetaBlock, error) {
+func (fs *FS) cachedMeta(ctx context.Context, bf backend.File, name string, seg int64) (*layout.MetaBlock, error) {
 	if m := fs.cache.getMeta(name, seg); m != nil {
 		return m, nil
 	}
 	gen := fs.cache.snapshot()
-	m, err := fs.readMeta(bf, seg)
+	m, err := fs.readMeta(ctx, bf, seg)
 	if err != nil {
 		return nil, err
 	}
@@ -378,11 +407,11 @@ func (fs *FS) lastSegment(phys int64) int64 {
 // readMeta reads and decodes the metadata block of segment seg from a
 // backing handle. A region that is entirely zero (a hole produced by
 // sparse extension) decodes to an empty metadata block.
-func (fs *FS) readMeta(bf backend.File, seg int64) (*layout.MetaBlock, error) {
+func (fs *FS) readMeta(ctx context.Context, bf backend.File, seg int64) (*layout.MetaBlock, error) {
 	buf := fs.slabs.get(fs.geo.BlockSize)
 	defer fs.slabs.put(buf)
 	t := fs.cfg.Recorder.Start()
-	err := backend.ReadFull(bf, buf, fs.geo.MetaBlockOffset(seg))
+	err := backend.ReadFullCtx(ctx, bf, buf, fs.geo.MetaBlockOffset(seg))
 	fs.cfg.Recorder.Stop(metrics.IO, t)
 	fs.cfg.Recorder.CountIOBytes(int64(len(buf)))
 	if err != nil {
@@ -406,7 +435,7 @@ func (fs *FS) readMeta(bf backend.File, seg int64) (*layout.MetaBlock, error) {
 // the write was in flight, and would otherwise re-install them under
 // a post-first-bump generation snapshot. The second drop runs even on
 // error, when the on-disk state is unknown.
-func (fs *FS) writeMeta(bf backend.File, name string, m *layout.MetaBlock) error {
+func (fs *FS) writeMeta(ctx context.Context, bf backend.File, name string, m *layout.MetaBlock) error {
 	buf := fs.slabs.get(fs.geo.BlockSize)
 	defer fs.slabs.put(buf)
 	t := fs.cfg.Recorder.Start()
@@ -417,7 +446,7 @@ func (fs *FS) writeMeta(bf backend.File, name string, m *layout.MetaBlock) error
 	}
 	fs.cache.invalidateMeta(name, int64(m.SegIndex))
 	t = fs.cfg.Recorder.Start()
-	_, err = bf.WriteAt(buf, fs.geo.MetaBlockOffset(int64(m.SegIndex)))
+	_, err = backend.WriteAtCtx(ctx, bf, buf, fs.geo.MetaBlockOffset(int64(m.SegIndex)))
 	fs.cfg.Recorder.Stop(metrics.IO, t)
 	fs.cfg.Recorder.CountIOBytes(int64(len(buf)))
 	fs.cache.invalidateMeta(name, int64(m.SegIndex))

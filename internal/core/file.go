@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -32,6 +33,10 @@ import (
 // the only writer of the underlying object (single-mount semantics, as
 // in the FUSE prototype); concurrent writers must share one handle.
 type file struct {
+	// Cursor supplies the io.Reader/io.Writer/io.Seeker methods over
+	// the positional I/O below (std-lib interop; bound in newFile).
+	vfs.Cursor
+
 	fs       *FS
 	bf       backend.File
 	name     string
@@ -88,19 +93,21 @@ type segment struct {
 }
 
 // newFile opens a handle and loads the authoritative size.
-func (fs *FS) newFile(bf backend.File, name string, readOnly bool) (*file, error) {
-	size, err := fs.logicalSize(bf, name)
+func (fs *FS) newFile(ctx context.Context, bf backend.File, name string, readOnly bool) (*file, error) {
+	size, err := fs.logicalSize(ctx, bf, name)
 	if err != nil {
 		return nil, err
 	}
-	return &file{
+	f := &file{
 		fs:       fs,
 		bf:       bf,
 		name:     name,
 		readOnly: readOnly,
 		size:     size,
 		segs:     make(map[int64]*segment),
-	}, nil
+	}
+	f.BindCursor(f)
+	return f, nil
 }
 
 // segment returns the concurrency state for segment si, creating it on
@@ -150,9 +157,19 @@ func (f *file) Size() (int64, error) {
 // multi-block request is merged into runs of disk-adjacent blocks,
 // each fetched with a single backend read; see readSpansCoalesced.
 func (f *file) ReadAt(p []byte, off int64) (int, error) {
+	return f.ReadAtCtx(nil, p, off)
+}
+
+// ReadAtCtx implements vfs.File: ReadAt observing ctx between blocks
+// and runs. On cancellation it returns the number of leading valid
+// bytes of p and an error wrapping ErrCanceled.
+func (f *file) ReadAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
 	f.opMu.RLock()
 	defer f.opMu.RUnlock()
 	if err := f.checkOpen(); err != nil {
+		return 0, err
+	}
+	if err := backend.CtxErr(ctx); err != nil {
 		return 0, err
 	}
 	if off < 0 {
@@ -178,12 +195,12 @@ func (f *file) ReadAt(p []byte, off int64) (int, error) {
 		// request decrypts (or cache-copies) straight into p.
 		dbi := off / int64(bs)
 		if bo == 0 && n == bs {
-			if _, err := f.readBlock(dbi, p[:bs]); err != nil {
+			if _, err := f.readBlock(ctx, dbi, p[:bs]); err != nil {
 				return 0, err
 			}
 		} else {
 			scratch := f.fs.slabs.get(bs)
-			_, err := f.readBlock(dbi, scratch)
+			_, err := f.readBlock(ctx, dbi, scratch)
 			if err == nil {
 				copy(p[:n], scratch[bo:bo+n])
 			}
@@ -198,11 +215,11 @@ func (f *file) ReadAt(p []byte, off int64) (int, error) {
 		var err error
 		switch {
 		case !f.fs.cfg.DisableCoalescing:
-			bad, err = f.readSpansCoalesced(p, spans)
+			bad, err = f.readSpansCoalesced(ctx, p, spans)
 		case f.fs.sharded != nil && len(spans) > 1:
-			bad, err = f.readSpansSharded(p, spans)
+			bad, err = f.readSpansSharded(ctx, p, spans)
 		default:
-			bad, err = f.readSpansBlocks(p, spans)
+			bad, err = f.readSpansBlocks(ctx, p, spans)
 		}
 		if err != nil {
 			return bad, err
@@ -218,11 +235,11 @@ func (f *file) ReadAt(p []byte, off int64) (int, error) {
 // readSpansBlocks is the per-block multi-span read: one readBlock per
 // span through a single pooled scratch block. On failure it returns
 // the number of leading bytes of p that are valid.
-func (f *file) readSpansBlocks(p []byte, spans []vfs.Span) (int, error) {
+func (f *file) readSpansBlocks(ctx context.Context, p []byte, spans []vfs.Span) (int, error) {
 	block := f.fs.slabs.get(f.fs.geo.BlockSize)
 	defer f.fs.slabs.put(block)
 	for _, sp := range spans {
-		if _, err := f.readBlock(sp.Index, block); err != nil {
+		if _, err := f.readBlock(ctx, sp.Index, block); err != nil {
 			return sp.BufOff, err
 		}
 		copy(p[sp.BufOff:sp.BufOff+sp.Len], block[sp.Start:sp.Start+sp.Len])
@@ -242,7 +259,7 @@ func (f *file) readSpansBlocks(p []byte, spans []vfs.Span) (int, error) {
 // On failure it returns the number of leading bytes of p that are
 // valid (every span of every shard completes or fails in BufOff
 // order) and the failing error.
-func (f *file) readSpansSharded(p []byte, spans []vfs.Span) (int, error) {
+func (f *file) readSpansSharded(ctx context.Context, p []byte, spans []vfs.Span) (int, error) {
 	// Group spans by owning shard with one ring lookup per STRIPE:
 	// offsets within a stripe share a shard, and a whole-file-placed
 	// store (stripe <= 0) needs a single lookup for all spans.
@@ -271,7 +288,7 @@ func (f *file) readSpansSharded(p []byte, spans []vfs.Span) (int, error) {
 		defer f.fs.slabs.put(block)
 		for _, sp := range group {
 			done := f.fs.pool.noteShardRead(s)
-			cached, err := f.readBlock(sp.Index, block)
+			cached, err := f.readBlock(ctx, sp.Index, block)
 			done(cached)
 			if err != nil {
 				return sp.BufOff, err
@@ -328,7 +345,7 @@ func shardFanOut[G any](groups map[int]G, fn func(s int, g G) (int, error)) (int
 //
 // On failure it returns the number of leading valid bytes of p, as
 // readSpansSharded does.
-func (f *file) readSpansCoalesced(p []byte, spans []vfs.Span) (int, error) {
+func (f *file) readSpansCoalesced(ctx context.Context, p []byte, spans []vfs.Span) (int, error) {
 	geo := f.fs.geo
 	runs := mergeRuns(len(spans), int64(geo.BlockSize), f.stripeBytes(),
 		func(i int) int64 { return geo.DataBlockOffset(spans[i].Index) },
@@ -338,7 +355,10 @@ func (f *file) readSpansCoalesced(p []byte, spans []vfs.Span) (int, error) {
 		})
 	if f.fs.sharded == nil {
 		for _, r := range runs {
-			if bad, err := f.readRun(p, spans[r.lo:r.hi], -1); err != nil {
+			if err := backend.CtxErr(ctx); err != nil {
+				return spans[r.lo].BufOff, err
+			}
+			if bad, err := f.readRun(ctx, p, spans[r.lo:r.hi], -1); err != nil {
 				return bad, err
 			}
 		}
@@ -351,7 +371,7 @@ func (f *file) readSpansCoalesced(p []byte, spans []vfs.Span) (int, error) {
 	}
 	return shardFanOut(groups, func(s int, g []ioRun) (int, error) {
 		for _, r := range g {
-			if bad, err := f.readRun(p, spans[r.lo:r.hi], s); err != nil {
+			if bad, err := f.readRun(ctx, p, spans[r.lo:r.hi], s); err != nil {
 				return bad, err
 			}
 		}
@@ -376,7 +396,7 @@ func (e *spanError) Unwrap() error { return e.err }
 // from memory; the remaining blocks are fetched in contiguous
 // sub-runs, one backend read each, with the per-block decrypt and
 // integrity verification fanned out across the worker pool.
-func (f *file) readRun(p []byte, spans []vfs.Span, shard int) (int, error) {
+func (f *file) readRun(ctx context.Context, p []byte, spans []vfs.Span, shard int) (int, error) {
 	geo := f.fs.geo
 	bs := geo.BlockSize
 	si := geo.SegmentOfBlock(spans[0].Index)
@@ -388,7 +408,7 @@ func (f *file) readRun(p []byte, spans []vfs.Span, shard int) (int, error) {
 		}
 		seg.mu.RUnlock()
 		seg.mu.Lock()
-		err := f.ensureMeta(seg, si)
+		err := f.ensureMeta(ctx, seg, si)
 		seg.mu.Unlock()
 		if err != nil {
 			return spans[0].BufOff, err
@@ -400,7 +420,7 @@ func (f *file) readRun(p []byte, spans []vfs.Span, shard int) (int, error) {
 		// the transient keys; coalescing a mid-update segment is not
 		// worth the duplicated logic.
 		seg.mu.RUnlock()
-		return f.readSpansBlocks(p, spans)
+		return f.readSpansBlocks(ctx, p, spans)
 	}
 	defer seg.mu.RUnlock()
 
@@ -437,7 +457,7 @@ func (f *file) readRun(p []byte, spans []vfs.Span, shard int) (int, error) {
 		}
 		if served {
 			if fetchFrom >= 0 {
-				if bad, err := f.fetchRun(p, spans[fetchFrom:i], meta, shard); err != nil {
+				if bad, err := f.fetchRun(ctx, p, spans[fetchFrom:i], meta, shard); err != nil {
 					return bad, err
 				}
 				fetchFrom = -1
@@ -455,7 +475,7 @@ func (f *file) readRun(p []byte, spans []vfs.Span, shard int) (int, error) {
 // decrypt straight into the caller's buffer; partial spans decrypt
 // into pooled scratch and copy out. Verified plaintext enters the
 // block cache under the usual generation guard.
-func (f *file) fetchRun(p []byte, spans []vfs.Span, meta *layout.MetaBlock, shard int) (int, error) {
+func (f *file) fetchRun(ctx context.Context, p []byte, spans []vfs.Span, meta *layout.MetaBlock, shard int) (int, error) {
 	geo := f.fs.geo
 	bs := geo.BlockSize
 	n := len(spans)
@@ -465,7 +485,7 @@ func (f *file) fetchRun(p []byte, spans []vfs.Span, meta *layout.MetaBlock, shar
 
 	done := f.fs.pool.noteShardRead(shard)
 	t := f.fs.cfg.Recorder.Start()
-	err := backend.ReadFull(f.bf, slab, geo.DataBlockOffset(spans[0].Index))
+	err := backend.ReadFullCtx(ctx, f.bf, slab, geo.DataBlockOffset(spans[0].Index))
 	f.fs.cfg.Recorder.Stop(metrics.IO, t)
 	f.fs.cfg.Recorder.CountIOBytes(int64(len(slab)))
 	f.fs.cfg.Recorder.CountEvent(metrics.ReadRun, 1)
@@ -499,7 +519,7 @@ func (f *file) fetchRun(p []byte, spans []vfs.Span, meta *layout.MetaBlock, shar
 		return nil
 	}
 	if n > 1 && f.fs.pool.Width() > 1 {
-		err = f.fs.pool.run(n, decode)
+		err = f.fs.pool.run(ctx, n, decode)
 	} else {
 		for i := 0; i < n && err == nil; i++ {
 			err = decode(i)
@@ -579,7 +599,10 @@ func (f *file) prefetch(db int64, n int) {
 		spans[i] = vfs.Span{Index: db + int64(i), Start: 0, Len: bs, BufOff: i * bs}
 	}
 	f.fs.cfg.Recorder.CountEvent(metrics.Prefetch, 1)
-	_, _ = f.readSpansCoalesced(buf, spans)
+	// Deliberately detached from any caller context: readahead is
+	// best-effort background work, and the read that armed it has
+	// already returned.
+	_, _ = f.readSpansCoalesced(nil, buf, spans)
 }
 
 // readBlock places the full plaintext of logical data block dbi into
@@ -587,7 +610,7 @@ func (f *file) prefetch(db int64, n int) {
 // (hole) blocks read as zeros. The returned bool reports whether the
 // block was served without backend I/O (pending state or the cache) —
 // the sharded read path keeps such hits out of its fan-out counters.
-func (f *file) readBlock(dbi int64, dst []byte) (bool, error) {
+func (f *file) readBlock(ctx context.Context, dbi int64, dst []byte) (bool, error) {
 	geo := f.fs.geo
 	si := geo.SegmentOfBlock(dbi)
 	slot := geo.SlotOfBlock(dbi)
@@ -610,7 +633,7 @@ func (f *file) readBlock(dbi int64, dst []byte) (bool, error) {
 			}
 		}
 		if seg.meta != nil {
-			err := f.readBlockMeta(seg, dbi, slot, dst)
+			err := f.readBlockMeta(ctx, seg, dbi, slot, dst)
 			seg.mu.RUnlock()
 			return false, err
 		}
@@ -619,7 +642,7 @@ func (f *file) readBlock(dbi int64, dst []byte) (bool, error) {
 		// exclusive lock, then retry (pending state or the cache may
 		// have changed while the lock was released).
 		seg.mu.Lock()
-		err := f.ensureMeta(seg, si)
+		err := f.ensureMeta(ctx, seg, si)
 		seg.mu.Unlock()
 		if err != nil {
 			return false, err
@@ -630,7 +653,7 @@ func (f *file) readBlock(dbi int64, dst []byte) (bool, error) {
 // ensureMeta loads the segment's metadata block if it is not resident.
 // The caller must hold seg.mu exclusively. Segments beyond the backing
 // file decode as empty metadata (all zero-key slots).
-func (f *file) ensureMeta(seg *segment, si int64) error {
+func (f *file) ensureMeta(ctx context.Context, seg *segment, si int64) error {
 	if seg.meta != nil {
 		return nil
 	}
@@ -647,7 +670,7 @@ func (f *file) ensureMeta(seg *segment, si int64) error {
 	if f.fs.geo.MetaBlockOffset(si)+int64(f.fs.geo.BlockSize) > phys {
 		m = layout.NewMetaBlock(f.fs.geo, uint64(si))
 	} else {
-		m, err = f.fs.readMeta(f.bf, si)
+		m, err = f.fs.readMeta(ctx, f.bf, si)
 		if err != nil {
 			return err
 		}
@@ -661,7 +684,7 @@ func (f *file) ensureMeta(seg *segment, si int64) error {
 // metadata: decrypt, verify, fall back to transient keys for segments
 // caught mid-update by a crash. The caller must hold seg.mu (either
 // mode) with seg.meta loaded, and must have checked pending state.
-func (f *file) readBlockMeta(seg *segment, dbi int64, slot int, dst []byte) error {
+func (f *file) readBlockMeta(ctx context.Context, seg *segment, dbi int64, slot int, dst []byte) error {
 	geo := f.fs.geo
 	meta := seg.meta
 	key := meta.StableKey(slot)
@@ -674,7 +697,7 @@ func (f *file) readBlockMeta(seg *segment, dbi int64, slot int, dst []byte) erro
 	ct := f.fs.slabs.get(geo.BlockSize)
 	defer f.fs.slabs.put(ct)
 	t := f.fs.cfg.Recorder.Start()
-	err := backend.ReadFull(f.bf, ct, geo.DataBlockOffset(dbi))
+	err := backend.ReadFullCtx(ctx, f.bf, ct, geo.DataBlockOffset(dbi))
 	f.fs.cfg.Recorder.Stop(metrics.IO, t)
 	f.fs.cfg.Recorder.CountIOBytes(int64(len(ct)))
 	if err != nil {
@@ -728,6 +751,17 @@ func (f *file) readBlockMeta(seg *segment, dbi int64, slot int, dst []byte) erro
 // request within one block takes an allocation-free fast path when its
 // block is already pending.
 func (f *file) WriteAt(p []byte, off int64) (int, error) {
+	return f.WriteAtCtx(nil, p, off)
+}
+
+// WriteAtCtx implements vfs.File: WriteAt observing ctx between blocks
+// and between the backend writes of any multiphase commit the write
+// triggers. A cancellation that lands inside a commit returns an error
+// wrapping ErrCanceled and leaves the segment in a crash-equivalent
+// state: the §2.4 recovery protocol (run implicitly by the next commit
+// of the segment, or explicitly via Recover) repairs it, and no
+// previously committed byte is lost.
+func (f *file) WriteAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
 	f.opMu.RLock()
 	defer f.opMu.RUnlock()
 	if err := f.checkOpen(); err != nil {
@@ -735,6 +769,9 @@ func (f *file) WriteAt(p []byte, off int64) (int, error) {
 	}
 	if f.readOnly {
 		return 0, ErrReadOnly
+	}
+	if err := backend.CtxErr(ctx); err != nil {
+		return 0, err
 	}
 	if off < 0 {
 		return 0, fmt.Errorf("lamassu: negative offset %d", off)
@@ -754,7 +791,7 @@ func (f *file) WriteAt(p []byte, off int64) (int, error) {
 		slot := geo.SlotOfBlock(dbi)
 		seg := f.segment(si)
 		seg.mu.Lock()
-		err := f.writeSpan(seg, si, slot, sp, p, off)
+		err := f.writeSpan(ctx, seg, si, slot, sp, p, off)
 		seg.mu.Unlock()
 		if err != nil {
 			return 0, err
@@ -762,11 +799,14 @@ func (f *file) WriteAt(p []byte, off int64) (int, error) {
 		return len(p), nil
 	}
 	for _, sp := range vfs.Spans(off, len(p), bs) {
+		if err := backend.CtxErr(ctx); err != nil {
+			return sp.BufOff, err
+		}
 		si := geo.SegmentOfBlock(sp.Index)
 		slot := geo.SlotOfBlock(sp.Index)
 		seg := f.segment(si)
 		seg.mu.Lock()
-		err := f.writeSpan(seg, si, slot, sp, p, off)
+		err := f.writeSpan(ctx, seg, si, slot, sp, p, off)
 		seg.mu.Unlock()
 		if err != nil {
 			return sp.BufOff, err
@@ -784,8 +824,8 @@ func (f *file) WriteAt(p []byte, off int64) (int, error) {
 // no transient slot, so fresh data batches until the segment is full:
 // a sequential append commits a whole segment at once, which the
 // coalescing layer then writes as a single run.
-func (f *file) writeSpan(seg *segment, si int64, slot int, sp vfs.Span, p []byte, off int64) error {
-	buf, err := f.pendingBlock(seg, si, slot, sp.Index, sp.Full(f.fs.geo.BlockSize))
+func (f *file) writeSpan(ctx context.Context, seg *segment, si int64, slot int, sp vfs.Span, p []byte, off int64) error {
+	buf, err := f.pendingBlock(ctx, seg, si, slot, sp.Index, sp.Full(f.fs.geo.BlockSize))
 	if err != nil {
 		return err
 	}
@@ -799,12 +839,12 @@ func (f *file) writeSpan(seg *segment, si int64, slot int, sp vfs.Span, p []byte
 	f.stateMu.Unlock()
 	if f.fs.cfg.DisableCoalescing {
 		if len(seg.pending) >= f.fs.geo.Reserved {
-			return f.commitSegment(seg, si)
+			return f.commitSegment(ctx, seg, si)
 		}
 		return nil
 	}
 	if seg.liveOverwrites >= f.fs.geo.Reserved || len(seg.pending) >= f.fs.geo.KeysPerSegment() {
-		return f.commitSegment(seg, si)
+		return f.commitSegment(ctx, seg, si)
 	}
 	return nil
 }
@@ -817,7 +857,7 @@ func (f *file) writeSpan(seg *segment, si int64, slot int, sp vfs.Span, p []byte
 // slab pool (commit returns it there), so its initial contents are
 // undefined: every path below either fills it completely or zeroes
 // it. The caller must hold seg.mu exclusively.
-func (f *file) pendingBlock(seg *segment, si int64, slot int, dbi int64, full bool) ([]byte, error) {
+func (f *file) pendingBlock(ctx context.Context, seg *segment, si int64, slot int, dbi int64, full bool) ([]byte, error) {
 	if buf, ok := seg.pending[slot]; ok {
 		return buf, nil
 	}
@@ -837,11 +877,11 @@ func (f *file) pendingBlock(seg *segment, si int64, slot int, dbi int64, full bo
 		// Every byte is about to be overwritten.
 	case f.blockMayExist(dbi):
 		if !f.fs.cache.getData(f.name, dbi, buf) {
-			if err := f.ensureMeta(seg, si); err != nil {
+			if err := f.ensureMeta(ctx, seg, si); err != nil {
 				f.fs.slabs.put(buf)
 				return nil, err
 			}
-			if err := f.readBlockMeta(seg, dbi, slot, buf); err != nil {
+			if err := f.readBlockMeta(ctx, seg, dbi, slot, buf); err != nil {
 				f.fs.slabs.put(buf)
 				return nil, err
 			}
@@ -882,9 +922,9 @@ func (f *file) Truncate(newSize int64) error {
 		return nil
 	}
 	if newSize < f.size {
-		return f.shrink(newSize)
+		return f.shrink(nil, newSize)
 	}
-	return f.grow(newSize)
+	return f.grow(nil, newSize)
 }
 
 // shrink truncates the file to newSize < size.
@@ -894,7 +934,7 @@ func (f *file) Truncate(newSize int64) error {
 // so they read and write the stateMu-guarded fields and per-segment
 // state directly without taking the inner locks. Do not call them
 // from a path holding opMu shared.
-func (f *file) shrink(newSize int64) error {
+func (f *file) shrink(ctx context.Context, newSize int64) error {
 	geo := f.fs.geo
 	bs := int64(geo.BlockSize)
 	newNDB := geo.NumDataBlocks(newSize)
@@ -924,7 +964,7 @@ func (f *file) shrink(newSize int64) error {
 		si := geo.SegmentOfBlock(dbi)
 		slot := geo.SlotOfBlock(dbi)
 		seg := f.segment(si)
-		buf, err := f.pendingBlock(seg, si, slot, dbi, false)
+		buf, err := f.pendingBlock(ctx, seg, si, slot, dbi, false)
 		if err != nil {
 			return err
 		}
@@ -940,7 +980,7 @@ func (f *file) shrink(newSize int64) error {
 	f.fs.cache.invalidateFile(f.name)
 
 	// Flush pending state, then cut metadata beyond the new end.
-	if err := f.commitAll(); err != nil {
+	if err := f.commitAll(ctx); err != nil {
 		return err
 	}
 	if newSize == 0 {
@@ -958,7 +998,7 @@ func (f *file) shrink(newSize int64) error {
 	// Clear stable keys past the new final block in the final
 	// segment, then drop whole segments beyond it.
 	lastSeg := geo.SegmentOfBlock(newNDB - 1)
-	meta, err := f.metaFor(lastSeg)
+	meta, err := f.metaFor(ctx, lastSeg)
 	if err != nil {
 		return err
 	}
@@ -969,7 +1009,7 @@ func (f *file) shrink(newSize int64) error {
 		}
 	}
 	meta.LogicalSize = uint64(newSize)
-	if err := f.fs.writeMeta(f.bf, f.name, meta); err != nil {
+	if err := f.fs.writeMeta(ctx, f.bf, f.name, meta); err != nil {
 		return err
 	}
 	f.sizeDirty = false
@@ -989,23 +1029,23 @@ func (f *file) shrink(newSize int64) error {
 // grow extends the file to newSize > size. The extended range is a
 // hole (zero-key slots); only the final metadata block is written so
 // the authoritative size is durable.
-func (f *file) grow(newSize int64) error {
+func (f *file) grow(ctx context.Context, newSize int64) error {
 	f.size = newSize
 	f.sizeDirty = true
 	// commitAll persists the final metadata block with the new size
 	// and extends the backing file to the new physical size; the
 	// extended range is a hole of zero-key slots.
-	return f.commitAll()
+	return f.commitAll(ctx)
 }
 
 // metaFor returns the handle's decoded metadata block for segment si,
 // loading it if needed. The caller must hold opMu exclusively (no
 // concurrent positional I/O).
-func (f *file) metaFor(si int64) (*layout.MetaBlock, error) {
+func (f *file) metaFor(ctx context.Context, si int64) (*layout.MetaBlock, error) {
 	seg := f.segment(si)
 	seg.mu.Lock()
 	defer seg.mu.Unlock()
-	if err := f.ensureMeta(seg, si); err != nil {
+	if err := f.ensureMeta(ctx, seg, si); err != nil {
 		return nil, err
 	}
 	return seg.meta, nil
@@ -1013,7 +1053,13 @@ func (f *file) metaFor(si int64) (*layout.MetaBlock, error) {
 
 // Sync implements vfs.File: commits all pending segments, persists the
 // authoritative size, and syncs the backing store.
-func (f *file) Sync() error {
+func (f *file) Sync() error { return f.SyncCtx(nil) }
+
+// SyncCtx implements vfs.File: Sync observing ctx between the segment
+// commits it flushes. A canceled flush leaves uncommitted segments
+// pending (retryable with a live context) and any interrupted commit
+// in the crash-equivalent state WriteAtCtx documents.
+func (f *file) SyncCtx(ctx context.Context) error {
 	f.opMu.Lock()
 	defer f.opMu.Unlock()
 	if err := f.checkOpen(); err != nil {
@@ -1022,17 +1068,25 @@ func (f *file) Sync() error {
 	if f.readOnly {
 		return nil
 	}
-	if err := f.commitAll(); err != nil {
+	if err := f.commitAll(ctx); err != nil {
 		return err
 	}
 	t := f.fs.cfg.Recorder.Start()
-	err := f.bf.Sync()
+	err := backend.SyncCtx(ctx, f.bf)
 	f.fs.cfg.Recorder.Stop(metrics.IO, t)
 	return err
 }
 
 // Close implements vfs.File.
-func (f *file) Close() error {
+func (f *file) Close() error { return f.CloseCtx(nil) }
+
+// CloseCtx implements vfs.FileCloserCtx: the flush of pending state
+// observes ctx (an already-canceled context skips it entirely — no
+// backend work happens after cancellation), while the handle is
+// ALWAYS marked closed and the backing handle released. Data left
+// uncommitted by a canceled close is dropped with the handle, exactly
+// as a crash would drop it; the on-disk state stays recoverable.
+func (f *file) CloseCtx(ctx context.Context) error {
 	f.opMu.Lock()
 	defer f.opMu.Unlock()
 	if err := f.checkOpen(); err != nil {
@@ -1040,7 +1094,7 @@ func (f *file) Close() error {
 	}
 	var err error
 	if !f.readOnly {
-		err = f.commitAll()
+		err = f.commitAll(ctx)
 	}
 	f.stateMu.Lock()
 	f.closed = true

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"lamassu/internal/backend"
 	"lamassu/internal/metrics"
 )
 
@@ -102,9 +104,9 @@ func (p *pool) carveBudgets(n int) {
 // most one segment's worth of tasks (per-block writes bounded by R,
 // coalesced run writes by the runs of one segment) — so the parked
 // goroutines per in-flight commit stay within one segment's K.
-func (p *pool) runSharded(n int, shardOf func(int) int, fn func(int) error) error {
+func (p *pool) runSharded(ctx context.Context, n int, shardOf func(int) int, fn func(int) error) error {
 	if p.budgets == nil {
-		return p.run(n, fn)
+		return p.run(ctx, n, fn)
 	}
 	if n <= 0 {
 		return nil
@@ -138,6 +140,19 @@ func (p *pool) runSharded(n int, shardOf func(int) int, fn func(int) error) erro
 		firstIdx int
 	)
 	for i := 0; i < n; i++ {
+		// Tasks carry ctx (fn closes over it and the backend helpers
+		// observe it); a cancellation additionally stops dispatching
+		// tasks that have not been spawned yet. Error semantics are
+		// unchanged: the lowest failing index wins, and an undispatched
+		// task reports the cancellation at its own index.
+		if err := backend.CtxErr(ctx); err != nil {
+			mu.Lock()
+			if firstErr == nil || i < firstIdx {
+				firstErr, firstIdx = err, i
+			}
+			mu.Unlock()
+			break
+		}
 		b := p.budgets[shardOf(i)]
 		b.queued.Add(1)
 		wg.Add(1)
@@ -199,7 +214,7 @@ func (p *pool) noteShardRead(s int) func(cached bool) {
 // Each task slot is acquired on the caller's goroutine, so concurrent
 // run calls from many handles queue fairly on the shared budget and
 // the total number of in-flight tasks never exceeds width.
-func (p *pool) run(n int, fn func(int) error) error {
+func (p *pool) run(ctx context.Context, n int, fn func(int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -223,6 +238,16 @@ func (p *pool) run(n int, fn func(int) error) error {
 		firstIdx int
 	)
 	for i := 0; i < n; i++ {
+		// As in runSharded: tasks carry ctx through fn's closure, and a
+		// cancellation stops dispatch of the tasks not yet spawned.
+		if err := backend.CtxErr(ctx); err != nil {
+			mu.Lock()
+			if firstErr == nil || i < firstIdx {
+				firstErr, firstIdx = err, i
+			}
+			mu.Unlock()
+			break
+		}
 		p.sem <- struct{}{}
 		wg.Add(1)
 		go func(i int) {

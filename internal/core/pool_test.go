@@ -11,7 +11,7 @@ func TestPoolRunsEveryTask(t *testing.T) {
 	for _, width := range []int{1, 2, 8} {
 		p := newPool(width, nil)
 		var hit [100]atomic.Int32
-		if err := p.run(len(hit), func(i int) error {
+		if err := p.run(nil, len(hit), func(i int) error {
 			hit[i].Add(1)
 			return nil
 		}); err != nil {
@@ -34,7 +34,7 @@ func TestPoolReportsLowestIndexError(t *testing.T) {
 	errB := errors.New("b")
 	for _, width := range []int{1, 4} {
 		p := newPool(width, nil)
-		err := p.run(10, func(i int) error {
+		err := p.run(nil, 10, func(i int) error {
 			switch i {
 			case 3:
 				return errA
@@ -54,7 +54,7 @@ func TestPoolBoundsConcurrency(t *testing.T) {
 	p := newPool(width, nil)
 	var cur, max atomic.Int32
 	var mu sync.Mutex
-	err := p.run(50, func(int) error {
+	err := p.run(nil, 50, func(int) error {
 		n := cur.Add(1)
 		mu.Lock()
 		if n > max.Load() {
@@ -91,7 +91,7 @@ func TestPoolConcurrentCallers(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_ = p.run(20, func(int) error {
+			_ = p.run(nil, 20, func(int) error {
 				total.Add(1)
 				return nil
 			})

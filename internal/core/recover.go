@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -34,7 +35,11 @@ import (
 // check instead — see DESIGN.md §2.3 for the equivalence argument.
 //
 // On success the metadata block is rewritten with the flag cleared.
-func (f *file) recoverSegment(meta *layout.MetaBlock) error {
+//
+// ctx is observed between per-block reads. A canceled repair changes
+// no on-disk state (the only write is the final metadata rewrite,
+// itself ctx-checked), so it can simply be retried.
+func (f *file) recoverSegment(ctx context.Context, meta *layout.MetaBlock) error {
 	if !meta.MidUpdate() {
 		return nil
 	}
@@ -64,7 +69,7 @@ func (f *file) recoverSegment(meta *layout.MetaBlock) error {
 			continue
 		}
 		t := f.fs.cfg.Recorder.Start()
-		err := backend.ReadFull(f.bf, ct, off)
+		err := backend.ReadFullCtx(ctx, f.bf, ct, off)
 		f.fs.cfg.Recorder.Stop(metrics.IO, t)
 		f.fs.cfg.Recorder.CountIOBytes(int64(len(ct)))
 		if err != nil {
@@ -104,7 +109,13 @@ func (f *file) recoverSegment(meta *layout.MetaBlock) error {
 
 	meta.SetMidUpdate(false)
 	meta.ClearTransient()
-	return f.fs.writeMeta(f.bf, f.name, meta)
+	if err := f.fs.writeMeta(ctx, f.bf, f.name, meta); err != nil {
+		// The cleared marker never reached the store; keep the
+		// in-memory view in agreement so a retry repeats the repair.
+		meta.SetMidUpdate(true)
+		return err
+	}
+	return nil
 }
 
 // RecoverStats summarizes a recovery pass over one file.
@@ -119,8 +130,14 @@ type RecoverStats struct {
 // Recover scans every segment of the named file and repairs any that
 // were left midupdate by a crash. It is the programmatic form of the
 // fsck tool's repair pass and must be run on an otherwise-idle file.
-func (fs *FS) Recover(name string) (RecoverStats, error) {
-	bf, err := fs.store.Open(name, backend.OpenWrite)
+func (fs *FS) Recover(name string) (RecoverStats, error) { return fs.RecoverCtx(nil, name) }
+
+// RecoverCtx is Recover observing ctx between segments (and between
+// the per-block reads within a repair). A canceled pass has repaired a
+// prefix of the segments; rerunning it is safe and resumes where the
+// damage remains.
+func (fs *FS) RecoverCtx(ctx context.Context, name string) (RecoverStats, error) {
+	bf, err := backend.OpenCtx(ctx, fs.store, name, backend.OpenWrite)
 	if err != nil {
 		return RecoverStats{}, mapErr(err)
 	}
@@ -129,7 +146,7 @@ func (fs *FS) Recover(name string) (RecoverStats, error) {
 	// blocks; start from a cold cache for this file and leave nothing
 	// stale behind.
 	fs.cache.invalidateFile(name)
-	f, err := fs.newFileForRecovery(bf, name)
+	f, err := fs.newFileForRecovery(ctx, bf, name)
 	if err != nil {
 		return RecoverStats{}, err
 	}
@@ -144,7 +161,10 @@ func (fs *FS) Recover(name string) (RecoverStats, error) {
 	}
 	lastSeg := fs.lastSegment(phys)
 	for seg := int64(0); seg <= lastSeg; seg++ {
-		meta, err := f.metaFor(seg)
+		if err := backend.CtxErr(ctx); err != nil {
+			return stats, err
+		}
+		meta, err := f.metaFor(ctx, seg)
 		if err != nil {
 			return stats, fmt.Errorf("lamassu: recover segment %d: %w", seg, err)
 		}
@@ -152,7 +172,7 @@ func (fs *FS) Recover(name string) (RecoverStats, error) {
 		if !meta.MidUpdate() {
 			continue
 		}
-		if err := f.recoverSegment(meta); err != nil {
+		if err := f.recoverSegment(ctx, meta); err != nil {
 			return stats, err
 		}
 		stats.Repaired++
@@ -164,9 +184,12 @@ func (fs *FS) Recover(name string) (RecoverStats, error) {
 // authoritative size may itself live in a midupdate final segment, so
 // size loading must not fail recovery; it is only used for block-range
 // bounds, for which the physical size suffices.
-func (fs *FS) newFileForRecovery(bf backend.File, name string) (*file, error) {
-	size, err := fs.logicalSize(bf, name)
+func (fs *FS) newFileForRecovery(ctx context.Context, bf backend.File, name string) (*file, error) {
+	size, err := fs.logicalSize(ctx, bf, name)
 	if err != nil {
+		if errors.Is(err, ErrCanceled) {
+			return nil, err
+		}
 		// Fall back to the physical extent; recovery touches only
 		// blocks that exist on the backing store anyway.
 		phys, perr := bf.Size()
@@ -175,13 +198,15 @@ func (fs *FS) newFileForRecovery(bf backend.File, name string) (*file, error) {
 		}
 		size = phys
 	}
-	return &file{
+	f := &file{
 		fs:   fs,
 		bf:   bf,
 		name: name,
 		size: size,
 		segs: make(map[int64]*segment),
-	}, nil
+	}
+	f.BindCursor(f)
+	return f, nil
 }
 
 // CheckReport summarizes an integrity audit of one file.
@@ -211,8 +236,12 @@ func (r CheckReport) Clean() bool {
 // against its stored convergent key (the §2.5 mechanism). Blocks in
 // midupdate segments are verified against both stable and transient
 // keys.
-func (fs *FS) Check(name string) (CheckReport, error) {
-	bf, err := fs.store.Open(name, backend.OpenRead)
+func (fs *FS) Check(name string) (CheckReport, error) { return fs.CheckCtx(nil, name) }
+
+// CheckCtx is Check observing ctx between segments; the audit mutates
+// nothing, so a canceled pass is simply incomplete.
+func (fs *FS) CheckCtx(ctx context.Context, name string) (CheckReport, error) {
+	bf, err := backend.OpenCtx(ctx, fs.store, name, backend.OpenRead)
 	if err != nil {
 		return CheckReport{}, mapErr(err)
 	}
@@ -230,7 +259,7 @@ func (fs *FS) Check(name string) (CheckReport, error) {
 	lastSeg := fs.lastSegment(phys)
 
 	// The final metadata block carries the size; tolerate its absence.
-	if size, err := fs.logicalSize(bf, name); err == nil {
+	if size, err := fs.logicalSize(ctx, bf, name); err == nil {
 		rep.LogicalSize = size
 	}
 
@@ -238,9 +267,15 @@ func (fs *FS) Check(name string) (CheckReport, error) {
 	plain := make([]byte, geo.BlockSize)
 	keysPerSeg := int64(geo.KeysPerSegment())
 	for seg := int64(0); seg <= lastSeg; seg++ {
+		if err := backend.CtxErr(ctx); err != nil {
+			return rep, err
+		}
 		rep.Segments++
-		meta, err := fs.readMeta(bf, seg)
+		meta, err := fs.readMeta(ctx, bf, seg)
 		if err != nil {
+			if errors.Is(err, ErrCanceled) {
+				return rep, err
+			}
 			rep.BadMeta++
 			continue
 		}
@@ -260,7 +295,10 @@ func (fs *FS) Check(name string) (CheckReport, error) {
 				}
 				continue
 			}
-			if err := backend.ReadFull(bf, ct, off); err != nil {
+			if err := backend.ReadFullCtx(ctx, bf, ct, off); err != nil {
+				if errors.Is(err, ErrCanceled) {
+					return rep, err
+				}
 				rep.BadData++
 				continue
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -40,10 +41,20 @@ type RekeyStats struct {
 // untouched. The file must be idle. On success, subsequent opens must
 // use a Config carrying newOuter.
 func (fs *FS) RekeyOuter(name string, newOuter cryptoutil.Key) (RekeyStats, error) {
+	return fs.RekeyOuterCtx(nil, name, newOuter)
+}
+
+// RekeyOuterCtx is RekeyOuter observing ctx between segments. A
+// canceled pass has re-sealed a prefix of the metadata blocks; rerun
+// it (from the same FS, still configured with the OLD outer key) to
+// finish — segments that already decode under newOuter are detected
+// and skipped, so the rotation is resumable. Only discard the old key
+// once a pass completes without error.
+func (fs *FS) RekeyOuterCtx(ctx context.Context, name string, newOuter cryptoutil.Key) (RekeyStats, error) {
 	if newOuter.IsZero() {
 		return RekeyStats{}, errors.New("lamassu: new outer key must be set")
 	}
-	bf, err := fs.store.Open(name, backend.OpenWrite)
+	bf, err := backend.OpenCtx(ctx, fs.store, name, backend.OpenWrite)
 	if err != nil {
 		return RekeyStats{}, mapErr(err)
 	}
@@ -65,8 +76,22 @@ func (fs *FS) RekeyOuter(name string, newOuter cryptoutil.Key) (RekeyStats, erro
 	buf := make([]byte, fs.geo.BlockSize)
 	lastSeg := fs.lastSegment(phys)
 	for seg := int64(0); seg <= lastSeg; seg++ {
-		meta, err := fs.readMeta(bf, seg)
+		if err := backend.CtxErr(ctx); err != nil {
+			return stats, err
+		}
+		meta, err := fs.readMeta(ctx, bf, seg)
 		if err != nil {
+			if errors.Is(err, ErrCanceled) {
+				return stats, err
+			}
+			// Resumption after an interrupted pass: a segment that no
+			// longer decodes under the old key may already be sealed
+			// under the new one; verify and skip it rather than fail.
+			if rerr := backend.ReadFullCtx(ctx, bf, buf, fs.geo.MetaBlockOffset(seg)); rerr == nil {
+				if _, derr := layout.DecodeMetaBlock(fs.geo, buf, newOuter, uint64(seg)); derr == nil {
+					continue
+				}
+			}
 			return stats, fmt.Errorf("lamassu: rekey segment %d: %w", seg, err)
 		}
 		if meta.MidUpdate() {
@@ -75,7 +100,7 @@ func (fs *FS) RekeyOuter(name string, newOuter cryptoutil.Key) (RekeyStats, erro
 		if err := meta.Encode(buf, newOuter); err != nil {
 			return stats, err
 		}
-		if _, err := bf.WriteAt(buf, fs.geo.MetaBlockOffset(seg)); err != nil {
+		if _, err := backend.WriteAtCtx(ctx, bf, buf, fs.geo.MetaBlockOffset(seg)); err != nil {
 			return stats, err
 		}
 		stats.MetaBlocks++
@@ -92,13 +117,22 @@ func (fs *FS) RekeyOuter(name string, newOuter cryptoutil.Key) (RekeyStats, erro
 // that after a crash the file may hold segments under both key pairs;
 // the caller must retain the old pair until rotation completes.
 func (fs *FS) RekeyFull(name string, newInner, newOuter cryptoutil.Key) (RekeyStats, error) {
+	return fs.RekeyFullCtx(nil, name, newInner, newOuter)
+}
+
+// RekeyFullCtx is RekeyFull observing ctx between segments. The
+// rotation is segment-atomic (a segment's data rewrite lands before
+// its metadata reseal), so a canceled pass leaves a file whose
+// segments are split between the two key pairs — the same state the
+// crash note above describes; retain both pairs and rerun to finish.
+func (fs *FS) RekeyFullCtx(ctx context.Context, name string, newInner, newOuter cryptoutil.Key) (RekeyStats, error) {
 	if newInner.IsZero() || newOuter.IsZero() {
 		return RekeyStats{}, errors.New("lamassu: new keys must be set")
 	}
 	if newInner.Equal(newOuter) {
 		return RekeyStats{}, errors.New("lamassu: inner and outer keys must differ")
 	}
-	bf, err := fs.store.Open(name, backend.OpenWrite)
+	bf, err := backend.OpenCtx(ctx, fs.store, name, backend.OpenWrite)
 	if err != nil {
 		return RekeyStats{}, mapErr(err)
 	}
@@ -135,8 +169,22 @@ func (fs *FS) RekeyFull(name string, newInner, newOuter cryptoutil.Key) (RekeySt
 	keysPerSeg := int64(geo.KeysPerSegment())
 	lastSeg := fs.lastSegment(phys)
 	for seg := int64(0); seg <= lastSeg; seg++ {
-		meta, err := fs.readMeta(bf, seg)
+		// Cancellation is observed BETWEEN segments only: a segment's
+		// data rewrite must land together with its metadata reseal, so
+		// once a segment starts rotating it runs to completion and a
+		// canceled pass is always segment-atomic (and resumable below).
+		if err := backend.CtxErr(ctx); err != nil {
+			return stats, err
+		}
+		meta, err := fs.readMeta(nil, bf, seg)
 		if err != nil {
+			// Resumption: a segment sealed under the new outer key was
+			// fully rotated by an earlier (interrupted) pass; skip it.
+			if rerr := backend.ReadFull(bf, metaBuf, geo.MetaBlockOffset(seg)); rerr == nil {
+				if _, derr := layout.DecodeMetaBlock(geo, metaBuf, newOuter, uint64(seg)); derr == nil {
+					continue
+				}
+			}
 			return stats, fmt.Errorf("lamassu: rekey segment %d: %w", seg, err)
 		}
 		if meta.MidUpdate() {

@@ -29,6 +29,7 @@
 package encfs
 
 import (
+	"context"
 	"crypto/aes"
 	"crypto/cipher"
 	"crypto/rand"
@@ -103,8 +104,11 @@ func (e *FS) headerSize() int64 {
 }
 
 // Create implements vfs.FS.
-func (e *FS) Create(name string) (vfs.File, error) {
-	bf, err := e.store.Open(name, backend.OpenCreate)
+func (e *FS) Create(name string) (vfs.File, error) { return e.CreateCtx(nil, name) }
+
+// CreateCtx implements vfs.FS.
+func (e *FS) CreateCtx(ctx context.Context, name string) (vfs.File, error) {
+	bf, err := backend.OpenCtx(ctx, e.store, name, backend.OpenCreate)
 	if err != nil {
 		return nil, fmt.Errorf("encfs: %w", err)
 	}
@@ -114,6 +118,7 @@ func (e *FS) Create(name string) (vfs.File, error) {
 		return nil, fmt.Errorf("encfs: %w", err)
 	}
 	f := &file{fs: e, bf: bf}
+	f.BindCursor(f)
 	if sz == 0 {
 		if err := f.initHeader(); err != nil {
 			bf.Close()
@@ -127,17 +132,28 @@ func (e *FS) Create(name string) (vfs.File, error) {
 }
 
 // Open implements vfs.FS.
-func (e *FS) Open(name string) (vfs.File, error) { return e.open(name, backend.OpenRead) }
+func (e *FS) Open(name string) (vfs.File, error) { return e.open(nil, name, backend.OpenRead) }
+
+// OpenCtx implements vfs.FS.
+func (e *FS) OpenCtx(ctx context.Context, name string) (vfs.File, error) {
+	return e.open(ctx, name, backend.OpenRead)
+}
 
 // OpenRW implements vfs.FS.
-func (e *FS) OpenRW(name string) (vfs.File, error) { return e.open(name, backend.OpenWrite) }
+func (e *FS) OpenRW(name string) (vfs.File, error) { return e.open(nil, name, backend.OpenWrite) }
 
-func (e *FS) open(name string, flag backend.OpenFlag) (vfs.File, error) {
-	bf, err := e.store.Open(name, flag)
+// OpenRWCtx implements vfs.FS.
+func (e *FS) OpenRWCtx(ctx context.Context, name string) (vfs.File, error) {
+	return e.open(ctx, name, backend.OpenWrite)
+}
+
+func (e *FS) open(ctx context.Context, name string, flag backend.OpenFlag) (vfs.File, error) {
+	bf, err := backend.OpenCtx(ctx, e.store, name, flag)
 	if err != nil {
 		return nil, mapErr(err)
 	}
 	f := &file{fs: e, bf: bf, readOnly: flag == backend.OpenRead}
+	f.BindCursor(f)
 	if err := f.loadHeader(); err != nil {
 		bf.Close()
 		return nil, err
@@ -148,9 +164,17 @@ func (e *FS) open(name string, flag backend.OpenFlag) (vfs.File, error) {
 // Remove implements vfs.FS.
 func (e *FS) Remove(name string) error { return mapErr(e.store.Remove(name)) }
 
+// RemoveCtx implements vfs.FS.
+func (e *FS) RemoveCtx(ctx context.Context, name string) error {
+	return mapErr(backend.RemoveCtx(ctx, e.store, name))
+}
+
 // Stat implements vfs.FS.
-func (e *FS) Stat(name string) (int64, error) {
-	sz, err := e.store.Stat(name)
+func (e *FS) Stat(name string) (int64, error) { return e.StatCtx(nil, name) }
+
+// StatCtx implements vfs.FS.
+func (e *FS) StatCtx(ctx context.Context, name string) (int64, error) {
+	sz, err := backend.StatCtx(ctx, e.store, name)
 	if err != nil {
 		return 0, mapErr(err)
 	}
@@ -164,6 +188,11 @@ func (e *FS) Stat(name string) (int64, error) {
 // List implements vfs.FS.
 func (e *FS) List() ([]string, error) { return e.store.List() }
 
+// ListCtx implements vfs.FS.
+func (e *FS) ListCtx(ctx context.Context) ([]string, error) {
+	return backend.ListCtx(ctx, e.store)
+}
+
 func mapErr(err error) error {
 	if err == nil {
 		return nil
@@ -176,6 +205,8 @@ func mapErr(err error) error {
 
 // file is an open EncFS file.
 type file struct {
+	vfs.Cursor
+
 	fs       *FS
 	bf       backend.File
 	readOnly bool
@@ -533,6 +564,31 @@ func (f *file) truncateLocked(size int64) error {
 
 // Sync implements vfs.File.
 func (f *file) Sync() error { return f.bf.Sync() }
+
+// ReadAtCtx implements vfs.File (entry-checked; the baseline EncFS
+// model has no multi-phase work to interrupt mid-flight).
+func (f *file) ReadAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
+	if err := vfs.Canceled(ctx); err != nil {
+		return 0, err
+	}
+	return f.ReadAt(p, off)
+}
+
+// WriteAtCtx implements vfs.File.
+func (f *file) WriteAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
+	if err := vfs.Canceled(ctx); err != nil {
+		return 0, err
+	}
+	return f.WriteAt(p, off)
+}
+
+// SyncCtx implements vfs.File.
+func (f *file) SyncCtx(ctx context.Context) error {
+	if err := vfs.Canceled(ctx); err != nil {
+		return err
+	}
+	return backend.SyncCtx(ctx, f.bf)
+}
 
 // Close implements vfs.File.
 func (f *file) Close() error { return f.bf.Close() }

@@ -21,6 +21,7 @@
 package faultfs
 
 import (
+	"context"
 	"errors"
 	"sync"
 
@@ -156,29 +157,11 @@ func (s *Store) mutationAllowed() error {
 
 // Open implements backend.Store.
 func (s *Store) Open(name string, flag backend.OpenFlag) (backend.File, error) {
-	if flag != backend.OpenRead {
-		if err := s.mutationAllowed(); err != nil && flag == backend.OpenCreate {
-			// Creating a file is a mutation; opening existing RW is
-			// allowed so recovery can run on the "rebooted" store.
-			if _, statErr := s.inner.Stat(name); statErr != nil {
-				return nil, err
-			}
-		}
-	}
-	f, err := s.inner.Open(name, flag)
-	if err != nil {
-		return nil, err
-	}
-	return &file{store: s, inner: f}, nil
+	return s.OpenCtx(nil, name, flag)
 }
 
 // Remove implements backend.Store.
-func (s *Store) Remove(name string) error {
-	if err := s.mutationAllowed(); err != nil {
-		return err
-	}
-	return s.inner.Remove(name)
-}
+func (s *Store) Remove(name string) error { return s.RemoveCtx(nil, name) }
 
 // Rename implements backend.Store.
 func (s *Store) Rename(oldName, newName string) error {
@@ -193,6 +176,56 @@ func (s *Store) List() ([]string, error) { return s.inner.List() }
 
 // Stat implements backend.Store.
 func (s *Store) Stat(name string) (int64, error) { return s.inner.Stat(name) }
+
+// OpenCtx implements backend.StoreCtx, forwarding ctx to the inner
+// store so cancellation reaches through the fault-injection layer;
+// the plain Open delegates here with a nil (never-canceled) context.
+func (s *Store) OpenCtx(ctx context.Context, name string, flag backend.OpenFlag) (backend.File, error) {
+	if err := backend.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	if flag != backend.OpenRead {
+		if err := s.mutationAllowed(); err != nil && flag == backend.OpenCreate {
+			// Creating a file is a mutation; opening existing RW is
+			// allowed so recovery can run on the "rebooted" store.
+			if _, statErr := s.inner.Stat(name); statErr != nil {
+				return nil, err
+			}
+		}
+	}
+	f, err := backend.OpenCtx(ctx, s.inner, name, flag)
+	if err != nil {
+		return nil, err
+	}
+	return &file{store: s, inner: f}, nil
+}
+
+// RemoveCtx implements backend.StoreCtx.
+func (s *Store) RemoveCtx(ctx context.Context, name string) error {
+	if err := backend.CtxErr(ctx); err != nil {
+		return err
+	}
+	if err := s.mutationAllowed(); err != nil {
+		return err
+	}
+	return backend.RemoveCtx(ctx, s.inner, name)
+}
+
+// ListCtx implements backend.StoreCtx.
+func (s *Store) ListCtx(ctx context.Context) ([]string, error) {
+	if err := backend.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	return backend.ListCtx(ctx, s.inner)
+}
+
+// StatCtx implements backend.StoreCtx.
+func (s *Store) StatCtx(ctx context.Context, name string) (int64, error) {
+	if err := backend.CtxErr(ctx); err != nil {
+		return 0, err
+	}
+	return backend.StatCtx(ctx, s.inner, name)
+}
 
 type file struct {
 	store *Store
@@ -214,6 +247,55 @@ func (f *file) WriteAt(p []byte, off int64) (int, error) {
 		return apply, ErrCrashed
 	}
 	return len(p), nil
+}
+
+// ReadAtCtx implements backend.FileCtx.
+func (f *file) ReadAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
+	if err := backend.CtxErr(ctx); err != nil {
+		return 0, err
+	}
+	return backend.ReadAtCtx(ctx, f.inner, p, off)
+}
+
+// WriteAtCtx implements backend.FileCtx. The cancellation check runs
+// BEFORE the fault-injection countdown ticks: a canceled write was
+// never issued, so it must not consume a crash-schedule slot.
+func (f *file) WriteAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
+	if err := backend.CtxErr(ctx); err != nil {
+		return 0, err
+	}
+	apply, fail := f.store.decide(len(p))
+	if apply > 0 {
+		if _, err := backend.WriteAtCtx(ctx, f.inner, p[:apply], off); err != nil {
+			return 0, err
+		}
+	}
+	if fail {
+		return apply, ErrCrashed
+	}
+	return len(p), nil
+}
+
+// TruncateCtx implements backend.FileCtx.
+func (f *file) TruncateCtx(ctx context.Context, size int64) error {
+	if err := backend.CtxErr(ctx); err != nil {
+		return err
+	}
+	if err := f.store.mutationAllowed(); err != nil {
+		return err
+	}
+	return backend.TruncateCtx(ctx, f.inner, size)
+}
+
+// SyncCtx implements backend.FileCtx.
+func (f *file) SyncCtx(ctx context.Context) error {
+	if err := backend.CtxErr(ctx); err != nil {
+		return err
+	}
+	if err := f.store.mutationAllowed(); err != nil {
+		return err
+	}
+	return backend.SyncCtx(ctx, f.inner)
 }
 
 func (f *file) Truncate(size int64) error {

@@ -21,6 +21,7 @@
 package filece
 
 import (
+	"context"
 	"crypto/aes"
 	"crypto/cipher"
 	"encoding/binary"
@@ -76,12 +77,16 @@ func New(store backend.Store, cfg Config) (*FS, error) {
 }
 
 // Create implements vfs.FS.
-func (e *FS) Create(name string) (vfs.File, error) {
-	bf, err := e.store.Open(name, backend.OpenCreate)
+func (e *FS) Create(name string) (vfs.File, error) { return e.CreateCtx(nil, name) }
+
+// CreateCtx implements vfs.FS.
+func (e *FS) CreateCtx(ctx context.Context, name string) (vfs.File, error) {
+	bf, err := backend.OpenCtx(ctx, e.store, name, backend.OpenCreate)
 	if err != nil {
 		return nil, fmt.Errorf("filece: %w", err)
 	}
 	f := &file{fs: e, bf: bf}
+	f.BindCursor(f)
 	if err := f.load(); err != nil {
 		bf.Close()
 		return nil, err
@@ -90,17 +95,28 @@ func (e *FS) Create(name string) (vfs.File, error) {
 }
 
 // Open implements vfs.FS.
-func (e *FS) Open(name string) (vfs.File, error) { return e.open(name, backend.OpenRead) }
+func (e *FS) Open(name string) (vfs.File, error) { return e.open(nil, name, backend.OpenRead) }
+
+// OpenCtx implements vfs.FS.
+func (e *FS) OpenCtx(ctx context.Context, name string) (vfs.File, error) {
+	return e.open(ctx, name, backend.OpenRead)
+}
 
 // OpenRW implements vfs.FS.
-func (e *FS) OpenRW(name string) (vfs.File, error) { return e.open(name, backend.OpenWrite) }
+func (e *FS) OpenRW(name string) (vfs.File, error) { return e.open(nil, name, backend.OpenWrite) }
 
-func (e *FS) open(name string, flag backend.OpenFlag) (vfs.File, error) {
-	bf, err := e.store.Open(name, flag)
+// OpenRWCtx implements vfs.FS.
+func (e *FS) OpenRWCtx(ctx context.Context, name string) (vfs.File, error) {
+	return e.open(ctx, name, backend.OpenWrite)
+}
+
+func (e *FS) open(ctx context.Context, name string, flag backend.OpenFlag) (vfs.File, error) {
+	bf, err := backend.OpenCtx(ctx, e.store, name, flag)
 	if err != nil {
 		return nil, mapErr(err)
 	}
 	f := &file{fs: e, bf: bf, readOnly: flag == backend.OpenRead}
+	f.BindCursor(f)
 	if err := f.load(); err != nil {
 		bf.Close()
 		return nil, err
@@ -111,9 +127,17 @@ func (e *FS) open(name string, flag backend.OpenFlag) (vfs.File, error) {
 // Remove implements vfs.FS.
 func (e *FS) Remove(name string) error { return mapErr(e.store.Remove(name)) }
 
+// RemoveCtx implements vfs.FS.
+func (e *FS) RemoveCtx(ctx context.Context, name string) error {
+	return mapErr(backend.RemoveCtx(ctx, e.store, name))
+}
+
 // Stat implements vfs.FS.
-func (e *FS) Stat(name string) (int64, error) {
-	f, err := e.Open(name)
+func (e *FS) Stat(name string) (int64, error) { return e.StatCtx(nil, name) }
+
+// StatCtx implements vfs.FS.
+func (e *FS) StatCtx(ctx context.Context, name string) (int64, error) {
+	f, err := e.open(ctx, name, backend.OpenRead)
 	if err != nil {
 		return 0, err
 	}
@@ -123,6 +147,11 @@ func (e *FS) Stat(name string) (int64, error) {
 
 // List implements vfs.FS.
 func (e *FS) List() ([]string, error) { return e.store.List() }
+
+// ListCtx implements vfs.FS.
+func (e *FS) ListCtx(ctx context.Context) ([]string, error) {
+	return backend.ListCtx(ctx, e.store)
+}
 
 func mapErr(err error) error {
 	if err == nil {
@@ -135,6 +164,8 @@ func mapErr(err error) error {
 }
 
 type file struct {
+	vfs.Cursor
+
 	fs       *FS
 	bf       backend.File
 	readOnly bool
@@ -344,6 +375,31 @@ func (f *file) Size() (int64, error) {
 		return 0, backend.ErrClosed
 	}
 	return int64(len(f.buf)), nil
+}
+
+// ReadAtCtx implements vfs.File (entry-checked; whole-file CE buffers
+// in memory, so there is no mid-flight backend work to interrupt).
+func (f *file) ReadAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
+	if err := vfs.Canceled(ctx); err != nil {
+		return 0, err
+	}
+	return f.ReadAt(p, off)
+}
+
+// WriteAtCtx implements vfs.File.
+func (f *file) WriteAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
+	if err := vfs.Canceled(ctx); err != nil {
+		return 0, err
+	}
+	return f.WriteAt(p, off)
+}
+
+// SyncCtx implements vfs.File.
+func (f *file) SyncCtx(ctx context.Context) error {
+	if err := vfs.Canceled(ctx); err != nil {
+		return err
+	}
+	return f.Sync()
 }
 
 // Sync implements vfs.File.

@@ -20,6 +20,7 @@
 package integrity
 
 import (
+	"context"
 	"crypto/hmac"
 	"crypto/sha256"
 	"encoding/binary"
@@ -194,8 +195,13 @@ func (x *FS) commit(name string, f vfs.File, prevVersion uint64) error {
 }
 
 // Create implements vfs.FS.
-func (x *FS) Create(name string) (vfs.File, error) {
-	inner, err := x.inner.Create(name)
+func (x *FS) Create(name string) (vfs.File, error) { return x.CreateCtx(nil, name) }
+
+// CreateCtx implements vfs.FS, forwarding ctx to the inner layer (the
+// verification read itself is not interruptible: a handle is either
+// fully verified or not returned).
+func (x *FS) CreateCtx(ctx context.Context, name string) (vfs.File, error) {
+	inner, err := x.inner.CreateCtx(ctx, name)
 	if err != nil {
 		return nil, err
 	}
@@ -212,13 +218,16 @@ func (x *FS) Create(name string) (vfs.File, error) {
 			return nil, err
 		}
 	}
-	return &file{fs: x, name: name, inner: inner, writable: true, version: rec.Version}, nil
+	return newFile(x, name, inner, true, rec.Version), nil
 }
 
 // Open implements vfs.FS: the file is verified against the trust
 // store before the handle is returned.
-func (x *FS) Open(name string) (vfs.File, error) {
-	inner, err := x.inner.Open(name)
+func (x *FS) Open(name string) (vfs.File, error) { return x.OpenCtx(nil, name) }
+
+// OpenCtx implements vfs.FS.
+func (x *FS) OpenCtx(ctx context.Context, name string) (vfs.File, error) {
+	inner, err := x.inner.OpenCtx(ctx, name)
 	if err != nil {
 		return nil, err
 	}
@@ -227,12 +236,15 @@ func (x *FS) Open(name string) (vfs.File, error) {
 		inner.Close()
 		return nil, err
 	}
-	return &file{fs: x, name: name, inner: inner, version: rec.Version}, nil
+	return newFile(x, name, inner, false, rec.Version), nil
 }
 
 // OpenRW implements vfs.FS.
-func (x *FS) OpenRW(name string) (vfs.File, error) {
-	inner, err := x.inner.OpenRW(name)
+func (x *FS) OpenRW(name string) (vfs.File, error) { return x.OpenRWCtx(nil, name) }
+
+// OpenRWCtx implements vfs.FS.
+func (x *FS) OpenRWCtx(ctx context.Context, name string) (vfs.File, error) {
+	inner, err := x.inner.OpenRWCtx(ctx, name)
 	if err != nil {
 		return nil, err
 	}
@@ -241,12 +253,15 @@ func (x *FS) OpenRW(name string) (vfs.File, error) {
 		inner.Close()
 		return nil, err
 	}
-	return &file{fs: x, name: name, inner: inner, writable: true, version: rec.Version}, nil
+	return newFile(x, name, inner, true, rec.Version), nil
 }
 
 // Remove implements vfs.FS.
-func (x *FS) Remove(name string) error {
-	if err := x.inner.Remove(name); err != nil {
+func (x *FS) Remove(name string) error { return x.RemoveCtx(nil, name) }
+
+// RemoveCtx implements vfs.FS.
+func (x *FS) RemoveCtx(ctx context.Context, name string) error {
+	if err := x.inner.RemoveCtx(ctx, name); err != nil {
 		return err
 	}
 	return x.trust.Delete(name)
@@ -255,8 +270,16 @@ func (x *FS) Remove(name string) error {
 // Stat implements vfs.FS.
 func (x *FS) Stat(name string) (int64, error) { return x.inner.Stat(name) }
 
+// StatCtx implements vfs.FS.
+func (x *FS) StatCtx(ctx context.Context, name string) (int64, error) {
+	return x.inner.StatCtx(ctx, name)
+}
+
 // List implements vfs.FS.
 func (x *FS) List() ([]string, error) { return x.inner.List() }
+
+// ListCtx implements vfs.FS.
+func (x *FS) ListCtx(ctx context.Context) ([]string, error) { return x.inner.ListCtx(ctx) }
 
 // VerifyAll audits every tracked file, returning the names that fail.
 func (x *FS) VerifyAll() (bad []string, err error) {
@@ -281,6 +304,8 @@ func (x *FS) VerifyAll() (bad []string, err error) {
 // file is a verified handle; writes mark it dirty and Close/Sync
 // refresh the trust record.
 type file struct {
+	vfs.Cursor
+
 	fs       *FS
 	name     string
 	inner    vfs.File
@@ -292,13 +317,30 @@ type file struct {
 	closed bool
 }
 
+func newFile(fs *FS, name string, inner vfs.File, writable bool, version uint64) *file {
+	f := &file{fs: fs, name: name, inner: inner, writable: writable, version: version}
+	f.BindCursor(f)
+	return f
+}
+
 func (f *file) ReadAt(p []byte, off int64) (int, error) { return f.inner.ReadAt(p, off) }
+
+func (f *file) ReadAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
+	return f.inner.ReadAtCtx(ctx, p, off)
+}
 
 func (f *file) WriteAt(p []byte, off int64) (int, error) {
 	f.mu.Lock()
 	f.dirty = true
 	f.mu.Unlock()
 	return f.inner.WriteAt(p, off)
+}
+
+func (f *file) WriteAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	f.dirty = true
+	f.mu.Unlock()
+	return f.inner.WriteAtCtx(ctx, p, off)
 }
 
 func (f *file) Truncate(size int64) error {
@@ -310,8 +352,10 @@ func (f *file) Truncate(size int64) error {
 
 func (f *file) Size() (int64, error) { return f.inner.Size() }
 
-func (f *file) Sync() error {
-	if err := f.inner.Sync(); err != nil {
+func (f *file) Sync() error { return f.SyncCtx(nil) }
+
+func (f *file) SyncCtx(ctx context.Context) error {
+	if err := f.inner.SyncCtx(ctx); err != nil {
 		return err
 	}
 	f.mu.Lock()
@@ -330,7 +374,7 @@ func (f *file) Close() error {
 	f.mu.Lock()
 	if f.closed {
 		f.mu.Unlock()
-		return errors.New("integrity: file already closed")
+		return vfs.ErrClosed
 	}
 	f.closed = true
 	dirty := f.dirty && f.writable

@@ -28,6 +28,7 @@
 package namecrypt
 
 import (
+	"context"
 	"crypto/aes"
 	"crypto/cipher"
 	"crypto/hmac"
@@ -201,4 +202,50 @@ func (s *Store) Stat(name string) (int64, error) {
 		return 0, err
 	}
 	return s.inner.Stat(enc)
+}
+
+// OpenCtx implements backend.StoreCtx, forwarding ctx through the
+// name-encryption layer (the returned file IS the inner store's file,
+// so its context support passes through untouched).
+func (s *Store) OpenCtx(ctx context.Context, name string, flag backend.OpenFlag) (backend.File, error) {
+	enc, err := s.encryptPath(name)
+	if err != nil {
+		return nil, err
+	}
+	return backend.OpenCtx(ctx, s.inner, enc, flag)
+}
+
+// RemoveCtx implements backend.StoreCtx.
+func (s *Store) RemoveCtx(ctx context.Context, name string) error {
+	enc, err := s.encryptPath(name)
+	if err != nil {
+		return err
+	}
+	return backend.RemoveCtx(ctx, s.inner, enc)
+}
+
+// ListCtx implements backend.StoreCtx.
+func (s *Store) ListCtx(ctx context.Context) ([]string, error) {
+	encNames, err := backend.ListCtx(ctx, s.inner)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(encNames))
+	for _, enc := range encNames {
+		plain, err := s.decryptPath(enc)
+		if err != nil {
+			return nil, fmt.Errorf("entry %q: %w", enc, err)
+		}
+		out = append(out, plain)
+	}
+	return out, nil
+}
+
+// StatCtx implements backend.StoreCtx.
+func (s *Store) StatCtx(ctx context.Context, name string) (int64, error) {
+	enc, err := s.encryptPath(name)
+	if err != nil {
+		return 0, err
+	}
+	return backend.StatCtx(ctx, s.inner, enc)
 }

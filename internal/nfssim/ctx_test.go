@@ -1,0 +1,68 @@
+package nfssim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"lamassu/internal/backend"
+	"lamassu/internal/simclock"
+)
+
+// TestCtxInterruptsRTT: a context cancellation must cut a simulated
+// round-trip wait short — the operation returns ErrCanceled quickly
+// and is never forwarded to the inner store.
+func TestCtxInterruptsRTT(t *testing.T) {
+	inner := backend.NewMemStore()
+	if err := backend.WriteFile(inner, "f", make([]byte, 1<<16)); err != nil {
+		t.Fatal(err)
+	}
+	// Bandwidth-only link: metadata ops (open) are free, while the
+	// 4 KiB read below would take ~68 minutes — the deadline must cut
+	// it short.
+	s := New(inner, Params{Bandwidth: 1}, simclock.Real{})
+	f, err := s.OpenCtx(context.Background(), "f", backend.OpenRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	buf := make([]byte, 4096)
+	start := time.Now()
+	_, rerr := backend.ReadAtCtx(ctx, f, buf, 0)
+	elapsed := time.Since(start)
+	if rerr == nil {
+		t.Fatal("read over the 1 B/s link returned nil under a 10ms deadline")
+	}
+	if !errors.Is(rerr, backend.ErrCanceled) || !errors.Is(rerr, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not wrap the sentinels", rerr)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("RTT wait was not interrupted: %v", elapsed)
+	}
+}
+
+// TestNilCtxChargesAsBefore: the plain methods and a nil ctx keep the
+// synchronous accounting.
+func TestNilCtxChargesAsBefore(t *testing.T) {
+	inner := backend.NewMemStore()
+	clock := simclock.NewVirtual()
+	s := New(inner, Params{RTT: time.Millisecond}, clock)
+	f, err := s.Open("f", backend.OpenCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteAt(make([]byte, 4096), 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Ops; got != 2 { // open + write
+		t.Fatalf("ops = %d, want 2", got)
+	}
+	if s.Stats().TimeCharged == 0 {
+		t.Fatal("no time charged")
+	}
+}

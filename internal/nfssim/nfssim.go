@@ -17,6 +17,7 @@
 package nfssim
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -107,7 +108,14 @@ func (s *Store) ResetStats() {
 
 // charge computes and applies the latency for an operation moving n
 // bytes at offset off.
-func (s *Store) charge(n int, off int64, write bool) {
+func (s *Store) charge(n int, off int64, write bool) { _ = s.chargeCtx(nil, n, off, write) }
+
+// chargeCtx is charge with a context-interruptible wait: a canceled
+// ctx cuts the simulated round trip short and the wrapped operation is
+// not performed. The cost accounting still records the operation (the
+// RPC was "on the wire" when the caller gave up), which mirrors a real
+// NFS client canceling an in-flight request.
+func (s *Store) chargeCtx(ctx context.Context, n int, off int64, write bool) error {
 	rtt := s.p.RTT
 	if write && s.p.WriteRTT != 0 {
 		rtt = s.p.WriteRTT
@@ -135,11 +143,17 @@ func (s *Store) charge(n int, off int64, write bool) {
 	s.stats.BytesMoved += int64(n)
 	s.stats.TimeCharged += d
 	s.mu.Unlock()
-	s.clock.Sleep(d)
+	if err := simclock.SleepCtx(ctx, s.clock, d); err != nil {
+		return backend.CtxErr(ctx)
+	}
+	return nil
 }
 
 // chargeMeta charges a metadata-only round trip (open/remove/stat...).
 func (s *Store) chargeMeta() { s.charge(0, 0, false) }
+
+// chargeMetaCtx is chargeMeta with an interruptible wait.
+func (s *Store) chargeMetaCtx(ctx context.Context) error { return s.chargeCtx(ctx, 0, 0, false) }
 
 // Open implements backend.Store.
 func (s *Store) Open(name string, flag backend.OpenFlag) (backend.File, error) {
@@ -175,6 +189,43 @@ func (s *Store) Stat(name string) (int64, error) {
 	return s.inner.Stat(name)
 }
 
+// OpenCtx implements backend.StoreCtx: the metadata round trip is
+// interruptible, and the context is forwarded to the inner store.
+func (s *Store) OpenCtx(ctx context.Context, name string, flag backend.OpenFlag) (backend.File, error) {
+	if err := s.chargeMetaCtx(ctx); err != nil {
+		return nil, err
+	}
+	f, err := backend.OpenCtx(ctx, s.inner, name, flag)
+	if err != nil {
+		return nil, err
+	}
+	return &file{store: s, inner: f}, nil
+}
+
+// RemoveCtx implements backend.StoreCtx.
+func (s *Store) RemoveCtx(ctx context.Context, name string) error {
+	if err := s.chargeMetaCtx(ctx); err != nil {
+		return err
+	}
+	return backend.RemoveCtx(ctx, s.inner, name)
+}
+
+// ListCtx implements backend.StoreCtx.
+func (s *Store) ListCtx(ctx context.Context) ([]string, error) {
+	if err := s.chargeMetaCtx(ctx); err != nil {
+		return nil, err
+	}
+	return backend.ListCtx(ctx, s.inner)
+}
+
+// StatCtx implements backend.StoreCtx.
+func (s *Store) StatCtx(ctx context.Context, name string) (int64, error) {
+	if err := s.chargeMetaCtx(ctx); err != nil {
+		return 0, err
+	}
+	return backend.StatCtx(ctx, s.inner, name)
+}
+
 type file struct {
 	store *Store
 	inner backend.File
@@ -206,3 +257,36 @@ func (f *file) Sync() error {
 }
 
 func (f *file) Close() error { return f.inner.Close() }
+
+// ReadAtCtx implements backend.FileCtx: the RTT + bandwidth wait is
+// cut short when ctx is canceled, and the read is then never issued.
+func (f *file) ReadAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
+	if err := f.store.chargeCtx(ctx, len(p), off, false); err != nil {
+		return 0, err
+	}
+	return backend.ReadAtCtx(ctx, f.inner, p, off)
+}
+
+// WriteAtCtx implements backend.FileCtx.
+func (f *file) WriteAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
+	if err := f.store.chargeCtx(ctx, len(p), off, true); err != nil {
+		return 0, err
+	}
+	return backend.WriteAtCtx(ctx, f.inner, p, off)
+}
+
+// TruncateCtx implements backend.FileCtx.
+func (f *file) TruncateCtx(ctx context.Context, size int64) error {
+	if err := f.store.chargeMetaCtx(ctx); err != nil {
+		return err
+	}
+	return backend.TruncateCtx(ctx, f.inner, size)
+}
+
+// SyncCtx implements backend.FileCtx.
+func (f *file) SyncCtx(ctx context.Context) error {
+	if err := f.store.chargeMetaCtx(ctx); err != nil {
+		return err
+	}
+	return backend.SyncCtx(ctx, f.inner)
+}

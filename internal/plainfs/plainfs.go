@@ -11,6 +11,7 @@
 package plainfs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -27,34 +28,48 @@ type FS struct {
 func New(store backend.Store) *FS { return &FS{store: store} }
 
 // Create implements vfs.FS.
-func (p *FS) Create(name string) (vfs.File, error) {
-	f, err := p.store.Open(name, backend.OpenCreate)
+func (p *FS) Create(name string) (vfs.File, error) { return p.CreateCtx(nil, name) }
+
+// CreateCtx implements vfs.FS.
+func (p *FS) CreateCtx(ctx context.Context, name string) (vfs.File, error) {
+	f, err := backend.OpenCtx(ctx, p.store, name, backend.OpenCreate)
 	if err != nil {
 		return nil, fmt.Errorf("plainfs: %w", err)
 	}
-	return &file{f}, nil
+	return newFile(f), nil
 }
 
 // Open implements vfs.FS.
-func (p *FS) Open(name string) (vfs.File, error) {
-	f, err := p.store.Open(name, backend.OpenRead)
+func (p *FS) Open(name string) (vfs.File, error) { return p.OpenCtx(nil, name) }
+
+// OpenCtx implements vfs.FS.
+func (p *FS) OpenCtx(ctx context.Context, name string) (vfs.File, error) {
+	f, err := backend.OpenCtx(ctx, p.store, name, backend.OpenRead)
 	if err != nil {
 		return nil, mapErr(err)
 	}
-	return &file{f}, nil
+	return newFile(f), nil
 }
 
 // OpenRW implements vfs.FS.
-func (p *FS) OpenRW(name string) (vfs.File, error) {
-	f, err := p.store.Open(name, backend.OpenWrite)
+func (p *FS) OpenRW(name string) (vfs.File, error) { return p.OpenRWCtx(nil, name) }
+
+// OpenRWCtx implements vfs.FS.
+func (p *FS) OpenRWCtx(ctx context.Context, name string) (vfs.File, error) {
+	f, err := backend.OpenCtx(ctx, p.store, name, backend.OpenWrite)
 	if err != nil {
 		return nil, mapErr(err)
 	}
-	return &file{f}, nil
+	return newFile(f), nil
 }
 
 // Remove implements vfs.FS.
 func (p *FS) Remove(name string) error { return mapErr(p.store.Remove(name)) }
+
+// RemoveCtx implements vfs.FS.
+func (p *FS) RemoveCtx(ctx context.Context, name string) error {
+	return mapErr(backend.RemoveCtx(ctx, p.store, name))
+}
 
 // Stat implements vfs.FS.
 func (p *FS) Stat(name string) (int64, error) {
@@ -62,8 +77,19 @@ func (p *FS) Stat(name string) (int64, error) {
 	return sz, mapErr(err)
 }
 
+// StatCtx implements vfs.FS.
+func (p *FS) StatCtx(ctx context.Context, name string) (int64, error) {
+	sz, err := backend.StatCtx(ctx, p.store, name)
+	return sz, mapErr(err)
+}
+
 // List implements vfs.FS.
 func (p *FS) List() ([]string, error) { return p.store.List() }
+
+// ListCtx implements vfs.FS.
+func (p *FS) ListCtx(ctx context.Context) ([]string, error) {
+	return backend.ListCtx(ctx, p.store)
+}
 
 func mapErr(err error) error {
 	if err == nil {
@@ -75,9 +101,18 @@ func mapErr(err error) error {
 	return fmt.Errorf("plainfs: %w", err)
 }
 
-// file adapts backend.File to vfs.File one-to-one.
+// file adapts backend.File to vfs.File one-to-one; the context
+// variants forward to the backend so a context-aware store (e.g. the
+// NFS simulator) can interrupt its waits.
 type file struct {
+	vfs.Cursor
 	inner backend.File
+}
+
+func newFile(inner backend.File) *file {
+	f := &file{inner: inner}
+	f.BindCursor(f)
+	return f
 }
 
 func (f *file) ReadAt(p []byte, off int64) (int, error)  { return f.inner.ReadAt(p, off) }
@@ -86,3 +121,13 @@ func (f *file) Truncate(size int64) error                { return f.inner.Trunca
 func (f *file) Size() (int64, error)                     { return f.inner.Size() }
 func (f *file) Sync() error                              { return f.inner.Sync() }
 func (f *file) Close() error                             { return f.inner.Close() }
+
+func (f *file) ReadAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
+	return backend.ReadAtCtx(ctx, f.inner, p, off)
+}
+
+func (f *file) WriteAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
+	return backend.WriteAtCtx(ctx, f.inner, p, off)
+}
+
+func (f *file) SyncCtx(ctx context.Context) error { return backend.SyncCtx(ctx, f.inner) }

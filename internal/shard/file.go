@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -39,7 +40,7 @@ type file struct {
 // read that finds none gets (nil, nil) and treats the range as a hole
 // — a pure read workload must never materialize empty stripe files on
 // shards that hold no data.
-func (f *file) handle(shard int, forWrite bool) (backend.File, error) {
+func (f *file) handle(ctx context.Context, shard int, forWrite bool) (backend.File, error) {
 	f.mu.Lock()
 	if f.closed {
 		f.mu.Unlock()
@@ -64,7 +65,7 @@ func (f *file) handle(shard int, forWrite bool) (backend.File, error) {
 	// backend) must not stall I/O to shards that are already open.
 	// Concurrent openers race; the loser closes its handle.
 	f.mu.Unlock()
-	h, err := f.store.stores[shard].Open(f.name, flag)
+	h, err := backend.OpenCtx(ctx, f.store.stores[shard], f.name, flag)
 
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -106,8 +107,8 @@ func (f *file) openHandles() (map[int]backend.File, error) {
 }
 
 // home returns the eagerly opened home-shard handle.
-func (f *file) home() (backend.File, error) {
-	return f.handle(f.homeIdx, f.flag != backend.OpenRead)
+func (f *file) home(ctx context.Context) (backend.File, error) {
+	return f.handle(ctx, f.homeIdx, f.flag != backend.OpenRead)
 }
 
 // striped reports whether ranges of this file can live on different
@@ -117,7 +118,7 @@ func (f *file) striped() bool { return f.store.stripe > 0 }
 // Size implements backend.File: the maximum local size across shards
 // (see Store.Stat for why the maximum is exact).
 func (f *file) Size() (int64, error) {
-	h, err := f.home()
+	h, err := f.home(nil)
 	if err != nil {
 		return 0, err
 	}
@@ -190,16 +191,25 @@ func (f *file) splitStripes(off int64, n int) []stripeRange {
 // ReadAt implements io.ReaderAt. Ranges on shards whose stripe file is
 // shorter than the file's global size (sparse stripes) read as zeros,
 // preserving the hole semantics of an unsharded backing file.
-func (f *file) ReadAt(p []byte, off int64) (int, error) {
+func (f *file) ReadAt(p []byte, off int64) (int, error) { return f.readAt(nil, p, off) }
+
+// ReadAtCtx implements backend.FileCtx: cancellation is observed
+// between the per-stripe reads, and the context is forwarded to each
+// shard's store.
+func (f *file) ReadAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
+	return f.readAt(ctx, p, off)
+}
+
+func (f *file) readAt(ctx context.Context, p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("shard: negative offset %d", off)
 	}
 	if !f.striped() {
-		h, err := f.home()
+		h, err := f.home(ctx)
 		if err != nil {
 			return 0, err
 		}
-		n, err := h.ReadAt(p, off)
+		n, err := backend.ReadAtCtx(ctx, h, p, off)
 		f.store.countRead(f.homeIdx, n)
 		return n, err
 	}
@@ -224,7 +234,10 @@ func (f *file) ReadAt(p []byte, off int64) (int, error) {
 		return size, nil
 	}
 	for _, r := range f.splitStripes(off, len(p)) {
-		h, err := f.handle(r.shard, false)
+		if err := backend.CtxErr(ctx); err != nil {
+			return r.bufLo, err
+		}
+		h, err := f.handle(ctx, r.shard, false)
 		if err != nil {
 			return r.bufLo, err
 		}
@@ -232,7 +245,7 @@ func (f *file) ReadAt(p []byte, off int64) (int, error) {
 		m := 0
 		if h != nil {
 			var rerr error
-			m, rerr = h.ReadAt(chunk, r.off)
+			m, rerr = backend.ReadAtCtx(ctx, h, chunk, r.off)
 			f.store.countRead(r.shard, m)
 			if rerr != nil && !errors.Is(rerr, io.EOF) {
 				return r.bufLo + m, rerr
@@ -271,7 +284,17 @@ func (f *file) ReadAt(p []byte, off int64) (int, error) {
 
 // WriteAt implements io.WriterAt, routing each stripe of the payload
 // to its owning shard (stripe files are created on first write).
-func (f *file) WriteAt(p []byte, off int64) (int, error) {
+func (f *file) WriteAt(p []byte, off int64) (int, error) { return f.writeAt(nil, p, off) }
+
+// WriteAtCtx implements backend.FileCtx: cancellation is observed
+// between the per-stripe writes, so a canceled multi-stripe write is a
+// clean cut at a stripe boundary (stripes are block-aligned, so the
+// engine's whole-block crash model is preserved).
+func (f *file) WriteAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
+	return f.writeAt(ctx, p, off)
+}
+
+func (f *file) writeAt(ctx context.Context, p []byte, off int64) (int, error) {
 	if f.flag == backend.OpenRead {
 		return 0, backend.ErrReadOnly
 	}
@@ -285,20 +308,23 @@ func (f *file) WriteAt(p []byte, off int64) (int, error) {
 		return 0, nil
 	}
 	if !f.striped() {
-		h, err := f.home()
+		h, err := f.home(ctx)
 		if err != nil {
 			return 0, err
 		}
-		n, err := h.WriteAt(p, off)
+		n, err := backend.WriteAtCtx(ctx, h, p, off)
 		f.store.countWrite(f.homeIdx, n)
 		return n, err
 	}
 	for _, r := range f.splitStripes(off, len(p)) {
-		h, err := f.handle(r.shard, true)
+		if err := backend.CtxErr(ctx); err != nil {
+			return r.bufLo, err
+		}
+		h, err := f.handle(ctx, r.shard, true)
 		if err != nil {
 			return r.bufLo, err
 		}
-		m, err := h.WriteAt(p[r.bufLo:r.bufHi], r.off)
+		m, err := backend.WriteAtCtx(ctx, h, p[r.bufLo:r.bufHi], r.off)
 		f.store.countWrite(r.shard, m)
 		if err != nil {
 			return r.bufLo + m, err
@@ -310,7 +336,16 @@ func (f *file) WriteAt(p []byte, off int64) (int, error) {
 // Truncate implements backend.File. Every shard's stripe file is
 // capped at size, and the shard owning the final byte is extended (or
 // pinned) to exactly size so the global maximum equals size.
-func (f *file) Truncate(size int64) error {
+func (f *file) Truncate(size int64) error { return f.truncate(nil, size) }
+
+// TruncateCtx implements backend.FileCtx. Cancellation is observed
+// between per-shard truncates; a canceled multi-shard cut must be
+// retried (as after a crash) before the global size is trustworthy.
+func (f *file) TruncateCtx(ctx context.Context, size int64) error {
+	return f.truncate(ctx, size)
+}
+
+func (f *file) truncate(ctx context.Context, size int64) error {
 	if f.flag == backend.OpenRead {
 		return backend.ErrReadOnly
 	}
@@ -318,16 +353,19 @@ func (f *file) Truncate(size int64) error {
 		return fmt.Errorf("shard: negative size %d", size)
 	}
 	if !f.striped() {
-		h, err := f.home()
+		h, err := f.home(ctx)
 		if err != nil {
 			return err
 		}
-		return h.Truncate(size)
+		return backend.TruncateCtx(ctx, h, size)
 	}
 	// Cap every store holding more than size. Stores never probed are
 	// checked by name so stripes written by an earlier handle are cut
 	// too.
 	for _, u := range f.store.uniq {
+		if err := backend.CtxErr(ctx); err != nil {
+			return err
+		}
 		local, err := u.store.Stat(f.name)
 		if errors.Is(err, backend.ErrNotExist) {
 			continue
@@ -338,11 +376,11 @@ func (f *file) Truncate(size int64) error {
 		if local <= size {
 			continue
 		}
-		h, err := f.handle(u.shard, true)
+		h, err := f.handle(ctx, u.shard, true)
 		if err != nil {
 			return err
 		}
-		if err := h.Truncate(size); err != nil {
+		if err := backend.TruncateCtx(ctx, h, size); err != nil {
 			return err
 		}
 	}
@@ -351,22 +389,31 @@ func (f *file) Truncate(size int64) error {
 	}
 	// Anchor the global size on the owner of the final byte.
 	owner := f.store.ShardOf(f.name, size-1)
-	h, err := f.handle(owner, true)
+	h, err := f.handle(ctx, owner, true)
 	if err != nil {
 		return err
 	}
-	return h.Truncate(size)
+	return backend.TruncateCtx(ctx, h, size)
 }
 
 // Sync implements backend.File: every shard handle this file touched
 // is flushed.
-func (f *file) Sync() error {
+func (f *file) Sync() error { return f.sync(nil) }
+
+// SyncCtx implements backend.FileCtx, observing ctx between per-shard
+// flushes.
+func (f *file) SyncCtx(ctx context.Context) error { return f.sync(ctx) }
+
+func (f *file) sync(ctx context.Context) error {
 	open, err := f.openHandles()
 	if err != nil {
 		return err
 	}
 	for s, h := range open {
-		if err := h.Sync(); err != nil {
+		if err := backend.CtxErr(ctx); err != nil {
+			return err
+		}
+		if err := backend.SyncCtx(ctx, h); err != nil {
 			return err
 		}
 		f.store.countSync(s)

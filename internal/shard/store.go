@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -162,8 +163,15 @@ func (s *Store) Stats() []IOStats {
 // Open implements backend.Store. Existence is decided by the home
 // shard; stripe files on other shards are created lazily by writes.
 func (s *Store) Open(name string, flag backend.OpenFlag) (backend.File, error) {
+	return s.OpenCtx(nil, name, flag)
+}
+
+// OpenCtx implements backend.StoreCtx: ctx reaches the home shard's
+// open here and every lazy stripe open through the handle's *Ctx
+// methods later.
+func (s *Store) OpenCtx(ctx context.Context, name string, flag backend.OpenFlag) (backend.File, error) {
 	home := s.homeShard(name)
-	hf, err := s.stores[home].Open(name, flag)
+	hf, err := backend.OpenCtx(ctx, s.stores[home], name, flag)
 	if err != nil {
 		return nil, err
 	}
@@ -178,23 +186,43 @@ func (s *Store) Open(name string, flag backend.OpenFlag) (backend.File, error) {
 	return f, nil
 }
 
-// Remove implements backend.Store: the file is removed from every
-// shard holding a stripe of it. The home shard decides existence.
-func (s *Store) Remove(name string) error {
+// RemoveCtx implements backend.StoreCtx, checking ctx between the
+// per-shard removes.
+func (s *Store) RemoveCtx(ctx context.Context, name string) error {
 	homeStore := s.stores[s.homeShard(name)]
-	if err := homeStore.Remove(name); err != nil {
+	if err := backend.RemoveCtx(ctx, homeStore, name); err != nil {
 		return err
 	}
 	for _, u := range s.uniq {
 		if u.store == homeStore {
 			continue
 		}
-		if err := u.store.Remove(name); err != nil && !errors.Is(err, backend.ErrNotExist) {
+		if err := backend.RemoveCtx(ctx, u.store, name); err != nil && !errors.Is(err, backend.ErrNotExist) {
 			return err
 		}
 	}
 	return nil
 }
+
+// ListCtx implements backend.StoreCtx.
+func (s *Store) ListCtx(ctx context.Context) ([]string, error) {
+	if err := backend.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	return s.List()
+}
+
+// StatCtx implements backend.StoreCtx.
+func (s *Store) StatCtx(ctx context.Context, name string) (int64, error) {
+	if err := backend.CtxErr(ctx); err != nil {
+		return 0, err
+	}
+	return s.Stat(name)
+}
+
+// Remove implements backend.Store: the file is removed from every
+// shard holding a stripe of it. The home shard decides existence.
+func (s *Store) Remove(name string) error { return s.RemoveCtx(nil, name) }
 
 // Rename implements backend.Store. Renaming changes every placement
 // key, so in general the data must move; when the whole file stays on

@@ -1,0 +1,44 @@
+package simclock
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestSleepCtxRealInterrupted(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := SleepCtx(ctx, Real{}, 30*time.Second)
+	if err == nil {
+		t.Fatal("interrupted sleep returned nil")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("sleep was not cut short: %v", elapsed)
+	}
+}
+
+func TestSleepCtxVirtual(t *testing.T) {
+	v := NewVirtual()
+	before := v.Now()
+	if err := SleepCtx(context.Background(), v, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if v.Now().Sub(before) != time.Hour {
+		t.Fatal("virtual sleep did not advance")
+	}
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := SleepCtx(dead, v, time.Hour); err == nil {
+		t.Fatal("dead ctx sleep returned nil")
+	}
+	// nil ctx always sleeps (advances).
+	before = v.Now()
+	if err := SleepCtx(nil, v, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if v.Now().Sub(before) != time.Minute {
+		t.Fatal("nil-ctx virtual sleep did not advance")
+	}
+}

@@ -15,6 +15,7 @@
 package simclock
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -40,6 +41,51 @@ func (Real) Sleep(d time.Duration) {
 	if d > 0 {
 		time.Sleep(d)
 	}
+}
+
+// SleepCtx implements CtxSleeper: the wait ends early — returning
+// ctx.Err() — if ctx is done first.
+func (Real) SleepCtx(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// CtxSleeper is the optional interface of clocks whose waits can be
+// interrupted by a context. Real implements it with a timer select;
+// virtual clocks advance instantly, so the SleepCtx helper only needs
+// an entry check for them.
+type CtxSleeper interface {
+	SleepCtx(ctx context.Context, d time.Duration) error
+}
+
+// SleepCtx sleeps d on c, honoring ctx: a real clock's wait is cut
+// short when ctx is done, and any clock refuses to start a wait under
+// an already-done context. A nil ctx sleeps unconditionally.
+func SleepCtx(ctx context.Context, c Clock, d time.Duration) error {
+	if ctx == nil {
+		c.Sleep(d)
+		return nil
+	}
+	if cs, ok := c.(CtxSleeper); ok {
+		return cs.SleepCtx(ctx, d)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.Sleep(d)
+	return nil
 }
 
 // Virtual is a logical clock. It starts at an arbitrary fixed epoch and

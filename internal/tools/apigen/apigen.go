@@ -1,0 +1,163 @@
+// Package apigen renders a deterministic, textual snapshot of a Go
+// package's exported API surface: exported constants, variables,
+// types (with their exported struct fields / interface methods), and
+// functions/methods with full signatures.
+//
+// The repository pins the public `lamassu` surface in api/lamassu.api;
+// TestAPIGolden and a CI step regenerate the snapshot and diff it, so
+// an accidental signature change (or removal) of anything exported
+// fails loudly and an intentional one shows up as a reviewable diff of
+// the golden file. This is the lightweight, dependency-free stand-in
+// for golang.org/x/exp/cmd/apidiff.
+//
+// Line formats (sorted lexically in the output):
+//
+//	const Name
+//	var Name
+//	func Name(sig)
+//	func (Recv) Name(sig)
+//	type Name <kind or definition>
+//	field Name.Field Type
+//	embed Name EmbeddedType
+//	method Name.Method func(sig)
+package apigen
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Generate parses the non-test Go files of the package in dir and
+// returns its exported API, one declaration per line, sorted.
+func Generate(dir string) (string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, nil, parser.SkipObjectResolution)
+	if err != nil {
+		return "", err
+	}
+	var lines []string
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		for fname, f := range pkg.Files {
+			if strings.HasSuffix(fname, "_test.go") {
+				continue
+			}
+			ls, err := fileAPI(fset, f)
+			if err != nil {
+				return "", err
+			}
+			lines = append(lines, ls...)
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n", nil
+}
+
+func fileAPI(fset *token.FileSet, f *ast.File) ([]string, error) {
+	var out []string
+	var rerr error
+	emit := func(format string, args ...any) {
+		out = append(out, fmt.Sprintf(format, args...))
+	}
+	oneLine := func(n ast.Node) string {
+		var buf bytes.Buffer
+		if err := printer.Fprint(&buf, fset, n); err != nil && rerr == nil {
+			rerr = err
+		}
+		return strings.Join(strings.Fields(buf.String()), " ")
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() {
+				continue
+			}
+			sig := oneLine(&ast.FuncType{Params: d.Type.Params, Results: d.Type.Results})
+			sig = strings.TrimPrefix(sig, "func")
+			if d.Recv != nil && len(d.Recv.List) == 1 {
+				recv := oneLine(d.Recv.List[0].Type)
+				// Methods on unexported receivers are reachable only
+				// through interfaces, which list them; skip them here.
+				if !exportedName(strings.TrimPrefix(recv, "*")) {
+					continue
+				}
+				emit("func (%s) %s%s", recv, d.Name.Name, sig)
+			} else {
+				emit("func %s%s", d.Name.Name, sig)
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if !s.Name.IsExported() {
+						continue
+					}
+					name := s.Name.Name
+					assign := ""
+					if s.Assign != token.NoPos {
+						assign = "= "
+					}
+					switch t := s.Type.(type) {
+					case *ast.StructType:
+						emit("type %s %sstruct", name, assign)
+						for _, fld := range t.Fields.List {
+							ft := oneLine(fld.Type)
+							if len(fld.Names) == 0 {
+								if exportedName(strings.TrimPrefix(ft, "*")) || strings.Contains(ft, ".") {
+									emit("embed %s %s", name, ft)
+								}
+								continue
+							}
+							for _, fn := range fld.Names {
+								if fn.IsExported() {
+									emit("field %s.%s %s", name, fn.Name, ft)
+								}
+							}
+						}
+					case *ast.InterfaceType:
+						emit("type %s %sinterface", name, assign)
+						for _, m := range t.Methods.List {
+							mt := oneLine(m.Type)
+							if len(m.Names) == 0 {
+								emit("embed %s %s", name, mt)
+								continue
+							}
+							for _, mn := range m.Names {
+								if mn.IsExported() {
+									emit("method %s.%s %s", name, mn.Name, mt)
+								}
+							}
+						}
+					default:
+						emit("type %s %s%s", name, assign, oneLine(s.Type))
+					}
+				case *ast.ValueSpec:
+					kind := "var"
+					if d.Tok == token.CONST {
+						kind = "const"
+					}
+					for _, n := range s.Names {
+						if n.IsExported() {
+							emit("%s %s", kind, n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, rerr
+}
+
+// exportedName reports whether an identifier-ish string starts with an
+// exported (upper-case) letter.
+func exportedName(s string) bool {
+	return s != "" && s[0] >= 'A' && s[0] <= 'Z'
+}

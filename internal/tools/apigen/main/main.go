@@ -1,0 +1,25 @@
+// Command apigen prints the exported API snapshot of a package
+// directory (default "."). CI diffs its output for the repository
+// root against api/lamassu.api:
+//
+//	go run ./internal/tools/apigen/main -dir . | diff -u api/lamassu.api -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lamassu/internal/tools/apigen"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "package directory to snapshot")
+	flag.Parse()
+	out, err := apigen.Generate(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apigen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

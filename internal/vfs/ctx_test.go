@@ -1,0 +1,92 @@
+package vfs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"testing"
+)
+
+// memPositional is a minimal Positional backing for Cursor tests.
+type memPositional struct {
+	buf []byte
+}
+
+func (m *memPositional) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(m.buf)) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.buf[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (m *memPositional) WriteAt(p []byte, off int64) (int, error) {
+	if end := off + int64(len(p)); end > int64(len(m.buf)) {
+		grown := make([]byte, end)
+		copy(grown, m.buf)
+		m.buf = grown
+	}
+	copy(m.buf[off:], p)
+	return len(p), nil
+}
+
+func (m *memPositional) Size() (int64, error) { return int64(len(m.buf)), nil }
+
+type cursored struct {
+	Cursor
+	*memPositional
+}
+
+func TestCursorReadWriteSeek(t *testing.T) {
+	c := &cursored{memPositional: &memPositional{}}
+	c.BindCursor(c.memPositional)
+
+	if n, err := c.Write([]byte("hello ")); n != 6 || err != nil {
+		t.Fatalf("Write: %d, %v", n, err)
+	}
+	if n, err := c.Write([]byte("world")); n != 5 || err != nil {
+		t.Fatalf("Write: %d, %v", n, err)
+	}
+	if pos, err := c.Seek(0, io.SeekStart); pos != 0 || err != nil {
+		t.Fatalf("Seek: %d, %v", pos, err)
+	}
+	out, err := io.ReadAll(struct{ io.Reader }{c})
+	if err != nil || string(out) != "hello world" {
+		t.Fatalf("ReadAll: %q, %v", out, err)
+	}
+	if pos, err := c.Seek(-5, io.SeekEnd); pos != 6 || err != nil {
+		t.Fatalf("SeekEnd: %d, %v", pos, err)
+	}
+	var tail bytes.Buffer
+	if _, err := io.Copy(&tail, struct{ io.Reader }{c}); err != nil {
+		t.Fatal(err)
+	}
+	if tail.String() != "world" {
+		t.Fatalf("tail: %q", tail.String())
+	}
+	if _, err := c.Seek(0, 42); err == nil {
+		t.Fatal("invalid whence accepted")
+	}
+	if _, err := c.Seek(-1, io.SeekStart); err == nil {
+		t.Fatal("negative seek accepted")
+	}
+}
+
+func TestCanceledHelper(t *testing.T) {
+	if err := Canceled(nil); err != nil {
+		t.Fatalf("nil ctx: %v", err)
+	}
+	if err := Canceled(context.Background()); err != nil {
+		t.Fatalf("live ctx: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Canceled(ctx)
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("dead ctx: %v", err)
+	}
+}

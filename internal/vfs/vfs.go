@@ -12,6 +12,7 @@
 package vfs
 
 import (
+	"context"
 	"errors"
 	"io"
 )
@@ -22,9 +23,28 @@ var ErrNotExist = errors.New("vfs: file does not exist")
 // File is an open handle exposing synchronous positional I/O, the
 // subset of POSIX semantics the paper's workloads use (FIO with 4 KiB
 // sync I/O, file copies).
+//
+// Since API v2 a File is also an io.ReadWriteSeeker (every
+// implementation embeds a Cursor bound to its positional methods, so
+// handles plug straight into io.Copy and friends) and carries
+// context-aware variants of the operations that touch the backing
+// store. The *Ctx methods observe cancellation only between block and
+// run boundaries — never inside a backend write — so an interrupted
+// multiphase commit is exactly a crash cut the §2.4 recovery protocol
+// repairs. Passing a nil context (or calling the plain methods, which
+// are equivalent) preserves the pre-v2 behavior byte for byte.
 type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
 	io.ReaderAt
 	io.WriterAt
+	// ReadAtCtx is ReadAt honoring ctx between blocks/runs.
+	ReadAtCtx(ctx context.Context, p []byte, off int64) (int, error)
+	// WriteAtCtx is WriteAt honoring ctx between blocks/runs; a write
+	// canceled mid-commit returns ErrCanceled and leaves the file
+	// recoverable.
+	WriteAtCtx(ctx context.Context, p []byte, off int64) (int, error)
 	// Truncate sets the logical file size.
 	Truncate(size int64) error
 	// Size returns the logical file size (excluding any encryption
@@ -33,24 +53,42 @@ type File interface {
 	// Sync flushes all buffered state (including any pending
 	// multiphase commits) to the backing store.
 	Sync() error
-	// Close flushes and releases the handle.
+	// SyncCtx is Sync honoring ctx between the segment commits it
+	// flushes.
+	SyncCtx(ctx context.Context) error
+	// Close flushes and releases the handle. Every operation on a
+	// closed handle returns ErrClosed.
 	Close() error
 }
 
-// FS is a flat-namespace file system.
+// FS is a flat-namespace file system. The *Ctx variants thread the
+// context to the backing store (and, for LamassuFS, through the size
+// load the open performs); a nil context selects the plain behavior.
 type FS interface {
 	// Create opens name read-write, creating it if absent.
 	Create(name string) (File, error)
+	// CreateCtx is Create honoring ctx.
+	CreateCtx(ctx context.Context, name string) (File, error)
 	// Open opens an existing file read-only.
 	Open(name string) (File, error)
+	// OpenCtx is Open honoring ctx.
+	OpenCtx(ctx context.Context, name string) (File, error)
 	// OpenRW opens an existing file read-write.
 	OpenRW(name string) (File, error)
+	// OpenRWCtx is OpenRW honoring ctx.
+	OpenRWCtx(ctx context.Context, name string) (File, error)
 	// Remove deletes a file.
 	Remove(name string) error
+	// RemoveCtx is Remove honoring ctx.
+	RemoveCtx(ctx context.Context, name string) error
 	// Stat returns the logical size of a file.
 	Stat(name string) (int64, error)
+	// StatCtx is Stat honoring ctx.
+	StatCtx(ctx context.Context, name string) (int64, error)
 	// List returns all file names, sorted.
 	List() ([]string, error)
+	// ListCtx is List honoring ctx.
+	ListCtx(ctx context.Context) ([]string, error)
 }
 
 // Span describes the intersection of a byte range with one block: the

@@ -20,15 +20,43 @@
 // # Quick start
 //
 //	keys, _ := lamassu.GenerateKeys()
-//	m, _ := lamassu.Mount(lamassu.NewMemStorage(), keys, nil)
+//	m, _ := lamassu.New(lamassu.NewMemStorage(), keys)
 //	f, _ := m.Create("hello.txt")
 //	f.WriteAt([]byte("hello, deduplicating world"), 0)
 //	f.Close()
 //
-// See the examples/ directory for complete programs: a quickstart, a
-// multi-tenant isolation-zone demo over a shared deduplicating store,
-// a crash-recovery walkthrough, and a Table-1-style VM-image backup
-// scenario.
+// Construction is by functional options (see New and the With*
+// options); the legacy Options struct remains supported through
+// NewMount. See the examples/ directory for complete programs: a
+// quickstart, a multi-tenant isolation-zone demo over a shared
+// deduplicating store, a crash-recovery walkthrough, a Table-1-style
+// VM-image backup scenario, and a context-cancellation walkthrough.
+//
+// # Contexts and cancellation (API v2)
+//
+// Every Mount operation has a *Ctx variant, and File carries
+// ReadAtCtx/WriteAtCtx/SyncCtx; the context flows through every layer
+// down to the backing store (including the shard router and the NFS
+// simulator's round-trip waits). Cancellation is observed only BETWEEN
+// backend operations — between blocks, runs, segments and commit
+// phases, never inside a single write — so a canceled multiphase
+// commit is indistinguishable from a crash cut at a write boundary:
+// the operation returns an error wrapping both ErrCanceled and the
+// context's own error, every previously committed byte remains
+// readable, and the §2.4 recovery protocol (run implicitly by the next
+// commit, or explicitly via Recover) repairs the interrupted segment.
+// Retrying the canceled Sync/WriteAt with a live context converges
+// without rewriting what already landed. A nil context — and every
+// plain (non-Ctx) method — preserves the pre-v2 behavior byte for
+// byte.
+//
+// # Std-lib interop
+//
+// A File is an io.Reader, io.Writer, io.Seeker, io.ReaderAt,
+// io.WriterAt and io.Closer, so handles plug directly into io.Copy,
+// bufio and friends. Mount.FS exposes a read-only io/fs.FS view of the
+// mount (passing testing/fstest.TestFS), for code written against the
+// standard file-system interfaces.
 //
 // # Concurrency
 //
@@ -67,8 +95,10 @@
 package lamassu
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"lamassu/internal/backend"
@@ -234,7 +264,8 @@ type Options struct {
 	ShardVnodes int
 }
 
-// Errors surfaced by the public API.
+// Errors surfaced by the public API. ErrClosed, ErrCanceled and the
+// PathError type live in errors.go.
 var (
 	// ErrNotExist reports an operation on a missing file.
 	ErrNotExist = vfs.ErrNotExist
@@ -247,8 +278,32 @@ var (
 // Mount is a Lamassu instance over one backing store — the moral
 // equivalent of the paper's FUSE mount point.
 type Mount struct {
-	fs  *core.FS
-	rec *metrics.Recorder
+	fs     *core.FS
+	rec    *metrics.Recorder
+	closed atomic.Bool
+}
+
+// Close marks the mount closed: every subsequent operation on it
+// returns an error wrapping ErrClosed. Files opened earlier keep
+// working until individually closed, and the backing store — owned by
+// the caller — is not touched. Closing twice returns ErrClosed.
+func (m *Mount) Close() error {
+	if m.closed.Swap(true) {
+		return ErrClosed
+	}
+	return nil
+}
+
+// guard rejects operations on a closed mount, wrapping the sentinel in
+// a PathError when the operation names a file.
+func (m *Mount) guard(op, name string) error {
+	if !m.closed.Load() {
+		return nil
+	}
+	if name == "" {
+		return ErrClosed
+	}
+	return &PathError{Op: op, Path: name, Err: ErrClosed}
 }
 
 // NewMount opens a Lamassu file system over store with the given zone
@@ -339,37 +394,120 @@ func NewMount(store Storage, keys KeyPair, opts *Options) (*Mount, error) {
 	return &Mount{fs: fs, rec: rec}, nil
 }
 
-// Mount is shorthand for NewMount.
+// MountFS is shorthand for NewMount.
 func MountFS(store Storage, keys KeyPair, opts *Options) (*Mount, error) {
 	return NewMount(store, keys, opts)
 }
 
 // Create opens name read-write, creating it if absent.
-func (m *Mount) Create(name string) (File, error) { return m.fs.Create(name) }
+func (m *Mount) Create(name string) (File, error) { return m.CreateCtx(nil, name) }
+
+// CreateCtx is Create honoring ctx through every layer.
+func (m *Mount) CreateCtx(ctx context.Context, name string) (File, error) {
+	if err := m.guard("create", name); err != nil {
+		return nil, err
+	}
+	f, err := m.fs.CreateCtx(ctx, name)
+	if err != nil {
+		return nil, pathErr("create", name, err)
+	}
+	return f, nil
+}
 
 // Open opens an existing file read-only.
-func (m *Mount) Open(name string) (File, error) { return m.fs.Open(name) }
+func (m *Mount) Open(name string) (File, error) { return m.OpenCtx(nil, name) }
+
+// OpenCtx is Open honoring ctx.
+func (m *Mount) OpenCtx(ctx context.Context, name string) (File, error) {
+	if err := m.guard("open", name); err != nil {
+		return nil, err
+	}
+	f, err := m.fs.OpenCtx(ctx, name)
+	if err != nil {
+		return nil, pathErr("open", name, err)
+	}
+	return f, nil
+}
 
 // OpenRW opens an existing file read-write.
-func (m *Mount) OpenRW(name string) (File, error) { return m.fs.OpenRW(name) }
+func (m *Mount) OpenRW(name string) (File, error) { return m.OpenRWCtx(nil, name) }
+
+// OpenRWCtx is OpenRW honoring ctx.
+func (m *Mount) OpenRWCtx(ctx context.Context, name string) (File, error) {
+	if err := m.guard("openrw", name); err != nil {
+		return nil, err
+	}
+	f, err := m.fs.OpenRWCtx(ctx, name)
+	if err != nil {
+		return nil, pathErr("openrw", name, err)
+	}
+	return f, nil
+}
 
 // Remove deletes a file.
-func (m *Mount) Remove(name string) error { return m.fs.Remove(name) }
+func (m *Mount) Remove(name string) error { return m.RemoveCtx(nil, name) }
+
+// RemoveCtx is Remove honoring ctx.
+func (m *Mount) RemoveCtx(ctx context.Context, name string) error {
+	if err := m.guard("remove", name); err != nil {
+		return err
+	}
+	return pathErr("remove", name, m.fs.RemoveCtx(ctx, name))
+}
 
 // Stat returns a file's logical size.
-func (m *Mount) Stat(name string) (int64, error) { return m.fs.Stat(name) }
+func (m *Mount) Stat(name string) (int64, error) { return m.StatCtx(nil, name) }
+
+// StatCtx is Stat honoring ctx.
+func (m *Mount) StatCtx(ctx context.Context, name string) (int64, error) {
+	if err := m.guard("stat", name); err != nil {
+		return 0, err
+	}
+	sz, err := m.fs.StatCtx(ctx, name)
+	return sz, pathErr("stat", name, err)
+}
 
 // List returns all file names, sorted.
-func (m *Mount) List() ([]string, error) { return m.fs.List() }
+func (m *Mount) List() ([]string, error) { return m.ListCtx(nil) }
+
+// ListCtx is List honoring ctx.
+func (m *Mount) ListCtx(ctx context.Context) ([]string, error) {
+	if err := m.guard("list", ""); err != nil {
+		return nil, err
+	}
+	return m.fs.ListCtx(ctx)
+}
 
 // WriteFile writes data as the complete content of name.
 func (m *Mount) WriteFile(name string, data []byte) error {
-	return vfs.WriteAll(m.fs, name, data)
+	return m.WriteFileCtx(nil, name, data)
+}
+
+// WriteFileCtx is WriteFile honoring ctx: the write and the commits it
+// triggers observe cancellation between blocks and phases, with the
+// crash-equivalent guarantees described in the package comment.
+func (m *Mount) WriteFileCtx(ctx context.Context, name string, data []byte) error {
+	if err := m.guard("write", name); err != nil {
+		return err
+	}
+	return pathErr("write", name, vfs.WriteAllCtx(ctx, m.fs, name, data))
 }
 
 // ReadFile reads the complete logical content of name.
 func (m *Mount) ReadFile(name string) ([]byte, error) {
-	return vfs.ReadAll(m.fs, name)
+	return m.ReadFileCtx(nil, name)
+}
+
+// ReadFileCtx is ReadFile honoring ctx between blocks and runs.
+func (m *Mount) ReadFileCtx(ctx context.Context, name string) ([]byte, error) {
+	if err := m.guard("read", name); err != nil {
+		return nil, err
+	}
+	data, err := vfs.ReadAllCtx(ctx, m.fs, name)
+	if err != nil {
+		return nil, pathErr("read", name, err)
+	}
+	return data, nil
 }
 
 // VFS exposes the mount as the repository's internal vfs.FS, for code
@@ -382,7 +520,17 @@ type CheckReport = core.CheckReport
 // Check audits a file without modifying it: every metadata block's
 // authentication tag and every data block's convergent hash are
 // verified (paper §2.5).
-func (m *Mount) Check(name string) (CheckReport, error) { return m.fs.Check(name) }
+func (m *Mount) Check(name string) (CheckReport, error) { return m.CheckCtx(nil, name) }
+
+// CheckCtx is Check honoring ctx between segments; a canceled audit is
+// simply incomplete.
+func (m *Mount) CheckCtx(ctx context.Context, name string) (CheckReport, error) {
+	if err := m.guard("check", name); err != nil {
+		return CheckReport{}, err
+	}
+	rep, err := m.fs.CheckCtx(ctx, name)
+	return rep, pathErr("check", name, err)
+}
 
 // RecoverStats summarizes a crash-recovery pass (see Recover).
 type RecoverStats = core.RecoverStats
@@ -390,7 +538,17 @@ type RecoverStats = core.RecoverStats
 // Recover scans a file for segments left mid-update by a crash and
 // repairs them using the multiphase-commit recovery protocol (paper
 // §2.4). The file must be idle.
-func (m *Mount) Recover(name string) (RecoverStats, error) { return m.fs.Recover(name) }
+func (m *Mount) Recover(name string) (RecoverStats, error) { return m.RecoverCtx(nil, name) }
+
+// RecoverCtx is Recover honoring ctx between segments; a canceled pass
+// has repaired a prefix and can simply be rerun.
+func (m *Mount) RecoverCtx(ctx context.Context, name string) (RecoverStats, error) {
+	if err := m.guard("recover", name); err != nil {
+		return RecoverStats{}, err
+	}
+	stats, err := m.fs.RecoverCtx(ctx, name)
+	return stats, pathErr("recover", name, err)
+}
 
 // CacheStats is a snapshot of the block cache's counters (see
 // Mount.CacheStats).
@@ -469,13 +627,38 @@ type RekeyStats = core.RekeyStats
 // deduplication domain are untouched. Subsequent opens must use a
 // Mount configured with the new outer key.
 func (m *Mount) RekeyOuter(name string, newOuter Key) (RekeyStats, error) {
-	return m.fs.RekeyOuter(name, newOuter)
+	return m.RekeyOuterCtx(nil, name, newOuter)
+}
+
+// RekeyOuterCtx is RekeyOuter honoring ctx between segments. A
+// canceled rotation is resumable: rerun it from the same mount (still
+// configured with the old outer key) and segments already sealed under
+// newOuter are detected and skipped. Discard the old key only after a
+// pass completes without error.
+func (m *Mount) RekeyOuterCtx(ctx context.Context, name string, newOuter Key) (RekeyStats, error) {
+	if err := m.guard("rekey-outer", name); err != nil {
+		return RekeyStats{}, err
+	}
+	stats, err := m.fs.RekeyOuterCtx(ctx, name, newOuter)
+	return stats, pathErr("rekey-outer", name, err)
 }
 
 // RekeyFull re-encrypts a file under a new key pair, moving it to a
 // new deduplication isolation zone. The file must be idle.
 func (m *Mount) RekeyFull(name string, newKeys KeyPair) (RekeyStats, error) {
-	return m.fs.RekeyFull(name, newKeys.Inner, newKeys.Outer)
+	return m.RekeyFullCtx(nil, name, newKeys)
+}
+
+// RekeyFullCtx is RekeyFull honoring ctx between segments; the
+// rotation is segment-atomic, so a canceled pass leaves segments split
+// between the two key pairs — retain both and rerun to finish
+// (already-rotated segments are detected and skipped).
+func (m *Mount) RekeyFullCtx(ctx context.Context, name string, newKeys KeyPair) (RekeyStats, error) {
+	if err := m.guard("rekey-full", name); err != nil {
+		return RekeyStats{}, err
+	}
+	stats, err := m.fs.RekeyFullCtx(ctx, name, newKeys.Inner, newKeys.Outer)
+	return stats, pathErr("rekey-full", name, err)
 }
 
 // SpaceOverhead returns the metadata overhead in bytes that Lamassu

@@ -1,0 +1,118 @@
+package lamassu
+
+// Functional options — the API v2 construction surface.
+//
+//	m, err := lamassu.New(store, keys,
+//		lamassu.WithShards(8),
+//		lamassu.WithCache(4096),
+//		lamassu.WithParallelism(0), // GOMAXPROCS
+//	)
+//
+// Every option corresponds to one field of the legacy Options struct,
+// which remains supported through NewMount as a thin compatibility
+// adapter (NewMount(store, keys, opts) == New(store, keys,
+// WithOptions(opts))). New code should prefer New: options compose,
+// are impossible to zero-value by accident, and let the surface grow
+// without breaking callers.
+
+// Option configures a Mount at construction.
+type Option func(*Options)
+
+// WithOptions applies a whole legacy Options struct (nil is a no-op).
+// It is the bridge between the two construction styles; options to the
+// right of it override the fields it set.
+func WithOptions(opts *Options) Option {
+	return func(o *Options) {
+		if opts != nil {
+			*o = *opts
+		}
+	}
+}
+
+// WithBlockSize sets the cipher/layout block size in bytes (default
+// 4096, the paper's configuration).
+func WithBlockSize(bytes int) Option {
+	return func(o *Options) { o.BlockSize = bytes }
+}
+
+// WithReservedSlots sets R, the transient key slots per metadata block
+// (default 8; see Figures 10 and 11 for the space/batching trade).
+func WithReservedSlots(r int) Option {
+	return func(o *Options) { o.ReservedSlots = r }
+}
+
+// WithIntegrity selects the read-path integrity level (default
+// IntegrityFull).
+func WithIntegrity(level Integrity) Option {
+	return func(o *Options) { o.Integrity = level }
+}
+
+// WithLatencyCollection enables the Figure 9 latency-breakdown
+// instrumentation (Mount.Latency, Mount.EngineStats).
+func WithLatencyCollection() Option {
+	return func(o *Options) { o.CollectLatency = true }
+}
+
+// WithEncryptedNames additionally encrypts file and directory names on
+// the backing store (the §2.1 extension).
+func WithEncryptedNames() Option {
+	return func(o *Options) { o.EncryptNames = true }
+}
+
+// WithKeyDeriver replaces the local convergent KDF with an external
+// derivation such as the DupLESS server-aided OPRF.
+func WithKeyDeriver(derive func(hash [32]byte) (Key, error)) Option {
+	return func(o *Options) { o.KeyDeriver = derive }
+}
+
+// WithParallelism bounds the per-block commit worker pool; 0 selects
+// GOMAXPROCS, 1 forces the paper's fully serial engine.
+func WithParallelism(workers int) Option {
+	return func(o *Options) { o.Parallelism = workers }
+}
+
+// WithCache sizes the per-mount LRU cache of verified plaintext and
+// decoded metadata blocks, in blocks; 0 (the default) disables it.
+func WithCache(blocks int) Option {
+	return func(o *Options) { o.CacheBlocks = blocks }
+}
+
+// WithoutCoalescing restores the paper's per-block I/O engine (one
+// backend call per block) for A/B measurement and paper-exact cost
+// accounting.
+func WithoutCoalescing() Option {
+	return func(o *Options) { o.DisableCoalescing = true }
+}
+
+// WithReadahead arms the sequential-read detector to prefetch the next
+// n blocks into the cache; requires WithCache.
+func WithReadahead(blocks int) Option {
+	return func(o *Options) { o.Readahead = blocks }
+}
+
+// WithShards carves the provided store into n logical shards behind a
+// consistent-hash placement map (byte-identical layout at any n). For
+// sharding across genuinely separate backends use NewShardedStorage
+// and no WithShards.
+func WithShards(n int) Option {
+	return func(o *Options) { o.Shards = n }
+}
+
+// WithShardVnodes overrides the virtual-node count per shard on the
+// placement ring (default 64). The value is part of the placement and
+// must be stable across opens.
+func WithShardVnodes(vnodes int) Option {
+	return func(o *Options) { o.ShardVnodes = vnodes }
+}
+
+// New opens a Lamassu file system over store with the given zone keys,
+// configured by functional options. With no options it selects the
+// paper's defaults (4096-byte blocks, R = 8, full integrity, coalesced
+// I/O, no cache, no sharding).
+func New(store Storage, keys KeyPair, opts ...Option) (*Mount, error) {
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return NewMount(store, keys, &o)
+}
