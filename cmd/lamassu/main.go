@@ -20,6 +20,7 @@
 //	lamassu fsck   -store /mnt/backing -keyfile zone.keys [name]
 //	lamassu recover -store /mnt/backing -keyfile zone.keys [name]
 //	lamassu rekey  -store /mnt/backing -keyfile zone.keys -newkeyfile new.keys [-full] [name]
+//	lamassu rebalance -shards /d1,/d2 -keyfile zone.keys -newshards /d1,/d2,/d3
 package main
 
 import (
@@ -51,6 +52,8 @@ func main() {
 	kmipAddr := fs.String("kmip", "", "key server address (alternative to -keyfile)")
 	zone := fs.Uint("zone", 1, "isolation zone when using -kmip")
 	newKeyfile := fs.String("newkeyfile", "", "rekey: file with the new key pair")
+	newShards := fs.String("newshards", "", "rebalance: comma-separated directories of the NEW topology (grow by appending, shrink by removing a suffix)")
+	offline := fs.Bool("offline", false, "rebalance: use the offline mover (no mount may be active)")
 	full := fs.Bool("full", false, "rekey: rotate the inner key too (re-encrypts all data)")
 	blockSize := fs.Int("block", 4096, "layout block size")
 	reserved := fs.Int("r", 8, "reserved key slots per metadata block (R)")
@@ -84,7 +87,7 @@ func main() {
 	if err != nil {
 		die(err)
 	}
-	storage, err := openStorage(*store, *shards, *vnodes, *stripeKB<<10)
+	storage, shardStores, shardDirs, err := openStorage(*store, *shards, *vnodes, *stripeKB<<10)
 	if err != nil {
 		die(err)
 	}
@@ -197,6 +200,50 @@ func main() {
 		fmt.Printf("after dedup:      %d (%d bytes)\n", rep.UniqueBlocks, rep.BytesAfter)
 		fmt.Printf("reclaimable:      %.2f%%\n", 100*rep.SavedFraction())
 
+	case "rebalance":
+		// Migrate the deployment to the -newshards topology. By default
+		// this drives the ONLINE path — the same epoch machinery a live
+		// mount uses (dual-ring reads, mirrored writes, resumable mover,
+		// persisted layout record), so a Ctrl-C here leaves the
+		// deployment consistent and the next run resumes it. -offline
+		// uses the record-free offline mover instead.
+		if *shards == "" {
+			die(fmt.Errorf("rebalance requires -shards (the CURRENT topology)"))
+		}
+		if *newShards == "" {
+			die(fmt.Errorf("rebalance requires -newshards"))
+		}
+		newStorage, newList, err := openNewTopology(*newShards, shardDirs, shardStores, *vnodes, *stripeKB<<10)
+		if err != nil {
+			die(err)
+		}
+		if *offline {
+			st, err := lamassu.RebalanceShardsCtx(ctx, storage, newStorage)
+			if err != nil {
+				die(err)
+			}
+			fmt.Printf("offline rebalance: %d files examined, %d moved (%d keys, %d bytes), %d stale copies removed\n",
+				st.Files, st.MovedFiles, st.MovedStripes, st.MovedBytes, st.RemovedCopies)
+			return
+		}
+		reb, err := m.StartRebalance(ctx, newList...)
+		if err != nil {
+			die(err)
+		}
+		if err := reb.Wait(); err != nil {
+			if lamassu.IsCanceled(err) {
+				st := m.RebalanceStatus()
+				fmt.Printf("rebalance interrupted at %d/%d keys; rerun the same command to resume\n",
+					st.MovedKeys, st.TotalKeys)
+				os.Exit(130)
+			}
+			die(err)
+		}
+		st := reb.Stats()
+		status := m.RebalanceStatus()
+		fmt.Printf("online rebalance committed epoch %d: %d files examined, %d moved (%d keys, %d bytes), %d stale copies removed\n",
+			status.Epoch, st.Files, st.MovedFiles, st.MovedStripes, st.MovedBytes, st.RemovedCopies)
+
 	case "rekey":
 		if *newKeyfile == "" {
 			die(fmt.Errorf("rekey requires -newkeyfile"))
@@ -230,35 +277,82 @@ func main() {
 }
 
 // openStorage opens either a single backing directory or a sharded
-// store striped across several of them. The directory order, vnode
-// count and stripe unit are part of the placement, so the same
-// -shards/-vnodes/-stripe values must be used on every invocation
-// against one deployment.
-func openStorage(store, shards string, vnodes int, stripeBytes int64) (lamassu.Storage, error) {
+// store striped across several of them, returning the per-shard
+// stores and directories for the rebalance subcommand (nil for a
+// single -store). The directory order, vnode count and stripe unit
+// are part of the placement, so the same -shards/-vnodes/-stripe
+// values must be used on every invocation against one deployment.
+func openStorage(store, shards string, vnodes int, stripeBytes int64) (lamassu.Storage, []lamassu.Storage, []string, error) {
 	if shards == "" {
-		return lamassu.NewDirStorage(store)
+		s, err := lamassu.NewDirStorage(store)
+		return s, nil, nil, err
 	}
-	var dirs []string
-	for _, d := range strings.Split(shards, ",") {
-		if d = strings.TrimSpace(d); d != "" {
-			dirs = append(dirs, d)
-		}
-	}
+	dirs := splitDirs(shards)
 	if len(dirs) == 0 {
-		return nil, fmt.Errorf("-shards lists no directories")
+		return nil, nil, nil, fmt.Errorf("-shards lists no directories")
 	}
 	stores := make([]lamassu.Storage, len(dirs))
 	for i, d := range dirs {
 		s, err := lamassu.NewDirStorage(d)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		stores[i] = s
 	}
-	return lamassu.NewShardedStorage(stores, &lamassu.ShardOptions{
+	storage, err := lamassu.NewShardedStorage(stores, &lamassu.ShardOptions{
 		Vnodes:      vnodes,
 		StripeBytes: stripeBytes,
 	})
+	return storage, stores, dirs, err
+}
+
+func splitDirs(list string) []string {
+	var dirs []string
+	for _, d := range strings.Split(list, ",") {
+		if d = strings.TrimSpace(d); d != "" {
+			dirs = append(dirs, d)
+		}
+	}
+	return dirs
+}
+
+// openNewTopology resolves the -newshards directory list against the
+// currently opened stores: a directory both topologies share keeps
+// its already-open store (both movers compare stores by IDENTITY to
+// decide what to copy — distinct handles over one directory would
+// read as a full move), new directories open fresh. The grow/shrink
+// prefix contract is enforced up front for a readable error.
+func openNewTopology(newShards string, curDirs []string, curStores []lamassu.Storage, vnodes int, stripeBytes int64) (lamassu.Storage, []lamassu.Storage, error) {
+	newDirs := splitDirs(newShards)
+	if len(newDirs) == 0 {
+		return nil, nil, fmt.Errorf("-newshards lists no directories")
+	}
+	short := min(len(newDirs), len(curDirs))
+	if len(newDirs) == len(curDirs) {
+		return nil, nil, fmt.Errorf("-newshards lists the same number of directories as -shards; nothing to rebalance")
+	}
+	for i := 0; i < short; i++ {
+		if newDirs[i] != curDirs[i] {
+			return nil, nil, fmt.Errorf("-newshards directory %d is %q but the current topology has %q; grow by appending directories, shrink by removing a suffix", i, newDirs[i], curDirs[i])
+		}
+	}
+	stores := make([]lamassu.Storage, len(newDirs))
+	for i := range newDirs {
+		if i < short {
+			stores[i] = curStores[i]
+			continue
+		}
+		s, err := lamassu.NewDirStorage(newDirs[i])
+		if err != nil {
+			return nil, nil, err
+		}
+		stores[i] = s
+	}
+	storage, err := lamassu.NewShardedStorage(stores, &lamassu.ShardOptions{
+		Vnodes:      vnodes,
+		StripeBytes: stripeBytes,
+	})
+	return storage, stores, err
 }
 
 // forEach applies f to the named files, or to every file when none
@@ -339,6 +433,9 @@ subcommands:
   recover [name...]                          repair interrupted multiphase commits
   df                                         dedup savings a filer would reclaim
   rekey   -newkeyfile F [-full] [name...]    rotate outer key (or both with -full)
+  rebalance -newshards D1,D2,... [-offline]  migrate to a new shard topology
+                                             (online by default: resumable, epoch-
+                                             versioned; Ctrl-C-safe)
 
 common flags: -store DIR (or -shards DIR1,DIR2,... [-vnodes N] [-stripe KIB]),
               and -keyfile F or -kmip ADDR -zone N

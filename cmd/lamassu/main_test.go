@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -91,11 +92,11 @@ func writeFileHelper(path, content string) error {
 }
 
 func TestOpenStorageSharded(t *testing.T) {
-	if _, err := openStorage("", "  , ,", 0, 0); err == nil {
+	if _, _, _, err := openStorage("", "  , ,", 0, 0); err == nil {
 		t.Errorf("-shards with no directories accepted")
 	}
 	dirs := []string{t.TempDir(), t.TempDir(), t.TempDir()}
-	storage, err := openStorage("", strings.Join(dirs, ","), 32, 64<<10)
+	storage, _, _, err := openStorage("", strings.Join(dirs, ","), 32, 64<<10)
 	if err != nil {
 		t.Fatalf("openStorage sharded: %v", err)
 	}
@@ -131,7 +132,7 @@ func TestOpenStorageSharded(t *testing.T) {
 		t.Fatalf("striped data reached %d of %d directories", populated, len(dirs))
 	}
 	// Reopening with the same parameters sees the same file.
-	reopened, err := openStorage("", strings.Join(dirs, ","), 32, 64<<10)
+	reopened, _, _, err := openStorage("", strings.Join(dirs, ","), 32, 64<<10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,5 +143,73 @@ func TestOpenStorageSharded(t *testing.T) {
 	got, err = m2.ReadFile("blob")
 	if err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("reopened sharded round trip failed: %v", err)
+	}
+}
+
+// The rebalance subcommand's topology resolution: shared directories
+// keep their already-open stores (identity is what the movers compare
+// by), the prefix contract is enforced, and the resulting topologies
+// drive an online StartRebalance over real directories end to end.
+func TestOpenNewTopologyRebalance(t *testing.T) {
+	dirs := []string{t.TempDir(), t.TempDir()}
+	storage, stores, gotDirs, err := openStorage("", strings.Join(dirs, ","), 0, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := lamassu.GenerateKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := lamassu.NewMount(storage, keys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("fedcba9876543210"), 30<<10) // ~480 KiB
+	if err := m.WriteFile("blob", data); err != nil {
+		t.Fatal(err)
+	}
+
+	// Contract violations are caught before any store is touched.
+	if _, _, err := openNewTopology("", gotDirs, stores, 0, 64<<10); err == nil {
+		t.Error("empty -newshards accepted")
+	}
+	if _, _, err := openNewTopology(strings.Join(dirs, ","), gotDirs, stores, 0, 64<<10); err == nil {
+		t.Error("same-count -newshards accepted")
+	}
+	if _, _, err := openNewTopology(t.TempDir()+","+dirs[1]+","+t.TempDir(), gotDirs, stores, 0, 64<<10); err == nil {
+		t.Error("swapped prefix directory accepted")
+	}
+
+	third := t.TempDir()
+	_, newList, err := openNewTopology(strings.Join(append(append([]string{}, dirs...), third), ","), gotDirs, stores, 0, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shared slots must be the SAME store objects.
+	for i := range stores {
+		if newList[i] != stores[i] {
+			t.Fatalf("slot %d reopened instead of reusing the current store", i)
+		}
+	}
+	reb, err := m.StartRebalance(context.Background(), newList...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reb.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadFile("blob")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("round trip after online rebalance failed: %v", err)
+	}
+	entries, err := os.ReadDir(third)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("new directory received nothing")
+	}
+	if st := m.RebalanceStatus(); st.Epoch != 1 || st.Active {
+		t.Fatalf("status after CLI-style rebalance: %+v", st)
 	}
 }

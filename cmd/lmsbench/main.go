@@ -40,10 +40,13 @@ import (
 	"os/signal"
 	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"lamassu"
+	"lamassu/internal/backend"
 	"lamassu/internal/experiments"
 )
 
@@ -61,7 +64,7 @@ type benchResult struct {
 var results []benchResult
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig6|table1|fig7|fig8|fig9|fig10|fig11|unaligned|scaling|shardscale|coalesce|all")
+	exp := flag.String("exp", "all", "experiment to run: fig6|table1|fig7|fig8|fig9|fig10|fig11|unaligned|scaling|shardscale|coalesce|rebalance|all")
 	mb := flag.Int64("mb", 32, "workload file size in MiB (paper: 4096 for fig6/fig11, 256 for fig7-fig10)")
 	scale := flag.Int64("scale", 16, "Table 1 VM image size divisor (1 = paper sizes)")
 	jsonPath := flag.String("json", "", "write machine-readable results (JSON) to PATH")
@@ -175,9 +178,10 @@ func main() {
 	run("scaling", func() (string, error) { return scalingTable(ctx, fileBytes) })
 	run("shardscale", func() (string, error) { return shardScaleTable(ctx, fileBytes) })
 	run("coalesce", func() (string, error) { return coalesceTable(ctx, fileBytes) })
+	run("rebalance", func() (string, error) { return rebalanceTable(ctx, fileBytes) })
 
 	if *exp != "all" && !validExp(*exp) {
-		fmt.Fprintf(os.Stderr, "lmsbench: unknown experiment %q (want fig6|table1|fig7|fig8|fig9|fig10|fig11|unaligned|scaling|shardscale|coalesce|all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "lmsbench: unknown experiment %q (want fig6|table1|fig7|fig8|fig9|fig10|fig11|unaligned|scaling|shardscale|coalesce|rebalance|all)\n", *exp)
 		os.Exit(2)
 	}
 
@@ -189,7 +193,7 @@ func main() {
 }
 
 func validExp(e string) bool {
-	for _, v := range strings.Fields("fig6 table1 fig7 fig8 fig9 fig10 fig11 unaligned scaling shardscale coalesce all") {
+	for _, v := range strings.Fields("fig6 table1 fig7 fig8 fig9 fig10 fig11 unaligned scaling shardscale coalesce rebalance all") {
 		if e == v {
 			return true
 		}
@@ -308,6 +312,246 @@ func coalesceTable(ctx context.Context, fileBytes int64) (string, error) {
 			rows[1].ios, rows[3].ios)
 	}
 	return b.String(), nil
+}
+
+// rebalanceTable A/Bs shard-topology migration (grow 2 -> 3 RAM
+// stores over the same dataset): the OFFLINE mover, which requires
+// the volume unmounted, against the ONLINE epoch-based mover, which
+// keeps the mount serving — the table reports each mover's copy
+// throughput plus the reads the online mount answered DURING the
+// migration, the number the offline path can only report as zero.
+// The comparison is also a regression gate: an error is returned —
+// and lmsbench exits non-zero — if the online migration serves no
+// reads mid-flight, moves a different key count than the offline
+// reference, or ends on the wrong epoch.
+func rebalanceTable(ctx context.Context, fileBytes int64) (string, error) {
+	keys, err := lamassu.GenerateKeys()
+	if err != nil {
+		return "", err
+	}
+	stripe, err := lamassu.SegmentStripeBytes(nil, 1<<20)
+	if err != nil {
+		return "", err
+	}
+	const nFiles = 8
+	perFile := fileBytes / nFiles
+	rng := rand.New(rand.NewSource(4))
+
+	// build creates a fresh 2-store deployment with nFiles written and
+	// returns the mount plus the individual stores.
+	build := func() (*lamassu.Mount, []lamassu.Storage, error) {
+		stores := []lamassu.Storage{lamassu.NewMemStorage(), lamassu.NewMemStorage()}
+		storage, err := lamassu.NewShardedStorage(stores, &lamassu.ShardOptions{StripeBytes: stripe})
+		if err != nil {
+			return nil, nil, err
+		}
+		m, err := lamassu.NewMount(storage, keys, &lamassu.Options{Parallelism: 4})
+		if err != nil {
+			return nil, nil, err
+		}
+		data := make([]byte, perFile)
+		for i := 0; i < nFiles; i++ {
+			rng.Read(data)
+			if err := m.WriteFileCtx(ctx, fmt.Sprintf("f%d", i), data); err != nil {
+				return nil, nil, err
+			}
+		}
+		return m, stores, nil
+	}
+
+	// Offline reference: the mount is quiesced, then the whole
+	// migration runs with the volume unavailable.
+	_, offStores, err := build()
+	if err != nil {
+		return "", err
+	}
+	offFrom, err := lamassu.NewShardedStorage(offStores, &lamassu.ShardOptions{StripeBytes: stripe})
+	if err != nil {
+		return "", err
+	}
+	offTo, err := lamassu.NewShardedStorage(append(append([]lamassu.Storage(nil), offStores...), lamassu.NewMemStorage()),
+		&lamassu.ShardOptions{StripeBytes: stripe})
+	if err != nil {
+		return "", err
+	}
+	offStart := time.Now()
+	offStats, err := lamassu.RebalanceShardsCtx(ctx, offFrom, offTo)
+	if err != nil {
+		return "", err
+	}
+	offElapsed := time.Since(offStart).Seconds()
+	offMBps := float64(offStats.MovedBytes) / (1 << 20) / offElapsed
+
+	// Online run. The mover is deliberately interrupted partway (a
+	// write-counting wrapper on the incoming shard cancels its
+	// context), so the mount is DEMONSTRABLY mid-migration while the
+	// benchmark sweeps every file back through the dual-ring read
+	// path; a second StartRebalance then resumes and commits. In
+	// production the readers would simply run concurrently — the pause
+	// here makes the reads-during-migration number deterministic at
+	// every -mb size. Background readers run throughout as well.
+	onMount, onStores, err := build()
+	if err != nil {
+		return "", err
+	}
+	var (
+		readsServed atomic.Int64
+		readBytes   atomic.Int64
+		readErr     atomic.Value
+		stopReaders = make(chan struct{})
+		readersDone sync.WaitGroup
+	)
+	// sweepReads counts ONLY the deterministic mid-migration sweep —
+	// the number the CI gate checks; the background readers' counts
+	// feed the throughput figure but can straddle the commit.
+	var sweepReads int64
+	sweep := func() error {
+		for i := 0; i < nFiles; i++ {
+			data, err := onMount.ReadFileCtx(ctx, fmt.Sprintf("f%d", i))
+			if err != nil {
+				return err
+			}
+			sweepReads++
+			readsServed.Add(1)
+			readBytes.Add(int64(len(data)))
+		}
+		return nil
+	}
+	for w := 0; w < 2; w++ {
+		readersDone.Add(1)
+		go func(w int) {
+			defer readersDone.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stopReaders:
+					return
+				default:
+				}
+				data, err := onMount.ReadFileCtx(ctx, fmt.Sprintf("f%d", (i+w)%nFiles))
+				if err != nil {
+					readErr.Store(err)
+					return
+				}
+				readsServed.Add(1)
+				readBytes.Add(int64(len(data)))
+			}
+		}(w)
+	}
+	moverCtx, interrupt := context.WithCancel(ctx)
+	defer interrupt()
+	incoming := &interruptStore{inner: lamassu.NewMemStorage(), limit: 2, cancel: interrupt}
+	onAll := append(append([]lamassu.Storage(nil), onStores...), lamassu.Storage(incoming))
+	onStart := time.Now()
+	reb, err := onMount.StartRebalance(moverCtx, onAll...)
+	if err != nil {
+		return "", err
+	}
+	var onStats lamassu.ShardRebalanceStats
+	var fallbackReads int64
+	switch err := reb.Wait(); {
+	case err == nil:
+		onStats = reb.Stats() // tiny -mb: the mover beat the interrupt
+	case lamassu.IsCanceled(err) && ctx.Err() == nil:
+		// Paused mid-migration: serve a full read sweep through the
+		// dual rings, then resume to completion.
+		if err := sweep(); err != nil {
+			return "", fmt.Errorf("read mid-migration failed: %w", err)
+		}
+		fallbackReads = onMount.RebalanceStatus().FallbackReads
+		onStats = reb.Stats()
+		resumed, err := onMount.StartRebalance(ctx, onAll...)
+		if err != nil {
+			return "", err
+		}
+		if err := resumed.Wait(); err != nil {
+			return "", err
+		}
+		st := resumed.Stats()
+		// Both passes walk the full namespace, so Files is a max, not a
+		// sum; the move counters partition across the passes and add.
+		onStats.Files = max(onStats.Files, st.Files)
+		onStats.MovedFiles += st.MovedFiles
+		onStats.MovedStripes += st.MovedStripes
+		onStats.MovedBytes += st.MovedBytes
+		onStats.RemovedCopies += st.RemovedCopies
+	default:
+		return "", err
+	}
+	onElapsed := time.Since(onStart).Seconds()
+	close(stopReaders)
+	readersDone.Wait()
+	if err, ok := readErr.Load().(error); ok && err != nil {
+		return "", fmt.Errorf("read during migration failed: %w", err)
+	}
+	onMBps := float64(onStats.MovedBytes) / (1 << 20) / onElapsed
+	readMBps := float64(readBytes.Load()) / (1 << 20) / onElapsed
+
+	results = append(results,
+		benchResult{Experiment: "rebalance", Config: "offline", MBps: offMBps},
+		benchResult{Experiment: "rebalance", Config: "online", MBps: onMBps},
+		benchResult{Experiment: "rebalance", Config: fmt.Sprintf("online-reads-during-migration=%d", readsServed.Load()), MBps: readMBps},
+	)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Online vs offline rebalance (grow 2 -> 3 shards, %d x %d MiB files, stripe %d KiB, RAM stores)\n",
+		nFiles, perFile>>20, stripe>>10)
+	fmt.Fprintf(&b, "%-10s %12s %12s %10s %22s\n", "mover", "moved-keys", "moved-MiB", "MB/s", "reads-during-migration")
+	fmt.Fprintf(&b, "%-10s %12d %12.1f %10.1f %22s\n", "offline", offStats.MovedStripes,
+		float64(offStats.MovedBytes)/(1<<20), offMBps, "0 (volume unmounted)")
+	fmt.Fprintf(&b, "%-10s %12d %12.1f %10.1f %14d (%.1f MB/s)\n", "online", onStats.MovedStripes,
+		float64(onStats.MovedBytes)/(1<<20), onMBps, readsServed.Load(), readMBps)
+	fmt.Fprintf(&b, "online mid-migration sweep: %d reads, %d served by the previous epoch's owners (dual-ring fallback)\n",
+		sweepReads, fallbackReads)
+
+	// Gate on the sweep, which runs strictly mid-migration; the only
+	// legitimate way for it to be empty is the mover finishing before
+	// the 2-write interrupt could fire (≤1 relocated key).
+	if sweepReads == 0 && onStats.MovedStripes >= 2 {
+		return b.String(), fmt.Errorf("online rebalance served no reads during the migration")
+	}
+	if onStats.MovedStripes != offStats.MovedStripes {
+		return b.String(), fmt.Errorf("online moved %d keys, offline reference moved %d", onStats.MovedStripes, offStats.MovedStripes)
+	}
+	if st := onMount.RebalanceStatus(); st.Epoch != 1 || st.Active {
+		return b.String(), fmt.Errorf("online rebalance did not commit epoch 1 (status %+v)", st)
+	}
+	return b.String(), nil
+}
+
+// interruptStore wraps a Storage and cancels a context after a fixed
+// number of WriteAt calls — how the rebalance experiment pauses the
+// online mover mid-copy deterministically (growth writes land only on
+// the incoming shard, so counting there is exact).
+type interruptStore struct {
+	inner  lamassu.Storage
+	count  atomic.Int64
+	limit  int64
+	cancel context.CancelFunc
+}
+
+func (s *interruptStore) Open(name string, flag backend.OpenFlag) (backend.File, error) {
+	f, err := s.inner.Open(name, flag)
+	if err != nil {
+		return nil, err
+	}
+	return &interruptFile{File: f, s: s}, nil
+}
+
+func (s *interruptStore) Remove(name string) error        { return s.inner.Remove(name) }
+func (s *interruptStore) Rename(o, n string) error        { return s.inner.Rename(o, n) }
+func (s *interruptStore) List() ([]string, error)         { return s.inner.List() }
+func (s *interruptStore) Stat(name string) (int64, error) { return s.inner.Stat(name) }
+
+type interruptFile struct {
+	backend.File
+	s *interruptStore
+}
+
+func (f *interruptFile) WriteAt(p []byte, off int64) (int, error) {
+	if f.s.count.Add(1) == f.s.limit {
+		f.s.cancel()
+	}
+	return f.File.WriteAt(p, off)
 }
 
 // shardScaleTable measures the storage sharding layer: concurrent

@@ -262,6 +262,27 @@ func (fs *FS) SlabStats() (hits, misses int64) { return fs.slabs.stats() }
 // shard of a sharded backing store; nil for single-store mounts.
 func (fs *FS) ShardStats() []ShardStats { return fs.pool.shardStats() }
 
+// RefreshShardBudgets re-carves the commit worker pool's per-shard
+// budgets from the backing store's CURRENT shard count. An online
+// rebalance calls it when a layout epoch opens (the union of both
+// epochs' shards briefly absorbs commit traffic) and again when the
+// epoch commits (retired shards give their slice back). In-flight
+// batches drain on the budgets they started with; no-op for
+// unsharded mounts.
+func (fs *FS) RefreshShardBudgets() {
+	if fs.sharded != nil {
+		fs.pool.carveBudgets(fs.sharded.NumShards())
+	}
+}
+
+// InvalidateFile drops every cached block and decoded metadata entry
+// of the named backing file. The online rebalance mover brackets each
+// file's stripe relocation with it: the bytes are copied verbatim, so
+// the cache STAYS coherent in principle, but the bracket guarantees a
+// reader never mixes a cached pre-move view with post-move backing
+// reads even if a copy is later found to have raced a writer.
+func (fs *FS) InvalidateFile(name string) { fs.cache.invalidateFile(name) }
+
 // shardOfBlock returns the shard owning logical data block dbi of the
 // named backing file, or 0 when the store is not sharded.
 func (fs *FS) shardOfBlock(name string, dbi int64) int {

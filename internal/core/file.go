@@ -906,7 +906,14 @@ func (f *file) blockMayExist(dbi int64) bool {
 }
 
 // Truncate implements vfs.File.
-func (f *file) Truncate(newSize int64) error {
+func (f *file) Truncate(newSize int64) error { return f.TruncateCtx(nil, newSize) }
+
+// TruncateCtx implements vfs.File: the resize observes ctx between
+// the block and segment operations it performs (a sub-block shrink
+// re-commits the boundary segment; a grow persists the new size). A
+// canceled cut is a crash cut — rerun it, or Recover, before trusting
+// the size.
+func (f *file) TruncateCtx(ctx context.Context, newSize int64) error {
 	f.opMu.Lock()
 	defer f.opMu.Unlock()
 	if err := f.checkOpen(); err != nil {
@@ -922,9 +929,9 @@ func (f *file) Truncate(newSize int64) error {
 		return nil
 	}
 	if newSize < f.size {
-		return f.shrink(nil, newSize)
+		return f.shrink(ctx, newSize)
 	}
-	return f.grow(nil, newSize)
+	return f.grow(ctx, newSize)
 }
 
 // shrink truncates the file to newSize < size.

@@ -32,8 +32,12 @@ type pool struct {
 	// runSharded: a task for shard s must hold both budgets[s].sem and
 	// the global sem, so one hot shard can saturate at most its slice
 	// of the pool while the global bound still caps mixed loads. Set
-	// once at FS construction (carveBudgets), read-only afterwards.
-	budgets []*budget
+	// at FS construction (carveBudgets) and RE-carved when the shard
+	// count changes across a layout epoch (an online rebalance adds or
+	// retires shards): each batch loads one consistent snapshot, so
+	// in-flight batches drain on the budgets they started with while
+	// new batches use the new carve.
+	budgets atomic.Pointer[[]*budget]
 
 	// batches counts run invocations; tasks counts the individual
 	// closures executed (both served inline and in workers).
@@ -71,15 +75,16 @@ func (p *pool) Width() int { return p.width }
 
 // carveBudgets splits the pool into n per-shard budgets of
 // floor(width/n) workers each (the remainder spread over the first
-// shards, every shard getting at least one). Called once, before the
-// pool is shared.
+// shards, every shard getting at least one). Re-carving installs a
+// fresh budget set atomically; gauges restart at zero for the new
+// epoch (ShardStats documents per-epoch task counters).
 func (p *pool) carveBudgets(n int) {
 	if n < 1 {
 		return
 	}
-	p.budgets = make([]*budget, n)
+	budgets := make([]*budget, n)
 	base, extra := p.width/n, p.width%n
-	for i := range p.budgets {
+	for i := range budgets {
 		w := base
 		if i < extra {
 			w++
@@ -87,8 +92,18 @@ func (p *pool) carveBudgets(n int) {
 		if w < 1 {
 			w = 1
 		}
-		p.budgets[i] = &budget{width: w, sem: make(chan struct{}, w)}
+		budgets[i] = &budget{width: w, sem: make(chan struct{}, w)}
 	}
+	p.budgets.Store(&budgets)
+}
+
+// loadBudgets returns the current budget snapshot (nil when the pool
+// was never carved — unsharded mounts).
+func (p *pool) loadBudgets() []*budget {
+	if b := p.budgets.Load(); b != nil {
+		return *b
+	}
+	return nil
 }
 
 // runSharded is run with placement: task i is charged to shard
@@ -105,11 +120,22 @@ func (p *pool) carveBudgets(n int) {
 // coalesced run writes by the runs of one segment) — so the parked
 // goroutines per in-flight commit stay within one segment's K.
 func (p *pool) runSharded(ctx context.Context, n int, shardOf func(int) int, fn func(int) error) error {
-	if p.budgets == nil {
+	budgets := p.loadBudgets()
+	if budgets == nil {
 		return p.run(ctx, n, fn)
 	}
 	if n <= 0 {
 		return nil
+	}
+	// A shard index can outrun the snapshot when a recarve (epoch
+	// change) races this batch; clamp rather than panic — the budget
+	// is an accounting slice, not a correctness boundary.
+	budgetOf := func(i int) *budget {
+		s := shardOf(i)
+		if s < 0 || s >= len(budgets) {
+			s = 0
+		}
+		return budgets[s]
 	}
 	p.batches.Add(1)
 	p.tasks.Add(int64(n))
@@ -122,7 +148,7 @@ func (p *pool) runSharded(ctx context.Context, n int, shardOf func(int) int, fn 
 		// routing even when nothing executes concurrently.
 		var firstErr error
 		for i := 0; i < n; i++ {
-			b := p.budgets[shardOf(i)]
+			b := budgetOf(i)
 			b.queued.Add(1)
 			err := fn(i)
 			b.tasks.Add(1)
@@ -153,7 +179,7 @@ func (p *pool) runSharded(ctx context.Context, n int, shardOf func(int) int, fn 
 			mu.Unlock()
 			break
 		}
-		b := p.budgets[shardOf(i)]
+		b := budgetOf(i)
 		b.queued.Add(1)
 		wg.Add(1)
 		go func(i int, b *budget) {
@@ -191,10 +217,11 @@ func (p *pool) runSharded(ctx context.Context, n int, shardOf func(int) int, fn 
 // ShardRead counters so the per-shard numbers measure real fan-out,
 // not cache hits.
 func (p *pool) noteShardRead(s int) func(cached bool) {
-	if p.budgets == nil || s < 0 || s >= len(p.budgets) {
+	budgets := p.loadBudgets()
+	if budgets == nil || s < 0 || s >= len(budgets) {
 		return func(bool) {}
 	}
-	b := p.budgets[s]
+	b := budgets[s]
 	b.queued.Add(1)
 	return func(cached bool) {
 		if !cached {
@@ -299,11 +326,12 @@ type ShardStats struct {
 
 // shardStats snapshots every budget; nil when the pool is not carved.
 func (p *pool) shardStats() []ShardStats {
-	if p.budgets == nil {
+	budgets := p.loadBudgets()
+	if budgets == nil {
 		return nil
 	}
-	out := make([]ShardStats, len(p.budgets))
-	for i, b := range p.budgets {
+	out := make([]ShardStats, len(budgets))
+	for i, b := range budgets {
 		out[i] = ShardStats{
 			Shard:      i,
 			Budget:     b.width,

@@ -592,3 +592,17 @@ func (f *file) SyncCtx(ctx context.Context) error {
 
 // Close implements vfs.File.
 func (f *file) Close() error { return f.bf.Close() }
+
+// TruncateCtx implements vfs.File. EncFS truncates synchronously (the
+// tail block re-encrypts inline), so only the entry check observes
+// ctx.
+func (f *file) TruncateCtx(ctx context.Context, size int64) error {
+	if err := vfs.Canceled(ctx); err != nil {
+		return err
+	}
+	return f.Truncate(size)
+}
+
+// CloseCtx implements vfs.File; EncFS stages nothing at close, so the
+// release ignores ctx.
+func (f *file) CloseCtx(ctx context.Context) error { return f.bf.Close() }

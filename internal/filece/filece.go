@@ -435,3 +435,33 @@ func (f *file) Close() error {
 	}
 	return err
 }
+
+// TruncateCtx implements vfs.File. The resize is an in-memory buffer
+// edit (whole-file CE re-encrypts on flush), so only the entry check
+// observes ctx.
+func (f *file) TruncateCtx(ctx context.Context, size int64) error {
+	if err := vfs.Canceled(ctx); err != nil {
+		return err
+	}
+	return f.Truncate(size)
+}
+
+// CloseCtx implements vfs.File: the handle is ALWAYS released, but a
+// canceled context skips the close-time flush of the staged buffer
+// (crash-equivalent: the backing file keeps its last flushed
+// content).
+func (f *file) CloseCtx(ctx context.Context) error {
+	if err := vfs.Canceled(ctx); err != nil {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if f.gone {
+			return backend.ErrClosed
+		}
+		f.gone = true
+		if cerr := f.bf.Close(); cerr != nil {
+			return cerr
+		}
+		return err
+	}
+	return f.Close()
+}

@@ -350,6 +350,13 @@ func (f *file) Truncate(size int64) error {
 	return f.inner.Truncate(size)
 }
 
+func (f *file) TruncateCtx(ctx context.Context, size int64) error {
+	f.mu.Lock()
+	f.dirty = true
+	f.mu.Unlock()
+	return f.inner.TruncateCtx(ctx, size)
+}
+
 func (f *file) Size() (int64, error) { return f.inner.Size() }
 
 func (f *file) Sync() error { return f.SyncCtx(nil) }
@@ -390,4 +397,25 @@ func (f *file) Close() error {
 		}
 	}
 	return f.inner.Close()
+}
+
+// CloseCtx implements vfs.File: the handle is ALWAYS released, but a
+// canceled context skips the close-time MAC commit of still-dirty
+// state (crash-equivalent; the trust record keeps its last committed
+// version).
+func (f *file) CloseCtx(ctx context.Context) error {
+	if err := vfs.Canceled(ctx); err != nil {
+		f.mu.Lock()
+		if f.closed {
+			f.mu.Unlock()
+			return vfs.ErrClosed
+		}
+		f.closed = true
+		f.mu.Unlock()
+		if cerr := vfs.CloseFileCtx(ctx, f.inner); cerr != nil {
+			return cerr
+		}
+		return err
+	}
+	return f.Close()
 }

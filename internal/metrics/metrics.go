@@ -88,6 +88,15 @@ const (
 	// pool versus falling through to a fresh allocation.
 	SlabHit
 	SlabMiss
+	// FallbackRead counts dual-ring reads served by the previous
+	// epoch's owner during an online rebalance; MirrorWrite counts
+	// writes dual-written to it.
+	FallbackRead
+	MirrorWrite
+	// MoveCopy counts placement keys the online mover copied and
+	// confirmed; EpochBump counts committed layout epoch transitions.
+	MoveCopy
+	EpochBump
 	numEvents
 )
 
@@ -116,6 +125,14 @@ func (e Event) String() string {
 		return "SlabHit"
 	case SlabMiss:
 		return "SlabMiss"
+	case FallbackRead:
+		return "FallbackRead"
+	case MirrorWrite:
+		return "MirrorWrite"
+	case MoveCopy:
+		return "MoveCopy"
+	case EpochBump:
+		return "EpochBump"
 	default:
 		return fmt.Sprintf("Event(%d)", int(e))
 	}
@@ -124,7 +141,8 @@ func (e Event) String() string {
 // AllEvents lists all events in display order.
 func AllEvents() []Event {
 	return []Event{CacheHit, CacheMiss, PoolBatch, PoolTask, ShardTask, ShardRead,
-		WriteRun, ReadRun, Prefetch, SlabHit, SlabMiss}
+		WriteRun, ReadRun, Prefetch, SlabHit, SlabMiss,
+		FallbackRead, MirrorWrite, MoveCopy, EpochBump}
 }
 
 // Recorder accumulates time per category. All methods are safe for

@@ -131,3 +131,11 @@ func (f *file) WriteAtCtx(ctx context.Context, p []byte, off int64) (int, error)
 }
 
 func (f *file) SyncCtx(ctx context.Context) error { return backend.SyncCtx(ctx, f.inner) }
+
+func (f *file) TruncateCtx(ctx context.Context, size int64) error {
+	return backend.TruncateCtx(ctx, f.inner, size)
+}
+
+// CloseCtx implements vfs.File; nothing is staged, so the release
+// ignores ctx.
+func (f *file) CloseCtx(ctx context.Context) error { return f.inner.Close() }

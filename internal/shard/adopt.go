@@ -1,0 +1,161 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+
+	"lamassu/internal/backend"
+	"lamassu/internal/shard/layout"
+)
+
+// AdoptLayout aligns the store with the layout records persisted on
+// its shards, if any. It is the reopen half of the epoch subsystem:
+//
+//   - No records (a deployment that never rebalanced online): the
+//     store stays at implicit epoch 0.
+//   - Stable record: the parameters must match the configured store
+//     list; the epoch number is adopted.
+//   - Reaping record (a crash between the epoch commit and the end of
+//     stale-copy removal): the reap is finished and the record settles
+//     to stable.
+//   - Migrating record: with the full (union) store list the store
+//     reopens in dual-ring mode — every byte readable immediately, the
+//     migration resumable via RunMover. With only the previous epoch's
+//     store list (a grow abandoned after a crash) the store reopens as
+//     that epoch; the half-built copies on the new shards are re-copied
+//     if the migration is ever rerun.
+//
+// Records written by one deployment can diverge across shards after a
+// crash mid-fanout; the most advanced record wins (Record.Newer),
+// because every phase finishes its data work before fanning out the
+// next record. expectEpoch, when nonzero, asserts the settled epoch
+// after adoption and fails the open on mismatch — a guard against
+// mounting a rebalanced deployment with a stale topology.
+func (s *Store) AdoptLayout(ctx context.Context, expectEpoch uint64) error {
+	s.migMu.Lock()
+	defer s.migMu.Unlock()
+	t := s.topo.Load()
+	if t.mig != nil {
+		return fmt.Errorf("shard: AdoptLayout with a migration already active")
+	}
+	var (
+		best  layout.Record
+		found bool
+	)
+	for _, u := range t.uniq {
+		rec, ok, err := layout.ReadRecord(ctx, u.store)
+		if err != nil {
+			return fmt.Errorf("shard: reading layout record: %w", err)
+		}
+		if ok && (!found || rec.Newer(best)) {
+			best, found = rec, true
+		}
+	}
+	if !found {
+		if expectEpoch != 0 {
+			return fmt.Errorf("shard: layout epoch is 0 (no record), want %d", expectEpoch)
+		}
+		return nil
+	}
+	if best.StripeBytes != t.lay.StripeBytes() {
+		return fmt.Errorf("shard: layout record stripe %d does not match configured %d",
+			best.StripeBytes, t.lay.StripeBytes())
+	}
+	switch best.State {
+	case layout.StateStable, layout.StateReaping:
+		if best.Shards != t.lay.Shards() || best.Vnodes != t.lay.Vnodes() {
+			return fmt.Errorf("shard: deployment is at epoch %d with %d shards x %d vnodes; got %d x %d (was it rebalanced elsewhere?)",
+				best.Epoch, best.Shards, best.Vnodes, t.lay.Shards(), t.lay.Vnodes())
+		}
+		nt := &topology{
+			stores: t.stores,
+			uniq:   t.uniq,
+			lay:    t.lay.WithEpoch(best.Epoch),
+			stats:  t.stats,
+		}
+		if best.State == layout.StateReaping {
+			// The epoch committed but the crash interrupted stale-copy
+			// removal; finish it and settle the record.
+			var st RebalanceStats
+			if err := reapStale(ctx, nt.stores, nt.uniq, nt.lay, &st); err != nil {
+				return fmt.Errorf("shard: finishing interrupted reap: %w", err)
+			}
+			rec := best
+			rec.State = layout.StateStable
+			rec.PrevShards, rec.PrevVnodes = 0, 0
+			for _, u := range nt.uniq {
+				if err := layout.WriteRecord(ctx, u.store, rec); err != nil {
+					return err
+				}
+			}
+		}
+		s.topo.Store(nt)
+		s.routeGen.Add(1)
+		return checkEpoch(nt.lay.Epoch(), expectEpoch)
+	case layout.StateMigrating:
+		union := max(best.Shards, best.PrevShards)
+		switch {
+		case len(t.stores) == union:
+			if best.Vnodes != t.lay.Vnodes() {
+				return fmt.Errorf("shard: migration record has %d vnodes, configured %d", best.Vnodes, t.lay.Vnodes())
+			}
+			curLay, err := layout.New(best.Epoch, best.Shards, best.Vnodes, best.StripeBytes)
+			if err != nil {
+				return err
+			}
+			prevLay, err := layout.New(best.Epoch-1, best.PrevShards, best.PrevVnodes, best.StripeBytes)
+			if err != nil {
+				return err
+			}
+			s.topo.Store(&topology{
+				stores: t.stores,
+				uniq:   t.uniq,
+				lay:    curLay,
+				mig:    newMigration(prevLay),
+				stats:  t.stats,
+			})
+			s.routeGen.Add(1)
+			return checkEpoch(prevLay.Epoch(), expectEpoch)
+		case len(t.stores) == best.PrevShards:
+			// The previous epoch's view of a grow that crashed
+			// mid-migration: dual-writes kept these shards complete, so
+			// serve the old epoch as-is.
+			if best.PrevVnodes != t.lay.Vnodes() {
+				return fmt.Errorf("shard: migration record has %d prev-vnodes, configured %d", best.PrevVnodes, t.lay.Vnodes())
+			}
+			s.topo.Store(&topology{
+				stores: t.stores,
+				uniq:   t.uniq,
+				lay:    t.lay.WithEpoch(best.Epoch - 1),
+				stats:  t.stats,
+			})
+			s.routeGen.Add(1)
+			return checkEpoch(best.Epoch-1, expectEpoch)
+		default:
+			return fmt.Errorf("shard: interrupted migration %d->%d shards: open with the previous %d stores or the full %d to resume (got %d)",
+				best.PrevShards, best.Shards, best.PrevShards, union, len(t.stores))
+		}
+	default:
+		return fmt.Errorf("shard: layout record in unknown state %v", best.State)
+	}
+}
+
+// checkEpoch enforces the expectEpoch assertion (0 = any).
+func checkEpoch(got, want uint64) error {
+	if want != 0 && got != want {
+		return fmt.Errorf("shard: layout epoch is %d, want %d", got, want)
+	}
+	return nil
+}
+
+// ResumableMigration reports whether the store reopened into an
+// interrupted migration (AdoptLayout found a migrating record) whose
+// mover is not running; RunMover (or Mount.StartRebalance with the
+// same target) resumes it.
+func (s *Store) ResumableMigration() ([]backend.Store, bool) {
+	t := s.topo.Load()
+	if t.mig == nil || t.mig.moverRunning.Load() {
+		return nil, false
+	}
+	return append([]backend.Store(nil), t.curStores()...), true
+}

@@ -8,21 +8,25 @@ import (
 	"sync"
 
 	"lamassu/internal/backend"
+	"lamassu/internal/metrics"
 )
 
 // file is an open handle to one (possibly striped) backing file. The
-// home shard's handle is opened eagerly by Store.Open; handles to the
-// shards holding other stripes open lazily on first touch.
+// routed slot for byte 0 is opened eagerly by Store.Open; handles to
+// the shards holding other stripes — and, mid-migration, to the other
+// epoch's owners — open lazily on first touch. Every operation
+// resolves its target slots against the Store's CURRENT topology
+// snapshot, so a handle opened before a migration began routes
+// correctly during and after it.
 //
 // Concurrency matches the backend.File contract the engine relies on:
 // concurrent ReadAt and concurrent WriteAt are safe (the handle map
 // has its own mutex; the per-shard files do their own serialization),
 // so commit fan-out may write several stripes of one file at once.
 type file struct {
-	store   *Store
-	name    string
-	flag    backend.OpenFlag
-	homeIdx int
+	store *Store
+	name  string
+	flag  backend.OpenFlag
 
 	mu     sync.Mutex
 	closed bool
@@ -31,16 +35,20 @@ type file struct {
 	// file; their ranges read as zeros (hole semantics) without
 	// re-probing. A write through THIS handle clears the mark when it
 	// creates the stripe; another handle creating it is outside the
-	// single-writer model, as with every other stale-read case.
-	missing map[int]bool
+	// single-writer model, as with every other stale-read case. The
+	// marks are valid only for one routing generation: a migration can
+	// relocate data ONTO a slot that legitimately probed empty earlier,
+	// so handle() drops them all when Store.routeGen moves.
+	missing    map[int]bool
+	missingGen uint64
 }
 
-// handle returns the backend.File for one shard, opening it on first
-// use. Only writes (forWrite) may create a missing stripe file; a
-// read that finds none gets (nil, nil) and treats the range as a hole
-// — a pure read workload must never materialize empty stripe files on
-// shards that hold no data.
-func (f *file) handle(ctx context.Context, shard int, forWrite bool) (backend.File, error) {
+// handle returns the backend.File for one shard slot, opening it on
+// first use. Only writes (forWrite) may create a missing stripe file;
+// a read that finds none gets (nil, nil) and treats the range as a
+// hole — a pure read workload must never materialize empty stripe
+// files on shards that hold no data.
+func (f *file) handle(ctx context.Context, t *topology, shard int, forWrite bool) (backend.File, error) {
 	f.mu.Lock()
 	if f.closed {
 		f.mu.Unlock()
@@ -49,6 +57,12 @@ func (f *file) handle(ctx context.Context, shard int, forWrite bool) (backend.Fi
 	if h, ok := f.files[shard]; ok {
 		f.mu.Unlock()
 		return h, nil
+	}
+	if gen := f.store.routeGen.Load(); gen != f.missingGen {
+		// Routing moved (migration progress or an epoch transition):
+		// negative probes may have been invalidated by relocated data.
+		f.missing = nil
+		f.missingGen = gen
 	}
 	if !forWrite && f.missing[shard] {
 		f.mu.Unlock()
@@ -65,7 +79,7 @@ func (f *file) handle(ctx context.Context, shard int, forWrite bool) (backend.Fi
 	// backend) must not stall I/O to shards that are already open.
 	// Concurrent openers race; the loser closes its handle.
 	f.mu.Unlock()
-	h, err := backend.OpenCtx(ctx, f.store.stores[shard], f.name, flag)
+	h, err := backend.OpenCtx(ctx, t.stores[shard], f.name, flag)
 
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -106,36 +120,37 @@ func (f *file) openHandles() (map[int]backend.File, error) {
 	return out, nil
 }
 
-// home returns the eagerly opened home-shard handle.
-func (f *file) home(ctx context.Context) (backend.File, error) {
-	return f.handle(ctx, f.homeIdx, f.flag != backend.OpenRead)
-}
-
 // striped reports whether ranges of this file can live on different
-// shards.
-func (f *file) striped() bool { return f.store.stripe > 0 }
+// shards under topology t.
+func striped(t *topology) bool { return t.lay.StripeBytes() > 0 }
 
 // Size implements backend.File: the maximum local size across shards
 // (see Store.Stat for why the maximum is exact).
-func (f *file) Size() (int64, error) {
-	h, err := f.home(nil)
+func (f *file) Size() (int64, error) { return f.size(nil, f.store.topo.Load()) }
+
+func (f *file) size(ctx context.Context, t *topology) (int64, error) {
+	slot, _ := t.readTarget(f.name, 0)
+	h, err := f.handle(ctx, t, slot, false)
 	if err != nil {
 		return 0, err
 	}
-	size, err := h.Size()
-	if err != nil {
-		return 0, err
+	var size int64
+	if h != nil {
+		size, err = h.Size()
+		if err != nil {
+			return 0, err
+		}
 	}
-	if !f.striped() {
+	if !striped(t) {
 		return size, nil
 	}
-	homeStore := f.store.stores[f.homeIdx]
+	sized := t.stores[slot]
 	open, err := f.openHandles()
 	if err != nil {
 		return 0, err
 	}
-	for _, u := range f.store.uniq {
-		if u.store == homeStore {
+	for _, u := range t.uniq {
+		if u.store == sized {
 			continue
 		}
 		var sz int64
@@ -159,16 +174,16 @@ func (f *file) Size() (int64, error) {
 
 // stripeRange describes the part of a request hitting one stripe.
 type stripeRange struct {
-	shard int
 	off   int64 // global offset (stripes keep global offsets)
 	bufLo int
 	bufHi int
 }
 
-// splitStripes cuts the request [off, off+n) at stripe boundaries and
-// resolves each piece's owning shard.
-func (f *file) splitStripes(off int64, n int) []stripeRange {
-	stripe := f.store.stripe
+// splitStripes cuts the request [off, off+n) at stripe boundaries.
+// Both epochs share the stripe unit, so each range resolves to one
+// placement key (and thus one read slot, or one dual-write pair).
+func splitStripes(t *topology, off int64, n int) []stripeRange {
+	stripe := t.lay.StripeBytes()
 	out := make([]stripeRange, 0, int(int64(n)/stripe)+2)
 	pos := off
 	end := off + int64(n)
@@ -178,7 +193,6 @@ func (f *file) splitStripes(off int64, n int) []stripeRange {
 			next = end
 		}
 		out = append(out, stripeRange{
-			shard: f.store.ShardOf(f.name, pos),
 			off:   pos,
 			bufLo: int(pos - off),
 			bufHi: int(next - off),
@@ -204,13 +218,21 @@ func (f *file) readAt(ctx context.Context, p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("shard: negative offset %d", off)
 	}
-	if !f.striped() {
-		h, err := f.home(ctx)
+	t := f.store.topo.Load()
+	if !striped(t) {
+		slot, fellBack := t.readTarget(f.name, 0)
+		if fellBack {
+			t.mig.noteFallback()
+		}
+		h, err := f.handle(ctx, t, slot, false)
 		if err != nil {
 			return 0, err
 		}
+		if h == nil {
+			return 0, io.EOF
+		}
 		n, err := backend.ReadAtCtx(ctx, h, p, off)
-		f.store.countRead(f.homeIdx, n)
+		t.countRead(slot, n)
 		return n, err
 	}
 	if err := f.checkOpen(); err != nil {
@@ -225,7 +247,7 @@ func (f *file) readAt(ctx context.Context, p []byte, off int64) (int, error) {
 	size := int64(-1)
 	resolve := func() (int64, error) {
 		if size < 0 {
-			s, err := f.Size()
+			s, err := f.size(ctx, t)
 			if err != nil {
 				return 0, err
 			}
@@ -233,11 +255,15 @@ func (f *file) readAt(ctx context.Context, p []byte, off int64) (int, error) {
 		}
 		return size, nil
 	}
-	for _, r := range f.splitStripes(off, len(p)) {
+	for _, r := range splitStripes(t, off, len(p)) {
 		if err := backend.CtxErr(ctx); err != nil {
 			return r.bufLo, err
 		}
-		h, err := f.handle(ctx, r.shard, false)
+		slot, fellBack := t.readTarget(f.name, r.off)
+		if fellBack {
+			t.mig.noteFallback()
+		}
+		h, err := f.handle(ctx, t, slot, false)
 		if err != nil {
 			return r.bufLo, err
 		}
@@ -246,7 +272,7 @@ func (f *file) readAt(ctx context.Context, p []byte, off int64) (int, error) {
 		if h != nil {
 			var rerr error
 			m, rerr = backend.ReadAtCtx(ctx, h, chunk, r.off)
-			f.store.countRead(r.shard, m)
+			t.countRead(slot, m)
 			if rerr != nil && !errors.Is(rerr, io.EOF) {
 				return r.bufLo + m, rerr
 			}
@@ -294,6 +320,41 @@ func (f *file) WriteAtCtx(ctx context.Context, p []byte, off int64) (int, error)
 	return f.writeAt(ctx, p, off)
 }
 
+// writeRange lands one stripe-aligned chunk. Mid-migration a
+// relocated key is dual-written — previous owner first (that copy
+// must stay complete until the epoch commits, because a crash drops
+// every in-memory confirmation back onto it), current owner second —
+// under the key's migration lock so the pair cannot interleave with
+// the mover copying the same key.
+func (f *file) writeRange(ctx context.Context, t *topology, chunk []byte, off int64) (int, error) {
+	primary, mirror, mirrored, key := t.writeTargets(f.name, off)
+	if mirrored {
+		kl := t.mig.keyLock(key)
+		kl.Lock()
+		defer kl.Unlock()
+		t.mig.noteMirror()
+	}
+	h, err := f.handle(ctx, t, primary, true)
+	if err != nil {
+		return 0, err
+	}
+	n, err := backend.WriteAtCtx(ctx, h, chunk, off)
+	t.countWrite(primary, n)
+	if err != nil || !mirrored {
+		return n, err
+	}
+	mh, err := f.handle(ctx, t, mirror, true)
+	if err != nil {
+		return 0, err
+	}
+	mn, err := backend.WriteAtCtx(ctx, mh, chunk, off)
+	t.countWrite(mirror, mn)
+	if err != nil {
+		return mn, err
+	}
+	return n, nil
+}
+
 func (f *file) writeAt(ctx context.Context, p []byte, off int64) (int, error) {
 	if f.flag == backend.OpenRead {
 		return 0, backend.ErrReadOnly
@@ -307,25 +368,15 @@ func (f *file) writeAt(ctx context.Context, p []byte, off int64) (int, error) {
 		}
 		return 0, nil
 	}
-	if !f.striped() {
-		h, err := f.home(ctx)
-		if err != nil {
-			return 0, err
-		}
-		n, err := backend.WriteAtCtx(ctx, h, p, off)
-		f.store.countWrite(f.homeIdx, n)
-		return n, err
+	t := f.store.topo.Load()
+	if !striped(t) {
+		return f.writeRange(ctx, t, p, off)
 	}
-	for _, r := range f.splitStripes(off, len(p)) {
+	for _, r := range splitStripes(t, off, len(p)) {
 		if err := backend.CtxErr(ctx); err != nil {
 			return r.bufLo, err
 		}
-		h, err := f.handle(ctx, r.shard, true)
-		if err != nil {
-			return r.bufLo, err
-		}
-		m, err := backend.WriteAtCtx(ctx, h, p[r.bufLo:r.bufHi], r.off)
-		f.store.countWrite(r.shard, m)
+		m, err := f.writeRange(ctx, t, p[r.bufLo:r.bufHi], r.off)
 		if err != nil {
 			return r.bufLo + m, err
 		}
@@ -352,17 +403,61 @@ func (f *file) truncate(ctx context.Context, size int64) error {
 	if size < 0 {
 		return fmt.Errorf("shard: negative size %d", size)
 	}
-	if !f.striped() {
-		h, err := f.home(ctx)
-		if err != nil {
+	t := f.store.topo.Load()
+	if t.mig != nil {
+		// A cut changes every store's copy; exclude the mover's copies
+		// of this file (its per-key copy would otherwise re-extend a
+		// freshly capped destination with pre-truncate bytes).
+		fl := t.mig.fileLock(f.name)
+		fl.Lock()
+		defer fl.Unlock()
+	}
+	if !striped(t) {
+		if t.mig == nil {
+			// Stable whole-file placement: one copy, one call — the
+			// steady-state path stays free of per-store Stat sweeps.
+			return f.truncateAnchor(ctx, t, t.lay.ShardOf(f.name, 0), size)
+		}
+		if err := f.truncateSlots(ctx, t, size); err != nil {
 			return err
 		}
-		return backend.TruncateCtx(ctx, h, size)
+		// Pin the exact size on every slot that must exist: the routed
+		// (authoritative) slot, plus the current home so the
+		// post-commit epoch agrees.
+		slot, _ := t.readTarget(f.name, 0)
+		if err := f.truncateAnchor(ctx, t, slot, size); err != nil {
+			return err
+		}
+		if home := t.homeShard(f.name); home != slot {
+			return f.truncateAnchor(ctx, t, home, size)
+		}
+		return nil
 	}
-	// Cap every store holding more than size. Stores never probed are
-	// checked by name so stripes written by an earlier handle are cut
-	// too.
-	for _, u := range f.store.uniq {
+	if err := f.truncateSlots(ctx, t, size); err != nil {
+		return err
+	}
+	if size == 0 {
+		return nil
+	}
+	// Anchor the global size on the owner of the final byte — under
+	// both epochs while migrating, so either view reports the new size.
+	slot, _ := t.readTarget(f.name, size-1)
+	if err := f.truncateAnchor(ctx, t, slot, size); err != nil {
+		return err
+	}
+	if t.mig != nil {
+		if cur := t.lay.ShardOf(f.name, size-1); cur != slot {
+			return f.truncateAnchor(ctx, t, cur, size)
+		}
+	}
+	return nil
+}
+
+// truncateSlots caps every store holding more than size. Stores never
+// probed are checked by name so stripes written by an earlier handle
+// are cut too.
+func (f *file) truncateSlots(ctx context.Context, t *topology, size int64) error {
+	for _, u := range t.uniq {
 		if err := backend.CtxErr(ctx); err != nil {
 			return err
 		}
@@ -376,7 +471,7 @@ func (f *file) truncate(ctx context.Context, size int64) error {
 		if local <= size {
 			continue
 		}
-		h, err := f.handle(ctx, u.shard, true)
+		h, err := f.handle(ctx, t, u.shard, true)
 		if err != nil {
 			return err
 		}
@@ -384,12 +479,12 @@ func (f *file) truncate(ctx context.Context, size int64) error {
 			return err
 		}
 	}
-	if size == 0 {
-		return nil
-	}
-	// Anchor the global size on the owner of the final byte.
-	owner := f.store.ShardOf(f.name, size-1)
-	h, err := f.handle(ctx, owner, true)
+	return nil
+}
+
+// truncateAnchor pins slot's copy at exactly size.
+func (f *file) truncateAnchor(ctx context.Context, t *topology, slot int, size int64) error {
+	h, err := f.handle(ctx, t, slot, true)
 	if err != nil {
 		return err
 	}
@@ -409,6 +504,7 @@ func (f *file) sync(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	t := f.store.topo.Load()
 	for s, h := range open {
 		if err := backend.CtxErr(ctx); err != nil {
 			return err
@@ -416,7 +512,7 @@ func (f *file) sync(ctx context.Context) error {
 		if err := backend.SyncCtx(ctx, h); err != nil {
 			return err
 		}
-		f.store.countSync(s)
+		t.countSync(s)
 	}
 	return nil
 }
@@ -448,4 +544,17 @@ func (f *file) Close() error {
 		}
 	}
 	return firstErr
+}
+
+// noteFallback counts one dual-ring read served by the previous
+// epoch's owner.
+func (m *migration) noteFallback() {
+	m.fallbackReads.Add(1)
+	m.rec.CountEvent(metrics.FallbackRead, 1)
+}
+
+// noteMirror counts one write mirrored to the previous epoch's owner.
+func (m *migration) noteMirror() {
+	m.mirrorWrites.Add(1)
+	m.rec.CountEvent(metrics.MirrorWrite, 1)
 }

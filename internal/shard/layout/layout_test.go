@@ -1,0 +1,192 @@
+package layout
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"lamassu/internal/backend"
+)
+
+// The record encoding is on-disk format shared by every process that
+// opens a deployment; the goldens pin it byte for byte. A failure
+// here means existing deployments stop recognizing their own epoch —
+// it needs a format-versioning story, not a golden update.
+func TestRecordGolden(t *testing.T) {
+	cases := []struct {
+		rec  Record
+		want string
+	}{
+		{
+			rec: Record{Epoch: 0, State: StateStable, Shards: 3, Vnodes: 64, StripeBytes: 4325376},
+			want: "lamassu-layout v1\n" +
+				"epoch 0\n" +
+				"state stable\n" +
+				"shards 3\n" +
+				"vnodes 64\n" +
+				"stripe 4325376\n",
+		},
+		{
+			rec: Record{Epoch: 7, State: StateMigrating, Shards: 4, Vnodes: 64, StripeBytes: 0,
+				PrevShards: 3, PrevVnodes: 64},
+			want: "lamassu-layout v1\n" +
+				"epoch 7\n" +
+				"state migrating\n" +
+				"shards 4\n" +
+				"vnodes 64\n" +
+				"stripe 0\n" +
+				"prev-shards 3\n" +
+				"prev-vnodes 64\n",
+		},
+		{
+			rec: Record{Epoch: 2, State: StateReaping, Shards: 2, Vnodes: 32, StripeBytes: 8192,
+				PrevShards: 5, PrevVnodes: 32},
+			want: "lamassu-layout v1\n" +
+				"epoch 2\n" +
+				"state reaping\n" +
+				"shards 2\n" +
+				"vnodes 32\n" +
+				"stripe 8192\n" +
+				"prev-shards 5\n" +
+				"prev-vnodes 32\n",
+		},
+	}
+	for i, c := range cases {
+		got := c.rec.Encode()
+		if !bytes.Equal(got, []byte(c.want)) {
+			t.Errorf("case %d: Encode mismatch:\ngot:\n%swant:\n%s", i, got, c.want)
+		}
+		back, err := DecodeRecord(got)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if back != c.rec {
+			t.Errorf("case %d: round trip %+v -> %+v", i, c.rec, back)
+		}
+	}
+}
+
+func TestRecordDecodeErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"not-a-record\n",
+		"lamassu-layout v2\nepoch 0\nstate stable\nshards 1\nvnodes 64\nstripe 0\n",
+		"lamassu-layout v1\nepoch 0\nstate stable\nvnodes 64\nstripe 0\n",                           // missing shards
+		"lamassu-layout v1\nepoch 0\nstate wat\nshards 1\nvnodes 64\nstripe 0\n",                    // bad state
+		"lamassu-layout v1\nepoch 0\nstate migrating\nshards 2\nvnodes 64\nstripe 0\n",              // migrating without prev
+		"lamassu-layout v1\nepoch 0\nstate stable\nshards 1\nshards 1\nvnodes 64\nstripe 0\n",       // dup field
+		"lamassu-layout v1\nepoch 0\nstate stable\nshards 1\nvnodes 64\nstripe 0\nfuture-field 1\n", // unknown field
+	}
+	for i, s := range bad {
+		if _, err := DecodeRecord([]byte(s)); err == nil {
+			t.Errorf("case %d: decode of %q succeeded", i, s)
+		}
+	}
+}
+
+// The resolver ordering after a crash mid-record-fanout:
+// stable(E) < migrating(E+1) < reaping(E+1) < stable(E+1) < migrating(E+2).
+func TestRecordNewerOrdering(t *testing.T) {
+	seq := []Record{
+		{Epoch: 1, State: StateStable, Shards: 2},
+		{Epoch: 2, State: StateMigrating, Shards: 3, PrevShards: 2},
+		{Epoch: 2, State: StateReaping, Shards: 3, PrevShards: 2},
+		{Epoch: 2, State: StateStable, Shards: 3},
+		{Epoch: 3, State: StateMigrating, Shards: 4, PrevShards: 3},
+	}
+	for i := range seq {
+		for j := range seq {
+			got := seq[j].Newer(seq[i])
+			if want := j > i; got != want {
+				t.Errorf("Newer(%d over %d) = %v, want %v", j, i, got, want)
+			}
+		}
+	}
+}
+
+// A Layout routes exactly like its ring (the epoch never perturbs the
+// hash), and stripe keys derive identically.
+func TestLayoutRoutesLikeRing(t *testing.T) {
+	ring, err := NewRing(5, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, epoch := range []uint64{0, 1, 42} {
+		lay, err := New(epoch, 5, 64, 8192)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lay.Epoch() != epoch {
+			t.Fatalf("Epoch = %d, want %d", lay.Epoch(), epoch)
+		}
+		for i := 0; i < 512; i++ {
+			name := fmt.Sprintf("file-%03d", i)
+			off := int64(i) * 4096
+			key := StripeKey(name, off/8192)
+			if got, want := lay.ShardOf(name, off), ring.Lookup(key); got != want {
+				t.Fatalf("epoch %d: ShardOf(%q, %d) = %d, ring says %d", epoch, name, off, got, want)
+			}
+			if got, want := lay.Owner(key), ring.Lookup(key); got != want {
+				t.Fatalf("Owner(%q) = %d, ring says %d", key, got, want)
+			}
+		}
+	}
+	// Whole-file placement keys are the names themselves.
+	lay, err := New(0, 5, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay.KeyOf("abc", 1<<30) != "abc" {
+		t.Fatalf("whole-file KeyOf = %q", lay.KeyOf("abc", 1<<30))
+	}
+	if lay.ShardOf("abc", 1<<30) != ring.Lookup("abc") {
+		t.Fatal("whole-file ShardOf diverges from ring")
+	}
+}
+
+func TestLayoutWithEpoch(t *testing.T) {
+	lay, err := New(0, 3, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bumped := lay.WithEpoch(9)
+	if bumped.Epoch() != 9 || bumped.Ring() != lay.Ring() {
+		t.Fatalf("WithEpoch: epoch %d, ring shared %v", bumped.Epoch(), bumped.Ring() == lay.Ring())
+	}
+	if lay.WithEpoch(0) != lay {
+		t.Fatal("WithEpoch(same) should return the receiver")
+	}
+	if !lay.SamePlacement(bumped) {
+		t.Fatal("SamePlacement must ignore epochs")
+	}
+	other, _ := New(0, 4, 64, 0)
+	if lay.SamePlacement(other) {
+		t.Fatal("SamePlacement across shard counts")
+	}
+}
+
+// Records round-trip through a backend store, and RemoveRecord /
+// a missing record are clean.
+func TestRecordStoreRoundTrip(t *testing.T) {
+	st := backend.NewMemStore()
+	if _, ok, err := ReadRecord(nil, st); err != nil || ok {
+		t.Fatalf("fresh store: ok=%v err=%v", ok, err)
+	}
+	rec := Record{Epoch: 3, State: StateStable, Shards: 2, Vnodes: 64, StripeBytes: 512}
+	if err := WriteRecord(nil, st, rec); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := ReadRecord(nil, st)
+	if err != nil || !ok || got != rec {
+		t.Fatalf("ReadRecord = %+v, %v, %v", got, ok, err)
+	}
+	if err := RemoveRecord(nil, st); err != nil {
+		t.Fatal(err)
+	}
+	if err := RemoveRecord(nil, st); err != nil {
+		t.Fatalf("double RemoveRecord: %v", err)
+	}
+	if _, ok, _ := ReadRecord(nil, st); ok {
+		t.Fatal("record survived RemoveRecord")
+	}
+}

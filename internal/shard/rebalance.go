@@ -1,11 +1,13 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
 	"lamassu/internal/backend"
+	"lamassu/internal/shard/layout"
 )
 
 // RebalanceStats summarizes an offline Rebalance pass.
@@ -35,25 +37,39 @@ type RebalanceStats struct {
 // Rebalance is OFFLINE: no Mount or handle may be using either view
 // while it runs. It is idempotent — rerunning after a crash midway
 // completes the migration (a stripe already copied is simply copied
-// again; removals only happen after the copy landed).
-func Rebalance(from, to *Store) (RebalanceStats, error) {
+// again; removals only happen after the copy landed). For migrating a
+// LIVE deployment without downtime see BeginMigration/RunMover.
+func Rebalance(from, to *Store) (RebalanceStats, error) { return RebalanceCtx(nil, from, to) }
+
+// RebalanceCtx is Rebalance honoring ctx between key copies: a
+// cancellation returns ErrCanceled with the pass cut at a copy
+// boundary — exactly the crash case the idempotency contract covers —
+// and rerunning with a live context converges.
+func RebalanceCtx(ctx context.Context, from, to *Store) (RebalanceStats, error) {
 	var st RebalanceStats
-	if from.stripe != to.stripe {
-		return st, fmt.Errorf("shard: rebalance stripe mismatch: %d vs %d", from.stripe, to.stripe)
+	ft, tt := from.topo.Load(), to.topo.Load()
+	if ft.mig != nil || tt.mig != nil {
+		return st, errors.New("shard: offline rebalance over a store with an active migration")
+	}
+	if ft.lay.StripeBytes() != tt.lay.StripeBytes() {
+		return st, fmt.Errorf("shard: rebalance stripe mismatch: %d vs %d",
+			ft.lay.StripeBytes(), tt.lay.StripeBytes())
 	}
 	// Iterate the union of every store's raw namespace, not the
 	// home-filtered List: a rerun after a crash mid-pass must still
 	// reach files whose old-home copy was already moved, and stale
-	// copies stranded on non-owner stores must still be reaped.
+	// copies stranded on non-owner stores must still be reaped. The
+	// layout record never migrates (it is per-store state, maintained
+	// below).
 	seen := make(map[string]bool)
 	var names []string
-	for _, s := range uniqueStores(from.stores, to.stores) {
+	for _, s := range uniqueStores(ft.stores, tt.stores) {
 		ns, err := s.List()
 		if err != nil {
 			return st, err
 		}
 		for _, n := range ns {
-			if !seen[n] {
+			if !layout.IsReserved(n) && !seen[n] {
 				seen[n] = true
 				names = append(names, n)
 			}
@@ -61,14 +77,70 @@ func Rebalance(from, to *Store) (RebalanceStats, error) {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		if err := rebalanceFile(from, to, name, &st); err != nil {
+		if err := backend.CtxErr(ctx); err != nil {
+			return st, err
+		}
+		if err := rebalanceFile(ctx, ft, tt, name, &st); err != nil {
 			return st, fmt.Errorf("shard: rebalancing %q: %w", name, err)
 		}
+	}
+	if err := settleRecords(ctx, ft, tt); err != nil {
+		return st, err
 	}
 	return st, nil
 }
 
-func rebalanceFile(from, to *Store, name string, st *RebalanceStats) error {
+// settleRecords updates persisted layout records after an offline
+// rebalance, for deployments that have them (i.e. ones that were at
+// some point rebalanced online): the destination view gets a stable
+// record one epoch past the newest seen, stores leaving the
+// deployment lose theirs. Deployments without records stay
+// record-free — the offline path adds no on-disk state of its own.
+func settleRecords(ctx context.Context, ft, tt *topology) error {
+	var (
+		maxEpoch uint64
+		found    bool
+	)
+	for _, s := range uniqueStores(ft.stores, tt.stores) {
+		rec, ok, err := layout.ReadRecord(ctx, s)
+		if err != nil {
+			return err
+		}
+		if ok {
+			found = true
+			if rec.Epoch > maxEpoch {
+				maxEpoch = rec.Epoch
+			}
+		}
+	}
+	if !found {
+		return nil
+	}
+	rec := layout.Record{
+		Epoch:       maxEpoch + 1,
+		State:       layout.StateStable,
+		Shards:      tt.lay.Shards(),
+		Vnodes:      tt.lay.Vnodes(),
+		StripeBytes: tt.lay.StripeBytes(),
+	}
+	inTo := make(map[backend.Store]bool)
+	for _, u := range tt.uniq {
+		inTo[u.store] = true
+		if err := layout.WriteRecord(ctx, u.store, rec); err != nil {
+			return err
+		}
+	}
+	for _, u := range ft.uniq {
+		if !inTo[u.store] {
+			if err := layout.RemoveRecord(ctx, u.store); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func rebalanceFile(ctx context.Context, from, to *topology, name string, st *RebalanceStats) error {
 	st.Files++
 	all := uniqueStores(from.stores, to.stores)
 
@@ -122,7 +194,7 @@ func rebalanceFile(from, to *Store, name string, st *RebalanceStats) error {
 
 	moved := false
 	owners := map[backend.Store]bool{to.stores[to.homeShard(name)]: true}
-	if to.stripe <= 0 {
+	if stripe := to.lay.StripeBytes(); stripe <= 0 {
 		// Whole-file placement: one key per file.
 		src := from.stores[from.homeShard(name)]
 		dst := to.stores[to.homeShard(name)]
@@ -131,6 +203,9 @@ func rebalanceFile(from, to *Store, name string, st *RebalanceStats) error {
 			src = dst
 		}
 		if src != dst {
+			if err := backend.CtxErr(ctx); err != nil {
+				return err
+			}
 			n, err := copyNamed(src, name, dst, name)
 			if err != nil {
 				return err
@@ -140,18 +215,25 @@ func rebalanceFile(from, to *Store, name string, st *RebalanceStats) error {
 			moved = true
 		}
 	} else {
-		nStripes := (phys + to.stripe - 1) / to.stripe
+		nStripes := (phys + stripe - 1) / stripe
 		for s := int64(0); s < nStripes; s++ {
-			lo := s * to.stripe
-			hi := lo + to.stripe
+			lo := s * stripe
+			hi := lo + stripe
 			if hi > phys {
 				hi = phys
 			}
-			src := from.stores[from.ring.Lookup(stripeKey(name, s))]
-			dst := to.stores[to.ring.Lookup(stripeKey(name, s))]
+			key := layout.StripeKey(name, s)
+			src := from.stores[from.lay.Owner(key)]
+			dst := to.stores[to.lay.Owner(key)]
 			owners[dst] = true
 			if src == dst {
 				continue
+			}
+			// The cancellation point sits BETWEEN key copies: a canceled
+			// pass is cut at a copy boundary, the crash case the
+			// idempotency contract already covers.
+			if err := backend.CtxErr(ctx); err != nil {
+				return err
 			}
 			n, err := copyRange(src, dst, name, lo, hi)
 			if err != nil {
@@ -165,7 +247,7 @@ func rebalanceFile(from, to *Store, name string, st *RebalanceStats) error {
 		// the new placement must reach exactly phys, even when the final
 		// stripe is a hole with no bytes to copy.
 		if phys > 0 {
-			anchor := to.stores[to.ShardOf(name, phys-1)]
+			anchor := to.stores[to.lay.ShardOf(name, phys-1)]
 			if err := extendTo(anchor, name, phys); err != nil {
 				return err
 			}

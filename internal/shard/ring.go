@@ -9,13 +9,15 @@
 // ceiling, and striping the encrypted backing files across several
 // stores removes it.
 //
-// Placement is a consistent-hash ring with virtual nodes (Ring): each
-// shard contributes Vnodes points on a 64-bit hash circle and a key is
-// owned by the first point at or clockwise of its hash. The map is
-// O(log vnodes) per lookup, entirely off the data path (no placement
-// I/O), deterministic across processes, and stable under growth:
-// adding a shard moves only the keys the new shard's points capture
-// (≈ K/N of them) and never moves a key between two old shards.
+// Placement lives in the internal/shard/layout subpackage: a
+// consistent-hash ring with virtual nodes (layout.Ring) versioned by
+// an epoch number (layout.Layout). Each shard contributes Vnodes
+// points on a 64-bit hash circle and a key is owned by the first
+// point at or clockwise of its hash. The map is O(log vnodes) per
+// lookup, entirely off the data path (no placement I/O),
+// deterministic across processes, and stable under growth: adding a
+// shard moves only the keys the new shard's points capture (≈ K/N of
+// them) and never moves a key between two old shards.
 //
 // Small files place whole-file: every byte of the backing file lives
 // on the shard that owns the file name. Large files additionally
@@ -30,110 +32,31 @@
 // to internal/core except where it helps: core detects a sharded store
 // and (a) carves its commit worker pool into per-shard budgets so one
 // hot shard cannot monopolize the encrypt+write fan-out, and (b) fans
-// multi-block reads out across the owning shards. See Rebalance for
-// offline shard addition/removal.
+// multi-block reads out across the owning shards. Topology change is
+// either offline (Rebalance, no mount may be active) or ONLINE
+// (BeginMigration/RunMover): the store then serves two placement
+// epochs at once — writes route by the new ring and mirror to the old
+// owner, reads route to the new owner once the mover has confirmed
+// the key and fall back to the old owner until then — while a
+// background mover copies only the keys whose owner changed and then
+// atomically commits the epoch bump (see migrate.go and the layout
+// package's Record).
 package shard
 
-import (
-	"errors"
-	"fmt"
-	"hash/fnv"
-	"sort"
-)
+import "lamassu/internal/shard/layout"
 
-// DefaultVnodes is the virtual-node count per shard. 64 points per
-// shard keeps the ring small (a few KiB even at 32 shards) while
-// holding the load imbalance across shards to roughly ±25 % of fair
-// share (measured at 8 shards); provision hot-shard capacity with
-// that margin, or raise the vnode count to tighten it.
-const DefaultVnodes = 64
+// DefaultVnodes is the virtual-node count per shard; see
+// layout.DefaultVnodes for the sizing rationale.
+const DefaultVnodes = layout.DefaultVnodes
 
-// Ring is an immutable consistent-hash placement map: Shards() shards,
-// each contributing Vnodes() points on a 64-bit circle. Construction
-// is deterministic — two rings built with the same (shards, vnodes)
-// anywhere, in any process, place every key identically.
-type Ring struct {
-	shards int
-	vnodes int
-	points []ringPoint // sorted by hash
-}
-
-type ringPoint struct {
-	hash  uint64
-	shard int
-}
+// Ring is the consistent-hash placement map, now defined in the
+// layout subpackage (the alias keeps the PR 2 surface intact).
+type Ring = layout.Ring
 
 // NewRing builds the placement map for the given shard and
 // virtual-node counts. vnodes < 1 selects DefaultVnodes.
-func NewRing(shards, vnodes int) (*Ring, error) {
-	if shards < 1 {
-		return nil, errors.New("shard: ring needs at least one shard")
-	}
-	if vnodes < 1 {
-		vnodes = DefaultVnodes
-	}
-	r := &Ring{
-		shards: shards,
-		vnodes: vnodes,
-		points: make([]ringPoint, 0, shards*vnodes),
-	}
-	for s := 0; s < shards; s++ {
-		for v := 0; v < vnodes; v++ {
-			h := hashKey(fmt.Sprintf("shard-%d-vnode-%d", s, v))
-			r.points = append(r.points, ringPoint{hash: h, shard: s})
-		}
-	}
-	sort.Slice(r.points, func(i, j int) bool {
-		a, b := r.points[i], r.points[j]
-		if a.hash != b.hash {
-			return a.hash < b.hash
-		}
-		// Colliding points order by shard so ties break identically
-		// everywhere.
-		return a.shard < b.shard
-	})
-	return r, nil
-}
+func NewRing(shards, vnodes int) (*Ring, error) { return layout.NewRing(shards, vnodes) }
 
-// Shards returns the number of shards on the ring.
-func (r *Ring) Shards() int { return r.shards }
-
-// Vnodes returns the virtual-node count per shard.
-func (r *Ring) Vnodes() int { return r.vnodes }
-
-// Lookup returns the shard owning key: the shard of the first ring
-// point at or clockwise of the key's hash.
-func (r *Ring) Lookup(key string) int {
-	if r.shards == 1 {
-		return 0
-	}
-	h := hashKey(key)
-	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
-	if i == len(r.points) {
-		i = 0 // wrap past the highest point
-	}
-	return r.points[i].shard
-}
-
-// hashKey maps a key onto the circle: FNV-1a for stable, seedless
-// absorption (placement must agree between the process that wrote a
-// file and every later process that reads it) followed by a
-// splitmix64 finalizer — raw FNV of near-identical keys ("shard-0-
-// vnode-1", "shard-0-vnode-2", …) clusters badly on the circle, and
-// the finalizer's avalanche spreads the points to the ~±25 % load
-// imbalance of an ideal ring at the default vnode count.
-func hashKey(key string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(key))
-	return mix64(h.Sum64())
-}
-
-// mix64 is the splitmix64 finalizer (public-domain constants).
-func mix64(x uint64) uint64 {
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
-}
+// stripeKey derives the placement key of stripe idx of name; see
+// layout.StripeKey.
+func stripeKey(name string, idx int64) string { return layout.StripeKey(name, idx) }

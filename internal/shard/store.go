@@ -5,10 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"strconv"
+	"sync"
 	"sync/atomic"
 
 	"lamassu/internal/backend"
+	"lamassu/internal/shard/layout"
 )
 
 // Config tunes a sharded Store.
@@ -43,9 +44,52 @@ type shardCounters struct {
 	bytesRead, bytesWritten atomic.Int64
 }
 
+// topology is one immutable placement state of the Store. Every
+// operation loads the pointer once and works against a consistent
+// snapshot; topology transitions (BeginMigration, the mover's epoch
+// commit, record adoption) build a new value and swap it in.
+type topology struct {
+	// stores is the slot-indexed store list. While migrating it is the
+	// UNION of both epochs' lists: on grow the whole new list (the old
+	// list is its prefix), on shrink the old list (the new list is its
+	// prefix). Ring lookups of either epoch index into it directly.
+	stores []backend.Store
+	// uniq lists the distinct underlying stores (first-occurrence
+	// order) with a representative slot index each. Namespace
+	// operations iterate it instead of stores, so carving N logical
+	// shards out of one physical store costs one backend call, not N.
+	uniq []uniqueStore
+	// lay is the current placement epoch: writes and commits route by
+	// it, and it defines file existence (home shard).
+	lay *layout.Layout
+	// mig is non-nil while a migration is in progress; it carries the
+	// previous epoch's layout and the dual-ring routing state.
+	mig *migration
+	// stats holds one counter block per slot; the pointers are shared
+	// across topologies so counters survive transitions.
+	stats []*shardCounters
+}
+
+// curStores returns the current epoch's slice of the slot list.
+func (t *topology) curStores() []backend.Store { return t.stores[:t.lay.Shards()] }
+
+// uniqueOf builds the uniq list for a store slice.
+func uniqueOf(stores []backend.Store) []uniqueStore {
+	var uniq []uniqueStore
+	seen := make(map[backend.Store]bool, len(stores))
+	for i, st := range stores {
+		if !seen[st] {
+			seen[st] = true
+			uniq = append(uniq, uniqueStore{store: st, shard: i})
+		}
+	}
+	return uniq
+}
+
 // Store stripes a flat file namespace across several backend.Store
-// instances via a consistent-hash Ring. It implements backend.Store;
-// see the package comment for placement semantics.
+// instances via an epoch-versioned consistent-hash layout. It
+// implements backend.Store; see the package comment for placement
+// semantics and migrate.go for online topology change.
 //
 // The same underlying store may appear in several slots: internal/core
 // and the public Options use that to carve N *logical* shards (routing
@@ -53,15 +97,17 @@ type shardCounters struct {
 // byte-for-byte identical to the unsharded layout because every stripe
 // keeps its global offset and file name.
 type Store struct {
-	stores []backend.Store
-	ring   *Ring
-	stripe int64
-	stats  []shardCounters
-	// uniq lists the distinct underlying stores (first-occurrence
-	// order) with a representative slot index each. Namespace
-	// operations iterate it instead of stores, so carving N logical
-	// shards out of one physical store costs one backend call, not N.
-	uniq []uniqueStore
+	topo atomic.Pointer[topology]
+	// routeGen increments whenever key→slot routing can change for
+	// reasons a long-lived handle cannot see locally: a topology swap
+	// (BeginMigration, epoch commit, record adoption) or a mover
+	// confirmation (which redirects the key's reads to a slot that may
+	// previously have held nothing). Handles compare it to invalidate
+	// their negative probe cache (file.missing).
+	routeGen atomic.Uint64
+	// migMu serializes topology transitions; the data path never takes
+	// it.
+	migMu sync.Mutex
 }
 
 // uniqueStore pairs a distinct underlying store with the lowest slot
@@ -71,9 +117,11 @@ type uniqueStore struct {
 	shard int
 }
 
-// New returns a sharded Store over the given backends. The order of
-// stores is part of the placement contract: reopening a sharded
-// deployment with the stores permuted scatters every lookup.
+// New returns a sharded Store over the given backends at epoch 0. The
+// order of stores is part of the placement contract: reopening a
+// sharded deployment with the stores permuted scatters every lookup.
+// A deployment that has rebalanced online persists its epoch on the
+// shards; call AdoptLayout after New to pick it up.
 func New(stores []backend.Store, cfg Config) (*Store, error) {
 	if len(stores) == 0 {
 		return nil, errors.New("shard: at least one backend store is required")
@@ -86,68 +134,106 @@ func New(stores []backend.Store, cfg Config) (*Store, error) {
 	if cfg.StripeBytes < 0 {
 		return nil, errors.New("shard: stripe size must be >= 0")
 	}
-	ring, err := NewRing(len(stores), cfg.Vnodes)
+	lay, err := layout.New(0, len(stores), cfg.Vnodes, cfg.StripeBytes)
 	if err != nil {
 		return nil, err
 	}
-	var uniq []uniqueStore
-	seen := make(map[backend.Store]bool, len(stores))
-	for i, st := range stores {
-		if !seen[st] {
-			seen[st] = true
-			uniq = append(uniq, uniqueStore{store: st, shard: i})
-		}
+	stores = append([]backend.Store(nil), stores...)
+	stats := make([]*shardCounters, len(stores))
+	for i := range stats {
+		stats[i] = &shardCounters{}
 	}
-	return &Store{
-		stores: append([]backend.Store(nil), stores...),
-		ring:   ring,
-		stripe: cfg.StripeBytes,
-		stats:  make([]shardCounters, len(stores)),
-		uniq:   uniq,
-	}, nil
+	s := &Store{}
+	s.topo.Store(&topology{
+		stores: stores,
+		uniq:   uniqueOf(stores),
+		lay:    lay,
+		stats:  stats,
+	})
+	return s, nil
 }
 
-// NumShards returns the number of shards. Together with ShardOf it is
-// the seam internal/core uses to carve per-shard worker budgets.
-func (s *Store) NumShards() int { return len(s.stores) }
+// NumShards returns the number of shard slots — during a migration
+// the union of both epochs, so per-shard worker budgets cover every
+// store being written. Together with ShardOf it is the seam
+// internal/core uses to carve per-shard worker budgets.
+func (s *Store) NumShards() int { return len(s.topo.Load().stores) }
 
-// Ring returns the placement map.
-func (s *Store) Ring() *Ring { return s.ring }
+// Ring returns the current epoch's placement map.
+func (s *Store) Ring() *Ring { return s.topo.Load().lay.Ring() }
+
+// Layout returns the current placement epoch.
+func (s *Store) Layout() *layout.Layout { return s.topo.Load().lay }
+
+// Epoch returns the current placement epoch number.
+func (s *Store) Epoch() uint64 { return s.topo.Load().lay.Epoch() }
 
 // StripeBytes returns the stripe unit (0 = whole-file placement).
-func (s *Store) StripeBytes() int64 { return s.stripe }
+func (s *Store) StripeBytes() int64 { return s.topo.Load().lay.StripeBytes() }
 
-// Shards returns the underlying backend stores, in placement order.
+// Shards returns the current epoch's backend stores, in placement
+// order.
 func (s *Store) Shards() []backend.Store {
-	return append([]backend.Store(nil), s.stores...)
+	return append([]backend.Store(nil), s.topo.Load().curStores()...)
 }
 
-// ShardOf returns the shard owning byte off of the named file. It is
-// pure ring arithmetic — no I/O, O(log vnodes) — so callers may use it
-// on their hot paths to route work before touching data.
+// ShardOf returns the shard owning byte off of the named file under
+// the CURRENT epoch (the ring writes route by). It is pure ring
+// arithmetic — no I/O, O(log vnodes) — so callers may use it on their
+// hot paths to route work before touching data.
 func (s *Store) ShardOf(name string, off int64) int {
-	if s.stripe <= 0 {
-		return s.ring.Lookup(name)
+	return s.topo.Load().lay.ShardOf(name, off)
+}
+
+// homeShard returns the slot that defines a file's existence under
+// the current epoch: the owner of its first byte (equivalently, of
+// stripe 0).
+func (t *topology) homeShard(name string) int { return t.lay.ShardOf(name, 0) }
+
+// readTarget resolves the slot a read of byte off of name should hit:
+// the current owner once the key is confirmed moved (or was never
+// relocated), the previous epoch's owner — the authoritative copy —
+// until then. fellBack reports the dual-ring fallback case.
+func (t *topology) readTarget(name string, off int64) (slot int, fellBack bool) {
+	cur := t.lay.ShardOf(name, off)
+	if t.mig == nil {
+		return cur, false
 	}
-	return s.ring.Lookup(stripeKey(name, off/s.stripe))
+	key := t.lay.KeyOf(name, off)
+	prev := t.mig.prev.Owner(key)
+	if prev == cur || t.mig.confirmed(key) {
+		return cur, false
+	}
+	return prev, true
 }
 
-// homeShard returns the shard that defines a file's existence: the
-// owner of its first byte (equivalently, of stripe 0).
-func (s *Store) homeShard(name string) int { return s.ShardOf(name, 0) }
-
-// stripeKey derives the placement key of stripe idx of name. The NUL
-// separator cannot occur in OS file names, so derived keys never
-// collide with whole-file keys of other files.
-func stripeKey(name string, idx int64) string {
-	return name + "\x00" + strconv.FormatInt(idx, 10)
+// writeTargets resolves where a write of byte off of name must land.
+// Stable (or unrelocated key): the current owner only. Mid-migration,
+// a relocated key is DUAL-WRITTEN — the previous owner first, then
+// the current owner — under the key's migration lock so the pair
+// cannot interleave with the mover's copy of the same key. The mirror
+// continues even AFTER the mover confirms the key: confirmations live
+// only in memory, so after a crash every key reads from (and a mover
+// rerun re-copies from) the previous owner again — which is only safe
+// because the mirror kept that copy fresh until the epoch committed.
+func (t *topology) writeTargets(name string, off int64) (primary, mirror int, mirrored bool, key string) {
+	cur := t.lay.ShardOf(name, off)
+	if t.mig == nil {
+		return cur, 0, false, ""
+	}
+	key = t.lay.KeyOf(name, off)
+	prev := t.mig.prev.Owner(key)
+	if prev == cur {
+		return cur, 0, false, ""
+	}
+	return prev, cur, true, key
 }
 
-// Stats returns a snapshot of every shard's I/O counters.
+// Stats returns a snapshot of every shard slot's I/O counters.
 func (s *Store) Stats() []IOStats {
-	out := make([]IOStats, len(s.stats))
-	for i := range s.stats {
-		c := &s.stats[i]
+	t := s.topo.Load()
+	out := make([]IOStats, len(t.stats))
+	for i, c := range t.stats {
 		out[i] = IOStats{
 			Shard:        i,
 			Reads:        c.reads.Load(),
@@ -161,39 +247,88 @@ func (s *Store) Stats() []IOStats {
 }
 
 // Open implements backend.Store. Existence is decided by the home
-// shard; stripe files on other shards are created lazily by writes.
+// shard (falling back to the previous epoch's home mid-migration);
+// stripe files on other shards are created lazily by writes.
 func (s *Store) Open(name string, flag backend.OpenFlag) (backend.File, error) {
 	return s.OpenCtx(nil, name, flag)
 }
 
-// OpenCtx implements backend.StoreCtx: ctx reaches the home shard's
-// open here and every lazy stripe open through the handle's *Ctx
+// OpenCtx implements backend.StoreCtx: ctx reaches the eager open
+// here and every lazy per-shard open through the handle's *Ctx
 // methods later.
 func (s *Store) OpenCtx(ctx context.Context, name string, flag backend.OpenFlag) (backend.File, error) {
-	home := s.homeShard(name)
-	hf, err := backend.OpenCtx(ctx, s.stores[home], name, flag)
+	if layout.IsReserved(name) {
+		if flag == backend.OpenRead {
+			return nil, backend.ErrNotExist
+		}
+		return nil, errReservedName
+	}
+	t := s.topo.Load()
+	// The eager handle goes to the slot a read of byte 0 routes to:
+	// pre-migration that is the home shard; mid-migration the previous
+	// epoch's home keeps answering existence until the mover confirms
+	// the key.
+	slot, _ := t.readTarget(name, 0)
+	hf, err := backend.OpenCtx(ctx, t.stores[slot], name, flag)
 	if err != nil {
 		return nil, err
 	}
 	f := &file{
-		store:   s,
-		name:    name,
-		flag:    flag,
-		homeIdx: home,
-		files:   make(map[int]backend.File, 1),
+		store: s,
+		name:  name,
+		flag:  flag,
+		files: make(map[int]backend.File, 1),
 	}
-	f.files[home] = hf
+	f.files[slot] = hf
+	// Creating a file mid-migration materializes it under BOTH epochs:
+	// the current home defines existence after the epoch commits, the
+	// previous home keeps the old-epoch view complete in case the
+	// migration is abandoned after a crash.
+	if flag == backend.OpenCreate && t.mig != nil {
+		if home := t.homeShard(name); home != slot {
+			if _, err := f.handle(ctx, t, home, true); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+	}
 	return f, nil
 }
 
 // RemoveCtx implements backend.StoreCtx, checking ctx between the
 // per-shard removes.
 func (s *Store) RemoveCtx(ctx context.Context, name string) error {
-	homeStore := s.stores[s.homeShard(name)]
-	if err := backend.RemoveCtx(ctx, homeStore, name); err != nil {
+	if layout.IsReserved(name) {
+		return backend.ErrNotExist
+	}
+	t := s.topo.Load()
+	if t.mig != nil {
+		fl := t.mig.fileLock(name)
+		fl.Lock()
+		defer fl.Unlock()
+		defer t.mig.forgetName(name)
+	}
+	return removeLocked(ctx, t, name)
+}
+
+// removeLocked is RemoveCtx after the migration file lock (if any)
+// has been taken; RemoveCtx is its only caller, the split just keeps
+// the locking at the entry point.
+func removeLocked(ctx context.Context, t *topology, name string) error {
+	homeStore := t.stores[t.homeShard(name)]
+	err := backend.RemoveCtx(ctx, homeStore, name)
+	if errors.Is(err, backend.ErrNotExist) && t.mig != nil {
+		// Mid-migration the file may exist only under the previous
+		// epoch's home; existence is the union of the two.
+		if prevStore := t.stores[t.mig.prev.ShardOf(name, 0)]; prevStore != homeStore {
+			err = backend.RemoveCtx(ctx, prevStore, name)
+			homeStore = prevStore
+		}
+	}
+	if err != nil {
 		return err
 	}
-	for _, u := range s.uniq {
+	for _, u := range t.uniq {
 		if u.store == homeStore {
 			continue
 		}
@@ -224,6 +359,10 @@ func (s *Store) StatCtx(ctx context.Context, name string) (int64, error) {
 // shard holding a stripe of it. The home shard decides existence.
 func (s *Store) Remove(name string) error { return s.RemoveCtx(nil, name) }
 
+// errReservedName reports an attempt to create or rename over the
+// layout record's reserved name.
+var errReservedName = fmt.Errorf("shard: %q is reserved for the layout record", layout.RecordName)
+
 // Rename implements backend.Store. Renaming changes every placement
 // key, so in general the data must move; when the whole file stays on
 // one shard the rename is delegated (and stays atomic), otherwise the
@@ -231,16 +370,31 @@ func (s *Store) Remove(name string) error { return s.RemoveCtx(nil, name) }
 // NOT atomic across shards, which callers of a sharded store must
 // tolerate (none of the engine's consistency paths rename).
 func (s *Store) Rename(oldName, newName string) error {
-	oldHome := s.homeShard(oldName)
-	newHome := s.homeShard(newName)
-	if s.stripe <= 0 && s.stores[oldHome] == s.stores[newHome] {
-		if err := s.stores[oldHome].Rename(oldName, newName); err != nil {
+	if layout.IsReserved(oldName) || layout.IsReserved(newName) {
+		return errReservedName
+	}
+	t := s.topo.Load()
+	if t.mig != nil {
+		// Both names' placement state changes; drop any confirmations
+		// for either name so their keys restart unconfirmed (the old
+		// copies are authoritative again and the mover re-copies). The
+		// rename itself takes NO coarse file locks — its constituent
+		// operations (routed writes, truncate, remove) each serialize
+		// against the mover with the per-key and per-file locks they
+		// already hold, and rename is documented non-atomic anyway.
+		defer t.mig.forgetName(oldName)
+		defer t.mig.forgetName(newName)
+	}
+	oldHome := t.homeShard(oldName)
+	newHome := t.homeShard(newName)
+	if t.mig == nil && t.lay.StripeBytes() <= 0 && t.stores[oldHome] == t.stores[newHome] {
+		if err := t.stores[oldHome].Rename(oldName, newName); err != nil {
 			return err
 		}
 		// The name may still linger on other shards (e.g. after a ring
 		// change); drop stale copies so List stays clean.
-		for _, u := range s.uniq {
-			if u.store == s.stores[oldHome] {
+		for _, u := range t.uniq {
+			if u.store == t.stores[oldHome] {
 				continue
 			}
 			_ = u.store.Remove(oldName)
@@ -258,17 +412,23 @@ func (s *Store) Rename(oldName, newName string) error {
 
 // List implements backend.Store: the union of the shards' namespaces,
 // filtered to names whose home shard holds them (a stripe file whose
-// home copy is gone is garbage, not a file).
+// home copy is gone is garbage, not a file; mid-migration the
+// previous epoch's home also vouches for existence) and with the
+// layout record hidden.
 func (s *Store) List() ([]string, error) {
+	t := s.topo.Load()
 	seen := make(map[string]bool)
-	perStore := make(map[backend.Store]map[string]bool, len(s.uniq))
-	for _, u := range s.uniq {
+	perStore := make(map[backend.Store]map[string]bool, len(t.uniq))
+	for _, u := range t.uniq {
 		names, err := u.store.List()
 		if err != nil {
 			return nil, err
 		}
 		set := make(map[string]bool, len(names))
 		for _, n := range names {
+			if layout.IsReserved(n) {
+				continue
+			}
 			set[n] = true
 			seen[n] = true
 		}
@@ -276,7 +436,11 @@ func (s *Store) List() ([]string, error) {
 	}
 	out := make([]string, 0, len(seen))
 	for n := range seen {
-		if perStore[s.stores[s.homeShard(n)]][n] {
+		live := perStore[t.stores[t.homeShard(n)]][n]
+		if !live && t.mig != nil {
+			live = perStore[t.stores[t.mig.prev.ShardOf(n, 0)]][n]
+		}
+		if live {
 			out = append(out, n)
 		}
 	}
@@ -289,12 +453,22 @@ func (s *Store) List() ([]string, error) {
 // written range, so the shard owning the final stripe always reaches
 // the true size.
 func (s *Store) Stat(name string) (int64, error) {
-	homeStore := s.stores[s.homeShard(name)]
+	if layout.IsReserved(name) {
+		return 0, backend.ErrNotExist
+	}
+	t := s.topo.Load()
+	homeStore := t.stores[t.homeShard(name)]
 	size, err := homeStore.Stat(name)
+	if errors.Is(err, backend.ErrNotExist) && t.mig != nil {
+		if prevStore := t.stores[t.mig.prev.ShardOf(name, 0)]; prevStore != homeStore {
+			size, err = prevStore.Stat(name)
+			homeStore = prevStore
+		}
+	}
 	if err != nil {
 		return 0, err
 	}
-	for _, u := range s.uniq {
+	for _, u := range t.uniq {
 		if u.store == homeStore {
 			continue
 		}
@@ -312,16 +486,20 @@ func (s *Store) Stat(name string) (int64, error) {
 	return size, nil
 }
 
-func (s *Store) countRead(shard, n int) {
-	c := &s.stats[shard]
+func (t *topology) countRead(shard, n int) {
+	c := t.stats[shard]
 	c.reads.Add(1)
 	c.bytesRead.Add(int64(n))
 }
 
-func (s *Store) countWrite(shard, n int) {
-	c := &s.stats[shard]
+func (t *topology) countWrite(shard, n int) {
+	c := t.stats[shard]
 	c.writes.Add(1)
 	c.bytesWritten.Add(int64(n))
 }
 
-func (s *Store) countSync(shard int) { s.stats[shard].syncs.Add(1) }
+func (t *topology) countSync(shard int) {
+	if shard < len(t.stats) {
+		t.stats[shard].syncs.Add(1)
+	}
+}

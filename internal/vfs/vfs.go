@@ -47,6 +47,11 @@ type File interface {
 	WriteAtCtx(ctx context.Context, p []byte, off int64) (int, error)
 	// Truncate sets the logical file size.
 	Truncate(size int64) error
+	// TruncateCtx is Truncate honoring ctx between the block and
+	// segment operations a resize performs (a sub-block cut re-commits
+	// the boundary segment); a canceled cut is crash-equivalent and
+	// must be retried — or recovered — before the size is trustworthy.
+	TruncateCtx(ctx context.Context, size int64) error
 	// Size returns the logical file size (excluding any encryption
 	// metadata the implementation embeds downstream).
 	Size() (int64, error)
@@ -59,6 +64,11 @@ type File interface {
 	// Close flushes and releases the handle. Every operation on a
 	// closed handle returns ErrClosed.
 	Close() error
+	// CloseCtx is Close honoring ctx. It ALWAYS releases the handle;
+	// under a canceled context it skips the flush of still-staged data
+	// (crash-equivalent: the on-disk state remains recoverable) instead
+	// of performing un-cancellable backend work.
+	CloseCtx(ctx context.Context) error
 }
 
 // FS is a flat-namespace file system. The *Ctx variants thread the

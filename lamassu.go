@@ -98,6 +98,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -260,8 +261,22 @@ type Options struct {
 	Shards int
 	// ShardVnodes is the virtual-node count per shard on the placement
 	// ring (0 selects the default, 64). It must be the same every time
-	// a sharded store is mounted; see RebalanceShards to migrate.
+	// a sharded store is mounted; see RebalanceShards (offline) or
+	// Mount.StartRebalance (online) to migrate.
 	ShardVnodes int
+	// LayoutEpoch, when nonzero, asserts the sharded deployment's
+	// placement epoch at mount time: the mount fails unless the layout
+	// record persisted on the shards (see Mount.StartRebalance) settles
+	// at exactly this epoch — a guard against mounting a rebalanced
+	// deployment with a stale store list. 0 accepts any epoch.
+	LayoutEpoch uint64
+	// DisableLayoutAdoption skips reading the persisted layout record
+	// when mounting a sharded store. The mount then serves whatever
+	// topology the options describe, epoch checks and interrupted-
+	// migration resume included — an escape hatch for byte-exact
+	// store inspection; do not use it on deployments that rebalance
+	// online.
+	DisableLayoutAdoption bool
 }
 
 // Errors surfaced by the public API. ErrClosed, ErrCanceled and the
@@ -281,15 +296,43 @@ type Mount struct {
 	fs     *core.FS
 	rec    *metrics.Recorder
 	closed atomic.Bool
+
+	// Sharded-mount state for online rebalance (nil fields otherwise):
+	// shard is the mounted sharded store, shardUser the user-visible
+	// store handles per slot (pre name-encryption wrapping), wrapStore
+	// the wrapper applied to stores joining the deployment.
+	shard     *shard.Store
+	shardUser []backend.Store
+	wrapStore func(backend.Store) backend.Store
+
+	rebMu     sync.Mutex
+	reb       *Rebalance
+	rebCancel context.CancelFunc
+	// wrapped memoizes wrapStore per user handle (guarded by rebMu):
+	// resuming a rebalance must map the same user store to the SAME
+	// internal object, because the shard layer compares stores by
+	// identity.
+	wrapped map[backend.Store]backend.Store
 }
 
 // Close marks the mount closed: every subsequent operation on it
 // returns an error wrapping ErrClosed. Files opened earlier keep
 // working until individually closed, and the backing store — owned by
-// the caller — is not touched. Closing twice returns ErrClosed.
+// the caller — is not touched. A rebalance mover still running is
+// CANCELED and waited for (it stops at its next copy boundary,
+// leaving the migration resumable), so after Close returns no
+// background goroutine of this mount touches the stores. Closing
+// twice returns ErrClosed.
 func (m *Mount) Close() error {
 	if m.closed.Swap(true) {
 		return ErrClosed
+	}
+	m.rebMu.Lock()
+	reb, cancel := m.reb, m.rebCancel
+	m.rebMu.Unlock()
+	if reb != nil && cancel != nil {
+		cancel()
+		<-reb.done
 	}
 	return nil
 }
@@ -331,9 +374,14 @@ func NewMount(store Storage, keys KeyPair, opts *Options) (*Mount, error) {
 	if o.Integrity == IntegrityMetaOnly {
 		mode = core.IntegrityMetaOnly
 	}
+	origStore := store
+	var userStores []backend.Store
+	wrapNew := func(st backend.Store) backend.Store { return st }
 	if o.EncryptNames {
 		nameKey := cryptoutil.DeriveSubKey(keys.Outer, "lamassu-name-encryption")
+		wrapNew = func(st backend.Store) backend.Store { return namecrypt.New(st, nameKey) }
 		if ss, ok := store.(*shard.Store); ok {
+			userStores = ss.Shards()
 			views, err := wrapShardNames(nameKey, ss)
 			if err != nil {
 				return nil, err
@@ -342,6 +390,8 @@ func NewMount(store Storage, keys KeyPair, opts *Options) (*Mount, error) {
 		} else {
 			store = namecrypt.New(store, nameKey)
 		}
+	} else if ss, ok := store.(*shard.Store); ok {
+		userStores = ss.Shards()
 	}
 	if o.Shards < 0 {
 		return nil, errors.New("lamassu: Shards must be >= 0")
@@ -351,8 +401,10 @@ func NewMount(store Storage, keys KeyPair, opts *Options) (*Mount, error) {
 			return nil, errors.New("lamassu: store is already sharded; use Options.Shards only with a plain store")
 		}
 		stores := make([]backend.Store, o.Shards)
+		userStores = make([]backend.Store, o.Shards)
 		for i := range stores {
 			stores[i] = store
+			userStores[i] = origStore
 		}
 		sharded, err := shard.New(stores, shard.Config{
 			Vnodes:      o.ShardVnodes,
@@ -366,10 +418,21 @@ func NewMount(store Storage, keys KeyPair, opts *Options) (*Mount, error) {
 	// The crash-consistency model (§2.4) assumes whole-block write
 	// atomicity, which striping preserves only when no block straddles
 	// two shards.
-	if ss, ok := store.(*shard.Store); ok {
-		if sb := ss.StripeBytes(); sb > 0 && sb%int64(geo.BlockSize) != 0 {
+	shardStore, _ := store.(*shard.Store)
+	if shardStore != nil {
+		if sb := shardStore.StripeBytes(); sb > 0 && sb%int64(geo.BlockSize) != 0 {
 			return nil, fmt.Errorf("lamassu: shard stripe %d is not a multiple of the block size %d", sb, geo.BlockSize)
 		}
+		// Pick up the persisted layout epoch (and any interrupted
+		// migration: the mount then reopens in dual-ring mode, every
+		// byte readable, resumable via StartRebalance).
+		if !o.DisableLayoutAdoption {
+			if err := shardStore.AdoptLayout(nil, o.LayoutEpoch); err != nil {
+				return nil, err
+			}
+		}
+	} else if o.LayoutEpoch != 0 {
+		return nil, errors.New("lamassu: LayoutEpoch requires a sharded store")
 	}
 	var deriver func(cryptoutil.Hash) (cryptoutil.Key, error)
 	if o.KeyDeriver != nil {
@@ -391,7 +454,13 @@ func NewMount(store Storage, keys KeyPair, opts *Options) (*Mount, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Mount{fs: fs, rec: rec}, nil
+	return &Mount{
+		fs:        fs,
+		rec:       rec,
+		shard:     shardStore,
+		shardUser: userStores,
+		wrapStore: wrapNew,
+	}, nil
 }
 
 // MountFS is shorthand for NewMount.
@@ -854,6 +923,15 @@ type ShardRebalanceStats = shard.RebalanceStats
 // without them computes placement from the encrypted names and
 // strands files. Plain deployments pass no keys.
 func RebalanceShards(from, to Storage, encryptNamesKeys ...KeyPair) (ShardRebalanceStats, error) {
+	return RebalanceShardsCtx(nil, from, to, encryptNamesKeys...)
+}
+
+// RebalanceShardsCtx is RebalanceShards honoring ctx between key
+// copies: a cancellation returns ErrCanceled with the pass cut at a
+// copy boundary — the crash case the idempotency contract already
+// covers — and rerunning with a live context converges without
+// re-copying what already landed on stores it has since left.
+func RebalanceShardsCtx(ctx context.Context, from, to Storage, encryptNamesKeys ...KeyPair) (ShardRebalanceStats, error) {
 	fs, ok := from.(*shard.Store)
 	if !ok {
 		return ShardRebalanceStats{}, errors.New("lamassu: RebalanceShards: from is not a sharded storage")
@@ -874,7 +952,233 @@ func RebalanceShards(from, to Storage, encryptNamesKeys ...KeyPair) (ShardRebala
 	default:
 		return ShardRebalanceStats{}, errors.New("lamassu: RebalanceShards: at most one key pair")
 	}
-	return shard.Rebalance(fs, ts)
+	return shard.RebalanceCtx(ctx, fs, ts)
+}
+
+// Rebalance is a handle on a running (or finished) online rebalance
+// started with Mount.StartRebalance.
+type Rebalance struct {
+	done  chan struct{}
+	stats ShardRebalanceStats
+	err   error
+}
+
+// Done returns a channel closed when the mover finishes (successfully
+// or not).
+func (r *Rebalance) Done() <-chan struct{} { return r.done }
+
+// Wait blocks until the mover finishes and returns its error: nil on
+// a committed epoch bump, ErrCanceled if the StartRebalance context
+// was canceled (the migration stays active and resumable), or the
+// first backend error otherwise.
+func (r *Rebalance) Wait() error {
+	<-r.done
+	return r.err
+}
+
+// Err returns the mover's error, or nil while it is still running.
+func (r *Rebalance) Err() error {
+	select {
+	case <-r.done:
+		return r.err
+	default:
+		return nil
+	}
+}
+
+// Stats returns the mover's copy statistics; complete only once Done
+// is closed.
+func (r *Rebalance) Stats() ShardRebalanceStats {
+	select {
+	case <-r.done:
+		return r.stats
+	default:
+		return ShardRebalanceStats{}
+	}
+}
+
+// RebalanceStatus is a snapshot of a mount's placement epoch and — if
+// one is active — its online rebalance (see Mount.RebalanceStatus).
+type RebalanceStatus struct {
+	// Active reports a migration in progress (dual-ring routing on);
+	// MoverRunning whether its background mover is currently copying
+	// (false between a crash-interrupted migration's reopen and the
+	// StartRebalance call that resumes it).
+	Active, MoverRunning bool
+	// Epoch is the settled placement epoch being served; TargetEpoch
+	// the epoch being migrated to (0 unless Active).
+	Epoch, TargetEpoch uint64
+	// TotalKeys is the number of placement keys (files, or stripes of
+	// striped files) the migration must relocate, discovered file by
+	// file as the mover walks; MovedKeys how many are confirmed so
+	// far; MovedBytes the payload the mover has copied.
+	TotalKeys, MovedKeys, MovedBytes int64
+	// FallbackReads counts dual-ring reads served by the previous
+	// epoch's owner; MirroredWrites counts writes dual-written to it.
+	FallbackReads, MirroredWrites int64
+}
+
+// RebalanceStatus reports the mount's placement epoch and migration
+// progress; the zero value for unsharded mounts.
+func (m *Mount) RebalanceStatus() RebalanceStatus {
+	if m.shard == nil {
+		return RebalanceStatus{}
+	}
+	st := m.shard.MigrationStatus()
+	return RebalanceStatus{
+		Active:         st.Active,
+		MoverRunning:   st.MoverRunning,
+		Epoch:          st.Epoch,
+		TargetEpoch:    st.TargetEpoch,
+		TotalKeys:      st.TotalKeys,
+		MovedKeys:      st.MovedKeys,
+		MovedBytes:     st.MovedBytes,
+		FallbackReads:  st.FallbackReads,
+		MirroredWrites: st.MirroredWrites,
+	}
+}
+
+// StartRebalance migrates a live sharded mount to a new store
+// topology WITHOUT unmounting — the online counterpart of
+// RebalanceShards. newStores is the complete new store list: grow by
+// passing the current stores plus the new ones appended, shrink by
+// passing a prefix of the current list. The mount keeps serving reads
+// and writes throughout: a new placement epoch opens immediately
+// (persisted on the shards), writes route by the new ring and mirror
+// to the old owner until each key is confirmed, reads are served by
+// the new owner once the key is confirmed and fall back to the old
+// owner until then, and a background mover copies only the keys whose
+// owner changed before atomically committing the epoch bump and
+// retiring the old ring.
+//
+// Cancelling ctx stops the mover between key copies (Wait returns
+// ErrCanceled) with the mount still fully consistent in dual-ring
+// mode; call StartRebalance again — with the same newStores, or with
+// none after reopening an interrupted deployment — to resume, and the
+// rerun converges. A crash at ANY point is equally safe: the old
+// epoch's copies stay complete until the commit, so the deployment
+// reopens on either epoch.
+//
+// Returns the running migration's handle; Mount.RebalanceStatus
+// reports progress. Passing no stores resumes a migration adopted at
+// mount time and fails otherwise.
+func (m *Mount) StartRebalance(ctx context.Context, newStores ...Storage) (*Rebalance, error) {
+	if err := m.guard("rebalance", ""); err != nil {
+		return nil, err
+	}
+	if m.shard == nil {
+		return nil, errors.New("lamassu: StartRebalance requires a sharded mount (NewShardedStorage or Options.Shards)")
+	}
+	m.rebMu.Lock()
+	defer m.rebMu.Unlock()
+	if m.reb != nil {
+		select {
+		case <-m.reb.done:
+		default:
+			return nil, errors.New("lamassu: a rebalance is already running on this mount")
+		}
+	}
+	internal, err := m.mapRebalanceStores(newStores)
+	if err != nil {
+		return nil, err
+	}
+	hooks := shard.MigrateHooks{
+		Recorder:   m.rec,
+		Invalidate: m.fs.InvalidateFile,
+	}
+	if err := m.shard.BeginMigration(ctx, internal, hooks); err != nil {
+		return nil, err
+	}
+	// The union of both epochs absorbs commit traffic while the
+	// migration runs; recarve the per-shard worker budgets over it.
+	m.fs.RefreshShardBudgets()
+	r := &Rebalance{done: make(chan struct{})}
+	// Close cancels through this derived context so no mover outlives
+	// the mount.
+	moverCtx, cancel := context.WithCancel(orDefault(ctx))
+	m.reb, m.rebCancel = r, cancel
+	go func() {
+		defer cancel()
+		stats, err := m.shard.RunMover(moverCtx)
+		if err == nil {
+			// Epoch committed: retired shards give their budget back.
+			m.fs.RefreshShardBudgets()
+		}
+		r.stats = ShardRebalanceStats(stats)
+		r.err = err
+		close(r.done)
+	}()
+	return r, nil
+}
+
+// orDefault maps the package's nil-context convention onto the std
+// context tree so a derived cancel works.
+func orDefault(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
+
+// mapRebalanceStores translates the caller's store handles into the
+// mount's internal per-slot stores: handles the mount already serves
+// keep their (possibly name-encryption-wrapped) internal identity,
+// genuinely new stores are wrapped the same way the mount's were.
+func (m *Mount) mapRebalanceStores(newStores []Storage) ([]backend.Store, error) {
+	cur := m.shard.Shards()
+	if len(newStores) == 0 {
+		if !m.shard.Migrating() {
+			return nil, errors.New("lamassu: StartRebalance with no stores resumes an interrupted migration; none is active")
+		}
+		return cur, nil
+	}
+	wrap := func(st backend.Store) backend.Store {
+		if m.wrapped == nil {
+			m.wrapped = make(map[backend.Store]backend.Store)
+		}
+		w, ok := m.wrapped[st]
+		if !ok {
+			w = m.wrapStore(st)
+			m.wrapped[st] = w
+		}
+		return w
+	}
+	// A user handle the mount ALREADY serves must map to the same
+	// internal store object in every slot: the shard layer's move and
+	// reap decisions compare stores by identity, and a second wrapper
+	// around one physical store would read as a distinct shard whose
+	// "stale" copies are removable. Carve-mode grows (the same store
+	// handle repeated into new slots) depend on this.
+	existing := func(st backend.Store) (backend.Store, bool) {
+		for j, u := range m.shardUser {
+			if u == st && j < len(cur) {
+				return cur[j], true
+			}
+		}
+		return nil, false
+	}
+	internal := make([]backend.Store, len(newStores))
+	for i, st := range newStores {
+		switch {
+		case i < len(m.shardUser) && st == m.shardUser[i]:
+			if i < len(cur) {
+				internal[i] = cur[i]
+			} else {
+				// Resuming a shrink adopted at mount time: the slot sits
+				// beyond the target list; BeginMigration revalidates.
+				internal[i] = wrap(st)
+			}
+		case i < len(m.shardUser):
+			return nil, fmt.Errorf("lamassu: StartRebalance store %d differs from the mounted deployment; grow appends stores, shrink removes a suffix", i)
+		default:
+			if in, ok := existing(st); ok {
+				internal[i] = in
+			} else {
+				internal[i] = wrap(st)
+			}
+		}
+	}
+	return internal, nil
 }
 
 // wrapShardNames rebuilds sharded views with name encryption pushed
