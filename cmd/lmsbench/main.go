@@ -10,16 +10,20 @@
 //	lmsbench -exp table1 -scale 16   # Table 1 with images scaled 1/16
 //
 // Experiments: fig6, table1, fig7, fig8, fig9, fig10, fig11,
-// unaligned, scaling, shardscale, coalesce, all. The scaling,
-// shardscale and coalesce experiments are this repository's extensions
-// beyond the paper: scaling sweeps the concurrent engine's commit
-// parallelism and block cache; shardscale sweeps the consistent-hash
-// storage sharding from 1 to 8 backends and reports the per-shard
-// throughput and queue-depth numbers from Mount.ShardStats; coalesce
-// A/Bs the I/O coalescing layer against the paper's per-block engine
-// and FAILS (exit 1) if coalescing does not strictly reduce the
-// backend I/O count on the sequential workload — CI runs it as a
-// regression gate.
+// unaligned, scaling, shardscale, coalesce, rebalance, faults, all.
+// The scaling, shardscale, coalesce, rebalance and faults experiments
+// are this repository's extensions beyond the paper: scaling sweeps
+// the concurrent engine's commit parallelism and block cache;
+// shardscale sweeps the consistent-hash storage sharding from 1 to 8
+// backends and reports the per-shard throughput and queue-depth
+// numbers from Mount.ShardStats; coalesce A/Bs the I/O coalescing
+// layer against the paper's per-block engine and FAILS (exit 1) if
+// coalescing does not strictly reduce the backend I/O count on the
+// sequential workload; faults A/Bs a transiently failing backend with
+// and without WithRetry and FAILS unless the retry-enabled run
+// completes fault-free with byte-identical readback while the
+// retry-disabled control surfaces a retryable error — CI runs
+// coalesce and faults as regression gates.
 //
 // With -json PATH, the extension experiments additionally emit their
 // rows as machine-readable JSON (experiment, configuration, MB/s,
@@ -31,6 +35,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -48,6 +53,7 @@ import (
 	"lamassu"
 	"lamassu/internal/backend"
 	"lamassu/internal/experiments"
+	"lamassu/internal/faultfs"
 )
 
 // benchResult is one machine-readable measurement row for -json.
@@ -64,7 +70,7 @@ type benchResult struct {
 var results []benchResult
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig6|table1|fig7|fig8|fig9|fig10|fig11|unaligned|scaling|shardscale|coalesce|rebalance|all")
+	exp := flag.String("exp", "all", "experiment to run: fig6|table1|fig7|fig8|fig9|fig10|fig11|unaligned|scaling|shardscale|coalesce|rebalance|faults|all")
 	mb := flag.Int64("mb", 32, "workload file size in MiB (paper: 4096 for fig6/fig11, 256 for fig7-fig10)")
 	scale := flag.Int64("scale", 16, "Table 1 VM image size divisor (1 = paper sizes)")
 	jsonPath := flag.String("json", "", "write machine-readable results (JSON) to PATH")
@@ -179,9 +185,10 @@ func main() {
 	run("shardscale", func() (string, error) { return shardScaleTable(ctx, fileBytes) })
 	run("coalesce", func() (string, error) { return coalesceTable(ctx, fileBytes) })
 	run("rebalance", func() (string, error) { return rebalanceTable(ctx, fileBytes) })
+	run("faults", func() (string, error) { return faultsTable(ctx, fileBytes) })
 
 	if *exp != "all" && !validExp(*exp) {
-		fmt.Fprintf(os.Stderr, "lmsbench: unknown experiment %q (want fig6|table1|fig7|fig8|fig9|fig10|fig11|unaligned|scaling|shardscale|coalesce|rebalance|all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "lmsbench: unknown experiment %q (want fig6|table1|fig7|fig8|fig9|fig10|fig11|unaligned|scaling|shardscale|coalesce|rebalance|faults|all)\n", *exp)
 		os.Exit(2)
 	}
 
@@ -193,7 +200,7 @@ func main() {
 }
 
 func validExp(e string) bool {
-	for _, v := range strings.Fields("fig6 table1 fig7 fig8 fig9 fig10 fig11 unaligned scaling shardscale coalesce rebalance all") {
+	for _, v := range strings.Fields("fig6 table1 fig7 fig8 fig9 fig10 fig11 unaligned scaling shardscale coalesce rebalance faults all") {
 		if e == v {
 			return true
 		}
@@ -515,6 +522,120 @@ func rebalanceTable(ctx context.Context, fileBytes int64) (string, error) {
 	if st := onMount.RebalanceStatus(); st.Epoch != 1 || st.Active {
 		return b.String(), fmt.Errorf("online rebalance did not commit epoch 1 (status %+v)", st)
 	}
+	return b.String(), nil
+}
+
+// faultsTable A/Bs a flaky backend (faultfs transient-fault injection
+// over a RAM store) with and without the WithRetry layer. The
+// retry-enabled run must complete the whole write+read workload with
+// ZERO caller-visible errors and byte-identical readback while the
+// injector fires a transient-fault burst before every file; the
+// retry-disabled control must FAIL on the very first fault and the
+// surfaced error must classify retryable (lamassu.IsRetryable). Either
+// way the comparison is a regression gate: an error is returned — and
+// lmsbench exits non-zero — if the retry run sees any error, reads
+// back different bytes, injects no faults, records no retry attempts,
+// or the control unexpectedly succeeds.
+func faultsTable(ctx context.Context, fileBytes int64) (string, error) {
+	keys, err := lamassu.GenerateKeys()
+	if err != nil {
+		return "", err
+	}
+	const nFiles = 8
+	perFile := fileBytes / nFiles
+	files := make([][]byte, nFiles)
+	rng := rand.New(rand.NewSource(5))
+	for i := range files {
+		files[i] = make([]byte, perFile)
+		rng.Read(files[i])
+	}
+	policy := lamassu.RetryPolicy{MaxAttempts: 6, BaseDelay: 100 * time.Microsecond}
+
+	// Retry-enabled run: a burst of transient faults (write, read,
+	// open, sync) is armed before every file; bursts are shorter than
+	// the retry budget, so the mount must absorb every one.
+	fs := faultfs.New(backend.NewMemStore())
+	m, err := lamassu.New(fs, keys, lamassu.WithRetry(policy), lamassu.WithLatencyCollection())
+	if err != nil {
+		return "", err
+	}
+	// Bursts are armed per phase with the ops that phase actually
+	// issues — pending faults for an op the workload never touches
+	// would pile up across files into a run longer than the budget.
+	start := time.Now()
+	for i, data := range files {
+		fs.ArmTransient(faultfs.OpWrite, 3)
+		fs.ArmTransient(faultfs.OpOpen, 2)
+		fs.ArmTransient(faultfs.OpSync, 1)
+		if err := m.WriteFileCtx(ctx, fmt.Sprintf("f%d", i), data); err != nil {
+			return "", fmt.Errorf("retry-enabled write f%d failed: %w", i, err)
+		}
+		fs.DisarmTransient() // drop any unconsumed remainder of the burst
+	}
+	writeElapsed := time.Since(start).Seconds()
+	start = time.Now()
+	for i, data := range files {
+		fs.ArmTransient(faultfs.OpRead, 2)
+		fs.ArmTransient(faultfs.OpOpen, 2)
+		got, err := m.ReadFileCtx(ctx, fmt.Sprintf("f%d", i))
+		fs.DisarmTransient()
+		if err != nil {
+			return "", fmt.Errorf("retry-enabled read f%d failed: %w", i, err)
+		}
+		if !bytes.Equal(got, data) {
+			return "", fmt.Errorf("retry-enabled readback of f%d differs from the written bytes", i)
+		}
+	}
+	readElapsed := time.Since(start).Seconds()
+	fs.DisarmTransient()
+	injected := fs.TransientInjected()
+	st := m.EngineStats()
+	if injected == 0 {
+		return "", fmt.Errorf("fault injector fired zero faults; the A/B measured nothing")
+	}
+	if st.RetryAttempts == 0 {
+		return "", fmt.Errorf("retry-enabled run recorded no retry attempts despite %d injected faults", injected)
+	}
+	if st.RetriesExhausted != 0 {
+		return "", fmt.Errorf("retry-enabled run exhausted %d retry loops; bursts must fit the budget", st.RetriesExhausted)
+	}
+	writeMBps := float64(fileBytes) / (1 << 20) / writeElapsed
+	readMBps := float64(fileBytes) / (1 << 20) / readElapsed
+
+	// Retry-disabled control: the identical first burst must surface
+	// as a caller-visible, retryable-classified error.
+	cfs := faultfs.New(backend.NewMemStore())
+	mc, err := lamassu.New(cfs, keys)
+	if err != nil {
+		return "", err
+	}
+	cfs.ArmTransient(faultfs.OpWrite, 3)
+	cerr := mc.WriteFileCtx(ctx, "f0", files[0])
+	if cerr == nil {
+		return "", fmt.Errorf("retry-disabled control absorbed an injected fault; injection is broken")
+	}
+	if lamassu.IsCanceled(cerr) || ctx.Err() != nil {
+		return "", cerr // a real interrupt, not the injected fault
+	}
+	if !lamassu.IsRetryable(cerr) {
+		return "", fmt.Errorf("control error is not classified retryable: %v", cerr)
+	}
+
+	results = append(results,
+		benchResult{Experiment: "faults", Config: fmt.Sprintf("retry=on/write faults=%d retries=%d", injected, st.RetryAttempts), MBps: writeMBps},
+		benchResult{Experiment: "faults", Config: "retry=on/read", MBps: readMBps},
+		benchResult{Experiment: "faults", Config: "retry=off/first-fault-fails"},
+	)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Flaky-store A/B (faultfs transient injection, %d x %d MiB files, RAM store)\n",
+		nFiles, perFile>>20)
+	fmt.Fprintf(&b, "%-26s %10s %14s %14s\n", "configuration", "MB/s", "injected", "retries")
+	fmt.Fprintf(&b, "%-26s %10.1f %14d %14d\n", "retry=on  seq-write", writeMBps, injected, st.RetryAttempts)
+	fmt.Fprintf(&b, "%-26s %10.1f %14s %14s\n", "retry=on  seq-read", readMBps, "(above)", "(above)")
+	fmt.Fprintf(&b, "%-26s %10s %14d %14s\n", "retry=off seq-write", "FAILED", int64(3), "n/a")
+	fmt.Fprintf(&b, "retry=on completed %d files with zero caller-visible errors and byte-identical readback\n", nFiles)
+	fmt.Fprintf(&b, "retry=off surfaced on the first fault: %v\n", cerr)
 	return b.String(), nil
 }
 

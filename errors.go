@@ -31,6 +31,11 @@ var (
 	// and leaves the file recoverable (see the package comment's
 	// cancellation section).
 	ErrCanceled = core.ErrCanceled
+	// ErrRetryable marks a transient backend failure: re-issuing the
+	// identical operation may succeed, and a mount configured with
+	// WithRetry does so automatically. Errors not carrying the mark
+	// (and not matching a transient OS errno) are treated as fatal.
+	ErrRetryable = backend.ErrRetryable
 )
 
 // PathError records an error from a Mount operation together with the
@@ -65,6 +70,16 @@ func IsCanceled(err error) bool { return err != nil && errors.Is(err, ErrCancele
 // IsClosed reports whether err indicates use of a closed File or
 // Mount.
 func IsClosed(err error) bool { return err != nil && errors.Is(err, ErrClosed) }
+
+// IsRetryable reports whether err classifies as a transient backend
+// failure — one a bounded retry of the identical operation may fix.
+// Cancellation, missing files, closed handles and integrity failures
+// are never retryable; unrecognized errors default to fatal. An error
+// surfacing from a WithRetry mount can still be retryable: it means
+// the retry budget was exhausted, and the whole operation may be
+// re-invoked after the outage clears (idempotently, by the same
+// argument that makes crash-cut recovery safe).
+func IsRetryable(err error) bool { return backend.IsRetryable(err) }
 
 // canceled normalizes a context check into the public error shape: it
 // returns nil for a nil or live ctx.

@@ -84,7 +84,15 @@ var errEOF = io.EOF
 // ReaderAt implementations.
 func ReadFull(f io.ReaderAt, p []byte, off int64) error {
 	n, err := f.ReadAt(p, off)
-	if n == len(p) {
+	return fullReadErr(n, len(p), err)
+}
+
+// fullReadErr is the single short-read rule shared by ReadFull and
+// ReadFullCtx: a read that delivered every requested byte succeeded
+// regardless of the trailing error, and a short read without an error
+// is io.ErrUnexpectedEOF.
+func fullReadErr(n, want int, err error) error {
+	if n == want {
 		return nil
 	}
 	if err == nil {

@@ -24,7 +24,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
 )
 
 // ErrCanceled reports an operation abandoned because its context was
@@ -159,19 +158,17 @@ func SyncCtx(ctx context.Context, f File) error {
 }
 
 // ReadFullCtx is ReadFull with a cancellation check before the read.
+// Both paths share ReadFull's short-read rule (fullReadErr), so a
+// store that returns partial progress with an error — a RetryStore
+// surfacing an exhausted retryable failure mid-read, say — is judged
+// identically with and without a context.
 func ReadFullCtx(ctx context.Context, f File, p []byte, off int64) error {
 	if err := CtxErr(ctx); err != nil {
 		return err
 	}
 	if cf, ok := f.(FileCtx); ok {
 		n, err := cf.ReadAtCtx(ctx, p, off)
-		if n == len(p) {
-			return nil
-		}
-		if err == nil {
-			err = io.ErrUnexpectedEOF
-		}
-		return err
+		return fullReadErr(n, len(p), err)
 	}
 	return ReadFull(f, p, off)
 }

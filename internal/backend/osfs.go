@@ -21,15 +21,29 @@ import (
 // subdirectories beneath the root. Escaping the root (via "..", an
 // absolute path, or an empty element) is rejected.
 type OSStore struct {
-	root string
+	root    string
+	dirSync bool
 
 	// mu serializes namespace operations (create/remove/rename); data
 	// I/O goes straight to the OS.
-	mu sync.Mutex
+	mu       sync.Mutex
+	dirSyncs int64 // directory fsyncs issued (under mu)
+}
+
+// OSOption configures an OSStore at construction.
+type OSOption func(*OSStore)
+
+// WithoutDirSync disables the parent-directory fsync after namespace
+// mutations (create, remove, rename). The default — syncing — is what
+// makes a returned Rename power-loss durable, which the layout
+// record's staging-rename commit depends on; disable it only for
+// throwaway stores where metadata durability does not matter.
+func WithoutDirSync() OSOption {
+	return func(s *OSStore) { s.dirSync = false }
 }
 
 // NewOSStore creates (if needed) and opens a directory-backed store.
-func NewOSStore(root string) (*OSStore, error) {
+func NewOSStore(root string, opts ...OSOption) (*OSStore, error) {
 	if err := os.MkdirAll(root, 0o755); err != nil {
 		return nil, fmt.Errorf("osfs: creating root: %w", err)
 	}
@@ -37,7 +51,69 @@ func NewOSStore(root string) (*OSStore, error) {
 	if err != nil {
 		return nil, fmt.Errorf("osfs: resolving root: %w", err)
 	}
-	return &OSStore{root: abs}, nil
+	s := &OSStore{root: abs, dirSync: true}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s, nil
+}
+
+// DirSyncs returns the number of directory fsyncs issued since
+// creation (0 under WithoutDirSync); tests use it to pin the
+// durability behavior.
+func (s *OSStore) DirSyncs() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dirSyncs
+}
+
+// syncDir fsyncs one directory so a preceding entry mutation in it
+// (create, unlink, rename) survives power loss. Callers hold s.mu.
+func (s *OSStore) syncDir(dir string) error {
+	if !s.dirSync {
+		return nil
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("osfs: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("osfs: fsync dir %q: %w", dir, err)
+	}
+	s.dirSyncs++
+	return nil
+}
+
+// mkdirAllSynced creates dir and any missing ancestors, then fsyncs
+// the parent of each directory it created so the new entries are
+// durable. Callers hold s.mu.
+func (s *OSStore) mkdirAllSynced(dir string) error {
+	var created []string
+	if s.dirSync {
+		for p := dir; ; {
+			if _, err := os.Stat(p); err == nil {
+				break
+			} else if !errors.Is(err, os.ErrNotExist) {
+				return fmt.Errorf("osfs: creating parent: %w", err)
+			}
+			created = append(created, p)
+			parent := filepath.Dir(p)
+			if parent == p {
+				break
+			}
+			p = parent
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("osfs: creating parent: %w", err)
+	}
+	for i := len(created) - 1; i >= 0; i-- {
+		if err := s.syncDir(filepath.Dir(created[i])); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Root returns the absolute backing directory.
@@ -73,9 +149,13 @@ func (s *OSStore) Open(name string, flag OpenFlag) (File, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	creating := false
 	if flag == OpenCreate {
-		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
-			return nil, fmt.Errorf("osfs: creating parent: %w", err)
+		if err := s.mkdirAllSynced(filepath.Dir(p)); err != nil {
+			return nil, err
+		}
+		if _, err := os.Lstat(p); errors.Is(err, os.ErrNotExist) {
+			creating = true
 		}
 	}
 	f, err := os.OpenFile(p, osFlag, 0o644)
@@ -84,6 +164,15 @@ func (s *OSStore) Open(name string, flag OpenFlag) (File, error) {
 			return nil, fmt.Errorf("open %q: %w", name, ErrNotExist)
 		}
 		return nil, fmt.Errorf("osfs: open %q: %w", name, err)
+	}
+	if creating {
+		// The new directory entry must survive power loss: an empty
+		// segment that vanishes after a crash would desynchronize the
+		// commit protocol's view of the namespace.
+		if err := s.syncDir(filepath.Dir(p)); err != nil {
+			f.Close()
+			return nil, err
+		}
 	}
 	return &osFile{f: f, readOnly: flag == OpenRead}, nil
 }
@@ -102,7 +191,9 @@ func (s *OSStore) Remove(name string) error {
 		}
 		return fmt.Errorf("osfs: remove %q: %w", name, err)
 	}
-	return nil
+	// Make the unlink durable: a removed segment resurrected by a
+	// crash would reintroduce data the commit protocol considers gone.
+	return s.syncDir(filepath.Dir(p))
 }
 
 // Rename implements Store.
@@ -117,14 +208,27 @@ func (s *OSStore) Rename(oldName, newName string) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := os.MkdirAll(filepath.Dir(pn), 0o755); err != nil {
-		return fmt.Errorf("osfs: creating parent: %w", err)
+	if err := s.mkdirAllSynced(filepath.Dir(pn)); err != nil {
+		return err
 	}
 	if err := os.Rename(po, pn); err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return fmt.Errorf("rename %q: %w", oldName, ErrNotExist)
 		}
 		return fmt.Errorf("osfs: rename: %w", err)
+	}
+	// The rename is the commit point of every staging-rename protocol
+	// above this store (the layout record's WriteRecord most visibly):
+	// fsync the destination directory — and the source directory when
+	// different — so the committed entry survives power loss rather
+	// than sitting in a volatile directory cache.
+	if err := s.syncDir(filepath.Dir(pn)); err != nil {
+		return err
+	}
+	if do, dn := filepath.Dir(po), filepath.Dir(pn); do != dn {
+		if err := s.syncDir(do); err != nil {
+			return err
+		}
 	}
 	return nil
 }

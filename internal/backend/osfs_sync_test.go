@@ -1,0 +1,159 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestOSStoreDirSyncOnNamespaceOps(t *testing.T) {
+	s, err := NewOSStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Creating a new file fsyncs its parent.
+	f, err := s.Open("a", OpenCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	afterCreate := s.DirSyncs()
+	if afterCreate == 0 {
+		t.Fatal("create issued no dir fsync")
+	}
+
+	// Re-opening an existing file does not.
+	g, err := s.Open("a", OpenCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+	if got := s.DirSyncs(); got != afterCreate {
+		t.Fatalf("reopen issued %d extra dir fsyncs", got-afterCreate)
+	}
+
+	// Rename fsyncs the destination directory (and the source dir when
+	// different).
+	if err := s.Rename("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	afterRename := s.DirSyncs()
+	if afterRename <= afterCreate {
+		t.Fatal("rename issued no dir fsync")
+	}
+	if err := s.Rename("b", "sub/c"); err != nil {
+		t.Fatal(err)
+	}
+	// sub/ was created (its parent synced), then both sub/ and the
+	// root dir must be synced after the rename: at least three more.
+	if got := s.DirSyncs(); got < afterRename+3 {
+		t.Fatalf("cross-dir rename issued %d dir fsyncs, want >= 3", got-afterRename)
+	}
+
+	// Remove fsyncs the parent.
+	before := s.DirSyncs()
+	if err := s.Remove("sub/c"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.DirSyncs(); got <= before {
+		t.Fatal("remove issued no dir fsync")
+	}
+}
+
+func TestOSStoreWithoutDirSync(t *testing.T) {
+	s, err := NewOSStore(t.TempDir(), WithoutDirSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := s.Open("a", OpenCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := s.Rename("a", "sub/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove("sub/b"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.DirSyncs(); got != 0 {
+		t.Fatalf("WithoutDirSync store issued %d dir fsyncs", got)
+	}
+}
+
+// shortReadFile scripts ReadAt results and implements FileCtx, so it
+// exercises BOTH ReadFull and ReadFullCtx's FileCtx fast path — the
+// two code paths the dedup satellite unified.
+type shortReadFile struct {
+	short int
+	err   error
+}
+
+func (f *shortReadFile) ReadAt(p []byte, off int64) (int, error) {
+	n := len(p) - f.short
+	if n < 0 {
+		n = 0
+	}
+	for i := 0; i < n; i++ {
+		p[i] = 'x'
+	}
+	return n, f.err
+}
+
+func (f *shortReadFile) ReadAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
+	return f.ReadAt(p, off)
+}
+
+func (f *shortReadFile) WriteAt(p []byte, off int64) (int, error) { return 0, ErrReadOnly }
+func (f *shortReadFile) WriteAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
+	return 0, ErrReadOnly
+}
+func (f *shortReadFile) Truncate(size int64) error                      { return ErrReadOnly }
+func (f *shortReadFile) TruncateCtx(ctx context.Context, s int64) error { return ErrReadOnly }
+func (f *shortReadFile) Size() (int64, error)                           { return 0, nil }
+func (f *shortReadFile) Sync() error                                    { return nil }
+func (f *shortReadFile) SyncCtx(ctx context.Context) error              { return nil }
+func (f *shortReadFile) Close() error                                   { return nil }
+
+var _ FileCtx = (*shortReadFile)(nil)
+
+func TestReadFullShortReadRule(t *testing.T) {
+	scripted := errors.New("scripted")
+	cases := []struct {
+		name  string
+		short int
+		err   error
+		want  error // nil means success
+	}{
+		{"full read, nil error", 0, nil, nil},
+		{"full read, trailing EOF ignored", 0, io.EOF, nil},
+		{"short read, nil error becomes unexpected EOF", 3, nil, io.ErrUnexpectedEOF},
+		{"short read, error preserved", 3, scripted, scripted},
+		{"empty read at EOF", 8, io.EOF, io.EOF},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := &shortReadFile{short: tc.short, err: tc.err}
+			buf := make([]byte, 8)
+
+			// The plain path and the FileCtx fast path must agree.
+			results := map[string]error{
+				"ReadFull":    ReadFull(f, buf, 0),
+				"ReadFullCtx": ReadFullCtx(context.Background(), f, buf, 0),
+			}
+			for path, err := range results {
+				if tc.want == nil {
+					if err != nil {
+						t.Errorf("%s: %v, want nil", path, err)
+					}
+					continue
+				}
+				if !errors.Is(err, tc.want) {
+					t.Errorf("%s: %v, want %v", path, err, tc.want)
+				}
+			}
+		})
+	}
+}

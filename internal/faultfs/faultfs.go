@@ -57,6 +57,11 @@ type Store struct {
 	tornFrac   float64
 	crashed    bool
 	writeCount int64
+
+	// Transient schedules (see transient.go).
+	transientOps   map[Op]int
+	transientKeys  map[string]map[Op]int
+	transientCount int64
 }
 
 // New returns a pass-through wrapper around inner.
@@ -163,8 +168,12 @@ func (s *Store) Open(name string, flag backend.OpenFlag) (backend.File, error) {
 // Remove implements backend.Store.
 func (s *Store) Remove(name string) error { return s.RemoveCtx(nil, name) }
 
-// Rename implements backend.Store.
+// Rename implements backend.Store. Transient schedules key renames by
+// the old name.
 func (s *Store) Rename(oldName, newName string) error {
+	if err := s.transient(OpRename, oldName); err != nil {
+		return err
+	}
 	if err := s.mutationAllowed(); err != nil {
 		return err
 	}
@@ -172,16 +181,29 @@ func (s *Store) Rename(oldName, newName string) error {
 }
 
 // List implements backend.Store.
-func (s *Store) List() ([]string, error) { return s.inner.List() }
+func (s *Store) List() ([]string, error) {
+	if err := s.transient(OpList, ""); err != nil {
+		return nil, err
+	}
+	return s.inner.List()
+}
 
 // Stat implements backend.Store.
-func (s *Store) Stat(name string) (int64, error) { return s.inner.Stat(name) }
+func (s *Store) Stat(name string) (int64, error) {
+	if err := s.transient(OpStat, name); err != nil {
+		return 0, err
+	}
+	return s.inner.Stat(name)
+}
 
 // OpenCtx implements backend.StoreCtx, forwarding ctx to the inner
 // store so cancellation reaches through the fault-injection layer;
 // the plain Open delegates here with a nil (never-canceled) context.
 func (s *Store) OpenCtx(ctx context.Context, name string, flag backend.OpenFlag) (backend.File, error) {
 	if err := backend.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	if err := s.transient(OpOpen, name); err != nil {
 		return nil, err
 	}
 	if flag != backend.OpenRead {
@@ -197,12 +219,15 @@ func (s *Store) OpenCtx(ctx context.Context, name string, flag backend.OpenFlag)
 	if err != nil {
 		return nil, err
 	}
-	return &file{store: s, inner: f}, nil
+	return &file{store: s, inner: f, name: name}, nil
 }
 
 // RemoveCtx implements backend.StoreCtx.
 func (s *Store) RemoveCtx(ctx context.Context, name string) error {
 	if err := backend.CtxErr(ctx); err != nil {
+		return err
+	}
+	if err := s.transient(OpRemove, name); err != nil {
 		return err
 	}
 	if err := s.mutationAllowed(); err != nil {
@@ -216,6 +241,9 @@ func (s *Store) ListCtx(ctx context.Context) ([]string, error) {
 	if err := backend.CtxErr(ctx); err != nil {
 		return nil, err
 	}
+	if err := s.transient(OpList, ""); err != nil {
+		return nil, err
+	}
 	return backend.ListCtx(ctx, s.inner)
 }
 
@@ -224,19 +252,34 @@ func (s *Store) StatCtx(ctx context.Context, name string) (int64, error) {
 	if err := backend.CtxErr(ctx); err != nil {
 		return 0, err
 	}
+	if err := s.transient(OpStat, name); err != nil {
+		return 0, err
+	}
 	return backend.StatCtx(ctx, s.inner, name)
 }
 
 type file struct {
 	store *Store
 	inner backend.File
+	name  string
 }
 
 func (f *file) ReadAt(p []byte, off int64) (int, error) {
+	if err := f.store.transient(OpRead, f.name); err != nil {
+		return 0, err
+	}
 	return f.inner.ReadAt(p, off)
 }
 
+// WriteAt injects any scheduled transient fault BEFORE the crash
+// countdown ticks: a transiently failed write never reached the
+// store, so it must not consume a crash-schedule slot — the §2.4
+// sweeps enumerate identical crash points with or without a transient
+// schedule armed.
 func (f *file) WriteAt(p []byte, off int64) (int, error) {
+	if err := f.store.transient(OpWrite, f.name); err != nil {
+		return 0, err
+	}
 	apply, fail := f.store.decide(len(p))
 	if apply > 0 {
 		if _, err := f.inner.WriteAt(p[:apply], off); err != nil {
@@ -254,14 +297,21 @@ func (f *file) ReadAtCtx(ctx context.Context, p []byte, off int64) (int, error) 
 	if err := backend.CtxErr(ctx); err != nil {
 		return 0, err
 	}
+	if err := f.store.transient(OpRead, f.name); err != nil {
+		return 0, err
+	}
 	return backend.ReadAtCtx(ctx, f.inner, p, off)
 }
 
-// WriteAtCtx implements backend.FileCtx. The cancellation check runs
-// BEFORE the fault-injection countdown ticks: a canceled write was
-// never issued, so it must not consume a crash-schedule slot.
+// WriteAtCtx implements backend.FileCtx. The cancellation check and
+// the transient injection both run BEFORE the fault-injection
+// countdown ticks: a canceled or transiently failed write was never
+// issued, so it must not consume a crash-schedule slot.
 func (f *file) WriteAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
 	if err := backend.CtxErr(ctx); err != nil {
+		return 0, err
+	}
+	if err := f.store.transient(OpWrite, f.name); err != nil {
 		return 0, err
 	}
 	apply, fail := f.store.decide(len(p))
@@ -281,6 +331,9 @@ func (f *file) TruncateCtx(ctx context.Context, size int64) error {
 	if err := backend.CtxErr(ctx); err != nil {
 		return err
 	}
+	if err := f.store.transient(OpTruncate, f.name); err != nil {
+		return err
+	}
 	if err := f.store.mutationAllowed(); err != nil {
 		return err
 	}
@@ -292,6 +345,9 @@ func (f *file) SyncCtx(ctx context.Context) error {
 	if err := backend.CtxErr(ctx); err != nil {
 		return err
 	}
+	if err := f.store.transient(OpSync, f.name); err != nil {
+		return err
+	}
 	if err := f.store.mutationAllowed(); err != nil {
 		return err
 	}
@@ -299,6 +355,9 @@ func (f *file) SyncCtx(ctx context.Context) error {
 }
 
 func (f *file) Truncate(size int64) error {
+	if err := f.store.transient(OpTruncate, f.name); err != nil {
+		return err
+	}
 	if err := f.store.mutationAllowed(); err != nil {
 		return err
 	}
@@ -308,6 +367,9 @@ func (f *file) Truncate(size int64) error {
 func (f *file) Size() (int64, error) { return f.inner.Size() }
 
 func (f *file) Sync() error {
+	if err := f.store.transient(OpSync, f.name); err != nil {
+		return err
+	}
 	if err := f.store.mutationAllowed(); err != nil {
 		return err
 	}

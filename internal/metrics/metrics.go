@@ -97,6 +97,11 @@ const (
 	// confirmed; EpochBump counts committed layout epoch transitions.
 	MoveCopy
 	EpochBump
+	// RetryAttempt counts backend operations re-issued by a RetryStore
+	// after a retryable failure; RetryExhausted counts operations that
+	// still failed after the retry budget ran out.
+	RetryAttempt
+	RetryExhausted
 	numEvents
 )
 
@@ -133,6 +138,10 @@ func (e Event) String() string {
 		return "MoveCopy"
 	case EpochBump:
 		return "EpochBump"
+	case RetryAttempt:
+		return "RetryAttempt"
+	case RetryExhausted:
+		return "RetryExhausted"
 	default:
 		return fmt.Sprintf("Event(%d)", int(e))
 	}
@@ -142,7 +151,8 @@ func (e Event) String() string {
 func AllEvents() []Event {
 	return []Event{CacheHit, CacheMiss, PoolBatch, PoolTask, ShardTask, ShardRead,
 		WriteRun, ReadRun, Prefetch, SlabHit, SlabMiss,
-		FallbackRead, MirrorWrite, MoveCopy, EpochBump}
+		FallbackRead, MirrorWrite, MoveCopy, EpochBump,
+		RetryAttempt, RetryExhausted}
 }
 
 // Recorder accumulates time per category. All methods are safe for

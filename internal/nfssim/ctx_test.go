@@ -45,6 +45,44 @@ func TestCtxInterruptsRTT(t *testing.T) {
 	}
 }
 
+// brokenClock fails every interruptible wait with a non-context
+// error, modeling a sleeper that dies for its own reasons.
+type brokenClock struct {
+	simclock.Clock
+	err error
+}
+
+func (c brokenClock) SleepCtx(ctx context.Context, d time.Duration) error { return c.err }
+
+// TestSleeperErrorNotSwallowed pins the chargeCtx bugfix: when the
+// clock's wait fails for a reason OTHER than ctx cancellation, the
+// error must surface — the old code returned backend.CtxErr(ctx),
+// which is nil for a live context, silently swallowing the failure.
+func TestSleeperErrorNotSwallowed(t *testing.T) {
+	inner := backend.NewMemStore()
+	cause := errors.New("sleeper died")
+	s := New(inner, Params{RTT: time.Millisecond}, brokenClock{Clock: simclock.NewVirtual(), err: cause})
+
+	_, err := s.OpenCtx(context.Background(), "f", backend.OpenCreate)
+	if err == nil {
+		t.Fatal("sleeper failure swallowed: OpenCtx returned nil error")
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("err = %v, want chain to wrap %v", err, cause)
+	}
+	if errors.Is(err, backend.ErrCanceled) {
+		t.Fatalf("non-ctx sleeper failure misreported as cancellation: %v", err)
+	}
+
+	// Cancellation still takes the ErrCanceled form.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s2 := New(inner, Params{RTT: time.Millisecond}, brokenClock{Clock: simclock.NewVirtual(), err: context.Canceled})
+	if _, err := s2.OpenCtx(ctx, "f", backend.OpenCreate); !errors.Is(err, backend.ErrCanceled) {
+		t.Fatalf("canceled open: %v, want ErrCanceled", err)
+	}
+}
+
 // TestNilCtxChargesAsBefore: the plain methods and a nil ctx keep the
 // synchronous accounting.
 func TestNilCtxChargesAsBefore(t *testing.T) {

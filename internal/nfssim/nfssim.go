@@ -18,6 +18,7 @@ package nfssim
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"time"
 
@@ -144,7 +145,13 @@ func (s *Store) chargeCtx(ctx context.Context, n int, off int64, write bool) err
 	s.stats.TimeCharged += d
 	s.mu.Unlock()
 	if err := simclock.SleepCtx(ctx, s.clock, d); err != nil {
-		return backend.CtxErr(ctx)
+		// Prefer the ErrCanceled-wrapped form when the wait ended
+		// because ctx was canceled, but never swallow a sleeper failure
+		// that had some other cause.
+		if cerr := backend.CtxErr(ctx); cerr != nil {
+			return cerr
+		}
+		return fmt.Errorf("nfssim: interrupted wait: %w", err)
 	}
 	return nil
 }

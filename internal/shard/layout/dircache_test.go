@@ -1,0 +1,155 @@
+package layout
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"lamassu/internal/backend"
+)
+
+// volatileDirStore models the directory-cache semantics of a POSIX
+// filesystem: file DATA made durable by File.Sync survives a crash,
+// but namespace entries — the rename that commits WriteRecord's
+// staging file most importantly — sit in a volatile directory cache
+// until the parent directory is fsynced. With durableRename unset it
+// reproduces the pre-fix OSStore (rename returns with the entry still
+// volatile); with it set it models the fixed store, whose Rename
+// fsyncs the directory before returning.
+type volatileDirStore struct {
+	backend.Store
+	durableRename bool
+
+	mu      sync.Mutex
+	pending []pendingRename
+}
+
+type pendingRename struct {
+	oldName, newName string
+	oldData, newData []byte // pre-rename content, nil = absent
+}
+
+func snapshot(s backend.Store, name string) []byte {
+	data, err := backend.ReadFile(s, name)
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+func (s *volatileDirStore) Rename(oldName, newName string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pre := pendingRename{
+		oldName: oldName,
+		newName: newName,
+		oldData: snapshot(s.Store, oldName),
+		newData: snapshot(s.Store, newName),
+	}
+	if err := s.Store.Rename(oldName, newName); err != nil {
+		return err
+	}
+	if !s.durableRename {
+		s.pending = append(s.pending, pre)
+	}
+	return nil
+}
+
+// DropCache simulates power loss before any directory fsync: every
+// rename still sitting in the volatile cache is rolled back to its
+// pre-rename namespace state.
+func (s *volatileDirStore) DropCache(t *testing.T) {
+	t.Helper()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.pending) - 1; i >= 0; i-- {
+		p := s.pending[i]
+		restore := func(name string, data []byte) {
+			if data == nil {
+				if err := s.Store.Remove(name); err != nil {
+					t.Fatalf("rollback remove %q: %v", name, err)
+				}
+				return
+			}
+			if err := backend.WriteFile(s.Store, name, data); err != nil {
+				t.Fatalf("rollback write %q: %v", name, err)
+			}
+		}
+		restore(p.newName, p.newData)
+		restore(p.oldName, p.oldData)
+	}
+	s.pending = nil
+}
+
+// TestRecordSurvivesDirCacheDrop is the durability sweep for the
+// staging-rename commit: after WriteRecord returns, a crash that
+// drops the (un-fsynced) directory cache must NOT lose the record.
+// The pre-fix OSStore semantics (rename without a parent fsync)
+// demonstrably lose it; the fixed semantics keep it.
+func TestRecordSurvivesDirCacheDrop(t *testing.T) {
+	v1 := Record{Epoch: 1, State: StateStable, Shards: 2, Vnodes: 64, StripeBytes: 512}
+	v2 := Record{Epoch: 2, State: StateStable, Shards: 2, Vnodes: 64, StripeBytes: 512}
+
+	t.Run("volatile rename loses the commit", func(t *testing.T) {
+		st := &volatileDirStore{Store: backend.NewMemStore()}
+		st.durableRename = true
+		if err := WriteRecord(nil, st, v1); err != nil { // durable baseline
+			t.Fatal(err)
+		}
+		st.durableRename = false
+		if err := WriteRecord(nil, st, v2); err != nil {
+			t.Fatal(err)
+		}
+		st.DropCache(t)
+		got, ok, err := ReadRecord(nil, st)
+		if err != nil || !ok {
+			t.Fatalf("ReadRecord after drop: ok=%v err=%v", ok, err)
+		}
+		if got == v2 {
+			t.Fatal("volatile-rename store kept the epoch-2 record; the model no longer reproduces the pre-fix bug")
+		}
+		if got != v1 {
+			t.Fatalf("record after drop = %+v, want rollback to %+v", got, v1)
+		}
+	})
+
+	t.Run("durable rename keeps the commit", func(t *testing.T) {
+		st := &volatileDirStore{Store: backend.NewMemStore(), durableRename: true}
+		if err := WriteRecord(nil, st, v1); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteRecord(nil, st, v2); err != nil {
+			t.Fatal(err)
+		}
+		st.DropCache(t)
+		got, ok, err := ReadRecord(nil, st)
+		if err != nil || !ok {
+			t.Fatalf("ReadRecord after drop: ok=%v err=%v", ok, err)
+		}
+		if got != v2 {
+			t.Fatalf("record after drop = %+v, want the committed %+v", got, v2)
+		}
+	})
+}
+
+// TestWriteRecordFsyncsDirOnOSStore ties the model to the real
+// implementation: WriteRecord over a default OSStore must issue
+// directory fsyncs (the staging create and the commit rename), and
+// the record must read back.
+func TestWriteRecordFsyncsDirOnOSStore(t *testing.T) {
+	st, err := backend.NewOSStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{Epoch: 7, State: StateStable, Shards: 4, Vnodes: 64, StripeBytes: 1024}
+	if err := WriteRecord(context.Background(), st, rec); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.DirSyncs(); got < 2 {
+		t.Fatalf("WriteRecord issued %d dir fsyncs, want >= 2 (staging create + commit rename)", got)
+	}
+	got, ok, err := ReadRecord(context.Background(), st)
+	if err != nil || !ok || got != rec {
+		t.Fatalf("ReadRecord = %+v, %v, %v", got, ok, err)
+	}
+}

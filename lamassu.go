@@ -277,6 +277,12 @@ type Options struct {
 	// store inspection; do not use it on deployments that rebalance
 	// online.
 	DisableLayoutAdoption bool
+	// Retry, when non-nil, wraps every backing store (each shard of a
+	// sharded deployment, and stores joining it later) with bounded
+	// retry of transient backend failures — see RetryPolicy and
+	// WithRetry. Nil disables retries: every backend error surfaces on
+	// first occurrence.
+	Retry *RetryPolicy
 }
 
 // Errors surfaced by the public API. ErrClosed, ErrCanceled and the
@@ -376,22 +382,35 @@ func NewMount(store Storage, keys KeyPair, opts *Options) (*Mount, error) {
 	}
 	origStore := store
 	var userStores []backend.Store
+	// wrapNew composes the per-leaf store wrappers, innermost first:
+	// retry sits directly on the physical store (so a transient fault
+	// is absorbed before any other layer sees it), name encryption
+	// outside it. It is also applied to stores that join the
+	// deployment later via StartRebalance.
 	wrapNew := func(st backend.Store) backend.Store { return st }
+	if o.Retry != nil {
+		pol := o.Retry.backendPolicy(rec)
+		wrapNew = func(st backend.Store) backend.Store { return backend.NewRetryStore(st, pol) }
+	}
 	if o.EncryptNames {
 		nameKey := cryptoutil.DeriveSubKey(keys.Outer, "lamassu-name-encryption")
-		wrapNew = func(st backend.Store) backend.Store { return namecrypt.New(st, nameKey) }
-		if ss, ok := store.(*shard.Store); ok {
-			userStores = ss.Shards()
-			views, err := wrapShardNames(nameKey, ss)
+		inner := wrapNew
+		wrapNew = func(st backend.Store) backend.Store { return namecrypt.New(inner(st), nameKey) }
+	}
+	if ss, ok := store.(*shard.Store); ok {
+		userStores = ss.Shards()
+		if o.EncryptNames || o.Retry != nil {
+			// Rebuild the sharded view with each LEAF store wrapped, so
+			// the sharding seam (budgets, read fan-out, placement
+			// identity) stays outermost; one wrapper per physical store.
+			views, err := wrapShardLeaves(wrapNew, ss)
 			if err != nil {
 				return nil, err
 			}
 			store = views[0]
-		} else {
-			store = namecrypt.New(store, nameKey)
 		}
-	} else if ss, ok := store.(*shard.Store); ok {
-		userStores = ss.Shards()
+	} else {
+		store = wrapNew(store)
 	}
 	if o.Shards < 0 {
 		return nil, errors.New("lamassu: Shards must be >= 0")
@@ -657,6 +676,11 @@ type EngineStats struct {
 	// SlabHits and SlabMisses count scratch-buffer requests served
 	// from the slab pool versus freshly allocated.
 	SlabHits, SlabMisses int64
+	// RetryAttempts counts backend operations re-issued by the
+	// WithRetry wrapper after a transient failure; RetriesExhausted
+	// counts operations that still failed after the retry budget ran
+	// out. Both zero without WithRetry.
+	RetryAttempts, RetriesExhausted int64
 }
 
 // SlabHitRate returns SlabHits/(SlabHits+SlabMisses), or 0 before any
@@ -677,14 +701,16 @@ func (m *Mount) EngineStats() EngineStats {
 	}
 	b := m.rec.Snapshot()
 	return EngineStats{
-		BackendIOs: b.IOs(),
-		IOBytes:    b.IOBytes,
-		BytesPerIO: b.BytesPerIO(),
-		WriteRuns:  b.Event(metrics.WriteRun),
-		ReadRuns:   b.Event(metrics.ReadRun),
-		Prefetches: b.Event(metrics.Prefetch),
-		SlabHits:   b.Event(metrics.SlabHit),
-		SlabMisses: b.Event(metrics.SlabMiss),
+		BackendIOs:       b.IOs(),
+		IOBytes:          b.IOBytes,
+		BytesPerIO:       b.BytesPerIO(),
+		WriteRuns:        b.Event(metrics.WriteRun),
+		ReadRuns:         b.Event(metrics.ReadRun),
+		Prefetches:       b.Event(metrics.Prefetch),
+		SlabHits:         b.Event(metrics.SlabHit),
+		SlabMisses:       b.Event(metrics.SlabMiss),
+		RetryAttempts:    b.Event(metrics.RetryAttempt),
+		RetriesExhausted: b.Event(metrics.RetryExhausted),
 	}
 }
 
@@ -1182,14 +1208,22 @@ func (m *Mount) mapRebalanceStores(newStores []Storage) ([]backend.Store, error)
 }
 
 // wrapShardNames rebuilds sharded views with name encryption pushed
-// inside each shard — the layout NewMount uses for EncryptNames, so
-// the sharding seam stays outermost (budgets, read fan-out,
-// ShardStats) while backing file names are encrypted. Slots and views
-// sharing one physical store share ONE wrapper: the shard layer's
-// no-move and stale-copy decisions compare stores by identity, and
-// distinct wrappers around the same store would make Rebalance treat
-// an owner as removable.
+// inside each shard; see wrapShardLeaves for the identity contract.
 func wrapShardNames(nameKey Key, views ...*shard.Store) ([]*shard.Store, error) {
+	return wrapShardLeaves(func(st backend.Store) backend.Store {
+		return namecrypt.New(st, nameKey)
+	}, views...)
+}
+
+// wrapShardLeaves rebuilds sharded views with wrap applied to each
+// leaf store — the layout NewMount uses for EncryptNames and
+// WithRetry, so the sharding seam stays outermost (budgets, read
+// fan-out, ShardStats) while the wrappers sit on the physical stores.
+// Slots and views sharing one physical store share ONE wrapper: the
+// shard layer's no-move and stale-copy decisions compare stores by
+// identity, and distinct wrappers around the same store would make
+// Rebalance treat an owner as removable.
+func wrapShardLeaves(wrap func(backend.Store) backend.Store, views ...*shard.Store) ([]*shard.Store, error) {
 	wrapped := make(map[backend.Store]backend.Store)
 	out := make([]*shard.Store, len(views))
 	for vi, ss := range views {
@@ -1197,7 +1231,7 @@ func wrapShardNames(nameKey Key, views ...*shard.Store) ([]*shard.Store, error) 
 		for i, st := range stores {
 			w, ok := wrapped[st]
 			if !ok {
-				w = namecrypt.New(st, nameKey)
+				w = wrap(st)
 				wrapped[st] = w
 			}
 			stores[i] = w

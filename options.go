@@ -121,6 +121,15 @@ func WithoutLayoutAdoption() Option {
 	return func(o *Options) { o.DisableLayoutAdoption = true }
 }
 
+// WithRetry wraps the backing store (every shard of a sharded
+// deployment) with bounded retry of transient backend failures, per
+// policy. Retryable errors (see IsRetryable) are re-issued with
+// capped exponential backoff; fatal errors — cancellation included —
+// surface immediately. The zero policy selects the defaults.
+func WithRetry(policy RetryPolicy) Option {
+	return func(o *Options) { o.Retry = &policy }
+}
+
 // New opens a Lamassu file system over store with the given zone keys,
 // configured by functional options. With no options it selects the
 // paper's defaults (4096-byte blocks, R = 8, full integrity, coalesced
