@@ -10,20 +10,25 @@
 //	lmsbench -exp table1 -scale 16   # Table 1 with images scaled 1/16
 //
 // Experiments: fig6, table1, fig7, fig8, fig9, fig10, fig11,
-// unaligned, scaling, shardscale, coalesce, rebalance, faults, all.
-// The scaling, shardscale, coalesce, rebalance and faults experiments
-// are this repository's extensions beyond the paper: scaling sweeps
-// the concurrent engine's commit parallelism and block cache;
-// shardscale sweeps the consistent-hash storage sharding from 1 to 8
-// backends and reports the per-shard throughput and queue-depth
-// numbers from Mount.ShardStats; coalesce A/Bs the I/O coalescing
-// layer against the paper's per-block engine and FAILS (exit 1) if
-// coalescing does not strictly reduce the backend I/O count on the
-// sequential workload; faults A/Bs a transiently failing backend with
-// and without WithRetry and FAILS unless the retry-enabled run
-// completes fault-free with byte-identical readback while the
-// retry-disabled control surfaces a retryable error — CI runs
-// coalesce and faults as regression gates.
+// unaligned, scaling, shardscale, coalesce, rebalance, faults,
+// remote, all. The scaling, shardscale, coalesce, rebalance, faults
+// and remote experiments are this repository's extensions beyond the
+// paper: scaling sweeps the concurrent engine's commit parallelism
+// and block cache; shardscale sweeps the consistent-hash storage
+// sharding from 1 to 8 backends and reports the per-shard throughput
+// and queue-depth numbers from Mount.ShardStats; coalesce A/Bs the
+// I/O coalescing layer against the paper's per-block engine and
+// FAILS (exit 1) if coalescing does not strictly reduce the backend
+// I/O count on the sequential workload; faults A/Bs a transiently
+// failing backend with and without WithRetry and FAILS unless the
+// retry-enabled run completes fault-free with byte-identical readback
+// while the retry-disabled control surfaces a retryable error; remote
+// runs against the in-memory object server at real-clock round-trip
+// latencies and FAILS unless (a) the coalesced engine with a deep I/O
+// window (WithIOWindow) beats the per-block window-1 baseline by >= 3x
+// at 2 ms RTT and (b) hedged reads (WithHedgedReads) cut the per-read
+// p99 on a tail-heavy link while issuing <= 10% extra requests — CI
+// runs coalesce, faults and remote as regression gates.
 //
 // With -json PATH, the extension experiments additionally emit their
 // rows as machine-readable JSON (experiment, configuration, MB/s,
@@ -44,6 +49,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -52,6 +58,7 @@ import (
 
 	"lamassu"
 	"lamassu/internal/backend"
+	"lamassu/internal/backend/objstore"
 	"lamassu/internal/experiments"
 	"lamassu/internal/faultfs"
 )
@@ -64,13 +71,17 @@ type benchResult struct {
 	BackendIOs  int64   `json:"backend_ios,omitempty"`
 	BytesPerIO  float64 `json:"bytes_per_io,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	P50Ms       float64 `json:"p50_ms,omitempty"`
+	P99Ms       float64 `json:"p99_ms,omitempty"`
+	HedgeRate   float64 `json:"hedge_rate,omitempty"`
+	IOWindow    int     `json:"io_window,omitempty"`
 }
 
 // results accumulates rows from the extension experiments for -json.
 var results []benchResult
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig6|table1|fig7|fig8|fig9|fig10|fig11|unaligned|scaling|shardscale|coalesce|rebalance|faults|all")
+	exp := flag.String("exp", "all", "experiment to run: fig6|table1|fig7|fig8|fig9|fig10|fig11|unaligned|scaling|shardscale|coalesce|rebalance|faults|remote|all")
 	mb := flag.Int64("mb", 32, "workload file size in MiB (paper: 4096 for fig6/fig11, 256 for fig7-fig10)")
 	scale := flag.Int64("scale", 16, "Table 1 VM image size divisor (1 = paper sizes)")
 	jsonPath := flag.String("json", "", "write machine-readable results (JSON) to PATH")
@@ -117,6 +128,12 @@ func main() {
 			if lamassu.IsCanceled(err) || ctx.Err() != nil {
 				fmt.Fprintf(os.Stderr, "lmsbench: %s: interrupted\n", name)
 				return
+			}
+			// A gate failure still returns the measured table: print it
+			// before the error so the failing run's numbers are on the
+			// record, and flush the -json rows measured so far.
+			if out != "" {
+				fmt.Println(out)
 			}
 			fmt.Fprintf(os.Stderr, "lmsbench: %s: %v\n", name, err)
 			flush()
@@ -186,9 +203,11 @@ func main() {
 	run("coalesce", func() (string, error) { return coalesceTable(ctx, fileBytes) })
 	run("rebalance", func() (string, error) { return rebalanceTable(ctx, fileBytes) })
 	run("faults", func() (string, error) { return faultsTable(ctx, fileBytes) })
+	run("remote", func() (string, error) { return remoteTable(ctx, fileBytes) })
 
 	if *exp != "all" && !validExp(*exp) {
-		fmt.Fprintf(os.Stderr, "lmsbench: unknown experiment %q (want fig6|table1|fig7|fig8|fig9|fig10|fig11|unaligned|scaling|shardscale|coalesce|rebalance|faults|all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "lmsbench: unknown experiment %q (want fig6|table1|fig7|fig8|fig9|fig10|fig11|unaligned|scaling|shardscale|coalesce|rebalance|faults|remote|all)\n", *exp)
+		flush() // a -json consumer still gets a (possibly empty) document
 		os.Exit(2)
 	}
 
@@ -200,7 +219,7 @@ func main() {
 }
 
 func validExp(e string) bool {
-	for _, v := range strings.Fields("fig6 table1 fig7 fig8 fig9 fig10 fig11 unaligned scaling shardscale coalesce rebalance faults all") {
+	for _, v := range strings.Fields("fig6 table1 fig7 fig8 fig9 fig10 fig11 unaligned scaling shardscale coalesce rebalance faults remote all") {
 		if e == v {
 			return true
 		}
@@ -636,6 +655,211 @@ func faultsTable(ctx context.Context, fileBytes int64) (string, error) {
 	fmt.Fprintf(&b, "%-26s %10s %14d %14s\n", "retry=off seq-write", "FAILED", int64(3), "n/a")
 	fmt.Fprintf(&b, "retry=on completed %d files with zero caller-visible errors and byte-identical readback\n", nFiles)
 	fmt.Fprintf(&b, "retry=off surfaced on the first fault: %v\n", cerr)
+	return b.String(), nil
+}
+
+// remoteTable measures the latency-tolerance pair against the
+// in-memory object server (objstore.Memserver on the real clock), the
+// regime the RAM-store experiments cannot reach: every backend call
+// pays a round trip, so wall time is set by request count and overlap
+// rather than by crypto throughput.
+//
+// Part one A/Bs pipelining: sequential whole-file write+read with the
+// paper's per-block engine serialized to one outstanding request
+// (WithoutCoalescing + WithIOWindow(1) — the classic remote-filesystem
+// baseline) against the coalesced engine with a deep I/O window
+// (WithIOWindow(32)), at 0.2 ms and 2 ms RTT. Part two A/Bs hedged
+// reads on a tail-heavy 2 ms link (every 32nd request is 10x slower):
+// the same chunked sequential read workload with and without
+// WithHedgedReads, reporting per-read p50/p99 and the server's GET
+// counter. Both comparisons are regression gates: an error is
+// returned — and lmsbench exits non-zero — unless the pipelined
+// configuration reaches 3x the baseline throughput in both directions
+// at 2 ms RTT, the hedged p99 lands strictly below the unhedged p99,
+// and hedging inflates the read-phase GET count by at most 10%.
+func remoteTable(ctx context.Context, fileBytes int64) (string, error) {
+	keys, err := lamassu.GenerateKeys()
+	if err != nil {
+		return "", err
+	}
+	// Every request costs real wall time here, so cap the workload: the
+	// per-block window-1 baseline at 2 ms RTT pays ~0.5 s per MiB.
+	if fileBytes > 4<<20 {
+		fileBytes = 4 << 20
+	}
+	data := make([]byte, fileBytes)
+	rand.New(rand.NewSource(6)).Read(data)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Remote object store (in-memory object server, real clock, %d MiB file, GOMAXPROCS=%d)\n",
+		fileBytes>>20, runtime.GOMAXPROCS(0))
+
+	// --- Part one: I/O-window pipelining ---------------------------------
+	fmt.Fprintf(&b, "%-34s %12s %12s %8s\n", "configuration", "write-MB/s", "read-MB/s", "peakQ")
+	// base/pipe hold the 2 ms-RTT rows the gate compares.
+	type tput struct{ write, read float64 }
+	var base, pipe tput
+	for _, rtt := range []time.Duration{200 * time.Microsecond, 2 * time.Millisecond} {
+		for _, pipelined := range []bool{false, true} {
+			label := fmt.Sprintf("per-block window=1 rtt=%s", rtt)
+			window := 1
+			opts := []lamassu.Option{lamassu.WithoutCoalescing(), lamassu.WithIOWindow(1)}
+			if pipelined {
+				window = 32
+				label = fmt.Sprintf("coalesced window=32 rtt=%s", rtt)
+				opts = []lamassu.Option{lamassu.WithIOWindow(32)}
+			}
+			storage := lamassu.NewMemObjectStorage(lamassu.ObjectStoreParams{RTT: rtt})
+			mw, err := lamassu.New(storage, keys, opts...)
+			if err != nil {
+				return "", err
+			}
+			start := time.Now()
+			if err := mw.WriteFileCtx(ctx, "f", data); err != nil {
+				return "", err
+			}
+			writeMBps := float64(fileBytes) / (1 << 20) / time.Since(start).Seconds()
+			mr, err := lamassu.New(storage, keys, opts...) // fresh mount: cold read
+			if err != nil {
+				return "", err
+			}
+			start = time.Now()
+			got, err := mr.ReadFileCtx(ctx, "f")
+			if err != nil {
+				return "", err
+			}
+			readMBps := float64(fileBytes) / (1 << 20) / time.Since(start).Seconds()
+			if !bytes.Equal(got, data) {
+				return "", fmt.Errorf("%s: readback differs from the written bytes", label)
+			}
+			peak := mr.EngineStats().IOPeakInFlight
+			if pipelined && rtt == 2*time.Millisecond {
+				pipe = tput{writeMBps, readMBps}
+			} else if !pipelined && rtt == 2*time.Millisecond {
+				base = tput{writeMBps, readMBps}
+			}
+			results = append(results,
+				benchResult{Experiment: "remote", Config: "seq-write/" + label, MBps: writeMBps, IOWindow: window},
+				benchResult{Experiment: "remote", Config: "seq-read/" + label, MBps: readMBps, IOWindow: window},
+			)
+			fmt.Fprintf(&b, "%-34s %12.1f %12.1f %8d\n", label, writeMBps, readMBps, peak)
+		}
+	}
+
+	// --- Part two: hedged reads on a tail-heavy link ---------------------
+	// Chunked sequential read so every chunk is one latency sample; the
+	// deterministic two-point tail (every 32nd request 10x slower) puts
+	// ~3% of requests at 20 ms, which an unhedged p99 cannot miss.
+	// The hedge delay is pinned rather than adaptive: the gate must be
+	// deterministic, and the adaptive quantile tracker needs a quieter
+	// host than CI to converge inside a 256-read run. 8 ms sits 4x
+	// above the body latency (no spurious hedges) and well under the
+	// 20 ms tail (every tail is rescued around 10 ms).
+	const (
+		hedgeRTT   = 2 * time.Millisecond
+		tailEvery  = 32
+		tailMult   = 10
+		chunk      = 16 << 10
+		hedgeDelay = 8 * time.Millisecond
+	)
+	type hedgeRow struct {
+		label     string
+		p50, p99  time.Duration
+		gets      int64
+		hedges    int64
+		hedgeRate float64
+	}
+	var hrows []hedgeRow
+	for _, hedged := range []bool{false, true} {
+		// The server handle itself (not the public wrapper) so the GET
+		// counter is observable — the request-amplification gate's input.
+		srv := objstore.NewMemserver(objstore.ServerParams{
+			RTT: hedgeRTT, TailEvery: tailEvery, TailMult: tailMult,
+		}, nil)
+		mw, err := lamassu.New(objstore.New(srv), keys, lamassu.WithIOWindow(32))
+		if err != nil {
+			return "", err
+		}
+		if err := mw.WriteFileCtx(ctx, "f", data); err != nil {
+			return "", err
+		}
+		getsBefore := srv.Stats().Gets
+
+		opts := []lamassu.Option{lamassu.WithIOWindow(32), lamassu.WithCache(2048)}
+		label := "hedge=off"
+		if hedged {
+			opts = append(opts, lamassu.WithHedgedReads(lamassu.HedgePolicy{Delay: hedgeDelay}))
+			label = "hedge=on "
+		}
+		mr, err := lamassu.New(objstore.New(srv), keys, opts...)
+		if err != nil {
+			return "", err
+		}
+		f, err := mr.OpenCtx(ctx, "f")
+		if err != nil {
+			return "", err
+		}
+		buf := make([]byte, chunk)
+		samples := make([]time.Duration, 0, int(fileBytes/chunk))
+		for off := int64(0); off < fileBytes; off += chunk {
+			start := time.Now()
+			n, err := f.ReadAtCtx(ctx, buf, off)
+			if err != nil {
+				return "", fmt.Errorf("%s: read at %d: %w", label, off, err)
+			}
+			samples = append(samples, time.Since(start))
+			if !bytes.Equal(buf[:n], data[off:off+int64(n)]) {
+				return "", fmt.Errorf("%s: readback at %d differs from the written bytes", label, off)
+			}
+		}
+		if err := f.Close(); err != nil {
+			return "", err
+		}
+		sorted := append([]time.Duration(nil), samples...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		row := hedgeRow{
+			label: label,
+			p50:   sorted[len(sorted)/2],
+			p99:   sorted[len(sorted)*99/100],
+			gets:  srv.Stats().Gets - getsBefore,
+		}
+		for _, hs := range mr.HedgedReadStats() {
+			row.hedges += hs.Hedges
+			if hs.Reads > 0 {
+				row.hedgeRate = float64(row.hedges) / float64(hs.Reads)
+			}
+		}
+		hrows = append(hrows, row)
+		results = append(results, benchResult{
+			Experiment: "remote",
+			Config:     fmt.Sprintf("chunk-read/%s rtt=%s tail=%dx%d", strings.TrimSpace(label), hedgeRTT, tailEvery, tailMult),
+			P50Ms:      float64(row.p50) / float64(time.Millisecond),
+			P99Ms:      float64(row.p99) / float64(time.Millisecond),
+			HedgeRate:  row.hedgeRate,
+			IOWindow:   32,
+		})
+	}
+	fmt.Fprintf(&b, "hedged reads (%d x %d KiB chunk reads, rtt=%s, every %dth request %dx slower)\n",
+		fileBytes/chunk, chunk>>10, hedgeRTT, tailEvery, tailMult)
+	fmt.Fprintf(&b, "%-12s %10s %10s %8s %8s %10s\n", "config", "p50-ms", "p99-ms", "GETs", "hedges", "hedge-rate")
+	for _, r := range hrows {
+		fmt.Fprintf(&b, "%-12s %10.2f %10.2f %8d %8d %9.1f%%\n", r.label,
+			float64(r.p50)/float64(time.Millisecond), float64(r.p99)/float64(time.Millisecond),
+			r.gets, r.hedges, 100*r.hedgeRate)
+	}
+
+	// Regression gates; rows are appended above, so a failing run still
+	// flushes its measurements.
+	if pipe.write < 3*base.write || pipe.read < 3*base.read {
+		return b.String(), fmt.Errorf("pipelined throughput (%.1f/%.1f MB/s write/read) below 3x the window-1 per-block baseline (%.1f/%.1f MB/s) at 2ms RTT",
+			pipe.write, pipe.read, base.write, base.read)
+	}
+	if hrows[1].p99 >= hrows[0].p99 {
+		return b.String(), fmt.Errorf("hedged p99 (%s) not strictly below unhedged p99 (%s)", hrows[1].p99, hrows[0].p99)
+	}
+	if float64(hrows[1].gets) > 1.1*float64(hrows[0].gets) {
+		return b.String(), fmt.Errorf("hedged read phase issued %d GETs, more than 1.1x the unhedged %d", hrows[1].gets, hrows[0].gets)
+	}
 	return b.String(), nil
 }
 

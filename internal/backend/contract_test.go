@@ -23,6 +23,8 @@ import (
 	"time"
 
 	"lamassu/internal/backend"
+	"lamassu/internal/backend/hedge"
+	"lamassu/internal/backend/objstore"
 	"lamassu/internal/cryptoutil"
 	"lamassu/internal/faultfs"
 	"lamassu/internal/namecrypt"
@@ -100,6 +102,36 @@ var impls = []struct {
 			return backend.NewRetryStore(leaf, backend.RetryPolicy{MaxAttempts: 2, Sleep: noSleep})
 		},
 	},
+	{
+		name: "objstore",
+		mk: func(t *testing.T) backend.Store {
+			return objstore.New(objstore.NewMemserver(objstore.ServerParams{}, simclock.NewVirtual()))
+		},
+	},
+	{
+		name: "objstore+retry",
+		mk: func(t *testing.T) backend.Store {
+			leaf := objstore.New(objstore.NewMemserver(objstore.ServerParams{}, simclock.NewVirtual()))
+			return backend.NewRetryStore(leaf, backend.RetryPolicy{Sleep: noSleep})
+		},
+	},
+	{
+		name: "objstore+shard",
+		mk: func(t *testing.T) backend.Store {
+			a := objstore.New(objstore.NewMemserver(objstore.ServerParams{}, simclock.NewVirtual()))
+			b := objstore.New(objstore.NewMemserver(objstore.ServerParams{}, simclock.NewVirtual()))
+			return mkShard(t, a, b)
+		},
+	},
+	{
+		name: "hedge",
+		mk: func(t *testing.T) backend.Store {
+			return hedge.New(backend.NewMemStore(), hedge.Policy{})
+		},
+		wrapLeaf: func(t *testing.T, leaf backend.Store) backend.Store {
+			return hedge.New(leaf, hedge.Policy{})
+		},
+	},
 }
 
 func mkShard(t *testing.T, leaves ...backend.Store) *shard.Store {
@@ -174,6 +206,51 @@ func TestContractRoundTripStaysUnclassified(t *testing.T) {
 			}
 			if n, err := s.Stat("seg/0"); err != nil || n != int64(len(payload)) {
 				t.Fatalf("Stat = %d, %v", n, err)
+			}
+		})
+	}
+}
+
+// TestContractMultiHandleCoherence: two handles open on the same name
+// see each other's writes and truncates immediately, before any Sync.
+// The engine's sharded mode opens one handle per shard over the same
+// backend file and reads metadata through a different handle than the
+// one that wrote it, so coherence is part of the Store contract, not
+// an implementation nicety.
+func TestContractMultiHandleCoherence(t *testing.T) {
+	for _, im := range impls {
+		t.Run(im.name, func(t *testing.T) {
+			s := im.mk(t)
+			if err := backend.WriteFile(s, "k", []byte("aaaaaaaa")); err != nil {
+				t.Fatalf("WriteFile: %v", err)
+			}
+			a, err := s.Open("k", backend.OpenWrite)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer a.Close()
+			b, err := s.Open("k", backend.OpenWrite)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer b.Close()
+
+			if _, err := a.WriteAt([]byte("BB"), 2); err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, 8)
+			if _, err := b.ReadAt(buf, 0); err != nil {
+				t.Fatalf("read through sibling handle: %v", err)
+			}
+			if string(buf) != "aaBBaaaa" {
+				t.Fatalf("sibling handle read %q; writes are not coherent across handles", buf)
+			}
+
+			if err := a.Truncate(4); err != nil {
+				t.Fatal(err)
+			}
+			if n, err := b.Size(); err != nil || n != 4 {
+				t.Fatalf("sibling handle Size after truncate = %d, %v; want 4", n, err)
 			}
 		})
 	}

@@ -275,9 +275,13 @@ func (f *file) commitBlocks(ctx context.Context, seg *segment, si int64, slots [
 			return err
 		}
 		dbi := si*keysPerSeg + int64(s)
+		// The window slot brackets the backend call only; the task may
+		// already hold a pool slot (see ioWindow's deadlock note).
+		f.fs.iow.acquire()
 		t := f.fs.cfg.Recorder.Start()
 		_, werr := backend.WriteAtCtx(ctx, f.bf, ct, f.fs.geo.DataBlockOffset(dbi))
 		f.fs.cfg.Recorder.Stop(metrics.IO, t)
+		f.fs.iow.release()
 		f.fs.cfg.Recorder.CountIOBytes(int64(bs))
 		if werr != nil {
 			return fmt.Errorf("lamassu: commit phase 2 (block %d): %w", dbi, werr)
@@ -365,9 +369,11 @@ func (f *file) commitCoalesced(ctx context.Context, seg *segment, si int64, slot
 	writeRun := func(r int) error {
 		run := runs[r]
 		payload := cts[run.lo*bs : run.hi*bs]
+		f.fs.iow.acquire()
 		t := f.fs.cfg.Recorder.Start()
 		_, werr := backend.WriteAtCtx(ctx, f.bf, payload, run.off)
 		f.fs.cfg.Recorder.Stop(metrics.IO, t)
+		f.fs.iow.release()
 		f.fs.cfg.Recorder.CountIOBytes(int64(len(payload)))
 		f.fs.cfg.Recorder.CountEvent(metrics.WriteRun, 1)
 		if werr != nil {
@@ -376,6 +382,16 @@ func (f *file) commitCoalesced(ctx context.Context, seg *segment, si int64, slot
 				run.hi-run.lo, dbi, werr)
 		}
 		return nil
+	}
+	// With an I/O window configured, the run writes — pure backend I/O,
+	// the encryption already fanned out above — dispatch on the window
+	// itself instead of the worker pool, so the number of WriteAts on
+	// the wire tracks the link's depth rather than the CPU budget. The
+	// §2.4 semantics are untouched: phase 2b still completes in full
+	// before the phase-3 barrier, and the lowest failing run wins.
+	if f.fs.iow != nil {
+		_, err := f.fs.runWindowed(ctx, len(runs), writeRun)
+		return err
 	}
 	if f.fs.sharded != nil {
 		return f.fs.pool.runSharded(ctx, len(runs), func(r int) int {

@@ -152,6 +152,19 @@ type Config struct {
 	// requires CacheBlocks > 0 (the prefetched plaintext has nowhere
 	// else to live) and is ignored when coalescing is disabled.
 	Readahead int
+	// IOWindow bounds the number of backend I/O operations the FS
+	// keeps in flight at once, independent of Parallelism's CPU
+	// budget — the pipelining knob for high-latency stores, where the
+	// useful number of outstanding requests is set by the link's
+	// latency×bandwidth product rather than by core count. 0 disables
+	// the window (backend concurrency follows the worker pool — the
+	// historical behavior, right for local disks); 1 serializes
+	// backend I/O, the A/B baseline. The window changes scheduling
+	// only: the §2.4 phase barriers remain hard synchronization points
+	// (the serialized metadata barrier writes bypass the window), the
+	// on-disk bytes are identical at every setting, and commit errors
+	// keep the deterministic lowest-index-wins semantics.
+	IOWindow int
 }
 
 // shardedStore is the optional interface of a backing store that
@@ -189,6 +202,9 @@ type FS struct {
 	// sharded is non-nil when store stripes across >1 shard; the pool
 	// is then carved into per-shard budgets.
 	sharded shardedStore
+	// iow, when non-nil, caps concurrently outstanding backend I/O
+	// (Config.IOWindow).
+	iow *ioWindow
 }
 
 // New validates cfg and returns a Lamassu FS over store.
@@ -214,6 +230,9 @@ func New(store backend.Store, cfg Config) (*FS, error) {
 	if cfg.Readahead < 0 {
 		return nil, errors.New("lamassu: readahead must be >= 0")
 	}
+	if cfg.IOWindow < 0 {
+		return nil, errors.New("lamassu: I/O window must be >= 0")
+	}
 	fs := &FS{
 		store: store,
 		geo:   cfg.Geometry,
@@ -221,6 +240,7 @@ func New(store backend.Store, cfg Config) (*FS, error) {
 		pool:  newPool(cfg.Parallelism, cfg.Recorder),
 		cache: newBlockCache(cfg.CacheBlocks, cfg.Recorder),
 		slabs: newSlabPool(cfg.Geometry.BlockSize, cfg.Geometry.KeysPerSegment(), cfg.Recorder),
+		iow:   newIOWindow(cfg.IOWindow),
 	}
 	if cfg.KeyDeriver == nil {
 		fs.ced = cryptoutil.NewCEKeyDeriver(cfg.Inner)

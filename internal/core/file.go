@@ -354,6 +354,29 @@ func (f *file) readSpansCoalesced(ctx context.Context, p []byte, spans []vfs.Spa
 				geo.SegmentOfBlock(spans[i].Index) == geo.SegmentOfBlock(spans[i-1].Index)
 		})
 	if f.fs.sharded == nil {
+		// With an I/O window configured, independent runs of one request
+		// overlap on the wire instead of paying one round trip each in
+		// sequence; the window slot is taken inside fetchRun around the
+		// backend read only, so a run blocked on a segment lock or a
+		// pool decode slot never holds wire budget. Error semantics are
+		// preserved: runs are in ascending buffer order, so the lowest
+		// failing run index carries the lowest failing buffer position.
+		if f.fs.iow != nil && len(runs) > 1 {
+			idx, err := f.fs.runWindowed(ctx, len(runs), func(i int) error {
+				r := runs[i]
+				if bad, rerr := f.readRun(ctx, p, spans[r.lo:r.hi], -1); rerr != nil {
+					return &spanError{bad, rerr}
+				}
+				return nil
+			})
+			if err != nil {
+				if se, ok := err.(*spanError); ok {
+					return se.bufOff, se.err
+				}
+				return spans[runs[idx].lo].BufOff, err
+			}
+			return 0, nil
+		}
 		for _, r := range runs {
 			if err := backend.CtxErr(ctx); err != nil {
 				return spans[r.lo].BufOff, err
@@ -484,9 +507,13 @@ func (f *file) fetchRun(ctx context.Context, p []byte, spans []vfs.Span, meta *l
 	gen := f.fs.cache.snapshot()
 
 	done := f.fs.pool.noteShardRead(shard)
+	// Window slot around the backend read only — released before the
+	// decode fan-out below takes pool slots (see ioWindow).
+	f.fs.iow.acquire()
 	t := f.fs.cfg.Recorder.Start()
 	err := backend.ReadFullCtx(ctx, f.bf, slab, geo.DataBlockOffset(spans[0].Index))
 	f.fs.cfg.Recorder.Stop(metrics.IO, t)
+	f.fs.iow.release()
 	f.fs.cfg.Recorder.CountIOBytes(int64(len(slab)))
 	f.fs.cfg.Recorder.CountEvent(metrics.ReadRun, 1)
 	done(false)
@@ -696,9 +723,11 @@ func (f *file) readBlockMeta(ctx context.Context, seg *segment, dbi int64, slot 
 	gen := f.fs.cache.snapshot()
 	ct := f.fs.slabs.get(geo.BlockSize)
 	defer f.fs.slabs.put(ct)
+	f.fs.iow.acquire()
 	t := f.fs.cfg.Recorder.Start()
 	err := backend.ReadFullCtx(ctx, f.bf, ct, geo.DataBlockOffset(dbi))
 	f.fs.cfg.Recorder.Stop(metrics.IO, t)
+	f.fs.iow.release()
 	f.fs.cfg.Recorder.CountIOBytes(int64(len(ct)))
 	if err != nil {
 		return fmt.Errorf("lamassu: reading data block %d: %w", dbi, err)

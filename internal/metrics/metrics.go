@@ -102,6 +102,11 @@ const (
 	// still failed after the retry budget ran out.
 	RetryAttempt
 	RetryExhausted
+	// HedgeAttempt counts duplicate ranged reads issued by the hedged-
+	// read layer after its adaptive delay; HedgeWin counts hedges whose
+	// response beat the primary's.
+	HedgeAttempt
+	HedgeWin
 	numEvents
 )
 
@@ -142,6 +147,10 @@ func (e Event) String() string {
 		return "RetryAttempt"
 	case RetryExhausted:
 		return "RetryExhausted"
+	case HedgeAttempt:
+		return "HedgeAttempt"
+	case HedgeWin:
+		return "HedgeWin"
 	default:
 		return fmt.Sprintf("Event(%d)", int(e))
 	}
@@ -152,7 +161,7 @@ func AllEvents() []Event {
 	return []Event{CacheHit, CacheMiss, PoolBatch, PoolTask, ShardTask, ShardRead,
 		WriteRun, ReadRun, Prefetch, SlabHit, SlabMiss,
 		FallbackRead, MirrorWrite, MoveCopy, EpochBump,
-		RetryAttempt, RetryExhausted}
+		RetryAttempt, RetryExhausted, HedgeAttempt, HedgeWin}
 }
 
 // Recorder accumulates time per category. All methods are safe for

@@ -44,6 +44,15 @@ type Params struct {
 	// UnalignedPenalty is the number of extra RTTs charged to an
 	// unaligned operation (server read-modify-write).
 	UnalignedPenalty int
+	// TailEvery, when > 0, makes every TailEvery-th operation a tail
+	// event whose total latency is multiplied by TailMult — a
+	// deterministic two-point latency mixture, the configurable tail
+	// the hedged-read layer is built to cut. Zero (the default) keeps
+	// the historical fixed-latency behavior.
+	TailEvery int
+	// TailMult is the tail event's latency multiplier; values <= 1
+	// disable the tail.
+	TailMult float64
 }
 
 // GigabitNFS returns parameters calibrated to the paper's testbed: a
@@ -80,6 +89,7 @@ type Store struct {
 type Stats struct {
 	Ops          int64
 	UnalignedOps int64
+	TailOps      int64
 	BytesMoved   int64
 	TimeCharged  time.Duration
 }
@@ -138,6 +148,10 @@ func (s *Store) chargeCtx(ctx context.Context, n int, off int64, write bool) err
 	}
 	s.mu.Lock()
 	s.stats.Ops++
+	if s.p.TailEvery > 0 && s.p.TailMult > 1 && s.stats.Ops%int64(s.p.TailEvery) == 0 {
+		d = time.Duration(float64(d) * s.p.TailMult)
+		s.stats.TailOps++
+	}
 	if unaligned {
 		s.stats.UnalignedOps++
 	}

@@ -1,0 +1,42 @@
+package nfssim
+
+import (
+	"testing"
+	"time"
+
+	"lamassu/internal/backend"
+	"lamassu/internal/simclock"
+)
+
+// TestTailLatencyDeterministic: with TailEvery/TailMult set, every
+// TailEvery-th operation charges exactly TailMult times the base
+// latency, and the default params charge the historical fixed cost.
+func TestTailLatencyDeterministic(t *testing.T) {
+	clock := simclock.NewVirtual()
+	s := New(backend.NewMemStore(), Params{RTT: time.Millisecond, TailEvery: 4, TailMult: 10}, clock)
+	start := clock.Now()
+	for i := 0; i < 8; i++ {
+		s.chargeMeta()
+	}
+	// 8 ops: 6 at 1ms, ops 4 and 8 at 10ms.
+	if got, want := clock.Now().Sub(start), 26*time.Millisecond; got != want {
+		t.Fatalf("charged %v, want %v", got, want)
+	}
+	st := s.Stats()
+	if st.TailOps != 2 || st.Ops != 8 {
+		t.Fatalf("stats %+v, want 2 tails over 8 ops", st)
+	}
+	if st.TimeCharged != 26*time.Millisecond {
+		t.Fatalf("TimeCharged %v, want 26ms", st.TimeCharged)
+	}
+
+	// Defaults unchanged: zero TailEvery keeps the fixed cost.
+	s2 := New(backend.NewMemStore(), Params{RTT: time.Millisecond}, clock)
+	start = clock.Now()
+	for i := 0; i < 8; i++ {
+		s2.chargeMeta()
+	}
+	if got, want := clock.Now().Sub(start), 8*time.Millisecond; got != want {
+		t.Fatalf("default params charged %v, want %v", got, want)
+	}
+}

@@ -103,6 +103,8 @@ import (
 	"time"
 
 	"lamassu/internal/backend"
+	"lamassu/internal/backend/hedge"
+	"lamassu/internal/backend/objstore"
 	"lamassu/internal/core"
 	"lamassu/internal/cryptoutil"
 	"lamassu/internal/dupless"
@@ -283,6 +285,25 @@ type Options struct {
 	// WithRetry. Nil disables retries: every backend error surfaces on
 	// first occurrence.
 	Retry *RetryPolicy
+	// IOWindow bounds the number of backend I/O operations the engine
+	// keeps in flight at once, independent of Parallelism's CPU
+	// budget — the pipelining knob for high-latency stores
+	// (NewObjectStorage, WithSimulatedNFS), where useful concurrency is
+	// set by the link's latency×bandwidth product rather than core
+	// count. Independent runs of one read and the data writes of one
+	// commit batch then overlap on the wire, up to this many requests
+	// outstanding. 0 keeps the historical behavior (backend concurrency
+	// follows the worker pool — right for local disks); 1 serializes
+	// backend I/O, the A/B baseline. The §2.4 phase barriers remain
+	// hard synchronization points at any setting and the backing bytes
+	// are identical.
+	IOWindow int
+	// Hedge, when non-nil, wraps every physical backing store with
+	// adaptive hedged reads: a read outstanding longer than a high
+	// quantile of the store's observed read latency is duplicated, the
+	// first usable response wins, and the loser is canceled. Reads
+	// only; see HedgePolicy and WithHedgedReads. Nil disables hedging.
+	Hedge *HedgePolicy
 }
 
 // Errors surfaced by the public API. ErrClosed, ErrCanceled and the
@@ -302,6 +323,10 @@ type Mount struct {
 	fs     *core.FS
 	rec    *metrics.Recorder
 	closed atomic.Bool
+
+	// hedges collects the hedged-read wrappers this mount created (nil
+	// without Options.Hedge); see hedging.go.
+	hedges *hedgeRegistry
 
 	// Sharded-mount state for online rebalance (nil fields otherwise):
 	// shard is the mounted sharded store, shardUser the user-visible
@@ -383,14 +408,28 @@ func NewMount(store Storage, keys KeyPair, opts *Options) (*Mount, error) {
 	origStore := store
 	var userStores []backend.Store
 	// wrapNew composes the per-leaf store wrappers, innermost first:
-	// retry sits directly on the physical store (so a transient fault
-	// is absorbed before any other layer sees it), name encryption
-	// outside it. It is also applied to stores that join the
-	// deployment later via StartRebalance.
+	// hedging sits directly on the physical store (its latency samples
+	// and duplicate reads must see the raw store, not retries), retry
+	// outside it (so a hedged read whose primary and hedge both fail
+	// surfaces one classified error the retry layer then re-issues),
+	// name encryption outermost. It is also applied to stores that join
+	// the deployment later via StartRebalance.
 	wrapNew := func(st backend.Store) backend.Store { return st }
+	var hedges *hedgeRegistry
+	if o.Hedge != nil {
+		hedges = &hedgeRegistry{}
+		pol := o.Hedge.backendPolicy(rec)
+		reg := hedges
+		wrapNew = func(st backend.Store) backend.Store {
+			hs := hedge.New(st, pol)
+			reg.add(hs)
+			return hs
+		}
+	}
 	if o.Retry != nil {
 		pol := o.Retry.backendPolicy(rec)
-		wrapNew = func(st backend.Store) backend.Store { return backend.NewRetryStore(st, pol) }
+		inner := wrapNew
+		wrapNew = func(st backend.Store) backend.Store { return backend.NewRetryStore(inner(st), pol) }
 	}
 	if o.EncryptNames {
 		nameKey := cryptoutil.DeriveSubKey(keys.Outer, "lamassu-name-encryption")
@@ -399,7 +438,7 @@ func NewMount(store Storage, keys KeyPair, opts *Options) (*Mount, error) {
 	}
 	if ss, ok := store.(*shard.Store); ok {
 		userStores = ss.Shards()
-		if o.EncryptNames || o.Retry != nil {
+		if o.EncryptNames || o.Retry != nil || o.Hedge != nil {
 			// Rebuild the sharded view with each LEAF store wrapped, so
 			// the sharding seam (budgets, read fan-out, placement
 			// identity) stays outermost; one wrapper per physical store.
@@ -469,6 +508,7 @@ func NewMount(store Storage, keys KeyPair, opts *Options) (*Mount, error) {
 		CacheBlocks:       o.CacheBlocks,
 		DisableCoalescing: o.DisableCoalescing,
 		Readahead:         o.Readahead,
+		IOWindow:          o.IOWindow,
 	})
 	if err != nil {
 		return nil, err
@@ -476,6 +516,7 @@ func NewMount(store Storage, keys KeyPair, opts *Options) (*Mount, error) {
 	return &Mount{
 		fs:        fs,
 		rec:       rec,
+		hedges:    hedges,
 		shard:     shardStore,
 		shardUser: userStores,
 		wrapStore: wrapNew,
@@ -656,8 +697,11 @@ func (m *Mount) PoolStats() PoolStats { return m.fs.PoolStats() }
 // EngineStats is a snapshot of the engine counters behind the Figure 9
 // latency breakdown: how many backend calls the mount issued, how much
 // payload they moved, and how well the coalescing layer and slab
-// allocator are doing. All fields are zero unless the mount was
-// created with Options.CollectLatency.
+// allocator are doing. The recorder-backed counters (BackendIOs
+// through RetriesExhausted) are zero unless the mount was created with
+// Options.CollectLatency; the I/O-window gauges and hedged-read
+// counters are live regardless, since they come from the window and
+// the hedging wrappers themselves.
 type EngineStats struct {
 	// BackendIOs counts backend calls (reads, writes, truncates,
 	// syncs) the engine timed under the I/O category.
@@ -681,6 +725,21 @@ type EngineStats struct {
 	// counts operations that still failed after the retry budget ran
 	// out. Both zero without WithRetry.
 	RetryAttempts, RetriesExhausted int64
+	// IOWindow is the configured backend I/O window (Options.IOWindow;
+	// 0 = unwindowed). IOInFlight gauges the backend operations holding
+	// a window slot right now; IOPeakInFlight is the deepest the window
+	// has been — how much of the configured budget the workload
+	// actually used.
+	IOWindow                   int
+	IOInFlight, IOPeakInFlight int64
+	// HedgeAttempts counts duplicate reads issued by the WithHedgedReads
+	// wrapper; HedgeWins counts hedges whose response beat the
+	// primary's. ReadP50 and ReadP99 are the observed backend
+	// read-latency quantiles the adaptive hedge delay is derived from —
+	// the worst store's value on a sharded mount; HedgedReadStats has
+	// the per-store breakdown. All zero without WithHedgedReads.
+	HedgeAttempts, HedgeWins int64
+	ReadP50, ReadP99         time.Duration
 }
 
 // SlabHitRate returns SlabHits/(SlabHits+SlabMisses), or 0 before any
@@ -692,26 +751,41 @@ func (s EngineStats) SlabHitRate() float64 {
 	return 0
 }
 
-// EngineStats reports the mount's I/O and allocator counters. It
-// returns the zero value unless the mount was created with
-// Options.CollectLatency.
+// EngineStats reports the mount's I/O and allocator counters. The
+// recorder-backed fields are zero unless the mount was created with
+// Options.CollectLatency; the I/O-window and hedged-read fields are
+// always live.
 func (m *Mount) EngineStats() EngineStats {
-	if m.rec == nil {
-		return EngineStats{}
+	var s EngineStats
+	if m.rec != nil {
+		b := m.rec.Snapshot()
+		s = EngineStats{
+			BackendIOs:       b.IOs(),
+			IOBytes:          b.IOBytes,
+			BytesPerIO:       b.BytesPerIO(),
+			WriteRuns:        b.Event(metrics.WriteRun),
+			ReadRuns:         b.Event(metrics.ReadRun),
+			Prefetches:       b.Event(metrics.Prefetch),
+			SlabHits:         b.Event(metrics.SlabHit),
+			SlabMisses:       b.Event(metrics.SlabMiss),
+			RetryAttempts:    b.Event(metrics.RetryAttempt),
+			RetriesExhausted: b.Event(metrics.RetryExhausted),
+		}
 	}
-	b := m.rec.Snapshot()
-	return EngineStats{
-		BackendIOs:       b.IOs(),
-		IOBytes:          b.IOBytes,
-		BytesPerIO:       b.BytesPerIO(),
-		WriteRuns:        b.Event(metrics.WriteRun),
-		ReadRuns:         b.Event(metrics.ReadRun),
-		Prefetches:       b.Event(metrics.Prefetch),
-		SlabHits:         b.Event(metrics.SlabHit),
-		SlabMisses:       b.Event(metrics.SlabMiss),
-		RetryAttempts:    b.Event(metrics.RetryAttempt),
-		RetriesExhausted: b.Event(metrics.RetryExhausted),
+	iw := m.fs.IOWindowStats()
+	s.IOWindow, s.IOInFlight, s.IOPeakInFlight = iw.Window, iw.InFlight, iw.Peak
+	for _, hs := range m.hedges.snapshot() {
+		st := hs.ReadStats()
+		s.HedgeAttempts += st.Hedges
+		s.HedgeWins += st.HedgeWins
+		if st.P50 > s.ReadP50 {
+			s.ReadP50 = st.P50
+		}
+		if st.P99 > s.ReadP99 {
+			s.ReadP99 = st.P99
+		}
 	}
+	return s
 }
 
 // RekeyStats summarizes a key-rotation pass.
@@ -804,6 +878,27 @@ func (m *Mount) ResetLatency() {
 // NewMemStorage returns an in-memory backing store (the RAM-disk
 // configuration of the paper's Figures 8–10).
 func NewMemStorage() Storage { return backend.NewMemStore() }
+
+// ObjectStoreParams models the simulated object store's link: a
+// per-request round trip (reads RTT, writes WriteRTT when nonzero), a
+// wire bandwidth in bytes per second, and an optional deterministic
+// two-point latency tail (every TailEvery-th request multiplied by
+// TailMult). The zero value charges no latency at all.
+type ObjectStoreParams = objstore.ServerParams
+
+// NewMemObjectStorage returns an in-memory S3-style object store as a
+// backing Storage — the remote-backend counterpart of NewMemStorage.
+// Backing files become objects: reads are ranged GETs, a handle's
+// writes accumulate in a multipart upload session that its Sync (or
+// Close) completes atomically, and Stat/List map to HEAD and paginated
+// LIST. Every request pays the configured round trip, which is the
+// regime the pipelining (WithIOWindow) and hedged-read
+// (WithHedgedReads) layers are built for; transport failures are
+// classified retryable, so WithRetry composes. Waits are real
+// (wall-clock), as in WithSimulatedNFS.
+func NewMemObjectStorage(p ObjectStoreParams) Storage {
+	return objstore.New(objstore.NewMemserver(p, nil))
+}
 
 // ShardOptions tunes NewShardedStorage.
 type ShardOptions struct {
@@ -1260,6 +1355,15 @@ type NFSParams struct {
 	RTT, WriteRTT time.Duration
 	// BandwidthBytesPerSec is the wire bandwidth.
 	BandwidthBytesPerSec float64
+	// TailEvery, when > 0, makes every TailEvery-th operation a tail
+	// event whose latency is multiplied by TailMult — a deterministic
+	// two-point tail distribution, the workload hedged reads
+	// (WithHedgedReads) are built to cut. Zero keeps the historical
+	// fixed-latency link.
+	TailEvery int
+	// TailMult is the tail event's latency multiplier; values <= 1
+	// disable the tail.
+	TailMult float64
 }
 
 // WithSimulatedNFS wraps a backing store with the latency and
@@ -1279,6 +1383,8 @@ func WithSimulatedNFS(store Storage, p NFSParams) Storage {
 	if p.BandwidthBytesPerSec != 0 {
 		params.Bandwidth = p.BandwidthBytesPerSec
 	}
+	params.TailEvery = p.TailEvery
+	params.TailMult = p.TailMult
 	return nfssim.New(store, params, simclock.Real{})
 }
 

@@ -130,6 +130,27 @@ func WithRetry(policy RetryPolicy) Option {
 	return func(o *Options) { o.Retry = &policy }
 }
 
+// WithIOWindow bounds the number of backend I/O operations the engine
+// keeps in flight at once, independent of WithParallelism's CPU
+// budget — the pipelining knob for high-latency stores, where the
+// useful request depth is set by the link rather than by core count.
+// 0 (the default) keeps backend concurrency on the worker pool; 1
+// serializes backend I/O, the A/B baseline. The §2.4 barriers are
+// unchanged at any setting.
+func WithIOWindow(n int) Option {
+	return func(o *Options) { o.IOWindow = n }
+}
+
+// WithHedgedReads wraps every physical backing store with adaptive
+// hedged reads: a read outstanding longer than a high quantile of the
+// store's observed read latency is duplicated, the first usable
+// response wins, and the loser is canceled through its context. Reads
+// only — writes and the §2.4 commit protocol are untouched. The zero
+// policy selects the adaptive defaults.
+func WithHedgedReads(policy HedgePolicy) Option {
+	return func(o *Options) { o.Hedge = &policy }
+}
+
 // New opens a Lamassu file system over store with the given zone keys,
 // configured by functional options. With no options it selects the
 // paper's defaults (4096-byte blocks, R = 8, full integrity, coalesced
