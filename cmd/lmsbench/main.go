@@ -11,9 +11,9 @@
 //
 // Experiments: fig6, table1, fig7, fig8, fig9, fig10, fig11,
 // unaligned, scaling, shardscale, coalesce, rebalance, faults,
-// remote, all. The scaling, shardscale, coalesce, rebalance, faults
-// and remote experiments are this repository's extensions beyond the
-// paper: scaling sweeps the concurrent engine's commit parallelism
+// replica, remote, all. The scaling, shardscale, coalesce, rebalance,
+// faults, replica and remote experiments are this repository's
+// extensions beyond the paper: scaling sweeps the concurrent engine's commit parallelism
 // and block cache; shardscale sweeps the consistent-hash storage
 // sharding from 1 to 8 backends and reports the per-shard throughput
 // and queue-depth numbers from Mount.ShardStats; coalesce A/Bs the
@@ -22,13 +22,17 @@
 // I/O count on the sequential workload; faults A/Bs a transiently
 // failing backend with and without WithRetry and FAILS unless the
 // retry-enabled run completes fault-free with byte-identical readback
-// while the retry-disabled control surfaces a retryable error; remote
+// while the retry-disabled control surfaces a retryable error; replica
+// A/Bs a 3-shard deployment at R=2 vs R=1 with one shard killed
+// permanently mid-workload and FAILS unless the replicated run stays
+// error-free with byte-identical readback and a Scrub pass restores
+// full redundancy while the R=1 control visibly fails; remote
 // runs against the in-memory object server at real-clock round-trip
 // latencies and FAILS unless (a) the coalesced engine with a deep I/O
 // window (WithIOWindow) beats the per-block window-1 baseline by >= 3x
 // at 2 ms RTT and (b) hedged reads (WithHedgedReads) cut the per-read
 // p99 on a tail-heavy link while issuing <= 10% extra requests — CI
-// runs coalesce, faults and remote as regression gates.
+// runs coalesce, faults, replica and remote as regression gates.
 //
 // With -json PATH, the extension experiments additionally emit their
 // rows as machine-readable JSON (experiment, configuration, MB/s,
@@ -61,6 +65,7 @@ import (
 	"lamassu/internal/backend/objstore"
 	"lamassu/internal/experiments"
 	"lamassu/internal/faultfs"
+	"lamassu/internal/shard"
 )
 
 // benchResult is one machine-readable measurement row for -json.
@@ -75,13 +80,15 @@ type benchResult struct {
 	P99Ms       float64 `json:"p99_ms,omitempty"`
 	HedgeRate   float64 `json:"hedge_rate,omitempty"`
 	IOWindow    int     `json:"io_window,omitempty"`
+	Failovers   int64   `json:"failover_reads,omitempty"`
+	Repairs     int64   `json:"scrub_repairs,omitempty"`
 }
 
 // results accumulates rows from the extension experiments for -json.
 var results []benchResult
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig6|table1|fig7|fig8|fig9|fig10|fig11|unaligned|scaling|shardscale|coalesce|rebalance|faults|remote|all")
+	exp := flag.String("exp", "all", "experiment to run: fig6|table1|fig7|fig8|fig9|fig10|fig11|unaligned|scaling|shardscale|coalesce|rebalance|faults|replica|remote|all")
 	mb := flag.Int64("mb", 32, "workload file size in MiB (paper: 4096 for fig6/fig11, 256 for fig7-fig10)")
 	scale := flag.Int64("scale", 16, "Table 1 VM image size divisor (1 = paper sizes)")
 	jsonPath := flag.String("json", "", "write machine-readable results (JSON) to PATH")
@@ -203,10 +210,11 @@ func main() {
 	run("coalesce", func() (string, error) { return coalesceTable(ctx, fileBytes) })
 	run("rebalance", func() (string, error) { return rebalanceTable(ctx, fileBytes) })
 	run("faults", func() (string, error) { return faultsTable(ctx, fileBytes) })
+	run("replica", func() (string, error) { return replicaTable(ctx, fileBytes) })
 	run("remote", func() (string, error) { return remoteTable(ctx, fileBytes) })
 
 	if *exp != "all" && !validExp(*exp) {
-		fmt.Fprintf(os.Stderr, "lmsbench: unknown experiment %q (want fig6|table1|fig7|fig8|fig9|fig10|fig11|unaligned|scaling|shardscale|coalesce|rebalance|faults|remote|all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "lmsbench: unknown experiment %q (want fig6|table1|fig7|fig8|fig9|fig10|fig11|unaligned|scaling|shardscale|coalesce|rebalance|faults|replica|remote|all)\n", *exp)
 		flush() // a -json consumer still gets a (possibly empty) document
 		os.Exit(2)
 	}
@@ -219,7 +227,7 @@ func main() {
 }
 
 func validExp(e string) bool {
-	for _, v := range strings.Fields("fig6 table1 fig7 fig8 fig9 fig10 fig11 unaligned scaling shardscale coalesce rebalance faults remote all") {
+	for _, v := range strings.Fields("fig6 table1 fig7 fig8 fig9 fig10 fig11 unaligned scaling shardscale coalesce rebalance faults replica remote all") {
 		if e == v {
 			return true
 		}
@@ -655,6 +663,170 @@ func faultsTable(ctx context.Context, fileBytes int64) (string, error) {
 	fmt.Fprintf(&b, "%-26s %10s %14d %14s\n", "retry=off seq-write", "FAILED", int64(3), "n/a")
 	fmt.Fprintf(&b, "retry=on completed %d files with zero caller-visible errors and byte-identical readback\n", nFiles)
 	fmt.Fprintf(&b, "retry=off surfaced on the first fault: %v\n", cerr)
+	return b.String(), nil
+}
+
+// replicaTable A/Bs shard-loss survival: the same write+read workload
+// over a 3-shard deployment at R=2 and at R=1, with one shard killed
+// permanently (faultfs ArmDownAll) midway through the writes. The
+// replicated run must finish every write and read back every byte
+// identical with ZERO caller-visible errors while the loss is live,
+// then — after the shard "returns" — a Scrub pass must restore full
+// redundancy, proven by re-reading the whole dataset with each shard
+// killed in turn. The unreplicated control must surface the loss on
+// the very first read sweep. Either way the comparison is a
+// regression gate: an error is returned — and lmsbench exits non-zero
+// — if the R=2 run sees any error or divergent byte, records no
+// failover reads, scrubs nothing, or the R=1 control survives.
+func replicaTable(ctx context.Context, fileBytes int64) (string, error) {
+	keys, err := lamassu.GenerateKeys()
+	if err != nil {
+		return "", err
+	}
+	stripe, err := lamassu.SegmentStripeBytes(nil, 1<<20)
+	if err != nil {
+		return "", err
+	}
+	const nFiles, shards = 8, 3
+	perFile := fileBytes / nFiles
+	files := make([][]byte, nFiles)
+	rng := rand.New(rand.NewSource(8))
+	for i := range files {
+		files[i] = make([]byte, perFile)
+		rng.Read(files[i])
+	}
+
+	// The victim is f0's PRIMARY owner, so the loss provably sits in
+	// the preferred read path — killing a shard that only holds
+	// secondary copies would let every read serve from its primary and
+	// measure nothing.
+	victim := -1
+	build := func(r int) (*lamassu.Mount, []*faultfs.Store, error) {
+		stores := make([]lamassu.Storage, shards)
+		faults := make([]*faultfs.Store, shards)
+		for i := range stores {
+			faults[i] = faultfs.New(backend.NewMemStore())
+			stores[i] = faults[i]
+		}
+		storage, err := lamassu.NewShardedStorage(stores, &lamassu.ShardOptions{
+			StripeBytes: stripe, Replicas: r,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		lay := storage.(*shard.Store).Layout()
+		victim = lay.Owners(lay.KeyOf("f0", 0))[0]
+		m, err := lamassu.NewMount(storage, keys, &lamassu.Options{Parallelism: 4, Replicas: r})
+		if err != nil {
+			return nil, nil, err
+		}
+		return m, faults, nil
+	}
+
+	// --- R=2: the loss must be invisible -------------------------------
+	m, faults, err := build(2)
+	if err != nil {
+		return "", err
+	}
+	start := time.Now()
+	for i, data := range files {
+		if i == nFiles/2 {
+			faults[victim].ArmDownAll() // the shard dies mid-workload
+		}
+		if err := m.WriteFileCtx(ctx, fmt.Sprintf("f%d", i), data); err != nil {
+			return "", fmt.Errorf("R=2 write f%d with shard %d down: %w", i, victim, err)
+		}
+	}
+	writeElapsed := time.Since(start).Seconds()
+	start = time.Now()
+	for i, data := range files {
+		got, err := m.ReadFileCtx(ctx, fmt.Sprintf("f%d", i))
+		if err != nil {
+			return "", fmt.Errorf("R=2 read f%d with shard %d down: %w", i, victim, err)
+		}
+		if !bytes.Equal(got, data) {
+			return "", fmt.Errorf("R=2 readback of f%d differs from the written bytes", i)
+		}
+	}
+	readElapsed := time.Since(start).Seconds()
+	st := m.EngineStats()
+	if st.FailoverReads == 0 {
+		return "", fmt.Errorf("R=2 run recorded no failover reads; the outage measured nothing")
+	}
+
+	// The shard returns with whatever it held at death; Scrub restores
+	// full redundancy.
+	faults[victim].DisarmDown()
+	scrub, err := m.Scrub(ctx)
+	if err != nil {
+		return "", fmt.Errorf("scrub after the shard returned: %w", err)
+	}
+	if scrub.Repairs == 0 {
+		return "", fmt.Errorf("scrub repaired nothing after a mid-workload shard loss (%+v)", scrub)
+	}
+	if scrub.Unrepaired != 0 {
+		return "", fmt.Errorf("scrub left %d ranges unrepaired with every shard live", scrub.Unrepaired)
+	}
+	// Full redundancy restored = ANY single shard can die and every
+	// byte is still served.
+	for k := 0; k < shards; k++ {
+		faults[k].ArmDownAll()
+		for i, data := range files {
+			got, err := m.ReadFileCtx(ctx, fmt.Sprintf("f%d", i))
+			if err != nil {
+				return "", fmt.Errorf("post-scrub read f%d with shard %d down: %w", i, k, err)
+			}
+			if !bytes.Equal(got, data) {
+				return "", fmt.Errorf("post-scrub readback of f%d differs with shard %d down", i, k)
+			}
+		}
+		faults[k].DisarmDown()
+	}
+	writeMBps := float64(fileBytes) / (1 << 20) / writeElapsed
+	readMBps := float64(fileBytes) / (1 << 20) / readElapsed
+
+	// --- R=1 control: the loss must be visible -------------------------
+	mc, cfaults, err := build(1)
+	if err != nil {
+		return "", err
+	}
+	for i, data := range files {
+		if err := mc.WriteFileCtx(ctx, fmt.Sprintf("f%d", i), data); err != nil {
+			return "", fmt.Errorf("R=1 pre-outage write f%d: %w", i, err)
+		}
+	}
+	cfaults[victim].ArmDownAll()
+	var cerr error
+	for i := range files {
+		if _, err := mc.ReadFileCtx(ctx, fmt.Sprintf("f%d", i)); err != nil {
+			cerr = err
+			break
+		}
+	}
+	if cerr == nil {
+		return "", fmt.Errorf("R=1 control served every read with shard %d permanently down", victim)
+	}
+	if lamassu.IsCanceled(cerr) || ctx.Err() != nil {
+		return "", cerr // a real interrupt, not the outage
+	}
+
+	results = append(results,
+		benchResult{Experiment: "replica", Config: "r2/outage-write", MBps: writeMBps, Failovers: st.FailoverReads},
+		benchResult{Experiment: "replica", Config: "r2/outage-read", MBps: readMBps, Failovers: st.FailoverReads},
+		benchResult{Experiment: "replica", Config: "r2/scrub", Repairs: scrub.Repairs},
+		benchResult{Experiment: "replica", Config: "r1/control-fails"},
+	)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Shard-loss A/B (3 shards, shard %d killed mid-workload, %d x %d MiB files, stripe %d KiB, RAM stores)\n",
+		victim, nFiles, perFile>>20, stripe>>10)
+	fmt.Fprintf(&b, "%-26s %10s %14s %14s\n", "configuration", "MB/s", "failover-reads", "scrub-repairs")
+	fmt.Fprintf(&b, "%-26s %10.1f %14d %14d\n", "R=2 outage seq-write", writeMBps, st.FailoverReads, scrub.Repairs)
+	fmt.Fprintf(&b, "%-26s %10.1f %14s %14s\n", "R=2 outage seq-read", readMBps, "(above)", "(above)")
+	fmt.Fprintf(&b, "%-26s %10s %14s %14s\n", "R=1 outage seq-read", "FAILED", "n/a", "n/a")
+	fmt.Fprintf(&b, "R=2 completed %d files with zero caller-visible errors and byte-identical readback through the loss\n", nFiles)
+	fmt.Fprintf(&b, "scrub restored full redundancy: every shard killed in turn, all bytes still served\n")
+	fmt.Fprintf(&b, "R=1 surfaced the loss: %v\n", cerr)
 	return b.String(), nil
 }
 

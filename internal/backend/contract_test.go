@@ -69,6 +69,29 @@ var impls = []struct {
 		},
 	},
 	{
+		// The replicated data path has its own namespace/coherence
+		// machinery (fan-out writes, failover reads), so it earns its
+		// own contract rows over both leaf kinds.
+		name: "shard-r2-mem",
+		mk: func(t *testing.T) backend.Store {
+			return mkShardR(t, 2, backend.NewMemStore(), backend.NewMemStore(), backend.NewMemStore())
+		},
+	},
+	{
+		name: "shard-r2-os",
+		mk: func(t *testing.T) backend.Store {
+			leaves := make([]backend.Store, 3)
+			for i := range leaves {
+				s, err := backend.NewOSStore(t.TempDir())
+				if err != nil {
+					t.Fatal(err)
+				}
+				leaves[i] = s
+			}
+			return mkShardR(t, 2, leaves...)
+		},
+	},
+	{
 		name: "nfssim",
 		mk: func(t *testing.T) backend.Store {
 			return nfssim.New(backend.NewMemStore(), nfssim.Params{}, simclock.NewVirtual())
@@ -136,7 +159,12 @@ var impls = []struct {
 
 func mkShard(t *testing.T, leaves ...backend.Store) *shard.Store {
 	t.Helper()
-	s, err := shard.New(leaves, shard.Config{})
+	return mkShardR(t, 0, leaves...)
+}
+
+func mkShardR(t *testing.T, r int, leaves ...backend.Store) *shard.Store {
+	t.Helper()
+	s, err := shard.New(leaves, shard.Config{Replicas: r})
 	if err != nil {
 		t.Fatal(err)
 	}

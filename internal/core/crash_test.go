@@ -10,6 +10,7 @@ import (
 	"lamassu/internal/backend"
 	"lamassu/internal/faultfs"
 	"lamassu/internal/layout"
+	"lamassu/internal/shard"
 	"lamassu/internal/vfs"
 )
 
@@ -84,7 +85,25 @@ func blockHistories(oldData []byte, seed int64, blockSize int) []map[string]bool
 // each block holds one of the states the write sequence legitimately
 // produced (per-block atomicity — the guarantee the multiphase commit
 // provides).
-func TestCrashSweepEveryWritePoint(t *testing.T) { forEachBackend(t, testCrashSweepEveryWritePoint) }
+func TestCrashSweepEveryWritePoint(t *testing.T) {
+	forEachBackend(t, testCrashSweepEveryWritePoint)
+	// The R=2 column: the same whole-system power loss, but the store
+	// under the engine is a replicated sharded deployment — every
+	// surviving backend write reached both owners, and recovery and the
+	// post-crash audit run through the replicated read path.
+	t.Run("shard-r2", func(t *testing.T) {
+		testCrashSweepEveryWritePoint(t, func(t *testing.T) backend.Store {
+			leaves := []backend.Store{
+				backend.NewMemStore(), backend.NewMemStore(), backend.NewMemStore(),
+			}
+			s, err := shard.New(leaves, shard.Config{StripeBytes: 2048, Replicas: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		})
+	})
+}
 
 // The sweep runs over BOTH engines: the coalesced default (fewer,
 // larger backend writes — every crash point lands before, between or

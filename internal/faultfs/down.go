@@ -1,0 +1,90 @@
+package faultfs
+
+// Permanent-outage injection: a downed store fails every armed
+// operation, fatally, until it is explicitly disarmed. Where the crash
+// modes model power loss (the store dies once, at a chosen write) and
+// the transient schedules model a flaky medium (N failures, then
+// recovery), ArmDown models a shard that is simply gone — the disk
+// that died, the filer that fell off the network — and exists to drive
+// the replication layer's failover and scrub paths: injected errors
+// are NOT marked retryable, so a retry-wrapped store surfaces them on
+// the first attempt and the shard layer must route around the loss.
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDown is the base error of every operation rejected while the
+// store is down. It is deliberately not backend.Retryable: an outage
+// is fatal until DisarmDown simulates the repair.
+var ErrDown = errors.New("faultfs: store is down")
+
+// ArmDown marks op as permanently failing until DisarmDown. Arming
+// accumulates: several ops can be down at once.
+func (s *Store) ArmDown(op Op) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.downOps == nil {
+		s.downOps = make(map[Op]bool)
+	}
+	s.downOps[op] = true
+}
+
+// ArmDownAll marks every operation as permanently failing until
+// DisarmDown — the whole store is unreachable.
+func (s *Store) ArmDownAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.downAll = true
+}
+
+// DisarmDown brings the store back: every armed outage is cleared (the
+// injected-fault counter is preserved). Data the store held before the
+// outage is intact, as on a filer that rebooted.
+func (s *Store) DisarmDown() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.downAll = false
+	s.downOps = nil
+}
+
+// Down reports whether any outage is currently armed.
+func (s *Store) Down() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.downAll || len(s.downOps) > 0
+}
+
+// DownInjected returns the number of operations rejected by an armed
+// outage since creation.
+func (s *Store) DownInjected() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.downCount
+}
+
+// down consumes nothing: while op is armed every invocation fails,
+// fatally and forever, until DisarmDown.
+func (s *Store) down(op Op, name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.downAll && !s.downOps[op] {
+		return nil
+	}
+	s.downCount++
+	if name == "" {
+		return fmt.Errorf("%w: %s", ErrDown, op)
+	}
+	return fmt.Errorf("%w: %s %q", ErrDown, op, name)
+}
+
+// inject runs the outage check, then the transient schedule, for one
+// operation: a downed store rejects the call before any transient
+// schedule is consumed or the crash countdown ticks.
+func (s *Store) inject(op Op, name string) error {
+	if err := s.down(op, name); err != nil {
+		return err
+	}
+	return s.transient(op, name)
+}

@@ -62,6 +62,11 @@ type Store struct {
 	transientOps   map[Op]int
 	transientKeys  map[string]map[Op]int
 	transientCount int64
+
+	// Permanent outages (see down.go).
+	downOps   map[Op]bool
+	downAll   bool
+	downCount int64
 }
 
 // New returns a pass-through wrapper around inner.
@@ -171,7 +176,7 @@ func (s *Store) Remove(name string) error { return s.RemoveCtx(nil, name) }
 // Rename implements backend.Store. Transient schedules key renames by
 // the old name.
 func (s *Store) Rename(oldName, newName string) error {
-	if err := s.transient(OpRename, oldName); err != nil {
+	if err := s.inject(OpRename, oldName); err != nil {
 		return err
 	}
 	if err := s.mutationAllowed(); err != nil {
@@ -182,7 +187,7 @@ func (s *Store) Rename(oldName, newName string) error {
 
 // List implements backend.Store.
 func (s *Store) List() ([]string, error) {
-	if err := s.transient(OpList, ""); err != nil {
+	if err := s.inject(OpList, ""); err != nil {
 		return nil, err
 	}
 	return s.inner.List()
@@ -190,7 +195,7 @@ func (s *Store) List() ([]string, error) {
 
 // Stat implements backend.Store.
 func (s *Store) Stat(name string) (int64, error) {
-	if err := s.transient(OpStat, name); err != nil {
+	if err := s.inject(OpStat, name); err != nil {
 		return 0, err
 	}
 	return s.inner.Stat(name)
@@ -203,7 +208,7 @@ func (s *Store) OpenCtx(ctx context.Context, name string, flag backend.OpenFlag)
 	if err := backend.CtxErr(ctx); err != nil {
 		return nil, err
 	}
-	if err := s.transient(OpOpen, name); err != nil {
+	if err := s.inject(OpOpen, name); err != nil {
 		return nil, err
 	}
 	if flag != backend.OpenRead {
@@ -227,7 +232,7 @@ func (s *Store) RemoveCtx(ctx context.Context, name string) error {
 	if err := backend.CtxErr(ctx); err != nil {
 		return err
 	}
-	if err := s.transient(OpRemove, name); err != nil {
+	if err := s.inject(OpRemove, name); err != nil {
 		return err
 	}
 	if err := s.mutationAllowed(); err != nil {
@@ -241,7 +246,7 @@ func (s *Store) ListCtx(ctx context.Context) ([]string, error) {
 	if err := backend.CtxErr(ctx); err != nil {
 		return nil, err
 	}
-	if err := s.transient(OpList, ""); err != nil {
+	if err := s.inject(OpList, ""); err != nil {
 		return nil, err
 	}
 	return backend.ListCtx(ctx, s.inner)
@@ -252,7 +257,7 @@ func (s *Store) StatCtx(ctx context.Context, name string) (int64, error) {
 	if err := backend.CtxErr(ctx); err != nil {
 		return 0, err
 	}
-	if err := s.transient(OpStat, name); err != nil {
+	if err := s.inject(OpStat, name); err != nil {
 		return 0, err
 	}
 	return backend.StatCtx(ctx, s.inner, name)
@@ -265,7 +270,7 @@ type file struct {
 }
 
 func (f *file) ReadAt(p []byte, off int64) (int, error) {
-	if err := f.store.transient(OpRead, f.name); err != nil {
+	if err := f.store.inject(OpRead, f.name); err != nil {
 		return 0, err
 	}
 	return f.inner.ReadAt(p, off)
@@ -277,7 +282,7 @@ func (f *file) ReadAt(p []byte, off int64) (int, error) {
 // sweeps enumerate identical crash points with or without a transient
 // schedule armed.
 func (f *file) WriteAt(p []byte, off int64) (int, error) {
-	if err := f.store.transient(OpWrite, f.name); err != nil {
+	if err := f.store.inject(OpWrite, f.name); err != nil {
 		return 0, err
 	}
 	apply, fail := f.store.decide(len(p))
@@ -297,7 +302,7 @@ func (f *file) ReadAtCtx(ctx context.Context, p []byte, off int64) (int, error) 
 	if err := backend.CtxErr(ctx); err != nil {
 		return 0, err
 	}
-	if err := f.store.transient(OpRead, f.name); err != nil {
+	if err := f.store.inject(OpRead, f.name); err != nil {
 		return 0, err
 	}
 	return backend.ReadAtCtx(ctx, f.inner, p, off)
@@ -311,7 +316,7 @@ func (f *file) WriteAtCtx(ctx context.Context, p []byte, off int64) (int, error)
 	if err := backend.CtxErr(ctx); err != nil {
 		return 0, err
 	}
-	if err := f.store.transient(OpWrite, f.name); err != nil {
+	if err := f.store.inject(OpWrite, f.name); err != nil {
 		return 0, err
 	}
 	apply, fail := f.store.decide(len(p))
@@ -331,7 +336,7 @@ func (f *file) TruncateCtx(ctx context.Context, size int64) error {
 	if err := backend.CtxErr(ctx); err != nil {
 		return err
 	}
-	if err := f.store.transient(OpTruncate, f.name); err != nil {
+	if err := f.store.inject(OpTruncate, f.name); err != nil {
 		return err
 	}
 	if err := f.store.mutationAllowed(); err != nil {
@@ -345,7 +350,7 @@ func (f *file) SyncCtx(ctx context.Context) error {
 	if err := backend.CtxErr(ctx); err != nil {
 		return err
 	}
-	if err := f.store.transient(OpSync, f.name); err != nil {
+	if err := f.store.inject(OpSync, f.name); err != nil {
 		return err
 	}
 	if err := f.store.mutationAllowed(); err != nil {
@@ -355,7 +360,7 @@ func (f *file) SyncCtx(ctx context.Context) error {
 }
 
 func (f *file) Truncate(size int64) error {
-	if err := f.store.transient(OpTruncate, f.name); err != nil {
+	if err := f.store.inject(OpTruncate, f.name); err != nil {
 		return err
 	}
 	if err := f.store.mutationAllowed(); err != nil {
@@ -364,10 +369,18 @@ func (f *file) Truncate(size int64) error {
 	return f.inner.Truncate(size)
 }
 
-func (f *file) Size() (int64, error) { return f.inner.Size() }
+// Size is gated by the outage injector only (as OpStat): size probes
+// against a dead shard must fail like everything else, but transient
+// schedules keep their historical Stat-only scope.
+func (f *file) Size() (int64, error) {
+	if err := f.store.down(OpStat, f.name); err != nil {
+		return 0, err
+	}
+	return f.inner.Size()
+}
 
 func (f *file) Sync() error {
-	if err := f.store.transient(OpSync, f.name); err != nil {
+	if err := f.store.inject(OpSync, f.name); err != nil {
 		return err
 	}
 	if err := f.store.mutationAllowed(); err != nil {

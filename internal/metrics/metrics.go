@@ -107,6 +107,16 @@ const (
 	// response beat the primary's.
 	HedgeAttempt
 	HedgeWin
+	// ReplicaWrite counts write fan-outs landed on non-primary replica
+	// owners; FailoverRead counts reads served by a replica after the
+	// preferred owner failed or was missing the copy.
+	ReplicaWrite
+	FailoverRead
+	// ScrubRepair counts replica copies re-established or corrected by
+	// the scrubber; BreakerOpen counts closed→open transitions of a
+	// shard slot's health breaker.
+	ScrubRepair
+	BreakerOpen
 	numEvents
 )
 
@@ -151,6 +161,14 @@ func (e Event) String() string {
 		return "HedgeAttempt"
 	case HedgeWin:
 		return "HedgeWin"
+	case ReplicaWrite:
+		return "ReplicaWrite"
+	case FailoverRead:
+		return "FailoverRead"
+	case ScrubRepair:
+		return "ScrubRepair"
+	case BreakerOpen:
+		return "BreakerOpen"
 	default:
 		return fmt.Sprintf("Event(%d)", int(e))
 	}
@@ -161,7 +179,8 @@ func AllEvents() []Event {
 	return []Event{CacheHit, CacheMiss, PoolBatch, PoolTask, ShardTask, ShardRead,
 		WriteRun, ReadRun, Prefetch, SlabHit, SlabMiss,
 		FallbackRead, MirrorWrite, MoveCopy, EpochBump,
-		RetryAttempt, RetryExhausted, HedgeAttempt, HedgeWin}
+		RetryAttempt, RetryExhausted, HedgeAttempt, HedgeWin,
+		ReplicaWrite, FailoverRead, ScrubRepair, BreakerOpen}
 }
 
 // Recorder accumulates time per category. All methods are safe for

@@ -8,6 +8,34 @@ import (
 	"lamassu/internal/shard/layout"
 )
 
+// TopologyError reports a persisted layout record that cannot be
+// served by the configuration the deployment was opened with: the
+// record needs more shard slots than stores were mounted, or declares
+// a different replication factor than configured. It is a distinct
+// type so openers can tell "valid deployment, wrong topology handed to
+// it" from I/O failures — and so the mismatch surfaces as a clear
+// error instead of an out-of-range slot index downstream.
+type TopologyError struct {
+	// RecordShards is the slot count the record requires; Mounted the
+	// number of stores the deployment was opened with. Both 0 when the
+	// mismatch is the replication factor.
+	RecordShards int
+	Mounted      int
+	// RecordReplicas / Replicas report a replication-factor mismatch
+	// (both 0 when the mismatch is the shard count).
+	RecordReplicas int
+	Replicas       int
+}
+
+func (e *TopologyError) Error() string {
+	if e.RecordReplicas != 0 || e.Replicas != 0 {
+		return fmt.Sprintf("shard: layout record declares %d-way replication, store configured for %d-way; the factor is part of the deployment's on-disk identity",
+			e.RecordReplicas, e.Replicas)
+	}
+	return fmt.Sprintf("shard: layout record needs %d shard slots, only %d stores mounted",
+		e.RecordShards, e.Mounted)
+}
+
 // AdoptLayout aligns the store with the layout records persisted on
 // its shards, if any. It is the reopen half of the epoch subsystem:
 //
@@ -55,14 +83,49 @@ func (s *Store) AdoptLayout(ctx context.Context, expectEpoch uint64) error {
 		if expectEpoch != 0 {
 			return fmt.Errorf("shard: layout epoch is 0 (no record), want %d", expectEpoch)
 		}
+		// A replicated deployment that never migrated has no record,
+		// which would let a later single-copy open adopt it silently
+		// and stop maintaining replicas. Pin the factor on disk at
+		// first adoption (stable epoch-0 v2 record). Single-copy
+		// deployments stay recordless — their on-disk bytes are
+		// pinned by the pre-replication goldens.
+		if t.lay.Replicas() > 1 {
+			rec := layout.Record{
+				Epoch:       t.lay.Epoch(),
+				State:       layout.StateStable,
+				Shards:      t.lay.Shards(),
+				Vnodes:      t.lay.Vnodes(),
+				StripeBytes: t.lay.StripeBytes(),
+				Replicas:    t.lay.Replicas(),
+			}
+			for _, u := range t.uniq {
+				if err := layout.WriteRecord(ctx, u.store, rec); err != nil {
+					return fmt.Errorf("shard: pinning replication factor: %w", err)
+				}
+			}
+		}
 		return nil
 	}
 	if best.StripeBytes != t.lay.StripeBytes() {
 		return fmt.Errorf("shard: layout record stripe %d does not match configured %d",
 			best.StripeBytes, t.lay.StripeBytes())
 	}
+	// The replication factor is persisted (format v2) and must match the
+	// configuration exactly: adopting an R-way deployment single-copy
+	// would silently stop maintaining replicas, and the reverse would
+	// treat missing copies as damage. v1 records count as R=1.
+	if rr, cr := best.ReplicaCount(), t.lay.Replicas(); rr != cr {
+		return &TopologyError{RecordReplicas: rr, Replicas: cr}
+	}
 	switch best.State {
 	case layout.StateStable, layout.StateReaping:
+		if best.Shards > len(t.stores) {
+			// Checked before the parameter comparison below so the
+			// caller sees "you mounted too few stores" rather than a
+			// generic mismatch (or, worse, a slot index panic in a path
+			// that trusted the record).
+			return &TopologyError{RecordShards: best.Shards, Mounted: len(t.stores)}
+		}
 		if best.Shards != t.lay.Shards() || best.Vnodes != t.lay.Vnodes() {
 			return fmt.Errorf("shard: deployment is at epoch %d with %d shards x %d vnodes; got %d x %d (was it rebalanced elsewhere?)",
 				best.Epoch, best.Shards, best.Vnodes, t.lay.Shards(), t.lay.Vnodes())
@@ -72,6 +135,7 @@ func (s *Store) AdoptLayout(ctx context.Context, expectEpoch uint64) error {
 			uniq:   t.uniq,
 			lay:    t.lay.WithEpoch(best.Epoch),
 			stats:  t.stats,
+			health: t.health,
 		}
 		if best.State == layout.StateReaping {
 			// The epoch committed but the crash interrupted stale-copy
@@ -107,12 +171,17 @@ func (s *Store) AdoptLayout(ctx context.Context, expectEpoch uint64) error {
 			if err != nil {
 				return err
 			}
+			// Both epochs share the deployment's replication factor
+			// (checked against the configuration above).
+			curLay = curLay.WithReplicas(best.ReplicaCount())
+			prevLay = prevLay.WithReplicas(best.ReplicaCount())
 			s.topo.Store(&topology{
 				stores: t.stores,
 				uniq:   t.uniq,
 				lay:    curLay,
 				mig:    newMigration(prevLay),
 				stats:  t.stats,
+				health: t.health,
 			})
 			s.routeGen.Add(1)
 			return checkEpoch(prevLay.Epoch(), expectEpoch)
@@ -128,6 +197,7 @@ func (s *Store) AdoptLayout(ctx context.Context, expectEpoch uint64) error {
 				uniq:   t.uniq,
 				lay:    t.lay.WithEpoch(best.Epoch - 1),
 				stats:  t.stats,
+				health: t.health,
 			})
 			s.routeGen.Add(1)
 			return checkEpoch(best.Epoch-1, expectEpoch)

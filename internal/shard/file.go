@@ -129,6 +129,9 @@ func striped(t *topology) bool { return t.lay.StripeBytes() > 0 }
 func (f *file) Size() (int64, error) { return f.size(nil, f.store.topo.Load()) }
 
 func (f *file) size(ctx context.Context, t *topology) (int64, error) {
+	if t.replicated() {
+		return f.sizeReplicated(ctx, t)
+	}
 	slot, _ := t.readTarget(f.name, 0)
 	h, err := f.handle(ctx, t, slot, false)
 	if err != nil {
@@ -170,6 +173,176 @@ func (f *file) size(ctx context.Context, t *topology) (int64, error) {
 		}
 	}
 	return size, nil
+}
+
+// sizeReplicated computes the file's global size with failover: the
+// home-owner group is consulted whole (max across reachable owners),
+// and the striped sweep skips unreachable stores — exact under a
+// single shard loss because every stripe's extent lives on every owner
+// of that stripe.
+func (f *file) sizeReplicated(ctx context.Context, t *topology) (int64, error) {
+	s := f.store
+	slots, _ := t.readTargets(f.name, 0)
+	var size int64
+	got := false
+	var firstErr error
+	consulted := make(map[backend.Store]bool, len(t.uniq))
+	for _, sl := range t.dedupSlots(slots) {
+		consulted[t.stores[sl]] = true
+		h, err := f.handle(ctx, t, sl, false)
+		if err != nil {
+			if immediateErr(ctx, err) {
+				return 0, err
+			}
+			s.slotFailed(t, sl)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if h == nil {
+			got = true // live owner, no copy: local size 0
+			continue
+		}
+		sz, err := h.Size()
+		if err != nil {
+			if immediateErr(ctx, err) {
+				return 0, err
+			}
+			s.slotFailed(t, sl)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		t.health[sl].ok()
+		if sz > size {
+			size = sz
+		}
+		got = true
+	}
+	if !got {
+		return 0, firstErr
+	}
+	if !striped(t) {
+		return size, nil
+	}
+	open, err := f.openHandles()
+	if err != nil {
+		return 0, err
+	}
+	for _, u := range t.uniq {
+		if consulted[u.store] {
+			continue
+		}
+		var sz int64
+		var serr error
+		if oh, ok := open[u.shard]; ok {
+			sz, serr = oh.Size()
+		} else {
+			sz, serr = u.store.Stat(f.name)
+			if errors.Is(serr, backend.ErrNotExist) {
+				continue
+			}
+		}
+		if serr != nil {
+			if immediateErr(ctx, serr) {
+				return 0, serr
+			}
+			s.slotFailed(t, u.shard)
+			continue
+		}
+		if sz > size {
+			size = sz
+		}
+	}
+	return size, nil
+}
+
+// readChunkReplicated reads one placement range, failing over across
+// the key's replica set. served=false (with a nil error) reports a
+// hole: no replica holds a copy of the range. A clean miss on a live
+// replica outranks an error from a dead one — the write path
+// guarantees every durable range has a copy inside the live owner
+// group, so "the live owners agree it is a hole" is authoritative.
+// Breaker-open owners are probed only when no live owner gave a
+// definitive answer.
+func (f *file) readChunkReplicated(ctx context.Context, t *topology, chunk []byte, off int64) (int, bool, error) {
+	s := f.store
+	slots, fellBack := t.readTargets(f.name, off)
+	if fellBack {
+		t.mig.noteFallback()
+	}
+	var order, deferred []int
+	pref := -1
+	for _, sl := range t.dedupSlots(slots) {
+		if pref < 0 {
+			pref = sl
+		}
+		if t.health[sl].allowed() {
+			order = append(order, sl)
+		} else {
+			deferred = append(deferred, sl)
+		}
+	}
+	var firstErr error
+	sawMissing := false
+	attempts := 0
+	try := func(list []int) (int, bool, error, bool) {
+		for _, sl := range list {
+			h, herr := f.handle(ctx, t, sl, false)
+			if herr != nil {
+				if immediateErr(ctx, herr) {
+					return 0, false, herr, true
+				}
+				s.slotFailed(t, sl)
+				if firstErr == nil {
+					firstErr = herr
+				}
+				attempts++
+				continue
+			}
+			if h == nil {
+				sawMissing = true
+				attempts++
+				continue
+			}
+			m, rerr := backend.ReadAtCtx(ctx, h, chunk, off)
+			t.countRead(sl, m)
+			if rerr != nil && !errors.Is(rerr, io.EOF) {
+				if immediateErr(ctx, rerr) {
+					return m, true, rerr, true
+				}
+				s.slotFailed(t, sl)
+				if firstErr == nil {
+					firstErr = rerr
+				}
+				attempts++
+				continue
+			}
+			t.health[sl].ok()
+			// A failover read is any read the primary owner did not
+			// serve — whether it failed just now (attempts > 0) or is
+			// exiled by its breaker and was never tried.
+			if attempts > 0 || sl != pref {
+				s.noteFailoverRead()
+			}
+			return m, true, rerr, true
+		}
+		return 0, false, nil, false
+	}
+	if m, served, err, done := try(order); done {
+		return m, served, err
+	}
+	if !sawMissing {
+		if m, served, err, done := try(deferred); done {
+			return m, served, err
+		}
+	}
+	if sawMissing || firstErr == nil {
+		return 0, false, nil
+	}
+	return 0, false, firstErr
 }
 
 // stripeRange describes the part of a request hitting one stripe.
@@ -220,6 +393,13 @@ func (f *file) readAt(ctx context.Context, p []byte, off int64) (int, error) {
 	}
 	t := f.store.topo.Load()
 	if !striped(t) {
+		if t.replicated() {
+			n, served, err := f.readChunkReplicated(ctx, t, p, off)
+			if !served && err == nil {
+				return 0, io.EOF
+			}
+			return n, err
+		}
 		slot, fellBack := t.readTarget(f.name, 0)
 		if fellBack {
 			t.mig.noteFallback()
@@ -259,22 +439,30 @@ func (f *file) readAt(ctx context.Context, p []byte, off int64) (int, error) {
 		if err := backend.CtxErr(ctx); err != nil {
 			return r.bufLo, err
 		}
-		slot, fellBack := t.readTarget(f.name, r.off)
-		if fellBack {
-			t.mig.noteFallback()
-		}
-		h, err := f.handle(ctx, t, slot, false)
-		if err != nil {
-			return r.bufLo, err
-		}
 		chunk := p[r.bufLo:r.bufHi]
 		m := 0
-		if h != nil {
+		if t.replicated() {
 			var rerr error
-			m, rerr = backend.ReadAtCtx(ctx, h, chunk, r.off)
-			t.countRead(slot, m)
+			m, _, rerr = f.readChunkReplicated(ctx, t, chunk, r.off)
 			if rerr != nil && !errors.Is(rerr, io.EOF) {
 				return r.bufLo + m, rerr
+			}
+		} else {
+			slot, fellBack := t.readTarget(f.name, r.off)
+			if fellBack {
+				t.mig.noteFallback()
+			}
+			h, err := f.handle(ctx, t, slot, false)
+			if err != nil {
+				return r.bufLo, err
+			}
+			if h != nil {
+				var rerr error
+				m, rerr = backend.ReadAtCtx(ctx, h, chunk, r.off)
+				t.countRead(slot, m)
+				if rerr != nil && !errors.Is(rerr, io.EOF) {
+					return r.bufLo + m, rerr
+				}
 			}
 		}
 		if m == len(chunk) {
@@ -327,6 +515,9 @@ func (f *file) WriteAtCtx(ctx context.Context, p []byte, off int64) (int, error)
 // under the key's migration lock so the pair cannot interleave with
 // the mover copying the same key.
 func (f *file) writeRange(ctx context.Context, t *topology, chunk []byte, off int64) (int, error) {
+	if t.replicated() {
+		return f.writeRangeReplicated(ctx, t, chunk, off)
+	}
 	primary, mirror, mirrored, key := t.writeTargets(f.name, off)
 	if mirrored {
 		kl := t.mig.keyLock(key)
@@ -351,6 +542,114 @@ func (f *file) writeRange(ctx context.Context, t *topology, chunk []byte, off in
 	t.countWrite(mirror, mn)
 	if err != nil {
 		return mn, err
+	}
+	return n, nil
+}
+
+// immediateErr reports errors that must abort an operation instead of
+// triggering failover: the caller's context died, or the handle/store
+// itself is unusable regardless of which shard is asked.
+func immediateErr(ctx context.Context, err error) bool {
+	return backend.CtxErr(ctx) != nil ||
+		errors.Is(err, backend.ErrClosed) || errors.Is(err, backend.ErrReadOnly)
+}
+
+// writeRangeReplicated lands one stripe-aligned chunk on every owner
+// of its key. The write succeeds when each epoch group (one group when
+// stable, previous-then-current mid-migration) has at least one copy
+// down; owners the write could not reach are marked suspect in the
+// health tracker and journaled so Scrub restores full replication.
+// Breaker-open owners are skipped (and journaled) unless they are a
+// group's last hope, in which case they are attempted anyway — the
+// breaker sheds latency, never durability.
+func (f *file) writeRangeReplicated(ctx context.Context, t *topology, chunk []byte, off int64) (int, error) {
+	s := f.store
+	groups, key, mirrored := t.writeGroups(f.name, off)
+	if mirrored {
+		kl := t.mig.keyLock(key)
+		kl.Lock()
+		defer kl.Unlock()
+		t.mig.noteMirror()
+	} else if sc := s.scrub.Load(); sc != nil {
+		kl := sc.keyLock(key)
+		kl.Lock()
+		defer kl.Unlock()
+	}
+	type outcome struct {
+		n   int
+		err error
+	}
+	// One write per physical store, even when a slot appears in both
+	// epoch groups (or several carve slots share a store).
+	results := make(map[backend.Store]outcome, 4)
+	attempt := func(slot int) outcome {
+		st := t.stores[slot]
+		if r, ok := results[st]; ok {
+			return r
+		}
+		var r outcome
+		h, err := f.handle(ctx, t, slot, true)
+		if err == nil {
+			r.n, err = backend.WriteAtCtx(ctx, h, chunk, off)
+			t.countWrite(slot, r.n)
+		}
+		r.err = err
+		results[st] = r
+		return r
+	}
+	n := -1
+	for _, group := range groups {
+		group = t.dedupSlots(group)
+		var allowed, deferred []int
+		for _, sl := range group {
+			if t.health[sl].allowed() {
+				allowed = append(allowed, sl)
+			} else {
+				deferred = append(deferred, sl)
+			}
+		}
+		okCount := 0
+		var firstErr error
+		runList := func(list []int) error {
+			for _, sl := range list {
+				r := attempt(sl)
+				if r.err == nil {
+					t.health[sl].ok()
+					okCount++
+					if n < 0 {
+						n = r.n
+					}
+					if sl != group[0] {
+						s.noteReplicaWrite()
+					}
+					continue
+				}
+				if immediateErr(ctx, r.err) {
+					return r.err
+				}
+				s.slotFailed(t, sl)
+				s.noteWriteMiss(key, sl)
+				if firstErr == nil {
+					firstErr = r.err
+				}
+			}
+			return nil
+		}
+		if err := runList(allowed); err != nil {
+			return 0, err
+		}
+		if okCount == 0 {
+			if err := runList(deferred); err != nil {
+				return 0, err
+			}
+		} else {
+			for _, sl := range deferred {
+				s.noteWriteMiss(key, sl)
+			}
+		}
+		if okCount == 0 {
+			return 0, firstErr
+		}
 	}
 	return n, nil
 }
@@ -412,6 +711,15 @@ func (f *file) truncate(ctx context.Context, size int64) error {
 		fl.Lock()
 		defer fl.Unlock()
 	}
+	if sc := f.store.scrub.Load(); sc != nil {
+		// Same exclusion against the scrubber's repair copies.
+		fl := sc.fileLock(f.name)
+		fl.Lock()
+		defer fl.Unlock()
+	}
+	if t.replicated() {
+		return f.truncateReplicated(ctx, t, size)
+	}
 	if !striped(t) {
 		if t.mig == nil {
 			// Stable whole-file placement: one copy, one call — the
@@ -453,10 +761,76 @@ func (f *file) truncate(ctx context.Context, size int64) error {
 	return nil
 }
 
+// truncateReplicated cuts a replicated file: every reachable copy is
+// capped, then the owner group of the final byte (both epochs'
+// mid-migration) is anchored at exactly size. Unreachable copies are
+// journaled as size-suspect so Scrub re-caps them — a shard that was
+// down through a truncate must not later reinflate the global size.
+func (f *file) truncateReplicated(ctx context.Context, t *topology, size int64) error {
+	if err := f.truncateSlots(ctx, t, size); err != nil {
+		return err
+	}
+	if striped(t) && size == 0 {
+		return nil
+	}
+	anchorOff := int64(0)
+	if striped(t) && size > 0 {
+		anchorOff = size - 1
+	}
+	slots, fellBack := t.readTargets(f.name, anchorOff)
+	if err := f.truncateAnchorGroup(ctx, t, slots, size); err != nil {
+		return err
+	}
+	if fellBack {
+		if cur := t.lay.Owners(t.lay.KeyOf(f.name, anchorOff)); !sameSlotSet(cur, slots) {
+			return f.truncateAnchorGroup(ctx, t, cur, size)
+		}
+	}
+	return nil
+}
+
+// truncateAnchorGroup pins size on every owner in slots. At least one
+// anchor must land; owners the cut could not reach are journaled for
+// Scrub.
+func (f *file) truncateAnchorGroup(ctx context.Context, t *topology, slots []int, size int64) error {
+	s := f.store
+	ok := 0
+	var firstErr error
+	for _, sl := range t.dedupSlots(slots) {
+		err := f.truncateAnchor(ctx, t, sl, size)
+		if err == nil {
+			t.health[sl].ok()
+			ok++
+			continue
+		}
+		if immediateErr(ctx, err) {
+			return err
+		}
+		s.slotFailed(t, sl)
+		s.noteSizeMiss(f.name, sl)
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if ok == 0 {
+		return firstErr
+	}
+	return nil
+}
+
 // truncateSlots caps every store holding more than size. Stores never
 // probed are checked by name so stripes written by an earlier handle
-// are cut too.
+// are cut too. Under replication an unreachable store is journaled and
+// skipped instead of failing the cut.
 func (f *file) truncateSlots(ctx context.Context, t *topology, size int64) error {
+	tolerate := func(err error, shard int) bool {
+		if !t.replicated() || immediateErr(ctx, err) {
+			return false
+		}
+		f.store.slotFailed(t, shard)
+		f.store.noteSizeMiss(f.name, shard)
+		return true
+	}
 	for _, u := range t.uniq {
 		if err := backend.CtxErr(ctx); err != nil {
 			return err
@@ -466,6 +840,9 @@ func (f *file) truncateSlots(ctx context.Context, t *topology, size int64) error
 			continue
 		}
 		if err != nil {
+			if tolerate(err, u.shard) {
+				continue
+			}
 			return err
 		}
 		if local <= size {
@@ -473,9 +850,15 @@ func (f *file) truncateSlots(ctx context.Context, t *topology, size int64) error
 		}
 		h, err := f.handle(ctx, t, u.shard, true)
 		if err != nil {
+			if tolerate(err, u.shard) {
+				continue
+			}
 			return err
 		}
 		if err := backend.TruncateCtx(ctx, h, size); err != nil {
+			if tolerate(err, u.shard) {
+				continue
+			}
 			return err
 		}
 	}
@@ -505,14 +888,32 @@ func (f *file) sync(ctx context.Context) error {
 		return err
 	}
 	t := f.store.topo.Load()
+	synced, failed := 0, 0
+	var firstErr error
 	for s, h := range open {
 		if err := backend.CtxErr(ctx); err != nil {
 			return err
 		}
 		if err := backend.SyncCtx(ctx, h); err != nil {
+			if t.replicated() && !immediateErr(ctx, err) {
+				// A dead shard's flush failing must not fail the sync:
+				// every key it holds has a replica among the handles
+				// that did flush, and its copies are suspect anyway —
+				// Scrub reconverges them from the surviving owners.
+				f.store.slotFailed(t, s)
+				failed++
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
 			return err
 		}
 		t.countSync(s)
+		synced++
+	}
+	if failed > 0 && synced == 0 {
+		return firstErr
 	}
 	return nil
 }

@@ -100,6 +100,39 @@ func (r *Ring) Lookup(key string) int {
 	return r.points[i].shard
 }
 
+// LookupN returns the first n DISTINCT shards at or clockwise of the
+// key's hash — the replica set of the key. LookupN(key, 1)[0] always
+// equals Lookup(key), so single-copy placement is the R=1 special
+// case of the same walk, and raising R never moves a key's primary.
+// n is clamped to the shard count (a ring cannot hold more distinct
+// copies than it has shards).
+func (r *Ring) LookupN(key string, n int) []int {
+	if n > r.shards {
+		n = r.shards
+	}
+	if n < 1 {
+		n = 1
+	}
+	if r.shards == 1 {
+		return []int{0}
+	}
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the highest point
+	}
+	owners := make([]int, 0, n)
+	seen := make([]bool, r.shards)
+	for scanned := 0; scanned < len(r.points) && len(owners) < n; scanned++ {
+		p := r.points[(i+scanned)%len(r.points)]
+		if !seen[p.shard] {
+			seen[p.shard] = true
+			owners = append(owners, p.shard)
+		}
+	}
+	return owners
+}
+
 // hashKey maps a key onto the circle: FNV-1a for stable, seedless
 // absorption (placement must agree between the process that wrote a
 // file and every later process that reads it) followed by a
@@ -129,13 +162,16 @@ func mix64(x uint64) uint64 {
 // epoch — the epoch orders topologies in time, it never perturbs the
 // hash.
 type Layout struct {
-	epoch  uint64
-	ring   *Ring
-	stripe int64
+	epoch    uint64
+	ring     *Ring
+	stripe   int64
+	replicas int // distinct copies per key; 0 and 1 both mean single-copy
 }
 
 // New builds the Layout for one epoch. vnodes < 1 selects
-// DefaultVnodes; stripe <= 0 selects whole-file placement.
+// DefaultVnodes; stripe <= 0 selects whole-file placement. The layout
+// places a single copy of every key; derive a replicated layout with
+// WithReplicas.
 func New(epoch uint64, shards, vnodes int, stripe int64) (*Layout, error) {
 	ring, err := NewRing(shards, vnodes)
 	if err != nil {
@@ -169,7 +205,32 @@ func (l *Layout) WithEpoch(epoch uint64) *Layout {
 	if epoch == l.epoch {
 		return l
 	}
-	return &Layout{epoch: epoch, ring: l.ring, stripe: l.stripe}
+	return &Layout{epoch: epoch, ring: l.ring, stripe: l.stripe, replicas: l.replicas}
+}
+
+// WithReplicas returns a Layout identical to l but placing r distinct
+// copies of every key (the ring is shared, not rebuilt). r is clamped
+// to [1, shards]; WithReplicas(1) is single-copy placement.
+func (l *Layout) WithReplicas(r int) *Layout {
+	if r > l.ring.shards {
+		r = l.ring.shards
+	}
+	if r < 1 {
+		r = 1
+	}
+	if r == l.Replicas() {
+		return l
+	}
+	return &Layout{epoch: l.epoch, ring: l.ring, stripe: l.stripe, replicas: r}
+}
+
+// Replicas returns the number of distinct copies the layout places
+// per key; always at least 1.
+func (l *Layout) Replicas() int {
+	if l.replicas < 1 {
+		return 1
+	}
+	return l.replicas
 }
 
 // KeyOf returns the placement key of byte off of the named file: the
@@ -191,13 +252,25 @@ func (l *Layout) ShardOf(name string, off int64) int {
 }
 
 // Owner returns the shard owning a placement key previously derived
-// with KeyOf (or StripeKey).
+// with KeyOf (or StripeKey). Under replication it is the PRIMARY —
+// Owners(key)[0] — so single-copy callers need never know about
+// replica sets.
 func (l *Layout) Owner(key string) int { return l.ring.Lookup(key) }
 
+// Owners returns the replica set of a placement key: the layout's R
+// distinct shards walking clockwise from the key's hash, primary
+// first. Owners(key)[0] == Owner(key) for every layout, so the R=1
+// placement (and its golden) is unchanged by replication.
+func (l *Layout) Owners(key string) []int {
+	return l.ring.LookupN(key, l.Replicas())
+}
+
 // SamePlacement reports whether l and o route every key identically
-// (same shard count, vnodes and stripe unit) — epochs are ignored.
+// (same shard count, vnodes, stripe unit and replication factor) —
+// epochs are ignored.
 func (l *Layout) SamePlacement(o *Layout) bool {
-	return l.ring.shards == o.ring.shards && l.ring.vnodes == o.ring.vnodes && l.stripe == o.stripe
+	return l.ring.shards == o.ring.shards && l.ring.vnodes == o.ring.vnodes &&
+		l.stripe == o.stripe && l.Replicas() == o.Replicas()
 }
 
 // StripeKey derives the placement key of stripe idx of name. The NUL

@@ -50,6 +50,32 @@ func TestRecordGolden(t *testing.T) {
 				"prev-shards 5\n" +
 				"prev-vnodes 32\n",
 		},
+		// Replicated records encode as v2; the replicas field sits
+		// between stripe and the prev-* block.
+		{
+			rec: Record{Epoch: 1, State: StateStable, Shards: 4, Vnodes: 64, StripeBytes: 8192,
+				Replicas: 2},
+			want: "lamassu-layout v2\n" +
+				"epoch 1\n" +
+				"state stable\n" +
+				"shards 4\n" +
+				"vnodes 64\n" +
+				"stripe 8192\n" +
+				"replicas 2\n",
+		},
+		{
+			rec: Record{Epoch: 3, State: StateMigrating, Shards: 5, Vnodes: 64, StripeBytes: 0,
+				PrevShards: 4, PrevVnodes: 64, Replicas: 3},
+			want: "lamassu-layout v2\n" +
+				"epoch 3\n" +
+				"state migrating\n" +
+				"shards 5\n" +
+				"vnodes 64\n" +
+				"stripe 0\n" +
+				"replicas 3\n" +
+				"prev-shards 4\n" +
+				"prev-vnodes 64\n",
+		},
 	}
 	for i, c := range cases {
 		got := c.rec.Encode()
@@ -64,13 +90,22 @@ func TestRecordGolden(t *testing.T) {
 			t.Errorf("case %d: round trip %+v -> %+v", i, c.rec, back)
 		}
 	}
+	// v1 decodes must leave Replicas at the zero value so existing
+	// deployments adopt as single-copy (ReplicaCount normalizes).
+	v1, err := DecodeRecord(cases[0].rec.Encode())
+	if err != nil || v1.Replicas != 0 || v1.ReplicaCount() != 1 {
+		t.Fatalf("v1 decode: Replicas=%d ReplicaCount=%d err=%v", v1.Replicas, v1.ReplicaCount(), err)
+	}
 }
 
 func TestRecordDecodeErrors(t *testing.T) {
 	bad := []string{
 		"",
 		"not-a-record\n",
-		"lamassu-layout v2\nepoch 0\nstate stable\nshards 1\nvnodes 64\nstripe 0\n",
+		"lamassu-layout v2\nepoch 0\nstate stable\nshards 1\nvnodes 64\nstripe 0\n",                 // v2 without replicas
+		"lamassu-layout v2\nepoch 0\nstate stable\nshards 2\nvnodes 64\nstripe 0\nreplicas 1\n",     // v2 with single-copy factor
+		"lamassu-layout v1\nepoch 0\nstate stable\nshards 2\nvnodes 64\nstripe 0\nreplicas 2\n",     // replicas is not a v1 field
+		"lamassu-layout v3\nepoch 0\nstate stable\nshards 1\nvnodes 64\nstripe 0\n",                 // unknown version
 		"lamassu-layout v1\nepoch 0\nstate stable\nvnodes 64\nstripe 0\n",                           // missing shards
 		"lamassu-layout v1\nepoch 0\nstate wat\nshards 1\nvnodes 64\nstripe 0\n",                    // bad state
 		"lamassu-layout v1\nepoch 0\nstate migrating\nshards 2\nvnodes 64\nstripe 0\n",              // migrating without prev
@@ -141,6 +176,59 @@ func TestLayoutRoutesLikeRing(t *testing.T) {
 	}
 	if lay.ShardOf("abc", 1<<30) != ring.Lookup("abc") {
 		t.Fatal("whole-file ShardOf diverges from ring")
+	}
+}
+
+// Replica sets: Owners[0] is always the single-copy owner, owners are
+// distinct, stable under clamping, and WithReplicas shares the ring.
+func TestLayoutOwners(t *testing.T) {
+	lay, err := New(0, 5, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := lay.WithReplicas(2)
+	if r2.Ring() != lay.Ring() {
+		t.Fatal("WithReplicas must share the ring")
+	}
+	if lay.Replicas() != 1 || r2.Replicas() != 2 {
+		t.Fatalf("Replicas = %d / %d", lay.Replicas(), r2.Replicas())
+	}
+	if lay.WithReplicas(1) != lay {
+		t.Fatal("WithReplicas(same) should return the receiver")
+	}
+	if lay.SamePlacement(r2) {
+		t.Fatal("SamePlacement must distinguish replication factors")
+	}
+	for i := 0; i < 512; i++ {
+		key := fmt.Sprintf("file-%03d", i)
+		owners := r2.Owners(key)
+		if len(owners) != 2 {
+			t.Fatalf("Owners(%q) = %v, want 2 owners", key, owners)
+		}
+		if owners[0] != lay.Owner(key) {
+			t.Fatalf("Owners(%q)[0] = %d, single-copy owner is %d", key, owners[0], lay.Owner(key))
+		}
+		if owners[0] == owners[1] {
+			t.Fatalf("Owners(%q) = %v, owners must be distinct", key, owners)
+		}
+	}
+	// Clamping: more replicas than shards degrades to all shards, and
+	// the full set is a permutation of 0..shards-1.
+	all := lay.WithReplicas(99)
+	if all.Replicas() != 5 {
+		t.Fatalf("WithReplicas(99).Replicas() = %d, want 5", all.Replicas())
+	}
+	seen := map[int]bool{}
+	for _, s := range all.Owners("k") {
+		seen[s] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("Owners at R=shards covers %d shards, want 5", len(seen))
+	}
+	// A single-shard ring has exactly one owner no matter the factor.
+	one, _ := New(0, 1, 64, 0)
+	if got := one.WithReplicas(3).Owners("k"); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("single-shard Owners = %v", got)
 	}
 }
 

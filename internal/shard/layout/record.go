@@ -105,20 +105,50 @@ type Record struct {
 	// only while State is StateMigrating or StateReaping.
 	PrevShards int
 	PrevVnodes int
+	// Replicas is the number of distinct copies the deployment places
+	// per key. 0 and 1 both mean single-copy. A record with Replicas
+	// >= 2 encodes as format v2; single-copy records stay byte-for-byte
+	// v1, so replication never perturbs an existing deployment's
+	// on-disk record.
+	Replicas int
 }
 
-// magic is the first line of every record (format version v1).
-const magic = "lamassu-layout v1"
+// magic is the first line of a single-copy record (format version v1).
+// magicV2 heads records that carry a replication factor; a v1 reader
+// rejects them outright (bad magic) rather than silently serving an
+// R-way deployment with single-copy semantics.
+const (
+	magic   = "lamassu-layout v1"
+	magicV2 = "lamassu-layout v2"
+)
 
-// Encode renders the record in its canonical, golden-pinned form.
+// ReplicaCount returns the record's replication factor, normalizing
+// the v1 zero value to 1.
+func (r Record) ReplicaCount() int {
+	if r.Replicas < 1 {
+		return 1
+	}
+	return r.Replicas
+}
+
+// Encode renders the record in its canonical, golden-pinned form:
+// exactly the v1 bytes when single-copy, v2 (with a replicas field)
+// when the deployment places two or more copies per key.
 func (r Record) Encode() []byte {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s\n", magic)
+	if r.Replicas >= 2 {
+		fmt.Fprintf(&b, "%s\n", magicV2)
+	} else {
+		fmt.Fprintf(&b, "%s\n", magic)
+	}
 	fmt.Fprintf(&b, "epoch %d\n", r.Epoch)
 	fmt.Fprintf(&b, "state %s\n", r.State)
 	fmt.Fprintf(&b, "shards %d\n", r.Shards)
 	fmt.Fprintf(&b, "vnodes %d\n", r.Vnodes)
 	fmt.Fprintf(&b, "stripe %d\n", r.StripeBytes)
+	if r.Replicas >= 2 {
+		fmt.Fprintf(&b, "replicas %d\n", r.Replicas)
+	}
 	if r.State != StateStable {
 		fmt.Fprintf(&b, "prev-shards %d\n", r.PrevShards)
 		fmt.Fprintf(&b, "prev-vnodes %d\n", r.PrevVnodes)
@@ -127,12 +157,15 @@ func (r Record) Encode() []byte {
 }
 
 // DecodeRecord parses an encoded record, rejecting unknown versions
-// and malformed fields.
+// and malformed fields. Both format versions decode: v1 records leave
+// Replicas at 0 (single-copy — use ReplicaCount for the normalized
+// factor), v2 records must carry replicas >= 2.
 func DecodeRecord(data []byte) (Record, error) {
 	var r Record
 	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
-	if len(lines) == 0 || lines[0] != magic {
-		return r, fmt.Errorf("shard: layout record: bad magic (want %q)", magic)
+	v2 := len(lines) > 0 && lines[0] == magicV2
+	if len(lines) == 0 || (lines[0] != magic && !v2) {
+		return r, fmt.Errorf("shard: layout record: bad magic (want %q or %q)", magic, magicV2)
 	}
 	seen := make(map[string]bool, len(lines))
 	for _, line := range lines[1:] {
@@ -165,6 +198,14 @@ func DecodeRecord(data []byte) (Record, error) {
 			r.Vnodes, err = strconv.Atoi(val)
 		case "stripe":
 			r.StripeBytes, err = strconv.ParseInt(val, 10, 64)
+		case "replicas":
+			if !v2 {
+				// v1 never wrote this field; treat it like any other
+				// unknown v1 field so a hand-edited hybrid is rejected.
+				err = fmt.Errorf("unknown field %q", field)
+				break
+			}
+			r.Replicas, err = strconv.Atoi(val)
 		case "prev-shards":
 			r.PrevShards, err = strconv.Atoi(val)
 		case "prev-vnodes":
@@ -183,6 +224,12 @@ func DecodeRecord(data []byte) (Record, error) {
 	}
 	if r.State != StateStable && r.PrevShards < 1 {
 		return r, fmt.Errorf("shard: layout record: state %s without prev-shards", r.State)
+	}
+	if v2 && r.Replicas < 2 {
+		// A v2 record exists only to carry a replication factor; one
+		// without it (or with a single-copy factor) is malformed, not a
+		// quiet R=1 — Encode would have produced v1.
+		return r, errors.New("shard: layout record: v2 record without replicas >= 2")
 	}
 	return r, nil
 }

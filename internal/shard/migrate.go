@@ -209,6 +209,9 @@ func (s *Store) BeginMigration(ctx context.Context, newStores []backend.Store, h
 		t.mig.onKeyMoved = h.OnKeyMoved
 		return nil
 	}
+	if s.scrub.Load() != nil {
+		return errors.New("shard: cannot begin a migration while a scrub pass runs")
+	}
 	cur := t.curStores()
 	union, err := unionStoreList(cur, newStores)
 	if err != nil {
@@ -217,6 +220,15 @@ func (s *Store) BeginMigration(ctx context.Context, newStores []backend.Store, h
 	newLay, err := layout.New(t.lay.Epoch()+1, len(newStores), t.lay.Vnodes(), t.lay.StripeBytes())
 	if err != nil {
 		return err
+	}
+	// The replication factor is part of the deployment's identity; the
+	// new epoch inherits it, which bounds how far a shrink can go.
+	if r := t.lay.Replicas(); r > 1 {
+		if len(newStores) < r {
+			return fmt.Errorf("shard: %d-way replication needs at least %d shards; migration target has %d",
+				r, r, len(newStores))
+		}
+		newLay = newLay.WithReplicas(r)
 	}
 	if newLay.SamePlacement(t.lay) {
 		return errors.New("shard: migration target has the same placement as the current epoch")
@@ -229,6 +241,7 @@ func (s *Store) BeginMigration(ctx context.Context, newStores []backend.Store, h
 		StripeBytes: newLay.StripeBytes(),
 		PrevShards:  t.lay.Shards(),
 		PrevVnodes:  t.lay.Vnodes(),
+		Replicas:    recReplicas(newLay),
 	}
 	unionUniq := uniqueOf(union)
 	for _, u := range unionUniq {
@@ -247,12 +260,17 @@ func (s *Store) BeginMigration(ctx context.Context, newStores []backend.Store, h
 	for len(stats) < len(union) {
 		stats = append(stats, &shardCounters{})
 	}
+	health := append([]*slotHealth(nil), t.health...)
+	for len(health) < len(union) {
+		health = append(health, &slotHealth{})
+	}
 	s.topo.Store(&topology{
 		stores: union,
 		uniq:   unionUniq,
 		lay:    newLay,
 		mig:    mig,
 		stats:  stats,
+		health: health,
 	})
 	s.routeGen.Add(1)
 	return nil
@@ -359,12 +377,49 @@ func unionNamespace(uniq []uniqueStore) ([]string, error) {
 	return names, nil
 }
 
-// changedKeys lists the placement keys of a file whose owner differs
-// between the previous and current epochs.
+// recReplicas is the record form of a layout's replication factor: 0
+// (v1 record bytes) for single-copy, the factor itself otherwise.
+func recReplicas(l *layout.Layout) int {
+	if r := l.Replicas(); r > 1 {
+		return r
+	}
+	return 0
+}
+
+// storeSet maps a slot list to its set of physical stores.
+func (t *topology) storeSet(slots []int) map[backend.Store]bool {
+	out := make(map[backend.Store]bool, len(slots))
+	for _, sl := range slots {
+		out[t.stores[sl]] = true
+	}
+	return out
+}
+
+// keyRelocated reports whether key's owner set differs between the two
+// epochs — by physical store, so carve aliases do not count as moves.
+func (t *topology) keyRelocated(key string) bool {
+	if !t.replicated() {
+		return t.lay.Owner(key) != t.mig.prev.Owner(key)
+	}
+	cur := t.storeSet(t.lay.Owners(key))
+	prev := t.storeSet(t.mig.prev.Owners(key))
+	if len(cur) != len(prev) {
+		return true
+	}
+	for st := range cur {
+		if !prev[st] {
+			return true
+		}
+	}
+	return false
+}
+
+// changedKeys lists the placement keys of a file whose owner set
+// differs between the previous and current epochs.
 func changedKeys(t *topology, name string, phys int64) []string {
 	stripe := t.lay.StripeBytes()
 	if stripe <= 0 {
-		if t.lay.Owner(name) != t.mig.prev.Owner(name) {
+		if t.keyRelocated(name) {
 			return []string{name}
 		}
 		return nil
@@ -375,11 +430,55 @@ func changedKeys(t *topology, name string, phys int64) []string {
 	nStripes := (phys + stripe - 1) / stripe
 	for i := int64(0); i < nStripes; i++ {
 		key := layout.StripeKey(name, i)
-		if t.lay.Owner(key) != t.mig.prev.Owner(key) {
+		if t.keyRelocated(key) {
 			keys = append(keys, key)
 		}
 	}
 	return keys
+}
+
+// copyKeyToOwners copies one key's range from the first previous-epoch
+// owner holding the file to every current-epoch owner that is not
+// itself a previous owner (those copies are authoritative already —
+// the dual writes kept them fresh). Whole-file keys (hi < 0) replace
+// the destination copy outright. Returns the payload bytes copied.
+func (t *topology) copyKeyToOwners(name, key string, lo, hi int64) (int64, error) {
+	prevSet := t.storeSet(t.mig.prev.Owners(key))
+	var src backend.Store
+	for _, sl := range t.dedupSlots(t.mig.prev.Owners(key)) {
+		has, err := storeHas(t.stores[sl], name)
+		if err != nil {
+			return 0, err
+		}
+		if has {
+			src = t.stores[sl]
+			break
+		}
+	}
+	if src == nil {
+		// No previous owner holds a copy: nothing to move (the file
+		// exists only under the new epoch, or not at all).
+		return 0, nil
+	}
+	var total int64
+	for _, sl := range t.dedupSlots(t.lay.Owners(key)) {
+		dst := t.stores[sl]
+		if dst == src || prevSet[dst] {
+			continue
+		}
+		var n int64
+		var err error
+		if hi < 0 {
+			n, err = copyNamed(src, name, dst, name)
+		} else {
+			n, err = copyRange(src, dst, name, lo, hi)
+		}
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
 }
 
 // moverFile relocates one file's changed keys old→new. It holds the
@@ -399,15 +498,28 @@ func (s *Store) moverFile(ctx context.Context, t *topology, name string, st *Reb
 		defer mig.invalidate(name)
 	}
 
-	curHome := t.stores[t.homeShard(name)]
-	prevHome := t.stores[mig.prev.ShardOf(name, 0)]
-	curHas, err := storeHas(curHome, name)
-	if err != nil {
-		return err
+	curHomes := t.dedupSlots(t.lay.Owners(t.lay.KeyOf(name, 0)))
+	prevHomes := t.dedupSlots(mig.prev.Owners(mig.prev.KeyOf(name, 0)))
+	curHas, prevHas := false, false
+	for _, sl := range curHomes {
+		has, err := storeHas(t.stores[sl], name)
+		if err != nil {
+			return err
+		}
+		if has {
+			curHas = true
+			break
+		}
 	}
-	prevHas, err := storeHas(prevHome, name)
-	if err != nil {
-		return err
+	for _, sl := range prevHomes {
+		has, err := storeHas(t.stores[sl], name)
+		if err != nil {
+			return err
+		}
+		if has {
+			prevHas = true
+			break
+		}
 	}
 	if !curHas && !prevHas {
 		// Unreachable under either epoch: stale copies from an older
@@ -437,11 +549,13 @@ func (s *Store) moverFile(ctx context.Context, t *topology, name string, st *Reb
 		}
 	}
 
-	// The new home shard defines existence once the epoch commits;
-	// create its copy first (OpenCreate does not truncate, so data the
+	// The new home owners define existence once the epoch commits;
+	// create their copies first (OpenCreate does not truncate, so data a
 	// home store already holds — e.g. mirrored writes — survives).
-	if err := ensureExists(curHome, name); err != nil {
-		return err
+	for _, sl := range curHomes {
+		if err := ensureExists(t.stores[sl], name); err != nil {
+			return err
+		}
 	}
 	for _, key := range changedKeys(t, name, phys) {
 		if !mig.confirmed(key) {
@@ -452,16 +566,13 @@ func (s *Store) moverFile(ctx context.Context, t *topology, name string, st *Reb
 	moved := false
 	stripe := t.lay.StripeBytes()
 	if stripe <= 0 {
-		if t.lay.Owner(name) != mig.prev.Owner(name) && !mig.confirmed(name) {
+		if t.keyRelocated(name) && !mig.confirmed(name) {
 			if err := backend.CtxErr(ctx); err != nil {
 				return err
 			}
 			kl := mig.keyLock(name)
 			kl.Lock()
-			var n int64
-			if prevHome != curHome && prevHas {
-				n, err = copyNamed(prevHome, name, curHome, name)
-			}
+			n, err := t.copyKeyToOwners(name, name, 0, -1)
 			kl.Unlock()
 			if err != nil {
 				return err
@@ -480,9 +591,7 @@ func (s *Store) moverFile(ctx context.Context, t *topology, name string, st *Reb
 		nStripes := (phys + stripe - 1) / stripe
 		for i := int64(0); i < nStripes; i++ {
 			key := layout.StripeKey(name, i)
-			src := t.stores[mig.prev.Owner(key)]
-			dst := t.stores[t.lay.Owner(key)]
-			if src == dst || mig.confirmed(key) {
+			if !t.keyRelocated(key) || mig.confirmed(key) {
 				continue
 			}
 			if err := backend.CtxErr(ctx); err != nil {
@@ -492,7 +601,7 @@ func (s *Store) moverFile(ctx context.Context, t *topology, name string, st *Reb
 			hi := min(lo+stripe, phys)
 			kl := mig.keyLock(key)
 			kl.Lock()
-			n, err := copyRange(src, dst, name, lo, hi)
+			n, err := t.copyKeyToOwners(name, key, lo, hi)
 			kl.Unlock()
 			if err != nil {
 				return err
@@ -507,13 +616,15 @@ func (s *Store) moverFile(ctx context.Context, t *topology, name string, st *Reb
 				mig.onKeyMoved(key)
 			}
 		}
-		// Anchor the global size: the store owning the final byte under
+		// Anchor the global size: every owner of the final byte under
 		// the new placement must reach exactly phys, even when the final
 		// stripe is a hole with no bytes to copy. (extendTo never
 		// shrinks, so a concurrent append that outgrew phys is safe.)
 		if phys > 0 {
-			if err := extendTo(t.stores[t.lay.ShardOf(name, phys-1)], name, phys); err != nil {
-				return err
+			for _, sl := range t.dedupSlots(t.lay.Owners(t.lay.KeyOf(name, phys-1))) {
+				if err := extendTo(t.stores[sl], name, phys); err != nil {
+					return err
+				}
 			}
 		}
 	}
@@ -544,6 +655,7 @@ func (s *Store) commitEpoch(ctx context.Context, t *topology, st *RebalanceStats
 		StripeBytes: newLay.StripeBytes(),
 		PrevShards:  mig.prev.Shards(),
 		PrevVnodes:  mig.prev.Vnodes(),
+		Replicas:    recReplicas(newLay),
 	}
 	for _, u := range curUniq {
 		if err := layout.WriteRecord(ctx, u.store, rec); err != nil {
@@ -576,6 +688,7 @@ func (s *Store) commitEpoch(ctx context.Context, t *topology, st *RebalanceStats
 		uniq:   curUniq,
 		lay:    newLay,
 		stats:  append([]*shardCounters(nil), t.stats[:len(cur)]...),
+		health: append([]*slotHealth(nil), t.health[:len(cur)]...),
 	})
 	s.routeGen.Add(1)
 	mig.rec.CountEvent(metrics.EpochBump, 1)
@@ -625,14 +738,20 @@ func reapStale(ctx context.Context, stores []backend.Store, uniq []uniqueStore, 
 }
 
 // ownerStores returns the set of stores owning at least one placement
-// key of the file under lay; stores is the dense slot list lay's
-// lookups index into.
+// key of the file under lay — every replica owner, not just the
+// primary, so reaping never strips a live replica copy. stores is the
+// dense slot list lay's lookups index into.
 func ownerStores(stores []backend.Store, lay *layout.Layout, name string, phys int64) map[backend.Store]bool {
-	owners := map[backend.Store]bool{stores[lay.ShardOf(name, 0)]: true}
+	owners := make(map[backend.Store]bool)
+	for _, sl := range lay.Owners(lay.KeyOf(name, 0)) {
+		owners[stores[sl]] = true
+	}
 	if stripe := lay.StripeBytes(); stripe > 0 {
 		nStripes := (phys + stripe - 1) / stripe
 		for i := int64(0); i < nStripes; i++ {
-			owners[stores[lay.Owner(layout.StripeKey(name, i))]] = true
+			for _, sl := range lay.Owners(layout.StripeKey(name, i)) {
+				owners[stores[sl]] = true
+			}
 		}
 	}
 	return owners

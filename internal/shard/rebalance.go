@@ -55,6 +55,10 @@ func RebalanceCtx(ctx context.Context, from, to *Store) (RebalanceStats, error) 
 		return st, fmt.Errorf("shard: rebalance stripe mismatch: %d vs %d",
 			ft.lay.StripeBytes(), tt.lay.StripeBytes())
 	}
+	if ft.lay.Replicas() != tt.lay.Replicas() {
+		return st, fmt.Errorf("shard: rebalance replication mismatch: %d-way vs %d-way",
+			ft.lay.Replicas(), tt.lay.Replicas())
+	}
 	// Iterate the union of every store's raw namespace, not the
 	// home-filtered List: a rerun after a crash mid-pass must still
 	// reach files whose old-home copy was already moved, and stale
@@ -122,6 +126,7 @@ func settleRecords(ctx context.Context, ft, tt *topology) error {
 		Shards:      tt.lay.Shards(),
 		Vnodes:      tt.lay.Vnodes(),
 		StripeBytes: tt.lay.StripeBytes(),
+		Replicas:    recReplicas(tt.lay),
 	}
 	inTo := make(map[backend.Store]bool)
 	for _, u := range tt.uniq {
@@ -149,11 +154,22 @@ func rebalanceFile(ctx context.Context, from, to *topology, name string, st *Reb
 	// new home only, and its tail may live only on the new anchor
 	// store — one the old view cannot see. Judging from the old view
 	// alone would under-size the file and reap its tail as garbage.
-	fromHome, err := storeHas(from.stores[from.homeShard(name)], name)
+	anyHas := func(t *topology, slots []int) (bool, error) {
+		for _, sl := range slots {
+			has, err := storeHas(t.stores[sl], name)
+			if err != nil || has {
+				return has, err
+			}
+		}
+		return false, nil
+	}
+	fromHomes := from.dedupSlots(from.lay.Owners(from.lay.KeyOf(name, 0)))
+	toHomes := to.dedupSlots(to.lay.Owners(to.lay.KeyOf(name, 0)))
+	fromHome, err := anyHas(from, fromHomes)
 	if err != nil {
 		return err
 	}
-	toHome, err := storeHas(to.stores[to.homeShard(name)], name)
+	toHome, err := anyHas(to, toHomes)
 	if err != nil {
 		return err
 	}
@@ -185,71 +201,92 @@ func rebalanceFile(ctx context.Context, from, to *topology, name string, st *Reb
 		}
 	}
 
-	// The new home shard defines existence under the new placement;
-	// create its copy first (OpenCreate does not truncate, so data the
+	// The new home owners define existence under the new placement;
+	// create their copies first (OpenCreate does not truncate, so data a
 	// home store already holds survives).
-	if err := ensureExists(to.stores[to.homeShard(name)], name); err != nil {
-		return err
+	for _, sl := range toHomes {
+		if err := ensureExists(to.stores[sl], name); err != nil {
+			return err
+		}
 	}
 
 	moved := false
-	owners := map[backend.Store]bool{to.stores[to.homeShard(name)]: true}
-	if stripe := to.lay.StripeBytes(); stripe <= 0 {
-		// Whole-file placement: one key per file.
-		src := from.stores[from.homeShard(name)]
-		dst := to.stores[to.homeShard(name)]
-		if _, serr := src.Stat(name); errors.Is(serr, backend.ErrNotExist) {
-			// Already moved by an interrupted earlier pass.
-			src = dst
+	owners := make(map[backend.Store]bool)
+	for _, sl := range toHomes {
+		owners[to.stores[sl]] = true
+	}
+	// copyKey moves one key's range from the first from-owner holding a
+	// copy to every to-owner that is not itself a from-owner (those
+	// copies are authoritative already). hi < 0 selects a whole-file
+	// copy. The cancellation point sits BETWEEN key copies: a canceled
+	// pass is cut at a copy boundary, the crash case the idempotency
+	// contract already covers.
+	copyKey := func(key string, lo, hi int64) error {
+		fromSlots := from.dedupSlots(from.lay.Owners(key))
+		fromSet := make(map[backend.Store]bool, len(fromSlots))
+		for _, sl := range fromSlots {
+			fromSet[from.stores[sl]] = true
 		}
-		if src != dst {
+		var src backend.Store
+		for _, sl := range fromSlots {
+			has, err := storeHas(from.stores[sl], name)
+			if err != nil {
+				return err
+			}
+			if has {
+				src = from.stores[sl]
+				break
+			}
+		}
+		for _, sl := range to.dedupSlots(to.lay.Owners(key)) {
+			dst := to.stores[sl]
+			owners[dst] = true
+			// src == nil: no from-owner holds a copy — already moved by
+			// an interrupted earlier pass (or never written).
+			if src == nil || dst == src || fromSet[dst] {
+				continue
+			}
 			if err := backend.CtxErr(ctx); err != nil {
 				return err
 			}
-			n, err := copyNamed(src, name, dst, name)
+			var n int64
+			var err error
+			if hi < 0 {
+				n, err = copyNamed(src, name, dst, name)
+			} else {
+				n, err = copyRange(src, dst, name, lo, hi)
+			}
 			if err != nil {
 				return err
 			}
 			st.MovedStripes++
 			st.MovedBytes += n
 			moved = true
+		}
+		return nil
+	}
+	if stripe := to.lay.StripeBytes(); stripe <= 0 {
+		// Whole-file placement: one key per file.
+		if err := copyKey(name, 0, -1); err != nil {
+			return err
 		}
 	} else {
 		nStripes := (phys + stripe - 1) / stripe
 		for s := int64(0); s < nStripes; s++ {
 			lo := s * stripe
-			hi := lo + stripe
-			if hi > phys {
-				hi = phys
-			}
-			key := layout.StripeKey(name, s)
-			src := from.stores[from.lay.Owner(key)]
-			dst := to.stores[to.lay.Owner(key)]
-			owners[dst] = true
-			if src == dst {
-				continue
-			}
-			// The cancellation point sits BETWEEN key copies: a canceled
-			// pass is cut at a copy boundary, the crash case the
-			// idempotency contract already covers.
-			if err := backend.CtxErr(ctx); err != nil {
+			hi := min(lo+stripe, phys)
+			if err := copyKey(layout.StripeKey(name, s), lo, hi); err != nil {
 				return err
 			}
-			n, err := copyRange(src, dst, name, lo, hi)
-			if err != nil {
-				return err
-			}
-			st.MovedStripes++
-			st.MovedBytes += n
-			moved = true
 		}
-		// Anchor the global size: the store owning the final byte under
+		// Anchor the global size: every owner of the final byte under
 		// the new placement must reach exactly phys, even when the final
 		// stripe is a hole with no bytes to copy.
 		if phys > 0 {
-			anchor := to.stores[to.lay.ShardOf(name, phys-1)]
-			if err := extendTo(anchor, name, phys); err != nil {
-				return err
+			for _, sl := range to.dedupSlots(to.lay.Owners(to.lay.KeyOf(name, phys-1))) {
+				if err := extendTo(to.stores[sl], name, phys); err != nil {
+					return err
+				}
 			}
 		}
 	}

@@ -34,6 +34,55 @@ func TestRingGoldenPlacement(t *testing.T) {
 	}
 }
 
+// Replica placement is equally part of the on-disk format: the next R
+// distinct shards clockwise from the owner hold the copies, so a ring
+// built from the same parameters must produce the same owner LIST for
+// every key, forever. Slot 0 of every list is the Lookup owner — the
+// replicated layout is a strict extension of the single-copy one, so
+// R=1 deployments are untouched by the replication code. Like the
+// golden above, a failure here means broken deployments, not a stale
+// test.
+func TestRingGoldenOwners(t *testing.T) {
+	r, err := NewRing(5, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := map[string]struct{ r2, r3 []int }{
+		"a":                        {[]int{1, 4}, []int{1, 4, 2}},
+		"alpha":                    {[]int{2, 0}, []int{2, 0, 4}},
+		"file-001":                 {[]int{3, 4}, []int{3, 4, 1}},
+		"file-002":                 {[]int{3, 0}, []int{3, 0, 1}},
+		"vm/disk0.img":             {[]int{1, 0}, []int{1, 0, 3}},
+		"some/deep/path/block.dat": {[]int{2, 3}, []int{2, 3, 1}},
+		"zeta":                     {[]int{4, 1}, []int{4, 1, 0}},
+		"f\x001":                   {[]int{0, 4}, []int{0, 4, 3}},
+		"f\x0042":                  {[]int{2, 3}, []int{2, 3, 4}},
+	}
+	for k, want := range golden {
+		if got := r.LookupN(k, 2); !equalInts(got, want.r2) {
+			t.Errorf("LookupN(%q, 2) = %v, want %v", k, got, want.r2)
+		}
+		if got := r.LookupN(k, 3); !equalInts(got, want.r3) {
+			t.Errorf("LookupN(%q, 3) = %v, want %v", k, got, want.r3)
+		}
+		if got := r.LookupN(k, 1); len(got) != 1 || got[0] != r.Lookup(k) {
+			t.Errorf("LookupN(%q, 1) = %v, want [%d]", k, got, r.Lookup(k))
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Two rings with the same parameters agree on every key (the in-
 // process half of determinism; the golden test covers cross-process).
 func TestRingDeterminism(t *testing.T) {

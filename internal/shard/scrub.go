@@ -1,0 +1,590 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"lamassu/internal/backend"
+	"lamassu/internal/shard/layout"
+)
+
+// scrubState is the lock table a running scrub pass shares with the
+// live write path: replicated writers take the key lock of every range
+// they write, truncate and remove take the file lock, and the scrubber
+// holds both around each repair copy — so a repair can never interleave
+// with a live mutation of the same bytes. Lock order matches the
+// migration's: fileLock before keyLock, never the reverse.
+//
+// Writes already in flight when the pass installs the table are not
+// excluded; a pass started over an active workload can race them on its
+// first keys, and a second pass converges. Scrub after an outage, not
+// during a write burst, for an exact report.
+type scrubState struct {
+	mu        sync.Mutex
+	keyLocks  map[string]*sync.Mutex
+	fileLocks map[string]*sync.Mutex
+}
+
+func newScrubState() *scrubState {
+	return &scrubState{
+		keyLocks:  make(map[string]*sync.Mutex),
+		fileLocks: make(map[string]*sync.Mutex),
+	}
+}
+
+func (sc *scrubState) keyLock(key string) *sync.Mutex {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	l := sc.keyLocks[key]
+	if l == nil {
+		l = &sync.Mutex{}
+		sc.keyLocks[key] = l
+	}
+	return l
+}
+
+func (sc *scrubState) fileLock(name string) *sync.Mutex {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	l := sc.fileLocks[name]
+	if l == nil {
+		l = &sync.Mutex{}
+		sc.fileLocks[name] = l
+	}
+	return l
+}
+
+// ScrubStats summarizes a Scrub pass.
+type ScrubStats struct {
+	// Files is the number of files examined.
+	Files int
+	// Keys is the number of placement keys whose replica copies were
+	// byte-compared.
+	Keys int64
+	// Repairs counts replica copies re-created or re-copied from a
+	// verified source; RepairedBytes totals the payload moved doing it.
+	Repairs       int64
+	RepairedBytes int64
+	// RemovedCopies counts copies reaped: survivors of a journaled
+	// remove, and copies stranded where no current owner vouches for the
+	// name.
+	RemovedCopies int
+	// Truncated counts oversize copies capped back to the reference
+	// size (survivors of a truncate that missed their shard).
+	Truncated int
+	// Unrepaired counts damage the pass could see but not fix — the
+	// target shard was unreachable. Journal entries for it are kept;
+	// scrub again once the shard is back.
+	Unrepaired int64
+}
+
+// Scrub walks every file and verifies that all replica copies of every
+// placement key hold the same bytes, re-copying missing or divergent
+// replicas from a verified source, finishing removes and truncates that
+// missed a shard (per the damage journal), and reaping copies nothing
+// vouches for. It is the repair half of replication: failover keeps a
+// deployment serving through a shard loss, Scrub restores full
+// redundancy afterwards.
+//
+// The pass always byte-compares — the journal only picks sources and
+// breaks remove/truncate ties — so it converges even after a crash
+// erased the journal, on presence-wins semantics (a journaled-but-lost
+// remove can resurrect a name; see the journal's comment). Scrub
+// honors ctx between keys: a canceled pass has repaired a prefix and
+// rerunning converges. It refuses to run during a migration (and
+// BeginMigration refuses while a scrub is running).
+func (s *Store) Scrub(ctx context.Context) (ScrubStats, error) {
+	var st ScrubStats
+	sc := newScrubState()
+	s.migMu.Lock()
+	t := s.topo.Load()
+	if !t.replicated() {
+		s.migMu.Unlock()
+		return st, errors.New("shard: scrub requires a replicated store")
+	}
+	if t.mig != nil {
+		s.migMu.Unlock()
+		return st, errors.New("shard: scrub during a migration; run it after the epoch commits")
+	}
+	if !s.scrub.CompareAndSwap(nil, sc) {
+		s.migMu.Unlock()
+		return st, errors.New("shard: scrub already running")
+	}
+	s.migMu.Unlock()
+	defer s.scrub.Store(nil)
+
+	// The union of every store's raw namespace — tolerating unreachable
+	// stores, whose copies are exactly what a later pass repairs.
+	seen := make(map[string]bool)
+	var names []string
+	listedAll := true
+	for _, u := range t.uniq {
+		ns, err := u.store.List()
+		if err != nil {
+			if backend.CtxErr(ctx) != nil {
+				return st, err
+			}
+			s.slotFailed(t, u.shard)
+			listedAll = false
+			st.Unrepaired++
+			continue
+		}
+		t.health[u.shard].ok()
+		for _, n := range ns {
+			if layout.IsReserved(n) || seen[n] {
+				continue
+			}
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := backend.CtxErr(ctx); err != nil {
+			return st, err
+		}
+		if err := s.scrubFile(ctx, t, sc, name, &st); err != nil {
+			return st, fmt.Errorf("shard: scrubbing %q: %w", name, err)
+		}
+	}
+	// Journal entries can reference names no live store lists anymore
+	// (e.g. a remove that missed a now-unreachable shard, then every
+	// surviving copy was removed). Walk those too, so the stranded
+	// copies are reaped when their shard returns.
+	for _, name := range s.damage.staleNames(seen) {
+		if err := backend.CtxErr(ctx); err != nil {
+			return st, err
+		}
+		if err := s.scrubFile(ctx, t, sc, name, &st); err != nil {
+			return st, fmt.Errorf("shard: scrubbing %q: %w", name, err)
+		}
+	}
+	if listedAll && st.Unrepaired == 0 {
+		s.damage.resetOverflow()
+	}
+	return st, nil
+}
+
+// scrubCopy is one physical store's view of a file during a scrub.
+type scrubCopy struct {
+	present   bool
+	reachable bool
+	size      int64
+}
+
+// scrubFile settles one file: remove/size tie-breakers first, then a
+// per-key byte compare and repair, then size capping and anchoring.
+// The file lock is held throughout (excluding live truncate/remove and
+// a second scrubber), per-key copies additionally take the key lock
+// (excluding live writes of that key).
+func (s *Store) scrubFile(ctx context.Context, t *topology, sc *scrubState, name string, st *ScrubStats) error {
+	fl := sc.fileLock(name)
+	fl.Lock()
+	defer fl.Unlock()
+	st.Files++
+
+	info := make(map[backend.Store]*scrubCopy, len(t.uniq))
+	for _, u := range t.uniq {
+		ci := &scrubCopy{}
+		info[u.store] = ci
+		sz, err := u.store.Stat(name)
+		switch {
+		case err == nil:
+			ci.present, ci.reachable, ci.size = true, true, sz
+		case errors.Is(err, backend.ErrNotExist):
+			ci.reachable = true
+		default:
+			if backend.CtxErr(ctx) != nil {
+				return err
+			}
+			s.slotFailed(t, u.shard)
+			st.Unrepaired++
+		}
+	}
+
+	// A journaled remove is authoritative — unless the name reappeared
+	// on a store the remove DID reach, which means it was re-created and
+	// the new incarnation supersedes the journal entry.
+	if rm := s.damage.get(s.damage.removes, name); len(rm) > 0 {
+		survivors := make(map[backend.Store]bool, len(rm))
+		for sl := range rm {
+			survivors[t.stores[sl]] = true
+		}
+		recreated := false
+		for stg, ci := range info {
+			if ci.present && !survivors[stg] {
+				recreated = true
+				break
+			}
+		}
+		if !recreated {
+			clean := true
+			for _, u := range t.uniq {
+				if !info[u.store].present {
+					continue
+				}
+				if err := u.store.Remove(name); err != nil && !errors.Is(err, backend.ErrNotExist) {
+					if backend.CtxErr(ctx) != nil {
+						return err
+					}
+					s.slotFailed(t, u.shard)
+					st.Unrepaired++
+					clean = false
+					continue
+				}
+				info[u.store].present = false
+				st.RemovedCopies++
+				s.noteScrubRepair()
+			}
+			if clean {
+				s.damage.clearName(name)
+			}
+			return nil
+		}
+		s.damage.clear(s.damage.removes, name)
+	}
+
+	// Existence: any live home-key owner vouches. None holding it (and
+	// none unreachable) means every copy is a stray from an older
+	// placement or a finished remove — reap them. With a home owner
+	// unreachable the file's fate cannot be judged; leave it alone.
+	homeOwners := t.dedupSlots(t.lay.Owners(t.lay.KeyOf(name, 0)))
+	homePresent, homeUnknown := false, false
+	for _, sl := range homeOwners {
+		ci := info[t.stores[sl]]
+		if !ci.reachable {
+			homeUnknown = true
+		} else if ci.present {
+			homePresent = true
+		}
+	}
+	if !homePresent {
+		if homeUnknown {
+			return nil
+		}
+		clean := true
+		for _, u := range t.uniq {
+			if !info[u.store].present {
+				continue
+			}
+			switch err := u.store.Remove(name); {
+			case err == nil:
+				st.RemovedCopies++
+				s.noteScrubRepair()
+			case errors.Is(err, backend.ErrNotExist):
+			default:
+				if backend.CtxErr(ctx) != nil {
+					return err
+				}
+				s.slotFailed(t, u.shard)
+				st.Unrepaired++
+				clean = false
+			}
+		}
+		if clean {
+			s.damage.clearName(name)
+		}
+		return nil
+	}
+	// Replicate existence itself: every live home owner gets a copy.
+	for _, sl := range homeOwners {
+		ci := info[t.stores[sl]]
+		if !ci.reachable || ci.present {
+			continue
+		}
+		if err := ensureExists(t.stores[sl], name); err != nil {
+			if backend.CtxErr(ctx) != nil {
+				return err
+			}
+			s.slotFailed(t, sl)
+			st.Unrepaired++
+			continue
+		}
+		ci.present = true
+		st.Repairs++
+		s.noteScrubRepair()
+	}
+
+	// Reference size: the maximum over holders NOT journaled as
+	// size-suspect (their copy may exceed the true size — a truncate
+	// missed them). If every holder is suspect, or the journal
+	// overflowed, fall back to the plain maximum: presence wins.
+	suspectAll := s.damage.suspectAll()
+	sizeSuspect := s.damage.get(s.damage.sizes, name)
+	suspectStores := make(map[backend.Store]bool, len(sizeSuspect))
+	for sl := range sizeSuspect {
+		suspectStores[t.stores[sl]] = true
+	}
+	var refSize int64
+	haveRef := false
+	for _, u := range t.uniq {
+		ci := info[u.store]
+		if !ci.present || !ci.reachable {
+			continue
+		}
+		if !suspectAll && suspectStores[u.store] {
+			continue
+		}
+		if !haveRef || ci.size > refSize {
+			refSize, haveRef = ci.size, true
+		}
+	}
+	if !haveRef {
+		for _, u := range t.uniq {
+			if ci := info[u.store]; ci.present && ci.reachable && ci.size > refSize {
+				refSize = ci.size
+			}
+		}
+	}
+
+	// Per-key compare and repair.
+	if stripe := t.lay.StripeBytes(); stripe <= 0 {
+		if err := s.scrubKey(ctx, t, sc, name, name, 0, refSize, info, st); err != nil {
+			return err
+		}
+	} else {
+		nStripes := (refSize + stripe - 1) / stripe
+		for i := int64(0); i < nStripes; i++ {
+			if err := backend.CtxErr(ctx); err != nil {
+				return err
+			}
+			lo := i * stripe
+			hi := min(lo+stripe, refSize)
+			if err := s.scrubKey(ctx, t, sc, name, layout.StripeKey(name, i), lo, hi, info, st); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Cap oversize copies (missed truncates) and anchor the global size
+	// on every owner of the final byte, then settle the size journal.
+	sizesClean := true
+	for _, u := range t.uniq {
+		ci := info[u.store]
+		if !ci.present || !ci.reachable || ci.size <= refSize {
+			continue
+		}
+		if err := capSize(u.store, name, refSize); err != nil {
+			if backend.CtxErr(ctx) != nil {
+				return err
+			}
+			s.slotFailed(t, u.shard)
+			st.Unrepaired++
+			sizesClean = false
+			continue
+		}
+		st.Truncated++
+		s.noteScrubRepair()
+	}
+	if refSize > 0 {
+		for _, sl := range t.dedupSlots(t.lay.Owners(t.lay.KeyOf(name, refSize-1))) {
+			if !info[t.stores[sl]].reachable {
+				sizesClean = false
+				continue
+			}
+			if err := extendTo(t.stores[sl], name, refSize); err != nil {
+				if backend.CtxErr(ctx) != nil {
+					return err
+				}
+				s.slotFailed(t, sl)
+				st.Unrepaired++
+				sizesClean = false
+			}
+		}
+	}
+	for sl := range sizeSuspect {
+		if !info[t.stores[sl]].reachable {
+			sizesClean = false
+		}
+	}
+	if sizesClean {
+		s.damage.clear(s.damage.sizes, name)
+	}
+	return nil
+}
+
+// scrubKey verifies one placement key's replica set: a verified source
+// (preferring owners the journal does NOT implicate) is byte-compared
+// against every other owner's copy, and divergent or missing copies are
+// re-copied from it under the key lock.
+func (s *Store) scrubKey(ctx context.Context, t *topology, sc *scrubState, name, key string, lo, hi int64, info map[backend.Store]*scrubCopy, st *ScrubStats) error {
+	owners := t.dedupSlots(t.lay.Owners(key))
+	if len(owners) < 2 {
+		return nil
+	}
+	st.Keys++
+	kl := sc.keyLock(key)
+	kl.Lock()
+	defer kl.Unlock()
+
+	damaged := s.damage.get(s.damage.keys, key)
+	suspectAll := s.damage.suspectAll()
+	src := -1
+	for _, sl := range owners {
+		ci := info[t.stores[sl]]
+		if !ci.present || !ci.reachable {
+			continue
+		}
+		if !suspectAll && !damaged[sl] {
+			src = sl
+			break
+		}
+	}
+	if src < 0 {
+		// Every reachable holder is implicated (or the journal is
+		// useless); the primary-most copy is the best remaining guess.
+		for _, sl := range owners {
+			if ci := info[t.stores[sl]]; ci.present && ci.reachable {
+				src = sl
+				break
+			}
+		}
+	}
+	if src < 0 {
+		st.Unrepaired++
+		return nil
+	}
+	srcStore := t.stores[src]
+	clean := true
+	for _, sl := range owners {
+		dst := t.stores[sl]
+		if dst == srcStore {
+			continue
+		}
+		ci := info[dst]
+		if !ci.reachable {
+			st.Unrepaired++
+			clean = false
+			continue
+		}
+		if hi <= lo {
+			continue
+		}
+		equal, err := compareRange(srcStore, dst, name, lo, hi)
+		if err != nil {
+			if backend.CtxErr(ctx) != nil {
+				return err
+			}
+			s.slotFailed(t, sl)
+			st.Unrepaired++
+			clean = false
+			continue
+		}
+		if equal {
+			t.health[sl].ok()
+			continue
+		}
+		var n int64
+		if t.lay.StripeBytes() <= 0 {
+			n, err = copyNamed(srcStore, name, dst, name)
+		} else {
+			n, err = copyRange(srcStore, dst, name, lo, hi)
+		}
+		if err != nil {
+			if backend.CtxErr(ctx) != nil {
+				return err
+			}
+			s.slotFailed(t, sl)
+			st.Unrepaired++
+			clean = false
+			continue
+		}
+		ci.present = true
+		t.health[sl].ok()
+		st.Repairs++
+		st.RepairedBytes += n
+		s.noteScrubRepair()
+	}
+	if clean {
+		s.damage.clear(s.damage.keys, key)
+	}
+	return nil
+}
+
+// compareRange reports whether src's and dst's copies of name hold the
+// same bytes in [lo, hi), streaming in bounded chunks and treating a
+// missing file or a short copy as zeros — exactly how reads resolve
+// holes.
+func compareRange(src, dst backend.Store, name string, lo, hi int64) (bool, error) {
+	sf, err := src.Open(name, backend.OpenRead)
+	if err != nil && !errors.Is(err, backend.ErrNotExist) {
+		return false, err
+	}
+	if sf != nil {
+		defer sf.Close()
+	}
+	df, err := dst.Open(name, backend.OpenRead)
+	if err != nil && !errors.Is(err, backend.ErrNotExist) {
+		return false, err
+	}
+	if df != nil {
+		defer df.Close()
+	}
+	var ssz, dsz int64
+	if sf != nil {
+		if ssz, err = sf.Size(); err != nil {
+			return false, err
+		}
+	}
+	if df != nil {
+		if dsz, err = df.Size(); err != nil {
+			return false, err
+		}
+	}
+	n := hi - lo
+	if n > 1<<20 {
+		n = 1 << 20
+	}
+	a := make([]byte, n)
+	b := make([]byte, n)
+	for pos := lo; pos < hi; {
+		c := min(int64(len(a)), hi-pos)
+		if err := readZeroFill(sf, a[:c], pos, ssz); err != nil {
+			return false, err
+		}
+		if err := readZeroFill(df, b[:c], pos, dsz); err != nil {
+			return false, err
+		}
+		if !bytes.Equal(a[:c], b[:c]) {
+			return false, nil
+		}
+		pos += c
+	}
+	return true, nil
+}
+
+// readZeroFill reads buf from f at off, zero-filling past size (and the
+// whole buffer when f is nil — a missing copy reads as a hole).
+func readZeroFill(f backend.File, buf []byte, off, size int64) error {
+	n := size - off
+	if f == nil || n <= 0 {
+		clear(buf)
+		return nil
+	}
+	if n > int64(len(buf)) {
+		n = int64(len(buf))
+	}
+	if err := backend.ReadFull(f, buf[:n], off); err != nil {
+		return err
+	}
+	clear(buf[n:])
+	return nil
+}
+
+// capSize truncates a store's copy of name down to size (finishing a
+// truncate that missed the shard).
+func capSize(stg backend.Store, name string, size int64) error {
+	h, err := stg.Open(name, backend.OpenWrite)
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+	if err := h.Truncate(size); err != nil {
+		return err
+	}
+	return h.Sync()
+}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"lamassu/internal/backend"
+	"lamassu/internal/metrics"
 	"lamassu/internal/shard/layout"
 )
 
@@ -26,6 +27,14 @@ type Config struct {
 	// the layout's segment size so one multiphase commit lands on one
 	// shard.
 	StripeBytes int64
+	// Replicas is the number of distinct shards every placement key is
+	// written to (the key's owner plus the next Replicas-1 distinct
+	// shards clockwise on the ring). 0 and 1 both select single-copy
+	// placement. With Replicas >= 2 writes fan out to all owners, reads
+	// fail over from the primary to the next replica on fatal errors or
+	// a missing copy, and Scrub restores full replication after an
+	// outage. Must not exceed the store count.
+	Replicas int
 }
 
 // IOStats is a snapshot of one shard's I/O counters.
@@ -68,10 +77,62 @@ type topology struct {
 	// stats holds one counter block per slot; the pointers are shared
 	// across topologies so counters survive transitions.
 	stats []*shardCounters
+	// health holds one breaker block per slot; like stats, the
+	// pointers are shared across topologies.
+	health []*slotHealth
 }
 
 // curStores returns the current epoch's slice of the slot list.
 func (t *topology) curStores() []backend.Store { return t.stores[:t.lay.Shards()] }
+
+// replicated reports whether the current epoch places more than one
+// copy per key — the gate for every failover/fan-out path, so a
+// single-copy store keeps exactly its historical behavior.
+func (t *topology) replicated() bool { return t.lay.Replicas() > 1 }
+
+// dedupSlots drops slots backed by a store already present earlier in
+// the list (carve mode maps several slots onto one physical store; one
+// copy per physical store is all replication can buy there).
+func (t *topology) dedupSlots(slots []int) []int {
+	if len(slots) < 2 {
+		return slots
+	}
+	out := slots[:0:len(slots)]
+	for i, sl := range slots {
+		dup := false
+		for _, prior := range slots[:i] {
+			if t.stores[prior] == t.stores[sl] {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, sl)
+		}
+	}
+	return out
+}
+
+// sameSlotSet reports whether a and b contain the same slots
+// (order-insensitively; replica sets are small, so quadratic is fine).
+func sameSlotSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, x := range a {
+		found := false
+		for _, y := range b {
+			if x == y {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
 
 // uniqueOf builds the uniq list for a store slice.
 func uniqueOf(stores []backend.Store) []uniqueStore {
@@ -108,6 +169,68 @@ type Store struct {
 	// migMu serializes topology transitions; the data path never takes
 	// it.
 	migMu sync.Mutex
+	// damage journals replica copies that operations could not reach;
+	// Scrub consults and clears it.
+	damage damageJournal
+	// scrub is non-nil while a scrub pass runs; replicated writes take
+	// its per-key lock so a repair copy cannot interleave with a live
+	// write of the same key.
+	scrub atomic.Pointer[scrubState]
+	// rec is the optional metrics recorder for replication events
+	// (nil-safe; migrations carry their own via MigrateHooks).
+	rec atomic.Pointer[metrics.Recorder]
+	// Replication event counters (always live, recorder or not).
+	replicaWrites, failoverReads, scrubRepairs, breakerOpens atomic.Int64
+}
+
+// SetRecorder attaches a metrics recorder to the store's replication
+// events (ReplicaWrite, FailoverRead, ScrubRepair, BreakerOpen). A nil
+// recorder detaches.
+func (s *Store) SetRecorder(rec *metrics.Recorder) { s.rec.Store(rec) }
+
+func (s *Store) noteReplicaWrite() {
+	s.replicaWrites.Add(1)
+	s.rec.Load().CountEvent(metrics.ReplicaWrite, 1)
+}
+
+func (s *Store) noteFailoverRead() {
+	s.failoverReads.Add(1)
+	s.rec.Load().CountEvent(metrics.FailoverRead, 1)
+}
+
+func (s *Store) noteScrubRepair() {
+	s.scrubRepairs.Add(1)
+	s.rec.Load().CountEvent(metrics.ScrubRepair, 1)
+}
+
+func (s *Store) noteBreakerOpen() {
+	s.breakerOpens.Add(1)
+	s.rec.Load().CountEvent(metrics.BreakerOpen, 1)
+}
+
+// ReplicationStats is a snapshot of the store's replication counters.
+type ReplicationStats struct {
+	// ReplicaWrites counts writes landed on non-primary replicas.
+	ReplicaWrites int64
+	// FailoverReads counts reads a non-primary replica served — the
+	// primary owner failed, was missing the copy, or sat exiled behind
+	// an open breaker.
+	FailoverReads int64
+	// ScrubRepairs counts replica copies Scrub re-created or rewrote.
+	ScrubRepairs int64
+	// BreakerOpens counts closed→open breaker transitions.
+	BreakerOpens int64
+}
+
+// ReplicationStats returns a snapshot of the replication counters;
+// all-zero for single-copy stores.
+func (s *Store) ReplicationStats() ReplicationStats {
+	return ReplicationStats{
+		ReplicaWrites: s.replicaWrites.Load(),
+		FailoverReads: s.failoverReads.Load(),
+		ScrubRepairs:  s.scrubRepairs.Load(),
+		BreakerOpens:  s.breakerOpens.Load(),
+	}
 }
 
 // uniqueStore pairs a distinct underlying store with the lowest slot
@@ -134,14 +257,24 @@ func New(stores []backend.Store, cfg Config) (*Store, error) {
 	if cfg.StripeBytes < 0 {
 		return nil, errors.New("shard: stripe size must be >= 0")
 	}
+	if cfg.Replicas < 0 {
+		return nil, errors.New("shard: replicas must be >= 0")
+	}
+	if cfg.Replicas > len(stores) {
+		return nil, fmt.Errorf("shard: %d replicas need at least %d stores, have %d",
+			cfg.Replicas, cfg.Replicas, len(stores))
+	}
 	lay, err := layout.New(0, len(stores), cfg.Vnodes, cfg.StripeBytes)
 	if err != nil {
 		return nil, err
 	}
+	lay = lay.WithReplicas(cfg.Replicas)
 	stores = append([]backend.Store(nil), stores...)
 	stats := make([]*shardCounters, len(stores))
+	health := make([]*slotHealth, len(stores))
 	for i := range stats {
 		stats[i] = &shardCounters{}
+		health[i] = &slotHealth{}
 	}
 	s := &Store{}
 	s.topo.Store(&topology{
@@ -149,6 +282,7 @@ func New(stores []backend.Store, cfg Config) (*Store, error) {
 		uniq:   uniqueOf(stores),
 		lay:    lay,
 		stats:  stats,
+		health: health,
 	})
 	return s, nil
 }
@@ -170,6 +304,10 @@ func (s *Store) Epoch() uint64 { return s.topo.Load().lay.Epoch() }
 
 // StripeBytes returns the stripe unit (0 = whole-file placement).
 func (s *Store) StripeBytes() int64 { return s.topo.Load().lay.StripeBytes() }
+
+// Replicas returns the number of distinct copies the current epoch
+// places per key; 1 for single-copy stores.
+func (s *Store) Replicas() int { return s.topo.Load().lay.Replicas() }
 
 // Shards returns the current epoch's backend stores, in placement
 // order.
@@ -229,6 +367,44 @@ func (t *topology) writeTargets(name string, off int64) (primary, mirror int, mi
 	return prev, cur, true, key
 }
 
+// readTargets is readTarget generalized to a replica set: the
+// failover-ordered candidate slots a read of byte off of name may be
+// served from. The authoritative group comes whole — previous-epoch
+// owners until the mover confirms a relocated key, current owners
+// otherwise — because mid-copy current-epoch bytes must never serve
+// reads, replica or not.
+func (t *topology) readTargets(name string, off int64) (slots []int, fellBack bool) {
+	key := t.lay.KeyOf(name, off)
+	cur := t.lay.Owners(key)
+	if t.mig == nil {
+		return cur, false
+	}
+	prev := t.mig.prev.Owners(key)
+	if sameSlotSet(prev, cur) || t.mig.confirmed(key) {
+		return cur, false
+	}
+	return prev, true
+}
+
+// writeGroups is writeTargets generalized to replica sets: the slot
+// groups a write of byte off of name must land in, in write order. A
+// write is durable when every group has at least one success (and
+// every reachable member a copy); mid-migration a relocated key gets
+// both epochs' owner groups — previous first, mirroring writeTargets —
+// under the key's migration lock (mirrored=true).
+func (t *topology) writeGroups(name string, off int64) (groups [][]int, key string, mirrored bool) {
+	key = t.lay.KeyOf(name, off)
+	cur := t.lay.Owners(key)
+	if t.mig == nil {
+		return [][]int{cur}, key, false
+	}
+	prev := t.mig.prev.Owners(key)
+	if sameSlotSet(prev, cur) {
+		return [][]int{cur}, key, false
+	}
+	return [][]int{prev, cur}, key, true
+}
+
 // Stats returns a snapshot of every shard slot's I/O counters.
 func (s *Store) Stats() []IOStats {
 	t := s.topo.Load()
@@ -267,9 +443,9 @@ func (s *Store) OpenCtx(ctx context.Context, name string, flag backend.OpenFlag)
 	// The eager handle goes to the slot a read of byte 0 routes to:
 	// pre-migration that is the home shard; mid-migration the previous
 	// epoch's home keeps answering existence until the mover confirms
-	// the key.
-	slot, _ := t.readTarget(name, 0)
-	hf, err := backend.OpenCtx(ctx, t.stores[slot], name, flag)
+	// the key. Under replication the whole authoritative owner group is
+	// tried in failover order.
+	slot, hf, err := s.openEager(ctx, t, name, flag)
 	if err != nil {
 		return nil, err
 	}
@@ -284,7 +460,7 @@ func (s *Store) OpenCtx(ctx context.Context, name string, flag backend.OpenFlag)
 	// the current home defines existence after the epoch commits, the
 	// previous home keeps the old-epoch view complete in case the
 	// migration is abandoned after a crash.
-	if flag == backend.OpenCreate && t.mig != nil {
+	if flag == backend.OpenCreate && t.mig != nil && !t.replicated() {
 		if home := t.homeShard(name); home != slot {
 			if _, err := f.handle(ctx, t, home, true); err != nil {
 				f.Close()
@@ -292,7 +468,91 @@ func (s *Store) OpenCtx(ctx context.Context, name string, flag backend.OpenFlag)
 			}
 		}
 	}
+	// Under replication a create materializes the file on EVERY owner
+	// of its home key (both epochs' owners mid-migration), so existence
+	// survives losing any single shard. Unreachable owners are
+	// journaled for Scrub instead of failing the open — the eager open
+	// above already secured one copy.
+	if flag == backend.OpenCreate && t.replicated() {
+		key0 := t.lay.KeyOf(name, 0)
+		want := t.lay.Owners(key0)
+		if t.mig != nil {
+			want = append(append([]int(nil), want...), t.mig.prev.Owners(key0)...)
+		}
+		for _, sl := range t.dedupSlots(want) {
+			if sl == slot || t.stores[sl] == t.stores[slot] {
+				continue
+			}
+			if _, err := f.handle(ctx, t, sl, true); err != nil {
+				if backend.CtxErr(ctx) != nil {
+					f.Close()
+					return nil, err
+				}
+				s.slotFailed(t, sl)
+				s.noteWriteMiss(key0, sl)
+			}
+		}
+	}
 	return f, nil
+}
+
+// openEager opens the initial handle of OpenCtx: the single routed
+// slot for single-copy stores (historical behavior, strict errors),
+// the first reachable member of the authoritative owner group under
+// replication. Breaker-open slots are attempted last, and only when no
+// live owner gave a definitive answer — a clean ErrNotExist from a
+// live owner resolves the open without poking a known-dead shard.
+func (s *Store) openEager(ctx context.Context, t *topology, name string, flag backend.OpenFlag) (int, backend.File, error) {
+	if !t.replicated() {
+		slot, _ := t.readTarget(name, 0)
+		hf, err := backend.OpenCtx(ctx, t.stores[slot], name, flag)
+		return slot, hf, err
+	}
+	slots, _ := t.readTargets(name, 0)
+	order := make([]int, 0, len(slots))
+	deferred := make([]int, 0, 1)
+	for _, sl := range t.dedupSlots(slots) {
+		if t.health[sl].allowed() {
+			order = append(order, sl)
+		} else {
+			deferred = append(deferred, sl)
+		}
+	}
+	var firstErr error
+	sawMissing := false
+	try := func(list []int) (int, backend.File, error, bool) {
+		for _, sl := range list {
+			hf, err := backend.OpenCtx(ctx, t.stores[sl], name, flag)
+			if err == nil {
+				t.health[sl].ok()
+				return sl, hf, nil, true
+			}
+			if backend.CtxErr(ctx) != nil {
+				return 0, nil, err, true
+			}
+			if errors.Is(err, backend.ErrNotExist) {
+				sawMissing = true // store is alive, the name just is not there
+				continue
+			}
+			s.slotFailed(t, sl)
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+		return 0, nil, nil, false
+	}
+	if sl, hf, err, done := try(order); done {
+		return sl, hf, err
+	}
+	if !sawMissing {
+		if sl, hf, err, done := try(deferred); done {
+			return sl, hf, err
+		}
+	}
+	if sawMissing || firstErr == nil {
+		return 0, nil, backend.ErrNotExist
+	}
+	return 0, nil, firstErr
 }
 
 // RemoveCtx implements backend.StoreCtx, checking ctx between the
@@ -307,6 +567,14 @@ func (s *Store) RemoveCtx(ctx context.Context, name string) error {
 		fl.Lock()
 		defer fl.Unlock()
 		defer t.mig.forgetName(name)
+	}
+	if sc := s.scrub.Load(); sc != nil {
+		fl := sc.fileLock(name)
+		fl.Lock()
+		defer fl.Unlock()
+	}
+	if t.replicated() {
+		return s.removeReplicated(ctx, t, name)
 	}
 	return removeLocked(ctx, t, name)
 }
@@ -334,6 +602,59 @@ func removeLocked(ctx context.Context, t *topology, name string) error {
 		}
 		if err := backend.RemoveCtx(ctx, u.store, name); err != nil && !errors.Is(err, backend.ErrNotExist) {
 			return err
+		}
+	}
+	return nil
+}
+
+// removeReplicated is removeLocked for replicated topologies: the file
+// exists while ANY home owner holds it, so the remove succeeds when at
+// least one owner copy came off; unreachable copies are journaled so
+// Scrub finishes the remove instead of resurrecting the name.
+func (s *Store) removeReplicated(ctx context.Context, t *topology, name string) error {
+	homes, _ := t.readTargets(name, 0)
+	homes = t.dedupSlots(homes)
+	removed, sawMissing := false, false
+	var firstErr error
+	done := make(map[backend.Store]bool, len(t.uniq))
+	for _, sl := range homes {
+		done[t.stores[sl]] = true
+		err := backend.RemoveCtx(ctx, t.stores[sl], name)
+		switch {
+		case err == nil:
+			t.health[sl].ok()
+			removed = true
+		case errors.Is(err, backend.ErrNotExist):
+			sawMissing = true
+		case backend.CtxErr(ctx) != nil:
+			return err
+		default:
+			s.slotFailed(t, sl)
+			s.noteRemoveMiss(name, sl)
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if !removed {
+		if sawMissing || firstErr == nil {
+			// Every live owner agrees the name is gone; any copy stuck
+			// on an unreachable owner is journaled above and reaped by
+			// Scrub rather than surfacing a double-fault ambiguity here.
+			return backend.ErrNotExist
+		}
+		return firstErr
+	}
+	for _, u := range t.uniq {
+		if done[u.store] {
+			continue
+		}
+		if err := backend.RemoveCtx(ctx, u.store, name); err != nil && !errors.Is(err, backend.ErrNotExist) {
+			if backend.CtxErr(ctx) != nil {
+				return err
+			}
+			s.slotFailed(t, u.shard)
+			s.noteRemoveMiss(name, u.shard)
 		}
 	}
 	return nil
@@ -422,6 +743,12 @@ func (s *Store) List() ([]string, error) {
 	for _, u := range t.uniq {
 		names, err := u.store.List()
 		if err != nil {
+			if t.replicated() {
+				// A dead shard must not take the whole namespace down;
+				// its names are vouched for by replica owners below.
+				s.slotFailed(t, u.shard)
+				continue
+			}
 			return nil, err
 		}
 		set := make(map[string]bool, len(names))
@@ -436,9 +763,29 @@ func (s *Store) List() ([]string, error) {
 	}
 	out := make([]string, 0, len(seen))
 	for n := range seen {
-		live := perStore[t.stores[t.homeShard(n)]][n]
-		if !live && t.mig != nil {
-			live = perStore[t.stores[t.mig.prev.ShardOf(n, 0)]][n]
+		var live bool
+		if t.replicated() {
+			// Existence is vouched for by ANY owner of the home key,
+			// under either epoch while migrating.
+			for _, sl := range t.lay.Owners(t.lay.KeyOf(n, 0)) {
+				if perStore[t.stores[sl]][n] {
+					live = true
+					break
+				}
+			}
+			if !live && t.mig != nil {
+				for _, sl := range t.mig.prev.Owners(t.mig.prev.KeyOf(n, 0)) {
+					if perStore[t.stores[sl]][n] {
+						live = true
+						break
+					}
+				}
+			}
+		} else {
+			live = perStore[t.stores[t.homeShard(n)]][n]
+			if !live && t.mig != nil {
+				live = perStore[t.stores[t.mig.prev.ShardOf(n, 0)]][n]
+			}
 		}
 		if live {
 			out = append(out, n)
@@ -457,6 +804,9 @@ func (s *Store) Stat(name string) (int64, error) {
 		return 0, backend.ErrNotExist
 	}
 	t := s.topo.Load()
+	if t.replicated() {
+		return s.statReplicated(t, name)
+	}
 	homeStore := t.stores[t.homeShard(name)]
 	size, err := homeStore.Stat(name)
 	if errors.Is(err, backend.ErrNotExist) && t.mig != nil {
@@ -478,6 +828,60 @@ func (s *Store) Stat(name string) (int64, error) {
 				continue
 			}
 			return 0, err
+		}
+		if sz > size {
+			size = sz
+		}
+	}
+	return size, nil
+}
+
+// statReplicated is Stat with failover: existence is decided by the
+// home-owner group (any live copy vouches), and the max-size sweep
+// skips unreachable stores — exact under a single shard loss because
+// every stripe's extent lives on every owner of that stripe.
+func (s *Store) statReplicated(t *topology, name string) (int64, error) {
+	homes, _ := t.readTargets(name, 0)
+	homes = t.dedupSlots(homes)
+	var size int64
+	found, sawMissing := false, false
+	var firstErr error
+	done := make(map[backend.Store]bool, len(t.uniq))
+	for _, sl := range homes {
+		done[t.stores[sl]] = true
+		sz, err := t.stores[sl].Stat(name)
+		switch {
+		case err == nil:
+			t.health[sl].ok()
+			if !found || sz > size {
+				size = sz
+			}
+			found = true
+		case errors.Is(err, backend.ErrNotExist):
+			sawMissing = true
+		default:
+			s.slotFailed(t, sl)
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if !found {
+		if sawMissing || firstErr == nil {
+			return 0, backend.ErrNotExist
+		}
+		return 0, firstErr
+	}
+	for _, u := range t.uniq {
+		if done[u.store] {
+			continue
+		}
+		sz, err := u.store.Stat(name)
+		if err != nil {
+			if !errors.Is(err, backend.ErrNotExist) {
+				s.slotFailed(t, u.shard)
+			}
+			continue
 		}
 		if sz > size {
 			size = sz

@@ -266,6 +266,14 @@ type Options struct {
 	// a sharded store is mounted; see RebalanceShards (offline) or
 	// Mount.StartRebalance (online) to migrate.
 	ShardVnodes int
+	// Replicas, when nonzero, asserts the replication factor of the
+	// sharded store the mount is given (see ShardOptions.Replicas,
+	// where the factor is configured): the mount fails unless the store
+	// maintains exactly this many copies of every key. It requires a
+	// store from NewShardedStorage — carving one store into logical
+	// shards (Shards) cannot replicate, since every copy would land on
+	// the same physical store.
+	Replicas int
 	// LayoutEpoch, when nonzero, asserts the sharded deployment's
 	// placement epoch at mount time: the mount fails unless the layout
 	// record persisted on the shards (see Mount.StartRebalance) settles
@@ -477,7 +485,19 @@ func NewMount(store Storage, keys KeyPair, opts *Options) (*Mount, error) {
 	// atomicity, which striping preserves only when no block straddles
 	// two shards.
 	shardStore, _ := store.(*shard.Store)
+	if o.Replicas != 0 {
+		if shardStore == nil {
+			return nil, errors.New("lamassu: Replicas requires a sharded store from NewShardedStorage")
+		}
+		if got := shardStore.Replicas(); got != o.Replicas {
+			return nil, fmt.Errorf("lamassu: sharded store maintains %d-way replication, mount asserts %d-way", got, o.Replicas)
+		}
+	}
 	if shardStore != nil {
+		// Replication events (replica writes, failover reads, scrub
+		// repairs, breaker transitions) flow into the mount's recorder;
+		// the raw counters stay live on the store regardless.
+		shardStore.SetRecorder(rec)
 		if sb := shardStore.StripeBytes(); sb > 0 && sb%int64(geo.BlockSize) != 0 {
 			return nil, fmt.Errorf("lamassu: shard stripe %d is not a multiple of the block size %d", sb, geo.BlockSize)
 		}
@@ -740,6 +760,15 @@ type EngineStats struct {
 	// the per-store breakdown. All zero without WithHedgedReads.
 	HedgeAttempts, HedgeWins int64
 	ReadP50, ReadP99         time.Duration
+	// ReplicaWrites counts writes landed on non-primary replica copies
+	// of a replicated sharded store; FailoverReads counts reads a
+	// replica served after the preferred copy failed or was missing;
+	// ScrubRepairs counts copies Mount.Scrub re-created or rewrote;
+	// BreakerOpens counts shard-health breaker openings (see
+	// Mount.ShardHealth). Live regardless of CollectLatency; all zero
+	// without replication.
+	ReplicaWrites, FailoverReads int64
+	ScrubRepairs, BreakerOpens   int64
 }
 
 // SlabHitRate returns SlabHits/(SlabHits+SlabMisses), or 0 before any
@@ -774,6 +803,11 @@ func (m *Mount) EngineStats() EngineStats {
 	}
 	iw := m.fs.IOWindowStats()
 	s.IOWindow, s.IOInFlight, s.IOPeakInFlight = iw.Window, iw.InFlight, iw.Peak
+	if m.shard != nil {
+		rs := m.shard.ReplicationStats()
+		s.ReplicaWrites, s.FailoverReads = rs.ReplicaWrites, rs.FailoverReads
+		s.ScrubRepairs, s.BreakerOpens = rs.ScrubRepairs, rs.BreakerOpens
+	}
 	for _, hs := range m.hedges.snapshot() {
 		st := hs.ReadStats()
 		s.HedgeAttempts += st.Hedges
@@ -914,6 +948,14 @@ type ShardOptions struct {
 	// segment's metadata and data together. StripeBytes is part of the
 	// placement, so it too must be stable across opens.
 	StripeBytes int64
+	// Replicas, when >= 2, keeps that many copies of every key, on the
+	// next distinct shards clockwise from the owner on the placement
+	// ring. Writes fan out to every replica, reads fail over when a
+	// copy is unreachable, and Mount.Scrub repairs divergence. The
+	// factor is persisted in the layout record and becomes part of the
+	// deployment's on-disk identity; it requires at least that many
+	// stores. 0 and 1 mean single-copy.
+	Replicas int
 }
 
 // NewShardedStorage stripes a backing namespace across several
@@ -930,7 +972,7 @@ func NewShardedStorage(stores []Storage, opts *ShardOptions) (Storage, error) {
 	}
 	bs := make([]backend.Store, len(stores))
 	copy(bs, stores)
-	return shard.New(bs, shard.Config{Vnodes: o.Vnodes, StripeBytes: o.StripeBytes})
+	return shard.New(bs, shard.Config{Vnodes: o.Vnodes, StripeBytes: o.StripeBytes, Replicas: o.Replicas})
 }
 
 // SegmentStripeBytes returns a stripe size for ShardOptions that is a
@@ -1025,6 +1067,48 @@ func (m *Mount) ShardStats() []ShardStat {
 		}
 	}
 	return out
+}
+
+// ShardHealth is one shard slot's failover-health snapshot (see
+// Mount.ShardHealth).
+type ShardHealth = shard.ShardHealth
+
+// ShardHealth reports per-slot failover health for a mount over a
+// sharded store: failure/success counts and the state of each slot's
+// breaker (a slot with too many consecutive failures is exiled to
+// half-open probing until a probe succeeds). All-zero entries are the
+// steady state; nil for unsharded mounts. The breaker only reroutes
+// traffic that has somewhere else to go — a slot is always attempted
+// when it is the last hope for a read — so health can never turn a
+// degraded deployment into a failed one.
+func (m *Mount) ShardHealth() []ShardHealth {
+	if m.shard == nil {
+		return nil
+	}
+	return m.shard.Health()
+}
+
+// ScrubStats summarizes a replica scrub pass (see Mount.Scrub).
+type ScrubStats = shard.ScrubStats
+
+// Scrub walks a replicated sharded deployment's whole backing
+// namespace, byte-compares every key's replica copies and repairs
+// divergence: missing or divergent copies are rewritten from a
+// verified source, copies stranded by a missed remove are reaped, and
+// copies past the true size are truncated. Run it after a shard
+// outage heals to restore full replication. The mount keeps serving
+// reads and writes throughout; a pass is mutually exclusive with an
+// online rebalance and resumable — cancellation (honored between
+// repairs) simply leaves the rest for the next pass. It requires a
+// replicated sharded mount (ShardOptions.Replicas >= 2).
+func (m *Mount) Scrub(ctx context.Context) (ScrubStats, error) {
+	if err := m.guard("scrub", ""); err != nil {
+		return ScrubStats{}, err
+	}
+	if m.shard == nil {
+		return ScrubStats{}, errors.New("lamassu: Scrub requires a sharded mount (NewShardedStorage)")
+	}
+	return m.shard.Scrub(ctx)
 }
 
 // ShardRebalanceStats summarizes a RebalanceShards pass.
@@ -1334,6 +1418,7 @@ func wrapShardLeaves(wrap func(backend.Store) backend.Store, views ...*shard.Sto
 		ns, err := shard.New(stores, shard.Config{
 			Vnodes:      ss.Ring().Vnodes(),
 			StripeBytes: ss.StripeBytes(),
+			Replicas:    ss.Replicas(),
 		})
 		if err != nil {
 			return nil, err

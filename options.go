@@ -98,6 +98,16 @@ func WithShards(n int) Option {
 	return func(o *Options) { o.Shards = n }
 }
 
+// WithReplication asserts the mounted deployment's replication factor
+// (the factor itself is configured where the topology is built:
+// ShardOptions.Replicas in NewShardedStorage). The mount fails unless
+// the sharded store it is given maintains exactly r copies of every
+// key — a guard against mounting an R-way deployment through a path
+// that dropped the factor.
+func WithReplication(r int) Option {
+	return func(o *Options) { o.Replicas = r }
+}
+
 // WithShardVnodes overrides the virtual-node count per shard on the
 // placement ring (default 64). The value is part of the placement and
 // must be stable across opens.
