@@ -11,9 +11,9 @@
 //
 // Experiments: fig6, table1, fig7, fig8, fig9, fig10, fig11,
 // unaligned, scaling, shardscale, coalesce, rebalance, faults,
-// replica, remote, all. The scaling, shardscale, coalesce, rebalance,
-// faults, replica and remote experiments are this repository's
-// extensions beyond the paper: scaling sweeps the concurrent engine's commit parallelism
+// replica, remote, serve, all. The scaling, shardscale, coalesce,
+// rebalance, faults, replica, remote and serve experiments are this
+// repository's extensions beyond the paper: scaling sweeps the concurrent engine's commit parallelism
 // and block cache; shardscale sweeps the consistent-hash storage
 // sharding from 1 to 8 backends and reports the per-shard throughput
 // and queue-depth numbers from Mount.ShardStats; coalesce A/Bs the
@@ -31,8 +31,14 @@
 // latencies and FAILS unless (a) the coalesced engine with a deep I/O
 // window (WithIOWindow) beats the per-block window-1 baseline by >= 3x
 // at 2 ms RTT and (b) hedged reads (WithHedgedReads) cut the per-read
-// p99 on a tail-heavy link while issuing <= 10% extra requests — CI
-// runs coalesce, faults, replica and remote as regression gates.
+// p99 on a tail-heavy link while issuing <= 10% extra requests; serve
+// drives the lamassud HTTP file API over real TCP with an N-tenant
+// mixed workload against an equal-concurrency in-process baseline and
+// FAILS unless wire throughput stays within 5x of in-process AND an
+// overload run (admission bound below the client count) sheds load
+// with 503s while the in-flight peak never exceeds the bound — CI
+// runs coalesce, faults, replica, remote and serve as regression
+// gates.
 //
 // With -json PATH, the extension experiments additionally emit their
 // rows as machine-readable JSON (experiment, configuration, MB/s,
@@ -82,13 +88,14 @@ type benchResult struct {
 	IOWindow    int     `json:"io_window,omitempty"`
 	Failovers   int64   `json:"failover_reads,omitempty"`
 	Repairs     int64   `json:"scrub_repairs,omitempty"`
+	Rejected    int64   `json:"rejected_503,omitempty"`
 }
 
 // results accumulates rows from the extension experiments for -json.
 var results []benchResult
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig6|table1|fig7|fig8|fig9|fig10|fig11|unaligned|scaling|shardscale|coalesce|rebalance|faults|replica|remote|all")
+	exp := flag.String("exp", "all", "experiment to run: fig6|table1|fig7|fig8|fig9|fig10|fig11|unaligned|scaling|shardscale|coalesce|rebalance|faults|replica|remote|serve|all")
 	mb := flag.Int64("mb", 32, "workload file size in MiB (paper: 4096 for fig6/fig11, 256 for fig7-fig10)")
 	scale := flag.Int64("scale", 16, "Table 1 VM image size divisor (1 = paper sizes)")
 	jsonPath := flag.String("json", "", "write machine-readable results (JSON) to PATH")
@@ -212,9 +219,10 @@ func main() {
 	run("faults", func() (string, error) { return faultsTable(ctx, fileBytes) })
 	run("replica", func() (string, error) { return replicaTable(ctx, fileBytes) })
 	run("remote", func() (string, error) { return remoteTable(ctx, fileBytes) })
+	run("serve", func() (string, error) { return serveTable(ctx, fileBytes) })
 
 	if *exp != "all" && !validExp(*exp) {
-		fmt.Fprintf(os.Stderr, "lmsbench: unknown experiment %q (want fig6|table1|fig7|fig8|fig9|fig10|fig11|unaligned|scaling|shardscale|coalesce|rebalance|faults|replica|remote|all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "lmsbench: unknown experiment %q (want fig6|table1|fig7|fig8|fig9|fig10|fig11|unaligned|scaling|shardscale|coalesce|rebalance|faults|replica|remote|serve|all)\n", *exp)
 		flush() // a -json consumer still gets a (possibly empty) document
 		os.Exit(2)
 	}
@@ -227,7 +235,7 @@ func main() {
 }
 
 func validExp(e string) bool {
-	for _, v := range strings.Fields("fig6 table1 fig7 fig8 fig9 fig10 fig11 unaligned scaling shardscale coalesce rebalance faults replica remote all") {
+	for _, v := range strings.Fields("fig6 table1 fig7 fig8 fig9 fig10 fig11 unaligned scaling shardscale coalesce rebalance faults replica remote serve all") {
 		if e == v {
 			return true
 		}

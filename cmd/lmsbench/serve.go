@@ -1,0 +1,402 @@
+// The serve experiment: the headline scaling benchmark for the
+// lamassud network front door. An in-process serve.Server on a real
+// TCP listener takes an N-tenant open/read/write mix from concurrent
+// HTTP clients; the same mix runs directly on an identical in-process
+// mount at equal concurrency as the baseline. Two gates make it a
+// regression check rather than a report:
+//
+//  1. Wire throughput must not collapse against in-process — the
+//     HTTP layer is allowed to cost, not to dominate.
+//  2. An overload run (admission bound lowered below the client
+//     count) must answer with 503 backpressure while the in-flight
+//     peak stays at its bound — queue depth bounded by rejection,
+//     not by latency blowup — and every admitted request must still
+//     succeed.
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lamassu"
+	"lamassu/internal/backend/objstore"
+	"lamassu/internal/serve"
+)
+
+// serveTenantCount and the client fan-out define the headline mix.
+const (
+	serveTenantCount      = 4
+	serveClientsPerTenant = 4
+	serveItersPerClient   = 12
+)
+
+// launchServe starts a serve.Server over a fresh mount on the given
+// storage on a loopback listener and returns the base URL, the server
+// handle (for limiter stats) and a shutdown func.
+func launchServe(storage lamassu.Storage, maxInFlight int) (base string, srv *serve.Server, shutdown func() error, err error) {
+	keys, err := lamassu.GenerateKeys()
+	if err != nil {
+		return "", nil, nil, err
+	}
+	m, err := lamassu.New(storage, keys,
+		lamassu.WithEncryptedNames(),
+		lamassu.WithLatencyCollection(),
+		lamassu.WithParallelism(runtime.GOMAXPROCS(0)),
+		lamassu.WithCache(1024))
+	if err != nil {
+		return "", nil, nil, err
+	}
+	var conf strings.Builder
+	for i := 0; i < serveTenantCount; i++ {
+		fmt.Fprintf(&conf, "tenant: t%d bench-token-%d-padpadpad\n", i, i)
+	}
+	tenants, err := serve.ParseTenants([]byte(conf.String()))
+	if err != nil {
+		_ = m.Close()
+		return "", nil, nil, err
+	}
+	srv, err = serve.New(serve.Config{Mount: m, Tenants: tenants, MaxInFlight: maxInFlight})
+	if err != nil {
+		_ = m.Close()
+		return "", nil, nil, err
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		_ = m.Close()
+		return "", nil, nil, err
+	}
+	sctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- serve.Graceful(sctx, lis, srv, serve.GracefulConfig{DrainTimeout: 10 * time.Second}) }()
+	shutdown = func() error {
+		cancel()
+		err := <-served
+		if cerr := m.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+	return "http://" + lis.Addr().String(), srv, shutdown, nil
+}
+
+// serveClient is one load-generator goroutine's HTTP kit.
+type serveClient struct {
+	base, token string
+	hc          *http.Client
+}
+
+func (c *serveClient) do(method, path string, body []byte, hdr map[string]string) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Authorization", "Bearer "+c.token)
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, b, nil
+}
+
+// latQuantiles returns p50/p99 from a sample set (zeros when empty).
+func latQuantiles(samples []time.Duration) (p50, p99 time.Duration) {
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return samples[len(samples)*50/100], samples[min(len(samples)-1, len(samples)*99/100)]
+}
+
+// serveTable runs the three phases and formats the table.
+func serveTable(ctx context.Context, fileBytes int64) (string, error) {
+	// Per-file payload: the headline mix moves many files, so scale the
+	// -mb budget down and clamp to a sane HTTP object size.
+	fileSize := fileBytes / 64
+	if fileSize < 64<<10 {
+		fileSize = 64 << 10
+	}
+	if fileSize > 1<<20 {
+		fileSize = 1 << 20
+	}
+	data := make([]byte, fileSize)
+	rand.New(rand.NewSource(11)).Read(data)
+	concurrency := serveTenantCount * serveClientsPerTenant
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Serve: lamassud wire API vs in-process mount (%d tenants x %d clients, %d KiB files, GOMAXPROCS=%d)\n",
+		serveTenantCount, serveClientsPerTenant, fileSize>>10, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(&b, "%-36s %10s %10s %10s %12s\n", "configuration", "MB/s", "p50-ms", "p99-ms", "rejected-503")
+
+	// --- Phase one: in-process baseline ---------------------------------
+	// The identical op mix (write, read, stat, list) straight on a
+	// mount, same concurrency, no wire.
+	keys, err := lamassu.GenerateKeys()
+	if err != nil {
+		return "", err
+	}
+	mbase, err := lamassu.New(lamassu.NewMemStorage(), keys,
+		lamassu.WithEncryptedNames(),
+		lamassu.WithLatencyCollection(),
+		lamassu.WithParallelism(runtime.GOMAXPROCS(0)),
+		lamassu.WithCache(1024))
+	if err != nil {
+		return "", err
+	}
+	defer mbase.Close()
+
+	runMix := func(worker func(tenant, client int) (int64, []time.Duration, error)) (float64, time.Duration, time.Duration, error) {
+		var (
+			wg      sync.WaitGroup
+			mu      sync.Mutex
+			bytesMv int64
+			lats    []time.Duration
+			firstEr error
+		)
+		start := time.Now()
+		for ti := 0; ti < serveTenantCount; ti++ {
+			for ci := 0; ci < serveClientsPerTenant; ci++ {
+				wg.Add(1)
+				go func(ti, ci int) {
+					defer wg.Done()
+					n, l, err := worker(ti, ci)
+					mu.Lock()
+					defer mu.Unlock()
+					bytesMv += n
+					lats = append(lats, l...)
+					if err != nil && firstEr == nil {
+						firstEr = err
+					}
+				}(ti, ci)
+			}
+		}
+		wg.Wait()
+		elapsed := time.Since(start).Seconds()
+		p50, p99 := latQuantiles(lats)
+		return float64(bytesMv) / (1 << 20) / elapsed, p50, p99, firstEr
+	}
+
+	baseMBps, p50, p99, err := runMix(func(ti, ci int) (int64, []time.Duration, error) {
+		var moved int64
+		var lats []time.Duration
+		for it := 0; it < serveItersPerClient; it++ {
+			name := fmt.Sprintf("t%d/c%d-f%d.bin", ti, ci, it%4)
+			t0 := time.Now()
+			if err := mbase.WriteFileCtx(ctx, name, data); err != nil {
+				return moved, lats, err
+			}
+			lats = append(lats, time.Since(t0))
+			moved += fileSize
+			t0 = time.Now()
+			got, err := mbase.ReadFileCtx(ctx, name)
+			if err != nil {
+				return moved, lats, err
+			}
+			lats = append(lats, time.Since(t0))
+			moved += int64(len(got))
+			if _, err := mbase.StatCtx(ctx, name); err != nil {
+				return moved, lats, err
+			}
+			if it%4 == 3 {
+				if _, err := mbase.ListCtx(ctx); err != nil {
+					return moved, lats, err
+				}
+			}
+		}
+		return moved, lats, nil
+	})
+	if err != nil {
+		return b.String(), fmt.Errorf("in-process baseline: %w", err)
+	}
+	fmt.Fprintf(&b, "%-36s %10.1f %10.2f %10.2f %12s\n", "in-process mount", baseMBps,
+		float64(p50.Microseconds())/1e3, float64(p99.Microseconds())/1e3, "-")
+	results = append(results, benchResult{
+		Experiment: "serve", Config: fmt.Sprintf("inprocess %d-way mix", concurrency),
+		MBps: baseMBps, P50Ms: float64(p50.Microseconds()) / 1e3, P99Ms: float64(p99.Microseconds()) / 1e3,
+	})
+
+	// --- Phase two: the wire ---------------------------------------------
+	base, srv, shutdown, err := launchServe(lamassu.NewMemStorage(), 0)
+	if err != nil {
+		return b.String(), err
+	}
+	transport := &http.Transport{MaxIdleConns: concurrency * 2, MaxIdleConnsPerHost: concurrency * 2}
+	hc := &http.Client{Transport: transport, Timeout: 60 * time.Second}
+
+	wireMBps, p50w, p99w, err := runMix(func(ti, ci int) (int64, []time.Duration, error) {
+		c := &serveClient{base: base, token: fmt.Sprintf("bench-token-%d-padpadpad", ti), hc: hc}
+		var moved int64
+		var lats []time.Duration
+		for it := 0; it < serveItersPerClient; it++ {
+			name := fmt.Sprintf("/v1/files/c%d-f%d.bin", ci, it%4)
+			t0 := time.Now()
+			code, _, err := c.do("PUT", name, data, nil)
+			if err != nil {
+				return moved, lats, err
+			}
+			if code != http.StatusNoContent {
+				return moved, lats, fmt.Errorf("PUT %s: status %d", name, code)
+			}
+			lats = append(lats, time.Since(t0))
+			moved += fileSize
+			t0 = time.Now()
+			code, body, err := c.do("GET", name, nil, nil)
+			if err != nil {
+				return moved, lats, err
+			}
+			if code != http.StatusOK || int64(len(body)) != fileSize {
+				return moved, lats, fmt.Errorf("GET %s: status %d, %d bytes", name, code, len(body))
+			}
+			lats = append(lats, time.Since(t0))
+			moved += int64(len(body))
+			if code, _, err := c.do("HEAD", name, nil, nil); err != nil || code != http.StatusOK {
+				return moved, lats, fmt.Errorf("HEAD %s: %d %v", name, code, err)
+			}
+			if it%4 == 3 {
+				if code, _, err := c.do("GET", "/v1/list", nil, nil); err != nil || code != http.StatusOK {
+					return moved, lats, fmt.Errorf("list: %d %v", code, err)
+				}
+			}
+		}
+		return moved, lats, nil
+	})
+	limStats := srv.Limiter().Stats()
+	if serr := shutdown(); serr != nil && err == nil {
+		err = fmt.Errorf("serve shutdown: %w", serr)
+	}
+	if err != nil {
+		return b.String(), fmt.Errorf("wire mix: %w", err)
+	}
+	fmt.Fprintf(&b, "%-36s %10.1f %10.2f %10.2f %12d\n",
+		fmt.Sprintf("lamassud wire (%d tenants)", serveTenantCount), wireMBps,
+		float64(p50w.Microseconds())/1e3, float64(p99w.Microseconds())/1e3, limStats.Rejected)
+	results = append(results, benchResult{
+		Experiment: "serve", Config: fmt.Sprintf("wire %d tenants x %d clients", serveTenantCount, serveClientsPerTenant),
+		MBps: wireMBps, P50Ms: float64(p50w.Microseconds()) / 1e3, P99Ms: float64(p99w.Microseconds()) / 1e3,
+		Rejected: limStats.Rejected,
+	})
+
+	// --- Phase three: overload --------------------------------------------
+	// Admission bound far below the client count, small writes: the
+	// server must shed with fast 503s while the in-flight peak stays at
+	// the bound and every admitted request still succeeds. The mount is
+	// backed by the in-memory object server at a real-clock RTT so each
+	// admitted request holds its slot for genuine wall time — on a RAM
+	// store the handlers finish faster than clients can pile up (peak
+	// in-flight ~1 on a single-core box) and the bound never bites.
+	const overloadBound = 4
+	const overloadClients = 32
+	const overloadIters = 20
+	const overloadRTT = 2 * time.Millisecond
+	oserver := objstore.NewMemserver(objstore.ServerParams{RTT: overloadRTT}, nil)
+	obase, osrv, oshutdown, err := launchServe(objstore.New(oserver), overloadBound)
+	if err != nil {
+		return b.String(), err
+	}
+	small := data[:4<<10]
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		oklats    []time.Duration
+		rejlats   []time.Duration
+		admitted  atomic.Int64
+		rejected  atomic.Int64
+		badStatus atomic.Int64
+	)
+	otransport := &http.Transport{MaxIdleConns: overloadClients * 2, MaxIdleConnsPerHost: overloadClients * 2}
+	ohc := &http.Client{Transport: otransport, Timeout: 60 * time.Second}
+	ostart := time.Now()
+	for w := 0; w < overloadClients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := &serveClient{base: obase, token: fmt.Sprintf("bench-token-%d-padpadpad", w%serveTenantCount), hc: ohc}
+			for it := 0; it < overloadIters; it++ {
+				t0 := time.Now()
+				code, _, err := c.do("PUT", fmt.Sprintf("/v1/files/ov-%d-%d.bin", w, it), small, nil)
+				lat := time.Since(t0)
+				if err != nil {
+					badStatus.Add(1)
+					continue
+				}
+				switch code {
+				case http.StatusNoContent:
+					admitted.Add(1)
+					mu.Lock()
+					oklats = append(oklats, lat)
+					mu.Unlock()
+				case http.StatusServiceUnavailable:
+					rejected.Add(1)
+					mu.Lock()
+					rejlats = append(rejlats, lat)
+					mu.Unlock()
+				default:
+					badStatus.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	oElapsed := time.Since(ostart).Seconds()
+	oStats := osrv.Limiter().Stats()
+	if serr := oshutdown(); serr != nil {
+		return b.String(), fmt.Errorf("overload shutdown: %w", serr)
+	}
+	op50, op99 := latQuantiles(oklats)
+	_, rejP99 := latQuantiles(rejlats)
+	oMBps := float64(admitted.Load()*int64(len(small))) / (1 << 20) / oElapsed
+	fmt.Fprintf(&b, "%-36s %10.1f %10.2f %10.2f %12d\n",
+		fmt.Sprintf("overload bound=%d clients=%d", overloadBound, overloadClients), oMBps,
+		float64(op50.Microseconds())/1e3, float64(op99.Microseconds())/1e3, rejected.Load())
+	fmt.Fprintf(&b, "overload: peak in-flight %d (bound %d), %d admitted, %d rejected, 503 p99 %.2f ms\n",
+		oStats.PeakInFlight, oStats.Max, admitted.Load(), rejected.Load(), float64(rejP99.Microseconds())/1e3)
+	results = append(results, benchResult{
+		Experiment: "serve", Config: fmt.Sprintf("overload bound=%d clients=%d", overloadBound, overloadClients),
+		MBps: oMBps, P50Ms: float64(op50.Microseconds()) / 1e3, P99Ms: float64(op99.Microseconds()) / 1e3,
+		Rejected: rejected.Load(),
+	})
+
+	// --- Gates ------------------------------------------------------------
+	// (1) Wire throughput must not collapse: HTTP on loopback may cost,
+	// not dominate. The 5x headroom is deliberately loose — the gate
+	// catches collapse (accidental serialization, per-request mount
+	// reopens), not noise.
+	if wireMBps < baseMBps/5 {
+		return b.String(), fmt.Errorf("serve gate: wire throughput %.1f MB/s collapsed vs in-process %.1f MB/s (floor %.1f)",
+			wireMBps, baseMBps, baseMBps/5)
+	}
+	// (2) Overload must be shed by rejection with the queue bounded.
+	if rejected.Load() == 0 {
+		return b.String(), fmt.Errorf("serve gate: overload run (%d clients, bound %d) saw no 503s — backpressure not engaging",
+			overloadClients, overloadBound)
+	}
+	if oStats.PeakInFlight > oStats.Max {
+		return b.String(), fmt.Errorf("serve gate: in-flight peak %d exceeded the admission bound %d", oStats.PeakInFlight, oStats.Max)
+	}
+	if badStatus.Load() > 0 {
+		return b.String(), fmt.Errorf("serve gate: %d requests failed with neither success nor 503", badStatus.Load())
+	}
+	return b.String(), nil
+}

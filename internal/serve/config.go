@@ -1,0 +1,155 @@
+// Tenant configuration — the keyfile-style bearer-token map lamassud
+// loads at startup.
+//
+// The format mirrors internal/keyfile: one `field: value` entry per
+// line, '#' comments and blank lines ignored, so deployments can
+// annotate the file. Two fields exist:
+//
+//	# lamassud tenant map — guard like any secret
+//	tenant: alice 4f7c...long-random-token...
+//	tenant: bob   91d2...another-token...
+//	admin:  0aa3...operations-token...
+//
+// Each `tenant:` line binds a bearer token to a tenant name; the name
+// becomes the tenant's namespace prefix on the mount (see Server), so
+// it must be a single clean path segment. The optional `admin:` line
+// sets the token for the /admin endpoints; without it they are
+// disabled. Tokens are static secrets: the file must be readable only
+// by the daemon (lamassud refuses world-readable tenant files is left
+// to the operator; tokens shorter than MinTokenLen are rejected
+// outright).
+package serve
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"strings"
+)
+
+// MinTokenLen is the minimum accepted bearer-token length. Short
+// tokens are a configuration mistake, not a policy choice, so Parse
+// rejects them.
+const MinTokenLen = 8
+
+// ErrMalformedTenants reports a tenant file that cannot be parsed.
+var ErrMalformedTenants = errors.New("serve: malformed tenant config")
+
+// Tenants is the parsed, immutable tenant map. Lookups compare token
+// digests in constant time.
+type Tenants struct {
+	// byDigest maps sha256(token) -> tenant name.
+	byDigest map[[32]byte]string
+	// names in file order, for logs and tests.
+	names []string
+	// adminDigest is sha256(admin token); nil when no admin token is
+	// configured (admin endpoints disabled).
+	adminDigest *[32]byte
+}
+
+// Names returns the tenant names in file order.
+func (t *Tenants) Names() []string { return append([]string(nil), t.names...) }
+
+// HasAdmin reports whether an admin token is configured.
+func (t *Tenants) HasAdmin() bool { return t.adminDigest != nil }
+
+// Lookup resolves a bearer token to its tenant name.
+func (t *Tenants) Lookup(token string) (tenant string, ok bool) {
+	d := sha256.Sum256([]byte(token))
+	tenant, ok = t.byDigest[d]
+	return tenant, ok
+}
+
+// IsAdmin reports whether token is the configured admin token,
+// comparing digests in constant time.
+func (t *Tenants) IsAdmin(token string) bool {
+	if t.adminDigest == nil {
+		return false
+	}
+	d := sha256.Sum256([]byte(token))
+	return subtle.ConstantTimeCompare(d[:], t.adminDigest[:]) == 1
+}
+
+// ValidTenantName reports whether name is usable as a tenant
+// namespace prefix: one clean path segment, so the prefixed names stay
+// valid flat-mount names and valid io/fs paths ("alice/doc.txt").
+func ValidTenantName(name string) bool {
+	if name == "" || name == "." || name == ".." || name == "admin" {
+		return false
+	}
+	if strings.ContainsAny(name, "/\\: \t") {
+		return false
+	}
+	return fs.ValidPath(name)
+}
+
+// ParseTenants decodes the tenant-file format from raw bytes.
+func ParseTenants(raw []byte) (*Tenants, error) {
+	t := &Tenants{byDigest: make(map[[32]byte]string)}
+	seenNames := make(map[string]bool)
+	for lineNo, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		field, rest, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("%w: line %d has no field separator", ErrMalformedTenants, lineNo+1)
+		}
+		rest = strings.TrimSpace(rest)
+		switch strings.TrimSpace(field) {
+		case "tenant":
+			parts := strings.Fields(rest)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("%w: line %d: want `tenant: NAME TOKEN`", ErrMalformedTenants, lineNo+1)
+			}
+			name, token := parts[0], parts[1]
+			if !ValidTenantName(name) {
+				return nil, fmt.Errorf("%w: line %d: invalid tenant name %q (one clean path segment, not \"admin\")", ErrMalformedTenants, lineNo+1, name)
+			}
+			if seenNames[name] {
+				return nil, fmt.Errorf("%w: line %d: duplicate tenant %q", ErrMalformedTenants, lineNo+1, name)
+			}
+			if len(token) < MinTokenLen {
+				return nil, fmt.Errorf("%w: line %d: token for %q shorter than %d bytes", ErrMalformedTenants, lineNo+1, name, MinTokenLen)
+			}
+			d := sha256.Sum256([]byte(token))
+			if _, dup := t.byDigest[d]; dup || (t.adminDigest != nil && *t.adminDigest == d) {
+				return nil, fmt.Errorf("%w: line %d: token for %q reuses another entry's token", ErrMalformedTenants, lineNo+1, name)
+			}
+			t.byDigest[d] = name
+			t.names = append(t.names, name)
+			seenNames[name] = true
+		case "admin":
+			if t.adminDigest != nil {
+				return nil, fmt.Errorf("%w: line %d: duplicate admin token", ErrMalformedTenants, lineNo+1)
+			}
+			if len(rest) < MinTokenLen {
+				return nil, fmt.Errorf("%w: line %d: admin token shorter than %d bytes", ErrMalformedTenants, lineNo+1, MinTokenLen)
+			}
+			d := sha256.Sum256([]byte(rest))
+			if _, dup := t.byDigest[d]; dup {
+				return nil, fmt.Errorf("%w: line %d: admin token reuses a tenant's token", ErrMalformedTenants, lineNo+1)
+			}
+			t.adminDigest = &d
+		default:
+			return nil, fmt.Errorf("%w: line %d: unknown field %q", ErrMalformedTenants, lineNo+1, field)
+		}
+	}
+	if len(t.names) == 0 {
+		return nil, fmt.Errorf("%w: no tenants configured", ErrMalformedTenants)
+	}
+	return t, nil
+}
+
+// LoadTenants reads and parses a tenant file from disk.
+func LoadTenants(path string) (*Tenants, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	return ParseTenants(raw)
+}

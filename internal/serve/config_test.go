@@ -1,0 +1,106 @@
+// Tenant-config parsing coverage: the accepted grammar, the lookup
+// semantics, and the rejection table.
+package serve
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseTenantsValid(t *testing.T) {
+	ten, err := ParseTenants([]byte(`
+# comment
+tenant: alice  alice-secret-token
+tenant: bob	bob-secret-token
+
+admin: admin-secret-token
+`))
+	if err != nil {
+		t.Fatalf("ParseTenants: %v", err)
+	}
+	if got := ten.Names(); len(got) != 2 || got[0] != "alice" || got[1] != "bob" {
+		t.Fatalf("Names() = %v", got)
+	}
+	if !ten.HasAdmin() {
+		t.Fatal("admin token not recognized")
+	}
+	if name, ok := ten.Lookup("alice-secret-token"); !ok || name != "alice" {
+		t.Fatalf("Lookup(alice token) = %q, %v", name, ok)
+	}
+	if _, ok := ten.Lookup("wrong-token-entirely"); ok {
+		t.Fatal("Lookup admitted an unknown token")
+	}
+	if _, ok := ten.Lookup("admin-secret-token"); ok {
+		t.Fatal("admin token resolved to a tenant")
+	}
+	if !ten.IsAdmin("admin-secret-token") || ten.IsAdmin("alice-secret-token") {
+		t.Fatal("IsAdmin misclassifies")
+	}
+}
+
+func TestParseTenantsRejects(t *testing.T) {
+	cases := []struct{ name, raw string }{
+		{"empty", ""},
+		{"comments only", "# nothing\n\n"},
+		{"no separator", "tenant alice token-token-token\n"},
+		{"unknown field", "zone: alice alice-token-long\n"},
+		{"missing token", "tenant: alice\n"},
+		{"extra field", "tenant: alice tok-long-enough extra\n"},
+		{"short token", "tenant: alice short\n"},
+		{"short admin", "tenant: a ok-token-len\nadmin: tiny\n"},
+		{"dup tenant", "tenant: alice token-aaaaaaa\ntenant: alice token-bbbbbbb\n"},
+		{"dup token", "tenant: alice same-token-here\ntenant: bob same-token-here\n"},
+		{"admin reuses tenant token", "tenant: alice same-token-here\nadmin: same-token-here\n"},
+		{"tenant reuses admin token", "admin: same-token-here\ntenant: alice same-token-here\n"},
+		{"dup admin", "tenant: a ok-token-len\nadmin: admin-token-1\nadmin: admin-token-2\n"},
+		{"tenant named admin", "tenant: admin token-aaaaaaa\n"},
+		{"tenant with slash", "tenant: a/b token-aaaaaaa\n"},
+		{"tenant dotdot", "tenant: .. token-aaaaaaa\n"},
+		{"admin only", "admin: admin-token-1\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseTenants([]byte(tc.raw))
+			if err == nil {
+				t.Fatalf("accepted %q", tc.raw)
+			}
+			if !errors.Is(err, ErrMalformedTenants) {
+				t.Fatalf("error %v does not wrap ErrMalformedTenants", err)
+			}
+		})
+	}
+}
+
+func TestValidTenantName(t *testing.T) {
+	for _, ok := range []string{"alice", "team-7", "a.b", "x"} {
+		if !ValidTenantName(ok) {
+			t.Errorf("ValidTenantName(%q) = false", ok)
+		}
+	}
+	for _, bad := range []string{"", ".", "..", "admin", "a/b", `a\b`, "a b", "a:b", "a\tb"} {
+		if ValidTenantName(bad) {
+			t.Errorf("ValidTenantName(%q) = true", bad)
+		}
+	}
+}
+
+func TestLoadTenantsFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tenants.conf")
+	if err := os.WriteFile(path, []byte("tenant: alice alice-token-xyz\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	ten, err := LoadTenants(path)
+	if err != nil {
+		t.Fatalf("LoadTenants: %v", err)
+	}
+	if _, ok := ten.Lookup("alice-token-xyz"); !ok {
+		t.Fatal("loaded file does not resolve its token")
+	}
+	if _, err := LoadTenants(filepath.Join(dir, "nope.conf")); err == nil || !strings.Contains(err.Error(), "serve:") {
+		t.Fatalf("missing file error = %v", err)
+	}
+}

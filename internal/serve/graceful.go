@@ -1,0 +1,96 @@
+// Graceful serving: run an http.Server until the context says stop,
+// then drain in-flight requests with a deadline before giving up on
+// them — the shutdown half of the daemon contract (the caller closes
+// the Mount after Graceful returns, so every drained request still had
+// a live engine under it).
+package serve
+
+import (
+	"context"
+	"crypto/tls"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// DefaultDrainTimeout bounds how long Graceful waits for in-flight
+// requests after a shutdown signal.
+const DefaultDrainTimeout = 10 * time.Second
+
+// GracefulConfig tunes Graceful.
+type GracefulConfig struct {
+	// DrainTimeout bounds the in-flight drain after ctx is canceled;
+	// 0 selects DefaultDrainTimeout. When the deadline passes,
+	// remaining connections are closed hard (their request contexts
+	// cancel — a crash cut the engine recovers from, by design).
+	DrainTimeout time.Duration
+	// TLS, when non-nil, serves HTTPS; http.Server then negotiates
+	// HTTP/2 via ALPN with no extra dependency. Plain listeners speak
+	// HTTP/1.1.
+	TLS *tls.Config
+	// ErrorLog receives the http.Server's error lines via Logf when
+	// non-nil.
+	Logf func(format string, args ...any)
+}
+
+// Graceful serves handler on lis until ctx is canceled, then drains:
+// Shutdown with a DrainTimeout deadline (lets in-flight requests
+// finish; their own contexts stay live), then Close for whatever
+// remains. It returns nil after a clean drain, the accept error if
+// serving failed first, or context.DeadlineExceeded-wrapped state from
+// Shutdown when the drain ran out of time.
+func Graceful(ctx context.Context, lis net.Listener, handler http.Handler, cfg GracefulConfig) error {
+	drain := cfg.DrainTimeout
+	if drain <= 0 {
+		drain = DefaultDrainTimeout
+	}
+	srv := &http.Server{
+		Handler:   handler,
+		TLSConfig: cfg.TLS,
+		// BaseContext is deliberately Background: request contexts must
+		// cancel on client disconnect or hard Close, not on the
+		// shutdown signal — Shutdown's whole point is letting in-flight
+		// requests finish.
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		var err error
+		if cfg.TLS != nil {
+			err = srv.Serve(tls.NewListener(lis, cfg.TLS))
+		} else {
+			err = srv.Serve(lis)
+		}
+		if !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+		close(errc)
+	}()
+
+	select {
+	case err, ok := <-errc:
+		if ok && err != nil {
+			return err
+		}
+		return errors.New("serve: server stopped unexpectedly")
+	case <-ctx.Done():
+	}
+
+	if cfg.Logf != nil {
+		cfg.Logf("serve: shutdown signal, draining in-flight requests (deadline %s)", drain)
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err := srv.Shutdown(dctx)
+	if err != nil {
+		// Drain deadline passed: close the stragglers hard. Their
+		// request contexts cancel mid-operation — a crash cut.
+		_ = srv.Close()
+	}
+	// Wait for the Serve goroutine so the listener is truly released.
+	if serr, ok := <-errc; ok && serr != nil && err == nil {
+		err = serr
+	}
+	return err
+}

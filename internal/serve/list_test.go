@@ -1,0 +1,127 @@
+// Paged /v1/list coverage: the wire handler drives the Mount.FS
+// ReadDir pager, so multi-page walks must see every entry exactly once
+// and directories must surface as entries.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"testing"
+)
+
+func listPage(t *testing.T, base, token, dir, after string, limit int) ListPage {
+	t.Helper()
+	q := url.Values{}
+	if dir != "" {
+		q.Set("dir", dir)
+	}
+	if after != "" {
+		q.Set("after", after)
+	}
+	if limit > 0 {
+		q.Set("limit", fmt.Sprint(limit))
+	}
+	resp, body := doReq(t, "GET", base+"/v1/list?"+q.Encode(), token, nil, nil)
+	wantStatus(t, resp, body, http.StatusOK)
+	var page ListPage
+	if err := json.Unmarshal(body, &page); err != nil {
+		t.Fatalf("list JSON: %v (%q)", err, body)
+	}
+	return page
+}
+
+func TestListPagedMultiPage(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+
+	// 12 files in one directory, plus a sibling file and a nested dir
+	// at the root.
+	const n = 12
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("docs/f%02d.txt", i)
+		resp, body := doReq(t, "PUT", hs.URL+"/v1/files/"+name, tokAlice, []byte(fmt.Sprintf("payload %d", i)), nil)
+		wantStatus(t, resp, body, http.StatusNoContent)
+	}
+	resp, body := doReq(t, "PUT", hs.URL+"/v1/files/root.txt", tokAlice, []byte("r"), nil)
+	wantStatus(t, resp, body, http.StatusNoContent)
+
+	// Root listing: the docs dir and the sibling file.
+	root := listPage(t, hs.URL, tokAlice, "", "", 0)
+	if len(root.Entries) != 2 {
+		t.Fatalf("root list: %d entries (%+v), want 2", len(root.Entries), root.Entries)
+	}
+	if root.Entries[0].Name != "docs" || !root.Entries[0].Dir {
+		t.Fatalf("root[0] = %+v, want dir docs", root.Entries[0])
+	}
+	if root.Entries[1].Name != "root.txt" || root.Entries[1].Dir || root.Entries[1].Size != 1 {
+		t.Fatalf("root[1] = %+v, want file root.txt size 1", root.Entries[1])
+	}
+
+	// Page through docs/ five at a time: >1 page, every entry exactly
+	// once, sizes carried (Stat over the wire).
+	var got []ListEntry
+	after := ""
+	pages := 0
+	for {
+		page := listPage(t, hs.URL, tokAlice, "docs", after, 5)
+		got = append(got, page.Entries...)
+		pages++
+		if !page.Truncated {
+			break
+		}
+		if page.Next == "" {
+			t.Fatal("truncated page without a next cursor")
+		}
+		after = page.Next
+		if pages > 10 {
+			t.Fatal("pager does not terminate")
+		}
+	}
+	if pages < 3 {
+		t.Fatalf("12 entries at limit 5 walked in %d pages, want >= 3", pages)
+	}
+	if len(got) != n {
+		t.Fatalf("paged walk saw %d entries, want %d", len(got), n)
+	}
+	for i, e := range got {
+		want := fmt.Sprintf("f%02d.txt", i)
+		if e.Name != want {
+			t.Fatalf("entry %d = %q, want %q (sorted, exactly-once)", i, e.Name, want)
+		}
+		wantSize := int64(len(fmt.Sprintf("payload %d", i)))
+		if e.Size != wantSize {
+			t.Fatalf("entry %s size %d, want %d", e.Name, e.Size, wantSize)
+		}
+	}
+
+	// The final page really is final.
+	last := listPage(t, hs.URL, tokAlice, "docs", got[len(got)-1].Name, 5)
+	if len(last.Entries) != 0 || last.Truncated {
+		t.Fatalf("page after the last entry: %+v", last)
+	}
+}
+
+func TestListEmptyAndIsolated(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+
+	// A tenant that never wrote lists an empty root, not an error.
+	page := listPage(t, hs.URL, tokBob, "", "", 0)
+	if len(page.Entries) != 0 {
+		t.Fatalf("empty tenant lists %+v", page.Entries)
+	}
+
+	// Alice's files do not appear in bob's listing.
+	resp, body := doReq(t, "PUT", hs.URL+"/v1/files/mine.txt", tokAlice, []byte("x"), nil)
+	wantStatus(t, resp, body, http.StatusNoContent)
+	page = listPage(t, hs.URL, tokBob, "", "", 0)
+	if len(page.Entries) != 0 {
+		t.Fatalf("bob sees alice's files: %+v", page.Entries)
+	}
+
+	// Listing a file (not a dir) is a 400; a missing subdir a 404.
+	resp, body = doReq(t, "GET", hs.URL+"/v1/list?dir=mine.txt", tokAlice, nil, nil)
+	wantStatus(t, resp, body, http.StatusBadRequest)
+	resp, body = doReq(t, "GET", hs.URL+"/v1/list?dir=nosuch", tokAlice, nil, nil)
+	wantStatus(t, resp, body, http.StatusNotFound)
+}

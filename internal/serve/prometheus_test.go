@@ -1,0 +1,125 @@
+// /metrics exposition coverage: well-formed Prometheus text, the
+// engine counters visible and non-zero after traffic, per-tenant
+// request counters labeled, and the backpressure gauges present.
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// promValue extracts the value of the first sample whose line starts
+// with prefix (metric name, optionally with a label block).
+func promValue(t *testing.T, text, prefix string) (float64, bool) {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(fields[len(fields)-1], "%g", &v); err != nil {
+			t.Fatalf("unparseable sample %q: %v", line, err)
+		}
+		return v, true
+	}
+	return 0, false
+}
+
+func TestMetricsExposition(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+
+	// Generate traffic under two tenants.
+	for i := 0; i < 3; i++ {
+		resp, body := doReq(t, "PUT", hs.URL+fmt.Sprintf("/v1/files/m%d.bin", i), tokAlice, make([]byte, 8192), nil)
+		wantStatus(t, resp, body, http.StatusNoContent)
+	}
+	resp, body := doReq(t, "GET", hs.URL+"/v1/files/m0.bin", tokAlice, nil, nil)
+	wantStatus(t, resp, body, http.StatusOK)
+	resp, body = doReq(t, "PUT", hs.URL+"/v1/files/b.bin", tokBob, []byte("b"), nil)
+	wantStatus(t, resp, body, http.StatusNoContent)
+
+	resp, body = doReq(t, "GET", hs.URL+"/metrics", "", nil, nil)
+	wantStatus(t, resp, body, http.StatusOK)
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics Content-Type %q", ct)
+	}
+	text := string(body)
+
+	// Format sanity: every sample line's metric has HELP and TYPE, and
+	// HELP/TYPE come in pairs.
+	if strings.Count(text, "# HELP") == 0 || strings.Count(text, "# HELP") != strings.Count(text, "# TYPE") {
+		t.Fatalf("HELP/TYPE pairing broken: %d HELP, %d TYPE", strings.Count(text, "# HELP"), strings.Count(text, "# TYPE"))
+	}
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i > 0 {
+			name = line[:i]
+		}
+		if !strings.HasPrefix(name, "lamassu_") {
+			t.Fatalf("sample %q outside the lamassu_ namespace", line)
+		}
+		if !strings.Contains(text, "# TYPE "+name+" ") {
+			t.Fatalf("sample %q has no TYPE header", line)
+		}
+	}
+
+	// Per-tenant request counters with sanitized labels.
+	if v, ok := promValue(t, text, `lamassu_serve_requests_total{tenant="alice",op="write"}`); !ok || v != 3 {
+		t.Fatalf("alice write counter = %v (present %v), want 3", v, ok)
+	}
+	if v, ok := promValue(t, text, `lamassu_serve_requests_total{tenant="alice",op="read"}`); !ok || v != 1 {
+		t.Fatalf("alice read counter = %v (present %v), want 1", v, ok)
+	}
+	if v, ok := promValue(t, text, `lamassu_serve_requests_total{tenant="bob",op="write"}`); !ok || v != 1 {
+		t.Fatalf("bob write counter = %v (present %v), want 1", v, ok)
+	}
+
+	// Engine counters are exported and alive (CollectLatency is on).
+	if v, ok := promValue(t, text, "lamassu_backend_ios_total"); !ok || v == 0 {
+		t.Fatalf("lamassu_backend_ios_total = %v (present %v), want > 0", v, ok)
+	}
+	if v, ok := promValue(t, text, "lamassu_backend_io_bytes_total"); !ok || v == 0 {
+		t.Fatalf("lamassu_backend_io_bytes_total = %v, want > 0 (present %v)", v, ok)
+	}
+	if _, ok := promValue(t, text, `lamassu_latency_seconds_total{category="io"}`); !ok {
+		t.Fatal("latency breakdown missing the io category (label sanitization broke?)")
+	}
+
+	// Backpressure gauges present with the configured bound.
+	if v, ok := promValue(t, text, "lamassu_serve_inflight_max"); !ok || v != DefaultMaxInFlight {
+		t.Fatalf("lamassu_serve_inflight_max = %v (present %v)", v, ok)
+	}
+	if _, ok := promValue(t, text, "lamassu_serve_rejected_total"); !ok {
+		t.Fatal("lamassu_serve_rejected_total missing")
+	}
+	// Cache/pool families always exported.
+	for _, name := range []string{"lamassu_cache_hits_total", "lamassu_pool_width", "lamassu_rebalance_active"} {
+		if _, ok := promValue(t, text, name); !ok {
+			t.Fatalf("%s missing", name)
+		}
+	}
+}
+
+func TestPromLabel(t *testing.T) {
+	for in, want := range map[string]string{
+		"I/O":      "io",
+		"Misc.":    "misc",
+		"Encrypt":  "encrypt",
+		"GetCEKey": "getcekey",
+		"":         "unknown",
+		"///":      "unknown",
+	} {
+		if got := promLabel(in); got != want {
+			t.Errorf("promLabel(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
