@@ -58,6 +58,7 @@ func main() {
 	blockSize := fs.Int("block", 4096, "layout block size")
 	reserved := fs.Int("r", 8, "reserved key slots per metadata block (R)")
 	metaOnly := fs.Bool("meta-only", false, "skip per-data-block integrity checks on read")
+	compress := fs.Bool("compress", false, "compress blocks before encryption (deterministic; dedup preserved)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -91,7 +92,7 @@ func main() {
 	if err != nil {
 		die(err)
 	}
-	opts := &lamassu.Options{BlockSize: *blockSize, ReservedSlots: *reserved}
+	opts := &lamassu.Options{BlockSize: *blockSize, ReservedSlots: *reserved, Compression: *compress}
 	if *metaOnly {
 		opts.Integrity = lamassu.IntegrityMetaOnly
 	}
@@ -439,7 +440,8 @@ subcommands:
 
 common flags: -store DIR (or -shards DIR1,DIR2,... [-vnodes N] [-stripe KIB]),
               and -keyfile F or -kmip ADDR -zone N
-layout flags: -block 4096, -r 8, -meta-only
+layout flags: -block 4096, -r 8, -meta-only, -compress (compress-then-encrypt
+              on new writes; reads are self-describing either way)
 
 -shards stripes the encrypted backing files across several directories
 behind a consistent-hash placement map; pass the SAME directory list,

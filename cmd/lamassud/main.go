@@ -66,6 +66,7 @@ func run(argv []string, ready func(addr string), logw io.Writer) error {
 	parallelism := fs.Int("parallelism", 0, "commit worker-pool width (0 = default)")
 	cacheBlocks := fs.Int("cache", 1024, "verified-plaintext block-cache capacity in blocks")
 	ioWindow := fs.Int("iowindow", 0, "bound on concurrently outstanding backend I/Os (0 = unwindowed)")
+	compress := fs.Bool("compress", false, "compress blocks before encryption on new writes (deterministic; dedup preserved)")
 	maxInFlight := fs.Int("max-inflight", 0, "admission bound: in-flight requests + engine queue depth (0 = default)")
 	maxUploadMB := fs.Int64("max-upload-mb", 0, "largest accepted PUT body in MiB (0 = unlimited)")
 	drain := fs.Duration("drain", serve.DefaultDrainTimeout, "graceful-shutdown drain deadline for in-flight requests")
@@ -139,6 +140,9 @@ func run(argv []string, ready func(addr string), logw io.Writer) error {
 	}
 	if *ioWindow > 0 {
 		opts = append(opts, lamassu.WithIOWindow(*ioWindow))
+	}
+	if *compress {
+		opts = append(opts, lamassu.WithCompression())
 	}
 	m, err := lamassu.New(backing, keys, opts...)
 	if err != nil {

@@ -11,8 +11,8 @@
 //
 // Experiments: fig6, table1, fig7, fig8, fig9, fig10, fig11,
 // unaligned, scaling, shardscale, coalesce, rebalance, faults,
-// replica, remote, serve, all. The scaling, shardscale, coalesce,
-// rebalance, faults, replica, remote and serve experiments are this
+// replica, remote, serve, compress, all. The scaling, shardscale, coalesce,
+// rebalance, faults, replica, remote, serve and compress experiments are this
 // repository's extensions beyond the paper: scaling sweeps the concurrent engine's commit parallelism
 // and block cache; shardscale sweeps the consistent-hash storage
 // sharding from 1 to 8 backends and reports the per-shard throughput
@@ -36,8 +36,13 @@
 // mixed workload against an equal-concurrency in-process baseline and
 // FAILS unless wire throughput stays within 5x of in-process AND an
 // overload run (admission bound below the client count) sheds load
-// with 503s while the in-flight peak never exceeds the bound — CI
-// runs coalesce, faults, replica, remote and serve as regression
+// with 503s while the in-flight peak never exceeds the bound; compress
+// A/Bs the WithCompression encode stage against the raw encoder over
+// the object store at fixed RTT across a 1x-4x compressibility sweep
+// and FAILS unless compressible data strictly reduces bytes on the
+// wire in both directions while incompressible data never stores more
+// than raw and stays within noise of its throughput — CI runs
+// coalesce, faults, replica, remote, serve and compress as regression
 // gates.
 //
 // With -json PATH, the extension experiments additionally emit their
@@ -89,13 +94,17 @@ type benchResult struct {
 	Failovers   int64   `json:"failover_reads,omitempty"`
 	Repairs     int64   `json:"scrub_repairs,omitempty"`
 	Rejected    int64   `json:"rejected_503,omitempty"`
+
+	LogicalBytes int64   `json:"logical_bytes,omitempty"`
+	StoredBytes  int64   `json:"stored_bytes,omitempty"`
+	Ratio        float64 `json:"compression_ratio,omitempty"`
 }
 
 // results accumulates rows from the extension experiments for -json.
 var results []benchResult
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig6|table1|fig7|fig8|fig9|fig10|fig11|unaligned|scaling|shardscale|coalesce|rebalance|faults|replica|remote|serve|all")
+	exp := flag.String("exp", "all", "experiment to run: fig6|table1|fig7|fig8|fig9|fig10|fig11|unaligned|scaling|shardscale|coalesce|rebalance|faults|replica|remote|serve|compress|all")
 	mb := flag.Int64("mb", 32, "workload file size in MiB (paper: 4096 for fig6/fig11, 256 for fig7-fig10)")
 	scale := flag.Int64("scale", 16, "Table 1 VM image size divisor (1 = paper sizes)")
 	jsonPath := flag.String("json", "", "write machine-readable results (JSON) to PATH")
@@ -220,9 +229,10 @@ func main() {
 	run("replica", func() (string, error) { return replicaTable(ctx, fileBytes) })
 	run("remote", func() (string, error) { return remoteTable(ctx, fileBytes) })
 	run("serve", func() (string, error) { return serveTable(ctx, fileBytes) })
+	run("compress", func() (string, error) { return compressTable(ctx, fileBytes) })
 
 	if *exp != "all" && !validExp(*exp) {
-		fmt.Fprintf(os.Stderr, "lmsbench: unknown experiment %q (want fig6|table1|fig7|fig8|fig9|fig10|fig11|unaligned|scaling|shardscale|coalesce|rebalance|faults|replica|remote|serve|all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "lmsbench: unknown experiment %q (want fig6|table1|fig7|fig8|fig9|fig10|fig11|unaligned|scaling|shardscale|coalesce|rebalance|faults|replica|remote|serve|compress|all)\n", *exp)
 		flush() // a -json consumer still gets a (possibly empty) document
 		os.Exit(2)
 	}
@@ -235,7 +245,7 @@ func main() {
 }
 
 func validExp(e string) bool {
-	for _, v := range strings.Fields("fig6 table1 fig7 fig8 fig9 fig10 fig11 unaligned scaling shardscale coalesce rebalance faults replica remote serve all") {
+	for _, v := range strings.Fields("fig6 table1 fig7 fig8 fig9 fig10 fig11 unaligned scaling shardscale coalesce rebalance faults replica remote serve compress all") {
 		if e == v {
 			return true
 		}

@@ -106,7 +106,6 @@ func (f *file) commitSegment(ctx context.Context, seg *segment, si int64) error 
 	// and the mid-update read path identify old contents by the hash
 	// check, and a keyed block whose data never landed reads back as
 	// the hole it was.
-	keysPerSeg := int64(f.fs.geo.KeysPerSegment())
 	newKeys := make([]cryptoutil.Key, len(slots))
 	err := f.fs.pool.run(ctx, len(slots), func(i int) error {
 		k, err := f.fs.deriveKey(seg.pending[slots[i]])
@@ -152,6 +151,53 @@ func (f *file) commitSegment(ctx context.Context, seg *segment, si int64) error 
 		}
 	}
 
+	// A compressed-mode FS flips each raw segment it first commits into:
+	// the flag and freshly initialized length table (live blocks marked
+	// raw-full — the bytes already on disk stay valid) are persisted by
+	// the phase-1 barrier below. The reverse flip never happens, and a
+	// compression-off FS keeps maintaining the length table of a segment
+	// some other mount compressed, so the codec never has to guess.
+	if f.fs.cfg.Compression && !meta.Compressed() {
+		meta.InitCompressed()
+	}
+
+	var sizeAtCommit int64
+	if meta.Compressed() {
+		sizeAtCommit, err = f.commitCompressed(ctx, seg, si, slots, newKeys)
+	} else {
+		sizeAtCommit, err = f.commitRaw(ctx, seg, si, slots, newKeys)
+	}
+	if err != nil {
+		return err
+	}
+
+	// The pending buffers came from the slab pool (pendingBlock);
+	// recycle them now that their ciphertext is durable.
+	for _, buf := range seg.pending {
+		f.fs.slabs.put(buf)
+	}
+	clear(seg.pending)
+	seg.liveOverwrites = 0
+
+	// The final metadata block now carries the size this commit
+	// observed; only mark the size clean if it has not moved since
+	// (a concurrent writer may have extended the file while our
+	// barriers were in flight).
+	f.stateMu.Lock()
+	if f.size == sizeAtCommit && f.isFinalSegmentLocked(si) {
+		f.sizeDirty = false
+	}
+	f.stateMu.Unlock()
+	return nil
+}
+
+// commitRaw runs phases 1–3 for a raw (uncompressed) segment — the
+// protocol exactly as it stood before compression existed; compressed
+// segments take commitCompressed instead. Returns the logical size the
+// phase-1 barrier persisted. The caller must hold seg.mu exclusively.
+func (f *file) commitRaw(ctx context.Context, seg *segment, si int64, slots []int, newKeys []cryptoutil.Key) (int64, error) {
+	meta := seg.meta
+	keysPerSeg := int64(f.fs.geo.KeysPerSegment())
 	// The overwrite-bounded batching policy must leave enough transient
 	// slots for every live block this commit replaces; a violation is a
 	// bug in the trigger accounting, caught here before any state
@@ -163,7 +209,7 @@ func (f *file) commitSegment(ctx context.Context, seg *segment, si int64) error 
 		}
 	}
 	if overwrites > f.fs.geo.Reserved {
-		return fmt.Errorf("lamassu: internal error: %d live blocks overwritten exceed R=%d in segment %d",
+		return 0, fmt.Errorf("lamassu: internal error: %d live blocks overwritten exceed R=%d in segment %d",
 			overwrites, f.fs.geo.Reserved, si)
 	}
 
@@ -180,7 +226,7 @@ func (f *file) commitSegment(ctx context.Context, seg *segment, si int64) error 
 	sizeAtCommit := f.sizeNow()
 	meta.LogicalSize = uint64(sizeAtCommit)
 	if err := f.fs.writeMeta(ctx, f.bf, f.name, meta); err != nil {
-		return fmt.Errorf("lamassu: commit phase 1 (segment %d): %w", si, err)
+		return 0, fmt.Errorf("lamassu: commit phase 1 (segment %d): %w", si, err)
 	}
 
 	// The data writes below replace the committed blocks' on-disk
@@ -202,6 +248,7 @@ func (f *file) commitSegment(ctx context.Context, seg *segment, si int64) error 
 
 	// Phase 2: encrypt and write the data blocks between the two
 	// metadata barriers.
+	var err error
 	if f.fs.cfg.DisableCoalescing {
 		err = f.commitBlocks(ctx, seg, si, slots, newKeys)
 	} else {
@@ -213,7 +260,7 @@ func (f *file) commitSegment(ctx context.Context, seg *segment, si int64) error 
 		f.fs.cache.invalidateDataBlocks(f.name, dbis)
 	}
 	if err != nil {
-		return err
+		return 0, err
 	}
 
 	// Phase 3: clear the update marker.
@@ -224,27 +271,9 @@ func (f *file) commitSegment(ctx context.Context, seg *segment, si int64) error 
 		// marked midupdate, so the in-memory view must agree or a
 		// commit retry would skip the repair pass.
 		meta.SetMidUpdate(true)
-		return fmt.Errorf("lamassu: commit phase 3 (segment %d): %w", si, err)
+		return 0, fmt.Errorf("lamassu: commit phase 3 (segment %d): %w", si, err)
 	}
-
-	// The pending buffers came from the slab pool (pendingBlock);
-	// recycle them now that their ciphertext is durable.
-	for _, buf := range seg.pending {
-		f.fs.slabs.put(buf)
-	}
-	clear(seg.pending)
-	seg.liveOverwrites = 0
-
-	// The final metadata block now carries the size this commit
-	// observed; only mark the size clean if it has not moved since
-	// (a concurrent writer may have extended the file while our
-	// barriers were in flight).
-	f.stateMu.Lock()
-	if f.size == sizeAtCommit && f.isFinalSegmentLocked(si) {
-		f.sizeDirty = false
-	}
-	f.stateMu.Unlock()
-	return nil
+	return sizeAtCommit, nil
 }
 
 // commitBlocks is the paper's per-block phase 2: each pending block is
@@ -283,6 +312,7 @@ func (f *file) commitBlocks(ctx context.Context, seg *segment, si int64, slots [
 		f.fs.cfg.Recorder.Stop(metrics.IO, t)
 		f.fs.iow.release()
 		f.fs.cfg.Recorder.CountIOBytes(int64(bs))
+		f.fs.cfg.Recorder.CountDataBytes(int64(bs), int64(bs))
 		if werr != nil {
 			return fmt.Errorf("lamassu: commit phase 2 (block %d): %w", dbi, werr)
 		}
@@ -375,6 +405,7 @@ func (f *file) commitCoalesced(ctx context.Context, seg *segment, si int64, slot
 		f.fs.cfg.Recorder.Stop(metrics.IO, t)
 		f.fs.iow.release()
 		f.fs.cfg.Recorder.CountIOBytes(int64(len(payload)))
+		f.fs.cfg.Recorder.CountDataBytes(int64(len(payload)), int64(len(payload)))
 		f.fs.cfg.Recorder.CountEvent(metrics.WriteRun, 1)
 		if werr != nil {
 			dbi := si*keysPerSeg + int64(slots[run.lo])

@@ -429,14 +429,14 @@ func testCrashMidParallelCommit(t *testing.T, mk storeMaker) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := writeWorkload(fdry, oldData, 7); err != nil {
+	if _, err := writeWorkload(fdry, oldData, 7, false); err != nil {
 		t.Fatal(err)
 	}
 	if err := fdry.Close(); err != nil {
 		t.Fatal(err)
 	}
 	totalWrites := countStore.WriteCount()
-	hist := blockHistories(oldData, 7, geo.BlockSize)
+	hist := blockHistories(oldData, 7, geo.BlockSize, false)
 
 	stride := int64(1)
 	if testing.Short() {
@@ -457,7 +457,7 @@ func testCrashMidParallelCommit(t *testing.T, mk storeMaker) {
 		if err != nil {
 			t.Fatalf("crashAt=%d: open: %v", crashAt, err)
 		}
-		_, werr := writeWorkload(fw, oldData, 7)
+		_, werr := writeWorkload(fw, oldData, 7, false)
 		_ = fw.Close() // post-crash close errors are expected
 		if werr == nil && fstore.Crashed() {
 			t.Fatalf("crashAt=%d: workload succeeded despite crash", crashAt)

@@ -152,6 +152,22 @@ type Config struct {
 	// requires CacheBlocks > 0 (the prefetched plaintext has nowhere
 	// else to live) and is ignored when coalescing is disabled.
 	Readahead int
+	// Compression enables the deterministic compress-then-encrypt
+	// encode stage (the paper's encode = encrypt(compress(input))):
+	// each committed data block is DEFLATE-compressed at a pinned
+	// level, encrypted under the convergent key of its RAW plaintext
+	// (so dedup of identical plaintext is preserved), and written as a
+	// prefix of its fixed block slot — addressing and the §2.4 commit
+	// barriers are unchanged, only the bytes per backend call shrink.
+	// The stored length lives in a length table carved from the
+	// reserved slots (layout.FlagCompressed); blocks the compressor
+	// cannot shrink by at least one layout.LenUnit granule are stored
+	// verbatim (raw escape), so a compressed mount never writes more
+	// bytes than a raw one. Off (the default) is byte-identical to the
+	// pre-compression engine; segments written by a compressed mount
+	// remain readable either way, because the codec always understands
+	// both modes. Requires Geometry.CompressionGeometryOK.
+	Compression bool
 	// IOWindow bounds the number of backend I/O operations the FS
 	// keeps in flight at once, independent of Parallelism's CPU
 	// budget — the pipelining knob for high-latency stores, where the
@@ -232,6 +248,11 @@ func New(store backend.Store, cfg Config) (*FS, error) {
 	}
 	if cfg.IOWindow < 0 {
 		return nil, errors.New("lamassu: I/O window must be >= 0")
+	}
+	if cfg.Compression {
+		if err := cfg.Geometry.CompressionGeometryOK(); err != nil {
+			return nil, err
+		}
 	}
 	fs := &FS{
 		store: store,
@@ -520,6 +541,65 @@ func (fs *FS) decryptBlock(dst, src []byte, key cryptoutil.Key) error {
 	err := cryptoutil.DecryptBlockCBC(dst, src, key)
 	fs.cfg.Recorder.Stop(metrics.Decrypt, t)
 	return err
+}
+
+// encodeStored encodes one plaintext block for a compressed-mode
+// segment: it deterministically compresses src, zero-pads the framed
+// result to a layout.LenUnit granule and convergently encrypts it
+// into a prefix of dst, returning the stored byte count (a positive
+// multiple of LenUnit, at most one block). The key is derived from
+// the RAW plaintext, so identical plaintext still yields identical
+// ciphertext — dedup survives the stage. When src does not shrink by
+// at least one granule the raw escape stores the full block verbatim;
+// dst then holds exactly the bytes a raw engine would have written.
+func (fs *FS) encodeStored(dst, src []byte, key cryptoutil.Key) (int, error) {
+	bs := fs.geo.BlockSize
+	scratch := fs.slabs.get(bs)
+	defer fs.slabs.put(scratch)
+	t := fs.cfg.Recorder.Start()
+	n, ok := cryptoutil.CompressBlock(scratch[:bs-layout.LenUnit], src)
+	fs.cfg.Recorder.Stop(metrics.Encrypt, t)
+	if !ok {
+		fs.cfg.Recorder.CountEvent(metrics.RawEscape, 1)
+		if err := fs.encryptBlock(dst[:bs], src, key); err != nil {
+			return 0, err
+		}
+		return bs, nil
+	}
+	stored := (n + layout.LenUnit - 1) / layout.LenUnit * layout.LenUnit
+	for i := n; i < stored; i++ {
+		scratch[i] = 0
+	}
+	if err := fs.encryptBlock(dst[:stored], scratch[:stored], key); err != nil {
+		return 0, err
+	}
+	fs.cfg.Recorder.CountEvent(metrics.BlockCompressed, 1)
+	return stored, nil
+}
+
+// decodeStored decrypts and, for a compressed payload, decompresses
+// one stored payload of storedBytes bytes into the full plaintext
+// block dst. storedBytes == BlockSize means a raw block (identical to
+// the uncompressed engine's decode); anything shorter is a framed
+// compressed prefix. A frame that fails to inflate to exactly one
+// block is corruption and maps to ErrIntegrity.
+func (fs *FS) decodeStored(dst, ct []byte, key cryptoutil.Key, storedBytes int) error {
+	bs := fs.geo.BlockSize
+	if storedBytes == bs {
+		return fs.decryptBlock(dst, ct[:bs], key)
+	}
+	scratch := fs.slabs.get(bs)
+	defer fs.slabs.put(scratch)
+	if err := fs.decryptBlock(scratch[:storedBytes], ct[:storedBytes], key); err != nil {
+		return err
+	}
+	t := fs.cfg.Recorder.Start()
+	err := cryptoutil.DecompressBlock(dst, scratch[:storedBytes])
+	fs.cfg.Recorder.Stop(metrics.Decrypt, t)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrIntegrity, err)
+	}
+	return nil
 }
 
 // verifyBlock re-derives the convergent key from decrypted plaintext

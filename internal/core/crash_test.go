@@ -14,10 +14,28 @@ import (
 	"lamassu/internal/vfs"
 )
 
+// fillChunk fills one workload chunk. The random case is the classic
+// sweep (random bytes escape compression to raw); the compressible
+// case keeps an 8-byte random prefix for per-op uniqueness and fills
+// the rest with a repeated phrase so the compressed engine's short
+// stored extents — and their crash states — actually get exercised.
+// Both callers below must consume the rng identically, so the random
+// draw happens unconditionally.
+func fillChunk(rng *rand.Rand, chunk []byte, compressible bool) {
+	rng.Read(chunk)
+	if !compressible {
+		return
+	}
+	const phrase = "crash sweep compressible payload "
+	for i := 8; i < len(chunk); i++ {
+		chunk[i] = phrase[i%len(phrase)]
+	}
+}
+
 // writeWorkload applies a deterministic overwrite workload to a file
 // that already contains oldData, returning the intended new content.
 // It drives the multiphase commit across several segments.
-func writeWorkload(f vfs.File, oldData []byte, seed int64) ([]byte, error) {
+func writeWorkload(f vfs.File, oldData []byte, seed int64, compressible bool) ([]byte, error) {
 	want := append([]byte(nil), oldData...)
 	rng := rand.New(rand.NewSource(seed))
 	for i := 0; i < 30; i++ {
@@ -27,7 +45,7 @@ func writeWorkload(f vfs.File, oldData []byte, seed int64) ([]byte, error) {
 			n = len(want) - off
 		}
 		chunk := make([]byte, n)
-		rng.Read(chunk)
+		fillChunk(rng, chunk, compressible)
 		if _, err := f.WriteAt(chunk, int64(off)); err != nil {
 			return want, err
 		}
@@ -44,7 +62,7 @@ func writeWorkload(f vfs.File, oldData []byte, seed int64) ([]byte, error) {
 // (the initial content plus the state after each application write).
 // Because writes are buffered and batched, a crash may surface any of
 // these intermediate states — but never anything else.
-func blockHistories(oldData []byte, seed int64, blockSize int) []map[string]bool {
+func blockHistories(oldData []byte, seed int64, blockSize int, compressible bool) []map[string]bool {
 	nBlocks := (len(oldData) + blockSize - 1) / blockSize
 	hist := make([]map[string]bool, nBlocks)
 	shadow := append([]byte(nil), oldData...)
@@ -69,7 +87,7 @@ func blockHistories(oldData []byte, seed int64, blockSize int) []map[string]bool
 			n = len(shadow) - off
 		}
 		chunk := make([]byte, n)
-		rng.Read(chunk)
+		fillChunk(rng, chunk, compressible)
 		copy(shadow[off:off+n], chunk)
 		for b := off / blockSize; b <= (off+n-1)/blockSize; b++ {
 			snap(b)
@@ -105,25 +123,39 @@ func TestCrashSweepEveryWritePoint(t *testing.T) {
 	})
 }
 
-// The sweep runs over BOTH engines: the coalesced default (fewer,
+// The sweep runs over all FOUR engines: the coalesced default (fewer,
 // larger backend writes — every crash point lands before, between or
-// after whole runs) and the paper's per-block engine.
+// after whole runs), the paper's per-block engine, and both again with
+// compression on — where phase 2 writes variable stored extents, the
+// workload is compressible (short frames, extent pads), and recovery
+// must restore paired (key, length) state.
 func testCrashSweepEveryWritePoint(t *testing.T, mk storeMaker) {
-	t.Run("coalesced", func(t *testing.T) { crashSweepEveryWritePoint(t, mk, false) })
-	t.Run("per-block", func(t *testing.T) { crashSweepEveryWritePoint(t, mk, true) })
+	t.Run("coalesced", func(t *testing.T) { crashSweepEveryWritePoint(t, mk, false, false) })
+	t.Run("per-block", func(t *testing.T) { crashSweepEveryWritePoint(t, mk, true, false) })
+	t.Run("coalesced-compress", func(t *testing.T) { crashSweepEveryWritePoint(t, mk, false, true) })
+	t.Run("per-block-compress", func(t *testing.T) { crashSweepEveryWritePoint(t, mk, true, true) })
 }
 
-func crashSweepEveryWritePoint(t *testing.T, mk storeMaker, disableCoalescing bool) {
+func crashSweepEveryWritePoint(t *testing.T, mk storeMaker, disableCoalescing, compress bool) {
 	geo, err := layout.NewGeometry(512, 4) // small blocks: many I/Os, fast
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg := Config{Inner: testKey(1), Outer: testKey(2), Geometry: geo,
-		DisableCoalescing: disableCoalescing}
+		DisableCoalescing: disableCoalescing, Compression: compress}
 
 	// First, a dry run to count the total number of backend writes.
+	// The compressed sweep starts from compressible old data too, so
+	// the initial commit already stores short extents whose crash
+	// states the workload then overwrites.
 	oldData := make([]byte, 40*1024)
 	rand.New(rand.NewSource(99)).Read(oldData)
+	if compress {
+		const phrase = "crash sweep compressible payload "
+		for i := 8; i < len(oldData); i++ {
+			oldData[i] = phrase[i%len(phrase)] ^ byte(i>>9)
+		}
+	}
 
 	countStore := faultfs.New(mk(t))
 	fsCount, err := New(countStore, cfg)
@@ -138,7 +170,7 @@ func crashSweepEveryWritePoint(t *testing.T, mk storeMaker, disableCoalescing bo
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := writeWorkload(f, oldData, 7); err != nil {
+	if _, err := writeWorkload(f, oldData, 7, compress); err != nil {
 		t.Fatal(err)
 	}
 	if err := f.Close(); err != nil {
@@ -148,7 +180,7 @@ func crashSweepEveryWritePoint(t *testing.T, mk storeMaker, disableCoalescing bo
 	if totalWrites < 20 {
 		t.Fatalf("workload issued only %d writes; widen it", totalWrites)
 	}
-	hist := blockHistories(oldData, 7, geo.BlockSize)
+	hist := blockHistories(oldData, 7, geo.BlockSize, compress)
 
 	// In -short (race-instrumented CI) sample the crash points instead
 	// of sweeping all of them; the full sweep runs under `go test`.
@@ -172,7 +204,7 @@ func crashSweepEveryWritePoint(t *testing.T, mk storeMaker, disableCoalescing bo
 			if err != nil {
 				t.Fatalf("crashAt=%d: open: %v", crashAt, err)
 			}
-			_, werr := writeWorkload(fw, oldData, 7)
+			_, werr := writeWorkload(fw, oldData, 7, compress)
 			_ = fw.Close() // post-crash close errors are expected
 			if werr == nil && fstore.Crashed() {
 				t.Fatalf("crashAt=%d: workload succeeded despite crash", crashAt)
@@ -218,12 +250,23 @@ func crashSweepEveryWritePoint(t *testing.T, mk storeMaker, disableCoalescing bo
 // disk with the new key staged; the transient key must still decrypt
 // it transparently on the read path, before any recovery runs.
 func TestReadThroughMidUpdateSegment(t *testing.T) {
-	forEachBackend(t, testReadThroughMidUpdateSegment)
+	forEachBackend(t, func(t *testing.T, mk storeMaker) {
+		testReadThroughMidUpdateSegment(t, mk, false)
+	})
 }
 
-func testReadThroughMidUpdateSegment(t *testing.T, mk storeMaker) {
+// The same phase-1/phase-2 crash with compression on: the transient
+// slot pairs the old key with the old stored length, and the fallback
+// read must decode the old short frame through that pair.
+func TestReadThroughMidUpdateSegmentCompressed(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, mk storeMaker) {
+		testReadThroughMidUpdateSegment(t, mk, true)
+	})
+}
+
+func testReadThroughMidUpdateSegment(t *testing.T, mk storeMaker, compress bool) {
 	geo := layout.Default()
-	cfg := Config{Inner: testKey(1), Outer: testKey(2), Geometry: geo}
+	cfg := Config{Inner: testKey(1), Outer: testKey(2), Geometry: geo, Compression: compress}
 	fstore := faultfs.New(mk(t))
 	lfs, err := New(fstore, cfg)
 	if err != nil {
@@ -342,12 +385,24 @@ func testWriteToMidUpdateSegmentRecoversFirst(t *testing.T, mk storeMaker) {
 // partial-block write failure") — but it must be *detected*, not
 // silently returned.
 func TestTornDataWriteDetectedNotRepaired(t *testing.T) {
-	forEachBackend(t, testTornDataWriteDetectedNotRepaired)
+	forEachBackend(t, func(t *testing.T, mk storeMaker) {
+		testTornDataWriteDetectedNotRepaired(t, mk, false)
+	})
 }
 
-func testTornDataWriteDetectedNotRepaired(t *testing.T, mk storeMaker) {
+// A torn compressed frame: the short stored payload is half new
+// ciphertext, half old — the DEFLATE stream no longer inflates and
+// the hash no longer verifies, so the read fails ErrIntegrity and
+// recovery reports the segment unrecoverable, exactly as raw.
+func TestTornDataWriteDetectedNotRepairedCompressed(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, mk storeMaker) {
+		testTornDataWriteDetectedNotRepaired(t, mk, true)
+	})
+}
+
+func testTornDataWriteDetectedNotRepaired(t *testing.T, mk storeMaker, compress bool) {
 	geo := layout.Default()
-	cfg := Config{Inner: testKey(1), Outer: testKey(2), Geometry: geo}
+	cfg := Config{Inner: testKey(1), Outer: testKey(2), Geometry: geo, Compression: compress}
 	fstore := faultfs.New(mk(t))
 	lfs, err := New(fstore, cfg)
 	if err != nil {
@@ -359,10 +414,19 @@ func testTornDataWriteDetectedNotRepaired(t *testing.T, mk storeMaker) {
 	}
 
 	// Tear the 2nd write of the commit (the data block): phase 1 meta
-	// lands, the data block is half old, half new.
+	// lands, the data block is half old, half new. In compressed mode
+	// the block must compress to well OVER half its slot: a tear at
+	// 50% of a tiny frame would land every meaningful payload byte and
+	// the "torn" block would read back fine — which is correct, but
+	// not the case under test. Half random bytes pin the frame above
+	// the tear point so the cut lands mid-DEFLATE-stream.
+	patch := bytes.Repeat([]byte{0x77}, 4096)
+	if compress {
+		rand.New(rand.NewSource(42)).Read(patch[:2048])
+	}
 	fstore.Arm(faultfs.ModeTorn, 2, 0.5)
 	f, _ := lfs.OpenRW("f")
-	_, _ = f.WriteAt(bytes.Repeat([]byte{0x77}, 4096), 0)
+	_, _ = f.WriteAt(patch, 0)
 	_ = f.Sync()
 	_ = f.Close()
 	fstore.Disarm()
@@ -393,11 +457,21 @@ func testTornDataWriteDetectedNotRepaired(t *testing.T, mk storeMaker) {
 
 // Crash while appending brand-new blocks (old key = hole): recovery
 // restores the hole so the file reads consistently at its old size.
-func TestCrashDuringAppend(t *testing.T) { forEachBackend(t, testCrashDuringAppend) }
+func TestCrashDuringAppend(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, mk storeMaker) { testCrashDuringAppend(t, mk, false) })
+}
 
-func testCrashDuringAppend(t *testing.T, mk storeMaker) {
+// Appending compressible blocks stores short frames and pads the
+// physical extent with a truncate AFTER phase 2 — a crash at any of
+// the first write points must still recover to a clean audit (no
+// keyed slot beyond the backing extent).
+func TestCrashDuringAppendCompressed(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, mk storeMaker) { testCrashDuringAppend(t, mk, true) })
+}
+
+func testCrashDuringAppend(t *testing.T, mk storeMaker, compress bool) {
 	geo := layout.Default()
-	cfg := Config{Inner: testKey(1), Outer: testKey(2), Geometry: geo}
+	cfg := Config{Inner: testKey(1), Outer: testKey(2), Geometry: geo, Compression: compress}
 	for crashAt := int64(1); crashAt <= 3; crashAt++ {
 		fstore := faultfs.New(mk(t))
 		lfs, err := New(fstore, cfg)

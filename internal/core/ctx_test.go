@@ -215,7 +215,7 @@ func cancelMidCommitSweep(t *testing.T, sharded, disableCoalescing bool) {
 	if totalWrites < 10 {
 		t.Fatalf("workload issued only %d ctx writes; widen it", totalWrites)
 	}
-	hist := blockHistories(oldData, 7, geo.BlockSize)
+	hist := blockHistories(oldData, 7, geo.BlockSize, false)
 
 	stride := int64(1)
 	if testing.Short() {
@@ -343,7 +343,7 @@ func TestCancelRetryConverges(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			hist := blockHistories(oldData, 11, geo.BlockSize)
+			hist := blockHistories(oldData, 11, geo.BlockSize, false)
 			bs := geo.BlockSize
 			for b := 0; b*bs < len(got); b++ {
 				lo, hi := b*bs, min((b+1)*bs, len(got))

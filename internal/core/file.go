@@ -492,16 +492,51 @@ func (f *file) readRun(ctx context.Context, p []byte, spans []vfs.Span, shard in
 	return 0, nil
 }
 
-// fetchRun reads one contiguous sub-run of uncached, live blocks with
-// a single backend read and fans the per-block AES-CBC decrypt and
-// §2.5 hash verification across the worker pool. Full-block spans
-// decrypt straight into the caller's buffer; partial spans decrypt
-// into pooled scratch and copy out. Verified plaintext enters the
-// block cache under the usual generation guard.
+// fetchRun reads one sub-run of uncached, live blocks. For a raw
+// segment the whole run is a single contiguous backend read. For a
+// compressed segment the payloads are only contiguous while each
+// block before the last is stored full-slot — a short block leaves
+// dead slack before the next slot — so the run is partitioned at
+// every short block and each piece fetched contiguously, the same
+// adjacency rule writeStoredRuns commits under.
 func (f *file) fetchRun(ctx context.Context, p []byte, spans []vfs.Span, meta *layout.MetaBlock, shard int) (int, error) {
+	if !meta.Compressed() {
+		return f.fetchContig(ctx, p, spans, meta, shard)
+	}
+	geo := f.fs.geo
+	bs := geo.BlockSize
+	lo := 0
+	for i := 1; i <= len(spans); i++ {
+		if i < len(spans) && storedBytes(meta, geo.SlotOfBlock(spans[i-1].Index), bs) == bs {
+			continue
+		}
+		if bad, err := f.fetchContig(ctx, p, spans[lo:i], meta, shard); err != nil {
+			return bad, err
+		}
+		lo = i
+	}
+	return 0, nil
+}
+
+// fetchContig reads one payload-contiguous sub-run of uncached, live
+// blocks with a single backend read and fans the per-block decode
+// (AES-CBC decrypt, decompress for short-stored blocks) and §2.5 hash
+// verification across the worker pool. In a compressed segment only
+// the final block may be stored short, so the ranged read trims its
+// slack off the wire. Full-block spans decode straight into the
+// caller's buffer; partial spans decode into pooled scratch and copy
+// out. Verified plaintext enters the block cache under the usual
+// generation guard.
+func (f *file) fetchContig(ctx context.Context, p []byte, spans []vfs.Span, meta *layout.MetaBlock, shard int) (int, error) {
 	geo := f.fs.geo
 	bs := geo.BlockSize
 	n := len(spans)
+	last := storedBytes(meta, geo.SlotOfBlock(spans[n-1].Index), bs)
+	if last <= 0 {
+		return spans[n-1].BufOff, fmt.Errorf("%w: block %d: keyed slot with zero stored length",
+			ErrIntegrity, spans[n-1].Index)
+	}
+	readLen := (n-1)*bs + last
 	slab := f.fs.slabs.get(n * bs)
 	defer f.fs.slabs.put(slab)
 	gen := f.fs.cache.snapshot()
@@ -511,10 +546,11 @@ func (f *file) fetchRun(ctx context.Context, p []byte, spans []vfs.Span, meta *l
 	// decode fan-out below takes pool slots (see ioWindow).
 	f.fs.iow.acquire()
 	t := f.fs.cfg.Recorder.Start()
-	err := backend.ReadFullCtx(ctx, f.bf, slab, geo.DataBlockOffset(spans[0].Index))
+	err := backend.ReadFullCtx(ctx, f.bf, slab[:readLen], geo.DataBlockOffset(spans[0].Index))
 	f.fs.cfg.Recorder.Stop(metrics.IO, t)
 	f.fs.iow.release()
-	f.fs.cfg.Recorder.CountIOBytes(int64(len(slab)))
+	f.fs.cfg.Recorder.CountIOBytes(int64(readLen))
+	f.fs.cfg.Recorder.CountDataBytes(int64(n*bs), int64(readLen))
 	f.fs.cfg.Recorder.CountEvent(metrics.ReadRun, 1)
 	done(false)
 	if err != nil {
@@ -524,8 +560,14 @@ func (f *file) fetchRun(ctx context.Context, p []byte, spans []vfs.Span, meta *l
 
 	decode := func(i int) error {
 		sp := spans[i]
-		ct := slab[i*bs : (i+1)*bs]
-		key := meta.StableKey(geo.SlotOfBlock(sp.Index))
+		slot := geo.SlotOfBlock(sp.Index)
+		stored := storedBytes(meta, slot, bs)
+		if stored <= 0 {
+			return &spanError{sp.BufOff, fmt.Errorf("%w: block %d: keyed slot with zero stored length",
+				ErrIntegrity, sp.Index)}
+		}
+		ct := slab[i*bs : i*bs+stored]
+		key := meta.StableKey(slot)
 		dst := p[sp.BufOff : sp.BufOff+sp.Len]
 		var scratch []byte
 		if !sp.Full(bs) {
@@ -533,7 +575,7 @@ func (f *file) fetchRun(ctx context.Context, p []byte, spans []vfs.Span, meta *l
 			defer f.fs.slabs.put(scratch)
 			dst = scratch
 		}
-		if err := f.fs.decryptBlock(dst, ct, key); err != nil {
+		if err := f.fs.decodeStored(dst, ct, key, stored); err != nil {
 			return &spanError{sp.BufOff, err}
 		}
 		if f.fs.cfg.Integrity == IntegrityFull && !f.fs.verifyBlock(dst, key) {
@@ -708,11 +750,14 @@ func (f *file) ensureMeta(ctx context.Context, seg *segment, si int64) error {
 }
 
 // readBlockMeta reads data block dbi through the segment's loaded
-// metadata: decrypt, verify, fall back to transient keys for segments
-// caught mid-update by a crash. The caller must hold seg.mu (either
-// mode) with seg.meta loaded, and must have checked pending state.
+// metadata: decode (decrypt, and decompress when the segment stores
+// the block compressed), verify, fall back to transient keys for
+// segments caught mid-update by a crash. The caller must hold seg.mu
+// (either mode) with seg.meta loaded, and must have checked pending
+// state.
 func (f *file) readBlockMeta(ctx context.Context, seg *segment, dbi int64, slot int, dst []byte) error {
 	geo := f.fs.geo
+	bs := geo.BlockSize
 	meta := seg.meta
 	key := meta.StableKey(slot)
 	if key.IsZero() {
@@ -720,46 +765,71 @@ func (f *file) readBlockMeta(ctx context.Context, seg *segment, dbi int64, slot 
 		return nil
 	}
 
+	// The ranged read covers only the stored payload — the whole win of
+	// compression on the wire. A mid-update segment reads the full slot
+	// regardless: the old contents being identified below may be longer
+	// than the new stored length, and the hole check needs every byte.
+	stored := storedBytes(meta, slot, bs)
+	if stored <= 0 {
+		return fmt.Errorf("%w: block %d: keyed slot with zero stored length", ErrIntegrity, dbi)
+	}
+	readLen := stored
+	if meta.MidUpdate() {
+		readLen = bs
+	}
+
 	gen := f.fs.cache.snapshot()
-	ct := f.fs.slabs.get(geo.BlockSize)
+	ct := f.fs.slabs.get(bs)
 	defer f.fs.slabs.put(ct)
 	f.fs.iow.acquire()
 	t := f.fs.cfg.Recorder.Start()
-	err := backend.ReadFullCtx(ctx, f.bf, ct, geo.DataBlockOffset(dbi))
+	err := backend.ReadFullCtx(ctx, f.bf, ct[:readLen], geo.DataBlockOffset(dbi))
 	f.fs.cfg.Recorder.Stop(metrics.IO, t)
 	f.fs.iow.release()
-	f.fs.cfg.Recorder.CountIOBytes(int64(len(ct)))
+	f.fs.cfg.Recorder.CountIOBytes(int64(readLen))
+	f.fs.cfg.Recorder.CountDataBytes(int64(bs), int64(readLen))
 	if err != nil {
 		return fmt.Errorf("lamassu: reading data block %d: %w", dbi, err)
-	}
-	if err := f.fs.decryptBlock(dst, ct, key); err != nil {
-		return err
 	}
 
 	// Integrity checking (§2.5). Under IntegrityFull every block is
 	// verified; under meta-only we still verify when the segment is
 	// mid-update (a crashed commit), because the stored stable key may
-	// legitimately not match and the transient keys must be tried.
-	needVerify := f.fs.cfg.Integrity == IntegrityFull || meta.MidUpdate()
-	if !needVerify {
-		f.fs.cache.putData(f.name, dbi, dst, gen)
-		return nil
-	}
-	if f.fs.verifyBlock(dst, key) {
-		f.fs.cache.putData(f.name, dbi, dst, gen)
-		return nil
+	// legitimately not match and the transient keys must be tried. A
+	// decode failure outside mid-update is final; inside it, it just
+	// means the stable (key, length) pair does not describe the bytes
+	// on disk yet — exactly the case the transient loop resolves.
+	if derr := f.fs.decodeStored(dst, ct, key, stored); derr != nil {
+		if !meta.MidUpdate() {
+			return derr
+		}
+	} else {
+		needVerify := f.fs.cfg.Integrity == IntegrityFull || meta.MidUpdate()
+		if !needVerify || f.fs.verifyBlock(dst, key) {
+			f.fs.cache.putData(f.name, dbi, dst, gen)
+			return nil
+		}
 	}
 	if meta.MidUpdate() {
 		// Interrupted commit: the old key for this block is among the
-		// transient slots (§2.4). Identify it by the hash check.
+		// transient slots (§2.4), paired with its old stored length in
+		// compressed mode. Identify it by the hash check; a candidate
+		// that fails to decode is simply not this block's old state.
 		for r := 0; r < int(meta.NTransient); r++ {
 			old := meta.TransientKey(r)
 			if old.IsZero() {
 				// Block was a hole before the interrupted update.
 				continue
 			}
-			if err := f.fs.decryptBlock(dst, ct, old); err != nil {
-				return err
+			oldStored := bs
+			if meta.Compressed() {
+				oldStored = meta.OldLen(r) * layout.LenUnit
+				if oldStored <= 0 {
+					continue
+				}
+			}
+			if err := f.fs.decodeStored(dst, ct, old, oldStored); err != nil {
+				continue
 			}
 			if f.fs.verifyBlock(dst, old) {
 				return nil
@@ -767,7 +837,7 @@ func (f *file) readBlockMeta(ctx context.Context, seg *segment, dbi int64, slot 
 		}
 		// A pre-update hole whose new data write never landed reads
 		// back as the zero block under hole semantics.
-		if allZero(ct) {
+		if allZero(ct[:readLen]) {
 			zero(dst)
 			return nil
 		}
@@ -866,13 +936,22 @@ func (f *file) writeSpan(ctx context.Context, seg *segment, si int64, slot int, 
 		f.sizeDirty = true
 	}
 	f.stateMu.Unlock()
+	// With compression on, the length table occupies LenSlots of the R
+	// reserved slots, so batches bound themselves to the compressed-mode
+	// transient capacity. (A compression-off FS keeps the full-R
+	// triggers even over segments some other mount compressed; the
+	// commit path chunks such batches to fit.)
+	rCap := f.fs.geo.Reserved
+	if f.fs.cfg.Compression {
+		rCap = f.fs.geo.CompressedReserved()
+	}
 	if f.fs.cfg.DisableCoalescing {
-		if len(seg.pending) >= f.fs.geo.Reserved {
+		if len(seg.pending) >= rCap {
 			return f.commitSegment(ctx, seg, si)
 		}
 		return nil
 	}
-	if seg.liveOverwrites >= f.fs.geo.Reserved || len(seg.pending) >= f.fs.geo.KeysPerSegment() {
+	if seg.liveOverwrites >= rCap || len(seg.pending) >= f.fs.geo.KeysPerSegment() {
 		return f.commitSegment(ctx, seg, si)
 	}
 	return nil
@@ -1042,6 +1121,9 @@ func (f *file) shrink(ctx context.Context, newSize int64) error {
 	for s := lastSlot + 1; s < geo.KeysPerSegment(); s++ {
 		if !meta.StableKey(s).IsZero() {
 			meta.SetStableKey(s, cryptoutil.Key{})
+			if meta.Compressed() {
+				meta.SetStoredLen(s, 0)
+			}
 		}
 	}
 	meta.LogicalSize = uint64(newSize)

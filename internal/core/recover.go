@@ -52,8 +52,9 @@ func (f *file) recoverSegment(ctx context.Context, meta *layout.MetaBlock) error
 		return err
 	}
 
-	ct := make([]byte, geo.BlockSize)
-	plain := make([]byte, geo.BlockSize)
+	bs := geo.BlockSize
+	ct := make([]byte, bs)
+	plain := make([]byte, bs)
 	for slot := 0; slot < geo.KeysPerSegment(); slot++ {
 		key := meta.StableKey(slot)
 		if key.IsZero() {
@@ -61,11 +62,14 @@ func (f *file) recoverSegment(ctx context.Context, meta *layout.MetaBlock) error
 		}
 		dbi := seg*keysPerSeg + int64(slot)
 		off := geo.DataBlockOffset(dbi)
-		if off+int64(geo.BlockSize) > phys {
+		if off+int64(bs) > phys {
 			// The data block never reached the store (the crash hit
 			// before phase 2 extended the file): the slot reverts to
 			// its pre-update state.
 			meta.SetStableKey(slot, cryptoutil.Key{})
+			if meta.Compressed() {
+				meta.SetStoredLen(slot, 0)
+			}
 			continue
 		}
 		t := f.fs.cfg.Recorder.Start()
@@ -75,10 +79,13 @@ func (f *file) recoverSegment(ctx context.Context, meta *layout.MetaBlock) error
 		if err != nil {
 			return fmt.Errorf("lamassu: recovery read of block %d: %w", dbi, err)
 		}
-		if err := f.fs.decryptBlock(plain, ct, key); err != nil {
-			return err
-		}
-		if f.fs.verifyBlock(plain, key) {
+		// A decode failure here is not fatal: in a compressed segment
+		// the stable (key, length) pair describes the NEW block, which
+		// may never have landed — the bytes on disk then belong to one
+		// of the (transient key, old length) candidates below.
+		stored := storedBytes(meta, slot, bs)
+		if stored > 0 && f.fs.decodeStored(plain, ct, key, stored) == nil &&
+			f.fs.verifyBlock(plain, key) {
 			continue // new write landed
 		}
 		repaired := false
@@ -87,11 +94,21 @@ func (f *file) recoverSegment(ctx context.Context, meta *layout.MetaBlock) error
 			if old.IsZero() {
 				continue
 			}
-			if err := f.fs.decryptBlock(plain, ct, old); err != nil {
-				return err
+			oldStored := bs
+			if meta.Compressed() {
+				oldStored = meta.OldLen(r) * layout.LenUnit
+				if oldStored <= 0 {
+					continue
+				}
+			}
+			if err := f.fs.decodeStored(plain, ct, old, oldStored); err != nil {
+				continue
 			}
 			if f.fs.verifyBlock(plain, old) {
 				meta.SetStableKey(slot, old)
+				if meta.Compressed() {
+					meta.SetStoredLen(slot, uint8(oldStored/layout.LenUnit))
+				}
 				repaired = true
 				break
 			}
@@ -102,6 +119,9 @@ func (f *file) recoverSegment(ctx context.Context, meta *layout.MetaBlock) error
 		if allZero(ct) {
 			// Pre-update hole whose new data write never landed.
 			meta.SetStableKey(slot, cryptoutil.Key{})
+			if meta.Compressed() {
+				meta.SetStoredLen(slot, 0)
+			}
 			continue
 		}
 		return fmt.Errorf("%w: segment %d block %d matches no key", ErrUnrecoverable, seg, dbi)
@@ -303,11 +323,9 @@ func (fs *FS) CheckCtx(ctx context.Context, name string) (CheckReport, error) {
 				continue
 			}
 			rep.DataBlocks++
-			if err := fs.decryptBlock(plain, ct, key); err != nil {
-				rep.BadData++
-				continue
-			}
-			if fs.verifyBlock(plain, key) {
+			stored := storedBytes(meta, slot, geo.BlockSize)
+			if stored > 0 && fs.decodeStored(plain, ct, key, stored) == nil &&
+				fs.verifyBlock(plain, key) {
 				continue
 			}
 			if meta.MidUpdate() && fs.matchesTransient(meta, ct, plain) {
@@ -323,14 +341,23 @@ func (fs *FS) CheckCtx(ctx context.Context, name string) (CheckReport, error) {
 }
 
 // matchesTransient reports whether ct verifies under any transient key
-// of meta.
+// of meta (decoded at that key's paired old stored length when the
+// segment is compressed).
 func (fs *FS) matchesTransient(meta *layout.MetaBlock, ct, scratch []byte) bool {
+	bs := len(ct)
 	for r := 0; r < int(meta.NTransient); r++ {
 		old := meta.TransientKey(r)
 		if old.IsZero() {
 			continue
 		}
-		if err := fs.decryptBlock(scratch, ct, old); err != nil {
+		oldStored := bs
+		if meta.Compressed() {
+			oldStored = meta.OldLen(r) * layout.LenUnit
+			if oldStored <= 0 {
+				continue
+			}
+		}
+		if err := fs.decodeStored(scratch, ct, old, oldStored); err != nil {
 			continue
 		}
 		if fs.verifyBlock(scratch, old) {

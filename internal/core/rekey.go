@@ -153,11 +153,12 @@ func (fs *FS) RekeyFullCtx(ctx context.Context, name string, newInner, newOuter 
 
 	geo := fs.geo
 	newFS := &FS{store: fs.store, geo: geo, cfg: Config{
-		Geometry:  geo,
-		Inner:     newInner,
-		Outer:     newOuter,
-		Integrity: fs.cfg.Integrity,
-		Recorder:  fs.cfg.Recorder,
+		Geometry:    geo,
+		Inner:       newInner,
+		Outer:       newOuter,
+		Integrity:   fs.cfg.Integrity,
+		Recorder:    fs.cfg.Recorder,
+		Compression: fs.cfg.Compression,
 	},
 		ced:   cryptoutil.NewCEKeyDeriver(newInner),
 		slabs: fs.slabs,
@@ -190,8 +191,16 @@ func (fs *FS) RekeyFullCtx(ctx context.Context, name string, newInner, newOuter 
 		if meta.MidUpdate() {
 			return stats, fmt.Errorf("%w: segment %d is midupdate; run recovery before rekeying", ErrUnrecoverable, seg)
 		}
+		// The rotated segment is written in the rotating FS's own mode:
+		// a compression-enabled FS re-encodes every block (including
+		// segments that were raw), a compression-off FS rewrites the
+		// file raw even if it was compressed — the rewrite touches
+		// every data byte anyway, so the mode change is free.
 		newMeta := layout.NewMetaBlock(geo, uint64(seg))
 		newMeta.LogicalSize = meta.LogicalSize
+		if fs.cfg.Compression {
+			newMeta.InitCompressed()
+		}
 		for slot := 0; slot < geo.KeysPerSegment(); slot++ {
 			oldKey := meta.StableKey(slot)
 			if oldKey.IsZero() {
@@ -205,7 +214,11 @@ func (fs *FS) RekeyFullCtx(ctx context.Context, name string, newInner, newOuter 
 			if err := backend.ReadFull(bf, ct, off); err != nil {
 				return stats, err
 			}
-			if err := fs.decryptBlock(plain, ct, oldKey); err != nil {
+			stored := storedBytes(meta, slot, geo.BlockSize)
+			if stored <= 0 {
+				return stats, fmt.Errorf("%w: block %d: keyed slot with zero stored length", ErrIntegrity, dbi)
+			}
+			if err := fs.decodeStored(plain, ct, oldKey, stored); err != nil {
 				return stats, err
 			}
 			if !fs.verifyBlock(plain, oldKey) {
@@ -215,11 +228,22 @@ func (fs *FS) RekeyFullCtx(ctx context.Context, name string, newInner, newOuter 
 			if err != nil {
 				return stats, err
 			}
-			if err := newFS.encryptBlock(ct, plain, newKey); err != nil {
-				return stats, err
-			}
-			if _, err := bf.WriteAt(ct, off); err != nil {
-				return stats, err
+			if fs.cfg.Compression {
+				n, err := newFS.encodeStored(ct, plain, newKey)
+				if err != nil {
+					return stats, err
+				}
+				if _, err := bf.WriteAt(ct[:n], off); err != nil {
+					return stats, err
+				}
+				newMeta.SetStoredLen(slot, uint8(n/layout.LenUnit))
+			} else {
+				if err := newFS.encryptBlock(ct, plain, newKey); err != nil {
+					return stats, err
+				}
+				if _, err := bf.WriteAt(ct, off); err != nil {
+					return stats, err
+				}
 			}
 			newMeta.SetStableKey(slot, newKey)
 			stats.DataBlocks++

@@ -1,0 +1,184 @@
+// Deterministic per-block compression for the encode path (paper
+// encode = encrypt(compress(input)); see also plakar's blob codec).
+//
+// The frame is [2-byte little-endian deflate length][deflate stream]:
+// no timestamps, no OS byte, no variable header — raw DEFLATE at a
+// pinned level, so the same plaintext block always produces the same
+// framed bytes. That determinism is what lets compression compose
+// with convergent encryption: identical plaintext → identical frame →
+// identical ciphertext under the plaintext-derived key, so dedup is
+// preserved. TestCompressGolden pins the output bytes; an encoder
+// change in a future toolchain must show up as a reviewable diff, not
+// a silent dedup break.
+package cryptoutil
+
+import (
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+)
+
+// CompressFrameHeader is the size of the length prefix on a
+// compressed block frame.
+const CompressFrameHeader = 2
+
+// flateLevel is the pinned encoder level. BestSpeed keeps the commit
+// path cheap on incompressible data (which the raw escape then stores
+// verbatim anyway); the level is part of the deterministic-output
+// contract and must never drift.
+const flateLevel = flate.BestSpeed
+
+// ErrBadFrame reports a corrupt or truncated compressed-block frame.
+var ErrBadFrame = errors.New("cryptoutil: malformed compressed block frame")
+
+// cappedWriter aborts a compression attempt as soon as the output
+// would exceed the caller's budget, so incompressible blocks don't
+// pay for a full encode that will be thrown away.
+type cappedWriter struct {
+	dst []byte
+	n   int
+}
+
+var errFrameTooBig = errors.New("cryptoutil: compressed frame exceeds budget")
+
+func (w *cappedWriter) Write(p []byte) (int, error) {
+	if w.n+len(p) > len(w.dst) {
+		return 0, errFrameTooBig
+	}
+	copy(w.dst[w.n:], p)
+	w.n += len(p)
+	return len(p), nil
+}
+
+var flateWriters = sync.Pool{
+	New: func() any {
+		w, err := flate.NewWriter(io.Discard, flateLevel)
+		if err != nil {
+			panic(err) // level is a compile-time constant; cannot fail
+		}
+		return w
+	},
+}
+
+var flateReaders = sync.Pool{
+	New: func() any { return flate.NewReader(nil) },
+}
+
+// looksIncompressible is a cheap pre-filter that decides whether a
+// flate attempt on block could possibly fit budget bytes, from the
+// block's byte-histogram entropy alone. Encrypted, already-compressed
+// and random data sit near 8 bits/byte, and on such blocks the full
+// LZ77 pass costs about as much as the encryption it precedes — only
+// to be thrown away by the raw escape. The plug-in entropy estimate
+// is a LOWER bound on flate's literal coding cost but ignores LZ
+// matches, so a block of repeated high-entropy patterns can be
+// misjudged incompressible and stored raw: that trades a little
+// compression on pathological inputs for the attempt being ~free on
+// the common incompressible ones, and never affects correctness. The
+// decision is a pure function of the block bytes (Go floating point
+// is exactly-rounded IEEE, no fused contraction), so two mounts
+// always make the same call and dedup determinism holds.
+func looksIncompressible(block []byte, budget int) bool {
+	var hist [256]int
+	for _, b := range block {
+		hist[b]++
+	}
+	n := float64(len(block))
+	var bits float64 // total literal bits: -sum c*log2(c/n)
+	for _, c := range hist {
+		if c > 0 {
+			bits -= float64(c) * math.Log2(float64(c)/n)
+		}
+	}
+	// Entropy says the literals alone need bits/8 bytes; flate must
+	// beat the budget with headroom for its own framing, so leave a
+	// 64-byte margin before giving up on the attempt.
+	return bits/8 > float64(budget-64)
+}
+
+// CompressBlock writes the framed deterministic compression of block
+// into dst and returns the frame length and true, or 0 and false when
+// the frame would not fit in len(dst) bytes (the caller then stores
+// the block raw — the escape hatch that caps worst-case cost at
+// exactly today's). dst and block must not overlap.
+func CompressBlock(dst, block []byte) (int, bool) {
+	if len(dst) <= CompressFrameHeader || len(dst) > CompressFrameHeader+0xFFFF {
+		return 0, false
+	}
+	if looksIncompressible(block, len(dst)-CompressFrameHeader) {
+		return 0, false
+	}
+	cw := &cappedWriter{dst: dst[CompressFrameHeader:]}
+	fw := flateWriters.Get().(*flate.Writer)
+	fw.Reset(cw)
+	_, err := fw.Write(block)
+	if err == nil {
+		err = fw.Close()
+	}
+	flateWriters.Put(fw)
+	if err != nil {
+		return 0, false // budget exceeded: incompressible under this cap
+	}
+	binary.LittleEndian.PutUint16(dst[:CompressFrameHeader], uint16(cw.n))
+	return CompressFrameHeader + cw.n, true
+}
+
+// DecompressBlock inverts CompressBlock: it inflates the frame into
+// dst, which must be exactly the original block length. Trailing
+// bytes in frame beyond the encoded length (the zero pad up to the
+// stored-length granule) are ignored.
+func DecompressBlock(dst, frame []byte) error {
+	if len(frame) < CompressFrameHeader {
+		return fmt.Errorf("%w: %d-byte frame", ErrBadFrame, len(frame))
+	}
+	n := int(binary.LittleEndian.Uint16(frame[:CompressFrameHeader]))
+	if CompressFrameHeader+n > len(frame) {
+		return fmt.Errorf("%w: encoded length %d exceeds frame", ErrBadFrame, n)
+	}
+	fr := flateReaders.Get().(io.ReadCloser)
+	defer flateReaders.Put(fr)
+	src := byteStream{b: frame[CompressFrameHeader : CompressFrameHeader+n]}
+	if err := fr.(flate.Resetter).Reset(&src, nil); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	if _, err := io.ReadFull(fr, dst); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	// The stream must end exactly at the block boundary: a longer
+	// stream is a corrupt or forged frame.
+	var one [1]byte
+	if n, _ := fr.Read(one[:]); n != 0 {
+		return fmt.Errorf("%w: stream longer than block", ErrBadFrame)
+	}
+	return nil
+}
+
+// byteStream is a minimal reader over a byte slice. It implements
+// io.ByteReader so flate consumes it directly instead of wrapping it
+// in a fresh bufio.Reader per Reset.
+type byteStream struct {
+	b   []byte
+	pos int
+}
+
+func (r *byteStream) Read(p []byte) (int, error) {
+	if r.pos >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b[r.pos:])
+	r.pos += n
+	return n, nil
+}
+
+func (r *byteStream) ReadByte() (byte, error) {
+	if r.pos >= len(r.b) {
+		return 0, io.EOF
+	}
+	c := r.b[r.pos]
+	r.pos++
+	return c, nil
+}

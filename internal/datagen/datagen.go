@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"math/rand"
 
+	"lamassu/internal/cryptoutil"
+	"lamassu/internal/layout"
 	"lamassu/internal/vfs"
 )
 
@@ -35,7 +37,25 @@ type Synthetic struct {
 	Alpha float64
 	// Seed selects the pseudo-random content.
 	Seed int64
+	// Compressibility is the target per-block compression ratio
+	// (logical bytes per stored byte) of the generated content under
+	// the engine's own pinned encoder. 0 or 1 keeps blocks purely
+	// random — incompressible, so a compressing encoder escapes every
+	// block to raw. Values above 1 keep a random prefix per unique
+	// block and fill the tail with repeated text; the prefix length is
+	// tuned per block against cryptoutil.CompressBlock, so the
+	// achieved ratio lands within one length granule of the target.
+	// The A/B compression benchmarks sweep this from 1.0 to 4.0.
+	// Deterministic in Seed like all other output; duplicate blocks
+	// copy their source block verbatim, so Alpha's dedup accounting is
+	// unchanged.
+	Compressibility float64
 }
+
+// compressFillPhrase is the repeated filler for compressible block
+// tails. Its length is coprime to power-of-two block sizes so the
+// phrase never aligns with block boundaries.
+const compressFillPhrase = "lamassu synthetic compressible filler text "
 
 // Validate checks the parameters.
 func (s Synthetic) Validate() error {
@@ -47,6 +67,9 @@ func (s Synthetic) Validate() error {
 	}
 	if s.Alpha < 0 || s.Alpha >= 1 {
 		return fmt.Errorf("datagen: Alpha %v outside [0,1)", s.Alpha)
+	}
+	if s.Compressibility != 0 && s.Compressibility < 1 {
+		return fmt.Errorf("datagen: Compressibility %v below 1", s.Compressibility)
 	}
 	return nil
 }
@@ -108,6 +131,9 @@ func (s Synthetic) Generate(fs vfs.FS, name string) error {
 		} else {
 			block = make([]byte, s.BlockSize)
 			rng.Read(block)
+			if s.Compressibility > 1 {
+				tuneCompressible(block, s.Compressibility)
+			}
 			// Stamp uniqueness defensively: two random 4 KiB blocks
 			// colliding is impossible in practice, but the stamp makes
 			// the generator's unique-count exact by construction.
@@ -123,6 +149,47 @@ func (s Synthetic) Generate(fs vfs.FS, name string) error {
 		emitted++
 	}
 	return f.Sync()
+}
+
+// tuneCompressible rewrites block so it compresses to approximately
+// 1/target of its size under the engine's encoder: a keep-byte random
+// prefix (per-op entropy, always covering the uniqueness stamp)
+// followed by repeated filler text. DEFLATE's cost for the mix is not
+// linear in the split point — stored-block framing, match-window
+// effects and length-granule rounding bend the curve — so rather than
+// model it, binary-search the prefix length against CompressBlock
+// itself: the smallest keep whose stored size (granule-rounded, as
+// the engine stores it) reaches the target. Deterministic: the search
+// depends only on the block's random content and target.
+func tuneCompressible(block []byte, target float64) {
+	bs := len(block)
+	rnd := append([]byte(nil), block...) // pristine random content
+	dst := make([]byte, bs-layout.LenUnit)
+	fill := func(keep int) {
+		copy(block, rnd[:keep])
+		for i := keep; i < bs; i++ {
+			block[i] = compressFillPhrase[i%len(compressFillPhrase)]
+		}
+	}
+	storedAt := func(keep int) int {
+		fill(keep)
+		n, ok := cryptoutil.CompressBlock(dst, block)
+		if !ok {
+			return bs
+		}
+		return (n + layout.LenUnit - 1) / layout.LenUnit * layout.LenUnit
+	}
+	want := int(float64(bs) / target)
+	lo, hi := 8, bs
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if storedAt(mid) < want {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	fill(lo)
 }
 
 // VMImage describes one Table 1 virtual-machine image: its name, its

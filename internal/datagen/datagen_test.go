@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"lamassu/internal/backend"
+	"lamassu/internal/cryptoutil"
 	"lamassu/internal/dedupe"
 	"lamassu/internal/plainfs"
 	"lamassu/internal/vfs"
@@ -151,4 +152,60 @@ func TestGenerateThroughVFSInterface(t *testing.T) {
 	// through any of the three file systems (how the Figure 6
 	// experiment copies data onto each volume).
 	var _ vfs.FS = plainfs.New(backend.NewMemStore())
+}
+
+// The compressibility knob: the generated blocks must compress (under
+// the engine's own pinned encoder) to approximately the target ratio,
+// and a target of 1.0 must leave every block incompressible so the
+// encode path's raw escape fires.
+func TestSyntheticCompressibility(t *testing.T) {
+	const blocks, bs = 200, 4096
+	readBlocks := func(c float64) [][]byte {
+		store := backend.NewMemStore()
+		s := Synthetic{Blocks: blocks, BlockSize: bs, Alpha: 0, Seed: 5, Compressibility: c}
+		if err := s.Generate(plainfs.New(store), "f"); err != nil {
+			t.Fatalf("c=%v: %v", c, err)
+		}
+		raw, err := backend.ReadFile(store, "f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([][]byte, blocks)
+		for b := range out {
+			out[b] = raw[b*bs : (b+1)*bs]
+		}
+		return out
+	}
+
+	// Incompressible target: every block must escape to raw. The frame
+	// cap mirrors the engine's (a frame must save at least one length
+	// granule to be worth storing).
+	dst := make([]byte, bs-64)
+	for b, blk := range readBlocks(1.0) {
+		if _, ok := cryptoutil.CompressBlock(dst, blk); ok {
+			t.Fatalf("c=1.0: block %d compressed; want raw escape", b)
+		}
+	}
+
+	for _, target := range []float64{2.0, 4.0} {
+		var logical, stored int64
+		for b, blk := range readBlocks(target) {
+			n, ok := cryptoutil.CompressBlock(dst, blk)
+			if !ok {
+				t.Fatalf("c=%v: block %d escaped to raw", target, b)
+			}
+			logical += bs
+			stored += int64(n)
+		}
+		got := float64(logical) / float64(stored)
+		if got < target*0.85 || got > target*1.2 {
+			t.Fatalf("c=%v: achieved ratio %.2f outside tolerance", target, got)
+		}
+	}
+
+	// Out-of-range target rejected.
+	bad := Synthetic{Blocks: 1, BlockSize: bs, Compressibility: 0.5}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Compressibility 0.5 accepted")
+	}
 }

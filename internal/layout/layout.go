@@ -55,7 +55,19 @@ const (
 	// FlagMidUpdate marks a segment whose multiphase commit was begun
 	// but not yet completed (paper §2.4).
 	FlagMidUpdate uint32 = 1 << 0
+	// FlagCompressed marks a segment whose data blocks carry
+	// deterministically compressed payloads: each block's ciphertext is
+	// a prefix of its fixed slot, and the stored length (in LenUnit
+	// granules) lives in the length table carved from the last
+	// LenSlots reserved slots. Block addressing is unchanged.
+	FlagCompressed uint32 = 1 << 1
 )
+
+// LenUnit is the granule of the stored-length table: compressed
+// payloads occupy a whole number of 64-byte units at the front of
+// their block slot. 64 bytes keeps a length in one byte for every
+// practical block size while wasting at most 63 bytes per block.
+const LenUnit = 64
 
 // Errors returned by the codec.
 var (
@@ -114,6 +126,45 @@ func (g Geometry) TotalSlots() int {
 // KeysPerSegment returns K, the number of data blocks governed by one
 // metadata block (the paper's NumKeysMB).
 func (g Geometry) KeysPerSegment() int { return g.TotalSlots() - g.Reserved }
+
+// LenSlots returns the number of reserved slots the stored-length
+// table occupies when a segment is in compressed mode. The table
+// needs one byte per stable slot plus one byte per remaining
+// transient slot — TotalSlots − LenSlots bytes in 32·LenSlots bytes
+// of slot space, so LenSlots = ceil(TotalSlots/33) (4 slots at the
+// default geometry). The table always lives in the LAST LenSlots
+// slots, leaving CompressedReserved transient key slots before it.
+func (g Geometry) LenSlots() int {
+	return (g.TotalSlots() + SlotSize) / (SlotSize + 1)
+}
+
+// CompressedReserved returns the effective number of transient key
+// slots available to the multiphase commit when the segment is in
+// compressed mode: Reserved minus the slots ceded to the length
+// table. It may be zero or negative for small R — compression then
+// requires a larger Reserved (see CompressionGeometryOK).
+func (g Geometry) CompressedReserved() int { return g.Reserved - g.LenSlots() }
+
+// UnitsPerBlock returns the number of LenUnit granules in one block.
+// A stored-length byte of exactly this value means "raw, full block";
+// 1..UnitsPerBlock−1 is a compressed prefix; 0 is a hole.
+func (g Geometry) UnitsPerBlock() int { return g.BlockSize / LenUnit }
+
+// CompressionGeometryOK reports whether this geometry can host
+// compressed segments: the length table must leave at least one
+// transient slot for the commit protocol, and a full block's unit
+// count must fit the one-byte length encoding.
+func (g Geometry) CompressionGeometryOK() error {
+	if g.CompressedReserved() < 1 {
+		return fmt.Errorf("%w: compression needs Reserved >= %d (length table takes %d slots)",
+			ErrBadGeometry, g.LenSlots()+1, g.LenSlots())
+	}
+	if g.UnitsPerBlock() > 255 {
+		return fmt.Errorf("%w: compression needs BlockSize <= %d (one-byte length units)",
+			ErrBadGeometry, 255*LenUnit)
+	}
+	return nil
+}
 
 // SegmentBlocks returns the total number of blocks in a full segment,
 // including the metadata block.
@@ -287,21 +338,111 @@ func (m *MetaBlock) TransientKey(r int) cryptoutil.Key {
 	return m.Slots[m.geo.KeysPerSegment()+r]
 }
 
-// SetTransientKey stores an old key into reserved slot r.
+// SetTransientKey stores an old key into reserved slot r. In
+// compressed mode only the first CompressedReserved reserved slots
+// hold keys; the rest is the length table.
 func (m *MetaBlock) SetTransientKey(r int, k cryptoutil.Key) {
-	if r < 0 || r >= m.geo.Reserved {
-		panic(fmt.Sprintf("layout: transient slot %d out of range [0,%d)", r, m.geo.Reserved))
+	if r < 0 || r >= m.EffReserved() {
+		panic(fmt.Sprintf("layout: transient slot %d out of range [0,%d)", r, m.EffReserved()))
 	}
 	m.Slots[m.geo.KeysPerSegment()+r] = k
 }
 
-// ClearTransient zeroes all transient slots and the count.
+// EffReserved returns the number of transient key slots usable by the
+// commit protocol for this block: Reserved, or CompressedReserved
+// when the segment is in compressed mode.
+func (m *MetaBlock) EffReserved() int {
+	if m.Compressed() {
+		return m.geo.CompressedReserved()
+	}
+	return m.geo.Reserved
+}
+
+// ClearTransient zeroes the transient key slots and the count. In
+// compressed mode the length table (which shares the reserved slot
+// region) is preserved, except for the now-meaningless old-length
+// bytes paired with the cleared transient keys.
 func (m *MetaBlock) ClearTransient() {
 	k := m.geo.KeysPerSegment()
-	for i := k; i < len(m.Slots); i++ {
+	end := k + m.EffReserved()
+	for i := k; i < end; i++ {
 		m.Slots[i].Zero()
 	}
+	if m.Compressed() {
+		for r := 0; r < m.EffReserved(); r++ {
+			m.SetOldLen(r, 0)
+		}
+	}
 	m.NTransient = 0
+}
+
+// Compressed reports whether the segment's data blocks carry
+// length-prefixed compressed payloads.
+func (m *MetaBlock) Compressed() bool { return m.Flags&FlagCompressed != 0 }
+
+// InitCompressed switches a raw segment into compressed mode: it sets
+// FlagCompressed, zeroes the length-table region, and marks every
+// currently keyed stable slot as stored raw (a full block — the bytes
+// already on disk stay valid). Call only on a segment with no
+// transient keys outstanding (i.e. not mid-update).
+func (m *MetaBlock) InitCompressed() {
+	if m.Compressed() {
+		return
+	}
+	g := m.geo
+	m.Flags |= FlagCompressed
+	base := g.TotalSlots() - g.LenSlots()
+	for i := base; i < len(m.Slots); i++ {
+		m.Slots[i].Zero()
+	}
+	units := uint8(g.UnitsPerBlock())
+	var zero cryptoutil.Key
+	for i := 0; i < g.KeysPerSegment(); i++ {
+		if m.Slots[i] != zero {
+			m.SetStoredLen(i, units)
+		}
+	}
+}
+
+// lenByteIndex maps a length-table byte index to its slot/offset. The
+// table is the flat byte view of the last LenSlots slots: bytes
+// [0:K] are stable-slot stored lengths, bytes [K:K+CompressedReserved]
+// are the old lengths paired with the transient key slots.
+func (m *MetaBlock) lenByte(idx int) *byte {
+	g := m.geo
+	base := g.TotalSlots() - g.LenSlots()
+	return &m.Slots[base+idx/SlotSize][idx%SlotSize]
+}
+
+// StoredLen returns the stored length of stable slot i in LenUnit
+// granules: 0 for a hole, UnitsPerBlock for a raw full block, and
+// anything in between for a compressed prefix. Only meaningful when
+// Compressed().
+func (m *MetaBlock) StoredLen(i int) int { return int(*m.lenByte(i)) }
+
+// SetStoredLen records the stored length (in LenUnit granules) of
+// stable slot i.
+func (m *MetaBlock) SetStoredLen(i int, units uint8) {
+	if i < 0 || i >= m.geo.KeysPerSegment() {
+		panic(fmt.Sprintf("layout: stable slot %d out of range [0,%d)", i, m.geo.KeysPerSegment()))
+	}
+	*m.lenByte(i) = units
+}
+
+// OldLen returns the stored length paired with transient key slot r:
+// the length the block's PREVIOUS ciphertext occupies on disk, needed
+// to decode it during recovery.
+func (m *MetaBlock) OldLen(r int) int {
+	return int(*m.lenByte(m.geo.KeysPerSegment() + r))
+}
+
+// SetOldLen records the previous stored length paired with transient
+// key slot r.
+func (m *MetaBlock) SetOldLen(r int, units uint8) {
+	if r < 0 || r >= m.geo.CompressedReserved() {
+		panic(fmt.Sprintf("layout: transient length slot %d out of range [0,%d)", r, m.geo.CompressedReserved()))
+	}
+	*m.lenByte(m.geo.KeysPerSegment() + r) = units
 }
 
 // MidUpdate reports whether the segment is marked as being inside a
@@ -421,6 +562,25 @@ func DecodeMetaBlock(g Geometry, src []byte, outer cryptoutil.Key, wantSeg uint6
 	for i := range m.Slots {
 		copy(m.Slots[i][:], payload[off:off+SlotSize])
 		off += SlotSize
+	}
+	if m.Compressed() {
+		if err := g.CompressionGeometryOK(); err != nil {
+			return nil, fmt.Errorf("%w: compressed segment under incompatible geometry: %v", ErrBadBlock, err)
+		}
+		if m.NTransient > uint32(g.CompressedReserved()) {
+			return nil, fmt.Errorf("%w: nTransient %d exceeds compressed-mode R=%d", ErrBadBlock, m.NTransient, g.CompressedReserved())
+		}
+		units := g.UnitsPerBlock()
+		for i := 0; i < g.KeysPerSegment(); i++ {
+			if m.StoredLen(i) > units {
+				return nil, fmt.Errorf("%w: stable slot %d stored length %d exceeds %d units", ErrBadBlock, i, m.StoredLen(i), units)
+			}
+		}
+		for r := 0; r < g.CompressedReserved(); r++ {
+			if m.OldLen(r) > units {
+				return nil, fmt.Errorf("%w: transient slot %d old length %d exceeds %d units", ErrBadBlock, r, m.OldLen(r), units)
+			}
+		}
 	}
 	if m.SegIndex != wantSeg {
 		return m, fmt.Errorf("%w: sealed segment %d, expected %d", ErrWrongSeg, m.SegIndex, wantSeg)

@@ -117,6 +117,12 @@ const (
 	// shard slot's health breaker.
 	ScrubRepair
 	BreakerOpen
+	// BlockCompressed counts data blocks committed as a compressed
+	// prefix of their slot; RawEscape counts blocks the deterministic
+	// compressor could not shrink by at least one length unit, stored
+	// verbatim instead (so compression never costs bytes over raw).
+	BlockCompressed
+	RawEscape
 	numEvents
 )
 
@@ -169,6 +175,10 @@ func (e Event) String() string {
 		return "ScrubRepair"
 	case BreakerOpen:
 		return "BreakerOpen"
+	case BlockCompressed:
+		return "BlockCompressed"
+	case RawEscape:
+		return "RawEscape"
 	default:
 		return fmt.Sprintf("Event(%d)", int(e))
 	}
@@ -180,7 +190,8 @@ func AllEvents() []Event {
 		WriteRun, ReadRun, Prefetch, SlabHit, SlabMiss,
 		FallbackRead, MirrorWrite, MoveCopy, EpochBump,
 		RetryAttempt, RetryExhausted, HedgeAttempt, HedgeWin,
-		ReplicaWrite, FailoverRead, ScrubRepair, BreakerOpen}
+		ReplicaWrite, FailoverRead, ScrubRepair, BreakerOpen,
+		BlockCompressed, RawEscape}
 }
 
 // Recorder accumulates time per category. All methods are safe for
@@ -192,6 +203,13 @@ type Recorder struct {
 	events  [numEvents]int64
 	ops     int64
 	ioBytes int64
+	// logicalBytes / storedBytes track the data-path accounting the
+	// compression stage introduces: logical counts plaintext block
+	// bytes moved through the encode/decode pipeline, stored counts the
+	// bytes that actually hit (or came from) the backend for them.
+	// Without compression the two advance in lockstep.
+	logicalBytes int64
+	storedBytes  int64
 }
 
 // New returns an empty Recorder.
@@ -263,6 +281,20 @@ func (r *Recorder) CountIOBytes(n int64) {
 	r.mu.Unlock()
 }
 
+// CountDataBytes records one data block (or batch) moving through the
+// encode/decode pipeline: logical plaintext bytes versus the stored
+// bytes that crossed the backend for them. The ratio of the two
+// totals is the live compression ratio.
+func (r *Recorder) CountDataBytes(logical, stored int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.logicalBytes += logical
+	r.storedBytes += stored
+	r.mu.Unlock()
+}
+
 // CountEvent adds n occurrences of event e.
 func (r *Recorder) CountEvent(e Event, n int64) {
 	if r == nil {
@@ -281,6 +313,11 @@ type Breakdown struct {
 	Ops    int64
 	// IOBytes is the total backend payload moved (reads + writes).
 	IOBytes int64
+	// LogicalBytes / StoredBytes are the data-path totals recorded by
+	// CountDataBytes: plaintext block bytes versus bytes on the wire
+	// for them.
+	LogicalBytes int64
+	StoredBytes  int64
 }
 
 // Snapshot returns the current totals.
@@ -290,7 +327,8 @@ func (r *Recorder) Snapshot() Breakdown {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return Breakdown{Total: r.total, Count: r.count, Events: r.events, Ops: r.ops, IOBytes: r.ioBytes}
+	return Breakdown{Total: r.total, Count: r.count, Events: r.events, Ops: r.ops,
+		IOBytes: r.ioBytes, LogicalBytes: r.logicalBytes, StoredBytes: r.storedBytes}
 }
 
 // Reset zeroes the recorder.
@@ -304,6 +342,8 @@ func (r *Recorder) Reset() {
 	r.events = [numEvents]int64{}
 	r.ops = 0
 	r.ioBytes = 0
+	r.logicalBytes = 0
+	r.storedBytes = 0
 	r.mu.Unlock()
 }
 
@@ -319,6 +359,17 @@ func (b Breakdown) IOs() int64 { return b.Count[IO] }
 func (b Breakdown) BytesPerIO() float64 {
 	if n := b.Count[IO]; n > 0 {
 		return float64(b.IOBytes) / float64(n)
+	}
+	return 0
+}
+
+// CompressionRatio returns logical/stored — how many plaintext bytes
+// each stored byte carries. 1.0 with compression off (or on fully
+// incompressible data), >1 when compression is saving wire bytes, 0
+// before any data moved.
+func (b Breakdown) CompressionRatio() float64 {
+	if b.StoredBytes > 0 {
+		return float64(b.LogicalBytes) / float64(b.StoredBytes)
 	}
 	return 0
 }

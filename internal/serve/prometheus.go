@@ -114,6 +114,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"lamassu_hedge_wins_total", "counter", "Hedged reads that beat the primary.", float64(es.HedgeWins)},
 		{"lamassu_read_p50_seconds", "gauge", "Observed backend read-latency p50 (worst store).", es.ReadP50.Seconds()},
 		{"lamassu_read_p99_seconds", "gauge", "Observed backend read-latency p99 (worst store).", es.ReadP99.Seconds()},
+		{"lamassu_logical_bytes_total", "counter", "Plaintext data bytes moved through the encode/decode path.", float64(es.LogicalBytes)},
+		{"lamassu_stored_bytes_total", "counter", "Post-compression data bytes actually moved to/from the backend.", float64(es.StoredBytes)},
+		{"lamassu_compressed_blocks_total", "counter", "Data blocks stored as compressed frames.", float64(es.CompressedBlocks)},
+		{"lamassu_raw_escapes_total", "counter", "Incompressible data blocks stored verbatim by the raw escape.", float64(es.RawEscapes)},
+		{"lamassu_compression_ratio", "gauge", "Live logical-to-stored data ratio (1.0 = no compression win).", es.CompressionRatio()},
 		{"lamassu_replica_writes_total", "counter", "Writes landed on non-primary replica copies.", float64(es.ReplicaWrites)},
 		{"lamassu_failover_reads_total", "counter", "Reads served by a replica after the preferred copy failed.", float64(es.FailoverReads)},
 		{"lamassu_scrub_repairs_total", "counter", "Replica copies re-created or rewritten by scrub.", float64(es.ScrubRepairs)},

@@ -4,10 +4,13 @@
 package serve
 
 import (
+	"bytes"
 	"fmt"
 	"net/http"
 	"strings"
 	"testing"
+
+	"lamassu"
 )
 
 // promValue extracts the value of the first sample whose line starts
@@ -106,6 +109,51 @@ func TestMetricsExposition(t *testing.T) {
 		if _, ok := promValue(t, text, name); !ok {
 			t.Fatalf("%s missing", name)
 		}
+	}
+}
+
+// TestMetricsCompression drives a compressed mount with compressible
+// traffic and requires the logical/stored accounting and the live
+// ratio to show the win on /metrics.
+func TestMetricsCompression(t *testing.T) {
+	keys, err := lamassu.GenerateKeys()
+	if err != nil {
+		t.Fatalf("GenerateKeys: %v", err)
+	}
+	m, err := lamassu.New(lamassu.NewMemStorage(), keys,
+		lamassu.WithEncryptedNames(),
+		lamassu.WithLatencyCollection(),
+		lamassu.WithCompression())
+	if err != nil {
+		t.Fatalf("New mount: %v", err)
+	}
+	t.Cleanup(func() { _ = m.Close() })
+	_, hs := newTestServer(t, Config{Mount: m})
+
+	resp, body := doReq(t, "PUT", hs.URL+"/v1/files/z.bin", tokAlice,
+		bytes.Repeat([]byte("compressible metrics payload "), 2048), nil)
+	wantStatus(t, resp, body, http.StatusNoContent)
+
+	resp, body = doReq(t, "GET", hs.URL+"/metrics", "", nil, nil)
+	wantStatus(t, resp, body, http.StatusOK)
+	text := string(body)
+
+	logical, ok := promValue(t, text, "lamassu_logical_bytes_total")
+	if !ok || logical == 0 {
+		t.Fatalf("lamassu_logical_bytes_total = %v (present %v), want > 0", logical, ok)
+	}
+	stored, ok := promValue(t, text, "lamassu_stored_bytes_total")
+	if !ok || stored == 0 || stored >= logical {
+		t.Fatalf("lamassu_stored_bytes_total = %v (present %v), want in (0, %v)", stored, ok, logical)
+	}
+	if v, ok := promValue(t, text, "lamassu_compressed_blocks_total"); !ok || v == 0 {
+		t.Fatalf("lamassu_compressed_blocks_total = %v (present %v), want > 0", v, ok)
+	}
+	if v, ok := promValue(t, text, "lamassu_raw_escapes_total"); !ok || v != 0 {
+		t.Fatalf("lamassu_raw_escapes_total = %v (present %v), want 0", v, ok)
+	}
+	if v, ok := promValue(t, text, "lamassu_compression_ratio"); !ok || v <= 1 {
+		t.Fatalf("lamassu_compression_ratio = %v (present %v), want > 1", v, ok)
 	}
 }
 

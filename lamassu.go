@@ -312,6 +312,19 @@ type Options struct {
 	// first usable response wins, and the loser is canceled. Reads
 	// only; see HedgePolicy and WithHedgedReads. Nil disables hedging.
 	Hedge *HedgePolicy
+	// Compression enables deterministic per-block compression in the
+	// encode path: each block is compressed with fixed encoder settings,
+	// then encrypted under the convergent key derived from the RAW
+	// plaintext hash — so two mounts writing identical plaintext still
+	// produce identical backend ciphertext and deduplication is
+	// preserved. The compressed payload occupies a prefix of the block's
+	// fixed slot (on-disk addressing is unchanged; only the bytes per
+	// backend read/write shrink), with its length recorded in the sealed
+	// metadata. Incompressible blocks are stored verbatim and never cost
+	// more than with compression off. Off (the default) produces
+	// byte-identical output to prior releases; either setting reads
+	// files written by the other.
+	Compression bool
 }
 
 // Errors surfaced by the public API. ErrClosed, ErrCanceled and the
@@ -529,6 +542,7 @@ func NewMount(store Storage, keys KeyPair, opts *Options) (*Mount, error) {
 		DisableCoalescing: o.DisableCoalescing,
 		Readahead:         o.Readahead,
 		IOWindow:          o.IOWindow,
+		Compression:       o.Compression,
 	})
 	if err != nil {
 		return nil, err
@@ -760,6 +774,15 @@ type EngineStats struct {
 	// the per-store breakdown. All zero without WithHedgedReads.
 	HedgeAttempts, HedgeWins int64
 	ReadP50, ReadP99         time.Duration
+	// LogicalBytes and StoredBytes account the data-block payloads the
+	// engine moved: LogicalBytes in full plaintext blocks, StoredBytes
+	// as actually put on (or fetched off) the wire after compression.
+	// Equal with compression off; their ratio is the live compression
+	// ratio. CompressedBlocks counts blocks stored compressed;
+	// RawEscapes counts incompressible blocks stored verbatim. All four
+	// zero without Options.CollectLatency.
+	LogicalBytes, StoredBytes    int64
+	CompressedBlocks, RawEscapes int64
 	// ReplicaWrites counts writes landed on non-primary replica copies
 	// of a replicated sharded store; FailoverReads counts reads a
 	// replica served after the preferred copy failed or was missing;
@@ -769,6 +792,17 @@ type EngineStats struct {
 	// without replication.
 	ReplicaWrites, FailoverReads int64
 	ScrubRepairs, BreakerOpens   int64
+}
+
+// CompressionRatio returns LogicalBytes/StoredBytes — the live
+// compression ratio of the data-block payloads moved so far (1.0 with
+// compression off or on incompressible data) — or 0 before any data
+// moved.
+func (s EngineStats) CompressionRatio() float64 {
+	if s.StoredBytes > 0 {
+		return float64(s.LogicalBytes) / float64(s.StoredBytes)
+	}
+	return 0
 }
 
 // SlabHitRate returns SlabHits/(SlabHits+SlabMisses), or 0 before any
@@ -799,6 +833,10 @@ func (m *Mount) EngineStats() EngineStats {
 			SlabMisses:       b.Event(metrics.SlabMiss),
 			RetryAttempts:    b.Event(metrics.RetryAttempt),
 			RetriesExhausted: b.Event(metrics.RetryExhausted),
+			LogicalBytes:     b.LogicalBytes,
+			StoredBytes:      b.StoredBytes,
+			CompressedBlocks: b.Event(metrics.BlockCompressed),
+			RawEscapes:       b.Event(metrics.RawEscape),
 		}
 	}
 	iw := m.fs.IOWindowStats()

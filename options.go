@@ -161,6 +161,18 @@ func WithHedgedReads(policy HedgePolicy) Option {
 	return func(o *Options) { o.Hedge = &policy }
 }
 
+// WithCompression enables deterministic per-block compression in the
+// encode path: blocks are compressed with pinned encoder settings,
+// then encrypted under the convergent key of the RAW plaintext — so
+// deduplication of identical plaintext is preserved — and stored as a
+// prefix of their fixed block slot, shrinking the bytes each backend
+// read and write moves. Incompressible blocks escape to verbatim
+// storage and never cost more than today. Off by default; see
+// Options.Compression for the compatibility contract.
+func WithCompression() Option {
+	return func(o *Options) { o.Compression = true }
+}
+
 // New opens a Lamassu file system over store with the given zone keys,
 // configured by functional options. With no options it selects the
 // paper's defaults (4096-byte blocks, R = 8, full integrity, coalesced
